@@ -1,0 +1,70 @@
+// Perf-B: downward translation cost vs derivation depth and disjunct
+// fan-out. Each extra tower layer with negation doubles the alternatives a
+// request can be satisfied through; the benchmark shows translation
+// enumeration growing with the DNF it must build, and the effect of the
+// disjunct cap.
+
+#include <benchmark/benchmark.h>
+
+#include "core/deductive_database.h"
+#include "workload/towers.h"
+
+namespace deddb {
+namespace {
+
+void RunDownward(benchmark::State& state, bool with_negation) {
+  workload::TowerConfig config;
+  config.depth = static_cast<size_t>(state.range(0));
+  config.base_facts = static_cast<size_t>(state.range(1));
+  config.with_negation = with_negation;
+  auto db = workload::MakeTowerDatabase(config);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  SymbolId top =
+      (*db)->database().FindPredicate(workload::TowerLayerName(config.depth))
+          .value();
+  UpdateRequest request;
+  RequestedEvent event;
+  event.is_insert = true;
+  event.predicate = top;
+  event.args = {
+      (*db)->Constant(workload::TowerElementName(config.base_facts + 1))};
+  request.events.push_back(event);
+
+  size_t translations = 0;
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    auto result = (*db)->TranslateViewUpdate(request);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    translations = result->translations.size();
+    disjuncts = result->dnf.size();
+    benchmark::DoNotOptimize(translations);
+  }
+  state.counters["depth"] = static_cast<double>(config.depth);
+  state.counters["translations"] = static_cast<double>(translations);
+  state.counters["dnf_disjuncts"] = static_cast<double>(disjuncts);
+}
+
+void BM_ConjunctiveTower(benchmark::State& state) {
+  RunDownward(state, /*with_negation=*/false);
+}
+void BM_BranchingTower(benchmark::State& state) {
+  RunDownward(state, /*with_negation=*/true);
+}
+
+BENCHMARK(BM_ConjunctiveTower)
+    ->ArgsProduct({{1, 2, 4, 6, 8}, {100}})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BranchingTower)
+    ->ArgsProduct({{1, 2, 4, 6, 8}, {100}})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace deddb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Figure-1 benchmark: the cost of traversing the base↔derived gap in each
+// direction, as a function of derivation depth. The paper's introductory
+// figure presents upward problems (base -> derived: compute induced changes)
+// and downward problems (derived -> base: compute satisfying transactions)
+// as the two directions of one framework; this benchmark measures both on
+// view towers of increasing depth.
+
+#include <benchmark/benchmark.h>
+
+#include "core/deductive_database.h"
+#include "workload/towers.h"
+
+namespace deddb {
+namespace {
+
+void BM_UpwardByDepth(benchmark::State& state) {
+  workload::TowerConfig config;
+  config.depth = static_cast<size_t>(state.range(0));
+  config.base_facts = 200;
+  auto db = workload::MakeTowerDatabase(config);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  // One base event at the bottom of the tower; its effects ripple upward.
+  Transaction txn;
+  SymbolId b0 = (*db)->database().FindPredicate("B0").value();
+  SymbolId elem = (*db)->symbols().Intern(workload::TowerElementName(0));
+  (void)txn.AddDelete(b0, {elem});
+
+  size_t events = 0;
+  for (auto _ : state) {
+    auto result = (*db)->InducedEvents(txn);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    events = result->size();
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["depth"] = static_cast<double>(config.depth);
+  state.counters["induced_events"] = static_cast<double>(events);
+}
+BENCHMARK(BM_UpwardByDepth)->DenseRange(1, 10, 1)->Unit(benchmark::kMicrosecond);
+
+void BM_DownwardByDepth(benchmark::State& state) {
+  workload::TowerConfig config;
+  config.depth = static_cast<size_t>(state.range(0));
+  config.base_facts = 200;
+  auto db = workload::MakeTowerDatabase(config);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  // Request an insertion at the top of the tower for an element that
+  // currently satisfies no layer gate: the request must be translated all
+  // the way down.
+  SymbolId top =
+      (*db)->database().FindPredicate(workload::TowerLayerName(config.depth))
+          .value();
+  UpdateRequest request;
+  RequestedEvent event;
+  event.is_insert = true;
+  event.predicate = top;
+  event.args = {
+      (*db)->Constant(workload::TowerElementName(config.base_facts + 1))};
+  request.events.push_back(event);
+
+  size_t translations = 0;
+  for (auto _ : state) {
+    auto result = (*db)->TranslateViewUpdate(request);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    translations = result->translations.size();
+    benchmark::DoNotOptimize(translations);
+  }
+  state.counters["depth"] = static_cast<double>(config.depth);
+  state.counters["translations"] = static_cast<double>(translations);
+}
+BENCHMARK(BM_DownwardByDepth)->DenseRange(1, 10, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace deddb
+
+BENCHMARK_MAIN();

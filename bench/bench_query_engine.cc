@@ -1,0 +1,113 @@
+// Perf-F: query-engine strategy comparison — the machinery both
+// interpretations stand on. Ground point queries and existence checks over
+// the employment database, answered by (a) demand-driven materialization,
+// (b) memoized top-down resolution, and (c) lazy first-solution resolution.
+// Shapes: materialization pays O(DB) once and O(1) after; top-down point
+// queries are goal-directed; lazy existence stops at the first witness.
+
+#include <benchmark/benchmark.h>
+
+#include "eval/query_engine.h"
+#include "workload/employment.h"
+
+namespace deddb {
+namespace {
+
+struct Setup {
+  std::unique_ptr<DeductiveDatabase> db;
+  SymbolId unemp;
+  Atom goal;
+
+  static Setup Make(size_t people) {
+    workload::EmploymentConfig config;
+    config.people = people;
+    auto db = workload::MakeEmploymentDatabase(config).value();
+    SymbolId unemp = db->database().FindPredicate("Unemp").value();
+    SymbolId person = db->symbols().Intern(workload::PersonName(people / 2));
+    return Setup{std::move(db), unemp,
+                 Atom(unemp, {Term::MakeConstant(person)})};
+  }
+};
+
+void BM_MaterializedPointQuery(benchmark::State& state) {
+  Setup setup = Setup::Make(static_cast<size_t>(state.range(0)));
+  FactStoreProvider edb(&setup.db->database().facts());
+  for (auto _ : state) {
+    // Fresh engine per iteration: measures the full materialize-then-lookup
+    // cost a one-shot caller pays.
+    QueryEngine engine(setup.db->database().program(), setup.db->symbols(),
+                       edb);
+    auto result = engine.SolveMaterialized(setup.goal);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.counters["people"] = static_cast<double>(state.range(0));
+}
+
+void BM_TopDownPointQuery(benchmark::State& state) {
+  Setup setup = Setup::Make(static_cast<size_t>(state.range(0)));
+  FactStoreProvider edb(&setup.db->database().facts());
+  for (auto _ : state) {
+    QueryEngine engine(setup.db->database().program(), setup.db->symbols(),
+                       edb);
+    auto result = engine.SolveTopDown(setup.goal);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.counters["people"] = static_cast<double>(state.range(0));
+}
+
+void BM_LazyExistence(benchmark::State& state) {
+  Setup setup = Setup::Make(static_cast<size_t>(state.range(0)));
+  FactStoreProvider edb(&setup.db->database().facts());
+  // Open goal: "is anyone unemployed?" — lazy stops at the first witness.
+  Atom open_goal(setup.unemp, {Term::MakeVariable(0x7300000)});
+  for (auto _ : state) {
+    QueryEngine engine(setup.db->database().program(), setup.db->symbols(),
+                       edb);
+    auto result = engine.Exists(open_goal);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*result);
+  }
+  state.counters["people"] = static_cast<double>(state.range(0));
+}
+
+void BM_MaterializedOpenQuery(benchmark::State& state) {
+  Setup setup = Setup::Make(static_cast<size_t>(state.range(0)));
+  FactStoreProvider edb(&setup.db->database().facts());
+  Atom open_goal(setup.unemp, {Term::MakeVariable(0x7300001)});
+  for (auto _ : state) {
+    QueryEngine engine(setup.db->database().program(), setup.db->symbols(),
+                       edb);
+    auto result = engine.SolveMaterialized(open_goal);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.counters["people"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_MaterializedPointQuery)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TopDownPointQuery)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LazyExistence)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MaterializedOpenQuery)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace deddb
+
+BENCHMARK_MAIN();

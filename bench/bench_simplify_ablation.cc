@@ -1,0 +1,73 @@
+// Perf-D ablation: the event-rule simplifications of §3.3 ([Oli91, UO92]:
+// "these rules can be intensively simplified") on vs off, measured on the
+// upward interpretation. Unsimplified event rules evaluate all 2ⁿ transition
+// disjuncts and scan P⁰ for deletion candidates; the simplified compilation
+// keeps only event-bearing insertion disjuncts and guards deletions with
+// delta candidates, so its cost tracks the transaction instead of the
+// database.
+
+#include <benchmark/benchmark.h>
+
+#include "core/deductive_database.h"
+#include "workload/employment.h"
+
+namespace deddb {
+namespace {
+
+void RunSimplifyAblation(benchmark::State& state, bool simplify) {
+  workload::EmploymentConfig config;
+  config.people = static_cast<size_t>(state.range(0));
+  config.simplify = simplify;
+  config.consistent = false;
+  auto db = workload::MakeEmploymentDatabase(config);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  auto txn = workload::RandomEmploymentTransaction(db->get(), config.people,
+                                                   8, /*seed=*/23);
+  if (!txn.ok()) {
+    state.SkipWithError(txn.status().ToString().c_str());
+    return;
+  }
+  auto compiled = (*db)->Compiled();
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+
+  size_t events = 0;
+  for (auto _ : state) {
+    UpwardInterpreter upward(&(*db)->database(), *compiled, UpwardOptions{});
+    auto result = upward.InducedEvents(*txn);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    events = result->size();
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["people"] = static_cast<double>(config.people);
+  state.counters["induced_events"] = static_cast<double>(events);
+  state.counters["transition_rules"] =
+      static_cast<double>((*compiled)->transition.size());
+}
+
+void BM_Simplified(benchmark::State& state) {
+  RunSimplifyAblation(state, true);
+}
+void BM_Unsimplified(benchmark::State& state) {
+  RunSimplifyAblation(state, false);
+}
+
+BENCHMARK(BM_Simplified)
+    ->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Unsimplified)
+    ->Arg(100)->Arg(1000)->Arg(5000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace deddb
+
+BENCHMARK_MAIN();

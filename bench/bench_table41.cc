@@ -1,0 +1,224 @@
+// Regenerates Table 4.1 of the paper: the classification of deductive
+// database updating problems by {upward, downward} × {ιP, δP, {T,¬ιP},
+// {T,¬δP}} × {View, Ic, Cond}. Every cell is *executed* against the
+// employment database of §5.1 (scaled), demonstrating that one framework —
+// the event rules and their two interpretations — specifies and solves all
+// of them. Prints the populated matrix with each cell's outcome and timing.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/deductive_database.h"
+#include "parser/parser.h"
+#include "util/strings.h"
+#include "workload/employment.h"
+
+using namespace deddb;  // NOLINT — report binary brevity
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Cell {
+  std::string problem;
+  std::string outcome;
+  double micros = 0;
+};
+
+Cell RunCell(const std::string& problem,
+             const std::function<Result<std::string>()>& body) {
+  Cell cell;
+  cell.problem = problem;
+  auto start = Clock::now();
+  Result<std::string> outcome = body();
+  auto end = Clock::now();
+  cell.micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  cell.outcome = outcome.ok() ? *outcome : outcome.status().ToString();
+  return cell;
+}
+
+void PrintSection(const char* title, const std::vector<Cell>& cells) {
+  std::printf("\n%-s\n", title);
+  std::printf("%s\n", std::string(96, '-').c_str());
+  for (const Cell& cell : cells) {
+    std::printf("  %-44s %9.0fus  %s\n", cell.problem.c_str(), cell.micros,
+                cell.outcome.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  workload::EmploymentConfig config;
+  config.people = 200;
+  config.consistent = true;
+  auto db_or = workload::MakeEmploymentDatabase(config);
+  if (!db_or.ok()) {
+    std::printf("setup failed: %s\n", db_or.status().ToString().c_str());
+    return 1;
+  }
+  DeductiveDatabase& db = **db_or;
+  SymbolId unemp = db.database().FindPredicate("Unemp").value();
+  SymbolId alert = db.database().FindPredicate("Alert").value();
+  db.MaterializeView(unemp);
+  db.InitializeMaterializedViews();
+
+  // A transaction used by the upward cells and the {T, ...} downward cells.
+  auto txn = workload::RandomEmploymentTransaction(&db, config.people, 8,
+                                                   /*seed=*/11);
+  if (!txn.ok()) {
+    std::printf("txn failed: %s\n", txn.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Table 4.1 — classification and specification of deductive "
+              "database updating problems\n");
+  std::printf("Database: employment schema (§5.1), %zu people, %zu base "
+              "facts; transaction: %s\n",
+              config.people, db.database().facts().TotalFacts(),
+              txn->ToString(db.symbols()).c_str());
+
+  // ---- Upward interpretation ----------------------------------------------
+  std::vector<Cell> upward;
+  upward.push_back(RunCell(
+      "View  x ins/del: materialized view maintenance", [&]() -> Result<std::string> {
+        DEDDB_ASSIGN_OR_RETURN(auto result,
+                               db.MaintainMaterializedViews(*txn,
+                                                            /*apply=*/false));
+        return StrCat("delta=", result.delta.ToString(db.symbols()));
+      }));
+  upward.push_back(RunCell(
+      "Ic    x ins: integrity constraint checking", [&]() -> Result<std::string> {
+        DEDDB_ASSIGN_OR_RETURN(auto result, db.CheckIntegrity(*txn));
+        return StrCat(result.violated ? "VIOLATED (reject)" : "consistent",
+                      ", ", result.violations.size(), " violation(s)");
+      }));
+  upward.push_back(RunCell(
+      "Ic    x del: consistency-restoration checking",
+      [&]() -> Result<std::string> {
+        // Needs an inconsistent copy of the database.
+        workload::EmploymentConfig bad = config;
+        bad.consistent = false;
+        bad.people = 30;  // repair alternatives grow with the violation count
+        DEDDB_ASSIGN_OR_RETURN(auto bad_db,
+                               workload::MakeEmploymentDatabase(bad));
+        DEDDB_ASSIGN_OR_RETURN(auto repair, (*bad_db).RepairDatabase());
+        if (repair.translations.empty()) return std::string("no repair");
+        DEDDB_ASSIGN_OR_RETURN(
+            auto restored,
+            (*bad_db).CheckConsistencyRestored(
+                repair.translations[0].transaction));
+        return StrCat("restored=", restored.restored ? "yes" : "no");
+      }));
+  upward.push_back(RunCell(
+      "Cond  x ins/del: condition monitoring", [&]() -> Result<std::string> {
+        DEDDB_ASSIGN_OR_RETURN(auto changes, db.MonitorConditions(*txn));
+        return StrCat(changes.events.size(), " condition change(s)");
+      }));
+  PrintSection("UPWARD problems (ιP / δP)", upward);
+
+  // ---- Downward interpretation: ιP / δP ------------------------------------
+  std::vector<Cell> downward;
+  downward.push_back(RunCell(
+      "View  x ins: view updating", [&]() -> Result<std::string> {
+        UpdateRequest request;
+        RequestedEvent event;
+        event.is_insert = true;
+        event.predicate = unemp;
+        event.args = {db.Constant(workload::PersonName(config.people + 1))};
+        request.events.push_back(event);
+        DEDDB_ASSIGN_OR_RETURN(auto result, db.TranslateViewUpdate(request));
+        return StrCat(result.translations.size(), " translation(s)");
+      }));
+  downward.push_back(RunCell(
+      "View  x del: view updating / view validation",
+      [&]() -> Result<std::string> {
+        DEDDB_ASSIGN_OR_RETURN(bool valid,
+                               db.ValidateView(unemp, /*insertion=*/false));
+        return StrCat("deletable instance exists=", valid ? "yes" : "no");
+      }));
+  downward.push_back(RunCell(
+      "Ic    x ins: ensuring IC satisfaction", [&]() -> Result<std::string> {
+        DEDDB_ASSIGN_OR_RETURN(auto result, db.FindViolatingTransactions());
+        return StrCat(result.translations.size(),
+                      " way(s) to violate some constraint");
+      }));
+  downward.push_back(RunCell(
+      "Ic    x del: repair / IC satisfiability", [&]() -> Result<std::string> {
+        workload::EmploymentConfig bad = config;
+        bad.consistent = false;
+        bad.people = 30;  // repair enumerates alternatives per violation
+        DEDDB_ASSIGN_OR_RETURN(auto bad_db,
+                               workload::MakeEmploymentDatabase(bad));
+        DEDDB_ASSIGN_OR_RETURN(bool satisfiable,
+                               (*bad_db).CheckSatisfiability());
+        return StrCat("satisfiable=", satisfiable ? "yes" : "no");
+      }));
+  downward.push_back(RunCell(
+      "Cond  x ins/del: enforcing condition activation",
+      [&]() -> Result<std::string> {
+        RequestedEvent event;
+        event.is_insert = true;
+        event.predicate = alert;
+        event.args = {db.Constant(workload::PersonName(0))};
+        DEDDB_ASSIGN_OR_RETURN(auto result, db.EnforceCondition(event));
+        return StrCat(result.translations.size(), " transaction(s)");
+      }));
+  PrintSection("DOWNWARD problems (ιP / δP)", downward);
+
+  // ---- Downward interpretation: {T, ¬ιP} / {T, ¬δP} -------------------------
+  std::vector<Cell> combined;
+  combined.push_back(RunCell(
+      "View  x {T,-ins/-del}: preventing side effects",
+      [&]() -> Result<std::string> {
+        RequestedEvent unwanted;
+        unwanted.is_insert = true;
+        unwanted.predicate = unemp;
+        unwanted.args = {db.Variable("anyone")};
+        DEDDB_ASSIGN_OR_RETURN(auto result,
+                               db.PreventSideEffects(*txn, {unwanted}));
+        return StrCat(result.translations.size(), " safe extension(s)");
+      }));
+  combined.push_back(RunCell(
+      "Ic    x {T,-ins}: integrity constraint maintenance",
+      [&]() -> Result<std::string> {
+        DEDDB_ASSIGN_OR_RETURN(auto result, db.MaintainIntegrity(*txn));
+        return StrCat(result.translations.size(), " repair(s) of T");
+      }));
+  combined.push_back(RunCell(
+      "Ic    x {T,-del}: maintaining inconsistency",
+      [&]() -> Result<std::string> {
+        workload::EmploymentConfig bad = config;
+        bad.consistent = false;
+        bad.people = 30;
+        DEDDB_ASSIGN_OR_RETURN(auto bad_db,
+                               workload::MakeEmploymentDatabase(bad));
+        DEDDB_ASSIGN_OR_RETURN(
+            auto txn2, workload::RandomEmploymentTransaction(
+                           bad_db.get(), bad.people, 4, /*seed=*/13));
+        DEDDB_ASSIGN_OR_RETURN(auto result,
+                               (*bad_db).MaintainInconsistency(txn2));
+        return StrCat(result.translations.size(),
+                      " inconsistency-preserving extension(s)");
+      }));
+  combined.push_back(RunCell(
+      "Cond  x {T,-ins/-del}: preventing condition activation",
+      [&]() -> Result<std::string> {
+        RequestedEvent frozen;
+        frozen.is_insert = true;
+        frozen.predicate = alert;
+        frozen.args = {db.Variable("anybody")};
+        DEDDB_ASSIGN_OR_RETURN(
+            auto result, db.PreventConditionActivation(*txn, {frozen}));
+        return StrCat(result.translations.size(), " safe extension(s)");
+      }));
+  PrintSection("DOWNWARD problems ({T, ¬ιP} / {T, ¬δP})", combined);
+
+  std::printf(
+      "\nAll twelve Table-4.1 cells executed through the single event-rule "
+      "framework.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Perf-A: incremental upward interpretation (event rules) vs full
+// recomputation, across database size and transaction size — the efficiency
+// question the paper defers to future work (§6: "an efficient implementation
+// of the upward and the downward interpretations"). The expected shape:
+// event-rule cost tracks the transaction (and affected tuples), recompute
+// cost tracks the database, so the gap widens with |DB| / |T|.
+
+#include <benchmark/benchmark.h>
+
+#include "core/deductive_database.h"
+#include "workload/employment.h"
+
+namespace deddb {
+namespace {
+
+void RunUpward(benchmark::State& state, UpwardStrategy strategy) {
+  workload::EmploymentConfig config;
+  config.people = static_cast<size_t>(state.range(0));
+  config.consistent = false;  // keep Ic events flowing too
+  auto db = workload::MakeEmploymentDatabase(config);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  auto txn = workload::RandomEmploymentTransaction(
+      db->get(), config.people, static_cast<size_t>(state.range(1)),
+      /*seed=*/99);
+  if (!txn.ok()) {
+    state.SkipWithError(txn.status().ToString().c_str());
+    return;
+  }
+  auto compiled = (*db)->Compiled();
+  if (!compiled.ok()) {
+    state.SkipWithError(compiled.status().ToString().c_str());
+    return;
+  }
+  UpwardOptions options;
+  options.strategy = strategy;
+
+  size_t events = 0;
+  for (auto _ : state) {
+    UpwardInterpreter upward(&(*db)->database(), *compiled, options);
+    auto result = upward.InducedEvents(*txn);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    events = result->size();
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["people"] = static_cast<double>(config.people);
+  state.counters["txn_size"] = static_cast<double>(txn->size());
+  state.counters["induced_events"] = static_cast<double>(events);
+}
+
+void BM_EventRules(benchmark::State& state) {
+  RunUpward(state, UpwardStrategy::kEventRules);
+}
+void BM_Recompute(benchmark::State& state) {
+  RunUpward(state, UpwardStrategy::kRecompute);
+}
+
+void Sizes(benchmark::internal::Benchmark* bench) {
+  for (int people : {100, 1000, 10000}) {
+    for (int txn : {1, 16, 256}) {
+      bench->Args({people, txn});
+    }
+  }
+}
+
+BENCHMARK(BM_EventRules)->Apply(Sizes)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Recompute)->Apply(Sizes)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace deddb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Condition monitoring and condition activation (paper §5.1.2, §5.2.5,
+// §5.2.6) on an inventory scenario: a monitored "Restock" condition fires
+// when a product is listed but out of stock; we watch transactions trip it,
+// ask the downward interpreter how to trip or avoid tripping it, and freeze
+// it against a shipment transaction.
+
+#include <cstdio>
+
+#include "core/deductive_database.h"
+#include "parser/parser.h"
+
+using namespace deddb;  // NOLINT — example brevity
+
+int main() {
+  DeductiveDatabase db;
+  auto loaded = LoadProgram(&db, R"(
+    base Listed/1.     % product is in the catalogue
+    base InStock/1.    % product is on the shelf
+    base Discontinued/1.
+    condition Restock/1.
+
+    Restock(p) <- Listed(p) & not InStock(p) & not Discontinued(p).
+
+    Listed(Lamp). Listed(Chair). Listed(Desk).
+    InStock(Lamp). InStock(Chair).
+  )");
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  // Desk is listed and out of stock: Restock(Desk) is already active.
+
+  // --- §5.1.2 condition monitoring ------------------------------------------
+  std::printf("== Condition monitoring (§5.1.2)\n");
+  auto txn = ParseTransaction(&db, "del InStock(Lamp), ins InStock(Desk)");
+  auto changes = db.MonitorConditions(*txn);
+  if (!changes.ok()) {
+    std::printf("monitoring failed: %s\n",
+                changes.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("T=%s changes conditions: %s\n",
+              txn->ToString(db.symbols()).c_str(),
+              changes->events.ToString(db.symbols()).c_str());
+
+  // --- §5.2.5 enforcing condition activation --------------------------------
+  std::printf("\n== Enforcing condition activation (§5.2.5)\n");
+  RequestedEvent activate;
+  activate.is_insert = true;
+  activate.predicate = db.database().FindPredicate("Restock").value();
+  activate.args = {db.Constant("Chair")};
+  auto enforced = db.EnforceCondition(activate);
+  if (!enforced.ok()) {
+    std::printf("enforce failed: %s\n", enforced.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ways to make Restock(Chair) fire:\n");
+  for (const auto& t : enforced->translations) {
+    std::printf("  %s\n", t.ToString(db.symbols()).c_str());
+  }
+
+  // --- §5.2.5 condition validation -------------------------------------------
+  auto can_fire = db.ValidateCondition(activate.predicate,
+                                       /*activation=*/true);
+  std::printf("\ncondition Restock can be activated for some product? %s\n",
+              can_fire.ok() && *can_fire ? "yes" : "no");
+
+  // --- §5.2.6 preventing condition activation -------------------------------
+  std::printf("\n== Preventing condition activation (§5.2.6)\n");
+  auto shipment = ParseTransaction(&db, "del InStock(Chair)");
+  RequestedEvent freeze;
+  freeze.is_insert = true;
+  freeze.predicate = activate.predicate;
+  freeze.args = {db.Variable("anyproduct")};  // for NO instance
+  auto frozen = db.PreventConditionActivation(*shipment, {freeze});
+  if (!frozen.ok()) {
+    std::printf("prevent failed: %s\n", frozen.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("T=%s without activating Restock anywhere:\n",
+              shipment->ToString(db.symbols()).c_str());
+  for (const auto& t : frozen->translations) {
+    std::printf("  %s\n", t.ToString(db.symbols()).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,169 @@
+// An interactive shell for the update-processing system (paper §1: "an
+// update processing system that provides the users with a uniform interface
+// in which they can request different kinds of updates").
+//
+// Usage:  deddb_shell [program-file]
+//
+// Commands (terminate statements with '.'; schema/fact/rule statements use
+// the surface syntax of parser/parser.h):
+//   txn ins Q(A), del R(B)      process a transaction through the §5.3
+//                               pipeline (check + monitor + maintain views)
+//   update ins V(A), del W(B)   translate a view-update request (downward,
+//                               with integrity maintenance)
+//   events ins Q(A)             show the induced events of a transaction
+//                               without applying it (upward)
+//   repair                      repair an inconsistent database
+//   consistent                  report Ic⁰
+//   facts / rules               dump the database
+//   quit
+//
+// Anything else is parsed as program statements (declarations, facts,
+// rules) and loaded.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/deductive_database.h"
+#include "core/update_processor.h"
+#include "parser/parser.h"
+#include "util/strings.h"
+
+using namespace deddb;  // NOLINT — example brevity
+
+namespace {
+
+void HandleTxn(DeductiveDatabase* db, UpdateProcessor* processor,
+               const std::string& body) {
+  auto txn = ParseTransaction(db, body);
+  if (!txn.ok()) {
+    std::printf("error: %s\n", txn.status().ToString().c_str());
+    return;
+  }
+  auto report = processor->ProcessTransaction(*txn, /*apply=*/true);
+  if (!report.ok()) {
+    std::printf("error: %s\n", report.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s\n", report->ToString(db->symbols()).c_str());
+}
+
+void HandleUpdate(DeductiveDatabase* db, UpdateProcessor* processor,
+                  const std::string& body) {
+  auto request = ParseRequest(db, body);
+  if (!request.ok()) {
+    std::printf("error: %s\n", request.status().ToString().c_str());
+    return;
+  }
+  auto outcome = processor->ProcessViewUpdate(*request);
+  if (!outcome.ok()) {
+    std::printf("error: %s\n", outcome.status().ToString().c_str());
+    return;
+  }
+  if (outcome->translations.empty()) {
+    std::printf("no translation satisfies the request\n");
+    return;
+  }
+  std::printf("translations (pick one and run it as a txn):\n");
+  for (const auto& t : outcome->translations) {
+    std::printf("  %s\n", t.transaction.ToString(db->symbols()).c_str());
+  }
+}
+
+void HandleEvents(DeductiveDatabase* db, const std::string& body) {
+  auto txn = ParseTransaction(db, body);
+  if (!txn.ok()) {
+    std::printf("error: %s\n", txn.status().ToString().c_str());
+    return;
+  }
+  auto events = db->InducedEvents(*txn);
+  if (!events.ok()) {
+    std::printf("error: %s\n", events.status().ToString().c_str());
+    return;
+  }
+  std::printf("induced: %s\n", events->ToString(db->symbols()).c_str());
+}
+
+void HandleRepair(DeductiveDatabase* db) {
+  auto result = db->RepairDatabase();
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("repairs:\n");
+  for (const auto& t : result->translations) {
+    std::printf("  %s\n", t.transaction.ToString(db->symbols()).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DeductiveDatabase db;
+  UpdateProcessor processor(&db);
+
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::printf("cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto loaded = LoadProgram(&db, buffer.str());
+    if (!loaded.ok()) {
+      std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %zu statements from %s\n", *loaded, argv[1]);
+    if (db.database().HasConstraints()) {
+      auto consistent = db.IsConsistent();
+      std::printf("consistent: %s\n",
+                  consistent.ok() && *consistent ? "yes" : "NO");
+    }
+    auto init = db.InitializeMaterializedViews();
+    if (!init.ok()) std::printf("view init: %s\n", init.ToString().c_str());
+  }
+
+  std::string line;
+  std::printf("deddb> ");
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(StripWhitespace(line));
+    if (trimmed.empty()) {
+      std::printf("deddb> ");
+      continue;
+    }
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "facts") {
+      std::printf("%s", db.database().facts().ToString(db.symbols()).c_str());
+    } else if (trimmed == "rules") {
+      std::printf("%s",
+                  db.database().program().ToString(db.symbols()).c_str());
+    } else if (trimmed == "consistent") {
+      auto consistent = db.IsConsistent();
+      if (consistent.ok()) {
+        std::printf("%s\n", *consistent ? "yes" : "no");
+      } else {
+        std::printf("error: %s\n", consistent.status().ToString().c_str());
+      }
+    } else if (trimmed == "repair") {
+      HandleRepair(&db);
+    } else if (StartsWith(trimmed, "txn ")) {
+      HandleTxn(&db, &processor, trimmed.substr(4));
+    } else if (StartsWith(trimmed, "update ")) {
+      HandleUpdate(&db, &processor, trimmed.substr(7));
+    } else if (StartsWith(trimmed, "events ")) {
+      HandleEvents(&db, trimmed.substr(7));
+    } else {
+      auto loaded = LoadProgram(&db, trimmed);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+      }
+    }
+    std::printf("deddb> ");
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// The employment-agency scenario of paper §5 (Examples 5.1-5.3), run through
+// the whole Table-4.1 problem catalogue: integrity checking, view updating
+// with integrity maintenance, preventing side effects, repairing an
+// inconsistent state, and the combined update-processing pipeline of §5.3.
+
+#include <cstdio>
+
+#include "core/deductive_database.h"
+#include "core/update_processor.h"
+#include "parser/parser.h"
+
+using namespace deddb;  // NOLINT — example brevity
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::printf("%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  DeductiveDatabase db;
+  auto loaded = LoadProgram(&db, R"(
+    base La/1.         % person is in labour age
+    base Works/1.      % person works for some company
+    base U_benefit/1.  % person receives an unemployment benefit
+    view Unemp/1.
+    ic Ic1/1.          % every unemployed person must receive a benefit
+
+    La(Dolors).
+    U_benefit(Dolors).
+
+    Unemp(x) <- La(x) & not Works(x).
+    Ic1(x) <- Unemp(x) & not U_benefit(x).
+  )");
+  Check(loaded.status(), "load");
+
+  // --- §5.1.1 integrity checking (Example 5.1) -----------------------------
+  std::printf("== Integrity checking (Example 5.1)\n");
+  auto txn = ParseTransaction(&db, "del U_benefit(Dolors)");
+  auto check = db.CheckIntegrity(*txn);
+  Check(check.status(), "CheckIntegrity");
+  std::printf("T=%s violates integrity? %s\n",
+              txn->ToString(db.symbols()).c_str(),
+              check->violated ? "yes -> reject" : "no");
+
+  // --- §5.2.1 view updating (Example 5.2) ----------------------------------
+  std::printf("\n== View updating (Example 5.2)\n");
+  auto request = ParseRequest(&db, "del Unemp(Dolors)");
+  auto translations = db.TranslateViewUpdate(*request);
+  Check(translations.status(), "TranslateViewUpdate");
+  std::printf("request %s has %zu translations:\n",
+              request->ToString(db.symbols()).c_str(),
+              translations->translations.size());
+  for (const auto& t : translations->translations) {
+    std::printf("  %s\n", t.ToString(db.symbols()).c_str());
+  }
+
+  // --- §5.2.2 preventing side effects (Example 5.3) ------------------------
+  std::printf("\n== Preventing side effects (Example 5.3)\n");
+  auto txn2 = ParseTransaction(&db, "ins La(Maria)");
+  SymbolId unemp = db.database().FindPredicate("Unemp").value();
+  RequestedEvent unwanted;
+  unwanted.is_insert = true;
+  unwanted.predicate = unemp;
+  unwanted.args = {db.Constant("Maria")};
+  auto prevented = db.PreventSideEffects(*txn2, {unwanted});
+  Check(prevented.status(), "PreventSideEffects");
+  for (const auto& t : prevented->translations) {
+    std::printf("T=%s extended to %s avoids ins Unemp(Maria)\n",
+                txn2->ToString(db.symbols()).c_str(),
+                t.transaction.ToString(db.symbols()).c_str());
+  }
+
+  // --- §5.2.4 integrity maintenance ----------------------------------------
+  std::printf("\n== Integrity maintenance (§5.2.4)\n");
+  auto repairs = db.MaintainIntegrity(*txn);
+  Check(repairs.status(), "MaintainIntegrity");
+  std::printf("repaired versions of %s:\n", txn->ToString(db.symbols()).c_str());
+  for (const auto& t : repairs->translations) {
+    std::printf("  %s\n", t.transaction.ToString(db.symbols()).c_str());
+  }
+
+  // --- §5.2.3 repairing an inconsistent database ---------------------------
+  std::printf("\n== Repairing an inconsistent database (§5.2.3)\n");
+  Check(db.RemoveFact(db.GroundAtom("U_benefit", {"Dolors"}).value()),
+        "RemoveFact");
+  std::printf("database consistent now? %s\n",
+              db.IsConsistent().value() ? "yes" : "no");
+  auto repair = db.RepairDatabase();
+  Check(repair.status(), "RepairDatabase");
+  std::printf("possible repairs:\n");
+  for (const auto& t : repair->translations) {
+    std::printf("  %s\n", t.transaction.ToString(db.symbols()).c_str());
+  }
+  // Apply the first repair.
+  if (!repair->translations.empty()) {
+    Check(db.Apply(repair->translations[0].transaction), "Apply repair");
+    std::printf("applied %s; consistent now? %s\n",
+                repair->translations[0]
+                    .transaction.ToString(db.symbols())
+                    .c_str(),
+                db.IsConsistent().value() ? "yes" : "no");
+  }
+
+  // --- §5.3 combined pipeline ----------------------------------------------
+  std::printf("\n== Combined update processing (§5.3)\n");
+  UpdateProcessor processor(&db);
+  auto txn3 = ParseTransaction(&db, "ins La(Pere)");
+  auto report = processor.ProcessTransaction(*txn3, /*apply=*/false);
+  Check(report.status(), "ProcessTransaction");
+  std::printf("T=%s -> %s\n", txn3->ToString(db.symbols()).c_str(),
+              report->ToString(db.symbols()).c_str());
+  return 0;
+}

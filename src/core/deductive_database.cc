@@ -1,0 +1,299 @@
+#include "core/deductive_database.h"
+
+#include "util/strings.h"
+
+namespace deddb {
+
+DeductiveDatabase::DeductiveDatabase(EventCompilerOptions compiler_options)
+    : compiler_options_(compiler_options) {}
+
+Result<SymbolId> DeductiveDatabase::DeclareBase(std::string_view name,
+                                                size_t arity) {
+  InvalidateCompiled();
+  return db_.DeclareBase(name, arity);
+}
+
+Result<SymbolId> DeductiveDatabase::DeclareDerived(std::string_view name,
+                                                   size_t arity) {
+  InvalidateCompiled();
+  return db_.DeclareDerived(name, arity, PredicateSemantics::kPlain);
+}
+
+Result<SymbolId> DeductiveDatabase::DeclareView(std::string_view name,
+                                                size_t arity) {
+  InvalidateCompiled();
+  return db_.DeclareDerived(name, arity, PredicateSemantics::kView);
+}
+
+Result<SymbolId> DeductiveDatabase::DeclareConstraint(std::string_view name,
+                                                      size_t arity) {
+  InvalidateCompiled();
+  return db_.DeclareDerived(name, arity, PredicateSemantics::kIc);
+}
+
+Result<SymbolId> DeductiveDatabase::DeclareCondition(std::string_view name,
+                                                     size_t arity) {
+  InvalidateCompiled();
+  return db_.DeclareDerived(name, arity, PredicateSemantics::kCondition);
+}
+
+Status DeductiveDatabase::AddRule(Rule rule) {
+  InvalidateCompiled();
+  return db_.AddRule(std::move(rule));
+}
+
+Status DeductiveDatabase::AddFact(const Atom& ground_atom) {
+  InvalidateDomain();
+  return db_.AddFact(ground_atom);
+}
+
+Status DeductiveDatabase::RemoveFact(const Atom& ground_atom) {
+  InvalidateDomain();
+  return db_.RemoveFact(ground_atom);
+}
+
+Status DeductiveDatabase::MaterializeView(SymbolId view) {
+  return db_.MaterializeView(view);
+}
+
+Term DeductiveDatabase::Constant(std::string_view name) {
+  return Term::MakeConstant(db_.symbols().Intern(name));
+}
+
+Term DeductiveDatabase::Variable(std::string_view name) {
+  return Term::MakeVariable(db_.symbols().InternVar(name));
+}
+
+Result<Atom> DeductiveDatabase::MakeAtom(std::string_view predicate,
+                                         std::vector<Term> args) {
+  DEDDB_ASSIGN_OR_RETURN(SymbolId pred, db_.FindPredicate(predicate));
+  DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db_.predicates().Get(pred));
+  if (info.arity != args.size()) {
+    return InvalidArgumentError(
+        StrCat("predicate '", predicate, "' has arity ", info.arity, ", got ",
+               args.size(), " arguments"));
+  }
+  return Atom(pred, std::move(args));
+}
+
+Result<Atom> DeductiveDatabase::GroundAtom(
+    std::string_view predicate, std::vector<std::string_view> constants) {
+  std::vector<Term> args;
+  args.reserve(constants.size());
+  for (std::string_view c : constants) args.push_back(Constant(c));
+  return MakeAtom(predicate, std::move(args));
+}
+
+Result<Transaction> DeductiveDatabase::MakeTransaction(
+    std::vector<std::pair<Op, Atom>> events) {
+  Transaction txn;
+  for (const auto& [op, atom] : events) {
+    DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
+                           db_.predicates().Get(atom.predicate()));
+    if (info.kind != PredicateKind::kBase) {
+      return InvalidArgumentError(
+          StrCat("transactions consist of base fact updates; '",
+                 atom.ToString(db_.symbols()), "' is derived"));
+    }
+    if (op == Op::kInsert) {
+      DEDDB_RETURN_IF_ERROR(txn.AddInsert(atom));
+    } else {
+      DEDDB_RETURN_IF_ERROR(txn.AddDelete(atom));
+    }
+  }
+  return txn;
+}
+
+Status DeductiveDatabase::Apply(const Transaction& transaction) {
+  DEDDB_RETURN_IF_ERROR(
+      transaction.Validate(db_.facts(), db_.predicates()));
+  InvalidateDomain();
+  // In place: O(|T|), not O(|DB|).
+  FactStore& facts = db_.mutable_facts();
+  transaction.deletes().ForEach(
+      [&](SymbolId pred, const Tuple& t) { facts.Remove(pred, t); });
+  transaction.inserts().ForEach(
+      [&](SymbolId pred, const Tuple& t) { facts.Add(pred, t); });
+  return Status::Ok();
+}
+
+Result<const CompiledEvents*> DeductiveDatabase::Compiled() {
+  if (!compiled_.has_value()) {
+    EventCompiler compiler(&db_, compiler_options_);
+    DEDDB_ASSIGN_OR_RETURN(CompiledEvents compiled, compiler.Compile());
+    compiled_ = std::move(compiled);
+  }
+  return &*compiled_;
+}
+
+Result<const ActiveDomain*> DeductiveDatabase::Domain() {
+  if (!domain_.has_value()) {
+    domain_.emplace(db_);
+    for (SymbolId c : extra_domain_constants_) domain_->AddExtra(c);
+  }
+  return &*domain_;
+}
+
+Status DeductiveDatabase::AddDomainConstant(std::string_view name) {
+  SymbolId c = db_.symbols().Intern(name);
+  extra_domain_constants_.push_back(c);
+  if (domain_.has_value()) domain_->AddExtra(c);
+  return Status::Ok();
+}
+
+// ---- Upward problems -------------------------------------------------------
+
+Result<bool> DeductiveDatabase::IsConsistent() {
+  if (consistency_cache_.has_value()) return *consistency_cache_;
+  DEDDB_ASSIGN_OR_RETURN(bool violated,
+                         problems::IcHolds(db_, upward_options_.eval));
+  consistency_cache_ = !violated;
+  return !violated;
+}
+
+Result<problems::IntegrityCheckResult> DeductiveDatabase::CheckIntegrity(
+    const Transaction& transaction) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  return problems::CheckIntegrity(db_, *compiled, transaction,
+                                  upward_options_);
+}
+
+Result<problems::ConsistencyRestorationResult>
+DeductiveDatabase::CheckConsistencyRestored(const Transaction& transaction) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  return problems::CheckConsistencyRestored(db_, *compiled, transaction,
+                                            upward_options_);
+}
+
+Result<problems::ConditionChanges> DeductiveDatabase::MonitorConditions(
+    const Transaction& transaction, const std::vector<SymbolId>& conditions) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  return problems::MonitorConditions(db_, *compiled, transaction, conditions,
+                                     upward_options_);
+}
+
+Status DeductiveDatabase::InitializeMaterializedViews() {
+  return problems::InitializeMaterializedViews(&db_, upward_options_.eval);
+}
+
+Result<problems::ViewMaintenanceResult>
+DeductiveDatabase::MaintainMaterializedViews(const Transaction& transaction,
+                                             bool apply) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  return problems::MaintainMaterializedViews(&db_, *compiled, transaction,
+                                             apply, upward_options_);
+}
+
+Result<DerivedEvents> DeductiveDatabase::InducedEvents(
+    const Transaction& transaction) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  UpwardInterpreter upward(&db_, compiled, upward_options_);
+  return upward.InducedEvents(transaction);
+}
+
+Result<DerivedEvents> DeductiveDatabase::SimulateRuleUpdate(
+    const problems::RuleUpdate& update) {
+  return problems::InducedEventsOfRuleUpdate(db_, update,
+                                             upward_options_.eval);
+}
+
+Status DeductiveDatabase::ApplyRuleUpdate(const problems::RuleUpdate& update) {
+  DEDDB_RETURN_IF_ERROR(problems::ApplyRuleUpdate(&db_, update));
+  InvalidateCompiled();
+  return Status::Ok();
+}
+
+// ---- Downward problems -----------------------------------------------------
+
+Result<problems::DownwardResult> DeductiveDatabase::TranslateViewUpdate(
+    const UpdateRequest& request) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::TranslateViewUpdate(db_, *compiled, *domain, request,
+                                       downward_options_);
+}
+
+Result<bool> DeductiveDatabase::ValidateView(SymbolId view, bool insertion) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::ValidateView(db_, *compiled, *domain, view, insertion,
+                                &db_.symbols(), downward_options_);
+}
+
+Result<problems::DownwardResult> DeductiveDatabase::PreventSideEffects(
+    const Transaction& transaction, std::vector<RequestedEvent> unwanted) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::PreventSideEffects(db_, *compiled, *domain, transaction,
+                                      std::move(unwanted),
+                                      downward_options_);
+}
+
+Result<problems::DownwardResult> DeductiveDatabase::RepairDatabase() {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::RepairDatabase(db_, *compiled, *domain,
+                                  downward_options_);
+}
+
+Result<bool> DeductiveDatabase::CheckSatisfiability() {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::CheckSatisfiability(db_, *compiled, *domain,
+                                       downward_options_);
+}
+
+Result<problems::DownwardResult>
+DeductiveDatabase::FindViolatingTransactions() {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::FindViolatingTransactions(db_, *compiled, *domain,
+                                             downward_options_);
+}
+
+Result<problems::DownwardResult> DeductiveDatabase::MaintainIntegrity(
+    const Transaction& transaction) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::MaintainIntegrity(db_, *compiled, *domain, transaction,
+                                     downward_options_);
+}
+
+Result<problems::DownwardResult> DeductiveDatabase::MaintainInconsistency(
+    const Transaction& transaction) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::MaintainInconsistency(db_, *compiled, *domain, transaction,
+                                         downward_options_);
+}
+
+Result<problems::DownwardResult> DeductiveDatabase::EnforceCondition(
+    RequestedEvent event) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::EnforceCondition(db_, *compiled, *domain, std::move(event),
+                                    downward_options_);
+}
+
+Result<bool> DeductiveDatabase::ValidateCondition(SymbolId condition,
+                                                  bool activation) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::ValidateCondition(db_, *compiled, *domain, condition,
+                                     activation, &db_.symbols(),
+                                     downward_options_);
+}
+
+Result<problems::DownwardResult>
+DeductiveDatabase::PreventConditionActivation(
+    const Transaction& transaction,
+    std::vector<RequestedEvent> protected_events) {
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  DEDDB_ASSIGN_OR_RETURN(const ActiveDomain* domain, Domain());
+  return problems::PreventConditionActivation(db_, *compiled, *domain,
+                                              transaction,
+                                              std::move(protected_events),
+                                              downward_options_);
+}
+
+}  // namespace deddb

@@ -1,0 +1,170 @@
+#ifndef DEDDB_CORE_DEDUCTIVE_DATABASE_H_
+#define DEDDB_CORE_DEDUCTIVE_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "events/event_compiler.h"
+#include "interp/domain.h"
+#include "interp/downward.h"
+#include "interp/upward.h"
+#include "problems/condition_activation.h"
+#include "problems/condition_monitoring.h"
+#include "problems/integrity_checking.h"
+#include "problems/integrity_maintenance.h"
+#include "problems/repair.h"
+#include "problems/rule_updates.h"
+#include "problems/side_effects.h"
+#include "problems/view_maintenance.h"
+#include "problems/view_updating.h"
+#include "storage/database.h"
+
+namespace deddb {
+
+/// The user-facing facade of the library: a deductive database plus the
+/// event-rule framework, exposing every updating problem of the paper's
+/// Table 4.1 through one uniform interface (the "update processing system"
+/// of §1).
+///
+/// The event machinery (transition + event rules) is compiled lazily and
+/// invalidated whenever the schema or the rules change; the active domain is
+/// likewise cached and invalidated when facts change.
+class DeductiveDatabase {
+ public:
+  explicit DeductiveDatabase(EventCompilerOptions compiler_options =
+                                 EventCompilerOptions{.simplify = true});
+
+  // ---- Schema & content ---------------------------------------------------
+
+  Result<SymbolId> DeclareBase(std::string_view name, size_t arity);
+  Result<SymbolId> DeclareDerived(std::string_view name, size_t arity);
+  Result<SymbolId> DeclareView(std::string_view name, size_t arity);
+  Result<SymbolId> DeclareConstraint(std::string_view name, size_t arity);
+  Result<SymbolId> DeclareCondition(std::string_view name, size_t arity);
+
+  Status AddRule(Rule rule);
+  Status AddFact(const Atom& ground_atom);
+  Status RemoveFact(const Atom& ground_atom);
+  Status MaterializeView(SymbolId view);
+
+  /// Term/atom building helpers.
+  Term Constant(std::string_view name);
+  Term Variable(std::string_view name);
+  /// Atom over `predicate` with the given terms; the predicate must be
+  /// declared with matching arity.
+  Result<Atom> MakeAtom(std::string_view predicate, std::vector<Term> args);
+  /// Ground atom from constant names (convenience for facts and requests).
+  Result<Atom> GroundAtom(std::string_view predicate,
+                          std::vector<std::string_view> constants);
+
+  /// Builds a transaction from (op, atom) pairs; op is `kInsert`/`kDelete`.
+  enum class Op { kInsert, kDelete };
+  Result<Transaction> MakeTransaction(
+      std::vector<std::pair<Op, Atom>> events);
+
+  /// Validates (per eqs. 1-2) and applies a transaction to the base facts.
+  /// Does NOT maintain materialized views; use UpdateProcessor for the
+  /// combined pipeline.
+  Status Apply(const Transaction& transaction);
+
+  // ---- Event machinery ----------------------------------------------------
+
+  /// The compiled transition/event rules (recompiled after schema changes).
+  Result<const CompiledEvents*> Compiled();
+
+  /// The active domain snapshot (rebuilt after fact changes). Extra
+  /// constants registered here survive until the next invalidation.
+  Result<const ActiveDomain*> Domain();
+  Status AddDomainConstant(std::string_view name);
+
+  // ---- Table 4.1: upward problems -----------------------------------------
+
+  Result<bool> IsConsistent();
+  Result<problems::IntegrityCheckResult> CheckIntegrity(
+      const Transaction& transaction);
+  Result<problems::ConsistencyRestorationResult> CheckConsistencyRestored(
+      const Transaction& transaction);
+  Result<problems::ConditionChanges> MonitorConditions(
+      const Transaction& transaction,
+      const std::vector<SymbolId>& conditions = {});
+  Status InitializeMaterializedViews();
+  Result<problems::ViewMaintenanceResult> MaintainMaterializedViews(
+      const Transaction& transaction, bool apply = true);
+
+  /// Raw upward interpretation (all induced derived events).
+  Result<DerivedEvents> InducedEvents(const Transaction& transaction);
+
+  // ---- Rule updates (§5.3 closing remark) ----------------------------------
+
+  /// The derived-fact changes a rule update would induce, without applying
+  /// it.
+  Result<DerivedEvents> SimulateRuleUpdate(
+      const problems::RuleUpdate& update);
+
+  /// Applies a rule update (validating additions, removing exact matches)
+  /// and invalidates the compiled event machinery.
+  Status ApplyRuleUpdate(const problems::RuleUpdate& update);
+
+  // ---- Table 4.1: downward problems ---------------------------------------
+
+  Result<problems::DownwardResult> TranslateViewUpdate(
+      const UpdateRequest& request);
+  Result<bool> ValidateView(SymbolId view, bool insertion);
+  Result<problems::DownwardResult> PreventSideEffects(
+      const Transaction& transaction, std::vector<RequestedEvent> unwanted);
+  Result<problems::DownwardResult> RepairDatabase();
+  Result<bool> CheckSatisfiability();
+  Result<problems::DownwardResult> FindViolatingTransactions();
+  Result<problems::DownwardResult> MaintainIntegrity(
+      const Transaction& transaction);
+  Result<problems::DownwardResult> MaintainInconsistency(
+      const Transaction& transaction);
+  Result<problems::DownwardResult> EnforceCondition(RequestedEvent event);
+  Result<bool> ValidateCondition(SymbolId condition, bool activation);
+  Result<problems::DownwardResult> PreventConditionActivation(
+      const Transaction& transaction,
+      std::vector<RequestedEvent> protected_events);
+
+  // ---- Access & configuration ---------------------------------------------
+
+  Database& database() { return db_; }
+  const Database& database() const { return db_; }
+  SymbolTable& symbols() { return db_.symbols(); }
+  const SymbolTable& symbols() const { return db_.symbols(); }
+
+  UpwardOptions& upward_options() { return upward_options_; }
+  DownwardOptions& downward_options() { return downward_options_; }
+  const EventCompilerOptions& compiler_options() const {
+    return compiler_options_;
+  }
+
+ private:
+  void InvalidateCompiled() {
+    compiled_.reset();
+    consistency_cache_.reset();
+  }
+  void InvalidateDomain() {
+    domain_.reset();
+    consistency_cache_.reset();
+  }
+
+  friend class UpdateProcessor;  // maintains consistency_cache_ on apply
+
+  Database db_;
+  EventCompilerOptions compiler_options_;
+  UpwardOptions upward_options_;
+  DownwardOptions downward_options_;
+  std::optional<CompiledEvents> compiled_;
+  std::optional<ActiveDomain> domain_;
+  std::vector<SymbolId> extra_domain_constants_;
+  // Cached result of IsConsistent(); invalidated by any fact or rule
+  // change, refreshed by IsConsistent() and by UpdateProcessor when an
+  // accepted (integrity-checked) transaction is applied.
+  std::optional<bool> consistency_cache_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_CORE_DEDUCTIVE_DATABASE_H_

@@ -1,0 +1,156 @@
+#include "core/update_processor.h"
+
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+std::string UpdateProcessor::TransactionReport::ToString(
+    const SymbolTable& symbols) const {
+  std::string out = accepted ? "ACCEPTED" : "REJECTED";
+  if (!integrity.violations.empty()) {
+    out += StrCat(" violations=",
+                  JoinMapped(integrity.violations, ",",
+                             [&](const Atom& a) {
+                               return a.ToString(symbols);
+                             }));
+  }
+  out += StrCat(" conditions=", conditions.events.ToString(symbols));
+  out += StrCat(" views=", views.delta.ToString(symbols));
+  return out;
+}
+
+Result<UpdateProcessor::TransactionReport> UpdateProcessor::ProcessTransaction(
+    const Transaction& transaction, bool apply) {
+  Database& db = db_->database();
+  DEDDB_ASSIGN_OR_RETURN(bool consistent, db_->IsConsistent());
+  if (!consistent) {
+    return FailedPreconditionError(
+        "ProcessTransaction requires a consistent database; repair it first "
+        "(RepairDatabase)");
+  }
+  DEDDB_RETURN_IF_ERROR(transaction.Validate(db.facts(), db.predicates()));
+
+  // One combined upward pass (§5.3: upward problems share their
+  // starting-point and can be combined).
+  std::vector<SymbolId> goals;
+  goals.push_back(db.global_ic());
+  for (SymbolId cond : db.condition_predicates()) goals.push_back(cond);
+  std::vector<SymbolId> materialized;
+  for (SymbolId view : db.view_predicates()) {
+    if (db.IsMaterialized(view)) {
+      goals.push_back(view);
+      materialized.push_back(view);
+    }
+  }
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, db_->Compiled());
+  UpwardInterpreter upward(&db, compiled, db_->upward_options());
+  DEDDB_ASSIGN_OR_RETURN(DerivedEvents events,
+                         upward.InducedEventsFor(transaction, goals));
+
+  TransactionReport report;
+  report.integrity.violated = events.ContainsInsert(db.global_ic(), {});
+  for (SymbolId ic : db.ic_predicates()) {
+    const Relation* rel = events.inserts.Find(ic);
+    if (rel == nullptr) continue;
+    rel->ForEach([&](const Tuple& t) {
+      report.integrity.violations.push_back(AtomFromTuple(ic, t));
+    });
+  }
+  std::unordered_set<SymbolId> cond_set(db.condition_predicates().begin(),
+                                        db.condition_predicates().end());
+  std::unordered_set<SymbolId> view_set(materialized.begin(),
+                                        materialized.end());
+  events.inserts.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (cond_set.count(pred) > 0) {
+      report.conditions.events.inserts.Add(pred, t);
+    }
+    if (view_set.count(pred) > 0) report.views.delta.inserts.Add(pred, t);
+  });
+  events.deletes.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (cond_set.count(pred) > 0) {
+      report.conditions.events.deletes.Add(pred, t);
+    }
+    if (view_set.count(pred) > 0) report.views.delta.deletes.Add(pred, t);
+  });
+
+  report.accepted = !report.integrity.violated;
+  if (report.accepted && apply) {
+    FactStore& store = db.materialized_store();
+    report.views.delta.deletes.ForEach([&](SymbolId pred, const Tuple& t) {
+      if (store.Remove(pred, t)) ++report.views.applied_deletes;
+    });
+    report.views.delta.inserts.ForEach([&](SymbolId pred, const Tuple& t) {
+      if (store.Add(pred, t)) ++report.views.applied_inserts;
+    });
+    DEDDB_RETURN_IF_ERROR(db_->Apply(transaction));
+    // The transaction passed the incremental integrity check, so the new
+    // state is known consistent without re-deriving Ic.
+    db_->consistency_cache_ = true;
+  }
+  return report;
+}
+
+Result<UpdateProcessor::ViewUpdateOutcome> UpdateProcessor::ProcessViewUpdate(
+    const UpdateRequest& request, const ViewUpdatePolicy& policy) {
+  Database& db = db_->database();
+  DEDDB_ASSIGN_OR_RETURN(bool consistent, db_->IsConsistent());
+  if (!consistent) {
+    return FailedPreconditionError(
+        "ProcessViewUpdate requires a consistent database");
+  }
+
+  // Downward: the request plus ¬ιIc_m for every maintained constraint
+  // (default: the global Ic, i.e. maintain everything).
+  UpdateRequest combined = request;
+  std::vector<SymbolId> maintain = policy.maintain;
+  if (maintain.empty() && policy.check.empty()) {
+    maintain.push_back(db.global_ic());
+  }
+  for (SymbolId ic : maintain) {
+    DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db.predicates().Get(ic));
+    RequestedEvent no_violation;
+    no_violation.positive = false;
+    no_violation.is_insert = true;
+    no_violation.predicate = ic;
+    for (size_t i = 0; i < info.arity; ++i) {
+      no_violation.args.push_back(
+          Term::MakeVariable(db.symbols().FreshVar()));
+    }
+    combined.events.push_back(std::move(no_violation));
+  }
+  DEDDB_ASSIGN_OR_RETURN(problems::DownwardResult downward,
+                         db_->TranslateViewUpdate(combined));
+  // DownwardResult.translations is already the minimal, deduplicated set.
+  std::vector<problems::Translation> candidates =
+      std::move(downward.translations);
+
+  ViewUpdateOutcome outcome;
+  if (policy.check.empty()) {
+    outcome.translations = std::move(candidates);
+    return outcome;
+  }
+
+  // Upward: reject candidates violating a checked constraint.
+  DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, db_->Compiled());
+  for (problems::Translation& translation : candidates) {
+    UpwardInterpreter upward(&db, compiled, db_->upward_options());
+    DEDDB_ASSIGN_OR_RETURN(
+        DerivedEvents events,
+        upward.InducedEventsFor(translation.transaction, policy.check));
+    bool violated = false;
+    for (SymbolId ic : policy.check) {
+      const Relation* rel = events.inserts.Find(ic);
+      if (rel != nullptr && rel->size() > 0) violated = true;
+    }
+    if (violated) {
+      ++outcome.rejected_by_check;
+    } else {
+      outcome.translations.push_back(std::move(translation));
+    }
+  }
+  return outcome;
+}
+
+}  // namespace deddb

@@ -1,0 +1,75 @@
+#ifndef DEDDB_CORE_UPDATE_PROCESSOR_H_
+#define DEDDB_CORE_UPDATE_PROCESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/deductive_database.h"
+
+namespace deddb {
+
+/// Combined processing of upward and downward problems (paper §5.3): "we
+/// could uniformly integrate view updating, materialized view maintenance,
+/// integrity constraints checking, integrity constraints maintenance,
+/// condition monitoring and other deductive database updating problems into
+/// an update processing system".
+class UpdateProcessor {
+ public:
+  /// `db` must outlive the processor.
+  explicit UpdateProcessor(DeductiveDatabase* db) : db_(db) {}
+
+  /// Result of the combined upward pass over one transaction.
+  struct TransactionReport {
+    /// False when the transaction violates some integrity constraint (then
+    /// nothing was applied).
+    bool accepted = false;
+    problems::IntegrityCheckResult integrity;
+    problems::ConditionChanges conditions;
+    problems::ViewMaintenanceResult views;
+
+    std::string ToString(const SymbolTable& symbols) const;
+  };
+
+  /// One upward interpretation of {ιIc, ιView(x), δView(x), ιCond(x),
+  /// δCond(x)}: checks the constraints, monitors all conditions and computes
+  /// all materialized-view deltas together. When `apply` is true and no
+  /// constraint is violated, applies the base updates and the view deltas to
+  /// the stores. Requires a consistent database.
+  Result<TransactionReport> ProcessTransaction(const Transaction& transaction,
+                                               bool apply = true);
+
+  /// Which constraints are handled how during a view update (§5.3's closing
+  /// combination): `maintain` constraints contribute repairs via downward
+  /// interpretation, `check` constraints reject candidate translations via
+  /// upward interpretation. Defaults (both empty): maintain everything
+  /// through the global Ic.
+  struct ViewUpdatePolicy {
+    std::vector<SymbolId> check;
+    std::vector<SymbolId> maintain;
+  };
+
+  struct ViewUpdateOutcome {
+    /// Translations satisfying the request and all constraints, in
+    /// deterministic order; the user (or a policy) selects one.
+    std::vector<problems::Translation> translations;
+    /// Candidates discarded because a checked constraint rejected them.
+    size_t rejected_by_check = 0;
+  };
+
+  /// View updating combined with integrity handling: first downward-
+  /// interprets {request, ¬ιIc_m(x)...} for the maintained constraints, then
+  /// upward-checks each resulting candidate transaction against the checked
+  /// constraints and filters violators. Requires a consistent database.
+  Result<ViewUpdateOutcome> ProcessViewUpdate(const UpdateRequest& request,
+                                              const ViewUpdatePolicy& policy);
+  Result<ViewUpdateOutcome> ProcessViewUpdate(const UpdateRequest& request) {
+    return ProcessViewUpdate(request, ViewUpdatePolicy{});
+  }
+
+ private:
+  DeductiveDatabase* db_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_CORE_UPDATE_PROCESSOR_H_

@@ -1,0 +1,47 @@
+#include "datalog/atom.h"
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace deddb {
+
+bool Atom::IsGround() const {
+  for (const Term& t : args_) {
+    if (t.is_variable()) return false;
+  }
+  return true;
+}
+
+void Atom::CollectVariables(std::vector<VarId>* out) const {
+  for (const Term& t : args_) {
+    if (t.is_variable()) out->push_back(t.variable());
+  }
+}
+
+size_t Atom::Hash() const {
+  size_t seed = 0x811c9dc5u;
+  HashCombine(seed, predicate_);
+  for (const Term& t : args_) HashCombine(seed, t.Hash());
+  return seed;
+}
+
+std::string Atom::ToString(const SymbolTable& symbols) const {
+  if (args_.empty()) return symbols.NameOf(predicate_);
+  return StrCat(symbols.NameOf(predicate_), "(",
+                JoinMapped(args_, ", ",
+                           [&](const Term& t) { return t.ToString(symbols); }),
+                ")");
+}
+
+size_t Literal::Hash() const {
+  size_t seed = atom_.Hash();
+  HashCombine(seed, positive_ ? 1u : 0u);
+  return seed;
+}
+
+std::string Literal::ToString(const SymbolTable& symbols) const {
+  return positive_ ? atom_.ToString(symbols)
+                   : StrCat("not ", atom_.ToString(symbols));
+}
+
+}  // namespace deddb

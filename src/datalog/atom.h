@@ -1,0 +1,100 @@
+#ifndef DEDDB_DATALOG_ATOM_H_
+#define DEDDB_DATALOG_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "datalog/term.h"
+
+namespace deddb {
+
+/// An atom `P(t1, ..., tm)` (paper §2). `args` may be empty for 0-ary
+/// predicates (e.g. the global inconsistency predicate `Ic`).
+class Atom {
+ public:
+  Atom() = default;
+  Atom(SymbolId predicate, std::vector<Term> args)
+      : predicate_(predicate), args_(std::move(args)) {}
+
+  SymbolId predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  std::vector<Term>& mutable_args() { return args_; }
+  size_t arity() const { return args_.size(); }
+
+  /// True if every argument is a constant.
+  bool IsGround() const;
+
+  /// Appends the ids of all variables occurring in the atom to `out`
+  /// (with duplicates, in positional order).
+  void CollectVariables(std::vector<VarId>* out) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate_ == b.predicate_ && a.args_ == b.args_;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.predicate_ != b.predicate_) return a.predicate_ < b.predicate_;
+    return a.args_ < b.args_;
+  }
+
+  size_t Hash() const;
+
+  /// `P(A,x)` rendered with `symbols`; 0-ary atoms render without parens.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  SymbolId predicate_ = 0;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+/// A literal: an atom or a negated atom (paper §2).
+class Literal {
+ public:
+  Literal() = default;
+  Literal(Atom atom, bool positive)
+      : atom_(std::move(atom)), positive_(positive) {}
+
+  static Literal Positive(Atom atom) { return Literal(std::move(atom), true); }
+  static Literal Negative(Atom atom) { return Literal(std::move(atom), false); }
+
+  const Atom& atom() const { return atom_; }
+  Atom& mutable_atom() { return atom_; }
+  bool positive() const { return positive_; }
+  bool negative() const { return !positive_; }
+
+  /// The same literal with opposite polarity.
+  Literal Negated() const { return Literal(atom_, !positive_); }
+
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.positive_ == b.positive_ && a.atom_ == b.atom_;
+  }
+  friend bool operator!=(const Literal& a, const Literal& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Literal& a, const Literal& b) {
+    if (a.atom_ != b.atom_) return a.atom_ < b.atom_;
+    return a.positive_ < b.positive_;
+  }
+
+  size_t Hash() const;
+
+  /// `P(x)` or `not P(x)`.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  Atom atom_;
+  bool positive_ = true;
+};
+
+struct LiteralHash {
+  size_t operator()(const Literal& l) const { return l.Hash(); }
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_DATALOG_ATOM_H_

@@ -1,0 +1,169 @@
+#include "datalog/predicate.h"
+
+#include "util/strings.h"
+
+namespace deddb {
+
+const char* PredicateKindName(PredicateKind kind) {
+  switch (kind) {
+    case PredicateKind::kBase:
+      return "base";
+    case PredicateKind::kDerived:
+      return "derived";
+  }
+  return "unknown";
+}
+
+const char* PredicateSemanticsName(PredicateSemantics semantics) {
+  switch (semantics) {
+    case PredicateSemantics::kPlain:
+      return "plain";
+    case PredicateSemantics::kView:
+      return "view";
+    case PredicateSemantics::kIc:
+      return "ic";
+    case PredicateSemantics::kCondition:
+      return "condition";
+  }
+  return "unknown";
+}
+
+const char* PredicateVariantName(PredicateVariant variant) {
+  switch (variant) {
+    case PredicateVariant::kOld:
+      return "old";
+    case PredicateVariant::kNew:
+      return "new";
+    case PredicateVariant::kInsertEvent:
+      return "ins";
+    case PredicateVariant::kDeleteEvent:
+      return "del";
+  }
+  return "unknown";
+}
+
+Result<SymbolId> PredicateTable::Declare(std::string_view name, size_t arity,
+                                         PredicateKind kind,
+                                         PredicateSemantics semantics) {
+  if (kind == PredicateKind::kBase && semantics != PredicateSemantics::kPlain) {
+    return InvalidArgumentError(
+        StrCat("base predicate '", name, "' cannot carry ",
+               PredicateSemanticsName(semantics), " semantics"));
+  }
+  SymbolId symbol = symbols_->Intern(name);
+  auto it = info_.find(symbol);
+  if (it != info_.end()) {
+    const PredicateInfo& existing = it->second;
+    if (existing.variant != PredicateVariant::kOld ||
+        existing.arity != arity || existing.kind != kind ||
+        existing.semantics != semantics) {
+      return AlreadyExistsError(
+          StrCat("predicate '", name, "' already declared with arity ",
+                 existing.arity, " as ", PredicateKindName(existing.kind), "/",
+                 PredicateSemanticsName(existing.semantics)));
+    }
+    return symbol;
+  }
+  PredicateInfo info;
+  info.symbol = symbol;
+  info.base_symbol = symbol;
+  info.arity = arity;
+  info.kind = kind;
+  info.semantics = semantics;
+  info.variant = PredicateVariant::kOld;
+  info_.emplace(symbol, info);
+  old_predicates_.push_back(symbol);
+  return symbol;
+}
+
+const PredicateInfo* PredicateTable::Find(SymbolId symbol) const {
+  auto it = info_.find(symbol);
+  return it == info_.end() ? nullptr : &it->second;
+}
+
+Result<PredicateInfo> PredicateTable::Get(SymbolId symbol) const {
+  const PredicateInfo* info = Find(symbol);
+  if (info == nullptr) {
+    // The symbol may not even be interned (caller passed a raw id).
+    std::string name = symbol < symbols_->size()
+                           ? symbols_->NameOf(symbol)
+                           : StrCat("#", symbol);
+    return NotFoundError(StrCat("unknown predicate symbol '", name, "'"));
+  }
+  return *info;
+}
+
+Result<SymbolId> PredicateTable::VariantOf(SymbolId old_symbol,
+                                           PredicateVariant variant) {
+  const PredicateInfo* base = Find(old_symbol);
+  if (base == nullptr) {
+    std::string name = old_symbol < symbols_->size()
+                           ? symbols_->NameOf(old_symbol)
+                           : StrCat("#", old_symbol);
+    return NotFoundError(StrCat("unknown predicate symbol '", name, "'"));
+  }
+  if (base->variant != PredicateVariant::kOld) {
+    return InvalidArgumentError(
+        StrCat("VariantOf requires an old-state predicate, got '",
+               symbols_->NameOf(old_symbol), "'"));
+  }
+  if (variant == PredicateVariant::kOld) return old_symbol;
+
+  const char* prefix = variant == PredicateVariant::kNew
+                           ? kNewPrefix
+                           : (variant == PredicateVariant::kInsertEvent
+                                  ? kInsPrefix
+                                  : kDelPrefix);
+  SymbolId decorated =
+      symbols_->Intern(StrCat(prefix, symbols_->NameOf(old_symbol)));
+  auto it = info_.find(decorated);
+  if (it != info_.end()) return decorated;
+
+  PredicateInfo info = *base;
+  info.symbol = decorated;
+  info.base_symbol = old_symbol;
+  info.variant = variant;
+  info_.emplace(decorated, info);
+  return decorated;
+}
+
+Result<SymbolId> PredicateTable::FindVariant(SymbolId old_symbol,
+                                             PredicateVariant variant) const {
+  if (old_symbol >= symbols_->size()) {
+    return NotFoundError(StrCat("unknown predicate symbol #", old_symbol));
+  }
+  if (variant == PredicateVariant::kOld) return old_symbol;
+  const char* prefix = variant == PredicateVariant::kNew
+                           ? kNewPrefix
+                           : (variant == PredicateVariant::kInsertEvent
+                                  ? kInsPrefix
+                                  : kDelPrefix);
+  SymbolId decorated =
+      symbols_->Find(StrCat(prefix, symbols_->NameOf(old_symbol)));
+  if (decorated == SymbolTable::kNoSymbol || !Contains(decorated)) {
+    return NotFoundError(
+        StrCat("variant ", PredicateVariantName(variant), " of '",
+               symbols_->NameOf(old_symbol),
+               "' was never registered (run the event compiler first)"));
+  }
+  return decorated;
+}
+
+std::string PredicateTable::DisplayName(SymbolId symbol) const {
+  const PredicateInfo* info = Find(symbol);
+  if (info == nullptr) return symbols_->NameOf(symbol);
+  const std::string& base_name = symbols_->NameOf(info->base_symbol);
+  switch (info->variant) {
+    case PredicateVariant::kOld:
+      return base_name;
+    case PredicateVariant::kNew:
+      return base_name + "'";
+    case PredicateVariant::kInsertEvent:
+      return "ins " + base_name;
+    case PredicateVariant::kDeleteEvent:
+      return "del " + base_name;
+  }
+  return base_name;
+}
+
+}  // namespace deddb

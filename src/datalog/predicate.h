@@ -1,0 +1,114 @@
+#ifndef DEDDB_DATALOG_PREDICATE_H_
+#define DEDDB_DATALOG_PREDICATE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// Whether a predicate is stored extensionally or defined by rules (§2).
+enum class PredicateKind {
+  kBase,
+  kDerived,
+};
+
+/// The concrete semantics a derived predicate is endowed with (paper §5):
+/// ordinary derived predicate, view, inconsistency predicate, or monitored
+/// condition. Base predicates are always kPlain.
+enum class PredicateSemantics {
+  kPlain,
+  kView,
+  kIc,
+  kCondition,
+};
+
+/// State/event variant of a predicate symbol (paper §3). `P⁰` (the current
+/// state) is the variant users declare; the events module derives the
+/// others.
+enum class PredicateVariant {
+  kOld,          // P⁰ — current (old) state
+  kNew,          // Pⁿ — new (transition) state
+  kInsertEvent,  // ιP — insertion event
+  kDeleteEvent,  // δP — deletion event
+};
+
+const char* PredicateKindName(PredicateKind kind);
+const char* PredicateSemanticsName(PredicateSemantics semantics);
+const char* PredicateVariantName(PredicateVariant variant);
+
+/// Metadata for one (possibly decorated) predicate symbol.
+struct PredicateInfo {
+  SymbolId symbol = SymbolTable::kNoSymbol;       // e.g. "ins$Works"
+  SymbolId base_symbol = SymbolTable::kNoSymbol;  // e.g. "Works" (self if kOld)
+  size_t arity = 0;
+  PredicateKind kind = PredicateKind::kBase;  // kind of the base predicate
+  PredicateSemantics semantics = PredicateSemantics::kPlain;
+  PredicateVariant variant = PredicateVariant::kOld;
+};
+
+/// Registry of all predicates known to a database, including the decorated
+/// variants (`new$P`, `ins$P`, `del$P`) created by the events module.
+///
+/// Decorated names use '$', which the parser rejects in identifiers, so user
+/// predicates can never collide with generated ones.
+class PredicateTable {
+ public:
+  explicit PredicateTable(SymbolTable* symbols) : symbols_(symbols) {}
+
+  PredicateTable(const PredicateTable&) = delete;
+  PredicateTable& operator=(const PredicateTable&) = delete;
+
+  /// Declares a user predicate (kOld variant). Fails if a predicate with the
+  /// same name but different arity/kind/semantics already exists; re-declaring
+  /// identically is idempotent and returns the existing symbol.
+  Result<SymbolId> Declare(std::string_view name, size_t arity,
+                           PredicateKind kind, PredicateSemantics semantics);
+
+  /// Returns metadata for `symbol`, or nullptr if unknown.
+  const PredicateInfo* Find(SymbolId symbol) const;
+
+  /// Returns metadata for `symbol` or NotFoundError.
+  Result<PredicateInfo> Get(SymbolId symbol) const;
+
+  /// True if `symbol` is a declared predicate (of any variant).
+  bool Contains(SymbolId symbol) const { return Find(symbol) != nullptr; }
+
+  /// Returns the symbol of variant `variant` of the (kOld) predicate
+  /// `old_symbol`, creating and registering the decorated predicate on first
+  /// use. `old_symbol` must be a declared kOld predicate.
+  Result<SymbolId> VariantOf(SymbolId old_symbol, PredicateVariant variant);
+
+  /// Const lookup of an already-created variant (NotFoundError if the
+  /// variant was never registered, e.g. before event compilation).
+  Result<SymbolId> FindVariant(SymbolId old_symbol,
+                               PredicateVariant variant) const;
+
+  /// All declared kOld predicate symbols, in declaration order.
+  const std::vector<SymbolId>& old_predicates() const {
+    return old_predicates_;
+  }
+
+  /// Human-readable rendering of `symbol` that undoes decoration:
+  /// "ins$Works" renders as "ins Works", "new$P" as "P'".
+  std::string DisplayName(SymbolId symbol) const;
+
+  SymbolTable* symbols() const { return symbols_; }
+
+ private:
+  SymbolTable* symbols_;
+  std::unordered_map<SymbolId, PredicateInfo> info_;
+  std::vector<SymbolId> old_predicates_;
+};
+
+/// Decorated-name prefixes (exposed for tests and debugging output).
+inline constexpr const char* kNewPrefix = "new$";
+inline constexpr const char* kInsPrefix = "ins$";
+inline constexpr const char* kDelPrefix = "del$";
+
+}  // namespace deddb
+
+#endif  // DEDDB_DATALOG_PREDICATE_H_

@@ -1,0 +1,74 @@
+#include "datalog/program.h"
+
+#include "util/strings.h"
+
+namespace deddb {
+
+Status Program::AddRule(Rule rule, const PredicateTable& predicates) {
+  const SymbolTable& symbols = *predicates.symbols();
+  DEDDB_ASSIGN_OR_RETURN(PredicateInfo head_info,
+                         predicates.Get(rule.head().predicate()));
+  if (head_info.kind != PredicateKind::kDerived) {
+    return InvalidArgumentError(
+        StrCat("head of rule '", rule.ToString(symbols),
+               "' is a base predicate; base predicates may appear only in "
+               "the extensional part (paper §2)"));
+  }
+  if (head_info.arity != rule.head().arity()) {
+    return InvalidArgumentError(StrCat(
+        "head of rule '", rule.ToString(symbols), "' has arity ",
+        rule.head().arity(), " but predicate was declared with arity ",
+        head_info.arity));
+  }
+  if (rule.body().empty()) {
+    return InvalidArgumentError(
+        StrCat("rule '", rule.ToString(symbols),
+               "' has an empty body; deductive rules require n >= 1"));
+  }
+  for (const Literal& lit : rule.body()) {
+    DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
+                           predicates.Get(lit.atom().predicate()));
+    if (info.arity != lit.atom().arity()) {
+      return InvalidArgumentError(
+          StrCat("literal '", lit.ToString(symbols), "' in rule '",
+                 rule.ToString(symbols), "' has arity ", lit.atom().arity(),
+                 " but predicate was declared with arity ", info.arity));
+    }
+  }
+  DEDDB_RETURN_IF_ERROR(rule.CheckAllowed(symbols));
+  AddRuleUnchecked(std::move(rule));
+  return Status::Ok();
+}
+
+void Program::AddRuleUnchecked(Rule rule) {
+  SymbolId head = rule.head().predicate();
+  by_head_[head].push_back(rules_.size());
+  rules_.push_back(std::move(rule));
+}
+
+const std::vector<size_t>& Program::RuleIndicesFor(SymbolId predicate) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = by_head_.find(predicate);
+  return it == by_head_.end() ? kEmpty : it->second;
+}
+
+std::vector<Rule> Program::RulesFor(SymbolId predicate) const {
+  std::vector<Rule> out;
+  for (size_t idx : RuleIndicesFor(predicate)) out.push_back(rules_[idx]);
+  return out;
+}
+
+bool Program::Defines(SymbolId predicate) const {
+  return !RuleIndicesFor(predicate).empty();
+}
+
+std::string Program::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += rule.ToString(symbols);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace deddb

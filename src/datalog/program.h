@@ -1,0 +1,59 @@
+#ifndef DEDDB_DATALOG_PROGRAM_H_
+#define DEDDB_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/predicate.h"
+#include "datalog/rule.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// An ordered collection of deductive rules with an index by head predicate.
+/// A Program corresponds to the intensional part of a deductive database
+/// (deductive rules plus integrity rules, paper §2), and is also used for the
+/// derived *augmented* programs of §3 (transition + event rules).
+class Program {
+ public:
+  Program() = default;
+
+  /// Adds a rule after validating it against `predicates`:
+  ///  * the head predicate must be declared and derived,
+  ///  * head arity must match the declaration, body predicates must be
+  ///    declared with matching arities,
+  ///  * the rule must satisfy the allowedness condition.
+  Status AddRule(Rule rule, const PredicateTable& predicates);
+
+  /// Adds a rule without validation. Used internally when building
+  /// transition/event rules, which are correct by construction.
+  void AddRuleUnchecked(Rule rule);
+
+  /// All rules, in insertion order.
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Indices (into rules()) of the rules whose head predicate is `predicate`;
+  /// empty if there are none.
+  const std::vector<size_t>& RuleIndicesFor(SymbolId predicate) const;
+
+  /// Convenience: the rules defining `predicate`, copied in order.
+  std::vector<Rule> RulesFor(SymbolId predicate) const;
+
+  /// True if at least one rule has head predicate `predicate`.
+  bool Defines(SymbolId predicate) const;
+
+  size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  /// One rule per line.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::unordered_map<SymbolId, std::vector<size_t>> by_head_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_DATALOG_PROGRAM_H_

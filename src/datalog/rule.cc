@@ -1,0 +1,57 @@
+#include "datalog/rule.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+void Rule::CollectVariables(std::vector<VarId>* out) const {
+  head_.CollectVariables(out);
+  for (const Literal& lit : body_) lit.atom().CollectVariables(out);
+}
+
+std::vector<VarId> Rule::DistinctVariables() const {
+  std::vector<VarId> all;
+  CollectVariables(&all);
+  std::vector<VarId> out;
+  std::unordered_set<VarId> seen;
+  for (VarId v : all) {
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+Status Rule::CheckAllowed(const SymbolTable& symbols) const {
+  std::unordered_set<VarId> positive_vars;
+  std::vector<VarId> scratch;
+  for (const Literal& lit : body_) {
+    if (lit.positive()) {
+      scratch.clear();
+      lit.atom().CollectVariables(&scratch);
+      positive_vars.insert(scratch.begin(), scratch.end());
+    }
+  }
+  std::vector<VarId> all;
+  CollectVariables(&all);
+  for (VarId v : all) {
+    if (positive_vars.find(v) == positive_vars.end()) {
+      return InvalidArgumentError(
+          StrCat("rule '", ToString(symbols), "' is not allowed: variable '",
+                 symbols.VarNameOf(v),
+                 "' does not occur in a positive body condition"));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Rule::ToString(const SymbolTable& symbols) const {
+  if (body_.empty()) return head_.ToString(symbols);
+  return StrCat(head_.ToString(symbols), " <- ",
+                JoinMapped(body_, " & ", [&](const Literal& lit) {
+                  return lit.ToString(symbols);
+                }));
+}
+
+}  // namespace deddb

@@ -1,0 +1,53 @@
+#ifndef DEDDB_DATALOG_RULE_H_
+#define DEDDB_DATALOG_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/atom.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// A deductive rule `P(t1,...,tm) <- L1 & ... & Ln` (paper §2). Integrity
+/// rules (`Ic1 <- ...`) have the same shape; the head's predicate semantics
+/// distinguishes them.
+class Rule {
+ public:
+  Rule() = default;
+  Rule(Atom head, std::vector<Literal> body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  const Atom& head() const { return head_; }
+  Atom& mutable_head() { return head_; }
+  const std::vector<Literal>& body() const { return body_; }
+  std::vector<Literal>& mutable_body() { return body_; }
+
+  /// Appends the ids of all variables of the rule (head and body, with
+  /// duplicates) to `out`.
+  void CollectVariables(std::vector<VarId>* out) const;
+
+  /// Distinct variables of the rule, in first-occurrence order.
+  std::vector<VarId> DistinctVariables() const;
+
+  /// Checks the allowedness (safety) condition of paper §2: every variable
+  /// occurring anywhere in the rule must occur in a positive body condition.
+  /// `symbols` is used only for error messages.
+  Status CheckAllowed(const SymbolTable& symbols) const;
+
+  friend bool operator==(const Rule& a, const Rule& b) {
+    return a.head_ == b.head_ && a.body_ == b.body_;
+  }
+  friend bool operator!=(const Rule& a, const Rule& b) { return !(a == b); }
+
+  /// `P(x) <- Q(x) & not R(x)`.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  Atom head_;
+  std::vector<Literal> body_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_DATALOG_RULE_H_

@@ -1,0 +1,57 @@
+#include "datalog/substitution.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+std::optional<Term> Substitution::Lookup(VarId var) const {
+  auto it = bindings_.find(var);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+Term Substitution::Apply(const Term& term) const {
+  Term current = term;
+  // Follow variable chains; the walk is bounded by the number of bindings.
+  for (size_t steps = 0; steps <= bindings_.size(); ++steps) {
+    if (!current.is_variable()) return current;
+    auto it = bindings_.find(current.variable());
+    if (it == bindings_.end()) return current;
+    current = it->second;
+  }
+  return current;
+}
+
+Atom Substitution::Apply(const Atom& atom) const {
+  std::vector<Term> args;
+  args.reserve(atom.arity());
+  for (const Term& t : atom.args()) args.push_back(Apply(t));
+  return Atom(atom.predicate(), std::move(args));
+}
+
+Literal Substitution::Apply(const Literal& literal) const {
+  return Literal(Apply(literal.atom()), literal.positive());
+}
+
+Rule Substitution::Apply(const Rule& rule) const {
+  std::vector<Literal> body;
+  body.reserve(rule.body().size());
+  for (const Literal& lit : rule.body()) body.push_back(Apply(lit));
+  return Rule(Apply(rule.head()), std::move(body));
+}
+
+std::string Substitution::ToString(const SymbolTable& symbols) const {
+  std::vector<std::string> parts;
+  parts.reserve(bindings_.size());
+  for (const auto& [var, term] : bindings_) {
+    parts.push_back(
+        StrCat(symbols.VarNameOf(var), "=", term.ToString(symbols)));
+  }
+  std::sort(parts.begin(), parts.end());
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+}  // namespace deddb

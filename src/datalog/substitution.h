@@ -1,0 +1,49 @@
+#ifndef DEDDB_DATALOG_SUBSTITUTION_H_
+#define DEDDB_DATALOG_SUBSTITUTION_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "datalog/atom.h"
+#include "datalog/rule.h"
+#include "datalog/term.h"
+
+namespace deddb {
+
+/// A mapping from variables to terms. Applying a substitution replaces every
+/// bound variable; unbound variables are left in place.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `var` to `term`, overwriting any previous binding.
+  void Bind(VarId var, Term term) { bindings_.insert_or_assign(var, term); }
+
+  /// Removes the binding of `var`, if any. Used by backtracking joins to
+  /// undo trial bindings cheaply.
+  void Unbind(VarId var) { bindings_.erase(var); }
+
+  /// Returns the binding of `var`, if any.
+  std::optional<Term> Lookup(VarId var) const;
+
+  bool IsBound(VarId var) const { return bindings_.count(var) > 0; }
+  bool empty() const { return bindings_.empty(); }
+  size_t size() const { return bindings_.size(); }
+
+  /// Applies the substitution, following chains of variable-to-variable
+  /// bindings (bounded by the number of bindings, so cycles cannot loop).
+  Term Apply(const Term& term) const;
+  Atom Apply(const Atom& atom) const;
+  Literal Apply(const Literal& literal) const;
+  Rule Apply(const Rule& rule) const;
+
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  std::unordered_map<VarId, Term> bindings_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_DATALOG_SUBSTITUTION_H_

@@ -1,0 +1,51 @@
+#include "datalog/symbol_table.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNoSymbol : it->second;
+}
+
+const std::string& SymbolTable::NameOf(SymbolId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+VarId SymbolTable::InternVar(std::string_view name) {
+  auto it = var_ids_.find(std::string(name));
+  if (it != var_ids_.end()) return it->second;
+  VarId id = static_cast<VarId>(var_names_.size());
+  var_names_.emplace_back(name);
+  var_ids_.emplace(var_names_.back(), id);
+  return id;
+}
+
+const std::string& SymbolTable::VarNameOf(VarId id) const {
+  assert(id < var_names_.size());
+  return var_names_[id];
+}
+
+VarId SymbolTable::FreshVar() {
+  // Fresh names start with '_' which the parser rejects in user input, so
+  // they can never collide with user variables.
+  while (true) {
+    std::string name = StrCat("_g", fresh_counter_++);
+    if (var_ids_.find(name) == var_ids_.end()) return InternVar(name);
+  }
+}
+
+}  // namespace deddb

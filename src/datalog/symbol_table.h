@@ -1,0 +1,69 @@
+#ifndef DEDDB_DATALOG_SYMBOL_TABLE_H_
+#define DEDDB_DATALOG_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace deddb {
+
+/// Identifier of an interned constant or predicate name.
+using SymbolId = uint32_t;
+
+/// Identifier of an interned variable name.
+using VarId = uint32_t;
+
+/// Interns constant/predicate names and variable names into dense integer
+/// ids. Constants and predicate names share one id space; variables have
+/// their own. All types in the datalog layer refer to strings only through
+/// these ids, so comparisons and hashing are O(1).
+///
+/// The table is append-only; ids remain valid for the lifetime of the table.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = default;
+  SymbolTable& operator=(const SymbolTable&) = default;
+
+  /// Returns the id for `name`, interning it if new.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name` or `kNoSymbol` if it was never interned.
+  SymbolId Find(std::string_view name) const;
+
+  /// Returns the name of an interned symbol. `id` must be valid. The
+  /// reference stays valid across later interning (deque storage), but
+  /// prefer copying when a call in between may mutate the table.
+  const std::string& NameOf(SymbolId id) const;
+
+  /// Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+  /// Returns the id for variable `name`, interning it if new.
+  VarId InternVar(std::string_view name);
+
+  /// Returns the name of an interned variable. `id` must be valid.
+  const std::string& VarNameOf(VarId id) const;
+
+  /// Creates a fresh variable, guaranteed distinct from all user variables
+  /// (its name starts with '_').
+  VarId FreshVar();
+
+  /// Number of interned variables.
+  size_t var_count() const { return var_names_.size(); }
+
+  static constexpr SymbolId kNoSymbol = UINT32_MAX;
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::deque<std::string> names_;  // deque: NameOf references stay valid
+  std::unordered_map<std::string, VarId> var_ids_;
+  std::deque<std::string> var_names_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_DATALOG_SYMBOL_TABLE_H_

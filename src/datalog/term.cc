@@ -1,0 +1,9 @@
+#include "datalog/term.h"
+
+namespace deddb {
+
+std::string Term::ToString(const SymbolTable& symbols) const {
+  return is_var_ ? symbols.VarNameOf(id_) : symbols.NameOf(id_);
+}
+
+}  // namespace deddb

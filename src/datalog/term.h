@@ -1,0 +1,62 @@
+#ifndef DEDDB_DATALOG_TERM_H_
+#define DEDDB_DATALOG_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "datalog/symbol_table.h"
+#include "util/hash.h"
+
+namespace deddb {
+
+/// A function-free term: either a variable or a constant (paper §2). Small
+/// value type, freely copyable.
+class Term {
+ public:
+  static Term MakeVariable(VarId id) { return Term(id, /*is_var=*/true); }
+  static Term MakeConstant(SymbolId id) { return Term(id, /*is_var=*/false); }
+
+  bool is_variable() const { return is_var_; }
+  bool is_constant() const { return !is_var_; }
+
+  /// Requires is_variable().
+  VarId variable() const { return id_; }
+  /// Requires is_constant().
+  SymbolId constant() const { return id_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.is_var_ == b.is_var_ && a.id_ == b.id_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+  /// Total order (variables before constants, then by id); used for
+  /// canonical forms.
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return a.is_var_;
+    return a.id_ < b.id_;
+  }
+
+  size_t Hash() const {
+    size_t seed = is_var_ ? 0x5bd1e995u : 0xcc9e2d51u;
+    HashCombine(seed, id_);
+    return seed;
+  }
+
+  /// Renders the term using `symbols` (constant name, or variable name).
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  Term(uint32_t id, bool is_var) : id_(id), is_var_(is_var) {}
+
+  uint32_t id_;
+  bool is_var_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_DATALOG_TERM_H_

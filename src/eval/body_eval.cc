@@ -1,0 +1,221 @@
+#include "eval/body_eval.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace deddb {
+
+namespace {
+
+// Number of arguments of `atom` that are constants or bound variables.
+size_t BoundArgCount(const Atom& atom, const std::unordered_set<VarId>& bound) {
+  size_t count = 0;
+  for (const Term& t : atom.args()) {
+    if (t.is_constant() || bound.count(t.variable()) > 0) ++count;
+  }
+  return count;
+}
+
+// Number of distinct unbound variables of `atom`.
+size_t UnboundVarCount(const Atom& atom,
+                       const std::unordered_set<VarId>& bound) {
+  std::unordered_set<VarId> unbound;
+  for (const Term& t : atom.args()) {
+    if (t.is_variable() && bound.count(t.variable()) == 0) {
+      unbound.insert(t.variable());
+    }
+  }
+  return unbound.size();
+}
+
+void MarkBound(const Atom& atom, std::unordered_set<VarId>* bound) {
+  for (const Term& t : atom.args()) {
+    if (t.is_variable()) bound->insert(t.variable());
+  }
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> PlanBodyOrder(
+    const Rule& rule, const std::unordered_set<VarId>& initially_bound,
+    std::optional<size_t> forced_first,
+    const std::function<size_t(size_t)>& cardinality_of) {
+  const std::vector<Literal>& body = rule.body();
+  std::vector<size_t> order;
+  order.reserve(body.size());
+  std::vector<bool> used(body.size(), false);
+  std::unordered_set<VarId> bound = initially_bound;
+
+  if (forced_first.has_value()) {
+    assert(*forced_first < body.size());
+    order.push_back(*forced_first);
+    used[*forced_first] = true;
+    MarkBound(body[*forced_first].atom(), &bound);
+  }
+
+  while (order.size() < body.size()) {
+    // Prefer any fully-bound literal: it is a pure filter.
+    size_t pick = body.size();
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!used[i] && UnboundVarCount(body[i].atom(), bound) == 0) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == body.size()) {
+      // Otherwise the most selective positive literal: most bound arguments,
+      // then smallest estimated relation, then fewest unbound variables.
+      size_t best_bound = 0;
+      size_t best_card = 0;
+      size_t best_unbound = 0;
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (used[i] || body[i].negative()) continue;
+        size_t b = BoundArgCount(body[i].atom(), bound);
+        size_t c = cardinality_of ? cardinality_of(i)
+                                  : FactProvider::kUnknownCount;
+        size_t u = UnboundVarCount(body[i].atom(), bound);
+        if (pick == body.size() || b > best_bound ||
+            (b == best_bound &&
+             (c < best_card || (c == best_card && u < best_unbound)))) {
+          pick = i;
+          best_bound = b;
+          best_card = c;
+          best_unbound = u;
+        }
+      }
+    }
+    if (pick == body.size()) {
+      // Only negative literals with unbound variables remain: unsafe.
+      return InternalError(
+          "no safe evaluation order: negative literal with unbound variables "
+          "(rule bypassed allowedness validation?)");
+    }
+    used[pick] = true;
+    order.push_back(pick);
+    MarkBound(body[pick].atom(), &bound);
+  }
+  return order;
+}
+
+namespace {
+
+/// Backtracking join state.
+class BodyJoin {
+ public:
+  BodyJoin(const Rule& rule, const std::vector<size_t>& order,
+           const std::function<const FactProvider&(size_t)>& provider_for,
+           Substitution* subst,
+           const std::function<void(const Substitution&)>& emit,
+           bool stop_after_first = false)
+      : rule_(rule),
+        order_(order),
+        provider_for_(provider_for),
+        subst_(subst),
+        emit_(emit),
+        stop_after_first_(stop_after_first) {}
+
+  Result<size_t> Run() {
+    Step(0);
+    if (!error_.ok()) return error_;
+    return emissions_;
+  }
+
+ private:
+  void Step(size_t pos) {
+    if (!error_.ok()) return;
+    if (stop_after_first_ && emissions_ > 0) return;
+    if (pos == order_.size()) {
+      ++emissions_;
+      emit_(*subst_);
+      return;
+    }
+    size_t idx = order_[pos];
+    const Literal& lit = rule_.body()[idx];
+    Atom atom = subst_->Apply(lit.atom());
+    const FactProvider& provider = provider_for_(idx);
+
+    if (lit.negative()) {
+      if (!atom.IsGround()) {
+        error_ = InternalError(
+            "negative literal reached with unbound variables during body "
+            "evaluation");
+        return;
+      }
+      if (!provider.Contains(atom.predicate(), TupleFromAtom(atom))) {
+        Step(pos + 1);
+      }
+      return;
+    }
+
+    // Positive literal: index lookup on the fixed positions, then bind.
+    TuplePattern pattern(atom.arity());
+    for (size_t i = 0; i < atom.arity(); ++i) {
+      if (atom.args()[i].is_constant()) pattern[i] = atom.args()[i].constant();
+    }
+    auto bind_and_continue = [&](const Tuple& tuple) {
+      if (!error_.ok()) return false;
+      // Bind open variables; repeated variables are checked by re-applying
+      // the substitution as we go.
+      std::vector<VarId> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < atom.arity() && ok; ++i) {
+        Term t = subst_->Apply(atom.args()[i]);
+        if (t.is_constant()) {
+          ok = t.constant() == tuple[i];
+        } else {
+          subst_->Bind(t.variable(), Term::MakeConstant(tuple[i]));
+          bound_here.push_back(t.variable());
+        }
+      }
+      if (ok) Step(pos + 1);
+      for (VarId v : bound_here) subst_->Unbind(v);
+      return error_.ok() && !(stop_after_first_ && emissions_ > 0);
+    };
+    if (stop_after_first_) {
+      // Satisfiability probe: the Until form lets lazily-evaluated providers
+      // (OldStateView over derived predicates) stop producing at the first
+      // solution instead of materializing whole extensions.
+      provider.ForEachMatchUntil(atom.predicate(), pattern, bind_and_continue);
+    } else {
+      // Full enumeration: the plain form routes derived predicates through
+      // the strict, memoized solver (lazy re-derivation would be quadratic).
+      provider.ForEachMatch(atom.predicate(), pattern,
+                            [&](const Tuple& t) { bind_and_continue(t); });
+    }
+  }
+
+  const Rule& rule_;
+  const std::vector<size_t>& order_;
+  const std::function<const FactProvider&(size_t)>& provider_for_;
+  Substitution* subst_;
+  const std::function<void(const Substitution&)>& emit_;
+  size_t emissions_ = 0;
+  Status error_;
+  bool stop_after_first_;
+};
+
+}  // namespace
+
+Result<size_t> EvaluateBody(
+    const Rule& rule, const std::vector<size_t>& order,
+    const std::function<const FactProvider&(size_t)>& provider_for,
+    Substitution* subst,
+    const std::function<void(const Substitution&)>& emit) {
+  BodyJoin join(rule, order, provider_for, subst, emit);
+  return join.Run();
+}
+
+Result<bool> BodySatisfiable(
+    const Rule& rule, const std::vector<size_t>& order,
+    const std::function<const FactProvider&(size_t)>& provider_for,
+    Substitution* subst) {
+  // Named so it outlives the join (BodyJoin keeps a reference).
+  const std::function<void(const Substitution&)> noop =
+      [](const Substitution&) {};
+  BodyJoin join(rule, order, provider_for, subst, noop,
+                /*stop_after_first=*/true);
+  DEDDB_ASSIGN_OR_RETURN(size_t count, join.Run());
+  return count > 0;
+}
+
+}  // namespace deddb

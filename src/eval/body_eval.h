@@ -1,0 +1,60 @@
+#ifndef DEDDB_EVAL_BODY_EVAL_H_
+#define DEDDB_EVAL_BODY_EVAL_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/rule.h"
+#include "datalog/substitution.h"
+#include "eval/fact_provider.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// Chooses an evaluation order for `rule`'s body literals: a permutation of
+/// body indices such that every negative literal is ground by the time it is
+/// reached (guaranteed to exist for allowed rules). Greedy heuristic:
+/// fully-bound literals first (cheap filters), then the positive literal with
+/// the most bound arguments.
+///
+/// `initially_bound` are variables already bound before evaluation starts
+/// (e.g. by a partially instantiated goal). If `forced_first` is set, that
+/// literal is placed first (used by semi-naive evaluation to lead with the
+/// delta literal). `cardinality_of`, when provided, estimates the fact count
+/// behind body literal i; among equally-bound candidates the planner prefers
+/// the smallest relation (this is what makes event-literal joins lead in
+/// incremental evaluation).
+Result<std::vector<size_t>> PlanBodyOrder(
+    const Rule& rule, const std::unordered_set<VarId>& initially_bound,
+    std::optional<size_t> forced_first = std::nullopt,
+    const std::function<size_t(size_t)>& cardinality_of = nullptr);
+
+/// Evaluates a rule body by backtracking nested-loop join, using index
+/// lookups through FactProviders.
+///
+/// `order` is a permutation from PlanBodyOrder. `provider_for(i)` supplies
+/// the facts for body literal `i` (semi-naive evaluation points the delta
+/// literal at a different provider). `subst` carries initial bindings and is
+/// restored to them on return. `emit` is invoked once per complete solution
+/// with the substitution binding all rule variables.
+///
+/// Returns the number of emissions, or an error if a negative literal is
+/// reached unground (which indicates an unsafe rule that bypassed
+/// validation).
+Result<size_t> EvaluateBody(
+    const Rule& rule, const std::vector<size_t>& order,
+    const std::function<const FactProvider&(size_t)>& provider_for,
+    Substitution* subst, const std::function<void(const Substitution&)>& emit);
+
+/// Like EvaluateBody, but stops at the first solution. Returns whether the
+/// body is satisfiable under the initial bindings in `subst`.
+Result<bool> BodySatisfiable(
+    const Rule& rule, const std::vector<size_t>& order,
+    const std::function<const FactProvider&(size_t)>& provider_for,
+    Substitution* subst);
+
+}  // namespace deddb
+
+#endif  // DEDDB_EVAL_BODY_EVAL_H_

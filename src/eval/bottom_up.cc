@@ -1,0 +1,161 @@
+#include "eval/bottom_up.h"
+
+#include <unordered_set>
+
+#include "eval/body_eval.h"
+#include "eval/dependency_graph.h"
+#include "eval/stratification.h"
+#include "util/strings.h"
+
+namespace deddb {
+
+BottomUpEvaluator::BottomUpEvaluator(const Program& program,
+                                     const SymbolTable& symbols,
+                                     const FactProvider& edb,
+                                     EvaluationOptions options)
+    : program_(program), symbols_(symbols), edb_(edb), options_(options) {}
+
+Result<FactStore> BottomUpEvaluator::Evaluate() {
+  return EvaluateProgram(program_);
+}
+
+Result<FactStore> BottomUpEvaluator::EvaluateFor(
+    const std::vector<SymbolId>& goals) {
+  Program relevant = RelevantSubprogram(program_, goals);
+  return EvaluateProgram(relevant);
+}
+
+Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
+  DEDDB_ASSIGN_OR_RETURN(Stratification stratification,
+                         Stratify(program, symbols_));
+
+  FactStore idb;
+  FactStoreProvider idb_provider(&idb);
+  LayeredProvider full({&idb_provider, &edb_});
+
+  for (const std::vector<SymbolId>& stratum : stratification.strata) {
+    std::unordered_set<SymbolId> in_stratum(stratum.begin(), stratum.end());
+
+    // Rules of this stratum, with the positions of their same-stratum
+    // positive body literals (the "recursive" literals for semi-naive).
+    struct StratumRule {
+      const Rule* rule;
+      std::vector<size_t> recursive_positions;
+    };
+    std::vector<StratumRule> rules;
+    for (const Rule& rule : program.rules()) {
+      if (in_stratum.count(rule.head().predicate()) == 0) continue;
+      StratumRule sr{&rule, {}};
+      for (size_t i = 0; i < rule.body().size(); ++i) {
+        const Literal& lit = rule.body()[i];
+        if (lit.positive() &&
+            in_stratum.count(lit.atom().predicate()) > 0) {
+          sr.recursive_positions.push_back(i);
+        }
+      }
+      rules.push_back(std::move(sr));
+    }
+
+    FactStore delta;
+    FactStoreProvider delta_provider(&delta);
+
+    // Derives the head instance for one body solution; returns true if new.
+    auto derive = [&](const Rule& rule, const Substitution& subst,
+                      FactStore* new_delta) {
+      Atom head = subst.Apply(rule.head());
+      Tuple tuple = TupleFromAtom(head);
+      if (idb.Contains(head.predicate(), tuple)) return;
+      idb.Add(head.predicate(), tuple);
+      ++stats_.derived_facts;
+      if (new_delta != nullptr) new_delta->Add(head.predicate(), tuple);
+    };
+
+    // Round 0: plain pass over all rules of the stratum.
+    {
+      ++stats_.rounds;
+      for (const StratumRule& sr : rules) {
+        auto card = [&](size_t i) {
+          return full.EstimateCount(sr.rule->body()[i].atom().predicate());
+        };
+        DEDDB_ASSIGN_OR_RETURN(
+            std::vector<size_t> order,
+            PlanBodyOrder(*sr.rule, {}, std::nullopt, card));
+        Substitution subst;
+        auto provider_for = [&](size_t) -> const FactProvider& {
+          return full;
+        };
+        DEDDB_ASSIGN_OR_RETURN(
+            size_t fired,
+            EvaluateBody(*sr.rule, order, provider_for, &subst,
+                         [&](const Substitution& s) {
+                           derive(*sr.rule, s, &delta);
+                         }));
+        stats_.rule_firings += fired;
+      }
+    }
+
+    // Fixpoint rounds.
+    size_t round = 0;
+    while (!delta.empty()) {
+      if (++round > options_.max_rounds) {
+        return ResourceExhaustedError(
+            StrCat("fixpoint did not converge within ", options_.max_rounds,
+                   " rounds"));
+      }
+      ++stats_.rounds;
+      FactStore new_delta;
+      if (options_.semi_naive) {
+        for (const StratumRule& sr : rules) {
+          for (size_t delta_pos : sr.recursive_positions) {
+            auto card = [&](size_t i) {
+              const FactProvider& p =
+                  i == delta_pos ? static_cast<const FactProvider&>(
+                                       delta_provider)
+                                 : static_cast<const FactProvider&>(full);
+              return p.EstimateCount(sr.rule->body()[i].atom().predicate());
+            };
+            DEDDB_ASSIGN_OR_RETURN(
+                std::vector<size_t> order,
+                PlanBodyOrder(*sr.rule, {}, delta_pos, card));
+            Substitution subst;
+            auto provider_for = [&](size_t i) -> const FactProvider& {
+              if (i == delta_pos) {
+                return static_cast<const FactProvider&>(delta_provider);
+              }
+              return static_cast<const FactProvider&>(full);
+            };
+            DEDDB_ASSIGN_OR_RETURN(
+                size_t fired,
+                EvaluateBody(*sr.rule, order, provider_for, &subst,
+                             [&](const Substitution& s) {
+                               derive(*sr.rule, s, &new_delta);
+                             }));
+            stats_.rule_firings += fired;
+          }
+        }
+      } else {
+        // Naive: re-run every rule against the full store.
+        for (const StratumRule& sr : rules) {
+          if (sr.recursive_positions.empty()) continue;  // already complete
+          DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                                 PlanBodyOrder(*sr.rule, {}));
+          Substitution subst;
+          auto provider_for = [&](size_t) -> const FactProvider& {
+            return full;
+          };
+          DEDDB_ASSIGN_OR_RETURN(
+              size_t fired,
+              EvaluateBody(*sr.rule, order, provider_for, &subst,
+                           [&](const Substitution& s) {
+                             derive(*sr.rule, s, &new_delta);
+                           }));
+          stats_.rule_firings += fired;
+        }
+      }
+      delta = std::move(new_delta);
+    }
+  }
+  return idb;
+}
+
+}  // namespace deddb

@@ -1,0 +1,57 @@
+#ifndef DEDDB_EVAL_BOTTOM_UP_H_
+#define DEDDB_EVAL_BOTTOM_UP_H_
+
+#include <vector>
+
+#include "datalog/program.h"
+#include "eval/fact_provider.h"
+#include "util/status.h"
+
+namespace deddb {
+
+struct EvaluationOptions {
+  /// Semi-naive (differential) fixpoint; when false, naive re-evaluation of
+  /// all rules each round (kept for the Perf-C ablation benchmark).
+  bool semi_naive = true;
+  /// Safety valve on fixpoint rounds per stratum.
+  size_t max_rounds = 1000000;
+};
+
+struct EvaluationStats {
+  size_t rounds = 0;         // fixpoint passes summed over strata
+  size_t rule_firings = 0;   // complete body solutions found
+  size_t derived_facts = 0;  // distinct facts added to the IDB
+};
+
+/// Stratified bottom-up evaluation of a Datalog¬ program. Extensional facts
+/// (for predicates without rules) come from a FactProvider; the result is the
+/// set of all derived facts (the IDB).
+class BottomUpEvaluator {
+ public:
+  /// `program` and `edb` must outlive the evaluator. `symbols` is used for
+  /// error messages only.
+  BottomUpEvaluator(const Program& program, const SymbolTable& symbols,
+                    const FactProvider& edb, EvaluationOptions options = {});
+
+  /// Computes every derived predicate of the program.
+  Result<FactStore> Evaluate();
+
+  /// Computes only the predicates reachable from `goals` (goal-directed
+  /// restriction; cheaper when few predicates are of interest).
+  Result<FactStore> EvaluateFor(const std::vector<SymbolId>& goals);
+
+  const EvaluationStats& stats() const { return stats_; }
+
+ private:
+  Result<FactStore> EvaluateProgram(const Program& program);
+
+  const Program& program_;
+  const SymbolTable& symbols_;
+  const FactProvider& edb_;
+  EvaluationOptions options_;
+  EvaluationStats stats_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_EVAL_BOTTOM_UP_H_

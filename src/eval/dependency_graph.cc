@@ -1,0 +1,131 @@
+#include "eval/dependency_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace deddb {
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    SymbolId head = rule.head().predicate();
+    if (node_index_.find(head) == node_index_.end()) {
+      node_index_.emplace(head, nodes_.size());
+      nodes_.push_back(head);
+      edges_.emplace(head, std::vector<Edge>());
+    }
+  }
+  for (const Rule& rule : program.rules()) {
+    SymbolId head = rule.head().predicate();
+    std::vector<Edge>& out = edges_[head];
+    for (const Literal& lit : rule.body()) {
+      SymbolId target = lit.atom().predicate();
+      if (node_index_.find(target) == node_index_.end()) continue;  // leaf
+      bool negative = lit.negative();
+      auto it = std::find_if(out.begin(), out.end(), [&](const Edge& e) {
+        return e.target == target && e.negative == negative;
+      });
+      if (it == out.end()) out.push_back(Edge{target, negative});
+    }
+  }
+}
+
+const std::vector<DependencyGraph::Edge>& DependencyGraph::EdgesOf(
+    SymbolId predicate) const {
+  static const std::vector<Edge> kEmpty;
+  auto it = edges_.find(predicate);
+  return it == edges_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::vector<SymbolId>> DependencyGraph::SccsBottomUp() const {
+  // Iterative Tarjan. Tarjan emits each SCC when its root pops, which yields
+  // components in reverse topological order of the condensation *of the
+  // dependency direction*; since edges point from head to the predicates it
+  // depends on, emitted order is exactly bottom-up (dependencies first).
+  std::vector<std::vector<SymbolId>> sccs;
+  std::unordered_map<SymbolId, size_t> index, lowlink;
+  std::unordered_set<SymbolId> on_stack;
+  std::vector<SymbolId> stack;
+  size_t counter = 0;
+
+  struct Frame {
+    SymbolId node;
+    size_t edge_pos;
+  };
+
+  for (SymbolId start : nodes_) {
+    if (index.count(start) > 0) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = lowlink[start] = counter++;
+    stack.push_back(start);
+    on_stack.insert(start);
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const std::vector<Edge>& out = EdgesOf(frame.node);
+      if (frame.edge_pos < out.size()) {
+        SymbolId next = out[frame.edge_pos++].target;
+        if (index.count(next) == 0) {
+          index[next] = lowlink[next] = counter++;
+          stack.push_back(next);
+          on_stack.insert(next);
+          frames.push_back(Frame{next, 0});
+        } else if (on_stack.count(next) > 0) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[next]);
+        }
+      } else {
+        SymbolId node = frame.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[node]);
+        }
+        if (lowlink[node] == index[node]) {
+          std::vector<SymbolId> scc;
+          while (true) {
+            SymbolId member = stack.back();
+            stack.pop_back();
+            on_stack.erase(member);
+            scc.push_back(member);
+            if (member == node) break;
+          }
+          sccs.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+std::unordered_set<SymbolId> DependencyGraph::ReachableFrom(
+    const std::vector<SymbolId>& roots) const {
+  std::unordered_set<SymbolId> visited;
+  std::vector<SymbolId> worklist;
+  for (SymbolId root : roots) {
+    if (IsDefined(root) && visited.insert(root).second) {
+      worklist.push_back(root);
+    }
+  }
+  while (!worklist.empty()) {
+    SymbolId node = worklist.back();
+    worklist.pop_back();
+    for (const Edge& edge : EdgesOf(node)) {
+      if (visited.insert(edge.target).second) worklist.push_back(edge.target);
+    }
+  }
+  return visited;
+}
+
+Program RelevantSubprogram(const Program& program,
+                           const std::vector<SymbolId>& goals) {
+  DependencyGraph graph(program);
+  std::unordered_set<SymbolId> relevant = graph.ReachableFrom(goals);
+  Program out;
+  for (const Rule& rule : program.rules()) {
+    if (relevant.count(rule.head().predicate()) > 0) {
+      out.AddRuleUnchecked(rule);
+    }
+  }
+  return out;
+}
+
+}  // namespace deddb

@@ -1,0 +1,38 @@
+#include "eval/stratification.h"
+
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+Result<Stratification> Stratify(const Program& program,
+                                const SymbolTable& symbols) {
+  DependencyGraph graph(program);
+  std::vector<std::vector<SymbolId>> sccs = graph.SccsBottomUp();
+
+  Stratification result;
+  result.strata.reserve(sccs.size());
+  for (std::vector<SymbolId>& scc : sccs) {
+    std::unordered_set<SymbolId> members(scc.begin(), scc.end());
+    // A negative edge inside one SCC means negation through recursion:
+    // the program is not stratified.
+    for (SymbolId node : scc) {
+      for (const DependencyGraph::Edge& edge : graph.EdgesOf(node)) {
+        if (edge.negative && members.count(edge.target) > 0) {
+          return InvalidArgumentError(
+              StrCat("program is not stratified: predicate '",
+                     symbols.NameOf(node), "' depends negatively on '",
+                     symbols.NameOf(edge.target),
+                     "' within the same recursive component"));
+        }
+      }
+    }
+    size_t stratum = result.strata.size();
+    for (SymbolId node : scc) result.stratum_of.emplace(node, stratum);
+    result.strata.push_back(std::move(scc));
+  }
+  return result;
+}
+
+}  // namespace deddb

@@ -1,0 +1,30 @@
+#ifndef DEDDB_EVAL_STRATIFICATION_H_
+#define DEDDB_EVAL_STRATIFICATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/program.h"
+#include "eval/dependency_graph.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// A stratification of a program: strata in bottom-up evaluation order; each
+/// stratum is one SCC of the dependency graph (finer than the classical
+/// minimal stratification, which is fine for evaluation — any topological
+/// refinement is a valid stratification).
+struct Stratification {
+  std::vector<std::vector<SymbolId>> strata;
+  std::unordered_map<SymbolId, size_t> stratum_of;
+};
+
+/// Computes a stratification of `program`, or an error if the program is not
+/// stratified (a predicate depends negatively on its own SCC). `symbols` is
+/// used for error messages.
+Result<Stratification> Stratify(const Program& program,
+                                const SymbolTable& symbols);
+
+}  // namespace deddb
+
+#endif  // DEDDB_EVAL_STRATIFICATION_H_

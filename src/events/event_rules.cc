@@ -1,0 +1,39 @@
+#include "events/event_rules.h"
+
+namespace deddb {
+
+Status BuildEventRules(SymbolId derived, PredicateTable* predicates,
+                       SymbolTable* symbols, Program* out,
+                       SymbolId ins_body_head) {
+  DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, predicates->Get(derived));
+  DEDDB_ASSIGN_OR_RETURN(SymbolId new_sym,
+                         predicates->VariantOf(derived, PredicateVariant::kNew));
+  DEDDB_ASSIGN_OR_RETURN(
+      SymbolId ins_sym,
+      predicates->VariantOf(derived, PredicateVariant::kInsertEvent));
+  DEDDB_ASSIGN_OR_RETURN(
+      SymbolId del_sym,
+      predicates->VariantOf(derived, PredicateVariant::kDeleteEvent));
+
+  std::vector<Term> args;
+  args.reserve(info.arity);
+  for (size_t i = 0; i < info.arity; ++i) {
+    args.push_back(Term::MakeVariable(symbols->FreshVar()));
+  }
+
+  SymbolId ins_new = ins_body_head == SymbolTable::kNoSymbol
+                         ? new_sym
+                         : ins_body_head;
+
+  // ιP(x) <- Pⁿ(x) & ¬P⁰(x)
+  out->AddRuleUnchecked(Rule(Atom(ins_sym, args),
+                             {Literal::Positive(Atom(ins_new, args)),
+                              Literal::Negative(Atom(derived, args))}));
+  // δP(x) <- P⁰(x) & ¬Pⁿ(x)
+  out->AddRuleUnchecked(Rule(Atom(del_sym, args),
+                             {Literal::Positive(Atom(derived, args)),
+                              Literal::Negative(Atom(new_sym, args))}));
+  return Status::Ok();
+}
+
+}  // namespace deddb

@@ -1,0 +1,28 @@
+#ifndef DEDDB_EVENTS_EVENT_RULES_H_
+#define DEDDB_EVENTS_EVENT_RULES_H_
+
+#include "datalog/predicate.h"
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// Builds the insertion and deletion event rules of paper §3.3 (eqs. 6-7)
+/// for the derived predicate `derived` (its kOld symbol):
+///
+///   ιP(x) <- Pⁿ(x) & ¬P⁰(x)
+///   δP(x) <- P⁰(x) & ¬Pⁿ(x)
+///
+/// `ins_body_head` lets the caller point the insertion rule's new-state
+/// literal at a specialized predicate (the simplifier uses `inew$P` whose
+/// definition omits no-event disjuncts); pass kNoSymbol to use `new$P`.
+///
+/// Appends the two rules to `out`, creating variant predicates on demand.
+/// `symbols` supplies fresh variables for the rule arguments.
+Status BuildEventRules(SymbolId derived, PredicateTable* predicates,
+                       SymbolTable* symbols, Program* out,
+                       SymbolId ins_body_head = SymbolTable::kNoSymbol);
+
+}  // namespace deddb
+
+#endif  // DEDDB_EVENTS_EVENT_RULES_H_

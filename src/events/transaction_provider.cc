@@ -1,0 +1,46 @@
+#include "events/transaction_provider.h"
+
+namespace deddb {
+
+const FactStore* TransactionProvider::StoreFor(SymbolId predicate,
+                                               SymbolId* base) const {
+  const PredicateInfo* info = predicates_->Find(predicate);
+  if (info == nullptr || info->kind != PredicateKind::kBase) return nullptr;
+  *base = info->base_symbol;
+  switch (info->variant) {
+    case PredicateVariant::kInsertEvent:
+      return &transaction_->inserts();
+    case PredicateVariant::kDeleteEvent:
+      return &transaction_->deletes();
+    default:
+      return nullptr;
+  }
+}
+
+void TransactionProvider::ForEachMatch(
+    SymbolId predicate, const TuplePattern& pattern,
+    const std::function<void(const Tuple&)>& fn) const {
+  SymbolId base = SymbolTable::kNoSymbol;
+  const FactStore* store = StoreFor(predicate, &base);
+  if (store == nullptr) return;
+  const Relation* rel = store->Find(base);
+  if (rel == nullptr) return;
+  rel->ForEachMatch(pattern, fn);
+}
+
+bool TransactionProvider::Contains(SymbolId predicate,
+                                   const Tuple& tuple) const {
+  SymbolId base = SymbolTable::kNoSymbol;
+  const FactStore* store = StoreFor(predicate, &base);
+  return store != nullptr && store->Contains(base, tuple);
+}
+
+size_t TransactionProvider::EstimateCount(SymbolId predicate) const {
+  SymbolId base = SymbolTable::kNoSymbol;
+  const FactStore* store = StoreFor(predicate, &base);
+  if (store == nullptr) return 0;
+  const Relation* rel = store->Find(base);
+  return rel == nullptr ? 0 : rel->size();
+}
+
+}  // namespace deddb

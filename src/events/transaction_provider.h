@@ -1,0 +1,37 @@
+#ifndef DEDDB_EVENTS_TRANSACTION_PROVIDER_H_
+#define DEDDB_EVENTS_TRANSACTION_PROVIDER_H_
+
+#include "datalog/predicate.h"
+#include "eval/fact_provider.h"
+#include "storage/transaction.h"
+
+namespace deddb {
+
+/// Exposes a Transaction's base event facts as the extensional relations of
+/// the decorated event predicates: `ins$Q` resolves to the transaction's
+/// insertion events for base predicate Q, `del$Q` to its deletion events.
+/// Event predicates of derived predicates (and all other symbols) are empty
+/// here — they are computed, not stored.
+class TransactionProvider : public FactProvider {
+ public:
+  TransactionProvider(const Transaction* transaction,
+                      const PredicateTable* predicates)
+      : transaction_(transaction), predicates_(predicates) {}
+
+  void ForEachMatch(SymbolId predicate, const TuplePattern& pattern,
+                    const std::function<void(const Tuple&)>& fn) const override;
+  bool Contains(SymbolId predicate, const Tuple& tuple) const override;
+  size_t EstimateCount(SymbolId predicate) const override;
+
+ private:
+  // Returns the backing store (inserts or deletes) and base symbol if
+  // `predicate` is a base event predicate, else nullptr.
+  const FactStore* StoreFor(SymbolId predicate, SymbolId* base) const;
+
+  const Transaction* transaction_;
+  const PredicateTable* predicates_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_EVENTS_TRANSACTION_PROVIDER_H_

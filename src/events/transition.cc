@@ -1,0 +1,75 @@
+#include "events/transition.h"
+
+namespace deddb {
+
+Status BuildTransitionRules(const Rule& rule, PredicateTable* predicates,
+                            Program* out) {
+  DEDDB_ASSIGN_OR_RETURN(
+      SymbolId new_head,
+      predicates->VariantOf(rule.head().predicate(), PredicateVariant::kNew));
+
+  // For each body literal, the two alternative conjunctions that replace it
+  // (paper eqs. 3-4).
+  struct Alternative {
+    std::vector<Literal> literals;
+  };
+  std::vector<std::array<Alternative, 2>> choices;
+  choices.reserve(rule.body().size());
+
+  for (const Literal& lit : rule.body()) {
+    SymbolId pred = lit.atom().predicate();
+    DEDDB_ASSIGN_OR_RETURN(SymbolId ins_pred,
+                           predicates->VariantOf(pred,
+                                                 PredicateVariant::kInsertEvent));
+    DEDDB_ASSIGN_OR_RETURN(SymbolId del_pred,
+                           predicates->VariantOf(pred,
+                                                 PredicateVariant::kDeleteEvent));
+    Atom old_atom = lit.atom();
+    Atom ins_atom(ins_pred, lit.atom().args());
+    Atom del_atom(del_pred, lit.atom().args());
+
+    std::array<Alternative, 2> alt;
+    if (lit.positive()) {
+      // (Q⁰(x) & ¬δQ(x)) | ιQ(x)
+      alt[0].literals = {Literal::Positive(old_atom),
+                         Literal::Negative(del_atom)};
+      alt[1].literals = {Literal::Positive(ins_atom)};
+    } else {
+      // (¬Q⁰(x) & ¬ιQ(x)) | δQ(x)
+      alt[0].literals = {Literal::Negative(old_atom),
+                         Literal::Negative(ins_atom)};
+      alt[1].literals = {Literal::Positive(del_atom)};
+    }
+    choices.push_back(std::move(alt));
+  }
+
+  // Distribute & over |: enumerate all 2ⁿ selections.
+  size_t n = choices.size();
+  for (size_t mask = 0; mask < (size_t{1} << n); ++mask) {
+    std::vector<Literal> body;
+    for (size_t i = 0; i < n; ++i) {
+      const Alternative& alt = choices[i][(mask >> i) & 1];
+      body.insert(body.end(), alt.literals.begin(), alt.literals.end());
+    }
+    out->AddRuleUnchecked(
+        Rule(Atom(new_head, rule.head().args()), std::move(body)));
+  }
+  return Status::Ok();
+}
+
+size_t CountPositiveEventLiterals(const Rule& rule,
+                                  const PredicateTable& predicates) {
+  size_t count = 0;
+  for (const Literal& lit : rule.body()) {
+    if (lit.negative()) continue;
+    const PredicateInfo* info = predicates.Find(lit.atom().predicate());
+    if (info != nullptr &&
+        (info->variant == PredicateVariant::kInsertEvent ||
+         info->variant == PredicateVariant::kDeleteEvent)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace deddb

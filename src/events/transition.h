@@ -1,0 +1,43 @@
+#ifndef DEDDB_EVENTS_TRANSITION_H_
+#define DEDDB_EVENTS_TRANSITION_H_
+
+#include <vector>
+
+#include "datalog/predicate.h"
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// Builds the transition rules of paper §3.2.
+///
+/// For a deductive rule `P(x) <- L1 & ... & Ln`, the new-state predicate
+/// `Pⁿ` is defined by replacing every body literal with its old-state/event
+/// equivalent (paper eqs. 3-4):
+///
+///   positive Q(x)  ->  (Q⁰(x) & ¬δQ(x)) | ιQ(x)
+///   negative ¬Q(x) ->  (¬Q⁰(x) & ¬ιQ(x)) | δQ(x)
+///
+/// and distributing & over |, which yields 2ⁿ disjuncts; each disjunct
+/// becomes one rule for `new$P`. A predicate defined by m rules contributes
+/// the union of the m expansions.
+///
+/// Appends the transition rules for the single source rule `rule` to `out`.
+/// Creates the needed `new$P`, `ins$Q`, `del$Q` predicate variants in
+/// `predicates` on demand.
+Status BuildTransitionRules(const Rule& rule, PredicateTable* predicates,
+                            Program* out);
+
+/// Counts the *positive* event literals (ιQ / δQ occurring positively) in
+/// `rule`'s body. A transition-rule disjunct without any positive event
+/// literal consists of each body literal's "unchanged" alternative
+/// (Q⁰ ∧ ¬δQ  /  ¬Q⁰ ∧ ¬ιQ), whose old-state part is exactly the original
+/// rule body — so it implies P⁰ and can never satisfy the insertion event
+/// rule's ¬P⁰ conjunct. The simplified insertion rules drop such disjuncts
+/// (see event_compiler.h).
+size_t CountPositiveEventLiterals(const Rule& rule,
+                                  const PredicateTable& predicates);
+
+}  // namespace deddb
+
+#endif  // DEDDB_EVENTS_TRANSITION_H_

@@ -1,0 +1,62 @@
+#include "interp/derived_events.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+std::string DerivedEvents::ToString(const SymbolTable& symbols) const {
+  std::vector<std::string> parts;
+  inserts.ForEach([&](SymbolId pred, const Tuple& t) {
+    parts.push_back(StrCat("ins ", AtomFromTuple(pred, t).ToString(symbols)));
+  });
+  deletes.ForEach([&](SymbolId pred, const Tuple& t) {
+    parts.push_back(StrCat("del ", AtomFromTuple(pred, t).ToString(symbols)));
+  });
+  std::sort(parts.begin(), parts.end());
+  return StrCat("{", Join(parts, ", "), "}");
+}
+
+const FactStore* DerivedEventsProvider::StoreFor(SymbolId predicate,
+                                                 SymbolId* base) const {
+  const PredicateInfo* info = predicates_->Find(predicate);
+  if (info == nullptr || info->kind != PredicateKind::kDerived) return nullptr;
+  *base = info->base_symbol;
+  switch (info->variant) {
+    case PredicateVariant::kInsertEvent:
+      return &events_->inserts;
+    case PredicateVariant::kDeleteEvent:
+      return &events_->deletes;
+    default:
+      return nullptr;
+  }
+}
+
+void DerivedEventsProvider::ForEachMatch(
+    SymbolId predicate, const TuplePattern& pattern,
+    const std::function<void(const Tuple&)>& fn) const {
+  SymbolId base = SymbolTable::kNoSymbol;
+  const FactStore* store = StoreFor(predicate, &base);
+  if (store == nullptr) return;
+  const Relation* rel = store->Find(base);
+  if (rel != nullptr) rel->ForEachMatch(pattern, fn);
+}
+
+bool DerivedEventsProvider::Contains(SymbolId predicate,
+                                     const Tuple& tuple) const {
+  SymbolId base = SymbolTable::kNoSymbol;
+  const FactStore* store = StoreFor(predicate, &base);
+  return store != nullptr && store->Contains(base, tuple);
+}
+
+size_t DerivedEventsProvider::EstimateCount(SymbolId predicate) const {
+  SymbolId base = SymbolTable::kNoSymbol;
+  const FactStore* store = StoreFor(predicate, &base);
+  if (store == nullptr) return 0;
+  const Relation* rel = store->Find(base);
+  return rel == nullptr ? 0 : rel->size();
+}
+
+}  // namespace deddb

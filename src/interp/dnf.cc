@@ -1,0 +1,383 @@
+#include "interp/dnf.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+std::string BaseEventFact::ToString(const SymbolTable& symbols) const {
+  return StrCat(is_insert ? "ins " : "del ",
+                AtomFromTuple(predicate, tuple).ToString(symbols));
+}
+
+std::string EventLiteral::ToString(const SymbolTable& symbols) const {
+  return positive ? event.ToString(symbols)
+                  : StrCat("not ", event.ToString(symbols));
+}
+
+Conjunct::Conjunct(std::vector<EventLiteral> literals)
+    : literals_(std::move(literals)) {
+  std::sort(literals_.begin(), literals_.end());
+  literals_.erase(std::unique(literals_.begin(), literals_.end()),
+                  literals_.end());
+}
+
+void Conjunct::Add(const EventLiteral& literal) {
+  auto it = std::lower_bound(literals_.begin(), literals_.end(), literal);
+  if (it != literals_.end() && *it == literal) return;
+  literals_.insert(it, literal);
+}
+
+bool Conjunct::Contains(const EventLiteral& literal) const {
+  return std::binary_search(literals_.begin(), literals_.end(), literal);
+}
+
+std::optional<Conjunct> Conjunct::Simplify(
+    const EventPossibleFn& possible) const {
+  Conjunct out;
+  for (const EventLiteral& lit : literals_) {
+    bool ok = possible(lit.event);
+    if (lit.positive) {
+      if (!ok) return std::nullopt;  // required event cannot occur
+      out.Add(lit);
+    } else {
+      if (!ok) continue;  // forbidden event cannot occur anyway
+      out.Add(lit);
+    }
+  }
+  // Complementary pair?
+  for (size_t i = 0; i + 1 < out.literals_.size(); ++i) {
+    if (out.literals_[i].event == out.literals_[i + 1].event &&
+        out.literals_[i].positive != out.literals_[i + 1].positive) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
+bool Conjunct::SubsetOf(const Conjunct& other) const {
+  return std::includes(other.literals_.begin(), other.literals_.end(),
+                       literals_.begin(), literals_.end());
+}
+
+std::vector<EventLiteral> Conjunct::PositiveLiterals() const {
+  std::vector<EventLiteral> out;
+  for (const EventLiteral& lit : literals_) {
+    if (lit.positive) out.push_back(lit);
+  }
+  return out;
+}
+
+std::string Conjunct::ToString(const SymbolTable& symbols) const {
+  if (literals_.empty()) return "(true)";
+  return StrCat("(",
+                JoinMapped(literals_, " & ",
+                           [&](const EventLiteral& lit) {
+                             return lit.ToString(symbols);
+                           }),
+                ")");
+}
+
+Dnf Dnf::Of(const BaseEventFact& event) {
+  Dnf d;
+  Conjunct c;
+  c.Add(EventLiteral{event, /*positive=*/true});
+  d.disjuncts_.push_back(std::move(c));
+  return d;
+}
+
+void Dnf::Normalize(const EventPossibleFn& possible) {
+  std::vector<Conjunct> simplified;
+  simplified.reserve(disjuncts_.size());
+  for (const Conjunct& c : disjuncts_) {
+    std::optional<Conjunct> s = c.Simplify(possible);
+    if (s.has_value()) simplified.push_back(std::move(*s));
+  }
+  std::sort(simplified.begin(), simplified.end());
+  simplified.erase(std::unique(simplified.begin(), simplified.end()),
+                   simplified.end());
+  // Subsumption: drop any conjunct that is a superset of another (the
+  // smaller conjunct already covers it). Conjuncts are sorted by literal
+  // vectors, so a subset may appear anywhere; O(n²) scan, fine at the sizes
+  // the caps allow.
+  std::vector<Conjunct> kept;
+  for (size_t i = 0; i < simplified.size(); ++i) {
+    bool subsumed = false;
+    for (size_t j = 0; j < simplified.size() && !subsumed; ++j) {
+      if (i == j) continue;
+      if (simplified[j].SubsetOf(simplified[i]) &&
+          !(simplified[j] == simplified[i] && j > i)) {
+        subsumed = true;
+      }
+    }
+    if (!subsumed) kept.push_back(simplified[i]);
+  }
+  disjuncts_ = std::move(kept);
+}
+
+void Dnf::PruneNonMinimal() {
+  // 1. Collapse conjuncts with identical positive sets to one representative
+  //    (they differ only in requirements; this runs only on overflow, where
+  //    the DNF is already declared approximate).
+  std::map<std::vector<EventLiteral>, size_t> representative;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    std::vector<EventLiteral> key = disjuncts_[i].PositiveLiterals();
+    auto [it, inserted] = representative.emplace(std::move(key), i);
+    if (!inserted && disjuncts_[i] < disjuncts_[it->second]) {
+      it->second = i;  // deterministic choice: lexicographically smallest
+    }
+  }
+  // 2. Keep only inclusion-minimal positive sets.
+  std::vector<Conjunct> kept;
+  for (const auto& [positives, idx] : representative) {
+    bool minimal = true;
+    for (const auto& [other, other_idx] : representative) {
+      if (other.size() < positives.size() &&
+          std::includes(positives.begin(), positives.end(), other.begin(),
+                        other.end())) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) kept.push_back(disjuncts_[idx]);
+  }
+  std::sort(kept.begin(), kept.end());
+  disjuncts_ = std::move(kept);
+}
+
+// Enforces the disjunct cap: first prune to the minimal frontier, then, if
+// still oversized, truncate deterministically. Either measure marks the DNF
+// approximate; alternatives are lost but every kept disjunct stays sound.
+void Dnf::EnforceCap(size_t max_disjuncts) {
+  if (disjuncts_.size() <= max_disjuncts) return;
+  PruneNonMinimal();
+  approximate_ = true;
+  if (disjuncts_.size() > max_disjuncts) {
+    disjuncts_.resize(max_disjuncts);
+  }
+}
+
+Result<Dnf> Dnf::Or(const Dnf& a, const Dnf& b, const EventPossibleFn& possible,
+                    size_t max_disjuncts) {
+  Dnf out;
+  out.approximate_ = a.approximate_ || b.approximate_;
+  out.disjuncts_ = a.disjuncts_;
+  out.disjuncts_.insert(out.disjuncts_.end(), b.disjuncts_.begin(),
+                        b.disjuncts_.end());
+  out.Normalize(possible);
+  out.EnforceCap(max_disjuncts);
+  return out;
+}
+
+Result<Dnf> Dnf::And(const Dnf& a, const Dnf& b,
+                     const EventPossibleFn& possible, size_t max_disjuncts) {
+  Dnf out;
+  out.approximate_ = a.approximate_ || b.approximate_;
+  // Shed contradictions (and, past the cap, non-minimal alternatives) as
+  // the product grows.
+  auto compact = [&]() {
+    out.Normalize(possible);
+    out.EnforceCap(max_disjuncts);
+  };
+  for (const Conjunct& ca : a.disjuncts_) {
+    for (const Conjunct& cb : b.disjuncts_) {
+      Conjunct merged = ca;
+      for (const EventLiteral& lit : cb.literals()) merged.Add(lit);
+      out.disjuncts_.push_back(std::move(merged));
+      if (out.disjuncts_.size() > max_disjuncts * 4) compact();
+    }
+  }
+  compact();
+  return out;
+}
+
+Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
+                            const EventPossibleFn& possible,
+                            size_t max_disjuncts) {
+  Dnf out = context;
+  out.approximate_ = context.approximate_ || to_negate.approximate_;
+
+  // Fold context-relevant factors first: their choices get pruned by the
+  // context's mandatory updates immediately, so if the cap later forces
+  // minimal-frontier pruning, the surviving conjuncts already carry the
+  // context-compatible repairs.
+  std::unordered_set<BaseEventFact, BaseEventFactHash> context_events;
+  for (const Conjunct& o : context.disjuncts()) {
+    for (const EventLiteral& lit : o.literals()) context_events.insert(lit.event);
+  }
+  std::vector<const Conjunct*> relevant;
+  std::vector<const Conjunct*> unrelated;
+  for (const Conjunct& c : to_negate.disjuncts_) {
+    bool touches = false;
+    for (const EventLiteral& lit : c.literals()) {
+      touches |= context_events.count(lit.event) > 0;
+    }
+    (touches ? relevant : unrelated).push_back(&c);
+  }
+  std::vector<const Conjunct*> ordered = relevant;
+  size_t relevant_count = relevant.size();
+  ordered.insert(ordered.end(), unrelated.begin(), unrelated.end());
+
+  for (size_t factor_idx = 0; factor_idx < ordered.size(); ++factor_idx) {
+    const Conjunct& c = *ordered[factor_idx];
+    const bool unrelated_factor = factor_idx >= relevant_count;
+    std::vector<EventLiteral> choices;
+    bool factor_true = false;
+    for (const EventLiteral& lit : c.literals()) {
+      EventLiteral negated = lit.Negated();
+      bool event_possible = possible(negated.event);
+      if (negated.positive && !event_possible) continue;  // dead choice
+      if (!negated.positive && !event_possible) {
+        factor_true = true;  // requirement vacuously satisfied
+        break;
+      }
+      choices.push_back(negated);
+    }
+    if (factor_true) continue;
+    if (choices.empty()) return Dnf::False();
+
+    std::vector<Conjunct> next;
+    next.reserve(out.disjuncts_.size());
+    for (const Conjunct& o : out.disjuncts_) {
+      bool satisfied = false;
+      for (const EventLiteral& choice : choices) {
+        if (o.Contains(choice)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) {
+        next.push_back(o);
+        continue;
+      }
+      // Under size pressure, context-unrelated factors are folded without
+      // branching: if a pure-requirement choice (¬e) is consistent with the
+      // conjunct, the factor is counted as satisfied and the requirement
+      // literal is elided — the conjunct's base updates are unchanged and
+      // the omitted "must not also do e" annotation is recorded through the
+      // approximate flag. Only when no requirement choice is consistent do
+      // we branch over the repair choices.
+      const bool single_choice =
+          unrelated_factor && out.disjuncts_.size() > max_disjuncts / 4;
+      if (single_choice) {
+        out.approximate_ = true;
+        bool requirement_ok = false;
+        for (const EventLiteral& choice : choices) {
+          if (!choice.positive && !o.Contains(choice.Negated())) {
+            requirement_ok = true;
+            break;
+          }
+        }
+        if (requirement_ok) {
+          next.push_back(o);
+        } else {
+          for (const EventLiteral& choice : choices) {
+            if (!choice.positive || o.Contains(choice.Negated())) continue;
+            Conjunct extended = o;
+            extended.Add(choice);
+            next.push_back(std::move(extended));
+          }
+        }
+        continue;
+      }
+      for (const EventLiteral& choice : choices) {
+        if (o.Contains(choice.Negated())) continue;  // contradiction
+        Conjunct extended = o;
+        extended.Add(choice);
+        next.push_back(std::move(extended));
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    out.disjuncts_ = std::move(next);
+    out.EnforceCap(max_disjuncts);
+    if (out.IsFalse()) return out;
+  }
+  out.Normalize(possible);
+  return out;
+}
+
+Result<Dnf> Dnf::Negate(const Dnf& dnf, const EventPossibleFn& possible,
+                        size_t max_disjuncts) {
+  // Negation is conjunction of the negated factors over an empty context.
+  return AndNegated(Dnf::True(), dnf, possible, max_disjuncts);
+}
+
+Result<Dnf> Dnf::NegateExact(const Dnf& dnf, const EventPossibleFn& possible,
+                             size_t max_disjuncts) {
+  // ¬(C1 | C2 | ...) = ¬C1 & ¬C2 & ...; each factor ¬Ci is a disjunction of
+  // the negated literals of Ci. The product is folded with *absorption*: a
+  // conjunct that already contains one of a factor's choices satisfies it
+  // and is carried through unexpanded (its expansions would all be subsumed
+  // by it anyway). This keeps the negation of the many unrelated-violation
+  // factors arising in maintenance problems near-minimal instead of
+  // exponential.
+  Dnf out = Dnf::True();
+  out.approximate_ = dnf.approximate_;
+  for (const Conjunct& c : dnf.disjuncts_) {
+    // The satisfiable choices for ¬Ci.
+    std::vector<EventLiteral> choices;
+    bool factor_true = false;
+    for (const EventLiteral& lit : c.literals()) {
+      EventLiteral negated = lit.Negated();
+      bool event_possible = possible(negated.event);
+      if (negated.positive && !event_possible) continue;  // dead choice
+      if (!negated.positive && !event_possible) {
+        factor_true = true;  // requirement vacuously satisfied
+        break;
+      }
+      choices.push_back(negated);
+    }
+    if (factor_true) continue;
+    if (choices.empty()) return Dnf::False();  // ¬Ci unsatisfiable
+
+    std::vector<Conjunct> next;
+    next.reserve(out.disjuncts_.size());
+    for (const Conjunct& o : out.disjuncts_) {
+      bool satisfied = false;
+      for (const EventLiteral& choice : choices) {
+        if (o.Contains(choice)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) {
+        next.push_back(o);
+        continue;
+      }
+      for (const EventLiteral& choice : choices) {
+        if (o.Contains(choice.Negated())) continue;  // contradiction
+        Conjunct extended = o;
+        extended.Add(choice);
+        next.push_back(std::move(extended));
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    out.disjuncts_ = std::move(next);
+    if (out.disjuncts_.size() > max_disjuncts) {
+      out.PruneNonMinimal();
+      out.approximate_ = true;
+      if (out.disjuncts_.size() > max_disjuncts) {
+        return ResourceExhaustedError(
+            StrCat("DNF exceeded ", max_disjuncts, " disjuncts during NOT"));
+      }
+    }
+    if (out.IsFalse()) return out;
+  }
+  out.Normalize(possible);
+  return out;
+}
+
+std::string Dnf::ToString(const SymbolTable& symbols) const {
+  if (IsFalse()) return "false";
+  if (IsTrue()) return "true";
+  return JoinMapped(disjuncts_, " | ", [&](const Conjunct& c) {
+    return c.ToString(symbols);
+  });
+}
+
+}  // namespace deddb

@@ -1,0 +1,216 @@
+#ifndef DEDDB_INTERP_DNF_H_
+#define DEDDB_INTERP_DNF_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/predicate.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// A ground base event fact: `ιQ(C)` or `δQ(C)` for a base predicate Q
+/// (paper §3.1).
+struct BaseEventFact {
+  bool is_insert = true;
+  SymbolId predicate = 0;  // base predicate's kOld symbol
+  Tuple tuple;
+
+  friend bool operator==(const BaseEventFact& a, const BaseEventFact& b) {
+    return a.is_insert == b.is_insert && a.predicate == b.predicate &&
+           a.tuple == b.tuple;
+  }
+  friend bool operator<(const BaseEventFact& a, const BaseEventFact& b) {
+    if (a.is_insert != b.is_insert) return a.is_insert < b.is_insert;
+    if (a.predicate != b.predicate) return a.predicate < b.predicate;
+    return a.tuple < b.tuple;
+  }
+
+  /// `ins Q(A)` / `del Q(A)`.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  size_t Hash() const {
+    size_t seed = is_insert ? 0x9e3779b9u : 0x85ebca6bu;
+    HashCombine(seed, predicate);
+    for (SymbolId c : tuple) HashCombine(seed, c);
+    return seed;
+  }
+};
+
+struct BaseEventFactHash {
+  size_t operator()(const BaseEventFact& ev) const { return ev.Hash(); }
+};
+
+/// A possibly negated base event literal. A positive literal is a base fact
+/// update the transaction must perform; a negative one is a requirement the
+/// transition must satisfy (the update must NOT be performed) — paper §4.2.
+struct EventLiteral {
+  BaseEventFact event;
+  bool positive = true;
+
+  EventLiteral Negated() const { return EventLiteral{event, !positive}; }
+
+  friend bool operator==(const EventLiteral& a, const EventLiteral& b) {
+    return a.positive == b.positive && a.event == b.event;
+  }
+  friend bool operator<(const EventLiteral& a, const EventLiteral& b) {
+    if (!(a.event == b.event)) return a.event < b.event;
+    return a.positive < b.positive;
+  }
+
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+/// Tells whether a base event is *possible* in the current state per the
+/// event definitions (eqs. 1-2): an insertion event requires the fact to be
+/// absent, a deletion event requires it to be present.
+using EventPossibleFn = std::function<bool(const BaseEventFact&)>;
+
+/// A conjunction of event literals, kept sorted and duplicate-free.
+class Conjunct {
+ public:
+  Conjunct() = default;
+  explicit Conjunct(std::vector<EventLiteral> literals);
+
+  const std::vector<EventLiteral>& literals() const { return literals_; }
+  bool empty() const { return literals_.empty(); }  // empty = TRUE
+  size_t size() const { return literals_.size(); }
+
+  /// Adds a literal, keeping canonical form.
+  void Add(const EventLiteral& literal);
+
+  /// True if `literal` occurs in this conjunct (binary search).
+  bool Contains(const EventLiteral& literal) const;
+
+  /// Simplifies against the current state:
+  ///  * duplicate literals collapse;
+  ///  * a literal and its complement -> unsatisfiable (nullopt);
+  ///  * a positive literal whose event is impossible -> unsatisfiable;
+  ///  * a negative literal whose event is impossible -> vacuously true,
+  ///    dropped.
+  /// Returns the simplified conjunct, or nullopt if unsatisfiable.
+  std::optional<Conjunct> Simplify(const EventPossibleFn& possible) const;
+
+  /// True if every literal of this conjunct appears in `other` (i.e. this
+  /// conjunct subsumes the more specific `other`).
+  bool SubsetOf(const Conjunct& other) const;
+
+  /// The positive literals only, sorted (used for minimal-frontier pruning).
+  std::vector<EventLiteral> PositiveLiterals() const;
+
+  friend bool operator==(const Conjunct& a, const Conjunct& b) {
+    return a.literals_ == b.literals_;
+  }
+  friend bool operator<(const Conjunct& a, const Conjunct& b) {
+    return a.literals_ < b.literals_;
+  }
+
+  /// `(del R(B) & not del Q(B))`.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<EventLiteral> literals_;
+};
+
+/// A disjunctive normal form over base event literals — the result type of
+/// the downward interpretation (§4.2). Each disjunct is one alternative way
+/// to satisfy the requested changes.
+///
+/// Canonical form: disjuncts sorted, duplicate- and subsumption-free. The
+/// empty DNF is FALSE (no alternative); a DNF containing the empty conjunct
+/// simplifies to TRUE (satisfied with no base updates).
+class Dnf {
+ public:
+  static Dnf False() { return Dnf(); }
+  static Dnf True() {
+    Dnf d;
+    d.disjuncts_.push_back(Conjunct());
+    return d;
+  }
+  /// A single positive event literal.
+  static Dnf Of(const BaseEventFact& event);
+
+  const std::vector<Conjunct>& disjuncts() const { return disjuncts_; }
+  bool IsFalse() const { return disjuncts_.empty(); }
+  bool IsTrue() const {
+    return disjuncts_.size() == 1 && disjuncts_[0].empty();
+  }
+  size_t size() const { return disjuncts_.size(); }
+
+  /// Adds a disjunct (no simplification).
+  void AddDisjunct(Conjunct conjunct) {
+    disjuncts_.push_back(std::move(conjunct));
+  }
+
+  /// Logical OR: union of disjuncts, then normalization.
+  static Result<Dnf> Or(const Dnf& a, const Dnf& b,
+                        const EventPossibleFn& possible, size_t max_disjuncts);
+
+  /// Logical AND: pairwise conjunct products, then normalization. Fails with
+  /// kResourceExhausted if the result would exceed `max_disjuncts`.
+  static Result<Dnf> And(const Dnf& a, const Dnf& b,
+                         const EventPossibleFn& possible,
+                         size_t max_disjuncts);
+
+  /// Logical negation, redistributed to DNF (De Morgan), as prescribed for
+  /// negative derived events and negative new-state literals (§4.2).
+  /// Delegates to AndNegated with an empty context, so the result may be
+  /// flagged approximate past the size cap.
+  static Result<Dnf> Negate(const Dnf& dnf, const EventPossibleFn& possible,
+                            size_t max_disjuncts);
+
+  /// Exact negation: no minimal-frontier fallback; fails with
+  /// kResourceExhausted when the product exceeds `max_disjuncts`. Used by
+  /// tests and by callers that must distinguish "no alternative" from
+  /// "alternatives lost".
+  static Result<Dnf> NegateExact(const Dnf& dnf,
+                                 const EventPossibleFn& possible,
+                                 size_t max_disjuncts);
+
+  /// Computes `context & ¬to_negate` by folding the negation factors into
+  /// the context one at a time. Equivalent to And(context, Negate(...)) but
+  /// far better behaved: contradictions with the context prune factor
+  /// choices immediately, and when the product still overflows the cap, the
+  /// minimal-frontier fallback keeps exactly the context-compatible minimal
+  /// alternatives instead of collapsing to the all-requirements conjunct.
+  /// Used for the negative events of an update request ({T, ¬ιIc}, ...).
+  static Result<Dnf> AndNegated(const Dnf& context, const Dnf& to_negate,
+                                const EventPossibleFn& possible,
+                                size_t max_disjuncts);
+
+  /// Normalizes in place: per-conjunct simplification, deduplication,
+  /// subsumption removal, deterministic order.
+  void Normalize(const EventPossibleFn& possible);
+
+  /// Applies the size cap: minimal-frontier pruning, then deterministic
+  /// truncation; marks the DNF approximate if anything was dropped.
+  void EnforceCap(size_t max_disjuncts);
+
+  /// Drops every disjunct whose positive-literal set strictly includes
+  /// another disjunct's positive-literal set, keeping only the minimal
+  /// frontier of alternatives. Used as the overflow fallback of And(): the
+  /// result is then flagged approximate(), because a pruned non-minimal
+  /// alternative could in principle have been the one surviving a later
+  /// conjunction.
+  void PruneNonMinimal();
+
+  /// True if an overflow fallback pruned non-minimal alternatives somewhere
+  /// in this DNF's history; minimal alternatives are still complete up to
+  /// the size cap.
+  bool approximate() const { return approximate_; }
+  void set_approximate(bool value) { approximate_ = value; }
+
+  /// `(del R(B) & not del Q(B)) | (ins Q(A))`, or "false"/"true".
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  std::vector<Conjunct> disjuncts_;
+  bool approximate_ = false;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_INTERP_DNF_H_

@@ -1,0 +1,55 @@
+#include "interp/domain.h"
+
+#include <algorithm>
+
+namespace deddb {
+
+ActiveDomain::ActiveDomain(const Database& db, bool use_global_fallback)
+    : use_global_fallback_(use_global_fallback) {
+  db.facts().ForEach([&](SymbolId pred, const Tuple& tuple) {
+    auto& cols = columns_[pred];
+    if (cols.size() < tuple.size()) cols.resize(tuple.size());
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      cols[i].insert(tuple[i]);
+      global_.insert(tuple[i]);
+    }
+  });
+  for (const Rule& rule : db.program().rules()) {
+    auto collect = [&](const Atom& atom) {
+      for (const Term& t : atom.args()) {
+        if (t.is_constant()) global_.insert(t.constant());
+      }
+    };
+    collect(rule.head());
+    for (const Literal& lit : rule.body()) collect(lit.atom());
+  }
+}
+
+void ActiveDomain::AddExtra(SymbolId constant) {
+  extras_.insert(constant);
+  global_.insert(constant);
+}
+
+std::vector<SymbolId> ActiveDomain::ColumnCandidates(SymbolId base_pred,
+                                                     size_t column) const {
+  std::unordered_set<SymbolId> out = extras_;
+  auto it = columns_.find(base_pred);
+  bool have_column = it != columns_.end() && column < it->second.size() &&
+                     !it->second[column].empty();
+  if (have_column) {
+    out.insert(it->second[column].begin(), it->second[column].end());
+  } else if (use_global_fallback_) {
+    out.insert(global_.begin(), global_.end());
+  }
+  std::vector<SymbolId> sorted(out.begin(), out.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::vector<SymbolId> ActiveDomain::GlobalCandidates() const {
+  std::vector<SymbolId> sorted(global_.begin(), global_.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace deddb

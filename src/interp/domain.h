@@ -1,0 +1,54 @@
+#ifndef DEDDB_INTERP_DOMAIN_H_
+#define DEDDB_INTERP_DOMAIN_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace deddb {
+
+/// The finite domain the paper's terms range over (§2), realized as the
+/// *active domain*: all constants occurring in the extensional database or
+/// in rules, plus any extra constants registered by the caller (e.g. the
+/// constants of an update request).
+///
+/// The downward interpretation consults it when a positive base insertion
+/// event has arguments no other literal can bind — the "different
+/// alternatives of base fact updates, one for each possible way to
+/// instantiate this event" of §4.2.
+class ActiveDomain {
+ public:
+  /// Snapshot of the database's active domain. Per-column candidate sets are
+  /// collected for base predicates; `use_global_fallback` controls whether a
+  /// column with no recorded values falls back to the global constant set
+  /// (complete but larger) or stays empty (faster, for benchmarks that know
+  /// their columns are closed).
+  explicit ActiveDomain(const Database& db, bool use_global_fallback = true);
+
+  /// Registers an extra constant (added to every column's candidates).
+  void AddExtra(SymbolId constant);
+
+  /// Candidate constants for column `column` of base predicate `base_pred`,
+  /// in deterministic (sorted) order.
+  std::vector<SymbolId> ColumnCandidates(SymbolId base_pred,
+                                         size_t column) const;
+
+  /// All known constants, sorted.
+  std::vector<SymbolId> GlobalCandidates() const;
+
+  size_t global_size() const { return global_.size(); }
+
+ private:
+  bool use_global_fallback_;
+  std::unordered_set<SymbolId> global_;
+  std::unordered_set<SymbolId> extras_;
+  // (predicate, column) -> constants seen there.
+  std::unordered_map<SymbolId, std::vector<std::unordered_set<SymbolId>>>
+      columns_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_INTERP_DOMAIN_H_

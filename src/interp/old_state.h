@@ -1,0 +1,59 @@
+#ifndef DEDDB_INTERP_OLD_STATE_H_
+#define DEDDB_INTERP_OLD_STATE_H_
+
+#include <memory>
+
+#include "eval/fact_provider.h"
+#include "eval/query_engine.h"
+#include "storage/database.h"
+
+namespace deddb {
+
+/// Answers queries about the *old* (current) database state D⁰: base
+/// predicates directly from the extensional store, derived predicates
+/// through a QueryEngine over the original program (goal-directed, with
+/// caching). Materialized views are served from their stored extension,
+/// which is by definition the old state.
+///
+/// Also usable as a FactProvider so rule bodies mixing old literals and
+/// event literals can be joined uniformly.
+class OldStateView : public FactProvider {
+ public:
+  /// `db` must outlive the view. Evaluation of derived predicates uses
+  /// `options`.
+  explicit OldStateView(const Database* db, EvaluationOptions options = {});
+
+  void ForEachMatch(SymbolId predicate, const TuplePattern& pattern,
+                    const std::function<void(const Tuple&)>& fn) const override;
+  /// True lazy streaming for derived predicates (solutions are produced one
+  /// at a time through the query engine and the scan stops as soon as `fn`
+  /// returns false), so satisfiability probes do not materialize extensions.
+  bool ForEachMatchUntil(
+      SymbolId predicate, const TuplePattern& pattern,
+      const std::function<bool(const Tuple&)>& fn) const override;
+  bool Contains(SymbolId predicate, const Tuple& tuple) const override;
+  size_t EstimateCount(SymbolId predicate) const override;
+
+  /// True if the ground atom holds in the old state (base lookup or derived
+  /// query). Errors from evaluation are reported.
+  Result<bool> Holds(const Atom& ground_atom) const;
+
+  /// All ground instances of `pattern` (an atom possibly with variables)
+  /// that hold in the old state.
+  Result<std::vector<Tuple>> Query(const Atom& pattern) const;
+
+  /// Drops derived-predicate caches (call if the EDB changed).
+  void Invalidate();
+
+  const Database& db() const { return *db_; }
+
+ private:
+  const Database* db_;
+  std::unique_ptr<FactStoreProvider> edb_provider_;
+  // QueryEngine caches materializations; logically const access.
+  mutable std::unique_ptr<QueryEngine> engine_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_INTERP_OLD_STATE_H_

@@ -1,0 +1,204 @@
+#include "interp/upward.h"
+
+#include <unordered_set>
+
+#include "datalog/unify.h"
+#include "eval/body_eval.h"
+#include "eval/bottom_up.h"
+#include "eval/dependency_graph.h"
+#include "util/strings.h"
+
+namespace deddb {
+
+UpwardInterpreter::UpwardInterpreter(const Database* db,
+                                     const CompiledEvents* compiled,
+                                     UpwardOptions options)
+    : db_(db), compiled_(compiled), options_(options) {}
+
+Result<DerivedEvents> UpwardInterpreter::InducedEvents(
+    const Transaction& transaction) {
+  return InducedEventsFor(transaction, compiled_->derived_order);
+}
+
+Result<DerivedEvents> UpwardInterpreter::InducedEventsFor(
+    const Transaction& transaction, const std::vector<SymbolId>& goals) {
+  switch (options_.strategy) {
+    case UpwardStrategy::kEventRules:
+      return RunEventRules(transaction, goals);
+    case UpwardStrategy::kRecompute:
+      return RunRecompute(transaction, goals);
+  }
+  return InternalError("unknown upward strategy");
+}
+
+Result<bool> UpwardInterpreter::NewStateHolds(SymbolId new_sym,
+                                              const Tuple& tuple,
+                                              const FactProvider& provider) {
+  Atom ground = AtomFromTuple(new_sym, tuple);
+  auto provider_for = [&](size_t) -> const FactProvider& { return provider; };
+  for (const Rule& rule : compiled_->transition.RulesFor(new_sym)) {
+    Substitution subst;
+    if (!MatchAtom(rule.head(), ground, &subst)) continue;
+    // Head variables are bound through `subst`; tell the planner.
+    std::unordered_set<VarId> bound;
+    std::vector<VarId> head_vars;
+    rule.head().CollectVariables(&head_vars);
+    bound.insert(head_vars.begin(), head_vars.end());
+    DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                           PlanBodyOrder(rule, bound));
+    ++stats_.bodies_evaluated;
+    DEDDB_ASSIGN_OR_RETURN(bool satisfiable,
+                           BodySatisfiable(rule, order, provider_for, &subst));
+    if (satisfiable) return true;
+  }
+  return false;
+}
+
+Result<DerivedEvents> UpwardInterpreter::RunEventRules(
+    const Transaction& transaction, const std::vector<SymbolId>& wanted) {
+  const PredicateTable& predicates = db_->predicates();
+  const SymbolTable& symbols = db_->symbols();
+
+  // Events of P depend on the events of the predicates P's rules mention, so
+  // the needed set is the dependency closure of the goals.
+  DependencyGraph graph(db_->program());
+  std::unordered_set<SymbolId> needed = graph.ReachableFrom(wanted);
+  for (SymbolId goal : wanted) needed.insert(goal);
+
+  OldStateView old_state(db_, options_.eval);
+  TransactionProvider txn_provider(&transaction, &predicates);
+  DerivedEvents events;
+  DerivedEventsProvider events_provider(&events, &predicates);
+  LayeredProvider provider({&txn_provider, &events_provider, &old_state});
+  auto provider_for = [&](size_t) -> const FactProvider& { return provider; };
+
+  for (SymbolId pred : compiled_->derived_order) {
+    if (needed.count(pred) == 0) continue;
+    DEDDB_ASSIGN_OR_RETURN(
+        SymbolId new_sym,
+        predicates.FindVariant(pred, PredicateVariant::kNew));
+
+    // ---- Insertions: ιP(x) <- [inew$P | Pⁿ](x) & ¬P⁰(x) ------------------
+    const std::vector<Rule> ins_rules = [&] {
+      if (!compiled_->simplified) return compiled_->transition.RulesFor(new_sym);
+      SymbolId inew = symbols.Find(
+          StrCat(EventCompiler::kInsNewPrefix, symbols.NameOf(pred)));
+      return compiled_->ins_new.RulesFor(inew);
+    }();
+    for (const Rule& rule : ins_rules) {
+      auto card = [&](size_t i) {
+        return provider.EstimateCount(rule.body()[i].atom().predicate());
+      };
+      DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                             PlanBodyOrder(rule, {}, std::nullopt, card));
+      ++stats_.bodies_evaluated;
+      Substitution subst;
+      Status inner = Status::Ok();
+      DEDDB_ASSIGN_OR_RETURN(
+          size_t fired,
+          EvaluateBody(rule, order, provider_for, &subst,
+                       [&](const Substitution& s) {
+                         if (!inner.ok()) return;
+                         Atom head = s.Apply(rule.head());
+                         Tuple t = TupleFromAtom(head);
+                         ++stats_.candidates_checked;
+                         if (events.ContainsInsert(pred, t)) return;
+                         // ¬P⁰(x): the fact must not hold in the old state.
+                         if (old_state.Contains(pred, t)) return;
+                         events.inserts.Add(pred, t);
+                         ++stats_.events_found;
+                       }));
+      (void)fired;
+      DEDDB_RETURN_IF_ERROR(inner);
+    }
+
+    // ---- Deletions: δP(x) <- P⁰(x) & ¬Pⁿ(x) -------------------------------
+    // Candidates: all of P⁰ (literal eq. 7), or the dcand$P over-
+    // approximation when simplification is on. Both candidate sets consist
+    // of tuples that hold in P⁰ (dcand bodies embed an old derivation), so
+    // only ¬Pⁿ remains to be checked.
+    FactStore candidates;
+    if (compiled_->simplified) {
+      SymbolId cand_sym = symbols.Find(StrCat(
+          EventCompiler::kDeleteCandidatePrefix, symbols.NameOf(pred)));
+      for (const Rule& rule : compiled_->delete_candidates.RulesFor(cand_sym)) {
+        auto card = [&](size_t i) {
+          return provider.EstimateCount(rule.body()[i].atom().predicate());
+        };
+        DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                               PlanBodyOrder(rule, {}, std::nullopt, card));
+        ++stats_.bodies_evaluated;
+        Substitution subst;
+        DEDDB_ASSIGN_OR_RETURN(
+            size_t fired,
+            EvaluateBody(rule, order, provider_for, &subst,
+                         [&](const Substitution& s) {
+                           Atom head = s.Apply(rule.head());
+                           candidates.Add(pred, TupleFromAtom(head));
+                         }));
+        (void)fired;
+      }
+    } else {
+      const PredicateInfo* info = predicates.Find(pred);
+      TuplePattern open(info->arity);
+      old_state.ForEachMatch(pred, open,
+                             [&](const Tuple& t) { candidates.Add(pred, t); });
+    }
+    Status inner = Status::Ok();
+    candidates.ForEach([&](SymbolId, const Tuple& t) {
+      if (!inner.ok()) return;
+      ++stats_.candidates_checked;
+      if (events.ContainsDelete(pred, t)) return;
+      Result<bool> holds = NewStateHolds(new_sym, t, provider);
+      if (!holds.ok()) {
+        inner = holds.status();
+        return;
+      }
+      if (!*holds) {
+        events.deletes.Add(pred, t);
+        ++stats_.events_found;
+      }
+    });
+    DEDDB_RETURN_IF_ERROR(inner);
+  }
+  return events;
+}
+
+Result<DerivedEvents> UpwardInterpreter::RunRecompute(
+    const Transaction& transaction, const std::vector<SymbolId>& wanted) {
+  FactStoreProvider old_edb(&db_->facts());
+  BottomUpEvaluator old_eval(db_->program(), db_->symbols(), old_edb,
+                             options_.eval);
+  DEDDB_ASSIGN_OR_RETURN(FactStore old_idb, old_eval.EvaluateFor(wanted));
+
+  FactStore new_state = transaction.ApplyTo(db_->facts());
+  FactStoreProvider new_edb(&new_state);
+  BottomUpEvaluator new_eval(db_->program(), db_->symbols(), new_edb,
+                             options_.eval);
+  DEDDB_ASSIGN_OR_RETURN(FactStore new_idb, new_eval.EvaluateFor(wanted));
+
+  DependencyGraph graph(db_->program());
+  std::unordered_set<SymbolId> needed = graph.ReachableFrom(wanted);
+  for (SymbolId goal : wanted) needed.insert(goal);
+
+  DerivedEvents events;
+  new_idb.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (needed.count(pred) == 0) return;
+    ++stats_.candidates_checked;
+    if (!old_idb.Contains(pred, t)) {
+      events.inserts.Add(pred, t);
+      ++stats_.events_found;
+    }
+  });
+  old_idb.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (needed.count(pred) == 0) return;
+    ++stats_.candidates_checked;
+    if (!new_idb.Contains(pred, t)) {
+      events.deletes.Add(pred, t);
+      ++stats_.events_found;
+    }
+  });
+  return events;
+}
+
+}  // namespace deddb

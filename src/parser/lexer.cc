@@ -1,0 +1,126 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t line = 1;
+  size_t column = 1;
+  size_t i = 0;
+
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '%') {
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    Token token;
+    token.line = line;
+    token.column = column;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        advance(1);
+      }
+      token.text = std::string(source.substr(start, i - start));
+      token.kind = std::isupper(static_cast<unsigned char>(c))
+                       ? TokenKind::kUpperIdent
+                       : TokenKind::kLowerIdent;
+      if (c == '_') {
+        return InvalidArgumentError(
+            StrCat("line ", token.line, ": identifiers may not start with "
+                                        "'_' (reserved for generated names)"));
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        advance(1);
+      }
+      token.text = std::string(source.substr(start, i - start));
+      token.kind = TokenKind::kInteger;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    switch (c) {
+      case '(':
+        token.kind = TokenKind::kLParen;
+        advance(1);
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        advance(1);
+        break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        advance(1);
+        break;
+      case '.':
+        token.kind = TokenKind::kDot;
+        advance(1);
+        break;
+      case '&':
+        token.kind = TokenKind::kAmp;
+        advance(1);
+        break;
+      case '/':
+        token.kind = TokenKind::kSlash;
+        advance(1);
+        break;
+      case '<':
+        if (i + 1 < source.size() && source[i + 1] == '-') {
+          token.kind = TokenKind::kArrow;
+          advance(2);
+          break;
+        }
+        return InvalidArgumentError(
+            StrCat("line ", line, ": unexpected character '<'"));
+      case ':':
+        if (i + 1 < source.size() && source[i + 1] == '-') {
+          token.kind = TokenKind::kArrow;
+          advance(2);
+          break;
+        }
+        return InvalidArgumentError(
+            StrCat("line ", line, ": unexpected character ':'"));
+      default:
+        return InvalidArgumentError(
+            StrCat("line ", line, ": unexpected character '", c, "'"));
+    }
+    token.text = token.kind == TokenKind::kArrow ? "<-" : std::string(1, c);
+    tokens.push_back(std::move(token));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.line = line;
+  eof.column = column;
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace deddb

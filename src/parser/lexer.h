@@ -1,0 +1,43 @@
+#ifndef DEDDB_PARSER_LEXER_H_
+#define DEDDB_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deddb {
+
+/// Token kinds of the deddb surface syntax.
+enum class TokenKind {
+  kUpperIdent,  // Works, Dolors — predicate names and constants
+  kLowerIdent,  // x, emp — variables (and keywords, disambiguated by parser)
+  kInteger,     // 42 — used in arity declarations and as constants
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kAmp,      // &
+  kArrow,    // <-  (":-" is accepted as a synonym)
+  kSlash,    // /
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  size_t line = 1;
+  size_t column = 1;
+};
+
+/// Splits `source` into tokens. `%` starts a comment running to end of line.
+/// Identifiers contain letters, digits and underscore and are classified by
+/// their first character's case (paper §2: "names beginning with a capital
+/// letter for predicate symbols and constants and names beginning with a
+/// lower case letter for variables").
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace deddb
+
+#endif  // DEDDB_PARSER_LEXER_H_

@@ -1,0 +1,257 @@
+#include "parser/parser.h"
+
+#include "parser/lexer.h"
+#include "util/strings.h"
+
+namespace deddb {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  Parser(DeductiveDatabase* db, std::vector<Token> tokens)
+      : db_(db), tokens_(std::move(tokens)) {}
+
+  Result<size_t> ParseProgram() {
+    size_t statements = 0;
+    while (!AtEof()) {
+      DEDDB_RETURN_IF_ERROR(ParseStatement());
+      ++statements;
+    }
+    return statements;
+  }
+
+  Result<Transaction> ParseTransactionBody() {
+    Transaction txn;
+    while (!AtEof()) {
+      DEDDB_ASSIGN_OR_RETURN(bool is_insert, ParseEventOp());
+      DEDDB_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      if (!atom.IsGround()) {
+        return Error("transaction events must be ground");
+      }
+      DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
+                             db_->database().predicates().Get(
+                                 atom.predicate()));
+      if (info.kind != PredicateKind::kBase) {
+        return Error(StrCat("transaction events must use base predicates; '",
+                            db_->symbols().NameOf(atom.predicate()),
+                            "' is derived"));
+      }
+      DEDDB_RETURN_IF_ERROR(is_insert ? txn.AddInsert(atom)
+                                      : txn.AddDelete(atom));
+      if (Peek().kind == TokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    DEDDB_RETURN_IF_ERROR(ExpectEof());
+    return txn;
+  }
+
+  Result<UpdateRequest> ParseRequestBody() {
+    UpdateRequest request;
+    while (!AtEof()) {
+      RequestedEvent event;
+      if (Peek().kind == TokenKind::kLowerIdent && Peek().text == "not") {
+        Next();
+        event.positive = false;
+      }
+      DEDDB_ASSIGN_OR_RETURN(bool is_insert, ParseEventOp());
+      event.is_insert = is_insert;
+      DEDDB_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      event.predicate = atom.predicate();
+      event.args = atom.args();
+      request.events.push_back(std::move(event));
+      if (Peek().kind == TokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    DEDDB_RETURN_IF_ERROR(ExpectEof());
+    return request;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AtEof() const { return Peek().kind == TokenKind::kEof; }
+
+  Status Error(std::string message) const {
+    return InvalidArgumentError(
+        StrCat("line ", Peek().line, ": ", message));
+  }
+
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return Error(StrCat("expected ", what, ", got '", Peek().text, "'"));
+    }
+    Next();
+    return Status::Ok();
+  }
+
+  Status ExpectEof() {
+    if (!AtEof()) {
+      return Error(StrCat("unexpected trailing input '", Peek().text, "'"));
+    }
+    return Status::Ok();
+  }
+
+  // "ins" | "del"
+  Result<bool> ParseEventOp() {
+    if (Peek().kind == TokenKind::kLowerIdent) {
+      if (Peek().text == "ins") {
+        Next();
+        return true;
+      }
+      if (Peek().text == "del") {
+        Next();
+        return false;
+      }
+    }
+    return Error(StrCat("expected 'ins' or 'del', got '", Peek().text, "'"));
+  }
+
+  // Declaration | fact | rule, each ending with '.'.
+  Status ParseStatement() {
+    const Token& tok = Peek();
+    if (tok.kind == TokenKind::kLowerIdent) {
+      // Declaration keyword.
+      std::string keyword = tok.text;
+      bool materialized = false;
+      if (keyword == "materialized") {
+        Next();
+        if (Peek().kind != TokenKind::kLowerIdent || Peek().text != "view") {
+          return Error("expected 'view' after 'materialized'");
+        }
+        keyword = "view";
+        materialized = true;
+      }
+      if (keyword == "base" || keyword == "derived" || keyword == "view" ||
+          keyword == "ic" || keyword == "condition") {
+        Next();
+        return ParseDeclaration(keyword, materialized);
+      }
+      return Error(StrCat("unknown keyword '", keyword, "'"));
+    }
+    if (tok.kind != TokenKind::kUpperIdent) {
+      return Error(StrCat("expected declaration, fact or rule, got '",
+                          tok.text, "'"));
+    }
+    // Fact or rule: parse head atom, then '.' or '<-'.
+    DEDDB_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+    if (Peek().kind == TokenKind::kDot) {
+      Next();
+      return db_->AddFact(head);
+    }
+    DEDDB_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'<-'"));
+    std::vector<Literal> body;
+    while (true) {
+      bool negative = false;
+      if (Peek().kind == TokenKind::kLowerIdent && Peek().text == "not") {
+        Next();
+        negative = true;
+      }
+      DEDDB_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      body.push_back(Literal(std::move(atom), !negative));
+      if (Peek().kind == TokenKind::kAmp || Peek().kind == TokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    DEDDB_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
+    return db_->AddRule(Rule(std::move(head), std::move(body)));
+  }
+
+  // Name/arity '.'
+  Status ParseDeclaration(const std::string& keyword, bool materialized) {
+    if (Peek().kind != TokenKind::kUpperIdent) {
+      return Error(StrCat("expected predicate name after '", keyword, "'"));
+    }
+    std::string name = Next().text;
+    DEDDB_RETURN_IF_ERROR(Expect(TokenKind::kSlash, "'/'"));
+    if (Peek().kind != TokenKind::kInteger) {
+      return Error("expected arity");
+    }
+    size_t arity = std::stoul(Next().text);
+    DEDDB_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.'"));
+
+    Result<SymbolId> declared = [&]() -> Result<SymbolId> {
+      if (keyword == "base") return db_->DeclareBase(name, arity);
+      if (keyword == "derived") return db_->DeclareDerived(name, arity);
+      if (keyword == "view") return db_->DeclareView(name, arity);
+      if (keyword == "ic") return db_->DeclareConstraint(name, arity);
+      return db_->DeclareCondition(name, arity);
+    }();
+    if (!declared.ok()) return declared.status();
+    if (materialized) {
+      DEDDB_RETURN_IF_ERROR(db_->MaterializeView(*declared));
+    }
+    return Status::Ok();
+  }
+
+  // Name [ '(' term {',' term} ')' ]. The predicate must be declared.
+  Result<Atom> ParseAtom() {
+    if (Peek().kind != TokenKind::kUpperIdent) {
+      return Error(StrCat("expected predicate name, got '", Peek().text, "'"));
+    }
+    std::string name = Next().text;
+    std::vector<Term> args;
+    if (Peek().kind == TokenKind::kLParen) {
+      Next();
+      while (true) {
+        const Token& t = Peek();
+        if (t.kind == TokenKind::kUpperIdent || t.kind == TokenKind::kInteger) {
+          args.push_back(db_->Constant(t.text));
+          Next();
+        } else if (t.kind == TokenKind::kLowerIdent) {
+          args.push_back(db_->Variable(t.text));
+          Next();
+        } else {
+          return Error(StrCat("expected term, got '", t.text, "'"));
+        }
+        if (Peek().kind == TokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      DEDDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    }
+    return db_->MakeAtom(name, std::move(args));
+  }
+
+  DeductiveDatabase* db_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<size_t> LoadProgram(DeductiveDatabase* db, std::string_view source) {
+  DEDDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(db, std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<Transaction> ParseTransaction(DeductiveDatabase* db,
+                                     std::string_view source) {
+  DEDDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(db, std::move(tokens));
+  return parser.ParseTransactionBody();
+}
+
+Result<UpdateRequest> ParseRequest(DeductiveDatabase* db,
+                                   std::string_view source) {
+  DEDDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(db, std::move(tokens));
+  return parser.ParseRequestBody();
+}
+
+}  // namespace deddb

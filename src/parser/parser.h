@@ -1,0 +1,43 @@
+#ifndef DEDDB_PARSER_PARSER_H_
+#define DEDDB_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "core/deductive_database.h"
+
+namespace deddb {
+
+/// Loads a deddb program into `db`. The surface syntax:
+///
+///   % declarations (required before use)
+///   base Works/2.
+///   derived Aux/1.            % plain derived predicate
+///   view Unemp/1.             % derived with view semantics
+///   materialized view V/1.    % view with stored extension
+///   ic Ic1/1.                 % inconsistency predicate (integrity rule head)
+///   condition Alert/1.        % monitored condition
+///
+///   % facts (base predicates, ground)
+///   Works(John, Sales).
+///
+///   % rules ("&" separates conditions; "not" negates; ":-" also accepted)
+///   Unemp(x) <- La(x) & not Works(x).
+///
+/// Constants and predicates start with an upper-case letter, variables with
+/// a lower-case letter (paper §2). Returns the number of statements loaded.
+Result<size_t> LoadProgram(DeductiveDatabase* db, std::string_view source);
+
+/// Parses a transaction: a comma-separated list of `ins Atom` / `del Atom`
+/// with ground base atoms, e.g. "del U_benefit(Dolors), ins La(Maria)".
+Result<Transaction> ParseTransaction(DeductiveDatabase* db,
+                                     std::string_view source);
+
+/// Parses an update request: like a transaction but atoms may be derived,
+/// may contain variables, and entries may be negated with "not", e.g.
+/// "del Unemp(Dolors)" or "ins La(Maria), not ins Unemp(Maria)".
+Result<UpdateRequest> ParseRequest(DeductiveDatabase* db,
+                                   std::string_view source);
+
+}  // namespace deddb
+
+#endif  // DEDDB_PARSER_PARSER_H_

@@ -1,0 +1,64 @@
+#include "problems/condition_activation.h"
+
+#include "problems/side_effects.h"
+
+namespace deddb::problems {
+
+Result<DownwardResult> EnforceCondition(const Database& db,
+                                        const CompiledEvents& compiled,
+                                        const ActiveDomain& domain,
+                                        RequestedEvent cond_event,
+                                        const DownwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
+                         db.predicates().Get(cond_event.predicate));
+  if (info.semantics != PredicateSemantics::kCondition) {
+    return InvalidArgumentError(
+        "EnforceCondition requires a condition predicate");
+  }
+  cond_event.positive = true;
+  UpdateRequest request;
+  request.events.push_back(std::move(cond_event));
+  return TranslateViewUpdate(db, compiled, domain, request, options);
+}
+
+Result<bool> ValidateCondition(const Database& db,
+                               const CompiledEvents& compiled,
+                               const ActiveDomain& domain, SymbolId condition,
+                               bool activation, SymbolTable* symbols,
+                               const DownwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db.predicates().Get(condition));
+  if (info.semantics != PredicateSemantics::kCondition) {
+    return InvalidArgumentError(
+        "ValidateCondition requires a condition predicate");
+  }
+  RequestedEvent event;
+  event.positive = true;
+  event.is_insert = activation;
+  event.predicate = condition;
+  for (size_t i = 0; i < info.arity; ++i) {
+    event.args.push_back(Term::MakeVariable(symbols->FreshVar()));
+  }
+  DEDDB_ASSIGN_OR_RETURN(
+      DownwardResult result,
+      EnforceCondition(db, compiled, domain, std::move(event), options));
+  return result.Satisfiable();
+}
+
+Result<DownwardResult> PreventConditionActivation(
+    const Database& db, const CompiledEvents& compiled,
+    const ActiveDomain& domain, const Transaction& transaction,
+    std::vector<RequestedEvent> protected_events,
+    const DownwardOptions& options) {
+  for (const RequestedEvent& event : protected_events) {
+    DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
+                           db.predicates().Get(event.predicate));
+    if (info.semantics != PredicateSemantics::kCondition) {
+      return InvalidArgumentError(
+          "PreventConditionActivation requires condition predicates");
+    }
+  }
+  return PreventSideEffects(db, compiled, domain, transaction,
+                            std::move(protected_events), options);
+}
+
+}  // namespace deddb::problems

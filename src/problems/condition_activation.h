@@ -1,0 +1,45 @@
+#ifndef DEDDB_PROBLEMS_CONDITION_ACTIVATION_H_
+#define DEDDB_PROBLEMS_CONDITION_ACTIVATION_H_
+
+#include <vector>
+
+#include "problems/view_updating.h"
+#include "storage/transaction.h"
+
+namespace deddb::problems {
+
+/// Enforcing condition activation (paper §5.2.5): the downward
+/// interpretation of ιCond(X) (activate) or δCond(X) (deactivate) — possible
+/// transactions that make X satisfy / stop satisfying the condition.
+/// `cond_event.positive` is forced to true. Open arguments mean "for some
+/// instance".
+Result<DownwardResult> EnforceCondition(const Database& db,
+                                        const CompiledEvents& compiled,
+                                        const ActiveDomain& domain,
+                                        RequestedEvent cond_event,
+                                        const DownwardOptions& options = {});
+
+/// Condition validation (§5.2.5): is there at least one X such that some
+/// transaction induces ιCond(X) (activation=true) / δCond(X)
+/// (activation=false)?
+Result<bool> ValidateCondition(const Database& db,
+                               const CompiledEvents& compiled,
+                               const ActiveDomain& domain, SymbolId condition,
+                               bool activation, SymbolTable* symbols,
+                               const DownwardOptions& options = {});
+
+/// Preventing condition activation (§5.2.6): base updates to append to
+/// `transaction` so that no change on the given conditions occurs during the
+/// transition — the downward interpretation of {T, ¬ιCond(X), ¬δCond(X)}.
+/// Open arguments in `protected_events` mean "for no instance"; pass both
+/// the insertion and the deletion event of a condition to freeze it
+/// completely.
+Result<DownwardResult> PreventConditionActivation(
+    const Database& db, const CompiledEvents& compiled,
+    const ActiveDomain& domain, const Transaction& transaction,
+    std::vector<RequestedEvent> protected_events,
+    const DownwardOptions& options = {});
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_CONDITION_ACTIVATION_H_

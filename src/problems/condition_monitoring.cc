@@ -1,0 +1,37 @@
+#include "problems/condition_monitoring.h"
+
+#include <unordered_set>
+
+namespace deddb::problems {
+
+Result<ConditionChanges> MonitorConditions(
+    const Database& db, const CompiledEvents& compiled,
+    const Transaction& transaction, const std::vector<SymbolId>& conditions,
+    const UpwardOptions& options) {
+  std::vector<SymbolId> goals =
+      conditions.empty() ? db.condition_predicates() : conditions;
+  for (SymbolId goal : goals) {
+    DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db.predicates().Get(goal));
+    if (info.semantics != PredicateSemantics::kCondition) {
+      return InvalidArgumentError(
+          "MonitorConditions goals must be condition predicates");
+    }
+  }
+  UpwardInterpreter upward(&db, &compiled, options);
+  DEDDB_ASSIGN_OR_RETURN(DerivedEvents all,
+                         upward.InducedEventsFor(transaction, goals));
+
+  // Keep only events on the monitored conditions (the closure may have
+  // computed events of intermediate predicates).
+  std::unordered_set<SymbolId> wanted(goals.begin(), goals.end());
+  ConditionChanges changes;
+  all.inserts.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (wanted.count(pred) > 0) changes.events.inserts.Add(pred, t);
+  });
+  all.deletes.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (wanted.count(pred) > 0) changes.events.deletes.Add(pred, t);
+  });
+  return changes;
+}
+
+}  // namespace deddb::problems

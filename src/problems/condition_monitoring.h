@@ -1,0 +1,36 @@
+#ifndef DEDDB_PROBLEMS_CONDITION_MONITORING_H_
+#define DEDDB_PROBLEMS_CONDITION_MONITORING_H_
+
+#include <vector>
+
+#include "interp/upward.h"
+#include "storage/database.h"
+#include "storage/transaction.h"
+
+namespace deddb::problems {
+
+/// Condition monitoring (paper §5.1.2): the changes a transaction induces on
+/// monitored condition predicates, specified as the upward interpretation of
+/// ιCond(x) and δCond(x).
+struct ConditionChanges {
+  /// Instances that satisfy the condition after the transaction but not
+  /// before (ιCond) / before but not after (δCond), keyed by the condition's
+  /// predicate symbol.
+  DerivedEvents events;
+
+  /// True if the transaction induces no change on any monitored condition
+  /// (the complementary ¬ιCond / ¬δCond checks of §5.1.2).
+  bool Unchanged() const { return events.empty(); }
+};
+
+/// Monitors `conditions` (default: every predicate declared with condition
+/// semantics) against `transaction`.
+Result<ConditionChanges> MonitorConditions(
+    const Database& db, const CompiledEvents& compiled,
+    const Transaction& transaction,
+    const std::vector<SymbolId>& conditions = {},
+    const UpwardOptions& options = {});
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_CONDITION_MONITORING_H_

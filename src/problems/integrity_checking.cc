@@ -1,0 +1,59 @@
+#include "problems/integrity_checking.h"
+
+#include <algorithm>
+
+#include "interp/old_state.h"
+
+namespace deddb::problems {
+
+Result<bool> IcHolds(const Database& db, const EvaluationOptions& eval) {
+  OldStateView old_state(&db, eval);
+  return old_state.Holds(Atom(db.global_ic(), {}));
+}
+
+Result<IntegrityCheckResult> CheckIntegrity(const Database& db,
+                                            const CompiledEvents& compiled,
+                                            const Transaction& transaction,
+                                            const UpwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
+  if (inconsistent) {
+    return FailedPreconditionError(
+        "integrity checking requires a consistent database (¬Ic⁰); use "
+        "CheckConsistencyRestored or RepairDatabase instead");
+  }
+  UpwardInterpreter upward(&db, &compiled, options);
+  DEDDB_ASSIGN_OR_RETURN(DerivedEvents events,
+                         upward.InducedEventsFor(transaction,
+                                                 {db.global_ic()}));
+  IntegrityCheckResult result;
+  result.violated = events.ContainsInsert(db.global_ic(), {});
+  for (SymbolId ic : db.ic_predicates()) {
+    const Relation* rel = events.inserts.Find(ic);
+    if (rel == nullptr) continue;
+    rel->ForEach([&](const Tuple& t) {
+      result.violations.push_back(AtomFromTuple(ic, t));
+    });
+  }
+  std::sort(result.violations.begin(), result.violations.end());
+  return result;
+}
+
+Result<ConsistencyRestorationResult> CheckConsistencyRestored(
+    const Database& db, const CompiledEvents& compiled,
+    const Transaction& transaction, const UpwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
+  if (!inconsistent) {
+    return FailedPreconditionError(
+        "consistency-restoration checking requires an inconsistent database "
+        "(Ic⁰); use CheckIntegrity instead");
+  }
+  UpwardInterpreter upward(&db, &compiled, options);
+  DEDDB_ASSIGN_OR_RETURN(DerivedEvents events,
+                         upward.InducedEventsFor(transaction,
+                                                 {db.global_ic()}));
+  ConsistencyRestorationResult result;
+  result.restored = events.ContainsDelete(db.global_ic(), {});
+  return result;
+}
+
+}  // namespace deddb::problems

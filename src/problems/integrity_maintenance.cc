@@ -1,0 +1,45 @@
+#include "problems/integrity_maintenance.h"
+
+#include "problems/integrity_checking.h"
+#include "problems/side_effects.h"
+
+namespace deddb::problems {
+
+Result<DownwardResult> MaintainIntegrity(const Database& db,
+                                         const CompiledEvents& compiled,
+                                         const ActiveDomain& domain,
+                                         const Transaction& transaction,
+                                         const DownwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
+  if (inconsistent) {
+    return FailedPreconditionError(
+        "MaintainIntegrity requires a consistent database (¬Ic⁰)");
+  }
+  UpdateRequest request = RequestFromTransaction(transaction);
+  RequestedEvent no_violation;
+  no_violation.positive = false;
+  no_violation.is_insert = true;
+  no_violation.predicate = db.global_ic();
+  request.events.push_back(std::move(no_violation));
+  return TranslateViewUpdate(db, compiled, domain, request, options);
+}
+
+Result<DownwardResult> MaintainInconsistency(
+    const Database& db, const CompiledEvents& compiled,
+    const ActiveDomain& domain, const Transaction& transaction,
+    const DownwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
+  if (!inconsistent) {
+    return FailedPreconditionError(
+        "MaintainInconsistency requires an inconsistent database (Ic⁰)");
+  }
+  UpdateRequest request = RequestFromTransaction(transaction);
+  RequestedEvent no_restoration;
+  no_restoration.positive = false;
+  no_restoration.is_insert = false;
+  no_restoration.predicate = db.global_ic();
+  request.events.push_back(std::move(no_restoration));
+  return TranslateViewUpdate(db, compiled, domain, request, options);
+}
+
+}  // namespace deddb::problems

@@ -1,0 +1,34 @@
+#ifndef DEDDB_PROBLEMS_INTEGRITY_MAINTENANCE_H_
+#define DEDDB_PROBLEMS_INTEGRITY_MAINTENANCE_H_
+
+#include "problems/view_updating.h"
+#include "storage/transaction.h"
+
+namespace deddb::problems {
+
+/// Integrity constraints maintenance (paper §5.2.4): given a consistent
+/// database and a transaction, finds the repairs — additional base updates
+/// to append so that the resulting transaction satisfies all constraints.
+/// Specified as the downward interpretation of {T, ¬ιIc} given ¬Ic⁰.
+///
+/// Each returned translation *contains* the original transaction's events
+/// plus the repair. An empty result means no repair exists and the
+/// transaction must be rejected. Fails with kFailedPrecondition if the
+/// database is inconsistent.
+Result<DownwardResult> MaintainIntegrity(const Database& db,
+                                         const CompiledEvents& compiled,
+                                         const ActiveDomain& domain,
+                                         const Transaction& transaction,
+                                         const DownwardOptions& options = {});
+
+/// The dual problem of §5.2.4 (identified by the framework, "although we do
+/// not see any practical application"): keep an inconsistent database
+/// inconsistent — the downward interpretation of {T, ¬δIc} given Ic⁰.
+Result<DownwardResult> MaintainInconsistency(
+    const Database& db, const CompiledEvents& compiled,
+    const ActiveDomain& domain, const Transaction& transaction,
+    const DownwardOptions& options = {});
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_INTEGRITY_MAINTENANCE_H_

@@ -1,0 +1,64 @@
+#include "problems/repair.h"
+
+#include "problems/integrity_checking.h"
+
+namespace deddb::problems {
+
+namespace {
+
+RequestedEvent GlobalIcEvent(const Database& db, bool is_insert,
+                             bool positive) {
+  RequestedEvent event;
+  event.positive = positive;
+  event.is_insert = is_insert;
+  event.predicate = db.global_ic();
+  return event;  // 0-ary: no args
+}
+
+}  // namespace
+
+Result<DownwardResult> RepairDatabase(const Database& db,
+                                      const CompiledEvents& compiled,
+                                      const ActiveDomain& domain,
+                                      const DownwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
+  if (!inconsistent) {
+    return FailedPreconditionError(
+        "RepairDatabase requires an inconsistent database (Ic⁰)");
+  }
+  UpdateRequest request;
+  request.events.push_back(
+      GlobalIcEvent(db, /*is_insert=*/false, /*positive=*/true));
+  return TranslateViewUpdate(db, compiled, domain, request, options);
+}
+
+Result<bool> CheckSatisfiability(const Database& db,
+                                 const CompiledEvents& compiled,
+                                 const ActiveDomain& domain,
+                                 const DownwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
+  if (!inconsistent) return true;  // current state already satisfies all ICs
+  UpdateRequest request;
+  request.events.push_back(
+      GlobalIcEvent(db, /*is_insert=*/false, /*positive=*/true));
+  DEDDB_ASSIGN_OR_RETURN(DownwardResult result,
+                         TranslateViewUpdate(db, compiled, domain, request,
+                                             options));
+  return result.Satisfiable();
+}
+
+Result<DownwardResult> FindViolatingTransactions(
+    const Database& db, const CompiledEvents& compiled,
+    const ActiveDomain& domain, const DownwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
+  if (inconsistent) {
+    return FailedPreconditionError(
+        "FindViolatingTransactions requires a consistent database (¬Ic⁰)");
+  }
+  UpdateRequest request;
+  request.events.push_back(
+      GlobalIcEvent(db, /*is_insert=*/true, /*positive=*/true));
+  return TranslateViewUpdate(db, compiled, domain, request, options);
+}
+
+}  // namespace deddb::problems

@@ -1,0 +1,38 @@
+#ifndef DEDDB_PROBLEMS_REPAIR_H_
+#define DEDDB_PROBLEMS_REPAIR_H_
+
+#include "problems/view_updating.h"
+
+namespace deddb::problems {
+
+/// Repairing an inconsistent database (paper §5.2.3): the downward
+/// interpretation of δIc given Ic⁰ — each translation is a set of base fact
+/// updates restoring consistency. Fails with kFailedPrecondition if the
+/// database is already consistent.
+Result<DownwardResult> RepairDatabase(const Database& db,
+                                      const CompiledEvents& compiled,
+                                      const ActiveDomain& domain,
+                                      const DownwardOptions& options = {});
+
+/// Integrity-constraint satisfiability (§5.2.3, [BDM88]): is there a state
+/// of the extensional database satisfying all constraints? If the database
+/// is consistent the answer is trivially yes; otherwise yes iff the
+/// downward interpretation of δIc defines at least one transaction.
+Result<bool> CheckSatisfiability(const Database& db,
+                                 const CompiledEvents& compiled,
+                                 const ActiveDomain& domain,
+                                 const DownwardOptions& options = {});
+
+/// Ensuring integrity-constraints satisfaction (§5.2.3): can the database
+/// ever become inconsistent? The downward interpretation of ιIc enumerates
+/// the ways of turning the database into an inconsistent state; an empty
+/// result means no inconsistent state is reachable from the current one by
+/// base updates. Fails with kFailedPrecondition if the database is already
+/// inconsistent.
+Result<DownwardResult> FindViolatingTransactions(
+    const Database& db, const CompiledEvents& compiled,
+    const ActiveDomain& domain, const DownwardOptions& options = {});
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_REPAIR_H_

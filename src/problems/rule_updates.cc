@@ -1,0 +1,60 @@
+#include "problems/rule_updates.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace deddb::problems {
+
+namespace {
+
+// Builds the updated rule set: db's rules minus `remove` (exact matches)
+// plus `add` (validated).
+Result<Program> UpdatedProgram(const Database& db, const RuleUpdate& update) {
+  std::vector<Rule> remaining = db.program().rules();
+  for (const Rule& victim : update.remove) {
+    auto it = std::find(remaining.begin(), remaining.end(), victim);
+    if (it == remaining.end()) {
+      return NotFoundError(StrCat("rule '", victim.ToString(db.symbols()),
+                                  "' is not part of the program"));
+    }
+    remaining.erase(it);
+  }
+  Program updated;
+  for (Rule& rule : remaining) updated.AddRuleUnchecked(std::move(rule));
+  for (const Rule& rule : update.add) {
+    DEDDB_RETURN_IF_ERROR(updated.AddRule(rule, db.predicates()));
+  }
+  return updated;
+}
+
+}  // namespace
+
+Result<DerivedEvents> InducedEventsOfRuleUpdate(const Database& db,
+                                                const RuleUpdate& update,
+                                                const EvaluationOptions& eval) {
+  DEDDB_ASSIGN_OR_RETURN(Program updated, UpdatedProgram(db, update));
+
+  FactStoreProvider edb(&db.facts());
+  BottomUpEvaluator old_eval(db.program(), db.symbols(), edb, eval);
+  DEDDB_ASSIGN_OR_RETURN(FactStore old_idb, old_eval.Evaluate());
+  BottomUpEvaluator new_eval(updated, db.symbols(), edb, eval);
+  DEDDB_ASSIGN_OR_RETURN(FactStore new_idb, new_eval.Evaluate());
+
+  DerivedEvents events;
+  new_idb.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (!old_idb.Contains(pred, t)) events.inserts.Add(pred, t);
+  });
+  old_idb.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (!new_idb.Contains(pred, t)) events.deletes.Add(pred, t);
+  });
+  return events;
+}
+
+Status ApplyRuleUpdate(Database* db, const RuleUpdate& update) {
+  DEDDB_ASSIGN_OR_RETURN(Program updated, UpdatedProgram(*db, update));
+  db->ReplaceProgram(std::move(updated));
+  return Status::Ok();
+}
+
+}  // namespace deddb::problems

@@ -1,0 +1,46 @@
+#ifndef DEDDB_PROBLEMS_RULE_UPDATES_H_
+#define DEDDB_PROBLEMS_RULE_UPDATES_H_
+
+#include <vector>
+
+#include "eval/bottom_up.h"
+#include "interp/derived_events.h"
+#include "storage/database.h"
+
+namespace deddb::problems {
+
+/// Updates of deductive rules (paper §5.3, closing remark): "the
+/// specification of the upward and the downward problems is the same when
+/// considering other kinds of updates like insertions or deletions of
+/// deductive rules. In this case, we should first determine the changes on
+/// the transition and event rules caused by the update and apply then our
+/// approach in the same way."
+///
+/// A rule update: rules to add to and/or remove from the intensional part.
+/// Removal matches rules structurally (head + body, exact).
+struct RuleUpdate {
+  std::vector<Rule> add;
+  std::vector<Rule> remove;
+};
+
+/// The upward problem for rule updates: the changes induced on derived
+/// predicates by applying `update` to the deductive rules while the
+/// extensional part stays fixed. Realized per the paper's recipe by
+/// re-deriving the event machinery for the changed program — here in its
+/// eqs.-1-2 form: evaluate the derived predicates under the old and the new
+/// rule set and diff.
+///
+/// Fails with kInvalidArgument if an added rule does not validate or a
+/// removed rule is not present.
+Result<DerivedEvents> InducedEventsOfRuleUpdate(
+    const Database& db, const RuleUpdate& update,
+    const EvaluationOptions& eval = {});
+
+/// Applies a rule update to `db` (validating additions and removing exact
+/// matches). The event machinery must be recompiled afterwards; the facade
+/// handles that automatically.
+Status ApplyRuleUpdate(Database* db, const RuleUpdate& update);
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_RULE_UPDATES_H_

@@ -1,0 +1,36 @@
+#include "problems/side_effects.h"
+
+namespace deddb::problems {
+
+UpdateRequest RequestFromTransaction(const Transaction& transaction) {
+  UpdateRequest request;
+  auto add = [&](bool is_insert) {
+    const FactStore& store =
+        is_insert ? transaction.inserts() : transaction.deletes();
+    store.ForEach([&](SymbolId pred, const Tuple& t) {
+      RequestedEvent event;
+      event.positive = true;
+      event.is_insert = is_insert;
+      event.predicate = pred;
+      for (SymbolId c : t) event.args.push_back(Term::MakeConstant(c));
+      request.events.push_back(std::move(event));
+    });
+  };
+  add(/*is_insert=*/true);
+  add(/*is_insert=*/false);
+  return request;
+}
+
+Result<DownwardResult> PreventSideEffects(
+    const Database& db, const CompiledEvents& compiled,
+    const ActiveDomain& domain, const Transaction& transaction,
+    std::vector<RequestedEvent> unwanted, const DownwardOptions& options) {
+  UpdateRequest request = RequestFromTransaction(transaction);
+  for (RequestedEvent& event : unwanted) {
+    event.positive = false;
+    request.events.push_back(std::move(event));
+  }
+  return TranslateViewUpdate(db, compiled, domain, request, options);
+}
+
+}  // namespace deddb::problems

@@ -1,0 +1,30 @@
+#ifndef DEDDB_PROBLEMS_SIDE_EFFECTS_H_
+#define DEDDB_PROBLEMS_SIDE_EFFECTS_H_
+
+#include <vector>
+
+#include "problems/view_updating.h"
+#include "storage/transaction.h"
+
+namespace deddb::problems {
+
+/// Builds the downward request corresponding to a transaction: one positive
+/// base event per insertion/deletion in `transaction`. Used whenever a
+/// downward problem takes "a given transaction T" as part of its
+/// specification ({T, ¬ιP} and friends).
+UpdateRequest RequestFromTransaction(const Transaction& transaction);
+
+/// Preventing side effects (paper §5.2.2): finds the sets of base fact
+/// updates which, appended to `transaction`, guarantee that none of the
+/// `unwanted` derived events is induced — the downward interpretation of
+/// {T, ¬ι/δView(X)}. `unwanted` entries are interpreted negatively
+/// regardless of their `positive` flag; open arguments mean "for no
+/// instance".
+Result<DownwardResult> PreventSideEffects(
+    const Database& db, const CompiledEvents& compiled,
+    const ActiveDomain& domain, const Transaction& transaction,
+    std::vector<RequestedEvent> unwanted, const DownwardOptions& options = {});
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_SIDE_EFFECTS_H_

@@ -1,0 +1,92 @@
+#include "problems/translations.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/strings.h"
+
+namespace deddb::problems {
+
+std::string Translation::ToString(const SymbolTable& symbols) const {
+  std::string out = transaction.ToString(symbols);
+  if (!requirements.empty()) {
+    out += StrCat(" requiring {",
+                  JoinMapped(requirements, ", ",
+                             [&](const EventLiteral& lit) {
+                               return lit.ToString(symbols);
+                             }),
+                  "}");
+  }
+  return out;
+}
+
+std::vector<Translation> TranslationsFromDnf(const Dnf& dnf) {
+  std::vector<Translation> out;
+  for (const Conjunct& conjunct : dnf.disjuncts()) {
+    Translation translation;
+    bool ok = true;
+    for (const EventLiteral& lit : conjunct.literals()) {
+      if (!lit.positive) {
+        translation.requirements.push_back(lit);
+        continue;
+      }
+      Status status =
+          lit.event.is_insert
+              ? translation.transaction.AddInsert(lit.event.predicate,
+                                                  lit.event.tuple)
+              : translation.transaction.AddDelete(lit.event.predicate,
+                                                  lit.event.tuple);
+      if (!status.ok()) {
+        ok = false;  // contradictory disjunct; normalization should have
+        break;       // removed it, but be defensive
+      }
+    }
+    if (ok) out.push_back(std::move(translation));
+  }
+  return out;
+}
+
+namespace {
+
+// The positive events of a translation as a sorted key.
+std::vector<std::tuple<bool, SymbolId, Tuple>> UpdateSet(
+    const Translation& translation) {
+  std::vector<std::tuple<bool, SymbolId, Tuple>> key;
+  translation.transaction.inserts().ForEach(
+      [&](SymbolId pred, const Tuple& t) { key.emplace_back(true, pred, t); });
+  translation.transaction.deletes().ForEach(
+      [&](SymbolId pred, const Tuple& t) {
+        key.emplace_back(false, pred, t);
+      });
+  std::sort(key.begin(), key.end());
+  return key;
+}
+
+}  // namespace
+
+std::vector<Translation> MinimalTranslations(
+    const std::vector<Translation>& translations) {
+  std::vector<std::vector<std::tuple<bool, SymbolId, Tuple>>> keys;
+  keys.reserve(translations.size());
+  for (const Translation& t : translations) keys.push_back(UpdateSet(t));
+
+  std::vector<Translation> out;
+  for (size_t i = 0; i < translations.size(); ++i) {
+    bool keep = true;
+    for (size_t j = 0; j < translations.size() && keep; ++j) {
+      if (i == j) continue;
+      bool subset = std::includes(keys[i].begin(), keys[i].end(),
+                                  keys[j].begin(), keys[j].end());
+      if (!subset) continue;
+      if (keys[j].size() < keys[i].size()) {
+        keep = false;  // strictly smaller alternative exists
+      } else if (keys[j] == keys[i] && j < i) {
+        keep = false;  // duplicate update set; keep the first
+      }
+    }
+    if (keep) out.push_back(translations[i]);
+  }
+  return out;
+}
+
+}  // namespace deddb::problems

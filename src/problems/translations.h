@@ -1,0 +1,40 @@
+#ifndef DEDDB_PROBLEMS_TRANSLATIONS_H_
+#define DEDDB_PROBLEMS_TRANSLATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "interp/dnf.h"
+#include "storage/transaction.h"
+
+namespace deddb::problems {
+
+/// One alternative produced by a downward problem: the transaction to apply
+/// (the disjunct's positive base event literals) and the requirements it
+/// carries (the negative literals — updates that must NOT be performed;
+/// they hold automatically as long as nothing extra is added to the
+/// transaction).
+struct Translation {
+  Transaction transaction;
+  std::vector<EventLiteral> requirements;
+
+  std::string ToString(const SymbolTable& symbols) const;
+};
+
+/// Converts a downward-interpretation DNF into concrete translations, one
+/// per disjunct, in the DNF's deterministic order. A TRUE DNF yields a
+/// single empty translation (the request is satisfiable with no base
+/// updates); a FALSE DNF yields none.
+std::vector<Translation> TranslationsFromDnf(const Dnf& dnf);
+
+/// Filters to the translations whose base-update sets are minimal under
+/// inclusion (the preferred candidates in the view-update literature;
+/// duplicates by update set are collapsed, keeping the first). Translations
+/// are compared by their positive events only: a translation's requirements
+/// are satisfied by construction when exactly its updates are applied.
+std::vector<Translation> MinimalTranslations(
+    const std::vector<Translation>& translations);
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_TRANSLATIONS_H_

@@ -1,0 +1,66 @@
+#include "problems/view_maintenance.h"
+
+#include <unordered_set>
+
+#include "eval/bottom_up.h"
+
+namespace deddb::problems {
+
+Status InitializeMaterializedViews(Database* db,
+                                   const EvaluationOptions& eval) {
+  std::vector<SymbolId> materialized;
+  for (SymbolId view : db->view_predicates()) {
+    if (db->IsMaterialized(view)) materialized.push_back(view);
+  }
+  if (materialized.empty()) return Status::Ok();
+
+  FactStoreProvider edb(&db->facts());
+  BottomUpEvaluator evaluator(db->program(), db->symbols(), edb, eval);
+  DEDDB_ASSIGN_OR_RETURN(FactStore idb, evaluator.EvaluateFor(materialized));
+
+  std::unordered_set<SymbolId> wanted(materialized.begin(),
+                                      materialized.end());
+  FactStore& store = db->materialized_store();
+  store.Clear();
+  idb.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (wanted.count(pred) > 0) store.Add(pred, t);
+  });
+  return Status::Ok();
+}
+
+Result<ViewMaintenanceResult> MaintainMaterializedViews(
+    Database* db, const CompiledEvents& compiled,
+    const Transaction& transaction, bool apply,
+    const UpwardOptions& options) {
+  std::vector<SymbolId> goals;
+  for (SymbolId view : db->view_predicates()) {
+    if (db->IsMaterialized(view)) goals.push_back(view);
+  }
+  ViewMaintenanceResult result;
+  if (goals.empty()) return result;
+
+  UpwardInterpreter upward(db, &compiled, options);
+  DEDDB_ASSIGN_OR_RETURN(DerivedEvents all,
+                         upward.InducedEventsFor(transaction, goals));
+
+  std::unordered_set<SymbolId> wanted(goals.begin(), goals.end());
+  all.inserts.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (wanted.count(pred) > 0) result.delta.inserts.Add(pred, t);
+  });
+  all.deletes.ForEach([&](SymbolId pred, const Tuple& t) {
+    if (wanted.count(pred) > 0) result.delta.deletes.Add(pred, t);
+  });
+
+  if (apply) {
+    FactStore& store = db->materialized_store();
+    result.delta.deletes.ForEach([&](SymbolId pred, const Tuple& t) {
+      if (store.Remove(pred, t)) ++result.applied_deletes;
+    });
+    result.delta.inserts.ForEach([&](SymbolId pred, const Tuple& t) {
+      if (store.Add(pred, t)) ++result.applied_inserts;
+    });
+  }
+  return result;
+}
+
+}  // namespace deddb::problems

@@ -1,0 +1,47 @@
+#ifndef DEDDB_PROBLEMS_VIEW_MAINTENANCE_H_
+#define DEDDB_PROBLEMS_VIEW_MAINTENANCE_H_
+
+#include <vector>
+
+#include "interp/upward.h"
+#include "storage/database.h"
+#include "storage/transaction.h"
+
+namespace deddb::problems {
+
+/// Fully (re)computes the extensions of all materialized views from the
+/// rules and stores them in db->materialized_store(). Call once after
+/// declaring materialized views, and use MaintainMaterializedViews for
+/// subsequent transactions.
+Status InitializeMaterializedViews(Database* db,
+                                   const EvaluationOptions& eval = {});
+
+/// Materialized view maintenance (paper §5.1.3): the upward interpretation
+/// of ιView(x) / δView(x) determines which tuples must be inserted into /
+/// deleted from the stored extensions.
+struct ViewMaintenanceResult {
+  /// The computed view deltas (keyed by view predicate symbol).
+  DerivedEvents delta;
+  /// Number of tuples inserted/removed in the stored extensions (when
+  /// `apply` was set).
+  size_t applied_inserts = 0;
+  size_t applied_deletes = 0;
+};
+
+/// Computes the deltas of all materialized views of `db` under
+/// `transaction`, and (when `apply` is true) updates the stored extensions
+/// accordingly. Note: the *base* facts of the transaction are not applied
+/// here; the caller owns applying the transaction itself.
+///
+/// Contract: the stored extensions must be rule-consistent (initialized via
+/// InitializeMaterializedViews and only changed through this API). The
+/// simplified event compilation relies on it for its deletion candidates;
+/// hand-edited store tuples are only reconciled by the unsimplified mode.
+Result<ViewMaintenanceResult> MaintainMaterializedViews(
+    Database* db, const CompiledEvents& compiled,
+    const Transaction& transaction, bool apply = true,
+    const UpwardOptions& options = {});
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_VIEW_MAINTENANCE_H_

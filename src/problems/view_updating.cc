@@ -1,0 +1,46 @@
+#include "problems/view_updating.h"
+
+namespace deddb::problems {
+
+Result<DownwardResult> TranslateViewUpdate(const Database& db,
+                                           const CompiledEvents& compiled,
+                                           const ActiveDomain& domain,
+                                           const UpdateRequest& request,
+                                           const DownwardOptions& options) {
+  for (const RequestedEvent& event : request.events) {
+    DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
+                           db.predicates().Get(event.predicate));
+    if (info.variant != PredicateVariant::kOld) {
+      return InvalidArgumentError(
+          "view update requests must name user predicates");
+    }
+  }
+  DownwardInterpreter downward(&db, &compiled, &domain, options);
+  DownwardResult result;
+  DEDDB_ASSIGN_OR_RETURN(result.dnf, downward.Interpret(request));
+  result.approximate = result.dnf.approximate();
+  result.all_translations = TranslationsFromDnf(result.dnf);
+  result.translations = MinimalTranslations(result.all_translations);
+  return result;
+}
+
+Result<bool> ValidateView(const Database& db, const CompiledEvents& compiled,
+                          const ActiveDomain& domain, SymbolId view,
+                          bool insertion, SymbolTable* symbols,
+                          const DownwardOptions& options) {
+  DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db.predicates().Get(view));
+  RequestedEvent event;
+  event.positive = true;
+  event.is_insert = insertion;
+  event.predicate = view;
+  for (size_t i = 0; i < info.arity; ++i) {
+    event.args.push_back(Term::MakeVariable(symbols->FreshVar()));
+  }
+  UpdateRequest request;
+  request.events.push_back(event);
+  DownwardInterpreter downward(&db, &compiled, &domain, options);
+  DEDDB_ASSIGN_OR_RETURN(Dnf dnf, downward.Interpret(request));
+  return !dnf.IsFalse();
+}
+
+}  // namespace deddb::problems

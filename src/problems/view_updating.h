@@ -1,0 +1,50 @@
+#ifndef DEDDB_PROBLEMS_VIEW_UPDATING_H_
+#define DEDDB_PROBLEMS_VIEW_UPDATING_H_
+
+#include <vector>
+
+#include "interp/downward.h"
+#include "problems/translations.h"
+#include "storage/database.h"
+
+namespace deddb::problems {
+
+/// The result shape shared by the downward problems: the raw DNF of
+/// alternatives plus the concrete translations derived from it.
+struct DownwardResult {
+  /// The full downward-interpretation DNF (each disjunct one alternative).
+  Dnf dnf;
+  /// The inclusion-minimal translations, deduplicated by base-update set
+  /// (the candidates a user actually chooses among).
+  std::vector<Translation> translations;
+  /// All translations, one per DNF disjunct.
+  std::vector<Translation> all_translations;
+  /// True when a DNF size cap forced minimal-frontier pruning somewhere:
+  /// minimal alternatives are still produced, but an empty result is then
+  /// not a proof that no translation exists.
+  bool approximate = false;
+
+  bool Satisfiable() const { return !translations.empty(); }
+};
+
+/// View updating (paper §5.2.1): translates a request to update derived
+/// facts into the alternative sets of base fact updates that satisfy it —
+/// the downward interpretation of the request. The request may mix
+/// insertions and deletions and may target any derived predicate.
+Result<DownwardResult> TranslateViewUpdate(const Database& db,
+                                           const CompiledEvents& compiled,
+                                           const ActiveDomain& domain,
+                                           const UpdateRequest& request,
+                                           const DownwardOptions& options = {});
+
+/// View validation (§5.2.1): is there at least one instance X for which a
+/// set of base fact updates satisfying ιView(X) (insertion=true) or
+/// δView(X) (insertion=false) exists? Realized as an open downward request.
+Result<bool> ValidateView(const Database& db, const CompiledEvents& compiled,
+                          const ActiveDomain& domain, SymbolId view,
+                          bool insertion, SymbolTable* symbols,
+                          const DownwardOptions& options = {});
+
+}  // namespace deddb::problems
+
+#endif  // DEDDB_PROBLEMS_VIEW_UPDATING_H_

@@ -1,0 +1,138 @@
+#include "storage/database.h"
+
+#include "util/strings.h"
+
+namespace deddb {
+
+namespace {
+constexpr const char* kGlobalIcName = "Ic";
+}  // namespace
+
+Database::Database() : predicates_(&symbols_) {
+  // Reserve the global inconsistency predicate up front (paper §5).
+  auto result = predicates_.Declare(kGlobalIcName, /*arity=*/0,
+                                    PredicateKind::kDerived,
+                                    PredicateSemantics::kIc);
+  global_ic_ = result.value();
+}
+
+Result<SymbolId> Database::DeclareBase(std::string_view name, size_t arity) {
+  if (name == kGlobalIcName) {
+    return InvalidArgumentError(
+        "the name 'Ic' is reserved for the global inconsistency predicate");
+  }
+  return predicates_.Declare(name, arity, PredicateKind::kBase,
+                             PredicateSemantics::kPlain);
+}
+
+Result<SymbolId> Database::DeclareDerived(std::string_view name, size_t arity,
+                                          PredicateSemantics semantics) {
+  if (name == kGlobalIcName) {
+    return InvalidArgumentError(
+        "the name 'Ic' is reserved for the global inconsistency predicate");
+  }
+  DEDDB_ASSIGN_OR_RETURN(
+      SymbolId symbol,
+      predicates_.Declare(name, arity, PredicateKind::kDerived, semantics));
+  switch (semantics) {
+    case PredicateSemantics::kIc: {
+      for (SymbolId existing : ic_predicates_) {
+        if (existing == symbol) return symbol;  // idempotent re-declaration
+      }
+      ic_predicates_.push_back(symbol);
+      // Install the global rule Ic <- Ic_i(x1,...,xk) (paper §5).
+      std::vector<Term> args;
+      args.reserve(arity);
+      for (size_t i = 0; i < arity; ++i) {
+        args.push_back(Term::MakeVariable(symbols_.FreshVar()));
+      }
+      Rule global_rule(Atom(global_ic_, {}),
+                       {Literal::Positive(Atom(symbol, std::move(args)))});
+      DEDDB_RETURN_IF_ERROR(AddRule(std::move(global_rule)));
+      break;
+    }
+    case PredicateSemantics::kView: {
+      bool known = false;
+      for (SymbolId existing : view_predicates_) known |= existing == symbol;
+      if (!known) view_predicates_.push_back(symbol);
+      break;
+    }
+    case PredicateSemantics::kCondition: {
+      bool known = false;
+      for (SymbolId existing : condition_predicates_) {
+        known |= existing == symbol;
+      }
+      if (!known) condition_predicates_.push_back(symbol);
+      break;
+    }
+    case PredicateSemantics::kPlain:
+      break;
+  }
+  return symbol;
+}
+
+Status Database::AddRule(Rule rule) {
+  return program_.AddRule(std::move(rule), predicates_);
+}
+
+Status Database::AddFact(const Atom& ground_atom) {
+  if (!ground_atom.IsGround()) {
+    return InvalidArgumentError(
+        StrCat("fact '", ground_atom.ToString(symbols_), "' is not ground"));
+  }
+  DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
+                         predicates_.Get(ground_atom.predicate()));
+  if (info.kind != PredicateKind::kBase ||
+      info.variant != PredicateVariant::kOld) {
+    return InvalidArgumentError(
+        StrCat("fact '", ground_atom.ToString(symbols_),
+               "' must use a base predicate; derived facts are defined by "
+               "rules (paper §2)"));
+  }
+  if (info.arity != ground_atom.arity()) {
+    return InvalidArgumentError(
+        StrCat("fact '", ground_atom.ToString(symbols_), "' has arity ",
+               ground_atom.arity(), "; predicate declared with arity ",
+               info.arity));
+  }
+  facts_.Add(ground_atom);
+  return Status::Ok();
+}
+
+Status Database::RemoveFact(const Atom& ground_atom) {
+  if (!ground_atom.IsGround()) {
+    return InvalidArgumentError(
+        StrCat("fact '", ground_atom.ToString(symbols_), "' is not ground"));
+  }
+  facts_.Remove(ground_atom);
+  return Status::Ok();
+}
+
+Status Database::MaterializeView(SymbolId view) {
+  DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, predicates_.Get(view));
+  if (info.semantics != PredicateSemantics::kView) {
+    return InvalidArgumentError(
+        StrCat("predicate '", symbols_.NameOf(view),
+               "' is not a view; declare it with view semantics first"));
+  }
+  materialized_views_.insert(view);
+  return Status::Ok();
+}
+
+Result<SymbolId> Database::FindPredicate(std::string_view name) const {
+  SymbolId symbol = symbols_.Find(name);
+  if (symbol == SymbolTable::kNoSymbol || !predicates_.Contains(symbol)) {
+    return NotFoundError(StrCat("unknown predicate '", name, "'"));
+  }
+  return symbol;
+}
+
+std::string Database::ToString() const {
+  std::string out = "% rules\n";
+  out += program_.ToString(symbols_);
+  out += "% facts\n";
+  out += facts_.ToString(symbols_);
+  return out;
+}
+
+}  // namespace deddb

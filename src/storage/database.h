@@ -1,0 +1,123 @@
+#ifndef DEDDB_STORAGE_DATABASE_H_
+#define DEDDB_STORAGE_DATABASE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/predicate.h"
+#include "datalog/program.h"
+#include "storage/fact_store.h"
+#include "util/status.h"
+
+namespace deddb {
+
+/// The deductive database triple D = (F, DR, IC) of paper §2: a set of base
+/// facts, a set of deductive rules, and a set of integrity constraints (kept
+/// as integrity rules with inconsistency-predicate heads).
+///
+/// Integrity constraints follow the paper's convention: each constraint is an
+/// integrity rule `Ic_i(x) <- L1 & ... & Ln`, and a global 0-ary
+/// inconsistency predicate `Ic` is maintained automatically with one rule
+/// `Ic <- Ic_i(x)` per inconsistency predicate (§5). The name "Ic" is
+/// reserved for this purpose.
+///
+/// Not copyable/movable: the predicate table holds a pointer to the owned
+/// symbol table.
+class Database {
+ public:
+  Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- Schema -------------------------------------------------------------
+
+  /// Declares a base predicate.
+  Result<SymbolId> DeclareBase(std::string_view name, size_t arity);
+
+  /// Declares a derived predicate with the given concrete semantics
+  /// (plain / view / ic / condition, paper §5). For kIc semantics, the global
+  /// rule `Ic <- name(x...)` is installed automatically.
+  Result<SymbolId> DeclareDerived(
+      std::string_view name, size_t arity,
+      PredicateSemantics semantics = PredicateSemantics::kPlain);
+
+  /// Adds a deductive or integrity rule (validated).
+  Status AddRule(Rule rule);
+
+  /// Replaces the whole intensional part. The caller is responsible for the
+  /// rules being validated (used by problems::ApplyRuleUpdate, which
+  /// validates additions and removes exact matches).
+  void ReplaceProgram(Program program) { program_ = std::move(program); }
+
+  // ---- Extensional part ---------------------------------------------------
+
+  /// Adds a base fact. The atom must be ground and its predicate base.
+  Status AddFact(const Atom& ground_atom);
+
+  /// Removes a base fact; ok even if absent.
+  Status RemoveFact(const Atom& ground_atom);
+
+  // ---- Materialized views -------------------------------------------------
+
+  /// Marks a view predicate as materialized. Its stored extension lives in
+  /// materialized_store(); filling/maintaining it is the job of the problems
+  /// layer (§5.1.3).
+  Status MaterializeView(SymbolId view);
+
+  bool IsMaterialized(SymbolId view) const {
+    return materialized_views_.count(view) > 0;
+  }
+
+  // ---- Accessors ----------------------------------------------------------
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  PredicateTable& predicates() { return predicates_; }
+  const PredicateTable& predicates() const { return predicates_; }
+  const Program& program() const { return program_; }
+  const FactStore& facts() const { return facts_; }
+  FactStore& mutable_facts() { return facts_; }
+  FactStore& materialized_store() { return materialized_; }
+  const FactStore& materialized_store() const { return materialized_; }
+
+  /// Declared inconsistency predicates Ic_1..Ic_n, in declaration order
+  /// (excluding the global `Ic`).
+  const std::vector<SymbolId>& ic_predicates() const { return ic_predicates_; }
+  /// Declared view predicates, in declaration order.
+  const std::vector<SymbolId>& view_predicates() const {
+    return view_predicates_;
+  }
+  /// Declared condition predicates, in declaration order.
+  const std::vector<SymbolId>& condition_predicates() const {
+    return condition_predicates_;
+  }
+
+  /// The global 0-ary inconsistency predicate `Ic`.
+  SymbolId global_ic() const { return global_ic_; }
+
+  /// True if at least one integrity constraint has been declared.
+  bool HasConstraints() const { return !ic_predicates_.empty(); }
+
+  /// Convenience lookup: the symbol for `name`, or NotFoundError.
+  Result<SymbolId> FindPredicate(std::string_view name) const;
+
+  /// Schema + rules + facts dump for diagnostics.
+  std::string ToString() const;
+
+ private:
+  SymbolTable symbols_;
+  PredicateTable predicates_;
+  Program program_;
+  FactStore facts_;
+  FactStore materialized_;
+  std::vector<SymbolId> ic_predicates_;
+  std::vector<SymbolId> view_predicates_;
+  std::vector<SymbolId> condition_predicates_;
+  std::unordered_set<SymbolId> materialized_views_;
+  SymbolId global_ic_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_STORAGE_DATABASE_H_

@@ -1,0 +1,98 @@
+#include "storage/fact_store.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+FactStore::FactStore(const FactStore& other) : indexed_(other.indexed_) {
+  for (const auto& [pred, rel] : other.relations_) {
+    auto copy = std::make_unique<Relation>(rel->arity(), indexed_);
+    rel->ForEach([&](const Tuple& t) { copy->Insert(t); });
+    relations_.emplace(pred, std::move(copy));
+  }
+}
+
+FactStore& FactStore::operator=(const FactStore& other) {
+  if (this == &other) return *this;
+  FactStore copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+bool FactStore::Add(SymbolId predicate, const Tuple& tuple) {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) {
+    it = relations_
+             .emplace(predicate,
+                      std::make_unique<Relation>(tuple.size(), indexed_))
+             .first;
+  }
+  return it->second->Insert(tuple);
+}
+
+bool FactStore::Add(const Atom& ground_atom) {
+  return Add(ground_atom.predicate(), TupleFromAtom(ground_atom));
+}
+
+bool FactStore::Remove(SymbolId predicate, const Tuple& tuple) {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return false;
+  return it->second->Erase(tuple);
+}
+
+bool FactStore::Remove(const Atom& ground_atom) {
+  return Remove(ground_atom.predicate(), TupleFromAtom(ground_atom));
+}
+
+bool FactStore::Contains(SymbolId predicate, const Tuple& tuple) const {
+  const Relation* rel = Find(predicate);
+  return rel != nullptr && rel->Contains(tuple);
+}
+
+bool FactStore::Contains(const Atom& ground_atom) const {
+  return Contains(ground_atom.predicate(), TupleFromAtom(ground_atom));
+}
+
+const Relation* FactStore::Find(SymbolId predicate) const {
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+size_t FactStore::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel->size();
+  return total;
+}
+
+void FactStore::ForEach(
+    const std::function<void(SymbolId, const Tuple&)>& fn) const {
+  for (const auto& [pred, rel] : relations_) {
+    rel->ForEach([&](const Tuple& t) { fn(pred, t); });
+  }
+}
+
+std::vector<SymbolId> FactStore::Predicates() const {
+  std::vector<SymbolId> out;
+  out.reserve(relations_.size());
+  for (const auto& [pred, rel] : relations_) out.push_back(pred);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string FactStore::ToString(const SymbolTable& symbols) const {
+  std::vector<std::string> lines;
+  ForEach([&](SymbolId pred, const Tuple& t) {
+    lines.push_back(AtomFromTuple(pred, t).ToString(symbols));
+  });
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace deddb

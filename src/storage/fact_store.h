@@ -1,0 +1,65 @@
+#ifndef DEDDB_STORAGE_FACT_STORE_H_
+#define DEDDB_STORAGE_FACT_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "datalog/atom.h"
+#include "storage/relation.h"
+
+namespace deddb {
+
+/// A collection of relations keyed by predicate symbol. Used for the
+/// extensional database F, for materialized view extensions, and (twice) for
+/// the insertion/deletion sides of a transaction.
+class FactStore {
+ public:
+  explicit FactStore(bool indexed = true) : indexed_(indexed) {}
+
+  FactStore(const FactStore& other);
+  FactStore& operator=(const FactStore& other);
+  FactStore(FactStore&&) = default;
+  FactStore& operator=(FactStore&&) = default;
+
+  /// Adds a ground fact; returns true if new. Creates the relation on first
+  /// use with the tuple's arity.
+  bool Add(SymbolId predicate, const Tuple& tuple);
+  bool Add(const Atom& ground_atom);
+
+  /// Removes a fact; returns true if it was present.
+  bool Remove(SymbolId predicate, const Tuple& tuple);
+  bool Remove(const Atom& ground_atom);
+
+  bool Contains(SymbolId predicate, const Tuple& tuple) const;
+  bool Contains(const Atom& ground_atom) const;
+
+  /// The relation for `predicate`, or nullptr if no fact was ever added.
+  const Relation* Find(SymbolId predicate) const;
+
+  /// Total number of facts across all relations.
+  size_t TotalFacts() const;
+
+  bool empty() const { return TotalFacts() == 0; }
+
+  void Clear() { relations_.clear(); }
+
+  /// Invokes `fn` for every (predicate, tuple) pair.
+  void ForEach(
+      const std::function<void(SymbolId, const Tuple&)>& fn) const;
+
+  /// Predicates that currently have at least one relation (possibly empty).
+  std::vector<SymbolId> Predicates() const;
+
+  /// Sorted, one fact per line, for diagnostics and golden tests.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  bool indexed_;
+  std::unordered_map<SymbolId, std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_STORAGE_FACT_STORE_H_

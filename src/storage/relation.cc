@@ -1,0 +1,100 @@
+#include "storage/relation.h"
+
+#include <cassert>
+#include <limits>
+
+namespace deddb {
+
+Relation::Relation(size_t arity, bool indexed)
+    : arity_(arity), indexed_(indexed) {
+  if (indexed_) columns_.resize(arity_);
+}
+
+bool Relation::Insert(const Tuple& tuple) {
+  assert(tuple.size() == arity_);
+  auto [it, inserted] = tuples_.insert(tuple);
+  if (!inserted) return false;
+  if (indexed_) {
+    const Tuple* stored = &*it;
+    for (size_t col = 0; col < arity_; ++col) {
+      columns_[col][(*stored)[col]].insert(stored);
+    }
+  }
+  return true;
+}
+
+bool Relation::Erase(const Tuple& tuple) {
+  assert(tuple.size() == arity_);
+  auto it = tuples_.find(tuple);
+  if (it == tuples_.end()) return false;
+  if (indexed_) {
+    const Tuple* stored = &*it;
+    for (size_t col = 0; col < arity_; ++col) {
+      auto cit = columns_[col].find((*stored)[col]);
+      if (cit != columns_[col].end()) {
+        cit->second.erase(stored);
+        if (cit->second.empty()) columns_[col].erase(cit);
+      }
+    }
+  }
+  tuples_.erase(it);
+  return true;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  for (auto& column : columns_) column.clear();
+}
+
+void Relation::ForEach(const std::function<void(const Tuple&)>& fn) const {
+  for (const Tuple& t : tuples_) fn(t);
+}
+
+void Relation::ForEachMatch(const TuplePattern& pattern,
+                            const std::function<void(const Tuple&)>& fn) const {
+  assert(pattern.size() == arity_);
+
+  auto matches = [&](const Tuple& t) {
+    for (size_t col = 0; col < arity_; ++col) {
+      if (pattern[col].has_value() && t[col] != *pattern[col]) return false;
+    }
+    return true;
+  };
+
+  if (indexed_) {
+    // Pick the fixed column with the smallest posting list.
+    const PostingList* best = nullptr;
+    bool any_fixed = false;
+    for (size_t col = 0; col < arity_; ++col) {
+      if (!pattern[col].has_value()) continue;
+      any_fixed = true;
+      auto it = columns_[col].find(*pattern[col]);
+      if (it == columns_[col].end()) return;  // no tuple has this value
+      if (best == nullptr || it->second.size() < best->size()) {
+        best = &it->second;
+      }
+    }
+    if (any_fixed) {
+      for (const Tuple* t : *best) {
+        if (matches(*t)) fn(*t);
+      }
+      return;
+    }
+  }
+
+  for (const Tuple& t : tuples_) {
+    if (matches(t)) fn(t);
+  }
+}
+
+size_t Relation::CountMatches(const TuplePattern& pattern) const {
+  size_t count = 0;
+  ForEachMatch(pattern, [&](const Tuple&) { ++count; });
+  return count;
+}
+
+std::vector<Tuple> Relation::ToVector() const {
+  return std::vector<Tuple>(tuples_.begin(), tuples_.end());
+}
+
+}  // namespace deddb

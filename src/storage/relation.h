@@ -1,0 +1,66 @@
+#ifndef DEDDB_STORAGE_RELATION_H_
+#define DEDDB_STORAGE_RELATION_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/tuple.h"
+
+namespace deddb {
+
+/// A set of same-arity tuples with optional per-column hash indexes.
+///
+/// Tuples live in a node-based hash set, so pointers to them are stable and
+/// the column indexes store `const Tuple*` posting lists. Indexes can be
+/// disabled (for the Perf-C ablation benchmark); selection then falls back to
+/// a full scan.
+class Relation {
+ public:
+  explicit Relation(size_t arity, bool indexed = true);
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  bool indexed() const { return indexed_; }
+
+  /// Inserts `tuple`; returns true if it was not already present. The tuple's
+  /// size must equal arity().
+  bool Insert(const Tuple& tuple);
+
+  /// Removes `tuple`; returns true if it was present.
+  bool Erase(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
+
+  void Clear();
+
+  /// Invokes `fn` for every tuple (unspecified order).
+  void ForEach(const std::function<void(const Tuple&)>& fn) const;
+
+  /// Invokes `fn` for every tuple matching `pattern` (fixed constants at the
+  /// given positions). Uses the most selective column index available,
+  /// otherwise scans. `pattern` must have size arity().
+  void ForEachMatch(const TuplePattern& pattern,
+                    const std::function<void(const Tuple&)>& fn) const;
+
+  /// Number of tuples matching `pattern` (convenience, used by tests).
+  size_t CountMatches(const TuplePattern& pattern) const;
+
+  /// Copies all tuples out (unspecified order).
+  std::vector<Tuple> ToVector() const;
+
+ private:
+  using TupleSet = std::unordered_set<Tuple, TupleHash>;
+  using PostingList = std::unordered_set<const Tuple*>;
+  using ColumnIndex = std::unordered_map<SymbolId, PostingList>;
+
+  size_t arity_;
+  bool indexed_;
+  TupleSet tuples_;
+  std::vector<ColumnIndex> columns_;  // one per column when indexed_
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_STORAGE_RELATION_H_

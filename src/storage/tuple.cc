@@ -1,0 +1,33 @@
+#include "storage/tuple.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace deddb {
+
+Tuple TupleFromAtom(const Atom& atom) {
+  Tuple tuple;
+  tuple.reserve(atom.arity());
+  for (const Term& t : atom.args()) {
+    assert(t.is_constant() && "TupleFromAtom requires a ground atom");
+    tuple.push_back(t.constant());
+  }
+  return tuple;
+}
+
+Atom AtomFromTuple(SymbolId predicate, const Tuple& tuple) {
+  std::vector<Term> args;
+  args.reserve(tuple.size());
+  for (SymbolId c : tuple) args.push_back(Term::MakeConstant(c));
+  return Atom(predicate, std::move(args));
+}
+
+std::string TupleToString(const Tuple& tuple, const SymbolTable& symbols) {
+  return StrCat("(",
+                JoinMapped(tuple, ", ",
+                           [&](SymbolId c) { return symbols.NameOf(c); }),
+                ")");
+}
+
+}  // namespace deddb

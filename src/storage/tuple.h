@@ -1,0 +1,34 @@
+#ifndef DEDDB_STORAGE_TUPLE_H_
+#define DEDDB_STORAGE_TUPLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/atom.h"
+#include "datalog/symbol_table.h"
+#include "util/hash.h"
+
+namespace deddb {
+
+/// A stored fact's argument vector: constants only.
+using Tuple = std::vector<SymbolId>;
+
+using TupleHash = VectorHash<SymbolId>;
+
+/// A selection pattern over a relation: one entry per column, either a fixed
+/// constant or unconstrained.
+using TuplePattern = std::vector<std::optional<SymbolId>>;
+
+/// Converts a ground atom's arguments to a Tuple. The atom must be ground.
+Tuple TupleFromAtom(const Atom& atom);
+
+/// Builds a ground atom `predicate(tuple...)`.
+Atom AtomFromTuple(SymbolId predicate, const Tuple& tuple);
+
+/// `(A, B)` rendered with `symbols`.
+std::string TupleToString(const Tuple& tuple, const SymbolTable& symbols);
+
+}  // namespace deddb
+
+#endif  // DEDDB_STORAGE_TUPLE_H_

@@ -1,0 +1,30 @@
+#ifndef DEDDB_UTIL_HASH_H_
+#define DEDDB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace deddb {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash functor for vectors of hashable elements, usable as the Hash template
+/// parameter of unordered containers.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    size_t seed = v.size();
+    std::hash<T> h;
+    for (const T& item : v) HashCombine(seed, h(item));
+    return seed;
+  }
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_UTIL_HASH_H_

@@ -1,0 +1,36 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace deddb {
+
+uint64_t Rng::Next() {
+  uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias; the loop terminates quickly for
+  // any bound because at least half of the 64-bit range is accepted.
+  uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::NextChance(uint64_t numerator, uint64_t denominator) {
+  assert(denominator > 0);
+  return NextBelow(denominator) < numerator;
+}
+
+}  // namespace deddb

@@ -1,0 +1,34 @@
+#ifndef DEDDB_UTIL_RNG_H_
+#define DEDDB_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace deddb {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used by workload generators and
+/// property tests so that runs are reproducible across platforms; we do not
+/// rely on std::default_random_engine, whose sequence is
+/// implementation-defined.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// True with probability `numerator / denominator`.
+  bool NextChance(uint64_t numerator, uint64_t denominator);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_UTIL_RNG_H_

@@ -1,0 +1,129 @@
+#ifndef DEDDB_UTIL_STATUS_H_
+#define DEDDB_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace deddb {
+
+/// Error categories used across the library. The set is deliberately small:
+/// callers almost always branch on ok()/!ok() and use the message for
+/// diagnostics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad rule, unsafe program, ...)
+  kNotFound,          // unknown predicate / symbol / fact
+  kAlreadyExists,     // duplicate declaration
+  kFailedPrecondition,// e.g. CheckIntegrity called on an inconsistent DB
+  kResourceExhausted, // depth / size limits hit
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+/// ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value, used instead of exceptions
+/// throughout the library (per the project style rules).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// A value of type T or an error Status. Minimal analogue of
+/// absl::StatusOr<T>.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so functions can `return value;` / `return
+  /// SomeError(...)`.
+  Result(T value) : value_(std::move(value)) {}             // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates an error status from an expression yielding Status.
+#define DEDDB_RETURN_IF_ERROR(expr)               \
+  do {                                            \
+    ::deddb::Status _deddb_status = (expr);       \
+    if (!_deddb_status.ok()) return _deddb_status;\
+  } while (false)
+
+// Evaluates a Result<T> expression, assigning the value to `lhs` or
+// propagating the error. Usage:
+//   DEDDB_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define DEDDB_ASSIGN_OR_RETURN(lhs, expr)                       \
+  DEDDB_ASSIGN_OR_RETURN_IMPL_(                                 \
+      DEDDB_STATUS_CONCAT_(_deddb_result, __LINE__), lhs, expr)
+
+#define DEDDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define DEDDB_STATUS_CONCAT_(a, b) DEDDB_STATUS_CONCAT_IMPL_(a, b)
+#define DEDDB_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace deddb
+
+#endif  // DEDDB_UTIL_STATUS_H_

@@ -1,0 +1,90 @@
+#include "workload/employment.h"
+
+#include "parser/parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace deddb::workload {
+
+std::string PersonName(size_t i) { return StrCat("Person", i); }
+
+Result<std::unique_ptr<DeductiveDatabase>> MakeEmploymentDatabase(
+    const EmploymentConfig& config) {
+  auto db = std::make_unique<DeductiveDatabase>(
+      EventCompilerOptions{.simplify = config.simplify});
+  DEDDB_RETURN_IF_ERROR(LoadProgram(db.get(), R"(
+    base La/1.
+    base Works/1.
+    base U_benefit/1.
+    base Skilled/1.
+    view Unemp/1.
+    ic Ic1/1.
+    ic Ic2/1.
+    condition Alert/1.
+
+    Unemp(x) <- La(x) & not Works(x).
+    Ic1(x) <- Unemp(x) & not U_benefit(x).
+    Ic2(x) <- Works(x) & U_benefit(x).
+    Alert(x) <- Unemp(x) & Skilled(x).
+  )")
+                             .status());
+  if (config.materialize_unemp) {
+    DEDDB_ASSIGN_OR_RETURN(SymbolId unemp,
+                           db->database().FindPredicate("Unemp"));
+    DEDDB_RETURN_IF_ERROR(db->MaterializeView(unemp));
+  }
+
+  Rng rng(config.seed);
+  for (size_t i = 0; i < config.people; ++i) {
+    std::string person = PersonName(i);
+    bool labour_age = rng.NextChance(config.labour_age_pct, 100);
+    bool works = labour_age && rng.NextChance(config.works_pct, 100);
+    bool skilled = rng.NextChance(config.skilled_pct, 100);
+    bool unemployed = labour_age && !works;
+
+    bool benefit;
+    if (config.consistent) {
+      benefit = unemployed;  // satisfies Ic1 and Ic2
+    } else {
+      benefit = rng.NextChance(50, 100);
+    }
+
+    auto add = [&](const char* pred) -> Status {
+      DEDDB_ASSIGN_OR_RETURN(Atom atom, db->GroundAtom(pred, {person}));
+      return db->AddFact(atom);
+    };
+    if (labour_age) DEDDB_RETURN_IF_ERROR(add("La"));
+    if (works) DEDDB_RETURN_IF_ERROR(add("Works"));
+    if (benefit) DEDDB_RETURN_IF_ERROR(add("U_benefit"));
+    if (skilled) DEDDB_RETURN_IF_ERROR(add("Skilled"));
+  }
+  return db;
+}
+
+Result<Transaction> RandomEmploymentTransaction(DeductiveDatabase* db,
+                                                size_t people, size_t size,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  const char* kPreds[] = {"La", "Works", "U_benefit", "Skilled"};
+  const FactStore& facts = db->database().facts();
+  Transaction txn;
+  size_t attempts = 0;
+  while (txn.size() < size && attempts < size * 50 + 100) {
+    ++attempts;
+    const char* pred_name = kPreds[rng.NextBelow(4)];
+    DEDDB_ASSIGN_OR_RETURN(SymbolId pred,
+                           db->database().FindPredicate(pred_name));
+    SymbolId person = db->symbols().Intern(
+        PersonName(rng.NextBelow(std::max<size_t>(1, people))));
+    Tuple tuple{person};
+    bool present = facts.Contains(pred, tuple);
+    // Valid events only (eqs. 1-2): delete present facts, insert absent
+    // ones. Skip silently on conflict with an already-chosen event.
+    Status status = present ? txn.AddDelete(pred, tuple)
+                            : txn.AddInsert(pred, tuple);
+    (void)status;
+  }
+  return txn;
+}
+
+}  // namespace deddb::workload

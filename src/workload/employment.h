@@ -1,0 +1,55 @@
+#ifndef DEDDB_WORKLOAD_EMPLOYMENT_H_
+#define DEDDB_WORKLOAD_EMPLOYMENT_H_
+
+#include <memory>
+
+#include "core/deductive_database.h"
+
+namespace deddb::workload {
+
+/// A scalable version of the paper's running example (§5.1): the employment
+/// database, extended with a second constraint and a monitored condition so
+/// every Table-4.1 problem class has something to chew on.
+///
+/// Schema:
+///   base La/1, Works/1, U_benefit/1, Skilled/1
+///   view Unemp/1:        Unemp(x) <- La(x) & not Works(x)
+///   ic Ic1/1:            Ic1(x) <- Unemp(x) & not U_benefit(x)
+///   ic Ic2/1:            Ic2(x) <- Works(x) & U_benefit(x)
+///   condition Alert/1:   Alert(x) <- Unemp(x) & Skilled(x)
+struct EmploymentConfig {
+  size_t people = 1000;
+  uint64_t seed = 42;
+  /// Percentage of people in labour age.
+  uint64_t labour_age_pct = 80;
+  /// Percentage of labour-age people who work.
+  uint64_t works_pct = 60;
+  /// Percentage of people who are skilled.
+  uint64_t skilled_pct = 30;
+  /// When true, every unemployed person receives a benefit and no worker
+  /// does — the database satisfies both constraints.
+  bool consistent = true;
+  /// Event compiler mode of the returned facade.
+  bool simplify = true;
+  /// Declare Unemp as a materialized view (extension NOT initialized; call
+  /// InitializeMaterializedViews()).
+  bool materialize_unemp = false;
+};
+
+Result<std::unique_ptr<DeductiveDatabase>> MakeEmploymentDatabase(
+    const EmploymentConfig& config);
+
+/// The person constant `Person<i>` of a generated employment database.
+std::string PersonName(size_t i);
+
+/// Builds a random transaction of `size` base events that is valid in the
+/// database's current state (insertions of absent facts, deletions of
+/// present ones) over the La/Works/U_benefit/Skilled relations. `people`
+/// must match the generating config's population.
+Result<Transaction> RandomEmploymentTransaction(DeductiveDatabase* db,
+                                                size_t people, size_t size,
+                                                uint64_t seed);
+
+}  // namespace deddb::workload
+
+#endif  // DEDDB_WORKLOAD_EMPLOYMENT_H_

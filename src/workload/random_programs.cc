@@ -1,0 +1,140 @@
+#include "workload/random_programs.h"
+
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace deddb::workload {
+
+namespace {
+
+std::string BaseName(size_t i) { return StrCat("B", i); }
+std::string DerivedName(size_t i) { return StrCat("D", i); }
+std::string ConstName(size_t i) { return StrCat("C", i); }
+
+}  // namespace
+
+Result<std::unique_ptr<DeductiveDatabase>> MakeRandomDatabase(
+    const RandomProgramConfig& config) {
+  auto db = std::make_unique<DeductiveDatabase>(
+      EventCompilerOptions{.simplify = config.simplify});
+  Rng rng(config.seed);
+
+  // Predicates. B0 is forced unary so coverage fix-up literals always exist.
+  std::vector<std::pair<SymbolId, size_t>> bases;
+  for (size_t i = 0; i < std::max<size_t>(1, config.base_predicates); ++i) {
+    size_t arity = i == 0 ? 1 : 1 + rng.NextBelow(2);
+    DEDDB_ASSIGN_OR_RETURN(SymbolId sym, db->DeclareBase(BaseName(i), arity));
+    bases.emplace_back(sym, arity);
+  }
+  std::vector<std::pair<SymbolId, size_t>> derived;
+  for (size_t i = 0; i < config.derived_predicates; ++i) {
+    size_t arity = 1 + rng.NextBelow(2);
+    DEDDB_ASSIGN_OR_RETURN(SymbolId sym,
+                           db->DeclareDerived(DerivedName(i), arity));
+    derived.emplace_back(sym, arity);
+  }
+
+  // Variable pool.
+  std::vector<Term> vars;
+  for (size_t i = 0; i < 4; ++i) {
+    vars.push_back(db->Variable(StrCat("v", i)));
+  }
+  auto random_args = [&](size_t arity) {
+    std::vector<Term> args;
+    for (size_t i = 0; i < arity; ++i) {
+      args.push_back(vars[rng.NextBelow(vars.size())]);
+    }
+    return args;
+  };
+
+  // Rules for D_i draw from bases and earlier derived predicates.
+  for (size_t i = 0; i < derived.size(); ++i) {
+    size_t rules = 1 + rng.NextBelow(config.max_rules_per_predicate);
+    for (size_t r = 0; r < rules; ++r) {
+      auto [head_sym, head_arity] = derived[i];
+      std::vector<Term> head_args;
+      for (size_t a = 0; a < head_arity; ++a) head_args.push_back(vars[a]);
+      Atom head(head_sym, head_args);
+
+      // Candidate body predicates.
+      std::vector<std::pair<SymbolId, size_t>> pool = bases;
+      for (size_t j = 0; j < i; ++j) pool.push_back(derived[j]);
+      if (config.allow_recursion && rng.NextChance(25, 100)) {
+        pool.push_back(derived[i]);
+      }
+
+      size_t body_size = 1 + rng.NextBelow(config.max_body_literals);
+      std::vector<Literal> body;
+      for (size_t b = 0; b < body_size; ++b) {
+        auto [sym, arity] = pool[rng.NextBelow(pool.size())];
+        bool negative = b > 0 && rng.NextChance(config.negation_pct, 100) &&
+                        sym != head_sym;  // keep recursion positive
+        body.push_back(Literal(Atom(sym, random_args(arity)), !negative));
+      }
+
+      // Coverage fix-up: every variable of the rule must occur in a positive
+      // literal (allowedness).
+      std::unordered_set<VarId> covered;
+      std::vector<VarId> scratch;
+      for (const Literal& lit : body) {
+        if (lit.positive()) {
+          scratch.clear();
+          lit.atom().CollectVariables(&scratch);
+          covered.insert(scratch.begin(), scratch.end());
+        }
+      }
+      std::vector<VarId> all;
+      Rule(head, body).CollectVariables(&all);
+      for (VarId v : all) {
+        if (covered.insert(v).second) {
+          body.push_back(
+              Literal::Positive(Atom(bases[0].first,
+                                     {Term::MakeVariable(v)})));
+        }
+      }
+      DEDDB_RETURN_IF_ERROR(db->AddRule(Rule(head, std::move(body))));
+    }
+  }
+
+  // Facts.
+  for (auto [sym, arity] : bases) {
+    for (size_t f = 0; f < config.facts_per_base; ++f) {
+      std::vector<Term> args;
+      for (size_t a = 0; a < arity; ++a) {
+        args.push_back(db->Constant(ConstName(rng.NextBelow(
+            std::max<size_t>(1, config.constants)))));
+      }
+      DEDDB_RETURN_IF_ERROR(db->AddFact(Atom(sym, std::move(args))));
+    }
+  }
+  return db;
+}
+
+Result<Transaction> RandomTransaction(DeductiveDatabase* db,
+                                      const RandomProgramConfig& config,
+                                      size_t size, uint64_t seed) {
+  Rng rng(seed);
+  Transaction txn;
+  size_t attempts = 0;
+  while (txn.size() < size && attempts < size * 50 + 100) {
+    ++attempts;
+    size_t b = rng.NextBelow(std::max<size_t>(1, config.base_predicates));
+    Result<SymbolId> pred = db->database().FindPredicate(BaseName(b));
+    if (!pred.ok()) return pred.status();
+    DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db->database().predicates().Get(*pred));
+    Tuple tuple;
+    for (size_t a = 0; a < info.arity; ++a) {
+      tuple.push_back(db->symbols().Intern(
+          ConstName(rng.NextBelow(std::max<size_t>(1, config.constants)))));
+    }
+    bool present = db->database().facts().Contains(*pred, tuple);
+    Status status =
+        present ? txn.AddDelete(*pred, tuple) : txn.AddInsert(*pred, tuple);
+    (void)status;  // opposite-event conflicts are simply skipped
+  }
+  return txn;
+}
+
+}  // namespace deddb::workload

@@ -1,0 +1,45 @@
+#ifndef DEDDB_WORKLOAD_RANDOM_PROGRAMS_H_
+#define DEDDB_WORKLOAD_RANDOM_PROGRAMS_H_
+
+#include <memory>
+
+#include "core/deductive_database.h"
+
+namespace deddb::workload {
+
+/// Random stratified Datalog¬ databases for evaluator tests/benchmarks and
+/// for framework property tests.
+///
+/// Derived predicates D1..Dm are generated in order; a rule body for D_i
+/// draws literals from the base predicates and from D_1..D_{i-1}
+/// (hierarchical by construction unless `allow_recursion`, in which case a
+/// positive self-literal may be added — still stratified, but no longer
+/// accepted by the event compiler).
+struct RandomProgramConfig {
+  size_t base_predicates = 4;
+  size_t derived_predicates = 6;
+  size_t max_rules_per_predicate = 2;
+  size_t max_body_literals = 3;
+  /// Percentage of body literals that are negated (always applied to ground
+  /// -safe positions; rules are kept allowed).
+  uint64_t negation_pct = 30;
+  size_t constants = 24;
+  size_t facts_per_base = 60;
+  bool allow_recursion = false;
+  /// All predicates are unary or binary, chosen at random.
+  uint64_t seed = 1234;
+  bool simplify = true;
+};
+
+Result<std::unique_ptr<DeductiveDatabase>> MakeRandomDatabase(
+    const RandomProgramConfig& config);
+
+/// A random valid transaction of `size` events over the base predicates of
+/// a database produced by MakeRandomDatabase.
+Result<Transaction> RandomTransaction(DeductiveDatabase* db,
+                                      const RandomProgramConfig& config,
+                                      size_t size, uint64_t seed);
+
+}  // namespace deddb::workload
+
+#endif  // DEDDB_WORKLOAD_RANDOM_PROGRAMS_H_

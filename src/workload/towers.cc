@@ -1,0 +1,73 @@
+#include "workload/towers.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace deddb::workload {
+
+std::string TowerLayerName(size_t layer) {
+  return layer == 0 ? "B0" : StrCat("V", layer);
+}
+
+std::string TowerElementName(size_t i) { return StrCat("E", i); }
+
+Result<std::unique_ptr<DeductiveDatabase>> MakeTowerDatabase(
+    const TowerConfig& config) {
+  auto db = std::make_unique<DeductiveDatabase>(
+      EventCompilerOptions{.simplify = config.simplify});
+  Rng rng(config.seed);
+
+  DEDDB_RETURN_IF_ERROR(db->DeclareBase("B0", 1).status());
+  for (size_t layer = 1; layer <= config.depth; ++layer) {
+    DEDDB_RETURN_IF_ERROR(
+        db->DeclareBase(StrCat("B", layer), 1).status());
+    if (config.with_negation) {
+      DEDDB_RETURN_IF_ERROR(
+          db->DeclareBase(StrCat("N", layer), 1).status());
+    }
+    DEDDB_RETURN_IF_ERROR(
+        db->DeclareView(TowerLayerName(layer), 1).status());
+  }
+
+  Term x = db->Variable("x");
+  for (size_t layer = 1; layer <= config.depth; ++layer) {
+    DEDDB_ASSIGN_OR_RETURN(Atom head,
+                           db->MakeAtom(TowerLayerName(layer), {x}));
+    DEDDB_ASSIGN_OR_RETURN(Atom below,
+                           db->MakeAtom(TowerLayerName(layer - 1), {x}));
+    DEDDB_ASSIGN_OR_RETURN(Atom gate, db->MakeAtom(StrCat("B", layer), {x}));
+    DEDDB_RETURN_IF_ERROR(db->AddRule(
+        Rule(head, {Literal::Positive(below), Literal::Positive(gate)})));
+    if (config.with_negation) {
+      DEDDB_ASSIGN_OR_RETURN(Atom blocker,
+                             db->MakeAtom(StrCat("N", layer), {x}));
+      DEDDB_RETURN_IF_ERROR(db->AddRule(
+          Rule(head, {Literal::Positive(below), Literal::Negative(blocker)})));
+    }
+  }
+
+  // Populate: every element is in B0; each B_i/N_i holds a random ~60%/20%.
+  // Element 0 passes every gate and no blocker, so it reaches the top layer
+  // and base events on it ripple through the whole tower (used by the
+  // Figure-1 benchmark).
+  for (size_t i = 0; i < config.base_facts; ++i) {
+    std::string element = TowerElementName(i);
+    DEDDB_ASSIGN_OR_RETURN(Atom base, db->GroundAtom("B0", {element}));
+    DEDDB_RETURN_IF_ERROR(db->AddFact(base));
+    for (size_t layer = 1; layer <= config.depth; ++layer) {
+      if (i == 0 || rng.NextChance(60, 100)) {
+        DEDDB_ASSIGN_OR_RETURN(Atom gate,
+                               db->GroundAtom(StrCat("B", layer), {element}));
+        DEDDB_RETURN_IF_ERROR(db->AddFact(gate));
+      }
+      if (config.with_negation && i != 0 && rng.NextChance(20, 100)) {
+        DEDDB_ASSIGN_OR_RETURN(Atom blocker,
+                               db->GroundAtom(StrCat("N", layer), {element}));
+        DEDDB_RETURN_IF_ERROR(db->AddFact(blocker));
+      }
+    }
+  }
+  return db;
+}
+
+}  // namespace deddb::workload

@@ -1,0 +1,42 @@
+#ifndef DEDDB_WORKLOAD_TOWERS_H_
+#define DEDDB_WORKLOAD_TOWERS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/deductive_database.h"
+
+namespace deddb::workload {
+
+/// Derivation towers: a chain of views V1..Vd, each derived from the layer
+/// below, used to measure how interpretation cost grows with derivation
+/// depth (the Figure-1 benchmark) and how downward translation cost grows
+/// with disjunct fan-out.
+///
+/// Layer 0 is a base predicate B0. Each view layer i has:
+///   V_i(x) <- V_{i-1}(x) & B_i(x)            (and, when with_negation,)
+///   V_i(x) <- V_{i-1}(x) & not N_i(x)
+/// so every layer doubles the number of derivation alternatives when
+/// `with_negation` is set.
+struct TowerConfig {
+  size_t depth = 4;
+  /// Facts per base relation.
+  size_t base_facts = 100;
+  /// Adds the second (negated) rule per layer.
+  bool with_negation = true;
+  uint64_t seed = 7;
+  bool simplify = true;
+};
+
+Result<std::unique_ptr<DeductiveDatabase>> MakeTowerDatabase(
+    const TowerConfig& config);
+
+/// Name of the view at `layer` (1-based): "V3". Layer 0 is "B0".
+std::string TowerLayerName(size_t layer);
+
+/// The constant name used for element `i`: "E42".
+std::string TowerElementName(size_t i);
+
+}  // namespace deddb::workload
+
+#endif  // DEDDB_WORKLOAD_TOWERS_H_

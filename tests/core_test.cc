@@ -1,0 +1,201 @@
+// Tests of the facade (DeductiveDatabase) and the §5.3 UpdateProcessor:
+// cache invalidation, transaction application, the combined upward pipeline
+// and the view-update policies.
+
+#include <gtest/gtest.h>
+
+#include "core/deductive_database.h"
+#include "core/update_processor.h"
+#include "parser/parser.h"
+
+namespace deddb {
+namespace {
+
+std::unique_ptr<DeductiveDatabase> Load(const char* source) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  auto loaded = LoadProgram(db.get(), source);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return db;
+}
+
+const char* kEmployment = R"(
+  base La/1. base Works/1. base U_benefit/1.
+  materialized view Unemp/1.
+  ic Ic1/1.
+  condition Alert/1.
+  Unemp(x) <- La(x) & not Works(x).
+  Ic1(x) <- Unemp(x) & not U_benefit(x).
+  Alert(x) <- Unemp(x).
+  La(Dolors).
+  U_benefit(Dolors).
+)";
+
+TEST(FacadeTest, TermAndAtomBuilders) {
+  auto db = Load(kEmployment);
+  Term c = db->Constant("Dolors");
+  Term v = db->Variable("who");
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_TRUE(v.is_variable());
+  auto atom = db->MakeAtom("Unemp", {c});
+  ASSERT_TRUE(atom.ok());
+  EXPECT_EQ(atom->ToString(db->symbols()), "Unemp(Dolors)");
+  EXPECT_FALSE(db->MakeAtom("Unemp", {c, c}).ok());   // arity
+  EXPECT_FALSE(db->MakeAtom("Missing", {c}).ok());    // unknown
+}
+
+TEST(FacadeTest, MakeTransactionValidatesBaseOnly) {
+  auto db = Load(kEmployment);
+  auto good = db->MakeTransaction(
+      {{DeductiveDatabase::Op::kInsert,
+        db->GroundAtom("Works", {"Dolors"}).value()}});
+  ASSERT_TRUE(good.ok());
+  auto bad = db->MakeTransaction(
+      {{DeductiveDatabase::Op::kInsert,
+        db->GroundAtom("Unemp", {"Dolors"}).value()}});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(FacadeTest, ApplyValidatesEventDefinitions) {
+  auto db = Load(kEmployment);
+  Transaction invalid;
+  ASSERT_TRUE(
+      invalid
+          .AddInsert(db->database().FindPredicate("La").value(),
+                     {db->symbols().Intern("Dolors")})
+          .ok());
+  // La(Dolors) already holds: the insertion event is invalid (eq. 1).
+  EXPECT_EQ(db->Apply(invalid).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FacadeTest, CompiledCacheInvalidatedBySchemaChanges) {
+  auto db = Load(kEmployment);
+  auto first = db->Compiled();
+  ASSERT_TRUE(first.ok());
+  size_t rules_before = (*first)->augmented.size();
+  // Adding a rule must trigger recompilation.
+  ASSERT_TRUE(LoadProgram(db.get(), R"(
+    view Idle/1.
+    Idle(x) <- La(x) & not Works(x).
+  )")
+                  .ok());
+  auto second = db->Compiled();
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT((*second)->augmented.size(), rules_before);
+}
+
+TEST(FacadeTest, DomainCacheInvalidatedByFactChanges) {
+  auto db = Load(kEmployment);
+  auto domain = db->Domain();
+  ASSERT_TRUE(domain.ok());
+  size_t before = (*domain)->global_size();
+  ASSERT_TRUE(db->AddFact(db->GroundAtom("La", {"Maria"}).value()).ok());
+  auto after = db->Domain();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->global_size(), before + 1);
+}
+
+TEST(FacadeTest, IsConsistentTracksState) {
+  auto db = Load(kEmployment);
+  EXPECT_TRUE(db->IsConsistent().value());
+  ASSERT_TRUE(
+      db->RemoveFact(db->GroundAtom("U_benefit", {"Dolors"}).value()).ok());
+  EXPECT_FALSE(db->IsConsistent().value());
+}
+
+class UpdateProcessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = Load(kEmployment);
+    ASSERT_TRUE(db_->InitializeMaterializedViews().ok());
+    processor_ = std::make_unique<UpdateProcessor>(db_.get());
+  }
+  std::unique_ptr<DeductiveDatabase> db_;
+  std::unique_ptr<UpdateProcessor> processor_;
+};
+
+TEST_F(UpdateProcessorTest, AcceptedTransactionAppliesEverything) {
+  auto txn = ParseTransaction(db_.get(), "ins La(Maria), ins U_benefit(Maria)");
+  ASSERT_TRUE(txn.ok());
+  auto report = processor_->ProcessTransaction(*txn, /*apply=*/true);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->accepted);
+  // Base facts applied.
+  EXPECT_TRUE(db_->database().facts().Contains(
+      db_->GroundAtom("La", {"Maria"}).value()));
+  // Materialized view maintained.
+  SymbolId unemp = db_->database().FindPredicate("Unemp").value();
+  SymbolId maria = db_->symbols().Intern("Maria");
+  EXPECT_TRUE(db_->database().materialized_store().Contains(unemp, {maria}));
+  // Condition change reported.
+  EXPECT_EQ(report->conditions.events.ToString(db_->symbols()),
+            "{ins Alert(Maria)}");
+}
+
+TEST_F(UpdateProcessorTest, ViolatingTransactionIsRejectedAndNotApplied) {
+  auto txn = ParseTransaction(db_.get(), "ins La(Maria)");  // no benefit
+  ASSERT_TRUE(txn.ok());
+  auto report = processor_->ProcessTransaction(*txn, /*apply=*/true);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(report->accepted);
+  ASSERT_EQ(report->integrity.violations.size(), 1u);
+  EXPECT_EQ(report->integrity.violations[0].ToString(db_->symbols()),
+            "Ic1(Maria)");
+  EXPECT_FALSE(db_->database().facts().Contains(
+      db_->GroundAtom("La", {"Maria"}).value()));
+  SymbolId unemp = db_->database().FindPredicate("Unemp").value();
+  SymbolId maria = db_->symbols().Intern("Maria");
+  EXPECT_FALSE(
+      db_->database().materialized_store().Contains(unemp, {maria}));
+}
+
+TEST_F(UpdateProcessorTest, RequiresConsistentDatabase) {
+  ASSERT_TRUE(
+      db_->RemoveFact(db_->GroundAtom("U_benefit", {"Dolors"}).value()).ok());
+  Transaction txn;
+  EXPECT_EQ(processor_->ProcessTransaction(txn).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(UpdateProcessorTest, ViewUpdateWithDefaultMaintenance) {
+  auto request = ParseRequest(db_.get(), "ins Unemp(Maria)");
+  ASSERT_TRUE(request.ok());
+  auto outcome = processor_->ProcessViewUpdate(*request);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_FALSE(outcome->translations.empty());
+  // Every surviving candidate keeps the database consistent.
+  for (const auto& translation : outcome->translations) {
+    auto check = db_->CheckIntegrity(translation.transaction);
+    ASSERT_TRUE(check.ok());
+    EXPECT_FALSE(check->violated)
+        << translation.ToString(db_->symbols());
+  }
+}
+
+TEST_F(UpdateProcessorTest, CheckPolicyRejectsInsteadOfRepairing) {
+  auto request = ParseRequest(db_.get(), "ins Unemp(Maria)");
+  ASSERT_TRUE(request.ok());
+  UpdateProcessor::ViewUpdatePolicy policy;
+  policy.check = {db_->database().FindPredicate("Ic1").value()};
+  auto outcome = processor_->ProcessViewUpdate(*request, policy);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  // The raw translation {ins La(Maria)} violates Ic1 and is rejected; no
+  // repair is generated because Ic1 is only checked.
+  EXPECT_GE(outcome->rejected_by_check, 1u);
+  for (const auto& translation : outcome->translations) {
+    auto check = db_->CheckIntegrity(translation.transaction);
+    ASSERT_TRUE(check.ok());
+    EXPECT_FALSE(check->violated);
+  }
+}
+
+TEST_F(UpdateProcessorTest, UnsatisfiableRequestYieldsNoTranslations) {
+  // Unemp(Dolors) already holds.
+  auto request = ParseRequest(db_.get(), "ins Unemp(Dolors)");
+  ASSERT_TRUE(request.ok());
+  auto outcome = processor_->ProcessViewUpdate(*request);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->translations.empty());
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,281 @@
+// Unit tests of the datalog layer: symbols, terms, atoms, literals, rules,
+// substitutions and unification.
+
+#include <gtest/gtest.h>
+
+#include "datalog/atom.h"
+#include "util/strings.h"
+#include "datalog/rule.h"
+#include "datalog/substitution.h"
+#include "datalog/symbol_table.h"
+#include "datalog/term.h"
+#include "datalog/unify.h"
+
+namespace deddb {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable symbols;
+  SymbolId a = symbols.Intern("Works");
+  SymbolId b = symbols.Intern("Works");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(symbols.NameOf(a), "Works");
+  EXPECT_EQ(symbols.size(), 1u);
+}
+
+TEST(SymbolTableTest, FindReturnsNoSymbolForUnknown) {
+  SymbolTable symbols;
+  EXPECT_EQ(symbols.Find("Nope"), SymbolTable::kNoSymbol);
+  symbols.Intern("Yes");
+  EXPECT_NE(symbols.Find("Yes"), SymbolTable::kNoSymbol);
+}
+
+TEST(SymbolTableTest, NameReferencesSurviveGrowth) {
+  SymbolTable symbols;
+  SymbolId first = symbols.Intern("First");
+  const std::string& name = symbols.NameOf(first);
+  for (int i = 0; i < 1000; ++i) symbols.Intern(StrCat("S", i));
+  EXPECT_EQ(name, "First");  // deque storage keeps references valid
+}
+
+TEST(SymbolTableTest, VariablesHaveSeparateSpace) {
+  SymbolTable symbols;
+  SymbolId constant = symbols.Intern("x_as_constant");
+  VarId var = symbols.InternVar("x_as_constant");
+  EXPECT_EQ(symbols.NameOf(constant), symbols.VarNameOf(var));
+  EXPECT_EQ(symbols.var_count(), 1u);
+}
+
+TEST(SymbolTableTest, FreshVarsAreDistinct) {
+  SymbolTable symbols;
+  VarId a = symbols.FreshVar();
+  VarId b = symbols.FreshVar();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(symbols.VarNameOf(a)[0], '_');
+}
+
+TEST(TermTest, VariableVsConstant) {
+  Term v = Term::MakeVariable(3);
+  Term c = Term::MakeConstant(3);
+  EXPECT_TRUE(v.is_variable());
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_NE(v, c);
+  EXPECT_EQ(v.variable(), 3u);
+  EXPECT_EQ(c.constant(), 3u);
+  EXPECT_NE(v.Hash(), c.Hash());
+}
+
+TEST(TermTest, OrderingPutsVariablesFirst) {
+  EXPECT_LT(Term::MakeVariable(9), Term::MakeConstant(0));
+  EXPECT_LT(Term::MakeVariable(1), Term::MakeVariable(2));
+  EXPECT_LT(Term::MakeConstant(1), Term::MakeConstant(2));
+}
+
+class AtomFixture : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  SymbolId p_ = symbols_.Intern("P");
+  SymbolId a_ = symbols_.Intern("A");
+  SymbolId b_ = symbols_.Intern("B");
+  VarId x_ = symbols_.InternVar("x");
+  VarId y_ = symbols_.InternVar("y");
+
+  Atom PA() { return Atom(p_, {Term::MakeConstant(a_)}); }
+  Atom Px() { return Atom(p_, {Term::MakeVariable(x_)}); }
+};
+
+TEST_F(AtomFixture, GroundDetection) {
+  EXPECT_TRUE(PA().IsGround());
+  EXPECT_FALSE(Px().IsGround());
+  EXPECT_TRUE(Atom(p_, {}).IsGround());  // 0-ary
+}
+
+TEST_F(AtomFixture, CollectVariables) {
+  Atom atom(p_, {Term::MakeVariable(x_), Term::MakeConstant(a_),
+                 Term::MakeVariable(x_)});
+  std::vector<VarId> vars;
+  atom.CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::vector<VarId>{x_, x_}));
+}
+
+TEST_F(AtomFixture, ToStringFormats) {
+  EXPECT_EQ(PA().ToString(symbols_), "P(A)");
+  EXPECT_EQ(Px().ToString(symbols_), "P(x)");
+  EXPECT_EQ(Atom(p_, {}).ToString(symbols_), "P");
+}
+
+TEST_F(AtomFixture, EqualityAndHash) {
+  EXPECT_EQ(PA(), PA());
+  EXPECT_NE(PA(), Px());
+  EXPECT_EQ(PA().Hash(), PA().Hash());
+}
+
+TEST_F(AtomFixture, LiteralPolarity) {
+  Literal pos = Literal::Positive(PA());
+  Literal neg = Literal::Negative(PA());
+  EXPECT_TRUE(pos.positive());
+  EXPECT_TRUE(neg.negative());
+  EXPECT_EQ(pos.Negated(), neg);
+  EXPECT_EQ(neg.Negated(), pos);
+  EXPECT_EQ(pos.ToString(symbols_), "P(A)");
+  EXPECT_EQ(neg.ToString(symbols_), "not P(A)");
+  EXPECT_NE(pos.Hash(), neg.Hash());
+}
+
+class RuleFixture : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  SymbolId p_ = symbols_.Intern("P");
+  SymbolId q_ = symbols_.Intern("Q");
+  SymbolId r_ = symbols_.Intern("R");
+  VarId x_ = symbols_.InternVar("x");
+  VarId y_ = symbols_.InternVar("y");
+
+  // P(x) <- Q(x) & not R(x)
+  Rule PaperRule() {
+    Term x = Term::MakeVariable(x_);
+    return Rule(Atom(p_, {x}), {Literal::Positive(Atom(q_, {x})),
+                                Literal::Negative(Atom(r_, {x}))});
+  }
+};
+
+TEST_F(RuleFixture, ToStringMatchesSyntax) {
+  EXPECT_EQ(PaperRule().ToString(symbols_), "P(x) <- Q(x) & not R(x)");
+}
+
+TEST_F(RuleFixture, AllowedRulePasses) {
+  EXPECT_TRUE(PaperRule().CheckAllowed(symbols_).ok());
+}
+
+TEST_F(RuleFixture, HeadVariableWithoutPositiveOccurrenceIsRejected) {
+  // P(y) <- Q(x): y occurs only in the head.
+  Rule bad(Atom(p_, {Term::MakeVariable(y_)}),
+           {Literal::Positive(Atom(q_, {Term::MakeVariable(x_)}))});
+  Status status = bad.CheckAllowed(symbols_);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RuleFixture, NegativeOnlyVariableIsRejected) {
+  // P(x) <- Q(x) & not R(y): y occurs only negatively.
+  Rule bad(Atom(p_, {Term::MakeVariable(x_)}),
+           {Literal::Positive(Atom(q_, {Term::MakeVariable(x_)})),
+            Literal::Negative(Atom(r_, {Term::MakeVariable(y_)}))});
+  EXPECT_FALSE(bad.CheckAllowed(symbols_).ok());
+}
+
+TEST_F(RuleFixture, DistinctVariablesInOrder) {
+  Term x = Term::MakeVariable(x_);
+  Term y = Term::MakeVariable(y_);
+  Rule rule(Atom(p_, {x}), {Literal::Positive(Atom(q_, {y})),
+                            Literal::Positive(Atom(r_, {x}))});
+  EXPECT_EQ(rule.DistinctVariables(), (std::vector<VarId>{x_, y_}));
+}
+
+TEST(SubstitutionTest, ApplyFollowsChains) {
+  Substitution subst;
+  subst.Bind(0, Term::MakeVariable(1));
+  subst.Bind(1, Term::MakeConstant(7));
+  EXPECT_EQ(subst.Apply(Term::MakeVariable(0)), Term::MakeConstant(7));
+  EXPECT_EQ(subst.Apply(Term::MakeVariable(2)), Term::MakeVariable(2));
+}
+
+TEST(SubstitutionTest, UnbindRestores) {
+  Substitution subst;
+  subst.Bind(0, Term::MakeConstant(1));
+  EXPECT_TRUE(subst.IsBound(0));
+  subst.Unbind(0);
+  EXPECT_FALSE(subst.IsBound(0));
+  EXPECT_EQ(subst.Apply(Term::MakeVariable(0)), Term::MakeVariable(0));
+}
+
+TEST(SubstitutionTest, ApplyToAtomAndRule) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  SymbolId q = symbols.Intern("Q");
+  SymbolId a = symbols.Intern("A");
+  VarId x = symbols.InternVar("x");
+  Substitution subst;
+  subst.Bind(x, Term::MakeConstant(a));
+  Rule rule(Atom(p, {Term::MakeVariable(x)}),
+            {Literal::Positive(Atom(q, {Term::MakeVariable(x)}))});
+  Rule applied = subst.Apply(rule);
+  EXPECT_EQ(applied.ToString(symbols), "P(A) <- Q(A)");
+}
+
+TEST(UnifyTest, UnifiesVariableWithConstant) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  SymbolId a = symbols.Intern("A");
+  VarId x = symbols.InternVar("x");
+  Substitution subst;
+  EXPECT_TRUE(UnifyAtoms(Atom(p, {Term::MakeVariable(x)}),
+                         Atom(p, {Term::MakeConstant(a)}), &subst));
+  EXPECT_EQ(subst.Apply(Term::MakeVariable(x)), Term::MakeConstant(a));
+}
+
+TEST(UnifyTest, FailsOnDistinctConstants) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  Substitution subst;
+  EXPECT_FALSE(UnifyAtoms(
+      Atom(p, {Term::MakeConstant(symbols.Intern("A"))}),
+      Atom(p, {Term::MakeConstant(symbols.Intern("B"))}), &subst));
+}
+
+TEST(UnifyTest, FailsOnDifferentPredicatesOrArity) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  SymbolId q = symbols.Intern("Q");
+  Substitution subst;
+  EXPECT_FALSE(UnifyAtoms(Atom(p, {}), Atom(q, {}), &subst));
+  EXPECT_FALSE(UnifyAtoms(Atom(p, {Term::MakeConstant(0)}), Atom(p, {}),
+                          &subst));
+}
+
+TEST(UnifyTest, RepeatedVariablesUnifyConsistently) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  SymbolId a = symbols.Intern("A");
+  SymbolId b = symbols.Intern("B");
+  VarId x = symbols.InternVar("x");
+  // P(x, x) with P(A, B) must fail; with P(A, A) must succeed.
+  Substitution s1;
+  EXPECT_FALSE(UnifyAtoms(
+      Atom(p, {Term::MakeVariable(x), Term::MakeVariable(x)}),
+      Atom(p, {Term::MakeConstant(a), Term::MakeConstant(b)}), &s1));
+  Substitution s2;
+  EXPECT_TRUE(UnifyAtoms(
+      Atom(p, {Term::MakeVariable(x), Term::MakeVariable(x)}),
+      Atom(p, {Term::MakeConstant(a), Term::MakeConstant(a)}), &s2));
+}
+
+TEST(UnifyTest, VariableToVariableBinding) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  SymbolId a = symbols.Intern("A");
+  VarId x = symbols.InternVar("x");
+  VarId y = symbols.InternVar("y");
+  Substitution subst;
+  EXPECT_TRUE(UnifyAtoms(Atom(p, {Term::MakeVariable(x)}),
+                         Atom(p, {Term::MakeVariable(y)}), &subst));
+  // Binding either one grounds both.
+  subst.Bind(y, Term::MakeConstant(a));
+  EXPECT_EQ(subst.Apply(Term::MakeVariable(x)), Term::MakeConstant(a));
+}
+
+TEST(MatchTest, MatchAtomAgainstTuple) {
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  SymbolId a = symbols.Intern("A");
+  SymbolId b = symbols.Intern("B");
+  VarId x = symbols.InternVar("x");
+  Atom pattern(p, {Term::MakeVariable(x), Term::MakeConstant(b)});
+  Substitution subst;
+  EXPECT_TRUE(MatchAtomAgainstTuple(pattern, {a, b}, &subst));
+  EXPECT_EQ(subst.Apply(Term::MakeVariable(x)), Term::MakeConstant(a));
+  Substitution subst2;
+  EXPECT_FALSE(MatchAtomAgainstTuple(pattern, {a, a}, &subst2));
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,227 @@
+// Unit tests of the DNF algebra underlying the downward interpretation:
+// canonical forms, simplification against the event definitions,
+// conjunction/disjunction/negation, subsumption, caps and the approximate
+// flag.
+
+#include <gtest/gtest.h>
+
+#include "interp/dnf.h"
+
+namespace deddb {
+namespace {
+
+class DnfTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  SymbolId q_ = symbols_.Intern("Q");
+  SymbolId r_ = symbols_.Intern("R");
+  SymbolId a_ = symbols_.Intern("A");
+  SymbolId b_ = symbols_.Intern("B");
+
+  BaseEventFact InsQ(SymbolId c) { return BaseEventFact{true, q_, {c}}; }
+  BaseEventFact DelQ(SymbolId c) { return BaseEventFact{false, q_, {c}}; }
+  BaseEventFact InsR(SymbolId c) { return BaseEventFact{true, r_, {c}}; }
+  BaseEventFact DelR(SymbolId c) { return BaseEventFact{false, r_, {c}}; }
+
+  // Current state: Q(A) and R(B) hold — so ins Q(A) / del Q(B) / ins R(B) /
+  // del R(A) are impossible events.
+  EventPossibleFn Possible() {
+    return [this](const BaseEventFact& ev) {
+      bool holds = (ev.predicate == q_ && ev.tuple == Tuple{a_}) ||
+                   (ev.predicate == r_ && ev.tuple == Tuple{b_});
+      return ev.is_insert ? !holds : holds;
+    };
+  }
+
+  Conjunct Conj(std::vector<EventLiteral> lits) {
+    return Conjunct(std::move(lits));
+  }
+};
+
+TEST_F(DnfTest, TrueAndFalseForms) {
+  EXPECT_TRUE(Dnf::False().IsFalse());
+  EXPECT_TRUE(Dnf::True().IsTrue());
+  EXPECT_EQ(Dnf::False().ToString(symbols_), "false");
+  EXPECT_EQ(Dnf::True().ToString(symbols_), "true");
+}
+
+TEST_F(DnfTest, ConjunctCanonicalForm) {
+  EventLiteral l1{InsQ(b_), true};
+  EventLiteral l2{DelR(b_), true};
+  Conjunct c({l2, l1, l1});
+  EXPECT_EQ(c.size(), 2u);  // deduped
+  EXPECT_TRUE(c.Contains(l1));
+  EXPECT_TRUE(c.Contains(l2));
+  EXPECT_FALSE(c.Contains(EventLiteral{InsQ(b_), false}));
+}
+
+TEST_F(DnfTest, SimplifyDropsImpossiblePositive) {
+  // ins Q(A) is impossible (Q(A) holds).
+  Conjunct c({EventLiteral{InsQ(a_), true}});
+  EXPECT_FALSE(c.Simplify(Possible()).has_value());
+}
+
+TEST_F(DnfTest, SimplifyDropsVacuousNegative) {
+  // not ins Q(A): impossible event, requirement vacuously true.
+  Conjunct c({EventLiteral{InsQ(a_), false},
+              EventLiteral{InsQ(b_), true}});
+  auto simplified = c.Simplify(Possible());
+  ASSERT_TRUE(simplified.has_value());
+  EXPECT_EQ(simplified->size(), 1u);
+}
+
+TEST_F(DnfTest, SimplifyDetectsComplementaryPair) {
+  Conjunct c({EventLiteral{InsQ(b_), true}, EventLiteral{InsQ(b_), false}});
+  EXPECT_FALSE(c.Simplify(Possible()).has_value());
+}
+
+TEST_F(DnfTest, SimplifyDetectsInsAndDelOfSameFact) {
+  // ins Q(B) and del Q(B) can't both be valid events of one transition:
+  // one of them is impossible in any state.
+  Conjunct c({EventLiteral{InsQ(b_), true}, EventLiteral{DelQ(b_), true}});
+  EXPECT_FALSE(c.Simplify(Possible()).has_value());
+}
+
+TEST_F(DnfTest, AndDistributes) {
+  Dnf left = Dnf::Of(InsQ(b_));
+  Dnf right;
+  right.AddDisjunct(Conj({EventLiteral{DelR(b_), true}}));
+  right.AddDisjunct(Conj({EventLiteral{DelQ(a_), true}}));
+  auto result = Dnf::And(left, right, Possible(), 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->ToString(symbols_),
+            "(del Q(A) & ins Q(B)) | (del R(B) & ins Q(B))");
+}
+
+TEST_F(DnfTest, AndWithTrueAndFalse) {
+  Dnf d = Dnf::Of(InsQ(b_));
+  EXPECT_EQ(Dnf::And(d, Dnf::True(), Possible(), 10)->ToString(symbols_),
+            d.ToString(symbols_));
+  EXPECT_TRUE(Dnf::And(d, Dnf::False(), Possible(), 10)->IsFalse());
+}
+
+TEST_F(DnfTest, OrDeduplicatesAndSubsumes) {
+  Dnf small = Dnf::Of(InsQ(b_));
+  Dnf bigger;
+  bigger.AddDisjunct(
+      Conj({EventLiteral{InsQ(b_), true}, EventLiteral{DelR(b_), true}}));
+  auto result = Dnf::Or(small, bigger, Possible(), 10);
+  ASSERT_TRUE(result.ok());
+  // (ins Q(B)) subsumes (ins Q(B) & del R(B)).
+  EXPECT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->ToString(symbols_), "(ins Q(B))");
+}
+
+TEST_F(DnfTest, NegateSingleConjunct) {
+  Dnf d;
+  d.AddDisjunct(
+      Conj({EventLiteral{InsQ(b_), true}, EventLiteral{DelR(b_), false}}));
+  auto negated = Dnf::Negate(d, Possible(), 100);
+  ASSERT_TRUE(negated.ok());
+  // ¬(ins Q(B) & ¬del R(B)) = ¬ins Q(B) | del R(B); canonical order puts
+  // deletion events first.
+  EXPECT_EQ(negated->ToString(symbols_),
+            "(del R(B)) | (not ins Q(B))");
+}
+
+TEST_F(DnfTest, NegateFalseIsTrueAndViceVersa) {
+  EXPECT_TRUE(Dnf::Negate(Dnf::False(), Possible(), 10)->IsTrue());
+  EXPECT_TRUE(Dnf::Negate(Dnf::True(), Possible(), 10)->IsFalse());
+}
+
+TEST_F(DnfTest, NegateOfImpossibleConjunctIsTrue) {
+  // del Q(B) is impossible (Q(B) does not hold), so the conjunct
+  // {del Q(B), del R(B)} can never occur and its negation is TRUE: the
+  // requirement choice ¬del Q(B) is vacuously satisfied.
+  Dnf d;
+  d.AddDisjunct(
+      Conj({EventLiteral{DelQ(b_), true}, EventLiteral{DelR(b_), true}}));
+  auto negated = Dnf::Negate(d, Possible(), 100);
+  ASSERT_TRUE(negated.ok());
+  EXPECT_TRUE(negated->IsTrue());
+}
+
+TEST_F(DnfTest, NegateOffersAllRequirementChoices) {
+  // Both deletions are possible here (Q(A) and R(B) hold), so the negation
+  // keeps both requirement alternatives.
+  Dnf d;
+  d.AddDisjunct(
+      Conj({EventLiteral{DelQ(a_), true}, EventLiteral{DelR(b_), true}}));
+  auto negated = Dnf::Negate(d, Possible(), 100);
+  ASSERT_TRUE(negated.ok());
+  EXPECT_EQ(negated->ToString(symbols_),
+            "(not del Q(A)) | (not del R(B))");
+}
+
+TEST_F(DnfTest, DoubleNegationOfSimplePositive) {
+  Dnf d = Dnf::Of(DelR(b_));
+  auto once = Dnf::Negate(d, Possible(), 100);
+  ASSERT_TRUE(once.ok());
+  auto twice = Dnf::Negate(*once, Possible(), 100);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice->ToString(symbols_), d.ToString(symbols_));
+}
+
+TEST_F(DnfTest, AndNegatedPrunesAgainstContext) {
+  // Context requires ins Q(B); negating {ins Q(B) & ¬del R(B)} forces the
+  // del R(B) branch (the ¬ins Q(B) choice contradicts the context).
+  Dnf context = Dnf::Of(InsQ(b_));
+  Dnf violation;
+  violation.AddDisjunct(
+      Conj({EventLiteral{InsQ(b_), true}, EventLiteral{DelR(b_), false}}));
+  auto result = Dnf::AndNegated(context, violation, Possible(), 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ToString(symbols_), "(del R(B) & ins Q(B))");
+  EXPECT_FALSE(result->approximate());
+}
+
+TEST_F(DnfTest, AndNegatedUnsatisfiableFactorYieldsFalse) {
+  // The factor's only choice contradicts the context and there is no other.
+  Dnf context = Dnf::Of(InsQ(b_));
+  Dnf violation;
+  violation.AddDisjunct(Conj({EventLiteral{InsQ(b_), true}}));
+  auto result = Dnf::AndNegated(context, violation, Possible(), 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->IsFalse());
+}
+
+TEST_F(DnfTest, CapTriggersMinimalFrontierAndApproximateFlag) {
+  // Product of k independent binary factors overflows a tiny cap; the
+  // result must stay within the cap and be flagged approximate.
+  SymbolTable symbols;
+  SymbolId p = symbols.Intern("P");
+  EventPossibleFn anything = [](const BaseEventFact&) { return true; };
+  Dnf to_negate;
+  for (uint32_t i = 0; i < 10; ++i) {
+    Conjunct c;
+    c.Add(EventLiteral{BaseEventFact{true, p, {i}}, false});
+    c.Add(EventLiteral{BaseEventFact{false, p, {i}}, false});
+    to_negate.AddDisjunct(std::move(c));
+  }
+  auto result = Dnf::Negate(to_negate, anything, /*max_disjuncts=*/8);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(result->size(), 8u);
+  EXPECT_TRUE(result->approximate());
+}
+
+TEST_F(DnfTest, PruneNonMinimalKeepsFrontier) {
+  Dnf d;
+  d.AddDisjunct(Conj({EventLiteral{InsQ(b_), true}}));
+  d.AddDisjunct(
+      Conj({EventLiteral{InsQ(b_), true}, EventLiteral{DelR(b_), true}}));
+  d.AddDisjunct(Conj({EventLiteral{DelQ(a_), true}}));
+  d.PruneNonMinimal();
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.ToString(symbols_), "(del Q(A)) | (ins Q(B))");
+}
+
+TEST_F(DnfTest, EventLiteralToString) {
+  EventLiteral pos{InsQ(b_), true};
+  EventLiteral neg{DelR(a_), false};
+  EXPECT_EQ(pos.ToString(symbols_), "ins Q(B)");
+  EXPECT_EQ(neg.ToString(symbols_), "not del R(A)");
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,269 @@
+// Unit tests of the event machinery (§3): transition rules, event rules,
+// the compiler's simplifications, the hierarchy requirement, and the
+// augmented program's stratifiability.
+
+#include <gtest/gtest.h>
+
+#include "core/deductive_database.h"
+#include "eval/stratification.h"
+#include "events/event_compiler.h"
+#include "events/transaction_provider.h"
+#include "events/transition.h"
+#include "parser/parser.h"
+#include "util/strings.h"
+
+namespace deddb {
+namespace {
+
+std::unique_ptr<DeductiveDatabase> Load(const char* source,
+                                        bool simplify = false) {
+  auto db = std::make_unique<DeductiveDatabase>(
+      EventCompilerOptions{.simplify = simplify});
+  auto loaded = LoadProgram(db.get(), source);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return db;
+}
+
+TEST(TransitionTest, DisjunctCountIsTwoToTheN) {
+  auto db = Load(R"(
+    base A/1. base B/1. base C/1.
+    derived D/1.
+    D(x) <- A(x) & not B(x) & C(x).
+  )");
+  Program out;
+  ASSERT_TRUE(BuildTransitionRules(db->database().program().rules()[0],
+                                   &db->database().predicates(), &out)
+                  .ok());
+  EXPECT_EQ(out.size(), 8u);  // 2^3
+}
+
+TEST(TransitionTest, MultipleRulesUnionTheirExpansions) {
+  auto db = Load(R"(
+    base A/1. base B/1.
+    derived D/1.
+    D(x) <- A(x).
+    D(x) <- B(x).
+  )");
+  auto compiled = db->Compiled();
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  SymbolId d = db->database().FindPredicate("D").value();
+  SymbolId new_d = db->database()
+                       .predicates()
+                       .FindVariant(d, PredicateVariant::kNew)
+                       .value();
+  // 2 + 2 disjuncts.
+  EXPECT_EQ((*compiled)->transition.RulesFor(new_d).size(), 4u);
+}
+
+TEST(TransitionTest, ZeroAryPredicate) {
+  auto db = Load(R"(
+    base A/1.
+    derived D/0.
+    D <- A(x).
+  )");
+  auto compiled = db->Compiled();
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  SymbolId d = db->database().FindPredicate("D").value();
+  SymbolId new_d = db->database()
+                       .predicates()
+                       .FindVariant(d, PredicateVariant::kNew)
+                       .value();
+  ASSERT_EQ((*compiled)->transition.RulesFor(new_d).size(), 2u);
+}
+
+TEST(TransitionTest, PositiveEventLiteralCounting) {
+  auto db = Load(R"(
+    base A/1. base B/1.
+    derived D/1.
+    D(x) <- A(x) & not B(x).
+  )");
+  Program out;
+  ASSERT_TRUE(BuildTransitionRules(db->database().program().rules()[0],
+                                   &db->database().predicates(), &out)
+                  .ok());
+  // The four disjuncts have 0, 1, 1, 2 positive event literals.
+  std::vector<size_t> counts;
+  for (const Rule& rule : out.rules()) {
+    counts.push_back(
+        CountPositiveEventLiterals(rule, db->database().predicates()));
+  }
+  std::sort(counts.begin(), counts.end());
+  EXPECT_EQ(counts, (std::vector<size_t>{0, 1, 1, 2}));
+}
+
+TEST(EventCompilerTest, EventRulesFollowEquations6And7) {
+  auto db = Load(R"(
+    base A/1.
+    derived D/1.
+    D(x) <- A(x).
+  )");
+  auto compiled = db->Compiled();
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  std::string rules = (*compiled)->event_rules.ToString(db->symbols());
+  EXPECT_NE(rules.find("ins$D(_g0) <- new$D(_g0) & not D(_g0)"),
+            std::string::npos)
+      << rules;
+  EXPECT_NE(rules.find("del$D(_g0) <- D(_g0) & not new$D(_g0)"),
+            std::string::npos)
+      << rules;
+}
+
+TEST(EventCompilerTest, RejectsRecursivePredicates) {
+  auto db = Load(R"(
+    base Edge/2.
+    derived Path/2.
+    Path(x, y) <- Edge(x, y).
+    Path(x, y) <- Path(x, z) & Edge(z, y).
+  )");
+  auto compiled = db->Compiled();
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EventCompilerTest, RejectsMutualRecursion) {
+  auto db = Load(R"(
+    base B/1.
+    derived P/1.
+    derived Q/1.
+    P(x) <- Q(x).
+    Q(x) <- P(x).
+    Q(x) <- B(x).
+  )");
+  EXPECT_FALSE(db->Compiled().ok());
+}
+
+TEST(EventCompilerTest, DerivedOrderIsBottomUp) {
+  auto db = Load(R"(
+    base B/1.
+    derived Lower/1.
+    derived Upper/1.
+    Lower(x) <- B(x).
+    Upper(x) <- Lower(x).
+  )");
+  auto compiled = db->Compiled();
+  ASSERT_TRUE(compiled.ok());
+  SymbolId lower = db->database().FindPredicate("Lower").value();
+  SymbolId upper = db->database().FindPredicate("Upper").value();
+  const auto& order = (*compiled)->derived_order;
+  auto pos = [&](SymbolId s) {
+    return std::find(order.begin(), order.end(), s) - order.begin();
+  };
+  EXPECT_LT(pos(lower), pos(upper));
+}
+
+TEST(EventCompilerTest, SimplifiedModeBuildsHelperPredicates) {
+  auto db = Load(R"(
+    base A/1. base B/1.
+    derived D/1.
+    D(x) <- A(x) & not B(x).
+  )",
+                 /*simplify=*/true);
+  auto compiled = db->Compiled();
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  EXPECT_TRUE((*compiled)->simplified);
+  SymbolId inew = db->symbols().Find("inew$D");
+  SymbolId dcand = db->symbols().Find("dcand$D");
+  ASSERT_NE(inew, SymbolTable::kNoSymbol);
+  ASSERT_NE(dcand, SymbolTable::kNoSymbol);
+  // inew$D keeps the 3 disjuncts with a positive event literal.
+  EXPECT_EQ((*compiled)->ins_new.RulesFor(inew).size(), 3u);
+  // dcand$D has one rule per body literal.
+  EXPECT_EQ((*compiled)->delete_candidates.RulesFor(dcand).size(), 2u);
+  // dcand rules: (del$A(x) & not B(x)) and (A(x) & ins$B(x)).
+  std::string dump = (*compiled)->delete_candidates.ToString(db->symbols());
+  EXPECT_NE(dump.find("dcand$D(x) <- del$A(x) & not B(x)"),
+            std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("dcand$D(x) <- A(x) & ins$B(x)"), std::string::npos)
+      << dump;
+}
+
+TEST(EventCompilerTest, UnsimplifiedModeHasNoHelpers) {
+  auto db = Load(R"(
+    base A/1.
+    derived D/1.
+    D(x) <- A(x).
+  )");
+  auto compiled = db->Compiled();
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_FALSE((*compiled)->simplified);
+  EXPECT_TRUE((*compiled)->ins_new.empty());
+  EXPECT_TRUE((*compiled)->delete_candidates.empty());
+}
+
+TEST(EventCompilerTest, AugmentedProgramIsStratified) {
+  for (bool simplify : {false, true}) {
+    auto db = Load(R"(
+      base La/1. base Works/1. base U_benefit/1.
+      view Unemp/1.
+      ic Ic1/1.
+      Unemp(x) <- La(x) & not Works(x).
+      Ic1(x) <- Unemp(x) & not U_benefit(x).
+    )",
+                   simplify);
+    auto compiled = db->Compiled();
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    auto strat = Stratify((*compiled)->augmented, db->symbols());
+    EXPECT_TRUE(strat.ok()) << "simplify=" << simplify << ": "
+                            << strat.status();
+  }
+}
+
+TEST(EventCompilerTest, DeclaredButUndefinedDerivedGetsEventRules) {
+  auto db = Load(R"(
+    base A/1.
+    view EmptyView/1.
+  )");
+  auto compiled = db->Compiled();
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  SymbolId v = db->database().FindPredicate("EmptyView").value();
+  SymbolId ins = db->database()
+                     .predicates()
+                     .FindVariant(v, PredicateVariant::kInsertEvent)
+                     .value();
+  EXPECT_EQ((*compiled)->event_rules.RulesFor(ins).size(), 1u);
+}
+
+TEST(TransactionProviderTest, ResolvesBaseEventPredicatesOnly) {
+  auto db = Load(R"(
+    base Q/1.
+    derived D/1.
+    D(x) <- Q(x).
+    Q(A).
+  )");
+  ASSERT_TRUE(db->Compiled().ok());
+  auto& predicates = db->database().predicates();
+  SymbolId q = db->database().FindPredicate("Q").value();
+  SymbolId d = db->database().FindPredicate("D").value();
+  SymbolId a = db->symbols().Intern("A");
+  SymbolId b = db->symbols().Intern("B");
+
+  Transaction txn;
+  ASSERT_TRUE(txn.AddDelete(q, {a}).ok());
+  ASSERT_TRUE(txn.AddInsert(q, {b}).ok());
+  TransactionProvider provider(&txn, &predicates);
+
+  SymbolId ins_q = predicates.FindVariant(q, PredicateVariant::kInsertEvent)
+                       .value();
+  SymbolId del_q = predicates.FindVariant(q, PredicateVariant::kDeleteEvent)
+                       .value();
+  SymbolId ins_d = predicates.FindVariant(d, PredicateVariant::kInsertEvent)
+                       .value();
+
+  EXPECT_TRUE(provider.Contains(ins_q, {b}));
+  EXPECT_TRUE(provider.Contains(del_q, {a}));
+  EXPECT_FALSE(provider.Contains(ins_q, {a}));
+  // Derived event predicates are never served by the transaction.
+  EXPECT_FALSE(provider.Contains(ins_d, {a}));
+  // Old predicates neither.
+  EXPECT_FALSE(provider.Contains(q, {a}));
+  EXPECT_EQ(provider.EstimateCount(ins_q), 1u);
+  EXPECT_EQ(provider.EstimateCount(q), 0u);
+
+  size_t seen = 0;
+  provider.ForEachMatch(del_q, {std::nullopt},
+                        [&](const Tuple&) { ++seen; });
+  EXPECT_EQ(seen, 1u);
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,165 @@
+// Exhaustive semantic verification of the downward interpretation on tiny
+// domains: enumerate EVERY valid transaction over the base facts and check
+// that it satisfies the downward DNF of a request if and only if it actually
+// induces the requested event (decided by brute-force evaluation of the old
+// and new states). This checks soundness *and completeness* of §4.2 —
+// stronger than the sampled round-trip properties.
+
+#include <gtest/gtest.h>
+
+#include "core/deductive_database.h"
+#include "eval/bottom_up.h"
+#include "parser/parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace deddb {
+namespace {
+
+struct PossibleEvent {
+  bool is_insert;
+  SymbolId predicate;
+  Tuple tuple;
+};
+
+class ExhaustiveDownwardTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<DeductiveDatabase>();
+    ASSERT_TRUE(LoadProgram(db_.get(), R"(
+      base Q/1. base R/1.
+      view P/1.
+      view W/1.
+      P(x) <- Q(x) & not R(x).
+      W(x) <- P(x) & Q(x).
+    )")
+                    .ok());
+    q_ = db_->database().FindPredicate("Q").value();
+    r_ = db_->database().FindPredicate("R").value();
+    p_ = db_->database().FindPredicate("P").value();
+
+    // Random initial facts over constants {C0, C1, C2}.
+    Rng rng(GetParam());
+    for (const char* name : {"C0", "C1", "C2"}) {
+      SymbolId c = db_->symbols().Intern(name);
+      constants_.push_back(c);
+      if (rng.NextChance(50, 100)) {
+        ASSERT_TRUE(db_->AddFact(Atom(q_, {Term::MakeConstant(c)})).ok());
+      }
+      if (rng.NextChance(50, 100)) {
+        ASSERT_TRUE(db_->AddFact(Atom(r_, {Term::MakeConstant(c)})).ok());
+      }
+    }
+    // The 6 possible valid events: per (pred, constant), insertion if the
+    // fact is absent, deletion if present.
+    for (SymbolId pred : {q_, r_}) {
+      for (SymbolId c : constants_) {
+        bool present = db_->database().facts().Contains(pred, {c});
+        possible_.push_back(PossibleEvent{!present, pred, {c}});
+      }
+    }
+  }
+
+  // Evaluates whether `pred(tuple)` holds in `state` under the program.
+  bool Holds(const FactStore& state, SymbolId pred, const Tuple& tuple) {
+    FactStoreProvider edb(&state);
+    BottomUpEvaluator evaluator(db_->database().program(), db_->symbols(),
+                                edb);
+    auto idb = evaluator.EvaluateFor({pred});
+    EXPECT_TRUE(idb.ok());
+    return idb->Contains(pred, tuple);
+  }
+
+  // The transaction encoded by `mask` over possible_.
+  Transaction TxnFromMask(uint32_t mask) {
+    Transaction txn;
+    for (size_t i = 0; i < possible_.size(); ++i) {
+      if (!(mask & (1u << i))) continue;
+      const PossibleEvent& ev = possible_[i];
+      Status status = ev.is_insert ? txn.AddInsert(ev.predicate, ev.tuple)
+                                   : txn.AddDelete(ev.predicate, ev.tuple);
+      EXPECT_TRUE(status.ok());
+    }
+    return txn;
+  }
+
+  // True if `txn` (as a set of performed events) satisfies some disjunct.
+  bool SatisfiesDnf(const Dnf& dnf, const Transaction& txn) {
+    for (const Conjunct& c : dnf.disjuncts()) {
+      bool all = true;
+      for (const EventLiteral& lit : c.literals()) {
+        bool performed =
+            lit.event.is_insert
+                ? txn.ContainsInsert(lit.event.predicate, lit.event.tuple)
+                : txn.ContainsDelete(lit.event.predicate, lit.event.tuple);
+        all &= lit.positive == performed;
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+
+  void VerifyRequest(SymbolId view, SymbolId constant, bool is_insert) {
+    UpdateRequest request;
+    RequestedEvent event;
+    event.is_insert = is_insert;
+    event.predicate = view;
+    event.args = {Term::MakeConstant(constant)};
+    request.events.push_back(event);
+
+    auto result = db_->TranslateViewUpdate(request);
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_FALSE(result->approximate) << "tiny domain must stay exact";
+
+    bool held_before = Holds(db_->database().facts(), view, {constant});
+    for (uint32_t mask = 0; mask < (1u << possible_.size()); ++mask) {
+      Transaction txn = TxnFromMask(mask);
+      FactStore new_state = txn.ApplyTo(db_->database().facts());
+      bool holds_after = Holds(new_state, view, {constant});
+      bool induces = is_insert ? (!held_before && holds_after)
+                               : (held_before && !holds_after);
+      EXPECT_EQ(SatisfiesDnf(result->dnf, txn), induces)
+          << (is_insert ? "ins " : "del ")
+          << AtomFromTuple(view, {constant}).ToString(db_->symbols())
+          << " txn " << txn.ToString(db_->symbols()) << " dnf "
+          << result->dnf.ToString(db_->symbols());
+    }
+  }
+
+  std::unique_ptr<DeductiveDatabase> db_;
+  SymbolId q_ = 0, r_ = 0, p_ = 0;
+  std::vector<SymbolId> constants_;
+  std::vector<PossibleEvent> possible_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveDownwardTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST_P(ExhaustiveDownwardTest, InsertP) {
+  for (SymbolId c : constants_) {
+    VerifyRequest(p_, c, /*is_insert=*/true);
+  }
+}
+
+TEST_P(ExhaustiveDownwardTest, DeleteP) {
+  for (SymbolId c : constants_) {
+    VerifyRequest(p_, c, /*is_insert=*/false);
+  }
+}
+
+TEST_P(ExhaustiveDownwardTest, InsertNestedW) {
+  SymbolId w = db_->database().FindPredicate("W").value();
+  for (SymbolId c : constants_) {
+    VerifyRequest(w, c, /*is_insert=*/true);
+  }
+}
+
+TEST_P(ExhaustiveDownwardTest, DeleteNestedW) {
+  SymbolId w = db_->database().FindPredicate("W").value();
+  for (SymbolId c : constants_) {
+    VerifyRequest(w, c, /*is_insert=*/false);
+  }
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,179 @@
+// Unit tests of the lexer and parser: declarations, facts, rules,
+// transactions, requests, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace deddb {
+namespace {
+
+TEST(LexerTest, ClassifiesTokens) {
+  auto tokens = Tokenize("P(x, A) <- Q(x). % comment\n:-&/42");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kUpperIdent, TokenKind::kLParen,
+                TokenKind::kLowerIdent, TokenKind::kComma,
+                TokenKind::kUpperIdent, TokenKind::kRParen,
+                TokenKind::kArrow, TokenKind::kUpperIdent,
+                TokenKind::kLParen, TokenKind::kLowerIdent,
+                TokenKind::kRParen, TokenKind::kDot, TokenKind::kArrow,
+                TokenKind::kAmp, TokenKind::kSlash, TokenKind::kInteger,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Tokenize("A\nB\n  C");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[2].line, 3u);
+  EXPECT_EQ((*tokens)[2].column, 3u);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("P(x) ; Q(x)").ok());
+  EXPECT_FALSE(Tokenize("P @ Q").ok());
+}
+
+TEST(LexerTest, RejectsUnderscoreIdentifiers) {
+  EXPECT_FALSE(Tokenize("_gen(x)").ok());
+}
+
+TEST(ParserTest, LoadsCompleteProgram) {
+  DeductiveDatabase db;
+  auto loaded = LoadProgram(&db, R"(
+    base Works/2.
+    view Busy/1.
+    ic NoGhosts/1.
+    condition Watch/1.
+    derived Helper/1.
+    Works(John, Sales).
+    Busy(p) <- Works(p, d).
+    Helper(p) <- Works(p, d).
+    NoGhosts(d) <- Works(p, d) & not Busy(p).
+    Watch(p) <- Busy(p).
+  )");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, 10u);
+  EXPECT_EQ(db.database().program().size(),
+            4u + 1u);  // 4 user rules + global Ic rule
+  EXPECT_EQ(db.database().facts().TotalFacts(), 1u);
+}
+
+TEST(ParserTest, MaterializedViewDeclaration) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, "materialized view V/1.").ok());
+  SymbolId v = db.database().FindPredicate("V").value();
+  EXPECT_TRUE(db.database().IsMaterialized(v));
+}
+
+TEST(ParserTest, CommaAlsoSeparatesBodyLiterals) {
+  DeductiveDatabase db;
+  auto loaded = LoadProgram(&db, R"(
+    base A/1. base B/1. derived D/1.
+    D(x) <- A(x), B(x).
+  )");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+}
+
+TEST(ParserTest, IntegerConstants) {
+  DeductiveDatabase db;
+  auto loaded = LoadProgram(&db, R"(
+    base Score/2.
+    Score(Anna, 95).
+  )");
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(db.database().facts().Contains(
+      db.GroundAtom("Score", {"Anna", "95"}).value()));
+}
+
+TEST(ParserTest, ErrorsMentionLineNumbers) {
+  DeductiveDatabase db;
+  auto loaded = LoadProgram(&db, "base A/1.\nA(x.\n");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos)
+      << loaded.status();
+}
+
+TEST(ParserTest, RejectsUndeclaredPredicates) {
+  DeductiveDatabase db;
+  EXPECT_FALSE(LoadProgram(&db, "Mystery(A).").ok());
+}
+
+TEST(ParserTest, RejectsArityMismatch) {
+  DeductiveDatabase db;
+  EXPECT_FALSE(LoadProgram(&db, "base A/2. A(OnlyOne).").ok());
+}
+
+TEST(ParserTest, RejectsNonGroundFact) {
+  DeductiveDatabase db;
+  EXPECT_FALSE(LoadProgram(&db, "base A/1. A(x).").ok());
+}
+
+TEST(ParserTest, RejectsUnknownKeyword) {
+  DeductiveDatabase db;
+  EXPECT_FALSE(LoadProgram(&db, "table A/1.").ok());
+}
+
+class RequestParsingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(LoadProgram(&db_, R"(
+      base Q/1. base R/1.
+      view P/1.
+      P(x) <- Q(x) & not R(x).
+      Q(A). R(B).
+    )")
+                    .ok());
+  }
+  DeductiveDatabase db_;
+};
+
+TEST_F(RequestParsingTest, ParsesTransaction) {
+  auto txn = ParseTransaction(&db_, "ins Q(B), del R(B)");
+  ASSERT_TRUE(txn.ok()) << txn.status();
+  EXPECT_EQ(txn->size(), 2u);
+  EXPECT_EQ(txn->ToString(db_.symbols()), "{del R(B), ins Q(B)}");
+}
+
+TEST_F(RequestParsingTest, TransactionRejectsDerivedAtoms) {
+  auto txn = ParseTransaction(&db_, "ins P(B)");
+  EXPECT_FALSE(txn.ok());
+}
+
+TEST_F(RequestParsingTest, TransactionRejectsOpenAtoms) {
+  EXPECT_FALSE(ParseTransaction(&db_, "ins Q(x)").ok());
+}
+
+TEST_F(RequestParsingTest, TransactionRejectsConflicts) {
+  EXPECT_FALSE(ParseTransaction(&db_, "ins Q(B), del Q(B)").ok());
+}
+
+TEST_F(RequestParsingTest, ParsesRequestWithNegationAndVariables) {
+  auto request = ParseRequest(&db_, "ins P(B), not del P(x)");
+  ASSERT_TRUE(request.ok()) << request.status();
+  ASSERT_EQ(request->events.size(), 2u);
+  EXPECT_TRUE(request->events[0].positive);
+  EXPECT_TRUE(request->events[0].is_insert);
+  EXPECT_FALSE(request->events[1].positive);
+  EXPECT_FALSE(request->events[1].is_insert);
+  EXPECT_TRUE(request->events[1].args[0].is_variable());
+  EXPECT_EQ(request->ToString(db_.symbols()), "{ins P(B), not del P(x)}");
+}
+
+TEST_F(RequestParsingTest, RequestRequiresInsOrDel) {
+  EXPECT_FALSE(ParseRequest(&db_, "P(B)").ok());
+  EXPECT_FALSE(ParseRequest(&db_, "add P(B)").ok());
+}
+
+TEST_F(RequestParsingTest, TrailingInputIsAnError) {
+  EXPECT_FALSE(ParseTransaction(&db_, "ins Q(B) garbage").ok());
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,216 @@
+// Unit tests of the predicate registry (variants, display names, error
+// paths) and of Program validation.
+
+#include <gtest/gtest.h>
+
+#include "datalog/predicate.h"
+#include "datalog/program.h"
+
+namespace deddb {
+namespace {
+
+class PredicateTableTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  PredicateTable predicates_{&symbols_};
+};
+
+TEST_F(PredicateTableTest, DeclareAndLookup) {
+  auto works = predicates_.Declare("Works", 2, PredicateKind::kBase,
+                                   PredicateSemantics::kPlain);
+  ASSERT_TRUE(works.ok());
+  const PredicateInfo* info = predicates_.Find(*works);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->arity, 2u);
+  EXPECT_EQ(info->kind, PredicateKind::kBase);
+  EXPECT_EQ(info->variant, PredicateVariant::kOld);
+  EXPECT_EQ(info->base_symbol, *works);
+}
+
+TEST_F(PredicateTableTest, RedeclarationIdempotentWhenIdentical) {
+  auto a = predicates_.Declare("P", 1, PredicateKind::kDerived,
+                               PredicateSemantics::kView);
+  auto b = predicates_.Declare("P", 1, PredicateKind::kDerived,
+                               PredicateSemantics::kView);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(PredicateTableTest, ConflictingRedeclarationFails) {
+  ASSERT_TRUE(predicates_
+                  .Declare("P", 1, PredicateKind::kDerived,
+                           PredicateSemantics::kView)
+                  .ok());
+  EXPECT_EQ(predicates_
+                .Declare("P", 2, PredicateKind::kDerived,
+                         PredicateSemantics::kView)
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(predicates_
+                .Declare("P", 1, PredicateKind::kBase,
+                         PredicateSemantics::kPlain)
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(PredicateTableTest, BasePredicateCannotCarrySemantics) {
+  EXPECT_EQ(predicates_
+                .Declare("B", 1, PredicateKind::kBase,
+                         PredicateSemantics::kIc)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PredicateTableTest, VariantsAreCreatedOnDemand) {
+  SymbolId p = predicates_
+                   .Declare("P", 1, PredicateKind::kDerived,
+                            PredicateSemantics::kPlain)
+                   .value();
+  auto ins = predicates_.VariantOf(p, PredicateVariant::kInsertEvent);
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(symbols_.NameOf(*ins), "ins$P");
+  const PredicateInfo* info = predicates_.Find(*ins);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->variant, PredicateVariant::kInsertEvent);
+  EXPECT_EQ(info->base_symbol, p);
+  EXPECT_EQ(info->arity, 1u);
+
+  // Idempotent.
+  EXPECT_EQ(predicates_.VariantOf(p, PredicateVariant::kInsertEvent).value(),
+            *ins);
+  // kOld variant is the predicate itself.
+  EXPECT_EQ(predicates_.VariantOf(p, PredicateVariant::kOld).value(), p);
+}
+
+TEST_F(PredicateTableTest, FindVariantIsConstAndRequiresCreation) {
+  SymbolId p = predicates_
+                   .Declare("P", 1, PredicateKind::kDerived,
+                            PredicateSemantics::kPlain)
+                   .value();
+  EXPECT_EQ(
+      predicates_.FindVariant(p, PredicateVariant::kNew).status().code(),
+      StatusCode::kNotFound);
+  SymbolId created = predicates_.VariantOf(p, PredicateVariant::kNew).value();
+  EXPECT_EQ(predicates_.FindVariant(p, PredicateVariant::kNew).value(),
+            created);
+}
+
+TEST_F(PredicateTableTest, VariantOfNonOldSymbolFails) {
+  SymbolId p = predicates_
+                   .Declare("P", 1, PredicateKind::kDerived,
+                            PredicateSemantics::kPlain)
+                   .value();
+  SymbolId ins = predicates_.VariantOf(p, PredicateVariant::kInsertEvent)
+                     .value();
+  EXPECT_FALSE(predicates_.VariantOf(ins, PredicateVariant::kNew).ok());
+}
+
+TEST_F(PredicateTableTest, DisplayNamesUndecorate) {
+  SymbolId p = predicates_
+                   .Declare("Works", 1, PredicateKind::kDerived,
+                            PredicateSemantics::kPlain)
+                   .value();
+  SymbolId ins = predicates_.VariantOf(p, PredicateVariant::kInsertEvent)
+                     .value();
+  SymbolId del = predicates_.VariantOf(p, PredicateVariant::kDeleteEvent)
+                     .value();
+  SymbolId nw = predicates_.VariantOf(p, PredicateVariant::kNew).value();
+  EXPECT_EQ(predicates_.DisplayName(p), "Works");
+  EXPECT_EQ(predicates_.DisplayName(ins), "ins Works");
+  EXPECT_EQ(predicates_.DisplayName(del), "del Works");
+  EXPECT_EQ(predicates_.DisplayName(nw), "Works'");
+}
+
+TEST_F(PredicateTableTest, OldPredicatesListsDeclarationOrder) {
+  SymbolId a = predicates_
+                   .Declare("A", 0, PredicateKind::kBase,
+                            PredicateSemantics::kPlain)
+                   .value();
+  SymbolId b = predicates_
+                   .Declare("B", 0, PredicateKind::kDerived,
+                            PredicateSemantics::kPlain)
+                   .value();
+  // Variants must not appear in old_predicates().
+  predicates_.VariantOf(b, PredicateVariant::kNew).value();
+  EXPECT_EQ(predicates_.old_predicates(), (std::vector<SymbolId>{a, b}));
+}
+
+class ProgramTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  PredicateTable predicates_{&symbols_};
+  SymbolId base_ = predicates_
+                       .Declare("B", 1, PredicateKind::kBase,
+                                PredicateSemantics::kPlain)
+                       .value();
+  SymbolId derived_ = predicates_
+                          .Declare("D", 1, PredicateKind::kDerived,
+                                   PredicateSemantics::kPlain)
+                          .value();
+  VarId x_ = symbols_.InternVar("x");
+
+  Rule GoodRule() {
+    Term x = Term::MakeVariable(x_);
+    return Rule(Atom(derived_, {x}), {Literal::Positive(Atom(base_, {x}))});
+  }
+};
+
+TEST_F(ProgramTest, AddValidRule) {
+  Program program;
+  ASSERT_TRUE(program.AddRule(GoodRule(), predicates_).ok());
+  EXPECT_EQ(program.size(), 1u);
+  EXPECT_TRUE(program.Defines(derived_));
+  EXPECT_FALSE(program.Defines(base_));
+  EXPECT_EQ(program.RulesFor(derived_).size(), 1u);
+  EXPECT_EQ(program.RuleIndicesFor(derived_), (std::vector<size_t>{0}));
+}
+
+TEST_F(ProgramTest, RejectsBaseHead) {
+  Program program;
+  Term x = Term::MakeVariable(x_);
+  Rule bad(Atom(base_, {x}), {Literal::Positive(Atom(derived_, {x}))});
+  EXPECT_EQ(program.AddRule(bad, predicates_).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ProgramTest, RejectsArityMismatch) {
+  Program program;
+  Rule bad(Atom(derived_, {Term::MakeVariable(x_), Term::MakeVariable(x_)}),
+           {Literal::Positive(Atom(base_, {Term::MakeVariable(x_)}))});
+  EXPECT_FALSE(program.AddRule(bad, predicates_).ok());
+}
+
+TEST_F(ProgramTest, RejectsEmptyBody) {
+  Program program;
+  Rule bad(Atom(derived_, {Term::MakeConstant(symbols_.Intern("A"))}), {});
+  EXPECT_FALSE(program.AddRule(bad, predicates_).ok());
+}
+
+TEST_F(ProgramTest, RejectsUndeclaredBodyPredicate) {
+  Program program;
+  SymbolId unknown = symbols_.Intern("Unknown");
+  Term x = Term::MakeVariable(x_);
+  Rule bad(Atom(derived_, {x}), {Literal::Positive(Atom(unknown, {x}))});
+  EXPECT_EQ(program.AddRule(bad, predicates_).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ProgramTest, RejectsUnsafeRule) {
+  Program program;
+  VarId y = symbols_.InternVar("y");
+  Rule bad(Atom(derived_, {Term::MakeVariable(y)}),
+           {Literal::Positive(Atom(base_, {Term::MakeVariable(x_)}))});
+  EXPECT_FALSE(program.AddRule(bad, predicates_).ok());
+}
+
+TEST_F(ProgramTest, ToStringListsRules) {
+  Program program;
+  ASSERT_TRUE(program.AddRule(GoodRule(), predicates_).ok());
+  EXPECT_EQ(program.ToString(symbols_), "D(x) <- B(x)\n");
+}
+
+}  // namespace
+}  // namespace deddb

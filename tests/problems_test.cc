@@ -1,0 +1,271 @@
+// Tests of the problems layer (paper §5) beyond the worked examples:
+// precondition enforcement, condition monitoring, view maintenance wiring,
+// validation problems, satisfiability, and translation post-processing.
+
+#include <gtest/gtest.h>
+
+#include "core/deductive_database.h"
+#include "parser/parser.h"
+#include "problems/translations.h"
+
+namespace deddb {
+namespace {
+
+std::unique_ptr<DeductiveDatabase> Load(const char* source) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  auto loaded = LoadProgram(db.get(), source);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return db;
+}
+
+const char* kEmployment = R"(
+  base La/1. base Works/1. base U_benefit/1.
+  view Unemp/1.
+  ic Ic1/1.
+  condition Alert/1.
+  Unemp(x) <- La(x) & not Works(x).
+  Ic1(x) <- Unemp(x) & not U_benefit(x).
+  Alert(x) <- Unemp(x).
+  La(Dolors).
+  U_benefit(Dolors).
+)";
+
+TEST(PreconditionsTest, UpwardProblemsCheckConsistency) {
+  auto db = Load(kEmployment);
+  // Make it inconsistent.
+  ASSERT_TRUE(
+      db->RemoveFact(db->GroundAtom("U_benefit", {"Dolors"}).value()).ok());
+  auto txn = ParseTransaction(db.get(), "ins Works(Dolors)");
+  ASSERT_TRUE(txn.ok());
+  // CheckIntegrity requires ¬Ic⁰.
+  EXPECT_EQ(db->CheckIntegrity(*txn).status().code(),
+            StatusCode::kFailedPrecondition);
+  // CheckConsistencyRestored requires Ic⁰ — fine here.
+  auto restored = db->CheckConsistencyRestored(*txn);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored->restored);
+}
+
+TEST(PreconditionsTest, DownwardProblemsCheckConsistency) {
+  auto db = Load(kEmployment);
+  auto txn = ParseTransaction(db.get(), "del U_benefit(Dolors)");
+  ASSERT_TRUE(txn.ok());
+  // Consistent database: repair and MaintainInconsistency are rejected.
+  EXPECT_EQ(db->RepairDatabase().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db->MaintainInconsistency(*txn).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Inconsistent database: MaintainIntegrity / FindViolating are rejected.
+  ASSERT_TRUE(
+      db->RemoveFact(db->GroundAtom("U_benefit", {"Dolors"}).value()).ok());
+  EXPECT_EQ(db->MaintainIntegrity(*txn).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db->FindViolatingTransactions().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ConditionMonitoringTest, ReportsOnlyConditionEvents) {
+  auto db = Load(kEmployment);
+  auto txn = ParseTransaction(db.get(), "ins La(Maria)");
+  ASSERT_TRUE(txn.ok());
+  auto changes = db->MonitorConditions(*txn);
+  ASSERT_TRUE(changes.ok()) << changes.status();
+  EXPECT_EQ(changes->events.ToString(db->symbols()), "{ins Alert(Maria)}");
+  EXPECT_FALSE(changes->Unchanged());
+}
+
+TEST(ConditionMonitoringTest, RejectsNonConditionGoals) {
+  auto db = Load(kEmployment);
+  SymbolId unemp = db->database().FindPredicate("Unemp").value();
+  Transaction txn;
+  auto changes = db->MonitorConditions(txn, {unemp});
+  EXPECT_EQ(changes.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConditionMonitoringTest, UnchangedWhenTransactionIrrelevant) {
+  auto db = Load(kEmployment);
+  auto txn = ParseTransaction(db.get(), "ins U_benefit(Maria)");
+  ASSERT_TRUE(txn.ok());
+  auto changes = db->MonitorConditions(*txn);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_TRUE(changes->Unchanged());
+}
+
+TEST(ViewMaintenanceTest, InitializeAndMaintain) {
+  auto db = Load(R"(
+    base B/1.
+    materialized view V/1.
+    V(x) <- B(x).
+    B(A). B(C).
+  )");
+  ASSERT_TRUE(db->InitializeMaterializedViews().ok());
+  SymbolId v = db->database().FindPredicate("V").value();
+  EXPECT_EQ(db->database().materialized_store().Find(v)->size(), 2u);
+
+  auto txn = ParseTransaction(db.get(), "del B(A), ins B(D)");
+  ASSERT_TRUE(txn.ok());
+  auto result = db->MaintainMaterializedViews(*txn, /*apply=*/true);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->applied_inserts, 1u);
+  EXPECT_EQ(result->applied_deletes, 1u);
+  SymbolId a = db->symbols().Intern("A");
+  SymbolId d = db->symbols().Intern("D");
+  EXPECT_FALSE(db->database().materialized_store().Contains(v, {a}));
+  EXPECT_TRUE(db->database().materialized_store().Contains(v, {d}));
+}
+
+TEST(ViewMaintenanceTest, ApplyFalseLeavesStoreUntouched) {
+  auto db = Load(R"(
+    base B/1.
+    materialized view V/1.
+    V(x) <- B(x).
+    B(A).
+  )");
+  ASSERT_TRUE(db->InitializeMaterializedViews().ok());
+  auto txn = ParseTransaction(db.get(), "del B(A)");
+  auto result = db->MaintainMaterializedViews(*txn, /*apply=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->delta.deletes.TotalFacts(), 1u);
+  EXPECT_EQ(result->applied_deletes, 0u);
+  SymbolId v = db->database().FindPredicate("V").value();
+  SymbolId a = db->symbols().Intern("A");
+  EXPECT_TRUE(db->database().materialized_store().Contains(v, {a}));
+}
+
+TEST(ViewValidationTest, DistinguishesReachableViews) {
+  auto db = Load(R"(
+    base B/1. base Blocker/1.
+    view Reachable/1.
+    view Dead/1.
+    Reachable(x) <- B(x) & not Blocker(x).
+    Dead(x) <- B(x) & Blocker(x).
+    B(A). Blocker(A).
+  )");
+  SymbolId reachable = db->database().FindPredicate("Reachable").value();
+  SymbolId dead = db->database().FindPredicate("Dead").value();
+  // Reachable is empty but can gain members (del Blocker(A) or new B).
+  EXPECT_TRUE(db->ValidateView(reachable, /*insertion=*/true).value());
+  // Dead(A) holds; it can be deleted.
+  EXPECT_TRUE(db->ValidateView(dead, /*insertion=*/false).value());
+  // Reachable is empty: no instance can be deleted.
+  EXPECT_FALSE(db->ValidateView(reachable, /*insertion=*/false).value());
+}
+
+TEST(SatisfiabilityTest, UnsatisfiableConstraintDetected) {
+  // Ic_pair is violated by the *pair* of facts; removing either repairs it.
+  auto db = Load(R"(
+    base A/0. base B/0.
+    ic IcPair/0.
+    IcPair <- A & B.
+    A. B.
+  )");
+  EXPECT_FALSE(db->IsConsistent().value());
+  EXPECT_TRUE(db->CheckSatisfiability().value());
+  auto repair = db->RepairDatabase();
+  ASSERT_TRUE(repair.ok());
+  EXPECT_EQ(repair->translations.size(), 2u);  // del A or del B
+}
+
+TEST(SatisfiabilityTest, ConsistentDatabaseIsTriviallySatisfiable) {
+  auto db = Load(kEmployment);
+  EXPECT_TRUE(db->CheckSatisfiability().value());
+}
+
+TEST(EnsuringSatisfactionTest, FindsWaysToViolate) {
+  auto db = Load(kEmployment);
+  auto result = db->FindViolatingTransactions();
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->translations.empty());
+  // Every returned transaction, checked upward, must actually violate.
+  for (size_t i = 0; i < result->translations.size() && i < 3; ++i) {
+    auto check = db->CheckIntegrity(result->translations[i].transaction);
+    ASSERT_TRUE(check.ok()) << check.status();
+    EXPECT_TRUE(check->violated)
+        << result->translations[i].ToString(db->symbols());
+  }
+}
+
+TEST(ConditionActivationTest, EnforceRejectsNonConditions) {
+  auto db = Load(kEmployment);
+  RequestedEvent event;
+  event.is_insert = true;
+  event.predicate = db->database().FindPredicate("Unemp").value();
+  event.args = {db->Constant("Dolors")};
+  EXPECT_EQ(db->EnforceCondition(event).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ConditionActivationTest, EnforceAndValidate) {
+  auto db = Load(kEmployment);
+  SymbolId alert = db->database().FindPredicate("Alert").value();
+  // Activating Alert(Maria) requires making her unemployed.
+  RequestedEvent event;
+  event.is_insert = true;
+  event.predicate = alert;
+  event.args = {db->Constant("Maria")};
+  auto result = db->EnforceCondition(event);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->translations.size(), 1u);
+  EXPECT_EQ(result->translations[0].transaction.ToString(db->symbols()),
+            "{ins La(Maria)}");
+  // With the active domain = {Dolors} alone, no instance can newly
+  // activate (Alert(Dolors) already holds): finite-domain semantics (§2).
+  EXPECT_FALSE(db->ValidateCondition(alert, /*activation=*/true).value());
+  // Extending the finite domain with another individual makes it possible.
+  ASSERT_TRUE(db->AddDomainConstant("Maria").ok());
+  EXPECT_TRUE(db->ValidateCondition(alert, /*activation=*/true).value());
+  // Deactivation is possible: Alert(Dolors) can be dropped.
+  EXPECT_TRUE(db->ValidateCondition(alert, /*activation=*/false).value());
+}
+
+TEST(ConditionActivationTest, PreventConditionActivationFreezes) {
+  auto db = Load(kEmployment);
+  auto txn = ParseTransaction(db.get(), "ins La(Maria)");
+  ASSERT_TRUE(txn.ok());
+  RequestedEvent freeze;
+  freeze.is_insert = true;
+  freeze.predicate = db->database().FindPredicate("Alert").value();
+  freeze.args = {db->Variable("anyone")};
+  auto result = db->PreventConditionActivation(*txn, {freeze});
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_FALSE(result->translations.empty());
+  // Applying any safe extension must not change Alert.
+  for (const auto& translation : result->translations) {
+    auto changes = db->MonitorConditions(translation.transaction);
+    ASSERT_TRUE(changes.ok());
+    EXPECT_TRUE(changes->events.inserts.TotalFacts() == 0)
+        << translation.ToString(db->symbols());
+  }
+}
+
+TEST(TranslationsTest, MinimalTranslationsFilterAndDedupe) {
+  SymbolTable symbols;
+  SymbolId q = symbols.Intern("Q");
+  SymbolId a = symbols.Intern("A");
+  SymbolId b = symbols.Intern("B");
+
+  auto make = [&](std::vector<Tuple> inserts) {
+    problems::Translation t;
+    for (Tuple& tuple : inserts) {
+      EXPECT_TRUE(t.transaction.AddInsert(q, tuple).ok());
+    }
+    return t;
+  };
+  std::vector<problems::Translation> all;
+  all.push_back(make({{a}}));
+  all.push_back(make({{a}, {b}}));  // superset of the first — dropped
+  all.push_back(make({{b}}));
+  all.push_back(make({{a}}));  // duplicate — collapsed
+  auto minimal = problems::MinimalTranslations(all);
+  EXPECT_EQ(minimal.size(), 2u);
+}
+
+TEST(TranslationsTest, TrueDnfYieldsEmptyTransaction) {
+  auto translations = problems::TranslationsFromDnf(Dnf::True());
+  ASSERT_EQ(translations.size(), 1u);
+  EXPECT_TRUE(translations[0].transaction.empty());
+  EXPECT_TRUE(problems::TranslationsFromDnf(Dnf::False()).empty());
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,222 @@
+// Property-based tests of algebraic laws: DNF De Morgan/double negation
+// over randomized formulas, transaction inversion symmetry of the upward
+// interpretation, and idempotence of already-satisfied requests.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/deductive_database.h"
+#include "interp/dnf.h"
+#include "util/rng.h"
+#include "workload/employment.h"
+
+namespace deddb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// DNF laws over random formulas. The event-possibility function is made
+// consistent (ins possible iff fact absent) by drawing facts from a fixed
+// random subset.
+
+class RandomDnfTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(GetParam());
+    pred_ = symbols_.Intern("P");
+    for (uint32_t c = 0; c < 6; ++c) {
+      if (rng_->NextChance(50, 100)) present_.insert(c);
+    }
+  }
+
+  EventPossibleFn Possible() {
+    return [this](const BaseEventFact& ev) {
+      bool holds = present_.count(ev.tuple[0]) > 0;
+      return ev.is_insert ? !holds : holds;
+    };
+  }
+
+  // Random satisfiable-looking literal (possibility not guaranteed).
+  EventLiteral RandomLiteral() {
+    BaseEventFact ev;
+    ev.is_insert = rng_->NextChance(50, 100);
+    ev.predicate = pred_;
+    ev.tuple = {static_cast<SymbolId>(rng_->NextBelow(6))};
+    return EventLiteral{ev, rng_->NextChance(60, 100)};
+  }
+
+  Dnf RandomDnf(size_t max_disjuncts, size_t max_literals) {
+    Dnf d;
+    size_t disjuncts = 1 + rng_->NextBelow(max_disjuncts);
+    for (size_t i = 0; i < disjuncts; ++i) {
+      Conjunct c;
+      size_t literals = 1 + rng_->NextBelow(max_literals);
+      for (size_t j = 0; j < literals; ++j) c.Add(RandomLiteral());
+      d.AddDisjunct(std::move(c));
+    }
+    d.Normalize(Possible());
+    return d;
+  }
+
+  // Semantic evaluation of a DNF under a concrete transaction (set of
+  // performed events). A positive literal holds iff its event is performed;
+  // a negative one iff it is not.
+  static bool Evaluate(const Dnf& dnf,
+                       const std::set<std::pair<bool, SymbolId>>& performed) {
+    if (dnf.IsTrue()) return true;
+    for (const Conjunct& c : dnf.disjuncts()) {
+      bool all = true;
+      for (const EventLiteral& lit : c.literals()) {
+        bool in = performed.count({lit.event.is_insert, lit.event.tuple[0]}) >
+                  0;
+        all &= lit.positive == in;
+      }
+      if (all) return true;
+    }
+    return false;
+  }
+
+  SymbolTable symbols_;
+  SymbolId pred_ = 0;
+  std::unique_ptr<Rng> rng_;
+  std::set<uint32_t> present_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDnfTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST_P(RandomDnfTest, NegationIsSemanticComplement) {
+  Dnf d = RandomDnf(4, 3);
+  auto negated = Dnf::NegateExact(d, Possible(), 1u << 14);
+  ASSERT_TRUE(negated.ok()) << negated.status();
+
+  // Check over all *valid* transactions on constants 0..5: for each
+  // constant, the transaction may contain its one possible event or not.
+  std::vector<std::pair<bool, SymbolId>> possible_events;
+  for (uint32_t c = 0; c < 6; ++c) {
+    possible_events.emplace_back(present_.count(c) == 0, c);  // ins if absent
+  }
+  for (uint32_t mask = 0; mask < (1u << 6); ++mask) {
+    std::set<std::pair<bool, SymbolId>> performed;
+    for (uint32_t c = 0; c < 6; ++c) {
+      if (mask & (1u << c)) performed.insert(possible_events[c]);
+    }
+    EXPECT_NE(Evaluate(d, performed), Evaluate(*negated, performed))
+        << "mask " << mask << " dnf " << d.ToString(symbols_) << " neg "
+        << negated->ToString(symbols_);
+  }
+}
+
+TEST_P(RandomDnfTest, AndIsSemanticConjunction) {
+  Dnf a = RandomDnf(3, 2);
+  Dnf b = RandomDnf(3, 2);
+  auto ab = Dnf::And(a, b, Possible(), 1u << 14);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_FALSE(ab->approximate());
+
+  std::vector<std::pair<bool, SymbolId>> possible_events;
+  for (uint32_t c = 0; c < 6; ++c) {
+    possible_events.emplace_back(present_.count(c) == 0, c);
+  }
+  for (uint32_t mask = 0; mask < (1u << 6); ++mask) {
+    std::set<std::pair<bool, SymbolId>> performed;
+    for (uint32_t c = 0; c < 6; ++c) {
+      if (mask & (1u << c)) performed.insert(possible_events[c]);
+    }
+    EXPECT_EQ(Evaluate(a, performed) && Evaluate(b, performed),
+              Evaluate(*ab, performed));
+  }
+}
+
+TEST_P(RandomDnfTest, OrIsSemanticDisjunction) {
+  Dnf a = RandomDnf(3, 2);
+  Dnf b = RandomDnf(3, 2);
+  auto ab = Dnf::Or(a, b, Possible(), 1u << 14);
+  ASSERT_TRUE(ab.ok());
+
+  std::vector<std::pair<bool, SymbolId>> possible_events;
+  for (uint32_t c = 0; c < 6; ++c) {
+    possible_events.emplace_back(present_.count(c) == 0, c);
+  }
+  for (uint32_t mask = 0; mask < (1u << 6); ++mask) {
+    std::set<std::pair<bool, SymbolId>> performed;
+    for (uint32_t c = 0; c < 6; ++c) {
+      if (mask & (1u << c)) performed.insert(possible_events[c]);
+    }
+    EXPECT_EQ(Evaluate(a, performed) || Evaluate(b, performed),
+              Evaluate(*ab, performed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction inversion: if T induces events E on D⁰, then T⁻¹ applied to
+// D⁰+T induces exactly E⁻¹ (eqs. 1-2 are symmetric in the two states).
+
+class InversionTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InversionTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST_P(InversionTest, InverseTransactionInducesInverseEvents) {
+  workload::EmploymentConfig config;
+  config.people = 50;
+  config.seed = GetParam();
+  config.consistent = false;
+  auto db = workload::MakeEmploymentDatabase(config);
+  ASSERT_TRUE(db.ok());
+  auto txn = workload::RandomEmploymentTransaction(db->get(), 50, 10,
+                                                   GetParam() * 13);
+  ASSERT_TRUE(txn.ok());
+
+  auto forward = (*db)->InducedEvents(*txn);
+  ASSERT_TRUE(forward.ok()) << forward.status();
+
+  // Apply T, then compute events of T⁻¹.
+  ASSERT_TRUE((*db)->Apply(*txn).ok());
+  Transaction inverse;
+  txn->inserts().ForEach([&](SymbolId pred, const Tuple& t) {
+    ASSERT_TRUE(inverse.AddDelete(pred, t).ok());
+  });
+  txn->deletes().ForEach([&](SymbolId pred, const Tuple& t) {
+    ASSERT_TRUE(inverse.AddInsert(pred, t).ok());
+  });
+  auto backward = (*db)->InducedEvents(inverse);
+  ASSERT_TRUE(backward.ok()) << backward.status();
+
+  // backward.inserts == forward.deletes and vice versa.
+  EXPECT_EQ(backward->inserts.ToString((*db)->symbols()),
+            forward->deletes.ToString((*db)->symbols()));
+  EXPECT_EQ(backward->deletes.ToString((*db)->symbols()),
+            forward->inserts.ToString((*db)->symbols()));
+}
+
+// ---------------------------------------------------------------------------
+// Idempotence: requesting a change that already holds is never satisfiable
+// as an *event* (eqs. 1-2), for every derived instance.
+
+TEST(IdempotenceTest, SatisfiedRequestsHaveNoTranslations) {
+  workload::EmploymentConfig config;
+  config.people = 25;
+  auto db = workload::MakeEmploymentDatabase(config);
+  ASSERT_TRUE(db.ok());
+  SymbolId unemp = (*db)->database().FindPredicate("Unemp").value();
+  OldStateView view(&(*db)->database());
+  auto tuples = view.Query(Atom(unemp, {Term::MakeVariable(0x7200000)}));
+  ASSERT_TRUE(tuples.ok());
+  ASSERT_FALSE(tuples->empty());
+  for (const Tuple& t : *tuples) {
+    UpdateRequest request;
+    RequestedEvent event;
+    event.is_insert = true;  // already holds -> no event possible
+    event.predicate = unemp;
+    for (SymbolId c : t) event.args.push_back(Term::MakeConstant(c));
+    request.events.push_back(event);
+    auto result = (*db)->TranslateViewUpdate(request);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result->dnf.IsFalse())
+        << AtomFromTuple(unemp, t).ToString((*db)->symbols());
+  }
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,73 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace deddb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    any_diff |= a.Next() != b.Next();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(99);
+  std::vector<bool> seen(8, false);
+  for (int i = 0; i < 1000; ++i) seen[rng.NextBelow(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextChance(0, 100));
+    EXPECT_TRUE(rng.NextChance(100, 100));
+  }
+}
+
+TEST(RngTest, NextChanceRoughlyCalibrated) {
+  Rng rng(31);
+  int hits = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.NextChance(30, 100);
+  EXPECT_GT(hits, kTrials * 25 / 100);
+  EXPECT_LT(hits, kTrials * 35 / 100);
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,116 @@
+// Tests of the §5.3 extension: updates of deductive rules. "The
+// specification of the upward and the downward problems is the same when
+// considering other kinds of updates like insertions or deletions of
+// deductive rules."
+
+#include <gtest/gtest.h>
+
+#include "core/deductive_database.h"
+#include "parser/parser.h"
+
+namespace deddb {
+namespace {
+
+std::unique_ptr<DeductiveDatabase> Load() {
+  auto db = std::make_unique<DeductiveDatabase>();
+  auto loaded = LoadProgram(db.get(), R"(
+    base La/1. base Works/1. base Retired/1.
+    view Unemp/1.
+    Unemp(x) <- La(x) & not Works(x).
+    La(Dolors). La(Joan). Works(Joan). Retired(Pere).
+  )");
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return db;
+}
+
+// Builds "Unemp(x) <- Retired(x)".
+problems::RuleUpdate AddRetiredRule(DeductiveDatabase* db) {
+  problems::RuleUpdate update;
+  Term x = db->Variable("x");
+  update.add.push_back(
+      Rule(db->MakeAtom("Unemp", {x}).value(),
+           {Literal::Positive(db->MakeAtom("Retired", {x}).value())}));
+  return update;
+}
+
+TEST(RuleUpdateTest, SimulateRuleInsertion) {
+  auto db = Load();
+  auto events = db->SimulateRuleUpdate(AddRetiredRule(db.get()));
+  ASSERT_TRUE(events.ok()) << events.status();
+  // The new rule adds Unemp(Pere); Dolors was already unemployed.
+  EXPECT_EQ(events->ToString(db->symbols()), "{ins Unemp(Pere)}");
+  // Simulation does not change the database.
+  EXPECT_EQ(db->database().program().size(), 1u);
+}
+
+TEST(RuleUpdateTest, SimulateRuleDeletion) {
+  auto db = Load();
+  problems::RuleUpdate update;
+  update.remove.push_back(db->database().program().rules()[0]);
+  auto events = db->SimulateRuleUpdate(update);
+  ASSERT_TRUE(events.ok()) << events.status();
+  EXPECT_EQ(events->ToString(db->symbols()), "{del Unemp(Dolors)}");
+}
+
+TEST(RuleUpdateTest, ApplyUpdatesProgramAndRecompiles) {
+  auto db = Load();
+  ASSERT_TRUE(db->Compiled().ok());
+  ASSERT_TRUE(db->ApplyRuleUpdate(AddRetiredRule(db.get())).ok());
+  EXPECT_EQ(db->database().program().size(), 2u);
+  // The event machinery reflects the new rule: deleting Retired(Pere) now
+  // induces del Unemp(Pere).
+  auto txn = ParseTransaction(db.get(), "del Retired(Pere)");
+  ASSERT_TRUE(txn.ok());
+  auto events = db->InducedEvents(*txn);
+  ASSERT_TRUE(events.ok()) << events.status();
+  EXPECT_EQ(events->ToString(db->symbols()), "{del Unemp(Pere)}");
+}
+
+TEST(RuleUpdateTest, SimulationMatchesApplyThenDiff) {
+  auto db = Load();
+  auto simulated = db->SimulateRuleUpdate(AddRetiredRule(db.get()));
+  ASSERT_TRUE(simulated.ok());
+  // Apply for real, recompute, compare extensions.
+  OldStateView before(&db->database());
+  SymbolId unemp = db->database().FindPredicate("Unemp").value();
+  auto old_tuples =
+      before.Query(Atom(unemp, {Term::MakeVariable(0x7100000)}));
+  ASSERT_TRUE(old_tuples.ok());
+
+  ASSERT_TRUE(db->ApplyRuleUpdate(AddRetiredRule(db.get())).ok());
+  OldStateView after(&db->database());
+  auto new_tuples =
+      after.Query(Atom(unemp, {Term::MakeVariable(0x7100001)}));
+  ASSERT_TRUE(new_tuples.ok());
+  for (const Tuple& t : *new_tuples) {
+    bool was_there = std::find(old_tuples->begin(), old_tuples->end(), t) !=
+                     old_tuples->end();
+    EXPECT_EQ(!was_there, simulated->ContainsInsert(unemp, t));
+  }
+}
+
+TEST(RuleUpdateTest, RemovingUnknownRuleFails) {
+  auto db = Load();
+  problems::RuleUpdate update;
+  Term x = db->Variable("x");
+  update.remove.push_back(
+      Rule(db->MakeAtom("Unemp", {x}).value(),
+           {Literal::Positive(db->MakeAtom("Works", {x}).value())}));
+  EXPECT_EQ(db->SimulateRuleUpdate(update).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RuleUpdateTest, InvalidAdditionFails) {
+  auto db = Load();
+  problems::RuleUpdate update;
+  // Unsafe rule: head variable not bound by a positive literal.
+  Term x = db->Variable("x");
+  Term y = db->Variable("y");
+  update.add.push_back(
+      Rule(db->MakeAtom("Unemp", {y}).value(),
+           {Literal::Positive(db->MakeAtom("La", {x}).value())}));
+  EXPECT_FALSE(db->SimulateRuleUpdate(update).ok());
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,249 @@
+// Unit tests of the storage layer: relations with column indexes, fact
+// stores, transactions, and the database triple.
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "storage/transaction.h"
+
+namespace deddb {
+namespace {
+
+class RelationTest : public ::testing::TestWithParam<bool> {
+ protected:
+  bool indexed() const { return GetParam(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(IndexModes, RelationTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Indexed" : "Unindexed";
+                         });
+
+TEST_P(RelationTest, InsertEraseContains) {
+  Relation rel(2, indexed());
+  EXPECT_TRUE(rel.Insert({1, 2}));
+  EXPECT_FALSE(rel.Insert({1, 2}));  // duplicate
+  EXPECT_TRUE(rel.Contains({1, 2}));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Erase({1, 2}));
+  EXPECT_FALSE(rel.Erase({1, 2}));
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST_P(RelationTest, PatternSelection) {
+  Relation rel(2, indexed());
+  rel.Insert({1, 10});
+  rel.Insert({1, 20});
+  rel.Insert({2, 10});
+  EXPECT_EQ(rel.CountMatches({1, std::nullopt}), 2u);
+  EXPECT_EQ(rel.CountMatches({std::nullopt, 10}), 2u);
+  EXPECT_EQ(rel.CountMatches({1, 10}), 1u);
+  EXPECT_EQ(rel.CountMatches({3, std::nullopt}), 0u);
+  EXPECT_EQ(rel.CountMatches({std::nullopt, std::nullopt}), 3u);
+}
+
+TEST_P(RelationTest, SelectionAfterErasure) {
+  Relation rel(2, indexed());
+  rel.Insert({1, 10});
+  rel.Insert({1, 20});
+  rel.Erase({1, 10});
+  EXPECT_EQ(rel.CountMatches({1, std::nullopt}), 1u);
+  std::vector<Tuple> out;
+  rel.ForEachMatch({1, std::nullopt},
+                   [&](const Tuple& t) { out.push_back(t); });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Tuple{1, 20}));
+}
+
+TEST_P(RelationTest, SurvivesManyInsertsAndSelects) {
+  Relation rel(2, indexed());
+  for (uint32_t i = 0; i < 500; ++i) rel.Insert({i % 7, i});
+  EXPECT_EQ(rel.size(), 500u);
+  for (uint32_t k = 0; k < 7; ++k) {
+    size_t expected = 500 / 7 + (k < 500 % 7 ? 1 : 0);
+    EXPECT_EQ(rel.CountMatches({k, std::nullopt}), expected);
+  }
+}
+
+TEST_P(RelationTest, ZeroArity) {
+  Relation rel(0, indexed());
+  EXPECT_TRUE(rel.Insert({}));
+  EXPECT_FALSE(rel.Insert({}));
+  EXPECT_EQ(rel.CountMatches({}), 1u);
+  rel.Erase({});
+  EXPECT_TRUE(rel.empty());
+}
+
+TEST(FactStoreTest, AddRemoveAcrossPredicates) {
+  FactStore store;
+  EXPECT_TRUE(store.Add(1, {10}));
+  EXPECT_TRUE(store.Add(2, {10, 20}));
+  EXPECT_FALSE(store.Add(1, {10}));
+  EXPECT_EQ(store.TotalFacts(), 2u);
+  EXPECT_TRUE(store.Contains(1, {10}));
+  EXPECT_FALSE(store.Contains(1, {11}));
+  EXPECT_TRUE(store.Remove(2, {10, 20}));
+  EXPECT_FALSE(store.Remove(2, {10, 20}));
+  EXPECT_EQ(store.TotalFacts(), 1u);
+}
+
+TEST(FactStoreTest, CopyIsDeep) {
+  FactStore a;
+  a.Add(1, {10});
+  FactStore b = a;
+  b.Add(1, {11});
+  EXPECT_EQ(a.TotalFacts(), 1u);
+  EXPECT_EQ(b.TotalFacts(), 2u);
+}
+
+TEST(FactStoreTest, FindReturnsNullForUnknown) {
+  FactStore store;
+  EXPECT_EQ(store.Find(9), nullptr);
+  store.Add(9, {1});
+  ASSERT_NE(store.Find(9), nullptr);
+  EXPECT_EQ(store.Find(9)->size(), 1u);
+}
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  SymbolTable symbols_;
+  PredicateTable predicates_{&symbols_};
+  SymbolId q_ = predicates_
+                    .Declare("Q", 1, PredicateKind::kBase,
+                             PredicateSemantics::kPlain)
+                    .value();
+  SymbolId a_ = symbols_.Intern("A");
+  SymbolId b_ = symbols_.Intern("B");
+};
+
+TEST_F(TransactionTest, AddAndQueryEvents) {
+  Transaction txn;
+  ASSERT_TRUE(txn.AddInsert(q_, {a_}).ok());
+  ASSERT_TRUE(txn.AddDelete(q_, {b_}).ok());
+  EXPECT_TRUE(txn.ContainsInsert(q_, {a_}));
+  EXPECT_TRUE(txn.ContainsDelete(q_, {b_}));
+  EXPECT_FALSE(txn.ContainsInsert(q_, {b_}));
+  EXPECT_EQ(txn.size(), 2u);
+  EXPECT_EQ(txn.ToString(symbols_), "{del Q(B), ins Q(A)}");
+}
+
+TEST_F(TransactionTest, OppositeEventsConflict) {
+  Transaction txn;
+  ASSERT_TRUE(txn.AddInsert(q_, {a_}).ok());
+  EXPECT_FALSE(txn.AddDelete(q_, {a_}).ok());
+  // Same event twice is idempotent.
+  EXPECT_TRUE(txn.AddInsert(q_, {a_}).ok());
+  EXPECT_EQ(txn.size(), 1u);
+}
+
+TEST_F(TransactionTest, ValidateAgainstState) {
+  FactStore state;
+  state.Add(q_, {a_});
+  Transaction valid;
+  ASSERT_TRUE(valid.AddDelete(q_, {a_}).ok());
+  ASSERT_TRUE(valid.AddInsert(q_, {b_}).ok());
+  EXPECT_TRUE(valid.Validate(state, predicates_).ok());
+
+  Transaction insert_existing;
+  ASSERT_TRUE(insert_existing.AddInsert(q_, {a_}).ok());
+  EXPECT_EQ(insert_existing.Validate(state, predicates_).code(),
+            StatusCode::kFailedPrecondition);
+
+  Transaction delete_absent;
+  ASSERT_TRUE(delete_absent.AddDelete(q_, {b_}).ok());
+  EXPECT_EQ(delete_absent.Validate(state, predicates_).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TransactionTest, ApplyToProducesNewState) {
+  FactStore state;
+  state.Add(q_, {a_});
+  Transaction txn;
+  ASSERT_TRUE(txn.AddDelete(q_, {a_}).ok());
+  ASSERT_TRUE(txn.AddInsert(q_, {b_}).ok());
+  FactStore next = txn.ApplyTo(state);
+  EXPECT_FALSE(next.Contains(q_, {a_}));
+  EXPECT_TRUE(next.Contains(q_, {b_}));
+  // Original state untouched.
+  EXPECT_TRUE(state.Contains(q_, {a_}));
+}
+
+TEST_F(TransactionTest, MergeDetectsConflicts) {
+  Transaction a, b;
+  ASSERT_TRUE(a.AddInsert(q_, {a_}).ok());
+  ASSERT_TRUE(b.AddDelete(q_, {a_}).ok());
+  EXPECT_FALSE(a.Merge(b).ok());
+  Transaction c;
+  ASSERT_TRUE(c.AddInsert(q_, {b_}).ok());
+  EXPECT_TRUE(a.Merge(c).ok());
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(DatabaseTest, DeclarationsAndSemanticsLists) {
+  Database db;
+  SymbolId base = db.DeclareBase("B", 1).value();
+  SymbolId view = db.DeclareDerived("V", 1, PredicateSemantics::kView).value();
+  SymbolId ic = db.DeclareDerived("Ic1", 1, PredicateSemantics::kIc).value();
+  SymbolId cond =
+      db.DeclareDerived("C", 1, PredicateSemantics::kCondition).value();
+  (void)base;
+  EXPECT_EQ(db.view_predicates(), (std::vector<SymbolId>{view}));
+  EXPECT_EQ(db.ic_predicates(), (std::vector<SymbolId>{ic}));
+  EXPECT_EQ(db.condition_predicates(), (std::vector<SymbolId>{cond}));
+  EXPECT_TRUE(db.HasConstraints());
+}
+
+TEST(DatabaseTest, GlobalIcRuleInstalledPerConstraint) {
+  Database db;
+  SymbolId b = db.DeclareBase("B", 1).value();
+  (void)b;
+  db.DeclareDerived("Ic1", 1, PredicateSemantics::kIc).value();
+  db.DeclareDerived("Ic2", 0, PredicateSemantics::kIc).value();
+  // One global rule per inconsistency predicate.
+  EXPECT_EQ(db.program().RulesFor(db.global_ic()).size(), 2u);
+}
+
+TEST(DatabaseTest, IcNameIsReserved) {
+  Database db;
+  EXPECT_FALSE(db.DeclareBase("Ic", 1).ok());
+  EXPECT_FALSE(db.DeclareDerived("Ic", 1, PredicateSemantics::kPlain).ok());
+}
+
+TEST(DatabaseTest, FactValidation) {
+  Database db;
+  SymbolId b = db.DeclareBase("B", 1).value();
+  SymbolId d = db.DeclareDerived("D", 1, PredicateSemantics::kPlain).value();
+  SymbolId a = db.symbols().Intern("A");
+  VarId x = db.symbols().InternVar("x");
+
+  EXPECT_TRUE(db.AddFact(Atom(b, {Term::MakeConstant(a)})).ok());
+  // Derived facts are rejected (paper §2: derived predicates appear only in
+  // the intensional part).
+  EXPECT_FALSE(db.AddFact(Atom(d, {Term::MakeConstant(a)})).ok());
+  // Non-ground facts are rejected.
+  EXPECT_FALSE(db.AddFact(Atom(b, {Term::MakeVariable(x)})).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(db.AddFact(Atom(b, {})).ok());
+}
+
+TEST(DatabaseTest, MaterializeRequiresViewSemantics) {
+  Database db;
+  SymbolId b = db.DeclareBase("B", 1).value();
+  SymbolId v = db.DeclareDerived("V", 1, PredicateSemantics::kView).value();
+  EXPECT_FALSE(db.MaterializeView(b).ok());
+  EXPECT_TRUE(db.MaterializeView(v).ok());
+  EXPECT_TRUE(db.IsMaterialized(v));
+  EXPECT_FALSE(db.IsMaterialized(b));
+}
+
+TEST(DatabaseTest, FindPredicate) {
+  Database db;
+  SymbolId b = db.DeclareBase("B", 1).value();
+  EXPECT_EQ(db.FindPredicate("B").value(), b);
+  EXPECT_EQ(db.FindPredicate("Missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,276 @@
+// Edge-case and failure-injection tests across the stack: zero arities,
+// constants in rules, repeated variables, wide schemas, deep programs,
+// option limits, and malformed inputs that must fail cleanly.
+
+#include <gtest/gtest.h>
+
+#include "core/deductive_database.h"
+#include "parser/parser.h"
+#include "util/strings.h"
+
+namespace deddb {
+namespace {
+
+TEST(EdgeCaseTest, ZeroArityEndToEnd) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Switch/0.
+    base Anything/0.
+    view Lamp/0.
+    condition Dark/0.
+    Lamp <- Switch.
+    Dark <- not Lamp, Anything.
+    Anything.
+  )")
+                  .ok());
+  // Upward: flipping the switch lights the lamp and ends the dark.
+  auto txn = ParseTransaction(&db, "ins Switch");
+  ASSERT_TRUE(txn.ok());
+  auto events = db.InducedEvents(*txn);
+  ASSERT_TRUE(events.ok()) << events.status();
+  EXPECT_EQ(events->ToString(db.symbols()), "{del Dark, ins Lamp}");
+  // Downward: how to light the lamp?
+  auto request = ParseRequest(&db, "ins Lamp");
+  ASSERT_TRUE(request.ok());
+  auto result = db.TranslateViewUpdate(*request);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->translations.size(), 1u);
+  EXPECT_EQ(result->translations[0].transaction.ToString(db.symbols()),
+            "{ins Switch}");
+}
+
+TEST(EdgeCaseTest, ConstantsInRuleBodies) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Likes/2.
+    view JazzFan/1.
+    JazzFan(x) <- Likes(x, Jazz).
+    Likes(Ann, Jazz). Likes(Bea, Rock).
+  )")
+                  .ok());
+  auto request = ParseRequest(&db, "ins JazzFan(Bea)");
+  ASSERT_TRUE(request.ok());
+  auto result = db.TranslateViewUpdate(*request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->translations.size(), 1u);
+  EXPECT_EQ(result->translations[0].transaction.ToString(db.symbols()),
+            "{ins Likes(Bea, Jazz)}");
+}
+
+TEST(EdgeCaseTest, RepeatedVariablesInRule) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Edge/2.
+    view SelfLoop/1.
+    SelfLoop(x) <- Edge(x, x).
+    Edge(A, A). Edge(A, B).
+  )")
+                  .ok());
+  OldStateView view(&db.database());
+  SymbolId loop = db.database().FindPredicate("SelfLoop").value();
+  SymbolId a = db.symbols().Intern("A");
+  SymbolId b = db.symbols().Intern("B");
+  EXPECT_TRUE(view.Contains(loop, {a}));
+  EXPECT_FALSE(view.Contains(loop, {b}));
+  // Downward: making B a self-loop inserts Edge(B, B).
+  auto request = ParseRequest(&db, "ins SelfLoop(B)");
+  auto result = db.TranslateViewUpdate(*request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->translations.size(), 1u);
+  EXPECT_EQ(result->translations[0].transaction.ToString(db.symbols()),
+            "{ins Edge(B, B)}");
+}
+
+TEST(EdgeCaseTest, WideArityPredicates) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Wide/5.
+    view Projected/2.
+    Projected(a, e) <- Wide(a, b, c, d, e).
+    Wide(V1, V2, V3, V4, V5).
+  )")
+                  .ok());
+  auto txn = ParseTransaction(&db, "del Wide(V1, V2, V3, V4, V5)");
+  ASSERT_TRUE(txn.ok());
+  auto events = db.InducedEvents(*txn);
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(events->ToString(db.symbols()), "{del Projected(V1, V5)}");
+}
+
+TEST(EdgeCaseTest, DeepViewTowerUpward) {
+  // 20 stacked views over one base fact; one deletion must cascade through
+  // every layer.
+  DeductiveDatabase db;
+  ASSERT_TRUE(db.DeclareBase("B", 1).ok());
+  Term x = db.Variable("x");
+  std::string prev = "B";
+  for (int i = 1; i <= 20; ++i) {
+    std::string name = StrCat("V", i);
+    ASSERT_TRUE(db.DeclareView(name, 1).ok());
+    ASSERT_TRUE(
+        db.AddRule(Rule(db.MakeAtom(name, {x}).value(),
+                        {Literal::Positive(db.MakeAtom(prev, {x}).value())}))
+            .ok());
+    prev = name;
+  }
+  ASSERT_TRUE(db.AddFact(db.GroundAtom("B", {"E"}).value()).ok());
+  Transaction txn;
+  ASSERT_TRUE(txn.AddDelete(db.database().FindPredicate("B").value(),
+                            {db.symbols().Intern("E")})
+                  .ok());
+  auto events = db.InducedEvents(txn);
+  ASSERT_TRUE(events.ok()) << events.status();
+  EXPECT_EQ(events->size(), 20u);
+}
+
+TEST(EdgeCaseTest, MultipleRulesSameHeadDownward) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base ByBirth/1. base ByLaw/1.
+    view Citizen/1.
+    Citizen(x) <- ByBirth(x).
+    Citizen(x) <- ByLaw(x).
+    ByBirth(Ann).
+  )")
+                  .ok());
+  // Deleting Citizen(Ann) must remove her only support.
+  auto del = db.TranslateViewUpdate(
+      ParseRequest(&db, "del Citizen(Ann)").value());
+  ASSERT_TRUE(del.ok());
+  ASSERT_EQ(del->translations.size(), 1u);
+  EXPECT_EQ(del->translations[0].transaction.ToString(db.symbols()),
+            "{del ByBirth(Ann)}");
+  // Inserting Citizen(Cal) can go through either rule.
+  auto ins = db.TranslateViewUpdate(
+      ParseRequest(&db, "ins Citizen(Cal)").value());
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->translations.size(), 2u);
+}
+
+TEST(EdgeCaseTest, DeletingMultiSupportedFactNeedsBothRemovals) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base ByBirth/1. base ByLaw/1.
+    view Citizen/1.
+    Citizen(x) <- ByBirth(x).
+    Citizen(x) <- ByLaw(x).
+    ByBirth(Ann). ByLaw(Ann).
+  )")
+                  .ok());
+  auto del = db.TranslateViewUpdate(
+      ParseRequest(&db, "del Citizen(Ann)").value());
+  ASSERT_TRUE(del.ok());
+  ASSERT_EQ(del->translations.size(), 1u);
+  EXPECT_EQ(del->translations[0].transaction.ToString(db.symbols()),
+            "{del ByBirth(Ann), del ByLaw(Ann)}");
+}
+
+TEST(EdgeCaseTest, ProjectionDeletionEnumeratesWitnesses) {
+  // Deleting a projected fact must break EVERY witness.
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Works/2.
+    view Employed/1.
+    Employed(p) <- Works(p, c).
+    Works(Ann, Acme). Works(Ann, Bcorp).
+  )")
+                  .ok());
+  auto del = db.TranslateViewUpdate(
+      ParseRequest(&db, "del Employed(Ann)").value());
+  ASSERT_TRUE(del.ok()) << del.status();
+  ASSERT_EQ(del->translations.size(), 1u);
+  EXPECT_EQ(del->translations[0].transaction.ToString(db.symbols()),
+            "{del Works(Ann, Acme), del Works(Ann, Bcorp)}");
+}
+
+TEST(FailureInjectionTest, DepthLimitSurfacesCleanly) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Q/1. base R/1.
+    view P/1.
+    P(x) <- Q(x) & not R(x).
+    Q(A).
+  )")
+                  .ok());
+  db.downward_options().max_depth = 0;
+  auto result = db.TranslateViewUpdate(
+      ParseRequest(&db, "ins P(B)").value());
+  // Depth 0 still allows the top-level event; the nested derived events are
+  // what would exceed it. Either a clean success or a clean
+  // RESOURCE_EXHAUSTED is acceptable; never a crash or a wrong answer.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(FailureInjectionTest, DisjunctCapZeroStillSound) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Q/1.
+    view P/1.
+    P(x) <- Q(x).
+  )")
+                  .ok());
+  db.downward_options().max_disjuncts = 1;
+  auto result =
+      db.TranslateViewUpdate(ParseRequest(&db, "ins P(B)").value());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(result->dnf.size(), 1u);
+}
+
+TEST(FailureInjectionTest, EvaluationRoundLimit) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Edge/2.
+    derived Path/2.
+    Path(x, y) <- Edge(x, y).
+    Path(x, y) <- Path(x, z) & Edge(z, y).
+    Edge(A, B). Edge(B, C). Edge(C, D). Edge(D, E).
+  )")
+                  .ok());
+  FactStoreProvider edb(&db.database().facts());
+  EvaluationOptions options;
+  options.max_rounds = 1;
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  auto idb = evaluator.Evaluate();
+  EXPECT_EQ(idb.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, RequestOnUnknownPredicateFails) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, "base Q/1. Q(A).").ok());
+  RequestedEvent event;
+  event.is_insert = true;
+  event.predicate = 0xDEAD;
+  UpdateRequest request;
+  request.events.push_back(event);
+  EXPECT_FALSE(db.TranslateViewUpdate(request).ok());
+}
+
+TEST(FailureInjectionTest, EventVariantSymbolsRejectedInRequests) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Q/1.
+    view P/1.
+    P(x) <- Q(x).
+  )")
+                  .ok());
+  ASSERT_TRUE(db.Compiled().ok());
+  SymbolId p = db.database().FindPredicate("P").value();
+  SymbolId ins_p = db.database()
+                       .predicates()
+                       .FindVariant(p, PredicateVariant::kInsertEvent)
+                       .value();
+  RequestedEvent event;
+  event.is_insert = true;
+  event.predicate = ins_p;  // decorated symbol: not a user predicate
+  event.args = {db.Constant("A")};
+  UpdateRequest request;
+  request.events.push_back(event);
+  EXPECT_EQ(db.TranslateViewUpdate(request).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace deddb

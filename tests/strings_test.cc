@@ -1,0 +1,47 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace deddb {
+namespace {
+
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat("only"), "only");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(JoinMappedTest, MapsBeforeJoining) {
+  std::vector<int> nums = {1, 2, 3};
+  EXPECT_EQ(JoinMapped(nums, "+", [](int n) { return StrCat(n * n); }),
+            "1+4+9");
+}
+
+TEST(SplitTest, SplitsKeepingEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\na b\r\n"), "a b");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("ins$Works", "ins$"));
+  EXPECT_FALSE(StartsWith("Works", "ins$"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+}  // namespace
+}  // namespace deddb

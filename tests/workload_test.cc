@@ -1,0 +1,115 @@
+// Sanity tests of the synthetic workload generators used by the benchmarks
+// and property tests.
+
+#include <gtest/gtest.h>
+
+#include "workload/employment.h"
+#include "workload/random_programs.h"
+#include "workload/towers.h"
+
+namespace deddb {
+namespace {
+
+TEST(EmploymentWorkloadTest, ConsistentConfigSatisfiesConstraints) {
+  workload::EmploymentConfig config;
+  config.people = 120;
+  config.consistent = true;
+  auto db = workload::MakeEmploymentDatabase(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_TRUE((*db)->IsConsistent().value());
+  EXPECT_GT((*db)->database().facts().TotalFacts(), 100u);
+}
+
+TEST(EmploymentWorkloadTest, DeterministicForSeed) {
+  workload::EmploymentConfig config;
+  config.people = 50;
+  config.seed = 7;
+  auto a = workload::MakeEmploymentDatabase(config);
+  auto b = workload::MakeEmploymentDatabase(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->database().facts().ToString((*a)->symbols()),
+            (*b)->database().facts().ToString((*b)->symbols()));
+}
+
+TEST(EmploymentWorkloadTest, RandomTransactionsAreValid) {
+  workload::EmploymentConfig config;
+  config.people = 80;
+  auto db = workload::MakeEmploymentDatabase(config);
+  ASSERT_TRUE(db.ok());
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto txn =
+        workload::RandomEmploymentTransaction(db->get(), 80, 12, seed);
+    ASSERT_TRUE(txn.ok());
+    EXPECT_EQ(txn->size(), 12u);
+    EXPECT_TRUE(txn->Validate((*db)->database().facts(),
+                              (*db)->database().predicates())
+                    .ok());
+  }
+}
+
+TEST(TowerWorkloadTest, LayersDeriveAndElementZeroReachesTop) {
+  workload::TowerConfig config;
+  config.depth = 5;
+  config.base_facts = 40;
+  auto db = workload::MakeTowerDatabase(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  OldStateView view(&(*db)->database());
+  SymbolId top =
+      (*db)->database().FindPredicate(workload::TowerLayerName(5)).value();
+  SymbolId e0 = (*db)->symbols().Intern(workload::TowerElementName(0));
+  EXPECT_TRUE(view.Contains(top, {e0}));
+}
+
+TEST(TowerWorkloadTest, NegationDoublesRuleCount) {
+  workload::TowerConfig with, without;
+  with.depth = without.depth = 3;
+  with.with_negation = true;
+  without.with_negation = false;
+  auto a = workload::MakeTowerDatabase(with);
+  auto b = workload::MakeTowerDatabase(without);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->database().program().size(),
+            2 * (*b)->database().program().size());
+}
+
+TEST(RandomProgramTest, HierarchicalProgramsCompile) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::RandomProgramConfig config;
+    config.seed = seed;
+    auto db = workload::MakeRandomDatabase(config);
+    ASSERT_TRUE(db.ok()) << db.status();
+    auto compiled = (*db)->Compiled();
+    EXPECT_TRUE(compiled.ok()) << "seed " << seed << ": "
+                               << compiled.status();
+  }
+}
+
+TEST(RandomProgramTest, RecursiveProgramsEvaluateButDontCompile) {
+  workload::RandomProgramConfig config;
+  config.seed = 3;
+  config.allow_recursion = true;
+  config.derived_predicates = 10;
+  auto db = workload::MakeRandomDatabase(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  FactStoreProvider edb(&(*db)->database().facts());
+  BottomUpEvaluator evaluator((*db)->database().program(), (*db)->symbols(),
+                              edb);
+  EXPECT_TRUE(evaluator.Evaluate().ok());
+}
+
+TEST(RandomProgramTest, TransactionsRespectEventDefinitions) {
+  workload::RandomProgramConfig config;
+  config.seed = 9;
+  auto db = workload::MakeRandomDatabase(config);
+  ASSERT_TRUE(db.ok());
+  auto txn = workload::RandomTransaction(db->get(), config, 8, 17);
+  ASSERT_TRUE(txn.ok());
+  EXPECT_TRUE(txn->Validate((*db)->database().facts(),
+                            (*db)->database().predicates())
+                  .ok());
+}
+
+}  // namespace
+}  // namespace deddb
