@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_downward_scaling.dir/bench_downward_scaling.cc.o"
+  "CMakeFiles/bench_downward_scaling.dir/bench_downward_scaling.cc.o.d"
+  "bench_downward_scaling"
+  "bench_downward_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_downward_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

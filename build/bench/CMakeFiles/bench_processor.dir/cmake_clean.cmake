@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_processor.dir/bench_processor.cc.o"
+  "CMakeFiles/bench_processor.dir/bench_processor.cc.o.d"
+  "bench_processor"
+  "bench_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

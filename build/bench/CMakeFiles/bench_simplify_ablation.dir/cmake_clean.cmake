@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simplify_ablation.dir/bench_simplify_ablation.cc.o"
+  "CMakeFiles/bench_simplify_ablation.dir/bench_simplify_ablation.cc.o.d"
+  "bench_simplify_ablation"
+  "bench_simplify_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simplify_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table41.dir/bench_table41.cc.o"
+  "CMakeFiles/bench_table41.dir/bench_table41.cc.o.d"
+  "bench_table41"
+  "bench_table41.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table41.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

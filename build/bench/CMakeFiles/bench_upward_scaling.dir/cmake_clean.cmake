@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_upward_scaling.dir/bench_upward_scaling.cc.o"
+  "CMakeFiles/bench_upward_scaling.dir/bench_upward_scaling.cc.o.d"
+  "bench_upward_scaling"
+  "bench_upward_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_upward_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condition_monitor.dir/condition_monitor.cpp.o"
+  "CMakeFiles/condition_monitor.dir/condition_monitor.cpp.o.d"
+  "condition_monitor"
+  "condition_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condition_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_shell.dir/deddb_shell.cpp.o"
+  "CMakeFiles/deddb_shell.dir/deddb_shell.cpp.o.d"
+  "deddb_shell"
+  "deddb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

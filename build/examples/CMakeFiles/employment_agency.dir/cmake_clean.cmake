@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employment_agency.dir/employment_agency.cpp.o"
+  "CMakeFiles/employment_agency.dir/employment_agency.cpp.o.d"
+  "employment_agency"
+  "employment_agency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employment_agency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_update_assistant.dir/view_update_assistant.cpp.o"
+  "CMakeFiles/view_update_assistant.dir/view_update_assistant.cpp.o.d"
+  "view_update_assistant"
+  "view_update_assistant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_update_assistant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

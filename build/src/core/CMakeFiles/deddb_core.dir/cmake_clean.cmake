@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_core.dir/deductive_database.cc.o"
+  "CMakeFiles/deddb_core.dir/deductive_database.cc.o.d"
+  "CMakeFiles/deddb_core.dir/update_processor.cc.o"
+  "CMakeFiles/deddb_core.dir/update_processor.cc.o.d"
+  "libdeddb_core.a"
+  "libdeddb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

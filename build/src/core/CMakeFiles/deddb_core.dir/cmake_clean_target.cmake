@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeddb_core.a"
+)

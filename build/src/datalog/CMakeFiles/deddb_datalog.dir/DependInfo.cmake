@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/atom.cc" "src/datalog/CMakeFiles/deddb_datalog.dir/atom.cc.o" "gcc" "src/datalog/CMakeFiles/deddb_datalog.dir/atom.cc.o.d"
+  "/root/repo/src/datalog/predicate.cc" "src/datalog/CMakeFiles/deddb_datalog.dir/predicate.cc.o" "gcc" "src/datalog/CMakeFiles/deddb_datalog.dir/predicate.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/datalog/CMakeFiles/deddb_datalog.dir/program.cc.o" "gcc" "src/datalog/CMakeFiles/deddb_datalog.dir/program.cc.o.d"
+  "/root/repo/src/datalog/rule.cc" "src/datalog/CMakeFiles/deddb_datalog.dir/rule.cc.o" "gcc" "src/datalog/CMakeFiles/deddb_datalog.dir/rule.cc.o.d"
+  "/root/repo/src/datalog/substitution.cc" "src/datalog/CMakeFiles/deddb_datalog.dir/substitution.cc.o" "gcc" "src/datalog/CMakeFiles/deddb_datalog.dir/substitution.cc.o.d"
+  "/root/repo/src/datalog/symbol_table.cc" "src/datalog/CMakeFiles/deddb_datalog.dir/symbol_table.cc.o" "gcc" "src/datalog/CMakeFiles/deddb_datalog.dir/symbol_table.cc.o.d"
+  "/root/repo/src/datalog/term.cc" "src/datalog/CMakeFiles/deddb_datalog.dir/term.cc.o" "gcc" "src/datalog/CMakeFiles/deddb_datalog.dir/term.cc.o.d"
+  "/root/repo/src/datalog/unify.cc" "src/datalog/CMakeFiles/deddb_datalog.dir/unify.cc.o" "gcc" "src/datalog/CMakeFiles/deddb_datalog.dir/unify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/deddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_datalog.dir/atom.cc.o"
+  "CMakeFiles/deddb_datalog.dir/atom.cc.o.d"
+  "CMakeFiles/deddb_datalog.dir/predicate.cc.o"
+  "CMakeFiles/deddb_datalog.dir/predicate.cc.o.d"
+  "CMakeFiles/deddb_datalog.dir/program.cc.o"
+  "CMakeFiles/deddb_datalog.dir/program.cc.o.d"
+  "CMakeFiles/deddb_datalog.dir/rule.cc.o"
+  "CMakeFiles/deddb_datalog.dir/rule.cc.o.d"
+  "CMakeFiles/deddb_datalog.dir/substitution.cc.o"
+  "CMakeFiles/deddb_datalog.dir/substitution.cc.o.d"
+  "CMakeFiles/deddb_datalog.dir/symbol_table.cc.o"
+  "CMakeFiles/deddb_datalog.dir/symbol_table.cc.o.d"
+  "CMakeFiles/deddb_datalog.dir/term.cc.o"
+  "CMakeFiles/deddb_datalog.dir/term.cc.o.d"
+  "CMakeFiles/deddb_datalog.dir/unify.cc.o"
+  "CMakeFiles/deddb_datalog.dir/unify.cc.o.d"
+  "libdeddb_datalog.a"
+  "libdeddb_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/body_eval.cc" "src/eval/CMakeFiles/deddb_eval.dir/body_eval.cc.o" "gcc" "src/eval/CMakeFiles/deddb_eval.dir/body_eval.cc.o.d"
+  "/root/repo/src/eval/bottom_up.cc" "src/eval/CMakeFiles/deddb_eval.dir/bottom_up.cc.o" "gcc" "src/eval/CMakeFiles/deddb_eval.dir/bottom_up.cc.o.d"
+  "/root/repo/src/eval/dependency_graph.cc" "src/eval/CMakeFiles/deddb_eval.dir/dependency_graph.cc.o" "gcc" "src/eval/CMakeFiles/deddb_eval.dir/dependency_graph.cc.o.d"
+  "/root/repo/src/eval/fact_provider.cc" "src/eval/CMakeFiles/deddb_eval.dir/fact_provider.cc.o" "gcc" "src/eval/CMakeFiles/deddb_eval.dir/fact_provider.cc.o.d"
+  "/root/repo/src/eval/query_engine.cc" "src/eval/CMakeFiles/deddb_eval.dir/query_engine.cc.o" "gcc" "src/eval/CMakeFiles/deddb_eval.dir/query_engine.cc.o.d"
+  "/root/repo/src/eval/stratification.cc" "src/eval/CMakeFiles/deddb_eval.dir/stratification.cc.o" "gcc" "src/eval/CMakeFiles/deddb_eval.dir/stratification.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/deddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/deddb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

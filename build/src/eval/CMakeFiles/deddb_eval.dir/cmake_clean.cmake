@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_eval.dir/body_eval.cc.o"
+  "CMakeFiles/deddb_eval.dir/body_eval.cc.o.d"
+  "CMakeFiles/deddb_eval.dir/bottom_up.cc.o"
+  "CMakeFiles/deddb_eval.dir/bottom_up.cc.o.d"
+  "CMakeFiles/deddb_eval.dir/dependency_graph.cc.o"
+  "CMakeFiles/deddb_eval.dir/dependency_graph.cc.o.d"
+  "CMakeFiles/deddb_eval.dir/fact_provider.cc.o"
+  "CMakeFiles/deddb_eval.dir/fact_provider.cc.o.d"
+  "CMakeFiles/deddb_eval.dir/query_engine.cc.o"
+  "CMakeFiles/deddb_eval.dir/query_engine.cc.o.d"
+  "CMakeFiles/deddb_eval.dir/stratification.cc.o"
+  "CMakeFiles/deddb_eval.dir/stratification.cc.o.d"
+  "libdeddb_eval.a"
+  "libdeddb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

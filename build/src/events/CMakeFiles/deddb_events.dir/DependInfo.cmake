@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/events/event_compiler.cc" "src/events/CMakeFiles/deddb_events.dir/event_compiler.cc.o" "gcc" "src/events/CMakeFiles/deddb_events.dir/event_compiler.cc.o.d"
+  "/root/repo/src/events/event_rules.cc" "src/events/CMakeFiles/deddb_events.dir/event_rules.cc.o" "gcc" "src/events/CMakeFiles/deddb_events.dir/event_rules.cc.o.d"
+  "/root/repo/src/events/transaction_provider.cc" "src/events/CMakeFiles/deddb_events.dir/transaction_provider.cc.o" "gcc" "src/events/CMakeFiles/deddb_events.dir/transaction_provider.cc.o.d"
+  "/root/repo/src/events/transition.cc" "src/events/CMakeFiles/deddb_events.dir/transition.cc.o" "gcc" "src/events/CMakeFiles/deddb_events.dir/transition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/deddb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/deddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/deddb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

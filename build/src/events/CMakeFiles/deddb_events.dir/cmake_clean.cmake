@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_events.dir/event_compiler.cc.o"
+  "CMakeFiles/deddb_events.dir/event_compiler.cc.o.d"
+  "CMakeFiles/deddb_events.dir/event_rules.cc.o"
+  "CMakeFiles/deddb_events.dir/event_rules.cc.o.d"
+  "CMakeFiles/deddb_events.dir/transaction_provider.cc.o"
+  "CMakeFiles/deddb_events.dir/transaction_provider.cc.o.d"
+  "CMakeFiles/deddb_events.dir/transition.cc.o"
+  "CMakeFiles/deddb_events.dir/transition.cc.o.d"
+  "libdeddb_events.a"
+  "libdeddb_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

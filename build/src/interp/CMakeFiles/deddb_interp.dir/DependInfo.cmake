@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/derived_events.cc" "src/interp/CMakeFiles/deddb_interp.dir/derived_events.cc.o" "gcc" "src/interp/CMakeFiles/deddb_interp.dir/derived_events.cc.o.d"
+  "/root/repo/src/interp/dnf.cc" "src/interp/CMakeFiles/deddb_interp.dir/dnf.cc.o" "gcc" "src/interp/CMakeFiles/deddb_interp.dir/dnf.cc.o.d"
+  "/root/repo/src/interp/domain.cc" "src/interp/CMakeFiles/deddb_interp.dir/domain.cc.o" "gcc" "src/interp/CMakeFiles/deddb_interp.dir/domain.cc.o.d"
+  "/root/repo/src/interp/downward.cc" "src/interp/CMakeFiles/deddb_interp.dir/downward.cc.o" "gcc" "src/interp/CMakeFiles/deddb_interp.dir/downward.cc.o.d"
+  "/root/repo/src/interp/old_state.cc" "src/interp/CMakeFiles/deddb_interp.dir/old_state.cc.o" "gcc" "src/interp/CMakeFiles/deddb_interp.dir/old_state.cc.o.d"
+  "/root/repo/src/interp/upward.cc" "src/interp/CMakeFiles/deddb_interp.dir/upward.cc.o" "gcc" "src/interp/CMakeFiles/deddb_interp.dir/upward.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/events/CMakeFiles/deddb_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/deddb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/deddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/deddb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_interp.dir/derived_events.cc.o"
+  "CMakeFiles/deddb_interp.dir/derived_events.cc.o.d"
+  "CMakeFiles/deddb_interp.dir/dnf.cc.o"
+  "CMakeFiles/deddb_interp.dir/dnf.cc.o.d"
+  "CMakeFiles/deddb_interp.dir/domain.cc.o"
+  "CMakeFiles/deddb_interp.dir/domain.cc.o.d"
+  "CMakeFiles/deddb_interp.dir/downward.cc.o"
+  "CMakeFiles/deddb_interp.dir/downward.cc.o.d"
+  "CMakeFiles/deddb_interp.dir/old_state.cc.o"
+  "CMakeFiles/deddb_interp.dir/old_state.cc.o.d"
+  "CMakeFiles/deddb_interp.dir/upward.cc.o"
+  "CMakeFiles/deddb_interp.dir/upward.cc.o.d"
+  "libdeddb_interp.a"
+  "libdeddb_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

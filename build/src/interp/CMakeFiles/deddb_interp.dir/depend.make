@@ -1,0 +1,2 @@
+# Empty dependencies file for deddb_interp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_parser.dir/lexer.cc.o"
+  "CMakeFiles/deddb_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/deddb_parser.dir/parser.cc.o"
+  "CMakeFiles/deddb_parser.dir/parser.cc.o.d"
+  "libdeddb_parser.a"
+  "libdeddb_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

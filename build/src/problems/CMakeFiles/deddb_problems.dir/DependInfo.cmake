@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/problems/condition_activation.cc" "src/problems/CMakeFiles/deddb_problems.dir/condition_activation.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/condition_activation.cc.o.d"
+  "/root/repo/src/problems/condition_monitoring.cc" "src/problems/CMakeFiles/deddb_problems.dir/condition_monitoring.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/condition_monitoring.cc.o.d"
+  "/root/repo/src/problems/integrity_checking.cc" "src/problems/CMakeFiles/deddb_problems.dir/integrity_checking.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/integrity_checking.cc.o.d"
+  "/root/repo/src/problems/integrity_maintenance.cc" "src/problems/CMakeFiles/deddb_problems.dir/integrity_maintenance.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/integrity_maintenance.cc.o.d"
+  "/root/repo/src/problems/repair.cc" "src/problems/CMakeFiles/deddb_problems.dir/repair.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/repair.cc.o.d"
+  "/root/repo/src/problems/rule_updates.cc" "src/problems/CMakeFiles/deddb_problems.dir/rule_updates.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/rule_updates.cc.o.d"
+  "/root/repo/src/problems/side_effects.cc" "src/problems/CMakeFiles/deddb_problems.dir/side_effects.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/side_effects.cc.o.d"
+  "/root/repo/src/problems/translations.cc" "src/problems/CMakeFiles/deddb_problems.dir/translations.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/translations.cc.o.d"
+  "/root/repo/src/problems/view_maintenance.cc" "src/problems/CMakeFiles/deddb_problems.dir/view_maintenance.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/view_maintenance.cc.o.d"
+  "/root/repo/src/problems/view_updating.cc" "src/problems/CMakeFiles/deddb_problems.dir/view_updating.cc.o" "gcc" "src/problems/CMakeFiles/deddb_problems.dir/view_updating.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/deddb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/deddb_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/deddb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/deddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/deddb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

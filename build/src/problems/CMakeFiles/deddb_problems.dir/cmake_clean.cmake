@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_problems.dir/condition_activation.cc.o"
+  "CMakeFiles/deddb_problems.dir/condition_activation.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/condition_monitoring.cc.o"
+  "CMakeFiles/deddb_problems.dir/condition_monitoring.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/integrity_checking.cc.o"
+  "CMakeFiles/deddb_problems.dir/integrity_checking.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/integrity_maintenance.cc.o"
+  "CMakeFiles/deddb_problems.dir/integrity_maintenance.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/repair.cc.o"
+  "CMakeFiles/deddb_problems.dir/repair.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/rule_updates.cc.o"
+  "CMakeFiles/deddb_problems.dir/rule_updates.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/side_effects.cc.o"
+  "CMakeFiles/deddb_problems.dir/side_effects.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/translations.cc.o"
+  "CMakeFiles/deddb_problems.dir/translations.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/view_maintenance.cc.o"
+  "CMakeFiles/deddb_problems.dir/view_maintenance.cc.o.d"
+  "CMakeFiles/deddb_problems.dir/view_updating.cc.o"
+  "CMakeFiles/deddb_problems.dir/view_updating.cc.o.d"
+  "libdeddb_problems.a"
+  "libdeddb_problems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_problems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

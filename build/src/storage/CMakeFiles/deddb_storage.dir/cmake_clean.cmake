@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_storage.dir/database.cc.o"
+  "CMakeFiles/deddb_storage.dir/database.cc.o.d"
+  "CMakeFiles/deddb_storage.dir/fact_store.cc.o"
+  "CMakeFiles/deddb_storage.dir/fact_store.cc.o.d"
+  "CMakeFiles/deddb_storage.dir/relation.cc.o"
+  "CMakeFiles/deddb_storage.dir/relation.cc.o.d"
+  "CMakeFiles/deddb_storage.dir/transaction.cc.o"
+  "CMakeFiles/deddb_storage.dir/transaction.cc.o.d"
+  "CMakeFiles/deddb_storage.dir/tuple.cc.o"
+  "CMakeFiles/deddb_storage.dir/tuple.cc.o.d"
+  "libdeddb_storage.a"
+  "libdeddb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

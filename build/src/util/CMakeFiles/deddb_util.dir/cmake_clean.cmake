@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_util.dir/rng.cc.o"
+  "CMakeFiles/deddb_util.dir/rng.cc.o.d"
+  "CMakeFiles/deddb_util.dir/status.cc.o"
+  "CMakeFiles/deddb_util.dir/status.cc.o.d"
+  "CMakeFiles/deddb_util.dir/strings.cc.o"
+  "CMakeFiles/deddb_util.dir/strings.cc.o.d"
+  "libdeddb_util.a"
+  "libdeddb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

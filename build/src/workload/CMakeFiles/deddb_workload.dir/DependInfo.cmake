@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/employment.cc" "src/workload/CMakeFiles/deddb_workload.dir/employment.cc.o" "gcc" "src/workload/CMakeFiles/deddb_workload.dir/employment.cc.o.d"
+  "/root/repo/src/workload/random_programs.cc" "src/workload/CMakeFiles/deddb_workload.dir/random_programs.cc.o" "gcc" "src/workload/CMakeFiles/deddb_workload.dir/random_programs.cc.o.d"
+  "/root/repo/src/workload/towers.cc" "src/workload/CMakeFiles/deddb_workload.dir/towers.cc.o" "gcc" "src/workload/CMakeFiles/deddb_workload.dir/towers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/deddb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/deddb_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/deddb_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/deddb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/deddb_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/deddb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/deddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/deddb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

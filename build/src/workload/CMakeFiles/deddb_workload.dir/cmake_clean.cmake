@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deddb_workload.dir/employment.cc.o"
+  "CMakeFiles/deddb_workload.dir/employment.cc.o.d"
+  "CMakeFiles/deddb_workload.dir/random_programs.cc.o"
+  "CMakeFiles/deddb_workload.dir/random_programs.cc.o.d"
+  "CMakeFiles/deddb_workload.dir/towers.cc.o"
+  "CMakeFiles/deddb_workload.dir/towers.cc.o.d"
+  "libdeddb_workload.a"
+  "libdeddb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deddb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exhaustive_downward_test.cc" "tests/CMakeFiles/exhaustive_downward_test.dir/exhaustive_downward_test.cc.o" "gcc" "tests/CMakeFiles/exhaustive_downward_test.dir/exhaustive_downward_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/deddb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/deddb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/problems/CMakeFiles/deddb_problems.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/deddb_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/events/CMakeFiles/deddb_events.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/deddb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/deddb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/deddb_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/datalog/CMakeFiles/deddb_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deddb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

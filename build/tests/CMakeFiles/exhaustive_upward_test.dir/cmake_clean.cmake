@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_upward_test.dir/exhaustive_upward_test.cc.o"
+  "CMakeFiles/exhaustive_upward_test.dir/exhaustive_upward_test.cc.o.d"
+  "exhaustive_upward_test"
+  "exhaustive_upward_test.pdb"
+  "exhaustive_upward_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_upward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/materialized_interplay_test.dir/materialized_interplay_test.cc.o"
+  "CMakeFiles/materialized_interplay_test.dir/materialized_interplay_test.cc.o.d"
+  "materialized_interplay_test"
+  "materialized_interplay_test.pdb"
+  "materialized_interplay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/materialized_interplay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_program_test.dir/predicate_program_test.cc.o"
+  "CMakeFiles/predicate_program_test.dir/predicate_program_test.cc.o.d"
+  "predicate_program_test"
+  "predicate_program_test.pdb"
+  "predicate_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

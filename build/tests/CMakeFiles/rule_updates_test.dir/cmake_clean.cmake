@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_updates_test.dir/rule_updates_test.cc.o"
+  "CMakeFiles/rule_updates_test.dir/rule_updates_test.cc.o.d"
+  "rule_updates_test"
+  "rule_updates_test.pdb"
+  "rule_updates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_updates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

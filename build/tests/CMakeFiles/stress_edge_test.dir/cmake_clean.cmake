@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_edge_test.dir/stress_edge_test.cc.o"
+  "CMakeFiles/stress_edge_test.dir/stress_edge_test.cc.o.d"
+  "stress_edge_test"
+  "stress_edge_test.pdb"
+  "stress_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table41_test.dir/table41_test.cc.o"
+  "CMakeFiles/table41_test.dir/table41_test.cc.o.d"
+  "table41_test"
+  "table41_test.pdb"
+  "table41_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table41_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tower_sweep_test.dir/tower_sweep_test.cc.o"
+  "CMakeFiles/tower_sweep_test.dir/tower_sweep_test.cc.o.d"
+  "tower_sweep_test"
+  "tower_sweep_test.pdb"
+  "tower_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tower_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/property_framework_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/strings_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/predicate_program_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/events_test[1]_include.cmake")
+include("/root/repo/build/tests/dnf_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/problems_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/table41_test[1]_include.cmake")
+include("/root/repo/build/tests/rule_updates_test[1]_include.cmake")
+include("/root/repo/build/tests/property_algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/tower_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_downward_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_upward_test[1]_include.cmake")
+include("/root/repo/build/tests/materialized_interplay_test[1]_include.cmake")
