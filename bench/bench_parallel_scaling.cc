@@ -1,0 +1,91 @@
+// Parallel bottom-up scaling: the same fixpoint evaluated with the serial
+// loop (num_threads = 0) and with 1/2/4/8 worker threads, on two workloads —
+// a deep derivation tower (non-recursive strata, parallelism comes from
+// slicing each rule's leading literal) and a recursive random program
+// (parallelism from rule × delta-slice work items). The num_threads = 1
+// configuration isolates the snapshot-round overhead from the win of adding
+// workers; speedups require actual cores (see EXPERIMENTS.md for caveats).
+
+#include <benchmark/benchmark.h>
+
+#include "core/deductive_database.h"
+#include "eval/bottom_up.h"
+#include "workload/random_programs.h"
+#include "workload/towers.h"
+
+namespace deddb {
+namespace {
+
+using workload::MakeRandomDatabase;
+using workload::MakeTowerDatabase;
+using workload::RandomProgramConfig;
+using workload::TowerConfig;
+
+const DeductiveDatabase* TowerWorkload() {
+  static const DeductiveDatabase* db = [] {
+    TowerConfig config;
+    config.depth = 6;
+    config.base_facts = 20000;
+    auto result = MakeTowerDatabase(config);
+    return result.ok() ? result->release() : nullptr;
+  }();
+  return db;
+}
+
+const DeductiveDatabase* RandomWorkload() {
+  static const DeductiveDatabase* db = [] {
+    RandomProgramConfig config;
+    config.seed = 11;
+    config.allow_recursion = true;
+    config.derived_predicates = 10;
+    config.facts_per_base = 4000;
+    config.constants = 400;
+    auto result = MakeRandomDatabase(config);
+    return result.ok() ? result->release() : nullptr;
+  }();
+  return db;
+}
+
+void RunScaling(benchmark::State& state, const DeductiveDatabase* db) {
+  if (db == nullptr) {
+    state.SkipWithError("workload construction failed");
+    return;
+  }
+  FactStoreProvider edb(&db->database().facts());
+  EvaluationOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  size_t derived = 0;
+  for (auto _ : state) {
+    BottomUpEvaluator evaluator(db->database().program(), db->symbols(), edb,
+                                options);
+    auto idb = evaluator.Evaluate();
+    if (!idb.ok()) {
+      state.SkipWithError(idb.status().ToString().c_str());
+      return;
+    }
+    derived = idb->TotalFacts();
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["derived_facts"] = static_cast<double>(derived);
+}
+
+void BM_TowerScaling(benchmark::State& state) {
+  RunScaling(state, TowerWorkload());
+}
+void BM_RandomProgramScaling(benchmark::State& state) {
+  RunScaling(state, RandomWorkload());
+}
+
+// Arg = num_threads; 0 is the serial oracle loop.
+BENCHMARK(BM_TowerScaling)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_RandomProgramScaling)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace deddb
+
+BENCHMARK_MAIN();

@@ -136,6 +136,15 @@ class DeductiveDatabase {
 
   UpwardOptions& upward_options() { return upward_options_; }
   DownwardOptions& downward_options() { return downward_options_; }
+
+  /// Opts every evaluation this facade performs — upward and downward
+  /// interpretation, integrity checks, view materialization, queries —
+  /// into the parallel bottom-up evaluator with `n` worker threads
+  /// (0 restores the serial engine). See EvaluationOptions::num_threads.
+  void set_num_threads(size_t n) {
+    upward_options_.eval.num_threads = n;
+    downward_options_.eval.num_threads = n;
+  }
   const EventCompilerOptions& compiler_options() const {
     return compiler_options_;
   }

@@ -1,5 +1,6 @@
 #include "eval/bottom_up.h"
 
+#include <deque>
 #include <unordered_set>
 
 #include "eval/body_eval.h"
@@ -8,6 +9,102 @@
 #include "util/strings.h"
 
 namespace deddb {
+
+namespace {
+
+// Exposes every num_slices-th match (counting in enumeration order) of the
+// wrapped provider. Slices of the same (provider, pattern) enumeration are
+// disjoint and their union is exactly the original match set, so running one
+// body evaluation per slice partitions the work of that rule. Contains() is
+// deliberately NOT sliced: the evaluator only ever slices a positive literal
+// that is enumerated, and negative literals (probed via Contains) must see
+// the whole relation.
+class SlicedProvider : public FactProvider {
+ public:
+  SlicedProvider(const FactProvider* base, size_t slice, size_t num_slices)
+      : base_(base), slice_(slice), num_slices_(num_slices) {}
+
+  void ForEachMatch(
+      SymbolId predicate, const TuplePattern& pattern,
+      const std::function<void(const Tuple&)>& fn) const override {
+    size_t count = 0;
+    base_->ForEachMatch(predicate, pattern, [&](const Tuple& t) {
+      if (count++ % num_slices_ == slice_) fn(t);
+    });
+  }
+
+  bool Contains(SymbolId predicate, const Tuple& tuple) const override {
+    return base_->Contains(predicate, tuple);
+  }
+
+  size_t EstimateCount(SymbolId predicate) const override {
+    size_t n = base_->EstimateCount(predicate);
+    return n == kUnknownCount ? n : n / num_slices_ + 1;
+  }
+
+ private:
+  const FactProvider* base_;
+  size_t slice_;
+  size_t num_slices_;
+};
+
+// One unit of the parallel phase: evaluate `rule` under `order` with slice
+// `slice` of `num_slices` of the facts behind body literal `sliced_literal`
+// (the delta literal in semi-naive rounds, the planner's leading literal in
+// round 0). sliced_base == nullptr means the whole rule is one item.
+struct WorkItem {
+  const Rule* rule;
+  const std::vector<size_t>* order;
+  const FactProvider* sliced_base = nullptr;
+  size_t sliced_literal = 0;
+  size_t slice = 0;
+  size_t num_slices = 1;
+};
+
+// What one work item produced; `derived` is unindexed (it is only iterated
+// at the merge, never joined against).
+struct ItemResult {
+  Status status = Status::Ok();
+  FactStore derived{/*indexed=*/false};
+  size_t firings = 0;
+};
+
+// Runs one work item against the immutable snapshot (`full` layers the
+// current idb over the EDB). Only `out` is written; everything else is read.
+void RunWorkItem(const WorkItem& item, const FactProvider& full,
+                 const FactStore& idb, ItemResult* out) {
+  SlicedProvider sliced(item.sliced_base, item.slice, item.num_slices);
+  auto provider_for = [&](size_t i) -> const FactProvider& {
+    if (item.sliced_base != nullptr && i == item.sliced_literal) {
+      if (item.num_slices > 1) {
+        return static_cast<const FactProvider&>(sliced);
+      }
+      return *item.sliced_base;
+    }
+    return full;
+  };
+  const Rule& rule = *item.rule;
+  Substitution subst;
+  Result<size_t> fired =
+      EvaluateBody(rule, *item.order, provider_for, &subst,
+                   [&](const Substitution& s) {
+                     Atom head = s.Apply(rule.head());
+                     Tuple tuple = TupleFromAtom(head);
+                     if (idb.Contains(head.predicate(), tuple)) return;
+                     out->derived.Add(head.predicate(), tuple);
+                   });
+  if (!fired.ok()) {
+    out->status = fired.status();
+    return;
+  }
+  out->firings = *fired;
+}
+
+// Below this many facts behind the sliced literal, slicing costs more in
+// duplicated enumeration scans than it buys in parallelism.
+constexpr size_t kMinFactsPerSliceTarget = 32;
+
+}  // namespace
 
 BottomUpEvaluator::BottomUpEvaluator(const Program& program,
                                      const SymbolTable& symbols,
@@ -30,18 +127,10 @@ Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
                          Stratify(program, symbols_));
 
   FactStore idb;
-  FactStoreProvider idb_provider(&idb);
-  LayeredProvider full({&idb_provider, &edb_});
-
   for (const std::vector<SymbolId>& stratum : stratification.strata) {
+    ++stats_.strata;
     std::unordered_set<SymbolId> in_stratum(stratum.begin(), stratum.end());
 
-    // Rules of this stratum, with the positions of their same-stratum
-    // positive body literals (the "recursive" literals for semi-naive).
-    struct StratumRule {
-      const Rule* rule;
-      std::vector<size_t> recursive_positions;
-    };
     std::vector<StratumRule> rules;
     for (const Rule& rule : program.rules()) {
       if (in_stratum.count(rule.head().predicate()) == 0) continue;
@@ -56,92 +145,94 @@ Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
       rules.push_back(std::move(sr));
     }
 
-    FactStore delta;
-    FactStoreProvider delta_provider(&delta);
-
-    // Derives the head instance for one body solution; returns true if new.
-    auto derive = [&](const Rule& rule, const Substitution& subst,
-                      FactStore* new_delta) {
-      Atom head = subst.Apply(rule.head());
-      Tuple tuple = TupleFromAtom(head);
-      if (idb.Contains(head.predicate(), tuple)) return;
-      idb.Add(head.predicate(), tuple);
-      ++stats_.derived_facts;
-      if (new_delta != nullptr) new_delta->Add(head.predicate(), tuple);
-    };
-
-    // Round 0: plain pass over all rules of the stratum.
-    {
-      ++stats_.rounds;
-      for (const StratumRule& sr : rules) {
-        auto card = [&](size_t i) {
-          return full.EstimateCount(sr.rule->body()[i].atom().predicate());
-        };
-        DEDDB_ASSIGN_OR_RETURN(
-            std::vector<size_t> order,
-            PlanBodyOrder(*sr.rule, {}, std::nullopt, card));
-        Substitution subst;
-        auto provider_for = [&](size_t) -> const FactProvider& {
-          return full;
-        };
-        DEDDB_ASSIGN_OR_RETURN(
-            size_t fired,
-            EvaluateBody(*sr.rule, order, provider_for, &subst,
-                         [&](const Substitution& s) {
-                           derive(*sr.rule, s, &delta);
-                         }));
-        stats_.rule_firings += fired;
-      }
+    if (options_.num_threads >= 1) {
+      DEDDB_RETURN_IF_ERROR(EvaluateStratumParallel(rules, &idb));
+    } else {
+      DEDDB_RETURN_IF_ERROR(EvaluateStratumSerial(rules, &idb));
     }
+  }
+  return idb;
+}
 
-    // Fixpoint rounds.
-    size_t round = 0;
-    while (!delta.empty()) {
-      if (++round > options_.max_rounds) {
-        return ResourceExhaustedError(
-            StrCat("fixpoint did not converge within ", options_.max_rounds,
-                   " rounds"));
-      }
-      ++stats_.rounds;
-      FactStore new_delta;
-      if (options_.semi_naive) {
-        for (const StratumRule& sr : rules) {
-          for (size_t delta_pos : sr.recursive_positions) {
-            auto card = [&](size_t i) {
-              const FactProvider& p =
-                  i == delta_pos ? static_cast<const FactProvider&>(
-                                       delta_provider)
-                                 : static_cast<const FactProvider&>(full);
-              return p.EstimateCount(sr.rule->body()[i].atom().predicate());
-            };
-            DEDDB_ASSIGN_OR_RETURN(
-                std::vector<size_t> order,
-                PlanBodyOrder(*sr.rule, {}, delta_pos, card));
-            Substitution subst;
-            auto provider_for = [&](size_t i) -> const FactProvider& {
-              if (i == delta_pos) {
-                return static_cast<const FactProvider&>(delta_provider);
-              }
-              return static_cast<const FactProvider&>(full);
-            };
-            DEDDB_ASSIGN_OR_RETURN(
-                size_t fired,
-                EvaluateBody(*sr.rule, order, provider_for, &subst,
-                             [&](const Substitution& s) {
-                               derive(*sr.rule, s, &new_delta);
-                             }));
-            stats_.rule_firings += fired;
-          }
-        }
-      } else {
-        // Naive: re-run every rule against the full store.
-        for (const StratumRule& sr : rules) {
-          if (sr.recursive_positions.empty()) continue;  // already complete
-          DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
-                                 PlanBodyOrder(*sr.rule, {}));
+Status BottomUpEvaluator::EvaluateStratumSerial(
+    const std::vector<StratumRule>& rules, FactStore* idb) {
+  FactStoreProvider idb_provider(idb);
+  LayeredProvider full({&idb_provider, &edb_});
+
+  bool recursive = false;
+  for (const StratumRule& sr : rules) {
+    if (!sr.recursive_positions.empty()) recursive = true;
+  }
+
+  FactStore delta;
+  FactStoreProvider delta_provider(&delta);
+
+  // Derives the head instance for one body solution; returns true if new.
+  auto derive = [&](const Rule& rule, const Substitution& subst,
+                    FactStore* new_delta) {
+    Atom head = subst.Apply(rule.head());
+    Tuple tuple = TupleFromAtom(head);
+    if (idb->Contains(head.predicate(), tuple)) return;
+    idb->Add(head.predicate(), tuple);
+    ++stats_.derived_facts;
+    if (new_delta != nullptr) new_delta->Add(head.predicate(), tuple);
+  };
+
+  // Round 0: plain pass over all rules of the stratum. Non-recursive strata
+  // are complete after it, so they skip the delta bookkeeping entirely.
+  {
+    ++stats_.rounds;
+    for (const StratumRule& sr : rules) {
+      auto card = [&](size_t i) {
+        return full.EstimateCount(sr.rule->body()[i].atom().predicate());
+      };
+      DEDDB_ASSIGN_OR_RETURN(
+          std::vector<size_t> order,
+          PlanBodyOrder(*sr.rule, {}, std::nullopt, card));
+      Substitution subst;
+      auto provider_for = [&](size_t) -> const FactProvider& {
+        return full;
+      };
+      DEDDB_ASSIGN_OR_RETURN(
+          size_t fired,
+          EvaluateBody(*sr.rule, order, provider_for, &subst,
+                       [&](const Substitution& s) {
+                         derive(*sr.rule, s, recursive ? &delta : nullptr);
+                       }));
+      stats_.rule_firings += fired;
+    }
+  }
+  if (!recursive) return Status::Ok();
+
+  // Fixpoint rounds.
+  size_t round = 0;
+  while (!delta.empty()) {
+    if (++round > options_.max_rounds) {
+      return ResourceExhaustedError(
+          StrCat("fixpoint did not converge within ", options_.max_rounds,
+                 " rounds"));
+    }
+    ++stats_.rounds;
+    FactStore new_delta;
+    if (options_.semi_naive) {
+      for (const StratumRule& sr : rules) {
+        for (size_t delta_pos : sr.recursive_positions) {
+          auto card = [&](size_t i) {
+            const FactProvider& p =
+                i == delta_pos ? static_cast<const FactProvider&>(
+                                     delta_provider)
+                               : static_cast<const FactProvider&>(full);
+            return p.EstimateCount(sr.rule->body()[i].atom().predicate());
+          };
+          DEDDB_ASSIGN_OR_RETURN(
+              std::vector<size_t> order,
+              PlanBodyOrder(*sr.rule, {}, delta_pos, card));
           Substitution subst;
-          auto provider_for = [&](size_t) -> const FactProvider& {
-            return full;
+          auto provider_for = [&](size_t i) -> const FactProvider& {
+            if (i == delta_pos) {
+              return static_cast<const FactProvider&>(delta_provider);
+            }
+            return static_cast<const FactProvider&>(full);
           };
           DEDDB_ASSIGN_OR_RETURN(
               size_t fired,
@@ -152,10 +243,193 @@ Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
           stats_.rule_firings += fired;
         }
       }
-      delta = std::move(new_delta);
+    } else {
+      // Naive: re-run every rule against the full store.
+      for (const StratumRule& sr : rules) {
+        if (sr.recursive_positions.empty()) continue;  // already complete
+        DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                               PlanBodyOrder(*sr.rule, {}));
+        Substitution subst;
+        auto provider_for = [&](size_t) -> const FactProvider& {
+          return full;
+        };
+        DEDDB_ASSIGN_OR_RETURN(
+            size_t fired,
+            EvaluateBody(*sr.rule, order, provider_for, &subst,
+                         [&](const Substitution& s) {
+                           derive(*sr.rule, s, &new_delta);
+                         }));
+        stats_.rule_firings += fired;
+      }
     }
+    delta = std::move(new_delta);
   }
-  return idb;
+  return Status::Ok();
+}
+
+// Parallel mode: every round evaluates its work items against an immutable
+// snapshot (the idb as merged at the previous round barrier), so workers
+// share nothing but read-only state. Per-item derivations are merged into
+// idb/delta in work-item order at the barrier; since each item's result is
+// independent of which worker ran it, the merged store, the delta sets, and
+// every EvaluationStats field are identical for any thread count >= 1.
+Status BottomUpEvaluator::EvaluateStratumParallel(
+    const std::vector<StratumRule>& rules, FactStore* idb) {
+  const size_t num_threads = options_.num_threads;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads);
+
+  FactStoreProvider idb_provider(idb);
+  LayeredProvider full({&idb_provider, &edb_});
+
+  bool recursive = false;
+  for (const StratumRule& sr : rules) {
+    if (!sr.recursive_positions.empty()) recursive = true;
+  }
+
+  // How many slices to cut the literal backed by `estimated` facts into.
+  auto slices_for = [&](size_t estimated) -> size_t {
+    if (estimated != FactProvider::kUnknownCount &&
+        estimated < kMinFactsPerSliceTarget) {
+      return 1;
+    }
+    return num_threads;
+  };
+
+  auto run = [&](const std::vector<WorkItem>& items,
+                 std::vector<ItemResult>* results) {
+    results->clear();
+    results->resize(items.size());
+    pool_->ParallelFor(items.size(), [&](size_t i) {
+      RunWorkItem(items[i], full, *idb, &(*results)[i]);
+    });
+  };
+
+  // Fixed-order merge at the round barrier: errors, firings and derivations
+  // are folded in work-item order. `delta` receives the facts new to idb.
+  auto merge = [&](std::vector<ItemResult>& results,
+                   FactStore* delta) -> Status {
+    for (const ItemResult& r : results) {
+      DEDDB_RETURN_IF_ERROR(r.status);
+    }
+    for (ItemResult& r : results) {
+      stats_.rule_firings += r.firings;
+      r.derived.ForEach([&](SymbolId pred, const Tuple& t) {
+        if (idb->Add(pred, t)) {
+          ++stats_.derived_facts;
+          if (delta != nullptr) delta->Add(pred, t);
+        }
+      });
+    }
+    return Status::Ok();
+  };
+
+  // Delta stores are only scanned (the delta literal always leads), never
+  // joined into, so they can skip index maintenance.
+  FactStore delta(/*indexed=*/false);
+  FactStoreProvider delta_provider(&delta);
+  std::vector<ItemResult> results;
+
+  // Round 0: all rules against the pre-stratum snapshot, sliced on the
+  // planner's leading literal when it is positive.
+  {
+    ++stats_.rounds;
+    std::deque<std::vector<size_t>> orders;  // stable storage for plans
+    std::vector<WorkItem> items;
+    for (const StratumRule& sr : rules) {
+      const Rule& rule = *sr.rule;
+      auto card = [&](size_t i) {
+        return full.EstimateCount(rule.body()[i].atom().predicate());
+      };
+      DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                             PlanBodyOrder(rule, {}, std::nullopt, card));
+      orders.push_back(std::move(order));
+      WorkItem item{&rule, &orders.back()};
+      size_t slices = 1;
+      if (!orders.back().empty()) {
+        size_t lead = orders.back().front();
+        if (rule.body()[lead].positive()) {
+          item.sliced_base = &full;
+          item.sliced_literal = lead;
+          slices = slices_for(card(lead));
+        }
+      }
+      item.num_slices = slices;
+      for (size_t s = 0; s < slices; ++s) {
+        item.slice = s;
+        items.push_back(item);
+      }
+    }
+    run(items, &results);
+    DEDDB_RETURN_IF_ERROR(merge(results, recursive ? &delta : nullptr));
+  }
+  if (!recursive) return Status::Ok();
+
+  // Fixpoint rounds.
+  size_t round = 0;
+  while (!delta.empty()) {
+    if (++round > options_.max_rounds) {
+      return ResourceExhaustedError(
+          StrCat("fixpoint did not converge within ", options_.max_rounds,
+                 " rounds"));
+    }
+    ++stats_.rounds;
+    std::deque<std::vector<size_t>> orders;
+    std::vector<WorkItem> items;
+    if (options_.semi_naive) {
+      for (const StratumRule& sr : rules) {
+        const Rule& rule = *sr.rule;
+        for (size_t delta_pos : sr.recursive_positions) {
+          auto card = [&](size_t i) {
+            const FactProvider& p =
+                i == delta_pos
+                    ? static_cast<const FactProvider&>(delta_provider)
+                    : static_cast<const FactProvider&>(full);
+            return p.EstimateCount(rule.body()[i].atom().predicate());
+          };
+          DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                                 PlanBodyOrder(rule, {}, delta_pos, card));
+          orders.push_back(std::move(order));
+          WorkItem item{&rule, &orders.back(), &delta_provider, delta_pos};
+          item.num_slices = slices_for(card(delta_pos));
+          for (size_t s = 0; s < item.num_slices; ++s) {
+            item.slice = s;
+            items.push_back(item);
+          }
+        }
+      }
+    } else {
+      // Naive: re-run every recursive rule against the full store, sliced
+      // on the leading literal like round 0.
+      for (const StratumRule& sr : rules) {
+        if (sr.recursive_positions.empty()) continue;  // already complete
+        const Rule& rule = *sr.rule;
+        DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
+                               PlanBodyOrder(rule, {}));
+        orders.push_back(std::move(order));
+        WorkItem item{&rule, &orders.back()};
+        size_t slices = 1;
+        if (!orders.back().empty()) {
+          size_t lead = orders.back().front();
+          if (rule.body()[lead].positive()) {
+            item.sliced_base = &full;
+            item.sliced_literal = lead;
+            slices = slices_for(
+                full.EstimateCount(rule.body()[lead].atom().predicate()));
+          }
+        }
+        item.num_slices = slices;
+        for (size_t s = 0; s < slices; ++s) {
+          item.slice = s;
+          items.push_back(item);
+        }
+      }
+    }
+    run(items, &results);
+    FactStore new_delta(/*indexed=*/false);
+    DEDDB_RETURN_IF_ERROR(merge(results, &new_delta));
+    delta = std::move(new_delta);
+  }
+  return Status::Ok();
 }
 
 }  // namespace deddb

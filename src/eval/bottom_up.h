@@ -1,11 +1,13 @@
 #ifndef DEDDB_EVAL_BOTTOM_UP_H_
 #define DEDDB_EVAL_BOTTOM_UP_H_
 
+#include <memory>
 #include <vector>
 
 #include "datalog/program.h"
 #include "eval/fact_provider.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace deddb {
 
@@ -15,10 +17,22 @@ struct EvaluationOptions {
   bool semi_naive = true;
   /// Safety valve on fixpoint rounds per stratum.
   size_t max_rounds = 1000000;
+  /// Worker threads for the per-round parallel phase. 0 (the default) keeps
+  /// the original serial loop. n >= 1 switches to snapshot rounds: each
+  /// round's (rule × slice) work items are evaluated against an immutable
+  /// view of the store, derivations accumulate in per-item stores, and the
+  /// round barrier merges them in a fixed order — so the derived fact set
+  /// and the stats are identical for every n >= 1 and every run. Any n
+  /// produces the same facts as the serial loop (rounds/rule_firings may
+  /// differ between n=0 and n>=1 because snapshot rounds do not see facts
+  /// derived earlier in the same round). Requires the EDB FactProvider's
+  /// const methods to be thread-safe; all FactStore-backed providers are.
+  size_t num_threads = 0;
 };
 
 struct EvaluationStats {
   size_t rounds = 0;         // fixpoint passes summed over strata
+  size_t strata = 0;         // strata processed (incl. rule-less ones)
   size_t rule_firings = 0;   // complete body solutions found
   size_t derived_facts = 0;  // distinct facts added to the IDB
 };
@@ -43,13 +57,27 @@ class BottomUpEvaluator {
   const EvaluationStats& stats() const { return stats_; }
 
  private:
+  // Rules of one stratum, with the positions of their same-stratum positive
+  // body literals (the "recursive" literals for semi-naive evaluation).
+  struct StratumRule {
+    const Rule* rule;
+    std::vector<size_t> recursive_positions;
+  };
+
   Result<FactStore> EvaluateProgram(const Program& program);
+  Status EvaluateStratumSerial(const std::vector<StratumRule>& rules,
+                               FactStore* idb);
+  Status EvaluateStratumParallel(const std::vector<StratumRule>& rules,
+                                 FactStore* idb);
 
   const Program& program_;
   const SymbolTable& symbols_;
   const FactProvider& edb_;
   EvaluationOptions options_;
   EvaluationStats stats_;
+  // Created on first parallel stratum, reused across rounds and across
+  // repeated Evaluate()/EvaluateFor() calls on this instance.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace deddb

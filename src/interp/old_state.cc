@@ -32,7 +32,10 @@ OldStateView::OldStateView(const Database* db, EvaluationOptions options)
                                           *edb_provider_, options);
 }
 
-void OldStateView::Invalidate() { engine_->InvalidateCache(); }
+void OldStateView::Invalidate() {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  engine_->InvalidateCache();
+}
 
 void OldStateView::ForEachMatch(
     SymbolId predicate, const TuplePattern& pattern,
@@ -48,8 +51,10 @@ void OldStateView::ForEachMatch(
     if (rel != nullptr) rel->ForEachMatch(pattern, fn);
     return;
   }
-  Result<std::vector<Tuple>> result =
-      engine_->SolvePattern(PatternToAtom(predicate, pattern));
+  Result<std::vector<Tuple>> result = [&] {
+    std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+    return engine_->SolvePattern(PatternToAtom(predicate, pattern));
+  }();
   if (!result.ok()) return;  // treat evaluation failure as no matches
   for (const Tuple& t : *result) fn(t);
 }
@@ -63,10 +68,12 @@ bool OldStateView::ForEachMatchUntil(
       !db_->IsMaterialized(predicate)) {
     // Stream solutions lazily through the engine; recursion falls back to
     // the strict path.
+    std::unique_lock<std::recursive_mutex> lock(engine_mu_);
     Result<bool> stopped = engine_->SolveLazyPattern(
         PatternToAtom(predicate, pattern), [&](const Tuple& t) {
           return fn(t);  // false = stop
         });
+    lock.unlock();
     if (stopped.ok()) return *stopped;
     // Fall through to the default (materializing) behaviour on error.
   }
@@ -82,6 +89,7 @@ bool OldStateView::Contains(SymbolId predicate, const Tuple& tuple) const {
   if (db_->IsMaterialized(predicate)) {
     return db_->materialized_store().Contains(predicate, tuple);
   }
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   Result<bool> holds = engine_->Holds(AtomFromTuple(predicate, tuple));
   return holds.ok() && *holds;
 }
@@ -109,6 +117,7 @@ Result<bool> OldStateView::Holds(const Atom& ground_atom) const {
   if (db_->IsMaterialized(ground_atom.predicate())) {
     return db_->materialized_store().Contains(ground_atom);
   }
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   return engine_->Holds(ground_atom);
 }
 
@@ -132,6 +141,7 @@ Result<std::vector<Tuple>> OldStateView::Query(const Atom& pattern) const {
     }
     return out;
   }
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
   return engine_->SolvePattern(pattern);
 }
 

@@ -2,6 +2,7 @@
 #define DEDDB_INTERP_OLD_STATE_H_
 
 #include <memory>
+#include <mutex>
 
 #include "eval/fact_provider.h"
 #include "eval/query_engine.h"
@@ -50,7 +51,13 @@ class OldStateView : public FactProvider {
  private:
   const Database* db_;
   std::unique_ptr<FactStoreProvider> edb_provider_;
-  // QueryEngine caches materializations; logically const access.
+  // QueryEngine caches materializations; logically const access. The mutex
+  // serializes engine access so the view stays a valid FactProvider under
+  // the parallel evaluator's concurrent const reads (base-predicate and
+  // materialized-view lookups bypass it and stay lock-free). Recursive
+  // because a body join enumerating one old-state literal probes the next
+  // literal through the same view on the same thread.
+  mutable std::recursive_mutex engine_mu_;
   mutable std::unique_ptr<QueryEngine> engine_;
 };
 

@@ -1,0 +1,57 @@
+#include "util/thread_pool.h"
+
+namespace deddb {
+
+ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (size_t w = 0; w < num_threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  n_ = n;
+  fn_ = &fn;
+  workers_done_ = 0;
+  ++generation_;
+  work_ready_.notify_all();
+  work_done_.wait(lock, [this] { return workers_done_ == num_threads_; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    size_t n = n_;
+    const std::function<void(size_t)>* fn = fn_;
+    lock.unlock();
+    // Static stride partition: worker w owns items w, w+W, w+2W, ...
+    for (size_t i = worker; i < n; i += num_threads_) (*fn)(i);
+    lock.lock();
+    if (++workers_done_ == num_threads_) work_done_.notify_one();
+  }
+}
+
+}  // namespace deddb

@@ -1,0 +1,59 @@
+#ifndef DEDDB_UTIL_THREAD_POOL_H_
+#define DEDDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deddb {
+
+/// A fixed set of worker threads executing indexed loops. Deliberately
+/// work-stealing-free: ParallelFor runs item i on worker i % size(), so a
+/// given loop always executes under the same partition — no scheduler state
+/// can reshuffle which worker computes what, which is one half of the
+/// parallel evaluator's determinism guarantee (the other half is its
+/// fixed-order merge).
+///
+/// With num_threads <= 1 no threads are spawned and loops run inline on the
+/// calling thread. The pool is reusable across many ParallelFor calls (the
+/// bottom-up evaluator issues one per fixpoint round), but it is not
+/// reentrant: drive it from one thread at a time, and do not call
+/// ParallelFor from inside a worker.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads; 0 means loops run inline on the caller.
+  size_t size() const { return num_threads_; }
+
+  /// Runs fn(0) .. fn(n-1) and blocks until every call has returned. `fn`
+  /// must not throw; calls for different indices may run concurrently.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t worker);
+
+  size_t num_threads_ = 0;  // set before any worker starts
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  uint64_t generation_ = 0;  // bumped once per ParallelFor
+  size_t n_ = 0;
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t workers_done_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_UTIL_THREAD_POOL_H_

@@ -1,0 +1,288 @@
+// Differential tests of the parallel bottom-up evaluator against the serial
+// oracle. For ~200 seeded random programs (hierarchical and recursive, with
+// negation) the parallel evaluator at 1, 2 and 8 threads must produce exactly
+// the same fact set and stratum count as the serial loop, and — because the
+// round merge happens in a fixed work-item order — identical stats for every
+// thread count >= 1. A subset of programs additionally compares query answers
+// through a QueryEngine running on top of each evaluator mode. Handwritten
+// programs cover negation, rule-less (empty) strata and empty results.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "eval/bottom_up.h"
+#include "eval/query_engine.h"
+#include "parser/parser.h"
+#include "workload/random_programs.h"
+
+namespace deddb {
+namespace {
+
+using workload::MakeRandomDatabase;
+using workload::RandomProgramConfig;
+
+struct EvalRun {
+  std::string facts;  // canonical rendering of the full IDB
+  EvaluationStats stats;
+};
+
+// Evaluates the whole program with the given thread count (0 = serial oracle)
+// on a fresh evaluator and returns the canonical fact rendering plus stats.
+Result<EvalRun> RunEval(const DeductiveDatabase& db, size_t num_threads) {
+  FactStoreProvider edb(&db.database().facts());
+  EvaluationOptions options;
+  options.num_threads = num_threads;
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  DEDDB_ASSIGN_OR_RETURN(FactStore idb, evaluator.Evaluate());
+  return EvalRun{idb.ToString(db.symbols()), evaluator.stats()};
+}
+
+// Asserts that every parallel thread count agrees with the serial oracle on
+// the fact set and stratum count, and that all parallel runs have identical
+// stats (the determinism guarantee).
+void ExpectParallelMatchesSerial(const DeductiveDatabase& db,
+                                 const std::string& label) {
+  auto serial = RunEval(db, 0);
+  ASSERT_TRUE(serial.ok()) << label << ": " << serial.status();
+  std::vector<EvalRun> parallel;
+  for (size_t threads : {1u, 2u, 8u}) {
+    auto run = RunEval(db, threads);
+    ASSERT_TRUE(run.ok()) << label << " threads=" << threads << ": "
+                          << run.status();
+    EXPECT_EQ(run->facts, serial->facts)
+        << label << ": fact set diverged at threads=" << threads;
+    EXPECT_EQ(run->stats.strata, serial->stats.strata)
+        << label << ": stratum count diverged at threads=" << threads;
+    EXPECT_EQ(run->stats.derived_facts, serial->stats.derived_facts)
+        << label << ": derived_facts diverged at threads=" << threads;
+    parallel.push_back(std::move(*run));
+  }
+  // Snapshot rounds are partition-invariant: every thread count >= 1 must
+  // report byte-identical stats, not just the same fact set.
+  for (size_t i = 1; i < parallel.size(); ++i) {
+    EXPECT_EQ(parallel[i].stats.rounds, parallel[0].stats.rounds) << label;
+    EXPECT_EQ(parallel[i].stats.rule_firings, parallel[0].stats.rule_firings)
+        << label;
+    EXPECT_EQ(parallel[i].stats.derived_facts, parallel[0].stats.derived_facts)
+        << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Random-program sweep: 100 seeds × {hierarchical, recursive} = 200 programs.
+
+class ParallelDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST_P(ParallelDifferentialTest, HierarchicalProgramsAgree) {
+  // 5 seeds per gtest parameter keeps the discovered-test count reasonable
+  // while still sweeping 100 distinct programs per suite.
+  for (uint64_t sub = 0; sub < 5; ++sub) {
+    uint64_t seed = GetParam() * 5 + sub;
+    RandomProgramConfig config;
+    config.seed = seed;
+    config.allow_recursion = false;
+    config.facts_per_base = 25;
+    auto db = MakeRandomDatabase(config);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ExpectParallelMatchesSerial(**db, "hierarchical seed " +
+                                          std::to_string(seed));
+  }
+}
+
+TEST_P(ParallelDifferentialTest, RecursiveProgramsAgree) {
+  for (uint64_t sub = 0; sub < 5; ++sub) {
+    uint64_t seed = GetParam() * 5 + sub;
+    RandomProgramConfig config;
+    config.seed = seed;
+    config.allow_recursion = true;
+    config.derived_predicates = 8;
+    config.facts_per_base = 25;
+    auto db = MakeRandomDatabase(config);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ExpectParallelMatchesSerial(**db,
+                                "recursive seed " + std::to_string(seed));
+  }
+}
+
+// Query answers through the engine must be independent of the evaluator
+// mode: a materializing query over each derived predicate returns the same
+// tuple set whether the engine's evaluator runs serially or with 8 threads.
+TEST_P(ParallelDifferentialTest, QueryAnswersAgree) {
+  RandomProgramConfig config;
+  config.seed = GetParam();
+  config.allow_recursion = true;
+  config.facts_per_base = 25;
+  auto db = MakeRandomDatabase(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  FactStoreProvider edb(&(*db)->database().facts());
+  EvaluationOptions parallel_options;
+  parallel_options.num_threads = 8;
+  QueryEngine serial_engine((*db)->database().program(), (*db)->symbols(),
+                            edb);
+  QueryEngine parallel_engine((*db)->database().program(), (*db)->symbols(),
+                              edb, parallel_options);
+  for (size_t i = 0; i < config.derived_predicates; ++i) {
+    std::string name = "D" + std::to_string(i);
+    auto pred = (*db)->database().FindPredicate(name);
+    ASSERT_TRUE(pred.ok()) << pred.status();
+    auto info = (*db)->database().predicates().Get(*pred);
+    ASSERT_TRUE(info.ok());
+    std::vector<Term> args;
+    for (size_t a = 0; a < info->arity; ++a) {
+      args.push_back((*db)->Variable("q" + std::to_string(a)));
+    }
+    Atom pattern = (*db)->MakeAtom(name, std::move(args)).value();
+    auto serial = serial_engine.SolveMaterialized(pattern);
+    auto parallel = parallel_engine.SolveMaterialized(pattern);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    std::sort(serial->begin(), serial->end());
+    std::sort(parallel->begin(), parallel->end());
+    EXPECT_EQ(*serial, *parallel) << name << " seed " << GetParam();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Handwritten edge programs.
+
+std::unique_ptr<DeductiveDatabase> Load(const char* source) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  auto loaded = LoadProgram(db.get(), source);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return db;
+}
+
+TEST(ParallelHandwrittenTest, NegationOverRulelessPredicate) {
+  // Orphan has no rules: its stratum is empty, and Lonely's negative literal
+  // must still see the (empty) whole relation — never a slice of it.
+  auto db = Load(R"(
+    base B/1.
+    derived Orphan/1.
+    derived Lonely/1.
+    Lonely(x) <- B(x) & not Orphan(x).
+    B(A). B(C). B(E).
+  )");
+  ExpectParallelMatchesSerial(*db, "ruleless-negation");
+  auto run = RunEval(*db, 2);
+  ASSERT_TRUE(run.ok());
+  // A rule-less predicate yields no stratum: only Lonely's is evaluated.
+  EXPECT_EQ(run->stats.strata, 1u);
+  SymbolId lonely = db->database().FindPredicate("Lonely").value();
+  FactStoreProvider edb(&db->database().facts());
+  EvaluationOptions options;
+  options.num_threads = 2;
+  BottomUpEvaluator evaluator(db->database().program(), db->symbols(), edb,
+                              options);
+  auto idb = evaluator.Evaluate();
+  ASSERT_TRUE(idb.ok());
+  EXPECT_EQ(idb->Find(lonely)->size(), 3u);
+}
+
+TEST(ParallelHandwrittenTest, StratifiedNegationWithRecursion) {
+  auto db = Load(R"(
+    base Node/1.
+    base Edge/2.
+    derived Reaches/2.
+    derived Isolated/1.
+    Reaches(x, y) <- Edge(x, y).
+    Reaches(x, y) <- Reaches(x, z) & Edge(z, y).
+    Isolated(x) <- Node(x) & not Reaches(x, x).
+    Node(A). Node(B). Node(C). Node(D).
+    Edge(A, B). Edge(B, A). Edge(B, C). Edge(C, D).
+  )");
+  ExpectParallelMatchesSerial(*db, "negation-over-recursion");
+}
+
+TEST(ParallelHandwrittenTest, EmptyResultProgram) {
+  // No base facts at all: every stratum fixpoints immediately on an empty
+  // delta and the IDB stays empty in both modes.
+  auto db = Load(R"(
+    base B/1.
+    derived D/1.
+    derived E/1.
+    D(x) <- B(x).
+    E(x) <- D(x) & not B(x).
+  )");
+  ExpectParallelMatchesSerial(*db, "empty-result");
+  auto run = RunEval(*db, 8);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->stats.derived_facts, 0u);
+}
+
+TEST(ParallelHandwrittenTest, ZeroArityPredicates) {
+  auto db = Load(R"(
+    base Switch/0.
+    base Anything/0.
+    derived Lamp/0.
+    derived Dark/0.
+    Lamp <- Switch.
+    Dark <- not Lamp, Anything.
+    Anything. Switch.
+  )");
+  ExpectParallelMatchesSerial(*db, "zero-arity");
+}
+
+TEST(ParallelHandwrittenTest, MutualRecursionStratum) {
+  // Even/Odd over a successor chain: one stratum with two mutually
+  // recursive rules, so every semi-naive round carries two delta slices.
+  auto db = Load(R"(
+    base Zero/1.
+    base Succ/2.
+    derived Even/1.
+    derived Odd/1.
+    Even(x) <- Zero(x).
+    Odd(y) <- Even(x) & Succ(x, y).
+    Even(y) <- Odd(x) & Succ(x, y).
+    Zero(N0).
+    Succ(N0, N1). Succ(N1, N2). Succ(N2, N3). Succ(N3, N4). Succ(N4, N5).
+  )");
+  ExpectParallelMatchesSerial(*db, "mutual-recursion");
+  FactStoreProvider edb(&db->database().facts());
+  EvaluationOptions options;
+  options.num_threads = 4;
+  BottomUpEvaluator evaluator(db->database().program(), db->symbols(), edb,
+                              options);
+  auto idb = evaluator.Evaluate();
+  ASSERT_TRUE(idb.ok());
+  SymbolId even = db->database().FindPredicate("Even").value();
+  SymbolId odd = db->database().FindPredicate("Odd").value();
+  EXPECT_EQ(idb->Find(even)->size(), 3u);  // N0 N2 N4
+  EXPECT_EQ(idb->Find(odd)->size(), 3u);   // N1 N3 N5
+}
+
+// The naive-evaluation ablation must also be deterministic in parallel mode.
+TEST(ParallelHandwrittenTest, NaiveModeAgreesToo) {
+  auto db = Load(R"(
+    base Edge/2.
+    derived Path/2.
+    Path(x, y) <- Edge(x, y).
+    Path(x, y) <- Path(x, z) & Edge(z, y).
+    Edge(A, B). Edge(B, C). Edge(C, D). Edge(D, E).
+  )");
+  FactStoreProvider edb(&db->database().facts());
+  std::vector<std::string> renderings;
+  for (size_t threads : {0u, 1u, 2u, 8u}) {
+    EvaluationOptions options;
+    options.semi_naive = false;
+    options.num_threads = threads;
+    BottomUpEvaluator evaluator(db->database().program(), db->symbols(), edb,
+                                options);
+    auto idb = evaluator.Evaluate();
+    ASSERT_TRUE(idb.ok()) << "threads=" << threads << ": " << idb.status();
+    renderings.push_back(idb->ToString(db->symbols()));
+  }
+  for (size_t i = 1; i < renderings.size(); ++i) {
+    EXPECT_EQ(renderings[i], renderings[0]);
+  }
+}
+
+}  // namespace
+}  // namespace deddb

@@ -237,6 +237,191 @@ TEST(FailureInjectionTest, EvaluationRoundLimit) {
   EXPECT_EQ(idb.status().code(), StatusCode::kResourceExhausted);
 }
 
+// ---------------------------------------------------------------------------
+// Concurrency edges of the parallel evaluator. Differential coverage lives in
+// parallel_differential_test.cc; these pin down the awkward configurations.
+
+constexpr const char* kChainProgram = R"(
+  base Edge/2.
+  derived Path/2.
+  Path(x, y) <- Edge(x, y).
+  Path(x, y) <- Path(x, z) & Edge(z, y).
+  Edge(A, B). Edge(B, C). Edge(C, D). Edge(D, E).
+)";
+
+TEST(ParallelEdgeTest, RepeatedEvaluateOnOneInstance) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, kChainProgram).ok());
+  FactStoreProvider edb(&db.database().facts());
+  EvaluationOptions options;
+  options.num_threads = 4;
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  // The pool is created on the first call and reused by the later ones;
+  // every call must return the same facts, and because each run is
+  // deterministic the accumulated stats are an exact multiple.
+  std::string first;
+  EvaluationStats after_one;
+  for (int call = 0; call < 3; ++call) {
+    auto idb = evaluator.Evaluate();
+    ASSERT_TRUE(idb.ok()) << "call " << call << ": " << idb.status();
+    std::string rendering = idb->ToString(db.symbols());
+    if (call == 0) {
+      first = rendering;
+      after_one = evaluator.stats();
+    } else {
+      EXPECT_EQ(rendering, first) << "call " << call;
+    }
+  }
+  EXPECT_EQ(evaluator.stats().rounds, 3 * after_one.rounds);
+  EXPECT_EQ(evaluator.stats().strata, 3 * after_one.strata);
+  EXPECT_EQ(evaluator.stats().rule_firings, 3 * after_one.rule_firings);
+  EXPECT_EQ(evaluator.stats().derived_facts, 3 * after_one.derived_facts);
+}
+
+TEST(ParallelEdgeTest, MoreThreadsThanRules) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, kChainProgram).ok());
+  FactStoreProvider edb(&db.database().facts());
+  EvaluationOptions serial;
+  BottomUpEvaluator oracle(db.database().program(), db.symbols(), edb,
+                           serial);
+  auto expected = oracle.Evaluate();
+  ASSERT_TRUE(expected.ok());
+  EvaluationOptions options;
+  options.num_threads = 16;  // far more workers than the 2 rules
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  auto idb = evaluator.Evaluate();
+  ASSERT_TRUE(idb.ok()) << idb.status();
+  EXPECT_EQ(idb->ToString(db.symbols()), expected->ToString(db.symbols()));
+}
+
+TEST(ParallelEdgeTest, SingleRuleStrata) {
+  // Start's stratum holds exactly one (non-recursive) rule; Loop's stratum
+  // holds exactly one recursive rule that can never seed itself, so its
+  // fixpoint must terminate on an empty delta without deriving anything.
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base Zero/1.
+    base Succ/2.
+    derived Start/1.
+    derived Loop/1.
+    Start(x) <- Zero(x).
+    Loop(y) <- Loop(x) & Succ(x, y).
+    Zero(N0). Succ(N0, N1). Succ(N1, N2).
+  )")
+                  .ok());
+  FactStoreProvider edb(&db.database().facts());
+  for (size_t threads : {0u, 1u, 4u}) {
+    EvaluationOptions options;
+    options.num_threads = threads;
+    BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                                options);
+    auto idb = evaluator.Evaluate();
+    ASSERT_TRUE(idb.ok()) << "threads=" << threads;
+    SymbolId start = db.database().FindPredicate("Start").value();
+    SymbolId loop = db.database().FindPredicate("Loop").value();
+    EXPECT_EQ(idb->Find(start)->size(), 1u) << "threads=" << threads;
+    const Relation* loop_rel = idb->Find(loop);
+    EXPECT_TRUE(loop_rel == nullptr || loop_rel->size() == 0)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEdgeTest, ZeroThreadsIsExactlyTheSerialEngine) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, kChainProgram).ok());
+  FactStoreProvider edb(&db.database().facts());
+  BottomUpEvaluator default_eval(db.database().program(), db.symbols(), edb);
+  EvaluationOptions zero;
+  zero.num_threads = 0;
+  BottomUpEvaluator zero_eval(db.database().program(), db.symbols(), edb,
+                              zero);
+  auto a = default_eval.Evaluate();
+  auto b = zero_eval.Evaluate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToString(db.symbols()), b->ToString(db.symbols()));
+  // num_threads=0 is not "parallel with one worker": it must take the
+  // original serial loop, whose stats match the default configuration
+  // field-for-field (in-round visibility and all).
+  EXPECT_EQ(zero_eval.stats().rounds, default_eval.stats().rounds);
+  EXPECT_EQ(zero_eval.stats().strata, default_eval.stats().strata);
+  EXPECT_EQ(zero_eval.stats().rule_firings, default_eval.stats().rule_firings);
+  EXPECT_EQ(zero_eval.stats().derived_facts,
+            default_eval.stats().derived_facts);
+}
+
+TEST(ParallelEdgeTest, RoundLimitSurfacesInParallelMode) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, kChainProgram).ok());
+  FactStoreProvider edb(&db.database().facts());
+  EvaluationOptions options;
+  options.max_rounds = 1;
+  options.num_threads = 4;
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  auto idb = evaluator.Evaluate();
+  EXPECT_EQ(idb.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ParallelEdgeTest, EvaluateForThenFullEvaluateReusesPool) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(LoadProgram(&db, R"(
+    base B/1.
+    derived Wanted/1.
+    derived Other/2.
+    Wanted(x) <- B(x).
+    Other(x, y) <- B(x) & B(y).
+    B(A). B(C). B(D).
+  )")
+                  .ok());
+  FactStoreProvider edb(&db.database().facts());
+  EvaluationOptions options;
+  options.num_threads = 2;
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  SymbolId wanted = db.database().FindPredicate("Wanted").value();
+  SymbolId other = db.database().FindPredicate("Other").value();
+  auto restricted = evaluator.EvaluateFor({wanted});
+  ASSERT_TRUE(restricted.ok());
+  EXPECT_EQ(restricted->Find(other), nullptr);
+  EXPECT_EQ(restricted->Find(wanted)->size(), 3u);
+  auto full = evaluator.Evaluate();
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->Find(other)->size(), 9u);
+  EXPECT_EQ(full->Find(wanted)->size(), 3u);
+}
+
+TEST(ParallelEdgeTest, FacadeParallelUpwardMatchesSerial) {
+  // set_num_threads must flow through the facade into upward interpretation
+  // (which routes derived old-state queries through the locked
+  // OldStateView) without changing any induced event.
+  constexpr const char* kSource = R"(
+    base Emp/2. base Mgr/1.
+    view Works/1.
+    condition Unmanaged/1.
+    Works(p) <- Emp(p, c).
+    Unmanaged(p) <- Works(p) & not Mgr(p).
+    Emp(Ann, Acme). Emp(Bea, Bcorp). Mgr(Ann).
+  )";
+  std::vector<std::string> renderings;
+  for (size_t threads : {0u, 8u}) {
+    DeductiveDatabase db;
+    ASSERT_TRUE(LoadProgram(&db, kSource).ok());
+    db.set_num_threads(threads);
+    auto txn = ParseTransaction(&db, "ins Emp(Cal, Acme), del Mgr(Ann)");
+    ASSERT_TRUE(txn.ok());
+    auto events = db.InducedEvents(*txn);
+    ASSERT_TRUE(events.ok()) << "threads=" << threads << ": "
+                             << events.status();
+    renderings.push_back(events->ToString(db.symbols()));
+  }
+  EXPECT_EQ(renderings[0], renderings[1]);
+  EXPECT_NE(renderings[0], "{}");
+}
+
 TEST(FailureInjectionTest, RequestOnUnknownPredicateFails) {
   DeductiveDatabase db;
   ASSERT_TRUE(LoadProgram(&db, "base Q/1. Q(A).").ok());
