@@ -145,6 +145,19 @@ class DeductiveDatabase {
     upward_options_.eval.num_threads = n;
     downward_options_.eval.num_threads = n;
   }
+
+  /// Installs a resource governor (deadline / budgets / cancellation) on
+  /// every evaluation this facade performs — upward and downward
+  /// interpretation, the problem specs, queries and the update processor.
+  /// nullptr (the default) removes it. The guard must outlive its use; the
+  /// caller re-arms it between requests with ResourceGuard::Restart().
+  void set_resource_guard(const ResourceGuard* guard) {
+    upward_options_.eval.guard = guard;
+    downward_options_.eval.guard = guard;
+  }
+  const ResourceGuard* resource_guard() const {
+    return upward_options_.eval.guard;
+  }
   const EventCompilerOptions& compiler_options() const {
     return compiler_options_;
   }

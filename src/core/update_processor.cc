@@ -24,6 +24,8 @@ std::string UpdateProcessor::TransactionReport::ToString(
 Result<UpdateProcessor::TransactionReport> UpdateProcessor::ProcessTransaction(
     const Transaction& transaction, bool apply) {
   Database& db = db_->database();
+  DEDDB_RETURN_IF_ERROR(
+      ResourceGuard::Check(db_->upward_options().eval.guard));
   DEDDB_ASSIGN_OR_RETURN(bool consistent, db_->IsConsistent());
   if (!consistent) {
     return FailedPreconditionError(
@@ -77,24 +79,80 @@ Result<UpdateProcessor::TransactionReport> UpdateProcessor::ProcessTransaction(
 
   report.accepted = !report.integrity.violated;
   if (report.accepted && apply) {
-    FactStore& store = db.materialized_store();
-    report.views.delta.deletes.ForEach([&](SymbolId pred, const Tuple& t) {
-      if (store.Remove(pred, t)) ++report.views.applied_deletes;
+    DEDDB_RETURN_IF_ERROR(ApplyAtomically(transaction, &report));
+  }
+  return report;
+}
+
+Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
+                                        TransactionReport* report) {
+  Database& db = db_->database();
+  FactStore& store = db.materialized_store();
+  // The fault pokes are explicit (not DEDDB_FAULT_POINT) because an injected
+  // failure here must run the rollback below, not return directly.
+  auto poke = [](FaultPoint point) -> Status {
+    FaultInjector& injector = FaultInjector::Instance();
+    return injector.armed() ? injector.Poke(point) : Status::Ok();
+  };
+
+  // Undo log of the view-store operations actually performed.
+  std::vector<std::pair<SymbolId, Tuple>> view_removed;  // re-add on rollback
+  std::vector<std::pair<SymbolId, Tuple>> view_added;    // remove on rollback
+  bool base_applied = false;
+
+  Status status = poke(FaultPoint::kProcessorApplyViews);
+  if (status.ok()) {
+    report->views.delta.deletes.ForEach([&](SymbolId pred, const Tuple& t) {
+      if (store.Remove(pred, t)) {
+        ++report->views.applied_deletes;
+        view_removed.emplace_back(pred, t);
+      }
     });
-    report.views.delta.inserts.ForEach([&](SymbolId pred, const Tuple& t) {
-      if (store.Add(pred, t)) ++report.views.applied_inserts;
+    report->views.delta.inserts.ForEach([&](SymbolId pred, const Tuple& t) {
+      if (store.Add(pred, t)) {
+        ++report->views.applied_inserts;
+        view_added.emplace_back(pred, t);
+      }
     });
-    DEDDB_RETURN_IF_ERROR(db_->Apply(transaction));
+    status = poke(FaultPoint::kProcessorApplyBase);
+  }
+  if (status.ok()) {
+    status = db_->Apply(transaction);
+    if (status.ok()) {
+      base_applied = true;
+      status = poke(FaultPoint::kProcessorCommit);
+    }
+  }
+  if (status.ok()) {
     // The transaction passed the incremental integrity check, so the new
     // state is known consistent without re-deriving Ic.
     db_->consistency_cache_ = true;
+    return Status::Ok();
   }
-  return report;
+
+  // Roll back in reverse order of application.
+  if (base_applied) {
+    // The inverse of a just-applied valid transaction is itself valid
+    // against the new state, so this succeeds unless the store is already
+    // corrupted — which is escalated rather than masked.
+    Status undo = db_->Apply(transaction.Inverse());
+    if (!undo.ok()) {
+      return InternalError(StrCat("rollback failed after '", status.ToString(),
+                                  "': ", undo.ToString()));
+    }
+  }
+  for (const auto& [pred, t] : view_added) store.Remove(pred, t);
+  for (const auto& [pred, t] : view_removed) store.Add(pred, t);
+  report->views.applied_deletes = 0;
+  report->views.applied_inserts = 0;
+  return status;
 }
 
 Result<UpdateProcessor::ViewUpdateOutcome> UpdateProcessor::ProcessViewUpdate(
     const UpdateRequest& request, const ViewUpdatePolicy& policy) {
   Database& db = db_->database();
+  DEDDB_RETURN_IF_ERROR(
+      ResourceGuard::Check(db_->upward_options().eval.guard));
   DEDDB_ASSIGN_OR_RETURN(bool consistent, db_->IsConsistent());
   if (!consistent) {
     return FailedPreconditionError(
@@ -135,6 +193,8 @@ Result<UpdateProcessor::ViewUpdateOutcome> UpdateProcessor::ProcessViewUpdate(
   // Upward: reject candidates violating a checked constraint.
   DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, db_->Compiled());
   for (problems::Translation& translation : candidates) {
+    DEDDB_RETURN_IF_ERROR(
+        ResourceGuard::Check(db_->upward_options().eval.guard));
     UpwardInterpreter upward(&db, compiled, db_->upward_options());
     DEDDB_ASSIGN_OR_RETURN(
         DerivedEvents events,

@@ -67,6 +67,14 @@ class UpdateProcessor {
   }
 
  private:
+  /// Applies an accepted transaction plus its materialized-view delta as one
+  /// atomic unit: on any failure past the first mutation, every performed
+  /// operation is undone (view ops via an undo log, base facts via the
+  /// inverse transaction) before the error is returned, leaving the database
+  /// identical to its pre-call state.
+  Status ApplyAtomically(const Transaction& transaction,
+                         TransactionReport* report);
+
   DeductiveDatabase* db_;
 };
 

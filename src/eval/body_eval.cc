@@ -106,13 +106,15 @@ class BodyJoin {
            const std::function<const FactProvider&(size_t)>& provider_for,
            Substitution* subst,
            const std::function<void(const Substitution&)>& emit,
-           bool stop_after_first = false)
+           bool stop_after_first = false,
+           const ResourceGuard* guard = nullptr)
       : rule_(rule),
         order_(order),
         provider_for_(provider_for),
         subst_(subst),
         emit_(emit),
-        stop_after_first_(stop_after_first) {}
+        stop_after_first_(stop_after_first),
+        guard_(guard) {}
 
   Result<size_t> Run() {
     Step(0);
@@ -123,6 +125,15 @@ class BodyJoin {
  private:
   void Step(size_t pos) {
     if (!error_.ok()) return;
+    if (guard_ != nullptr) {
+      // Per-step tick: aborts a long backtracking scan mid-join on deadline
+      // or cancellation instead of waiting for the enumeration to finish.
+      Status guard_status = guard_->CheckTick();
+      if (!guard_status.ok()) {
+        error_ = std::move(guard_status);
+        return;
+      }
+    }
     if (stop_after_first_ && emissions_ > 0) return;
     if (pos == order_.size()) {
       ++emissions_;
@@ -192,6 +203,7 @@ class BodyJoin {
   size_t emissions_ = 0;
   Status error_;
   bool stop_after_first_;
+  const ResourceGuard* guard_;
 };
 
 }  // namespace
@@ -200,20 +212,22 @@ Result<size_t> EvaluateBody(
     const Rule& rule, const std::vector<size_t>& order,
     const std::function<const FactProvider&(size_t)>& provider_for,
     Substitution* subst,
-    const std::function<void(const Substitution&)>& emit) {
-  BodyJoin join(rule, order, provider_for, subst, emit);
+    const std::function<void(const Substitution&)>& emit,
+    const ResourceGuard* guard) {
+  BodyJoin join(rule, order, provider_for, subst, emit,
+                /*stop_after_first=*/false, guard);
   return join.Run();
 }
 
 Result<bool> BodySatisfiable(
     const Rule& rule, const std::vector<size_t>& order,
     const std::function<const FactProvider&(size_t)>& provider_for,
-    Substitution* subst) {
+    Substitution* subst, const ResourceGuard* guard) {
   // Named so it outlives the join (BodyJoin keeps a reference).
   const std::function<void(const Substitution&)> noop =
       [](const Substitution&) {};
   BodyJoin join(rule, order, provider_for, subst, noop,
-                /*stop_after_first=*/true);
+                /*stop_after_first=*/true, guard);
   DEDDB_ASSIGN_OR_RETURN(size_t count, join.Run());
   return count > 0;
 }

@@ -9,6 +9,7 @@
 #include "datalog/rule.h"
 #include "datalog/substitution.h"
 #include "eval/fact_provider.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 
 namespace deddb {
@@ -43,17 +44,23 @@ Result<std::vector<size_t>> PlanBodyOrder(
 /// Returns the number of emissions, or an error if a negative literal is
 /// reached unground (which indicates an unsafe rule that bypassed
 /// validation).
+///
+/// When `guard` is non-null, the join performs a cheap guard tick at every
+/// backtracking step and aborts the enumeration mid-join with the guard's
+/// typed status (kDeadlineExceeded / kCancelled) — this is what lets a long
+/// cartesian join unwind without finishing its scan.
 Result<size_t> EvaluateBody(
     const Rule& rule, const std::vector<size_t>& order,
     const std::function<const FactProvider&(size_t)>& provider_for,
-    Substitution* subst, const std::function<void(const Substitution&)>& emit);
+    Substitution* subst, const std::function<void(const Substitution&)>& emit,
+    const ResourceGuard* guard = nullptr);
 
 /// Like EvaluateBody, but stops at the first solution. Returns whether the
 /// body is satisfiable under the initial bindings in `subst`.
 Result<bool> BodySatisfiable(
     const Rule& rule, const std::vector<size_t>& order,
     const std::function<const FactProvider&(size_t)>& provider_for,
-    Substitution* subst);
+    Substitution* subst, const ResourceGuard* guard = nullptr);
 
 }  // namespace deddb
 

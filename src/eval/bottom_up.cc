@@ -71,8 +71,18 @@ struct ItemResult {
 
 // Runs one work item against the immutable snapshot (`full` layers the
 // current idb over the EDB). Only `out` is written; everything else is read.
+// The guard is ticked inside the body join, so a worker observing a deadline
+// or cancellation abandons its item mid-scan instead of finishing the round.
 void RunWorkItem(const WorkItem& item, const FactProvider& full,
-                 const FactStore& idb, ItemResult* out) {
+                 const FactStore& idb, const ResourceGuard* guard,
+                 ItemResult* out) {
+  if (FaultInjector::Instance().armed()) {
+    Status fault = FaultInjector::Instance().Poke(FaultPoint::kEvalWorkItem);
+    if (!fault.ok()) {
+      out->status = std::move(fault);
+      return;
+    }
+  }
   SlicedProvider sliced(item.sliced_base, item.slice, item.num_slices);
   auto provider_for = [&](size_t i) -> const FactProvider& {
     if (item.sliced_base != nullptr && i == item.sliced_literal) {
@@ -92,7 +102,8 @@ void RunWorkItem(const WorkItem& item, const FactProvider& full,
                      Tuple tuple = TupleFromAtom(head);
                      if (idb.Contains(head.predicate(), tuple)) return;
                      out->derived.Add(head.predicate(), tuple);
-                   });
+                   },
+                   guard);
   if (!fired.ok()) {
     out->status = fired.status();
     return;
@@ -129,26 +140,32 @@ Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
   FactStore idb;
   for (const std::vector<SymbolId>& stratum : stratification.strata) {
     ++stats_.strata;
-    std::unordered_set<SymbolId> in_stratum(stratum.begin(), stratum.end());
+    Status status = ResourceGuard::Check(options_.guard);
+    if (status.ok()) {
+      std::unordered_set<SymbolId> in_stratum(stratum.begin(), stratum.end());
 
-    std::vector<StratumRule> rules;
-    for (const Rule& rule : program.rules()) {
-      if (in_stratum.count(rule.head().predicate()) == 0) continue;
-      StratumRule sr{&rule, {}};
-      for (size_t i = 0; i < rule.body().size(); ++i) {
-        const Literal& lit = rule.body()[i];
-        if (lit.positive() &&
-            in_stratum.count(lit.atom().predicate()) > 0) {
-          sr.recursive_positions.push_back(i);
+      std::vector<StratumRule> rules;
+      for (const Rule& rule : program.rules()) {
+        if (in_stratum.count(rule.head().predicate()) == 0) continue;
+        StratumRule sr{&rule, {}};
+        for (size_t i = 0; i < rule.body().size(); ++i) {
+          const Literal& lit = rule.body()[i];
+          if (lit.positive() &&
+              in_stratum.count(lit.atom().predicate()) > 0) {
+            sr.recursive_positions.push_back(i);
+          }
         }
+        rules.push_back(std::move(sr));
       }
-      rules.push_back(std::move(sr));
-    }
 
-    if (options_.num_threads >= 1) {
-      DEDDB_RETURN_IF_ERROR(EvaluateStratumParallel(rules, &idb));
-    } else {
-      DEDDB_RETURN_IF_ERROR(EvaluateStratumSerial(rules, &idb));
+      status = options_.num_threads >= 1
+                   ? EvaluateStratumParallel(rules, &idb)
+                   : EvaluateStratumSerial(rules, &idb);
+    }
+    if (!status.ok()) {
+      // Evaluation unwound early; stats_ holds the partial progress made.
+      stats_.interrupted = true;
+      return status;
     }
   }
   return idb;
@@ -167,12 +184,24 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
   FactStore delta;
   FactStoreProvider delta_provider(&delta);
 
-  // Derives the head instance for one body solution; returns true if new.
+  const ResourceGuard* guard = options_.guard;
+  // Budget trips surface here because emit callbacks return void; the join
+  // may finish its current scan (deriving nothing further) before the error
+  // propagates — a bounded overrun of one rule's enumeration.
+  Status guard_error;
+
+  // Derives the head instance for one body solution.
   auto derive = [&](const Rule& rule, const Substitution& subst,
                     FactStore* new_delta) {
+    if (!guard_error.ok()) return;
     Atom head = subst.Apply(rule.head());
     Tuple tuple = TupleFromAtom(head);
     if (idb->Contains(head.predicate(), tuple)) return;
+    Status charged = ResourceGuard::ChargeDerivedFacts(guard, 1);
+    if (!charged.ok()) {
+      guard_error = std::move(charged);
+      return;
+    }
     idb->Add(head.predicate(), tuple);
     ++stats_.derived_facts;
     if (new_delta != nullptr) new_delta->Add(head.predicate(), tuple);
@@ -182,6 +211,8 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
   // are complete after it, so they skip the delta bookkeeping entirely.
   {
     ++stats_.rounds;
+    DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
+    DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
     for (const StratumRule& sr : rules) {
       auto card = [&](size_t i) {
         return full.EstimateCount(sr.rule->body()[i].atom().predicate());
@@ -198,8 +229,10 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
           EvaluateBody(*sr.rule, order, provider_for, &subst,
                        [&](const Substitution& s) {
                          derive(*sr.rule, s, recursive ? &delta : nullptr);
-                       }));
+                       },
+                       guard));
       stats_.rule_firings += fired;
+      DEDDB_RETURN_IF_ERROR(guard_error);
     }
   }
   if (!recursive) return Status::Ok();
@@ -208,11 +241,13 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
   size_t round = 0;
   while (!delta.empty()) {
     if (++round > options_.max_rounds) {
-      return ResourceExhaustedError(
+      return RoundLimitError(
           StrCat("fixpoint did not converge within ", options_.max_rounds,
                  " rounds"));
     }
     ++stats_.rounds;
+    DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
+    DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
     FactStore new_delta;
     if (options_.semi_naive) {
       for (const StratumRule& sr : rules) {
@@ -239,8 +274,10 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
               EvaluateBody(*sr.rule, order, provider_for, &subst,
                            [&](const Substitution& s) {
                              derive(*sr.rule, s, &new_delta);
-                           }));
+                           },
+                           guard));
           stats_.rule_firings += fired;
+          DEDDB_RETURN_IF_ERROR(guard_error);
         }
       }
     } else {
@@ -258,8 +295,10 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
             EvaluateBody(*sr.rule, order, provider_for, &subst,
                          [&](const Substitution& s) {
                            derive(*sr.rule, s, &new_delta);
-                         }));
+                         },
+                         guard));
         stats_.rule_firings += fired;
+        DEDDB_RETURN_IF_ERROR(guard_error);
       }
     }
     delta = std::move(new_delta);
@@ -295,32 +334,46 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
     return num_threads;
   };
 
+  const ResourceGuard* guard = options_.guard;
+
   auto run = [&](const std::vector<WorkItem>& items,
                  std::vector<ItemResult>* results) {
     results->clear();
     results->resize(items.size());
     pool_->ParallelFor(items.size(), [&](size_t i) {
-      RunWorkItem(items[i], full, *idb, &(*results)[i]);
+      RunWorkItem(items[i], full, *idb, guard, &(*results)[i]);
     });
   };
 
   // Fixed-order merge at the round barrier: errors, firings and derivations
   // are folded in work-item order. `delta` receives the facts new to idb.
+  // The derived-fact budget is charged here — single-threaded, in the same
+  // fixed order — so a budget trips at the identical fact for every thread
+  // count n >= 1.
   auto merge = [&](std::vector<ItemResult>& results,
                    FactStore* delta) -> Status {
+    DEDDB_FAULT_POINT(FaultPoint::kEvalMerge);
     for (const ItemResult& r : results) {
       DEDDB_RETURN_IF_ERROR(r.status);
     }
+    Status guard_error;  // set when the fact budget trips mid-merge
     for (ItemResult& r : results) {
       stats_.rule_firings += r.firings;
       r.derived.ForEach([&](SymbolId pred, const Tuple& t) {
-        if (idb->Add(pred, t)) {
-          ++stats_.derived_facts;
-          if (delta != nullptr) delta->Add(pred, t);
+        if (!guard_error.ok()) return;
+        if (idb->Contains(pred, t)) return;
+        Status charged = ResourceGuard::ChargeDerivedFacts(guard, 1);
+        if (!charged.ok()) {
+          guard_error = std::move(charged);
+          return;
         }
+        idb->Add(pred, t);
+        ++stats_.derived_facts;
+        if (delta != nullptr) delta->Add(pred, t);
       });
+      if (!guard_error.ok()) break;
     }
-    return Status::Ok();
+    return guard_error;
   };
 
   // Delta stores are only scanned (the delta literal always leads), never
@@ -333,6 +386,8 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
   // planner's leading literal when it is positive.
   {
     ++stats_.rounds;
+    DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
+    DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
     std::deque<std::vector<size_t>> orders;  // stable storage for plans
     std::vector<WorkItem> items;
     for (const StratumRule& sr : rules) {
@@ -368,11 +423,13 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
   size_t round = 0;
   while (!delta.empty()) {
     if (++round > options_.max_rounds) {
-      return ResourceExhaustedError(
+      return RoundLimitError(
           StrCat("fixpoint did not converge within ", options_.max_rounds,
                  " rounds"));
     }
     ++stats_.rounds;
+    DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
+    DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
     std::deque<std::vector<size_t>> orders;
     std::vector<WorkItem> items;
     if (options_.semi_naive) {

@@ -6,6 +6,7 @@
 
 #include "datalog/program.h"
 #include "eval/fact_provider.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -15,8 +16,17 @@ struct EvaluationOptions {
   /// Semi-naive (differential) fixpoint; when false, naive re-evaluation of
   /// all rules each round (kept for the Perf-C ablation benchmark).
   bool semi_naive = true;
-  /// Safety valve on fixpoint rounds per stratum.
+  /// Safety valve on fixpoint rounds per stratum; exceeding it returns
+  /// kRoundLimit (identical status and message from the serial and parallel
+  /// paths).
   size_t max_rounds = 1000000;
+  /// Optional resource governor (deadline / budgets / cancellation); nullptr
+  /// means unguarded. Checked at stratum and round barriers and, cheaply,
+  /// inside every body-join step, so ThreadPool workers stop promptly.
+  /// Derived-fact budgets are charged where facts enter the IDB: per fact in
+  /// the serial loop, at the fixed-order round merge in the parallel path —
+  /// so every thread count n >= 1 trips a budget at the identical point.
+  const ResourceGuard* guard = nullptr;
   /// Worker threads for the per-round parallel phase. 0 (the default) keeps
   /// the original serial loop. n >= 1 switches to snapshot rounds: each
   /// round's (rule × slice) work items are evaluated against an immutable
@@ -35,6 +45,10 @@ struct EvaluationStats {
   size_t strata = 0;         // strata processed (incl. rule-less ones)
   size_t rule_firings = 0;   // complete body solutions found
   size_t derived_facts = 0;  // distinct facts added to the IDB
+  /// True when evaluation unwound early (guard trip, fault injection or
+  /// round limit). The other fields then hold the partial progress made up
+  /// to the point of interruption.
+  bool interrupted = false;
 };
 
 /// Stratified bottom-up evaluation of a Datalog¬ program. Extensional facts

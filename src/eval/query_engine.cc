@@ -123,6 +123,7 @@ Result<bool> QueryEngine::SolveLazyPattern(
 Result<bool> QueryEngine::SolveLazy(
     const Atom& goal, size_t depth,
     const std::function<bool(const Atom&)>& emit) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::CheckTick(options_.guard));
   if (depth > max_depth_) {
     return ResourceExhaustedError(
         StrCat("lazy resolution exceeded depth ", max_depth_,
@@ -263,12 +264,16 @@ Status QueryEngine::MaterializeFor(SymbolId goal_pred) {
     return Status::Ok();
   }
   BottomUpEvaluator evaluator(program_, symbols_, edb_, options_);
-  DEDDB_ASSIGN_OR_RETURN(FactStore idb, evaluator.EvaluateFor({goal_pred}));
+  Result<FactStore> idb = evaluator.EvaluateFor({goal_pred});
+  // Fold the evaluator's stats in even when it unwound early, so callers see
+  // the partial progress behind a guard trip.
   const EvaluationStats& s = evaluator.stats();
   bu_stats_.rounds += s.rounds;
   bu_stats_.rule_firings += s.rule_firings;
   bu_stats_.derived_facts += s.derived_facts;
-  idb.ForEach([&](SymbolId pred, const Tuple& t) { cache_.Add(pred, t); });
+  bu_stats_.interrupted |= s.interrupted;
+  DEDDB_RETURN_IF_ERROR(idb.status());
+  idb->ForEach([&](SymbolId pred, const Tuple& t) { cache_.Add(pred, t); });
   for (SymbolId pred : graph_.ReachableFrom({goal_pred})) {
     materialized_.insert(pred);
   }
@@ -291,6 +296,7 @@ Result<std::vector<Tuple>> QueryEngine::SolveTopDown(const Atom& goal) {
 
 Result<const std::vector<Tuple>*> QueryEngine::SolveMemo(const Atom& canonical,
                                                          size_t depth) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::CheckTick(options_.guard));
   auto memo_it = memo_.find(canonical);
   if (memo_it != memo_.end()) return &memo_it->second;
   if (depth > max_depth_) {

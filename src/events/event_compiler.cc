@@ -6,6 +6,7 @@
 #include "eval/dependency_graph.h"
 #include "events/event_rules.h"
 #include "events/transition.h"
+#include "util/resource_guard.h"
 #include "util/strings.h"
 
 namespace deddb {
@@ -30,6 +31,7 @@ bool NormalizeBody(std::vector<Literal>* body) {
 }  // namespace
 
 Result<CompiledEvents> EventCompiler::Compile() {
+  DEDDB_FAULT_POINT(FaultPoint::kEventCompile);
   PredicateTable& predicates = db_->predicates();
   SymbolTable& symbols = db_->symbols();
 

@@ -161,7 +161,8 @@ void Dnf::EnforceCap(size_t max_disjuncts) {
 }
 
 Result<Dnf> Dnf::Or(const Dnf& a, const Dnf& b, const EventPossibleFn& possible,
-                    size_t max_disjuncts) {
+                    size_t max_disjuncts, const ResourceGuard* guard) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::CheckTick(guard));
   Dnf out;
   out.approximate_ = a.approximate_ || b.approximate_;
   out.disjuncts_ = a.disjuncts_;
@@ -173,7 +174,9 @@ Result<Dnf> Dnf::Or(const Dnf& a, const Dnf& b, const EventPossibleFn& possible,
 }
 
 Result<Dnf> Dnf::And(const Dnf& a, const Dnf& b,
-                     const EventPossibleFn& possible, size_t max_disjuncts) {
+                     const EventPossibleFn& possible, size_t max_disjuncts,
+                     const ResourceGuard* guard) {
+  DEDDB_FAULT_POINT(FaultPoint::kDnfExpand);
   Dnf out;
   out.approximate_ = a.approximate_ || b.approximate_;
   // Shed contradictions (and, past the cap, non-minimal alternatives) as
@@ -183,7 +186,11 @@ Result<Dnf> Dnf::And(const Dnf& a, const Dnf& b,
     out.EnforceCap(max_disjuncts);
   };
   for (const Conjunct& ca : a.disjuncts_) {
+    DEDDB_RETURN_IF_ERROR(ResourceGuard::CheckTick(guard));
     for (const Conjunct& cb : b.disjuncts_) {
+      // Charged per conjunct *constructed*, including ones a later compact
+      // prunes — the budget caps the expansion work, not the result size.
+      DEDDB_RETURN_IF_ERROR(ResourceGuard::ChargeDnfTerms(guard, 1));
       Conjunct merged = ca;
       for (const EventLiteral& lit : cb.literals()) merged.Add(lit);
       out.disjuncts_.push_back(std::move(merged));
@@ -196,7 +203,8 @@ Result<Dnf> Dnf::And(const Dnf& a, const Dnf& b,
 
 Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
                             const EventPossibleFn& possible,
-                            size_t max_disjuncts) {
+                            size_t max_disjuncts, const ResourceGuard* guard) {
+  DEDDB_FAULT_POINT(FaultPoint::kDnfExpand);
   Dnf out = context;
   out.approximate_ = context.approximate_ || to_negate.approximate_;
 
@@ -222,6 +230,7 @@ Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
   ordered.insert(ordered.end(), unrelated.begin(), unrelated.end());
 
   for (size_t factor_idx = 0; factor_idx < ordered.size(); ++factor_idx) {
+    DEDDB_RETURN_IF_ERROR(ResourceGuard::CheckTick(guard));
     const Conjunct& c = *ordered[factor_idx];
     const bool unrelated_factor = factor_idx >= relevant_count;
     std::vector<EventLiteral> choices;
@@ -276,6 +285,7 @@ Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
         } else {
           for (const EventLiteral& choice : choices) {
             if (!choice.positive || o.Contains(choice.Negated())) continue;
+            DEDDB_RETURN_IF_ERROR(ResourceGuard::ChargeDnfTerms(guard, 1));
             Conjunct extended = o;
             extended.Add(choice);
             next.push_back(std::move(extended));
@@ -285,6 +295,7 @@ Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
       }
       for (const EventLiteral& choice : choices) {
         if (o.Contains(choice.Negated())) continue;  // contradiction
+        DEDDB_RETURN_IF_ERROR(ResourceGuard::ChargeDnfTerms(guard, 1));
         Conjunct extended = o;
         extended.Add(choice);
         next.push_back(std::move(extended));
@@ -301,13 +312,14 @@ Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
 }
 
 Result<Dnf> Dnf::Negate(const Dnf& dnf, const EventPossibleFn& possible,
-                        size_t max_disjuncts) {
+                        size_t max_disjuncts, const ResourceGuard* guard) {
   // Negation is conjunction of the negated factors over an empty context.
-  return AndNegated(Dnf::True(), dnf, possible, max_disjuncts);
+  return AndNegated(Dnf::True(), dnf, possible, max_disjuncts, guard);
 }
 
 Result<Dnf> Dnf::NegateExact(const Dnf& dnf, const EventPossibleFn& possible,
-                             size_t max_disjuncts) {
+                             size_t max_disjuncts, const ResourceGuard* guard) {
+  DEDDB_FAULT_POINT(FaultPoint::kDnfExpand);
   // ¬(C1 | C2 | ...) = ¬C1 & ¬C2 & ...; each factor ¬Ci is a disjunction of
   // the negated literals of Ci. The product is folded with *absorption*: a
   // conjunct that already contains one of a factor's choices satisfies it
@@ -318,6 +330,7 @@ Result<Dnf> Dnf::NegateExact(const Dnf& dnf, const EventPossibleFn& possible,
   Dnf out = Dnf::True();
   out.approximate_ = dnf.approximate_;
   for (const Conjunct& c : dnf.disjuncts_) {
+    DEDDB_RETURN_IF_ERROR(ResourceGuard::CheckTick(guard));
     // The satisfiable choices for ¬Ci.
     std::vector<EventLiteral> choices;
     bool factor_true = false;
@@ -350,6 +363,7 @@ Result<Dnf> Dnf::NegateExact(const Dnf& dnf, const EventPossibleFn& possible,
       }
       for (const EventLiteral& choice : choices) {
         if (o.Contains(choice.Negated())) continue;  // contradiction
+        DEDDB_RETURN_IF_ERROR(ResourceGuard::ChargeDnfTerms(guard, 1));
         Conjunct extended = o;
         extended.Add(choice);
         next.push_back(std::move(extended));

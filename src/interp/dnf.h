@@ -8,6 +8,7 @@
 
 #include "datalog/predicate.h"
 #include "storage/tuple.h"
+#include "util/resource_guard.h"
 #include "util/status.h"
 
 namespace deddb {
@@ -145,22 +146,32 @@ class Dnf {
     disjuncts_.push_back(std::move(conjunct));
   }
 
+  // All boolean operations take an optional ResourceGuard. When non-null,
+  // every conjunct constructed during a product expansion is charged against
+  // the guard's DNF-term budget (kBudgetExceeded once it trips — the hard
+  // cap on the worst-case-exponential expansion of §4.2) and the expansion
+  // loops tick the guard for deadline/cancellation. max_disjuncts remains
+  // the structural per-DNF cap (with minimal-frontier fallback); the guard
+  // budget is the cumulative per-request work cap on top of it.
+
   /// Logical OR: union of disjuncts, then normalization.
   static Result<Dnf> Or(const Dnf& a, const Dnf& b,
-                        const EventPossibleFn& possible, size_t max_disjuncts);
+                        const EventPossibleFn& possible, size_t max_disjuncts,
+                        const ResourceGuard* guard = nullptr);
 
   /// Logical AND: pairwise conjunct products, then normalization. Fails with
   /// kResourceExhausted if the result would exceed `max_disjuncts`.
   static Result<Dnf> And(const Dnf& a, const Dnf& b,
-                         const EventPossibleFn& possible,
-                         size_t max_disjuncts);
+                         const EventPossibleFn& possible, size_t max_disjuncts,
+                         const ResourceGuard* guard = nullptr);
 
   /// Logical negation, redistributed to DNF (De Morgan), as prescribed for
   /// negative derived events and negative new-state literals (§4.2).
   /// Delegates to AndNegated with an empty context, so the result may be
   /// flagged approximate past the size cap.
   static Result<Dnf> Negate(const Dnf& dnf, const EventPossibleFn& possible,
-                            size_t max_disjuncts);
+                            size_t max_disjuncts,
+                            const ResourceGuard* guard = nullptr);
 
   /// Exact negation: no minimal-frontier fallback; fails with
   /// kResourceExhausted when the product exceeds `max_disjuncts`. Used by
@@ -168,7 +179,8 @@ class Dnf {
   /// "alternatives lost".
   static Result<Dnf> NegateExact(const Dnf& dnf,
                                  const EventPossibleFn& possible,
-                                 size_t max_disjuncts);
+                                 size_t max_disjuncts,
+                                 const ResourceGuard* guard = nullptr);
 
   /// Computes `context & ¬to_negate` by folding the negation factors into
   /// the context one at a time. Equivalent to And(context, Negate(...)) but
@@ -179,7 +191,8 @@ class Dnf {
   /// Used for the negative events of an update request ({T, ¬ιIc}, ...).
   static Result<Dnf> AndNegated(const Dnf& context, const Dnf& to_negate,
                                 const EventPossibleFn& possible,
-                                size_t max_disjuncts);
+                                size_t max_disjuncts,
+                                const ResourceGuard* guard = nullptr);
 
   /// Normalizes in place: per-conjunct simplification, deduplication,
   /// subsumption removal, deterministic order.

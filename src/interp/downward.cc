@@ -81,10 +81,10 @@ Result<Dnf> DownwardInterpreter::Interpret(const UpdateRequest& request) {
     if (!event->positive) {
       ++stats_.negations;
       DEDDB_ASSIGN_OR_RETURN(
-          acc, Dnf::AndNegated(acc, d, possible, options_.max_disjuncts));
+          acc, Dnf::AndNegated(acc, d, possible, options_.max_disjuncts, options_.eval.guard));
     } else {
       DEDDB_ASSIGN_OR_RETURN(
-          acc, Dnf::And(acc, d, possible, options_.max_disjuncts));
+          acc, Dnf::And(acc, d, possible, options_.max_disjuncts, options_.eval.guard));
     }
     if (acc.IsFalse()) return acc;
   }
@@ -100,6 +100,8 @@ Result<Dnf> DownwardInterpreter::InterpretEvent(const RequestedEvent& event) {
 Result<Dnf> DownwardInterpreter::DownEvent(SymbolId pred,
                                            const std::vector<Term>& args,
                                            bool is_insert, size_t depth) {
+  DEDDB_FAULT_POINT(FaultPoint::kDownwardEvent);
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options_.eval.guard));
   if (depth > options_.max_depth) {
     return ResourceExhaustedError(
         StrCat("downward interpretation exceeded depth ", options_.max_depth));
@@ -161,9 +163,9 @@ Result<Dnf> DownwardInterpreter::DownEvent(SymbolId pred,
         DownNew(new_sym, pred, ground_args, /*check_not_old=*/false, depth));
     ++stats_.negations;
     DEDDB_ASSIGN_OR_RETURN(Dnf neg,
-                           Dnf::Negate(dn, possible, options_.max_disjuncts));
+                           Dnf::Negate(dn, possible, options_.max_disjuncts, options_.eval.guard));
     DEDDB_ASSIGN_OR_RETURN(acc,
-                           Dnf::Or(acc, neg, possible, options_.max_disjuncts));
+                           Dnf::Or(acc, neg, possible, options_.max_disjuncts, options_.eval.guard));
   }
   if (memoizable) event_memo_.emplace(memo_key, acc);
   return acc;
@@ -195,7 +197,7 @@ Result<Dnf> DownwardInterpreter::DownBaseEvent(SymbolId pred,
       if (!MatchAtomAgainstTuple(goal, t, &subst)) return;
       Result<Dnf> merged =
           Dnf::Or(acc, Dnf::Of(BaseEventFact{false, pred, t}), possible,
-                  options_.max_disjuncts);
+                  options_.max_disjuncts, options_.eval.guard);
       if (!merged.ok()) {
         status = merged.status();
         return;
@@ -225,7 +227,7 @@ Result<Dnf> DownwardInterpreter::DownBaseEvent(SymbolId pred,
             return;
           }
           Result<Dnf> merged =
-              Dnf::Or(acc, Dnf::Of(ev), possible, options_.max_disjuncts);
+              Dnf::Or(acc, Dnf::Of(ev), possible, options_.max_disjuncts, options_.eval.guard);
           if (!merged.ok()) {
             status = merged.status();
             return;
@@ -274,7 +276,7 @@ Result<Dnf> DownwardInterpreter::DownNew(SymbolId new_sym, SymbolId old_pred,
         Dnf branch,
         DownBody(rule, &subst, &done, old_pred, check_not_old, depth));
     DEDDB_ASSIGN_OR_RETURN(
-        acc, Dnf::Or(acc, branch, possible, options_.max_disjuncts));
+        acc, Dnf::Or(acc, branch, possible, options_.max_disjuncts, options_.eval.guard));
   }
   return acc;
 }
@@ -284,6 +286,7 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
                                           std::vector<bool>* done,
                                           SymbolId old_pred,
                                           bool check_not_old, size_t depth) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::CheckTick(options_.eval.guard));
   ++stats_.branches_explored;
   EventPossibleFn possible = possible_fn();
   const PredicateTable& predicates = db_->predicates();
@@ -405,7 +408,7 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
             Dnf branch,
             DownBody(rule, subst, done, old_pred, check_not_old, depth));
         DEDDB_ASSIGN_OR_RETURN(
-            acc, Dnf::Or(acc, branch, possible, options_.max_disjuncts));
+            acc, Dnf::Or(acc, branch, possible, options_.max_disjuncts, options_.eval.guard));
       }
       for (VarId v : bound_here) subst->Unbind(v);
     }
@@ -423,7 +426,7 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
         DEDDB_ASSIGN_OR_RETURN(
             Dnf rest,
             DownBody(rule, subst, done, old_pred, check_not_old, depth));
-        return Dnf::And(Dnf::Of(ev), rest, possible, options_.max_disjuncts);
+        return Dnf::And(Dnf::Of(ev), rest, possible, options_.max_disjuncts, options_.eval.guard);
       }
       DEDDB_ASSIGN_OR_RETURN(
           Dnf rest,
@@ -433,7 +436,7 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
       Conjunct c;
       c.Add(EventLiteral{ev, /*positive=*/false});
       requirement.AddDisjunct(std::move(c));
-      return Dnf::And(requirement, rest, possible, options_.max_disjuncts);
+      return Dnf::And(requirement, rest, possible, options_.max_disjuncts, options_.eval.guard);
     }
     // Open positive base event: instantiate, then recurse per instance.
     ++stats_.domain_enumerations;
@@ -461,12 +464,12 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
             status = rest.status();
           } else {
             Result<Dnf> combined = Dnf::And(Dnf::Of(ev), *rest, possible,
-                                            options_.max_disjuncts);
+                                            options_.max_disjuncts, options_.eval.guard);
             if (!combined.ok()) {
               status = combined.status();
             } else {
               Result<Dnf> merged = Dnf::Or(acc, *combined, possible,
-                                           options_.max_disjuncts);
+                                           options_.max_disjuncts, options_.eval.guard);
               if (!merged.ok()) {
                 status = merged.status();
               } else {
@@ -536,12 +539,12 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
     if (!lit.positive()) {
       ++stats_.negations;
       DEDDB_ASSIGN_OR_RETURN(
-          sub, Dnf::Negate(sub, possible, options_.max_disjuncts));
+          sub, Dnf::Negate(sub, possible, options_.max_disjuncts, options_.eval.guard));
     }
     if (sub.IsFalse()) return Dnf::False();
     DEDDB_ASSIGN_OR_RETURN(
         Dnf rest, DownBody(rule, subst, done, old_pred, check_not_old, depth));
-    return Dnf::And(sub, rest, possible, options_.max_disjuncts);
+    return Dnf::And(sub, rest, possible, options_.max_disjuncts, options_.eval.guard);
   }
 
   // Open positive derived event: instantiate its unbound variables over the
@@ -585,13 +588,13 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
         return;
       }
       Result<Dnf> combined =
-          Dnf::And(*sub, *rest, possible, options_.max_disjuncts);
+          Dnf::And(*sub, *rest, possible, options_.max_disjuncts, options_.eval.guard);
       if (!combined.ok()) {
         status = combined.status();
         return;
       }
       Result<Dnf> merged =
-          Dnf::Or(acc, *combined, possible, options_.max_disjuncts);
+          Dnf::Or(acc, *combined, possible, options_.max_disjuncts, options_.eval.guard);
       if (!merged.ok()) {
         status = merged.status();
         return;

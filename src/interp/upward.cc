@@ -48,7 +48,8 @@ Result<bool> UpwardInterpreter::NewStateHolds(SymbolId new_sym,
                            PlanBodyOrder(rule, bound));
     ++stats_.bodies_evaluated;
     DEDDB_ASSIGN_OR_RETURN(bool satisfiable,
-                           BodySatisfiable(rule, order, provider_for, &subst));
+                           BodySatisfiable(rule, order, provider_for, &subst,
+                                           options_.eval.guard));
     if (satisfiable) return true;
   }
   return false;
@@ -74,6 +75,8 @@ Result<DerivedEvents> UpwardInterpreter::RunEventRules(
 
   for (SymbolId pred : compiled_->derived_order) {
     if (needed.count(pred) == 0) continue;
+    DEDDB_FAULT_POINT(FaultPoint::kUpwardBody);
+    DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options_.eval.guard));
     DEDDB_ASSIGN_OR_RETURN(
         SymbolId new_sym,
         predicates.FindVariant(pred, PredicateVariant::kNew));
@@ -107,7 +110,8 @@ Result<DerivedEvents> UpwardInterpreter::RunEventRules(
                          if (old_state.Contains(pred, t)) return;
                          events.inserts.Add(pred, t);
                          ++stats_.events_found;
-                       }));
+                       },
+                       options_.eval.guard));
       (void)fired;
       DEDDB_RETURN_IF_ERROR(inner);
     }
@@ -135,7 +139,8 @@ Result<DerivedEvents> UpwardInterpreter::RunEventRules(
                          [&](const Substitution& s) {
                            Atom head = s.Apply(rule.head());
                            candidates.Add(pred, TupleFromAtom(head));
-                         }));
+                         },
+                         options_.eval.guard));
         (void)fired;
       }
     } else {

@@ -9,6 +9,7 @@ Result<DownwardResult> EnforceCondition(const Database& db,
                                         const ActiveDomain& domain,
                                         RequestedEvent cond_event,
                                         const DownwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
                          db.predicates().Get(cond_event.predicate));
   if (info.semantics != PredicateSemantics::kCondition) {
@@ -26,6 +27,7 @@ Result<bool> ValidateCondition(const Database& db,
                                const ActiveDomain& domain, SymbolId condition,
                                bool activation, SymbolTable* symbols,
                                const DownwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db.predicates().Get(condition));
   if (info.semantics != PredicateSemantics::kCondition) {
     return InvalidArgumentError(
@@ -49,6 +51,7 @@ Result<DownwardResult> PreventConditionActivation(
     const ActiveDomain& domain, const Transaction& transaction,
     std::vector<RequestedEvent> protected_events,
     const DownwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   for (const RequestedEvent& event : protected_events) {
     DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
                            db.predicates().Get(event.predicate));

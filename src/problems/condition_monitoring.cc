@@ -8,6 +8,7 @@ Result<ConditionChanges> MonitorConditions(
     const Database& db, const CompiledEvents& compiled,
     const Transaction& transaction, const std::vector<SymbolId>& conditions,
     const UpwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   std::vector<SymbolId> goals =
       conditions.empty() ? db.condition_predicates() : conditions;
   for (SymbolId goal : goals) {

@@ -7,6 +7,7 @@
 namespace deddb::problems {
 
 Result<bool> IcHolds(const Database& db, const EvaluationOptions& eval) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(eval.guard));
   OldStateView old_state(&db, eval);
   return old_state.Holds(Atom(db.global_ic(), {}));
 }

@@ -21,6 +21,7 @@ Result<DownwardResult> RepairDatabase(const Database& db,
                                       const CompiledEvents& compiled,
                                       const ActiveDomain& domain,
                                       const DownwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
   if (!inconsistent) {
     return FailedPreconditionError(

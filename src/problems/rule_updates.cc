@@ -33,6 +33,7 @@ Result<Program> UpdatedProgram(const Database& db, const RuleUpdate& update) {
 Result<DerivedEvents> InducedEventsOfRuleUpdate(const Database& db,
                                                 const RuleUpdate& update,
                                                 const EvaluationOptions& eval) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(eval.guard));
   DEDDB_ASSIGN_OR_RETURN(Program updated, UpdatedProgram(db, update));
 
   FactStoreProvider edb(&db.facts());

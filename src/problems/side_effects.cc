@@ -25,6 +25,7 @@ Result<DownwardResult> PreventSideEffects(
     const Database& db, const CompiledEvents& compiled,
     const ActiveDomain& domain, const Transaction& transaction,
     std::vector<RequestedEvent> unwanted, const DownwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   UpdateRequest request = RequestFromTransaction(transaction);
   for (RequestedEvent& event : unwanted) {
     event.positive = false;

@@ -8,6 +8,7 @@ namespace deddb::problems {
 
 Status InitializeMaterializedViews(Database* db,
                                    const EvaluationOptions& eval) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(eval.guard));
   std::vector<SymbolId> materialized;
   for (SymbolId view : db->view_predicates()) {
     if (db->IsMaterialized(view)) materialized.push_back(view);
@@ -32,6 +33,7 @@ Result<ViewMaintenanceResult> MaintainMaterializedViews(
     Database* db, const CompiledEvents& compiled,
     const Transaction& transaction, bool apply,
     const UpwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   std::vector<SymbolId> goals;
   for (SymbolId view : db->view_predicates()) {
     if (db->IsMaterialized(view)) goals.push_back(view);

@@ -7,6 +7,7 @@ Result<DownwardResult> TranslateViewUpdate(const Database& db,
                                            const ActiveDomain& domain,
                                            const UpdateRequest& request,
                                            const DownwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   for (const RequestedEvent& event : request.events) {
     DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
                            db.predicates().Get(event.predicate));
@@ -28,6 +29,7 @@ Result<bool> ValidateView(const Database& db, const CompiledEvents& compiled,
                           const ActiveDomain& domain, SymbolId view,
                           bool insertion, SymbolTable* symbols,
                           const DownwardOptions& options) {
+  DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
   DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db.predicates().Get(view));
   RequestedEvent event;
   event.positive = true;

@@ -53,6 +53,11 @@ class Transaction {
   /// `current_state` (paper §3.1): deletions removed, insertions added.
   FactStore ApplyTo(const FactStore& current_state) const;
 
+  /// The inverse transaction: every insertion becomes a deletion and vice
+  /// versa. Applying the inverse after this transaction restores the prior
+  /// state exactly (the rollback step of UpdateProcessor's atomicity).
+  Transaction Inverse() const;
+
   /// `{ins Q(A), del R(B)}` — sorted for deterministic output.
   std::string ToString(const SymbolTable& symbols) const;
 

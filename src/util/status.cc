@@ -20,6 +20,14 @@ const char* StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kBudgetExceeded:
+      return "BUDGET_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kRoundLimit:
+      return "ROUND_LIMIT";
   }
   return "UNKNOWN";
 }
@@ -56,6 +64,18 @@ Status UnimplementedError(std::string message) {
 }
 Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status BudgetExceededError(std::string message) {
+  return Status(StatusCode::kBudgetExceeded, std::move(message));
+}
+Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
+}
+Status RoundLimitError(std::string message) {
+  return Status(StatusCode::kRoundLimit, std::move(message));
 }
 
 }  // namespace deddb

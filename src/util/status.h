@@ -21,6 +21,14 @@ enum class StatusCode {
   kResourceExhausted, // depth / size limits hit
   kUnimplemented,
   kInternal,
+  // Resource-governance codes (util/resource_guard.h). Distinct from
+  // kResourceExhausted so callers can tell a structural limit (depth,
+  // instantiation caps) from a governed budget, a wall-clock deadline, a
+  // cooperative cancellation, or the fixpoint round limit.
+  kDeadlineExceeded,  // ResourceLimits::deadline passed
+  kBudgetExceeded,    // a derived-fact / DNF-term budget ran out
+  kCancelled,         // CancellationToken observed
+  kRoundLimit,        // EvaluationOptions::max_rounds exceeded
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -63,6 +71,10 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status BudgetExceededError(std::string message);
+Status CancelledError(std::string message);
+Status RoundLimitError(std::string message);
 
 /// A value of type T or an error Status. Minimal analogue of
 /// absl::StatusOr<T>.

@@ -29,6 +29,11 @@ TEST(StatusTest, FactoryFunctionsProduceDistinctCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(DeadlineExceededError("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(BudgetExceededError("x").code(), StatusCode::kBudgetExceeded);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(RoundLimitError("x").code(), StatusCode::kRoundLimit);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -43,6 +48,12 @@ TEST(StatusCodeNameTest, AllCodesHaveNames) {
                "INVALID_ARGUMENT");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kBudgetExceeded),
+               "BUDGET_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kRoundLimit), "ROUND_LIMIT");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -234,7 +234,7 @@ TEST(FailureInjectionTest, EvaluationRoundLimit) {
   BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
                               options);
   auto idb = evaluator.Evaluate();
-  EXPECT_EQ(idb.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(idb.status().code(), StatusCode::kRoundLimit);
 }
 
 // ---------------------------------------------------------------------------
@@ -363,7 +363,7 @@ TEST(ParallelEdgeTest, RoundLimitSurfacesInParallelMode) {
   BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
                               options);
   auto idb = evaluator.Evaluate();
-  EXPECT_EQ(idb.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(idb.status().code(), StatusCode::kRoundLimit);
 }
 
 TEST(ParallelEdgeTest, EvaluateForThenFullEvaluateReusesPool) {
