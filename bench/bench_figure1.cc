@@ -7,11 +7,24 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/deductive_database.h"
+#include "obs/metrics.h"
+#include "util/strings.h"
 #include "workload/towers.h"
 
 namespace deddb {
 namespace {
+
+// Shared by every benchmark in this binary; dumped to BENCH_figure1.json by
+// the custom main below. Counter values depend on iteration counts, but the
+// per-call structure (e.g. rounds per eval) is what the report is for.
+obs::MetricsRegistry& GlobalMetrics() {
+  static auto* metrics = new obs::MetricsRegistry();
+  return *metrics;
+}
 
 void BM_UpwardByDepth(benchmark::State& state) {
   workload::TowerConfig config;
@@ -22,6 +35,7 @@ void BM_UpwardByDepth(benchmark::State& state) {
     state.SkipWithError(db.status().ToString().c_str());
     return;
   }
+  (*db)->set_observability(obs::ObsContext{nullptr, &GlobalMetrics()});
   // One base event at the bottom of the tower; its effects ripple upward.
   Transaction txn;
   SymbolId b0 = (*db)->database().FindPredicate("B0").value();
@@ -52,6 +66,7 @@ void BM_DownwardByDepth(benchmark::State& state) {
     state.SkipWithError(db.status().ToString().c_str());
     return;
   }
+  (*db)->set_observability(obs::ObsContext{nullptr, &GlobalMetrics()});
   // Request an insertion at the top of the tower for an element that
   // currently satisfies no layer gate: the request must be translated all
   // the way down.
@@ -85,4 +100,26 @@ BENCHMARK(BM_DownwardByDepth)->DenseRange(1, 10, 1)
 }  // namespace
 }  // namespace deddb
 
-BENCHMARK_MAIN();
+// Custom main: run the benchmarks, then dump the accumulated metrics as
+// $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_figure1.json.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const char* dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string path =
+      deddb::StrCat(dir != nullptr ? dir : ".", "/BENCH_figure1.json");
+  std::string out = deddb::StrCat("{\"bench\":\"figure1\",\"metrics\":",
+                                  deddb::GlobalMetrics().ToJson(), "}\n");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", path.c_str());
+  return 0;
+}

@@ -7,9 +7,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/deductive_database.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "util/strings.h"
 #include "workload/employment.h"
@@ -49,6 +52,42 @@ void PrintSection(const char* title, const std::vector<Cell>& cells) {
   }
 }
 
+// Machine-readable companion to the printed matrix: per-cell outcomes and
+// timings plus the metrics the run recorded, for EXPERIMENTS.md tooling.
+// Written to $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_table41.json.
+void WriteJsonReport(const std::vector<std::pair<const char*,
+                                                 const std::vector<Cell>*>>&
+                         sections,
+                     const obs::MetricsRegistry& metrics) {
+  const char* dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string path = StrCat(dir != nullptr ? dir : ".", "/BENCH_table41.json");
+  std::string out = "{\"bench\":\"table41\",\"sections\":[";
+  bool first_section = true;
+  for (const auto& [title, cells] : sections) {
+    if (!first_section) out += ",";
+    first_section = false;
+    out += StrCat("{\"title\":", obs::JsonQuote(title), ",\"cells\":[");
+    bool first_cell = true;
+    for (const Cell& cell : *cells) {
+      if (!first_cell) out += ",";
+      first_cell = false;
+      out += StrCat("{\"problem\":", obs::JsonQuote(cell.problem),
+                    ",\"micros\":", static_cast<int64_t>(cell.micros),
+                    ",\"outcome\":", obs::JsonQuote(cell.outcome), "}");
+    }
+    out += "]}";
+  }
+  out += StrCat("],\"metrics\":", metrics.ToJson(), "}\n");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main() {
@@ -61,6 +100,10 @@ int main() {
     return 1;
   }
   DeductiveDatabase& db = **db_or;
+  // Metrics only (no tracer): structural counters for the JSON report
+  // without span-recording cost inside the timed cells.
+  obs::MetricsRegistry metrics;
+  db.set_observability(obs::ObsContext{nullptr, &metrics});
   SymbolId unemp = db.database().FindPredicate("Unemp").value();
   SymbolId alert = db.database().FindPredicate("Alert").value();
   db.MaterializeView(unemp);
@@ -220,5 +263,9 @@ int main() {
   std::printf(
       "\nAll twelve Table-4.1 cells executed through the single event-rule "
       "framework.\n");
+  WriteJsonReport({{"upward", &upward},
+                   {"downward", &downward},
+                   {"combined", &combined}},
+                  metrics);
   return 0;
 }

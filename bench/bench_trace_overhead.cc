@@ -1,0 +1,122 @@
+// Perf-I: overhead of the observability layer. Disabled (no ObsContext —
+// every instrumentation site reduces to a null-pointer test) must stay
+// within ~2% of the un-instrumented baseline rows recorded before the obs
+// layer existed; the enabled rows quantify the full cost of span + metric
+// recording for the same workloads. Mirrors bench_guard_overhead's
+// armed-but-idle methodology.
+
+#include <benchmark/benchmark.h>
+
+#include "core/deductive_database.h"
+#include "eval/bottom_up.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parser/parser.h"
+#include "workload/towers.h"
+
+namespace deddb {
+namespace {
+
+// Deep transitive closure: many rounds — the eval/stratum/round spans and
+// eval.* metric flushes dominate the instrumented cost.
+void RunChainFixpoint(benchmark::State& state, bool traced,
+                      size_t num_threads) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  std::string source = "base Edge/2. derived Path/2.\n"
+                       "Path(x, y) <- Edge(x, y).\n"
+                       "Path(x, y) <- Path(x, z) & Edge(z, y).\n";
+  size_t n = static_cast<size_t>(state.range(0));
+  for (size_t i = 0; i + 1 < n; ++i) {
+    source += "Edge(E" + std::to_string(i) + ", E" + std::to_string(i + 1) +
+              ").\n";
+  }
+  if (!LoadProgram(db.get(), source).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  FactStoreProvider edb(&db->database().facts());
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  EvaluationOptions options;
+  options.num_threads = num_threads;
+  if (traced) options.obs = obs::ObsContext{&tracer, &metrics};
+
+  for (auto _ : state) {
+    tracer.Clear();
+    BottomUpEvaluator evaluator(db->database().program(), db->symbols(), edb,
+                                options);
+    auto idb = evaluator.Evaluate();
+    if (!idb.ok()) {
+      state.SkipWithError(idb.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(idb->TotalFacts());
+  }
+  state.counters["chain"] = static_cast<double>(n);
+  state.counters["spans"] = static_cast<double>(tracer.size());
+}
+
+void BM_ChainDisabled(benchmark::State& state) {
+  RunChainFixpoint(state, /*traced=*/false, /*num_threads=*/0);
+}
+void BM_ChainTraced(benchmark::State& state) {
+  RunChainFixpoint(state, /*traced=*/true, /*num_threads=*/0);
+}
+
+BENCHMARK(BM_ChainDisabled)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ChainTraced)->Arg(64)->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+// Downward translation on a negation tower: the down.event/down.derived
+// spans and the dnf.* per-op metric flushes dominate.
+void RunTowerDownward(benchmark::State& state, bool traced) {
+  workload::TowerConfig config;
+  config.depth = static_cast<size_t>(state.range(0));
+  config.base_facts = 4;
+  config.with_negation = true;
+  auto db = MakeTowerDatabase(config);
+  if (!db.ok()) {
+    state.SkipWithError(db.status().ToString().c_str());
+    return;
+  }
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (traced) (*db)->set_observability(obs::ObsContext{&tracer, &metrics});
+  auto request = ParseRequest(
+      db->get(), "del " + workload::TowerLayerName(config.depth) + "(" +
+                     workload::TowerElementName(0) + ")");
+  if (!request.ok()) {
+    state.SkipWithError(request.status().ToString().c_str());
+    return;
+  }
+
+  for (auto _ : state) {
+    tracer.Clear();
+    auto result = (*db)->TranslateViewUpdate(*request);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result->dnf.size());
+  }
+  state.counters["depth"] = static_cast<double>(config.depth);
+  state.counters["spans"] = static_cast<double>(tracer.size());
+}
+
+void BM_DownwardDisabled(benchmark::State& state) {
+  RunTowerDownward(state, /*traced=*/false);
+}
+void BM_DownwardTraced(benchmark::State& state) {
+  RunTowerDownward(state, /*traced=*/true);
+}
+
+BENCHMARK(BM_DownwardDisabled)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DownwardTraced)->Arg(8)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace deddb
+
+BENCHMARK_MAIN();

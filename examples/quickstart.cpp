@@ -15,7 +15,7 @@
 using namespace deddb;  // NOLINT — example brevity
 
 int main() {
-  DeductiveDatabase db(EventCompilerOptions{.simplify = false});
+  DeductiveDatabase db(EventCompilerOptions{.simplify = false, .obs = {}});
   auto loaded = LoadProgram(&db, R"(
     base Q/1.
     base R/1.

@@ -34,7 +34,7 @@ namespace deddb {
 class DeductiveDatabase {
  public:
   explicit DeductiveDatabase(EventCompilerOptions compiler_options =
-                                 EventCompilerOptions{.simplify = true});
+                                 EventCompilerOptions{.simplify = true, .obs = {}});
 
   // ---- Schema & content ---------------------------------------------------
 
@@ -158,6 +158,21 @@ class DeductiveDatabase {
   const ResourceGuard* resource_guard() const {
     return upward_options_.eval.guard;
   }
+
+  /// Attaches observability sinks (tracer and/or metrics registry) to every
+  /// operation this facade performs — event compilation, upward and downward
+  /// interpretation, the problem specs, queries and the update processor.
+  /// Either pointer may be null; `{}` (the default) disables observability,
+  /// whose cost then reduces to one pointer test per instrumentation site
+  /// (same armed-but-idle discipline as set_resource_guard; measured by
+  /// bench_trace_overhead). The sinks must outlive their use.
+  void set_observability(obs::ObsContext obs) {
+    compiler_options_.obs = obs;
+    upward_options_.eval.obs = obs;
+    downward_options_.eval.obs = obs;
+  }
+  obs::ObsContext observability() const { return upward_options_.eval.obs; }
+
   const EventCompilerOptions& compiler_options() const {
     return compiler_options_;
   }

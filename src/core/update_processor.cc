@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace deddb {
@@ -26,6 +28,13 @@ Result<UpdateProcessor::TransactionReport> UpdateProcessor::ProcessTransaction(
   Database& db = db_->database();
   DEDDB_RETURN_IF_ERROR(
       ResourceGuard::Check(db_->upward_options().eval.guard));
+  const obs::ObsContext obs = db_->observability();
+  obs::ScopedSpan span(obs.tracer, "processor.transaction");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db.symbols()));
+    span.AttrInt("apply", apply ? 1 : 0);
+  }
+  obs::MetricsRegistry::Add(obs.metrics, "processor.transactions");
   DEDDB_ASSIGN_OR_RETURN(bool consistent, db_->IsConsistent());
   if (!consistent) {
     return FailedPreconditionError(
@@ -81,12 +90,24 @@ Result<UpdateProcessor::TransactionReport> UpdateProcessor::ProcessTransaction(
   if (report.accepted && apply) {
     DEDDB_RETURN_IF_ERROR(ApplyAtomically(transaction, &report));
   }
+  if (span.enabled()) {
+    span.AttrInt("violations",
+                 static_cast<int64_t>(report.integrity.violations.size()));
+    span.AttrInt("accepted", report.accepted ? 1 : 0);
+  }
+  obs::MetricsRegistry::Add(obs.metrics,
+                            report.accepted
+                                ? "processor.transactions_accepted"
+                                : "processor.transactions_rejected");
   return report;
 }
 
 Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
                                         TransactionReport* report) {
   Database& db = db_->database();
+  const obs::ObsContext obs = db_->observability();
+  obs::ScopedSpan span(obs.tracer, "processor.apply");
+  obs::MetricsRegistry::Add(obs.metrics, "processor.applies");
   FactStore& store = db.materialized_store();
   // The fault pokes are explicit (not DEDDB_FAULT_POINT) because an injected
   // failure here must run the rollback below, not return directly.
@@ -127,6 +148,12 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
     // The transaction passed the incremental integrity check, so the new
     // state is known consistent without re-deriving Ic.
     db_->consistency_cache_ = true;
+    if (span.enabled()) {
+      span.AttrInt("view_inserts",
+                   static_cast<int64_t>(report->views.applied_inserts));
+      span.AttrInt("view_deletes",
+                   static_cast<int64_t>(report->views.applied_deletes));
+    }
     return Status::Ok();
   }
 
@@ -145,6 +172,8 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
   for (const auto& [pred, t] : view_removed) store.Add(pred, t);
   report->views.applied_deletes = 0;
   report->views.applied_inserts = 0;
+  if (span.enabled()) span.AttrInt("rolled_back", 1);
+  obs::MetricsRegistry::Add(obs.metrics, "processor.rollbacks");
   return status;
 }
 
@@ -153,6 +182,12 @@ Result<UpdateProcessor::ViewUpdateOutcome> UpdateProcessor::ProcessViewUpdate(
   Database& db = db_->database();
   DEDDB_RETURN_IF_ERROR(
       ResourceGuard::Check(db_->upward_options().eval.guard));
+  const obs::ObsContext obs = db_->observability();
+  obs::ScopedSpan span(obs.tracer, "processor.view_update");
+  if (span.enabled()) {
+    span.AttrStr("request", request.ToString(db.symbols()));
+  }
+  obs::MetricsRegistry::Add(obs.metrics, "processor.view_updates");
   DEDDB_ASSIGN_OR_RETURN(bool consistent, db_->IsConsistent());
   if (!consistent) {
     return FailedPreconditionError(
@@ -187,6 +222,10 @@ Result<UpdateProcessor::ViewUpdateOutcome> UpdateProcessor::ProcessViewUpdate(
   ViewUpdateOutcome outcome;
   if (policy.check.empty()) {
     outcome.translations = std::move(candidates);
+    if (span.enabled()) {
+      span.AttrInt("translations",
+                   static_cast<int64_t>(outcome.translations.size()));
+    }
     return outcome;
   }
 
@@ -195,6 +234,10 @@ Result<UpdateProcessor::ViewUpdateOutcome> UpdateProcessor::ProcessViewUpdate(
   for (problems::Translation& translation : candidates) {
     DEDDB_RETURN_IF_ERROR(
         ResourceGuard::Check(db_->upward_options().eval.guard));
+    obs::ScopedSpan cand_span(obs.tracer, "processor.candidate");
+    if (cand_span.enabled()) {
+      cand_span.AttrStr("txn", translation.ToString(db.symbols()));
+    }
     UpwardInterpreter upward(&db, compiled, db_->upward_options());
     DEDDB_ASSIGN_OR_RETURN(
         DerivedEvents events,
@@ -204,11 +247,20 @@ Result<UpdateProcessor::ViewUpdateOutcome> UpdateProcessor::ProcessViewUpdate(
       const Relation* rel = events.inserts.Find(ic);
       if (rel != nullptr && rel->size() > 0) violated = true;
     }
+    if (cand_span.enabled()) cand_span.AttrInt("accepted", violated ? 0 : 1);
     if (violated) {
       ++outcome.rejected_by_check;
+      obs::MetricsRegistry::Add(obs.metrics,
+                                "processor.candidates_rejected");
     } else {
       outcome.translations.push_back(std::move(translation));
     }
+  }
+  if (span.enabled()) {
+    span.AttrInt("translations",
+                 static_cast<int64_t>(outcome.translations.size()));
+    span.AttrInt("rejected_by_check",
+                 static_cast<int64_t>(outcome.rejected_by_check));
   }
   return outcome;
 }

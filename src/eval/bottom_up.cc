@@ -6,6 +6,8 @@
 #include "eval/body_eval.h"
 #include "eval/dependency_graph.h"
 #include "eval/stratification.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace deddb {
@@ -134,11 +136,50 @@ Result<FactStore> BottomUpEvaluator::EvaluateFor(
 }
 
 Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
+  const EvaluationStats before = stats_;
+  obs::ScopedSpan span(options_.obs.tracer, "eval");
+  if (span.enabled()) {
+    span.AttrInt("semi_naive", options_.semi_naive ? 1 : 0);
+    span.AttrInt("threads", static_cast<int64_t>(options_.num_threads));
+  }
+  Result<FactStore> result = EvaluateStrata(program);
+  if (span.enabled()) {
+    span.AttrInt("strata", static_cast<int64_t>(stats_.strata - before.strata));
+    span.AttrInt("rounds", static_cast<int64_t>(stats_.rounds - before.rounds));
+    span.AttrInt("rule_firings", static_cast<int64_t>(stats_.rule_firings -
+                                                      before.rule_firings));
+    span.AttrInt("derived_facts", static_cast<int64_t>(stats_.derived_facts -
+                                                       before.derived_facts));
+    if (stats_.interrupted) span.AttrInt("interrupted", 1);
+  }
+  // Per-call deltas (stats_ accumulates across Evaluate calls on one
+  // instance); flushed single-threaded at this completion point so every
+  // value is identical across thread counts.
+  if (obs::MetricsRegistry* metrics = options_.obs.metrics;
+      metrics != nullptr) {
+    metrics->Add("eval.calls");
+    metrics->Add("eval.strata", stats_.strata - before.strata);
+    metrics->Add("eval.rounds", stats_.rounds - before.rounds);
+    metrics->Add("eval.rule_firings",
+                 stats_.rule_firings - before.rule_firings);
+    metrics->Add("eval.derived_facts",
+                 stats_.derived_facts - before.derived_facts);
+    if (stats_.interrupted && !before.interrupted) {
+      metrics->Add("eval.interrupted");
+    }
+  }
+  return result;
+}
+
+Result<FactStore> BottomUpEvaluator::EvaluateStrata(const Program& program) {
   DEDDB_ASSIGN_OR_RETURN(Stratification stratification,
                          Stratify(program, symbols_));
 
   FactStore idb;
+  size_t stratum_index = 0;
   for (const std::vector<SymbolId>& stratum : stratification.strata) {
+    obs::ScopedSpan stratum_span(options_.obs.tracer, "stratum");
+    const EvaluationStats stratum_before = stats_;
     ++stats_.strata;
     Status status = ResourceGuard::Check(options_.guard);
     if (status.ok()) {
@@ -162,6 +203,19 @@ Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
                    ? EvaluateStratumParallel(rules, &idb)
                    : EvaluateStratumSerial(rules, &idb);
     }
+    if (stratum_span.enabled()) {
+      stratum_span.AttrInt("index", static_cast<int64_t>(stratum_index));
+      stratum_span.AttrInt("predicates", static_cast<int64_t>(stratum.size()));
+      stratum_span.AttrInt(
+          "rounds", static_cast<int64_t>(stats_.rounds - stratum_before.rounds));
+      stratum_span.AttrInt("rule_firings",
+                           static_cast<int64_t>(stats_.rule_firings -
+                                                stratum_before.rule_firings));
+      stratum_span.AttrInt("derived_facts",
+                           static_cast<int64_t>(stats_.derived_facts -
+                                                stratum_before.derived_facts));
+    }
+    ++stratum_index;
     if (!status.ok()) {
       // Evaluation unwound early; stats_ holds the partial progress made.
       stats_.interrupted = true;
@@ -210,6 +264,8 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
   // Round 0: plain pass over all rules of the stratum. Non-recursive strata
   // are complete after it, so they skip the delta bookkeeping entirely.
   {
+    obs::ScopedSpan round_span(options_.obs.tracer, "round");
+    const EvaluationStats round_before = stats_;
     ++stats_.rounds;
     DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
@@ -234,6 +290,15 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
       stats_.rule_firings += fired;
       DEDDB_RETURN_IF_ERROR(guard_error);
     }
+    if (round_span.enabled()) {
+      round_span.AttrInt("index", 0);
+      round_span.AttrInt("rule_firings",
+                         static_cast<int64_t>(stats_.rule_firings -
+                                              round_before.rule_firings));
+      round_span.AttrInt("derived_facts",
+                         static_cast<int64_t>(stats_.derived_facts -
+                                              round_before.derived_facts));
+    }
   }
   if (!recursive) return Status::Ok();
 
@@ -245,6 +310,8 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
           StrCat("fixpoint did not converge within ", options_.max_rounds,
                  " rounds"));
     }
+    obs::ScopedSpan round_span(options_.obs.tracer, "round");
+    const EvaluationStats round_before = stats_;
     ++stats_.rounds;
     DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
@@ -300,6 +367,15 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
         stats_.rule_firings += fired;
         DEDDB_RETURN_IF_ERROR(guard_error);
       }
+    }
+    if (round_span.enabled()) {
+      round_span.AttrInt("index", static_cast<int64_t>(round));
+      round_span.AttrInt("rule_firings",
+                         static_cast<int64_t>(stats_.rule_firings -
+                                              round_before.rule_firings));
+      round_span.AttrInt("derived_facts",
+                         static_cast<int64_t>(stats_.derived_facts -
+                                              round_before.derived_facts));
     }
     delta = std::move(new_delta);
   }
@@ -385,6 +461,8 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
   // Round 0: all rules against the pre-stratum snapshot, sliced on the
   // planner's leading literal when it is positive.
   {
+    obs::ScopedSpan round_span(options_.obs.tracer, "round");
+    const EvaluationStats round_before = stats_;
     ++stats_.rounds;
     DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
@@ -416,6 +494,15 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
     }
     run(items, &results);
     DEDDB_RETURN_IF_ERROR(merge(results, recursive ? &delta : nullptr));
+    if (round_span.enabled()) {
+      round_span.AttrInt("index", 0);
+      round_span.AttrInt("rule_firings",
+                         static_cast<int64_t>(stats_.rule_firings -
+                                              round_before.rule_firings));
+      round_span.AttrInt("derived_facts",
+                         static_cast<int64_t>(stats_.derived_facts -
+                                              round_before.derived_facts));
+    }
   }
   if (!recursive) return Status::Ok();
 
@@ -427,6 +514,8 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
           StrCat("fixpoint did not converge within ", options_.max_rounds,
                  " rounds"));
     }
+    obs::ScopedSpan round_span(options_.obs.tracer, "round");
+    const EvaluationStats round_before = stats_;
     ++stats_.rounds;
     DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
@@ -484,6 +573,15 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
     run(items, &results);
     FactStore new_delta(/*indexed=*/false);
     DEDDB_RETURN_IF_ERROR(merge(results, &new_delta));
+    if (round_span.enabled()) {
+      round_span.AttrInt("index", static_cast<int64_t>(round));
+      round_span.AttrInt("rule_firings",
+                         static_cast<int64_t>(stats_.rule_firings -
+                                              round_before.rule_firings));
+      round_span.AttrInt("derived_facts",
+                         static_cast<int64_t>(stats_.derived_facts -
+                                              round_before.derived_facts));
+    }
     delta = std::move(new_delta);
   }
   return Status::Ok();

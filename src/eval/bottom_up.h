@@ -6,6 +6,7 @@
 
 #include "datalog/program.h"
 #include "eval/fact_provider.h"
+#include "obs/obs.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -38,6 +39,13 @@ struct EvaluationOptions {
   /// derived earlier in the same round). Requires the EDB FactProvider's
   /// const methods to be thread-safe; all FactStore-backed providers are.
   size_t num_threads = 0;
+  /// Optional observability hookup (tracing spans + metrics); both pointers
+  /// nullable, default fully disabled. Spans are begun only from the
+  /// orchestration thread (evaluation / stratum / round barriers, never
+  /// inside work items) and metrics are recorded at the same merge points,
+  /// so the span tree and every metric value are identical for every
+  /// num_threads >= 1 (the determinism contract of DESIGN.md §7).
+  obs::ObsContext obs;
 };
 
 struct EvaluationStats {
@@ -78,7 +86,10 @@ class BottomUpEvaluator {
     std::vector<size_t> recursive_positions;
   };
 
+  // Span/metrics wrapper around EvaluateStrata (the pre-observability
+  // EvaluateProgram body).
   Result<FactStore> EvaluateProgram(const Program& program);
+  Result<FactStore> EvaluateStrata(const Program& program);
   Status EvaluateStratumSerial(const std::vector<StratumRule>& rules,
                                FactStore* idb);
   Status EvaluateStratumParallel(const std::vector<StratumRule>& rules,

@@ -5,6 +5,8 @@
 #include "datalog/unify.h"
 #include "eval/body_eval.h"
 #include "eval/stratification.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace deddb {
@@ -263,12 +265,17 @@ Status QueryEngine::MaterializeFor(SymbolId goal_pred) {
   if (materialized_.count(goal_pred) > 0 || !program_.Defines(goal_pred)) {
     return Status::Ok();
   }
+  obs::ScopedSpan span(options_.obs.tracer, "query.materialize");
+  if (span.enabled()) span.AttrStr("goal", symbols_.NameOf(goal_pred));
+  obs::MetricsRegistry::Add(options_.obs.metrics, "query.materializations");
   BottomUpEvaluator evaluator(program_, symbols_, edb_, options_);
   Result<FactStore> idb = evaluator.EvaluateFor({goal_pred});
   // Fold the evaluator's stats in even when it unwound early, so callers see
-  // the partial progress behind a guard trip.
+  // the partial progress behind a guard trip (accumulate contract: see
+  // bottom_up_stats()).
   const EvaluationStats& s = evaluator.stats();
   bu_stats_.rounds += s.rounds;
+  bu_stats_.strata += s.strata;
   bu_stats_.rule_firings += s.rule_firings;
   bu_stats_.derived_facts += s.derived_facts;
   bu_stats_.interrupted |= s.interrupted;

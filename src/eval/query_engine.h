@@ -70,7 +70,17 @@ class QueryEngine {
   /// Maximum top-down resolution depth before giving up.
   void set_max_depth(size_t depth) { max_depth_ = depth; }
 
+  /// Bottom-up work done by demand-driven materialization, **accumulated**
+  /// across every Solve*/Holds/Exists call since construction or the last
+  /// ResetStats() — a reused engine reports cumulative totals by design
+  /// (the engine is a cache; its cost is amortized over the queries it
+  /// serves). For per-query numbers, snapshot before and diff after, or call
+  /// ResetStats() between queries. InvalidateCache() does NOT reset stats:
+  /// the work already done stays counted.
   const EvaluationStats& bottom_up_stats() const { return bu_stats_; }
+
+  /// Zeroes bottom_up_stats(); see the accumulate contract above.
+  void ResetStats() { bu_stats_ = EvaluationStats{}; }
 
  private:
   // Renames the goal's variables to canonical ids (in order of first

@@ -6,6 +6,8 @@
 #include "eval/dependency_graph.h"
 #include "events/event_rules.h"
 #include "events/transition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/resource_guard.h"
 #include "util/strings.h"
 
@@ -32,6 +34,10 @@ bool NormalizeBody(std::vector<Literal>* body) {
 
 Result<CompiledEvents> EventCompiler::Compile() {
   DEDDB_FAULT_POINT(FaultPoint::kEventCompile);
+  obs::ScopedSpan span(options_.obs.tracer, "compile.events");
+  if (span.enabled()) {
+    span.AttrInt("simplify", options_.simplify ? 1 : 0);
+  }
   PredicateTable& predicates = db_->predicates();
   SymbolTable& symbols = db_->symbols();
 
@@ -160,6 +166,22 @@ Result<CompiledEvents> EventCompiler::Compile() {
     for (const Rule& rule : part->rules()) {
       out.augmented.AddRuleUnchecked(rule);
     }
+  }
+  if (span.enabled()) {
+    span.AttrInt("derived", static_cast<int64_t>(out.derived_order.size()));
+    span.AttrInt("transition_rules",
+                 static_cast<int64_t>(out.transition.rules().size()));
+    span.AttrInt("event_rules",
+                 static_cast<int64_t>(out.event_rules.rules().size()));
+    span.AttrInt("augmented_rules",
+                 static_cast<int64_t>(out.augmented.rules().size()));
+  }
+  if (obs::MetricsRegistry* metrics = options_.obs.metrics;
+      metrics != nullptr) {
+    metrics->Add("compile.calls");
+    metrics->Add("compile.transition_rules", out.transition.rules().size());
+    metrics->Add("compile.event_rules", out.event_rules.rules().size());
+    metrics->Add("compile.augmented_rules", out.augmented.rules().size());
   }
   return out;
 }

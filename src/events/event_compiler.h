@@ -2,6 +2,7 @@
 #define DEDDB_EVENTS_EVENT_COMPILER_H_
 
 #include "datalog/program.h"
+#include "obs/obs.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -22,6 +23,9 @@ struct EventCompilerOptions {
   ///    (L and ¬L) are dropped.
   /// Measured by the Perf-D ablation benchmark.
   bool simplify = false;
+  /// Observability sinks (may be empty): Compile() opens a `compile.events`
+  /// span and records `compile.*` metrics.
+  obs::ObsContext obs;
 };
 
 /// The compiled event machinery of a deductive database (paper §3), split

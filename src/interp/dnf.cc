@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace deddb {
@@ -161,7 +162,8 @@ void Dnf::EnforceCap(size_t max_disjuncts) {
 }
 
 Result<Dnf> Dnf::Or(const Dnf& a, const Dnf& b, const EventPossibleFn& possible,
-                    size_t max_disjuncts, const ResourceGuard* guard) {
+                    size_t max_disjuncts, const ResourceGuard* guard,
+                    obs::MetricsRegistry* metrics) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::CheckTick(guard));
   Dnf out;
   out.approximate_ = a.approximate_ || b.approximate_;
@@ -170,15 +172,23 @@ Result<Dnf> Dnf::Or(const Dnf& a, const Dnf& b, const EventPossibleFn& possible,
                         b.disjuncts_.end());
   out.Normalize(possible);
   out.EnforceCap(max_disjuncts);
+  if (metrics != nullptr) {
+    metrics->Add("dnf.or_ops");
+    metrics->Observe("dnf.result_disjuncts",
+                     static_cast<int64_t>(out.disjuncts_.size()));
+  }
   return out;
 }
 
 Result<Dnf> Dnf::And(const Dnf& a, const Dnf& b,
                      const EventPossibleFn& possible, size_t max_disjuncts,
-                     const ResourceGuard* guard) {
+                     const ResourceGuard* guard,
+                     obs::MetricsRegistry* metrics) {
   DEDDB_FAULT_POINT(FaultPoint::kDnfExpand);
   Dnf out;
   out.approximate_ = a.approximate_ || b.approximate_;
+  // Tallied locally, flushed once at return — no per-conjunct registry lock.
+  uint64_t conjuncts_built = 0;
   // Shed contradictions (and, past the cap, non-minimal alternatives) as
   // the product grows.
   auto compact = [&]() {
@@ -191,6 +201,7 @@ Result<Dnf> Dnf::And(const Dnf& a, const Dnf& b,
       // Charged per conjunct *constructed*, including ones a later compact
       // prunes — the budget caps the expansion work, not the result size.
       DEDDB_RETURN_IF_ERROR(ResourceGuard::ChargeDnfTerms(guard, 1));
+      ++conjuncts_built;
       Conjunct merged = ca;
       for (const EventLiteral& lit : cb.literals()) merged.Add(lit);
       out.disjuncts_.push_back(std::move(merged));
@@ -198,13 +209,30 @@ Result<Dnf> Dnf::And(const Dnf& a, const Dnf& b,
     }
   }
   compact();
+  if (metrics != nullptr) {
+    metrics->Add("dnf.and_ops");
+    metrics->Add("dnf.conjuncts_built", conjuncts_built);
+    metrics->Observe("dnf.result_disjuncts",
+                     static_cast<int64_t>(out.disjuncts_.size()));
+  }
   return out;
 }
 
 Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
                             const EventPossibleFn& possible,
-                            size_t max_disjuncts, const ResourceGuard* guard) {
+                            size_t max_disjuncts, const ResourceGuard* guard,
+                            obs::MetricsRegistry* metrics) {
   DEDDB_FAULT_POINT(FaultPoint::kDnfExpand);
+  uint64_t conjuncts_built = 0;
+  auto flush = [&](Dnf d) -> Dnf {
+    if (metrics != nullptr) {
+      metrics->Add("dnf.and_negated_ops");
+      metrics->Add("dnf.conjuncts_built", conjuncts_built);
+      metrics->Observe("dnf.result_disjuncts",
+                       static_cast<int64_t>(d.size()));
+    }
+    return d;
+  };
   Dnf out = context;
   out.approximate_ = context.approximate_ || to_negate.approximate_;
 
@@ -246,7 +274,7 @@ Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
       choices.push_back(negated);
     }
     if (factor_true) continue;
-    if (choices.empty()) return Dnf::False();
+    if (choices.empty()) return flush(Dnf::False());
 
     std::vector<Conjunct> next;
     next.reserve(out.disjuncts_.size());
@@ -286,6 +314,7 @@ Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
           for (const EventLiteral& choice : choices) {
             if (!choice.positive || o.Contains(choice.Negated())) continue;
             DEDDB_RETURN_IF_ERROR(ResourceGuard::ChargeDnfTerms(guard, 1));
+            ++conjuncts_built;
             Conjunct extended = o;
             extended.Add(choice);
             next.push_back(std::move(extended));
@@ -296,6 +325,7 @@ Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
       for (const EventLiteral& choice : choices) {
         if (o.Contains(choice.Negated())) continue;  // contradiction
         DEDDB_RETURN_IF_ERROR(ResourceGuard::ChargeDnfTerms(guard, 1));
+        ++conjuncts_built;
         Conjunct extended = o;
         extended.Add(choice);
         next.push_back(std::move(extended));
@@ -305,21 +335,34 @@ Result<Dnf> Dnf::AndNegated(const Dnf& context, const Dnf& to_negate,
     next.erase(std::unique(next.begin(), next.end()), next.end());
     out.disjuncts_ = std::move(next);
     out.EnforceCap(max_disjuncts);
-    if (out.IsFalse()) return out;
+    if (out.IsFalse()) return flush(std::move(out));
   }
   out.Normalize(possible);
-  return out;
+  return flush(std::move(out));
 }
 
 Result<Dnf> Dnf::Negate(const Dnf& dnf, const EventPossibleFn& possible,
-                        size_t max_disjuncts, const ResourceGuard* guard) {
+                        size_t max_disjuncts, const ResourceGuard* guard,
+                        obs::MetricsRegistry* metrics) {
+  obs::MetricsRegistry::Add(metrics, "dnf.negate_ops");
   // Negation is conjunction of the negated factors over an empty context.
-  return AndNegated(Dnf::True(), dnf, possible, max_disjuncts, guard);
+  return AndNegated(Dnf::True(), dnf, possible, max_disjuncts, guard, metrics);
 }
 
 Result<Dnf> Dnf::NegateExact(const Dnf& dnf, const EventPossibleFn& possible,
-                             size_t max_disjuncts, const ResourceGuard* guard) {
+                             size_t max_disjuncts, const ResourceGuard* guard,
+                             obs::MetricsRegistry* metrics) {
   DEDDB_FAULT_POINT(FaultPoint::kDnfExpand);
+  uint64_t conjuncts_built = 0;
+  auto flush = [&](Dnf d) -> Dnf {
+    if (metrics != nullptr) {
+      metrics->Add("dnf.negate_exact_ops");
+      metrics->Add("dnf.conjuncts_built", conjuncts_built);
+      metrics->Observe("dnf.result_disjuncts",
+                       static_cast<int64_t>(d.size()));
+    }
+    return d;
+  };
   // ¬(C1 | C2 | ...) = ¬C1 & ¬C2 & ...; each factor ¬Ci is a disjunction of
   // the negated literals of Ci. The product is folded with *absorption*: a
   // conjunct that already contains one of a factor's choices satisfies it
@@ -345,7 +388,7 @@ Result<Dnf> Dnf::NegateExact(const Dnf& dnf, const EventPossibleFn& possible,
       choices.push_back(negated);
     }
     if (factor_true) continue;
-    if (choices.empty()) return Dnf::False();  // ¬Ci unsatisfiable
+    if (choices.empty()) return flush(Dnf::False());  // ¬Ci unsatisfiable
 
     std::vector<Conjunct> next;
     next.reserve(out.disjuncts_.size());
@@ -364,6 +407,7 @@ Result<Dnf> Dnf::NegateExact(const Dnf& dnf, const EventPossibleFn& possible,
       for (const EventLiteral& choice : choices) {
         if (o.Contains(choice.Negated())) continue;  // contradiction
         DEDDB_RETURN_IF_ERROR(ResourceGuard::ChargeDnfTerms(guard, 1));
+        ++conjuncts_built;
         Conjunct extended = o;
         extended.Add(choice);
         next.push_back(std::move(extended));
@@ -380,10 +424,10 @@ Result<Dnf> Dnf::NegateExact(const Dnf& dnf, const EventPossibleFn& possible,
             StrCat("DNF exceeded ", max_disjuncts, " disjuncts during NOT"));
       }
     }
-    if (out.IsFalse()) return out;
+    if (out.IsFalse()) return flush(std::move(out));
   }
   out.Normalize(possible);
-  return out;
+  return flush(std::move(out));
 }
 
 std::string Dnf::ToString(const SymbolTable& symbols) const {

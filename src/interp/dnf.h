@@ -11,6 +11,10 @@
 #include "util/resource_guard.h"
 #include "util/status.h"
 
+namespace deddb::obs {
+class MetricsRegistry;
+}  // namespace deddb::obs
+
 namespace deddb {
 
 /// A ground base event fact: `ιQ(C)` or `δQ(C)` for a base predicate Q
@@ -153,17 +157,25 @@ class Dnf {
   // loops tick the guard for deadline/cancellation. max_disjuncts remains
   // the structural per-DNF cap (with minimal-frontier fallback); the guard
   // budget is the cumulative per-request work cap on top of it.
+  //
+  // They also take an optional MetricsRegistry. When non-null, each op
+  // records `dnf.<op>_ops`, the conjuncts it constructed
+  // (`dnf.conjuncts_built`, the same quantity the guard budget charges) and
+  // a `dnf.result_disjuncts` histogram observation — flushed once per op,
+  // so the disabled cost is one pointer test.
 
   /// Logical OR: union of disjuncts, then normalization.
   static Result<Dnf> Or(const Dnf& a, const Dnf& b,
                         const EventPossibleFn& possible, size_t max_disjuncts,
-                        const ResourceGuard* guard = nullptr);
+                        const ResourceGuard* guard = nullptr,
+                        obs::MetricsRegistry* metrics = nullptr);
 
   /// Logical AND: pairwise conjunct products, then normalization. Fails with
   /// kResourceExhausted if the result would exceed `max_disjuncts`.
   static Result<Dnf> And(const Dnf& a, const Dnf& b,
                          const EventPossibleFn& possible, size_t max_disjuncts,
-                         const ResourceGuard* guard = nullptr);
+                         const ResourceGuard* guard = nullptr,
+                         obs::MetricsRegistry* metrics = nullptr);
 
   /// Logical negation, redistributed to DNF (De Morgan), as prescribed for
   /// negative derived events and negative new-state literals (§4.2).
@@ -171,7 +183,8 @@ class Dnf {
   /// flagged approximate past the size cap.
   static Result<Dnf> Negate(const Dnf& dnf, const EventPossibleFn& possible,
                             size_t max_disjuncts,
-                            const ResourceGuard* guard = nullptr);
+                            const ResourceGuard* guard = nullptr,
+                            obs::MetricsRegistry* metrics = nullptr);
 
   /// Exact negation: no minimal-frontier fallback; fails with
   /// kResourceExhausted when the product exceeds `max_disjuncts`. Used by
@@ -180,7 +193,8 @@ class Dnf {
   static Result<Dnf> NegateExact(const Dnf& dnf,
                                  const EventPossibleFn& possible,
                                  size_t max_disjuncts,
-                                 const ResourceGuard* guard = nullptr);
+                                 const ResourceGuard* guard = nullptr,
+                                 obs::MetricsRegistry* metrics = nullptr);
 
   /// Computes `context & ¬to_negate` by folding the negation factors into
   /// the context one at a time. Equivalent to And(context, Negate(...)) but
@@ -192,7 +206,8 @@ class Dnf {
   static Result<Dnf> AndNegated(const Dnf& context, const Dnf& to_negate,
                                 const EventPossibleFn& possible,
                                 size_t max_disjuncts,
-                                const ResourceGuard* guard = nullptr);
+                                const ResourceGuard* guard = nullptr,
+                                obs::MetricsRegistry* metrics = nullptr);
 
   /// Normalizes in place: per-conjunct simplification, deduplication,
   /// subsumption removal, deterministic order.

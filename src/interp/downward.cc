@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "datalog/unify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace deddb {
@@ -52,6 +54,48 @@ EventPossibleFn DownwardInterpreter::possible_fn() const {
 }
 
 Result<Dnf> DownwardInterpreter::Interpret(const UpdateRequest& request) {
+  obs::ScopedSpan span(options_.eval.obs.tracer, "downward");
+  const DownwardStats before = stats_;
+  if (span.enabled()) {
+    span.AttrStr("request", request.ToString(db_->symbols()));
+  }
+  Result<Dnf> result = InterpretImpl(request);
+  if (span.enabled()) {
+    span.AttrInt("branches_explored",
+                 static_cast<int64_t>(stats_.branches_explored -
+                                      before.branches_explored));
+    span.AttrInt("old_state_queries",
+                 static_cast<int64_t>(stats_.old_state_queries -
+                                      before.old_state_queries));
+    span.AttrInt("negations",
+                 static_cast<int64_t>(stats_.negations - before.negations));
+    span.AttrInt("domain_enumerations",
+                 static_cast<int64_t>(stats_.domain_enumerations -
+                                      before.domain_enumerations));
+    if (result.ok()) {
+      span.AttrInt("disjuncts", static_cast<int64_t>(result->size()));
+      if (result->approximate()) span.AttrInt("approximate", 1);
+    }
+  }
+  if (obs::MetricsRegistry* metrics = options_.eval.obs.metrics;
+      metrics != nullptr) {
+    metrics->Add("downward.calls");
+    metrics->Add("downward.branches_explored",
+                 stats_.branches_explored - before.branches_explored);
+    metrics->Add("downward.old_state_queries",
+                 stats_.old_state_queries - before.old_state_queries);
+    metrics->Add("downward.negations", stats_.negations - before.negations);
+    metrics->Add("downward.domain_enumerations",
+                 stats_.domain_enumerations - before.domain_enumerations);
+    if (result.ok()) {
+      metrics->Observe("downward.result_disjuncts",
+                       static_cast<int64_t>(result->size()));
+    }
+  }
+  return result;
+}
+
+Result<Dnf> DownwardInterpreter::InterpretImpl(const UpdateRequest& request) {
   // The request's constants join the finite domain (§2): negations and
   // instantiations must range over them even if the database has never seen
   // them (e.g. inserting a view fact about a brand-new individual).
@@ -75,16 +119,36 @@ Result<Dnf> DownwardInterpreter::Interpret(const UpdateRequest& request) {
 
   Dnf acc = Dnf::True();
   for (const RequestedEvent* event : ordered) {
+    obs::ScopedSpan event_span(options_.eval.obs.tracer, "down.event");
+    if (event_span.enabled()) {
+      event_span.AttrStr("event", event->ToString(db_->symbols()));
+    }
     DEDDB_ASSIGN_OR_RETURN(Dnf d,
                            DownEvent(event->predicate, event->args,
                                      event->is_insert, /*depth=*/0));
-    if (!event->positive) {
-      ++stats_.negations;
-      DEDDB_ASSIGN_OR_RETURN(
-          acc, Dnf::AndNegated(acc, d, possible, options_.max_disjuncts, options_.eval.guard));
-    } else {
-      DEDDB_ASSIGN_OR_RETURN(
-          acc, Dnf::And(acc, d, possible, options_.max_disjuncts, options_.eval.guard));
+    if (event_span.enabled()) {
+      event_span.AttrInt("disjuncts", static_cast<int64_t>(d.size()));
+    }
+    {
+      obs::ScopedSpan combine_span(options_.eval.obs.tracer, "dnf.combine");
+      if (combine_span.enabled()) {
+        combine_span.AttrStr("op", event->positive ? "and" : "and_negated");
+        combine_span.AttrInt("lhs", static_cast<int64_t>(acc.size()));
+        combine_span.AttrInt("rhs", static_cast<int64_t>(d.size()));
+      }
+      if (!event->positive) {
+        ++stats_.negations;
+        DEDDB_ASSIGN_OR_RETURN(
+            acc, Dnf::AndNegated(acc, d, possible, options_.max_disjuncts,
+                                 options_.eval.guard, options_.eval.obs.metrics));
+      } else {
+        DEDDB_ASSIGN_OR_RETURN(
+            acc, Dnf::And(acc, d, possible, options_.max_disjuncts,
+                          options_.eval.guard, options_.eval.obs.metrics));
+      }
+      if (combine_span.enabled()) {
+        combine_span.AttrInt("out", static_cast<int64_t>(acc.size()));
+      }
     }
     if (acc.IsFalse()) return acc;
   }
@@ -115,6 +179,12 @@ Result<Dnf> DownwardInterpreter::DownEvent(SymbolId pred,
     return DownBaseEvent(pred, args, is_insert);
   }
 
+  obs::ScopedSpan span(options_.eval.obs.tracer, "down.derived");
+  if (span.enabled()) {
+    span.AttrStr("event", StrCat(is_insert ? "ins " : "del ",
+                                 Atom(pred, args).ToString(db_->symbols())));
+  }
+
   // Ground derived events recur across disjuncts and factors; memoize.
   Atom memo_goal(pred, args);
   GroundEventKey memo_key;
@@ -123,7 +193,13 @@ Result<Dnf> DownwardInterpreter::DownEvent(SymbolId pred,
     memo_key =
         GroundEventKey{pred, is_insert, TupleFromAtom(memo_goal)};
     auto it = event_memo_.find(memo_key);
-    if (it != event_memo_.end()) return it->second;
+    if (it != event_memo_.end()) {
+      if (span.enabled()) {
+        span.AttrInt("memo_hit", 1);
+        span.AttrInt("disjuncts", static_cast<int64_t>(it->second.size()));
+      }
+      return it->second;
+    }
   }
 
   DEDDB_ASSIGN_OR_RETURN(
@@ -143,9 +219,18 @@ Result<Dnf> DownwardInterpreter::DownEvent(SymbolId pred,
             DownNew(new_sym, pred, args, /*check_not_old=*/false, depth));
       }
       event_memo_.emplace(memo_key, result);
+      if (span.enabled()) {
+        span.AttrInt("disjuncts", static_cast<int64_t>(result.size()));
+      }
       return result;
     }
-    return DownNew(new_sym, pred, args, /*check_not_old=*/true, depth);
+    DEDDB_ASSIGN_OR_RETURN(
+        Dnf open_result,
+        DownNew(new_sym, pred, args, /*check_not_old=*/true, depth));
+    if (span.enabled()) {
+      span.AttrInt("disjuncts", static_cast<int64_t>(open_result.size()));
+    }
+    return open_result;
   }
 
   // δP(x) -> P⁰(x) & ¬Pⁿ(x): branch over the old instances, then negate the
@@ -163,11 +248,14 @@ Result<Dnf> DownwardInterpreter::DownEvent(SymbolId pred,
         DownNew(new_sym, pred, ground_args, /*check_not_old=*/false, depth));
     ++stats_.negations;
     DEDDB_ASSIGN_OR_RETURN(Dnf neg,
-                           Dnf::Negate(dn, possible, options_.max_disjuncts, options_.eval.guard));
+                           Dnf::Negate(dn, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics));
     DEDDB_ASSIGN_OR_RETURN(acc,
-                           Dnf::Or(acc, neg, possible, options_.max_disjuncts, options_.eval.guard));
+                           Dnf::Or(acc, neg, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics));
   }
   if (memoizable) event_memo_.emplace(memo_key, acc);
+  if (span.enabled()) {
+    span.AttrInt("disjuncts", static_cast<int64_t>(acc.size()));
+  }
   return acc;
 }
 
@@ -197,7 +285,7 @@ Result<Dnf> DownwardInterpreter::DownBaseEvent(SymbolId pred,
       if (!MatchAtomAgainstTuple(goal, t, &subst)) return;
       Result<Dnf> merged =
           Dnf::Or(acc, Dnf::Of(BaseEventFact{false, pred, t}), possible,
-                  options_.max_disjuncts, options_.eval.guard);
+                  options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
       if (!merged.ok()) {
         status = merged.status();
         return;
@@ -227,7 +315,7 @@ Result<Dnf> DownwardInterpreter::DownBaseEvent(SymbolId pred,
             return;
           }
           Result<Dnf> merged =
-              Dnf::Or(acc, Dnf::Of(ev), possible, options_.max_disjuncts, options_.eval.guard);
+              Dnf::Or(acc, Dnf::Of(ev), possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
           if (!merged.ok()) {
             status = merged.status();
             return;
@@ -276,7 +364,7 @@ Result<Dnf> DownwardInterpreter::DownNew(SymbolId new_sym, SymbolId old_pred,
         Dnf branch,
         DownBody(rule, &subst, &done, old_pred, check_not_old, depth));
     DEDDB_ASSIGN_OR_RETURN(
-        acc, Dnf::Or(acc, branch, possible, options_.max_disjuncts, options_.eval.guard));
+        acc, Dnf::Or(acc, branch, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics));
   }
   return acc;
 }
@@ -408,7 +496,7 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
             Dnf branch,
             DownBody(rule, subst, done, old_pred, check_not_old, depth));
         DEDDB_ASSIGN_OR_RETURN(
-            acc, Dnf::Or(acc, branch, possible, options_.max_disjuncts, options_.eval.guard));
+            acc, Dnf::Or(acc, branch, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics));
       }
       for (VarId v : bound_here) subst->Unbind(v);
     }
@@ -426,7 +514,7 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
         DEDDB_ASSIGN_OR_RETURN(
             Dnf rest,
             DownBody(rule, subst, done, old_pred, check_not_old, depth));
-        return Dnf::And(Dnf::Of(ev), rest, possible, options_.max_disjuncts, options_.eval.guard);
+        return Dnf::And(Dnf::Of(ev), rest, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
       }
       DEDDB_ASSIGN_OR_RETURN(
           Dnf rest,
@@ -436,7 +524,7 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
       Conjunct c;
       c.Add(EventLiteral{ev, /*positive=*/false});
       requirement.AddDisjunct(std::move(c));
-      return Dnf::And(requirement, rest, possible, options_.max_disjuncts, options_.eval.guard);
+      return Dnf::And(requirement, rest, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
     }
     // Open positive base event: instantiate, then recurse per instance.
     ++stats_.domain_enumerations;
@@ -464,12 +552,12 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
             status = rest.status();
           } else {
             Result<Dnf> combined = Dnf::And(Dnf::Of(ev), *rest, possible,
-                                            options_.max_disjuncts, options_.eval.guard);
+                                            options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
             if (!combined.ok()) {
               status = combined.status();
             } else {
               Result<Dnf> merged = Dnf::Or(acc, *combined, possible,
-                                           options_.max_disjuncts, options_.eval.guard);
+                                           options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
               if (!merged.ok()) {
                 status = merged.status();
               } else {
@@ -539,12 +627,12 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
     if (!lit.positive()) {
       ++stats_.negations;
       DEDDB_ASSIGN_OR_RETURN(
-          sub, Dnf::Negate(sub, possible, options_.max_disjuncts, options_.eval.guard));
+          sub, Dnf::Negate(sub, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics));
     }
     if (sub.IsFalse()) return Dnf::False();
     DEDDB_ASSIGN_OR_RETURN(
         Dnf rest, DownBody(rule, subst, done, old_pred, check_not_old, depth));
-    return Dnf::And(sub, rest, possible, options_.max_disjuncts, options_.eval.guard);
+    return Dnf::And(sub, rest, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
   }
 
   // Open positive derived event: instantiate its unbound variables over the
@@ -588,13 +676,13 @@ Result<Dnf> DownwardInterpreter::DownBody(const Rule& rule,
         return;
       }
       Result<Dnf> combined =
-          Dnf::And(*sub, *rest, possible, options_.max_disjuncts, options_.eval.guard);
+          Dnf::And(*sub, *rest, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
       if (!combined.ok()) {
         status = combined.status();
         return;
       }
       Result<Dnf> merged =
-          Dnf::Or(acc, *combined, possible, options_.max_disjuncts, options_.eval.guard);
+          Dnf::Or(acc, *combined, possible, options_.max_disjuncts, options_.eval.guard, options_.eval.obs.metrics);
       if (!merged.ok()) {
         status = merged.status();
         return;

@@ -79,6 +79,8 @@ class DownwardInterpreter {
   EventPossibleFn possible_fn() const;
 
  private:
+  // Interpret() minus the span/metrics envelope.
+  Result<Dnf> InterpretImpl(const UpdateRequest& request);
   // ιP/δP with (possibly open) args; dispatches on base vs derived.
   Result<Dnf> DownEvent(SymbolId pred, const std::vector<Term>& args,
                         bool is_insert, size_t depth);

@@ -6,6 +6,8 @@
 #include "eval/body_eval.h"
 #include "eval/bottom_up.h"
 #include "eval/dependency_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace deddb {
@@ -22,13 +24,51 @@ Result<DerivedEvents> UpwardInterpreter::InducedEvents(
 
 Result<DerivedEvents> UpwardInterpreter::InducedEventsFor(
     const Transaction& transaction, const std::vector<SymbolId>& goals) {
-  switch (options_.strategy) {
-    case UpwardStrategy::kEventRules:
-      return RunEventRules(transaction, goals);
-    case UpwardStrategy::kRecompute:
-      return RunRecompute(transaction, goals);
+  obs::ScopedSpan span(options_.eval.obs.tracer, "upward");
+  const UpwardStats before = stats_;
+  if (span.enabled()) {
+    span.AttrStr("strategy", options_.strategy == UpwardStrategy::kEventRules
+                                 ? "event_rules"
+                                 : "recompute");
+    span.AttrInt("txn_events", static_cast<int64_t>(transaction.size()));
   }
-  return InternalError("unknown upward strategy");
+  Result<DerivedEvents> result = [&]() -> Result<DerivedEvents> {
+    switch (options_.strategy) {
+      case UpwardStrategy::kEventRules:
+        return RunEventRules(transaction, goals);
+      case UpwardStrategy::kRecompute:
+        return RunRecompute(transaction, goals);
+    }
+    return InternalError("unknown upward strategy");
+  }();
+  if (span.enabled()) {
+    span.AttrInt("bodies_evaluated",
+                 static_cast<int64_t>(stats_.bodies_evaluated -
+                                      before.bodies_evaluated));
+    span.AttrInt("candidates_checked",
+                 static_cast<int64_t>(stats_.candidates_checked -
+                                      before.candidates_checked));
+    span.AttrInt("events_found", static_cast<int64_t>(stats_.events_found -
+                                                      before.events_found));
+    if (result.ok()) {
+      span.AttrInt("induced", static_cast<int64_t>(result->size()));
+    }
+  }
+  if (obs::MetricsRegistry* metrics = options_.eval.obs.metrics;
+      metrics != nullptr) {
+    metrics->Add("upward.calls");
+    metrics->Add("upward.bodies_evaluated",
+                 stats_.bodies_evaluated - before.bodies_evaluated);
+    metrics->Add("upward.candidates_checked",
+                 stats_.candidates_checked - before.candidates_checked);
+    metrics->Add("upward.events_found",
+                 stats_.events_found - before.events_found);
+    if (result.ok()) {
+      metrics->Observe("upward.induced_events",
+                       static_cast<int64_t>(result->size()));
+    }
+  }
+  return result;
 }
 
 Result<bool> UpwardInterpreter::NewStateHolds(SymbolId new_sym,
@@ -75,6 +115,13 @@ Result<DerivedEvents> UpwardInterpreter::RunEventRules(
 
   for (SymbolId pred : compiled_->derived_order) {
     if (needed.count(pred) == 0) continue;
+    obs::ScopedSpan pred_span(options_.eval.obs.tracer, "upward.pred");
+    const UpwardStats pred_before = stats_;
+    const size_t inserts_before =
+        pred_span.enabled() ? events.inserts.TotalFacts() : 0;
+    const size_t deletes_before =
+        pred_span.enabled() ? events.deletes.TotalFacts() : 0;
+    if (pred_span.enabled()) pred_span.AttrStr("name", symbols.NameOf(pred));
     DEDDB_FAULT_POINT(FaultPoint::kUpwardBody);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options_.eval.guard));
     DEDDB_ASSIGN_OR_RETURN(
@@ -165,6 +212,20 @@ Result<DerivedEvents> UpwardInterpreter::RunEventRules(
       }
     });
     DEDDB_RETURN_IF_ERROR(inner);
+    if (pred_span.enabled()) {
+      pred_span.AttrInt("bodies_evaluated",
+                        static_cast<int64_t>(stats_.bodies_evaluated -
+                                             pred_before.bodies_evaluated));
+      pred_span.AttrInt("candidates_checked",
+                        static_cast<int64_t>(stats_.candidates_checked -
+                                             pred_before.candidates_checked));
+      pred_span.AttrInt("inserts",
+                        static_cast<int64_t>(events.inserts.TotalFacts() -
+                                             inserts_before));
+      pred_span.AttrInt("deletes",
+                        static_cast<int64_t>(events.deletes.TotalFacts() -
+                                             deletes_before));
+    }
   }
   return events;
 }

@@ -1,0 +1,45 @@
+#ifndef DEDDB_OBS_EXPLAIN_H_
+#define DEDDB_OBS_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace deddb::obs {
+
+struct RenderOptions {
+  /// Include per-span wall time. Off by default so the output is a pure
+  /// structural record — the normalized form the golden-trace tests compare.
+  bool include_timings = false;
+  /// Include span ids. Off by default: ids are implied by tree order.
+  bool include_ids = false;
+};
+
+/// Renders the span forest as an indented tree, one span per line:
+///
+///   eval semi_naive=1 threads=0
+///     stratum index=0 predicates=1 rounds=2 rule_firings=3 derived_facts=2
+///       round index=0 rule_firings=3 derived_facts=2
+///
+/// Attributes appear in insertion order; string values are double-quoted.
+/// With default options the output is deterministic for a fixed execution
+/// structure (no timings, no machine-dependent content).
+std::string RenderSpanTree(const std::vector<Span>& spans,
+                           const RenderOptions& options = {});
+std::string RenderSpanTree(const Tracer& tracer,
+                           const RenderOptions& options = {});
+
+/// Human-readable account of a traced run: the same tree, with known span
+/// names expanded into prose ("upward interpretation", "fixpoint round",
+/// "candidate translation", accept/reject verdicts highlighted). This is the
+/// EXPLAIN output: for an upward run it shows per-stratum fixpoint rounds
+/// and rule firings; for a downward run the DNF combination steps and the
+/// candidate-translation tree; for UpdateProcessor the accept/reject
+/// reasoning.
+std::string Explain(const std::vector<Span>& spans);
+std::string Explain(const Tracer& tracer);
+
+}  // namespace deddb::obs
+
+#endif  // DEDDB_OBS_EXPLAIN_H_

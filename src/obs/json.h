@@ -1,0 +1,16 @@
+#ifndef DEDDB_OBS_JSON_H_
+#define DEDDB_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace deddb::obs {
+
+/// `text` as a JSON string literal, quotes included: control characters,
+/// quotes and backslashes escaped. Minimal by design — the observability
+/// exports emit JSON but never parse it.
+std::string JsonQuote(std::string_view text);
+
+}  // namespace deddb::obs
+
+#endif  // DEDDB_OBS_JSON_H_

@@ -1,0 +1,27 @@
+#ifndef DEDDB_OBS_OBS_H_
+#define DEDDB_OBS_OBS_H_
+
+namespace deddb::obs {
+
+class Tracer;
+class MetricsRegistry;
+
+/// The observability hookup carried by every evaluation-options struct
+/// (EvaluationOptions::obs, and through it UpwardOptions / DownwardOptions /
+/// the problem facades). Both pointers are nullable and independently
+/// optional; default-constructed means fully disabled, which costs one
+/// pointer test per instrumentation site (DESIGN.md §7).
+///
+/// The pointees must outlive every evaluation they observe; they are owned
+/// by the caller (test, bench, or embedding application), never by the
+/// library.
+struct ObsContext {
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool enabled() const { return tracer != nullptr || metrics != nullptr; }
+};
+
+}  // namespace deddb::obs
+
+#endif  // DEDDB_OBS_OBS_H_

@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+#include "util/strings.h"
+
+namespace deddb::obs {
+
+SpanId Tracer::Begin(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size() + 1);
+  span.parent = stack_.empty() ? kNoSpan : stack_.back();
+  span.name.assign(name);
+  span.start_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count();
+  spans_.push_back(std::move(span));
+  stack_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Tracer::End(SpanId id) {
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - epoch_)
+                             .count();
+  auto it = std::find(stack_.begin(), stack_.end(), id);
+  if (it == stack_.end()) return;  // already ended
+  // Close everything opened after `id` too; with RAII scoping this loop
+  // closes exactly one span.
+  for (auto open = it; open != stack_.end(); ++open) {
+    Span& span = spans_[*open - 1];
+    if (span.end_ns == 0) span.end_ns = now_ns;
+  }
+  stack_.erase(it, stack_.end());
+}
+
+void Tracer::AttrInt(SpanId id, std::string_view key, int64_t value) {
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].attrs.push_back(
+      SpanAttr{std::string(key), /*is_int=*/true, value, {}});
+}
+
+void Tracer::AttrStr(SpanId id, std::string_view key, std::string_view value) {
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].attrs.push_back(
+      SpanAttr{std::string(key), /*is_int=*/false, 0, std::string(value)});
+}
+
+std::vector<Span> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  stack_.clear();
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string Tracer::ToJson() const {
+  std::vector<Span> spans = Snapshot();
+  std::string out = "{\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (i > 0) out += ",";
+    out += StrCat("{\"id\":", span.id, ",\"parent\":", span.parent,
+                  ",\"name\":", JsonQuote(span.name),
+                  ",\"start_us\":", span.start_ns / 1000,
+                  ",\"dur_us\":", (span.end_ns - span.start_ns) / 1000,
+                  ",\"attrs\":{");
+    for (size_t a = 0; a < span.attrs.size(); ++a) {
+      const SpanAttr& attr = span.attrs[a];
+      if (a > 0) out += ",";
+      out += JsonQuote(attr.key);
+      out += ":";
+      out += attr.is_int ? StrCat(attr.int_value) : JsonQuote(attr.str_value);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace deddb::obs

@@ -1,0 +1,127 @@
+#ifndef DEDDB_OBS_TRACE_H_
+#define DEDDB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deddb::obs {
+
+/// Identifier of a span within one Tracer. Ids are assigned sequentially in
+/// Begin() order, so for a fixed instrumentation structure they are
+/// deterministic run to run — the property the golden-trace tests pin down.
+using SpanId = uint32_t;
+inline constexpr SpanId kNoSpan = 0;
+
+/// One key/value attribute attached to a span. Either an integer or a string
+/// payload; integers cover the structural counters (rounds, firings, sizes)
+/// that must stay deterministic, strings cover names and rendered terms.
+struct SpanAttr {
+  std::string key;
+  bool is_int = true;
+  int64_t int_value = 0;
+  std::string str_value;
+};
+
+/// One hierarchical span: a named interval of work with a parent link and
+/// attributes. Timings are recorded (nanoseconds since Tracer construction)
+/// but excluded from the normalized renderings the tests compare.
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  std::vector<SpanAttr> attrs;
+};
+
+/// Collects hierarchical spans for one traced run.
+///
+/// Design constraints (DESIGN.md §7):
+///  * Disabled cost ~zero: every instrumentation site holds a nullable
+///    `Tracer*`; with nullptr the ScopedSpan constructor is a pointer
+///    compare, the same armed-but-idle discipline as ResourceGuard /
+///    FaultInjector.
+///  * Deterministic ids: spans get sequential ids in Begin() order under the
+///    tracer mutex. Instrumented code begins spans only from orchestration
+///    threads (stratum/round barriers, interpreter entry points), never from
+///    inside ThreadPool work items, so Begin() order — and therefore the
+///    whole tree — is identical for every `num_threads` >= 1.
+///  * Thread-safe anyway: all methods lock, so a span emitted from a worker
+///    by future code is a nesting oddity, not a data race.
+///
+/// Parenting uses an open-span stack: Begin() parents the new span to the
+/// most recently begun span that has not ended.
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Opens a span under the innermost open span. Returns its id.
+  SpanId Begin(std::string_view name);
+
+  /// Closes `id` (and, defensively, any span begun after it that is still
+  /// open — RAII makes that unreachable in practice).
+  void End(SpanId id);
+
+  void AttrInt(SpanId id, std::string_view key, int64_t value);
+  void AttrStr(SpanId id, std::string_view key, std::string_view value);
+
+  /// Copy of all spans recorded so far (finished or open), in id order.
+  std::vector<Span> Snapshot() const;
+
+  /// Drops all spans and resets the id counter (the epoch is unchanged).
+  void Clear();
+
+  size_t size() const;
+
+  /// Machine-readable export: {"spans":[{id,parent,name,start_us,dur_us,
+  /// attrs:{...}}, ...]}. Timings are microseconds since tracer creation.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Span> spans_;    // spans_[id - 1]
+  std::vector<SpanId> stack_;  // open spans, innermost last
+};
+
+/// RAII handle for one span. The nullptr-tracer fast path is the disabled
+/// mode: construction and destruction are a single pointer test each, and
+/// attribute calls are no-ops, so instrumentation sites can stay branch-free:
+///
+///   obs::ScopedSpan span(options_.obs.tracer, "eval");
+///   if (span.enabled()) span.AttrInt("threads", n);   // guard costly attrs
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name)
+      : tracer_(tracer),
+        id_(tracer == nullptr ? kNoSpan : tracer->Begin(name)) {}
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->End(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// True when a tracer is attached; use to skip attribute-string building.
+  bool enabled() const { return tracer_ != nullptr; }
+
+  void AttrInt(std::string_view key, int64_t value) {
+    if (tracer_ != nullptr) tracer_->AttrInt(id_, key, value);
+  }
+  void AttrStr(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->AttrStr(id_, key, value);
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_;
+};
+
+}  // namespace deddb::obs
+
+#endif  // DEDDB_OBS_TRACE_H_

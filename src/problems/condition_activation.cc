@@ -1,5 +1,7 @@
 #include "problems/condition_activation.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "problems/side_effects.h"
 
 namespace deddb::problems {
@@ -10,6 +12,13 @@ Result<DownwardResult> EnforceCondition(const Database& db,
                                         RequestedEvent cond_event,
                                         const DownwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer,
+                       "problem.condition_activation");
+  if (span.enabled()) {
+    span.AttrStr("event", cond_event.ToString(db.symbols()));
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.condition_activation.calls");
   DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
                          db.predicates().Get(cond_event.predicate));
   if (info.semantics != PredicateSemantics::kCondition) {
@@ -28,6 +37,14 @@ Result<bool> ValidateCondition(const Database& db,
                                bool activation, SymbolTable* symbols,
                                const DownwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer,
+                       "problem.condition_validation");
+  if (span.enabled()) {
+    span.AttrStr("name", db.symbols().NameOf(condition));
+    span.AttrInt("activation", activation ? 1 : 0);
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.condition_validation.calls");
   DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db.predicates().Get(condition));
   if (info.semantics != PredicateSemantics::kCondition) {
     return InvalidArgumentError(
@@ -43,6 +60,7 @@ Result<bool> ValidateCondition(const Database& db,
   DEDDB_ASSIGN_OR_RETURN(
       DownwardResult result,
       EnforceCondition(db, compiled, domain, std::move(event), options));
+  if (span.enabled()) span.AttrInt("valid", result.Satisfiable() ? 1 : 0);
   return result.Satisfiable();
 }
 
@@ -52,6 +70,14 @@ Result<DownwardResult> PreventConditionActivation(
     std::vector<RequestedEvent> protected_events,
     const DownwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer,
+                       "problem.condition_protection");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db.symbols()));
+    span.AttrInt("protected", static_cast<int64_t>(protected_events.size()));
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.condition_protection.calls");
   for (const RequestedEvent& event : protected_events) {
     DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
                            db.predicates().Get(event.predicate));

@@ -2,6 +2,9 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace deddb::problems {
 
 Result<ConditionChanges> MonitorConditions(
@@ -9,6 +12,13 @@ Result<ConditionChanges> MonitorConditions(
     const Transaction& transaction, const std::vector<SymbolId>& conditions,
     const UpwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer,
+                       "problem.condition_monitoring");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db.symbols()));
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.condition_monitoring.calls");
   std::vector<SymbolId> goals =
       conditions.empty() ? db.condition_predicates() : conditions;
   for (SymbolId goal : goals) {
@@ -32,6 +42,13 @@ Result<ConditionChanges> MonitorConditions(
   all.deletes.ForEach([&](SymbolId pred, const Tuple& t) {
     if (wanted.count(pred) > 0) changes.events.deletes.Add(pred, t);
   });
+  if (span.enabled()) {
+    span.AttrInt("conditions", static_cast<int64_t>(goals.size()));
+    span.AttrInt("activated",
+                 static_cast<int64_t>(changes.events.inserts.TotalFacts()));
+    span.AttrInt("deactivated",
+                 static_cast<int64_t>(changes.events.deletes.TotalFacts()));
+  }
   return changes;
 }
 

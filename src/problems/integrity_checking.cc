@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "interp/old_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace deddb::problems {
 
@@ -16,6 +18,12 @@ Result<IntegrityCheckResult> CheckIntegrity(const Database& db,
                                             const CompiledEvents& compiled,
                                             const Transaction& transaction,
                                             const UpwardOptions& options) {
+  obs::ScopedSpan span(options.eval.obs.tracer, "problem.integrity_checking");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db.symbols()));
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.integrity_checking.calls");
   DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
   if (inconsistent) {
     return FailedPreconditionError(
@@ -36,12 +44,23 @@ Result<IntegrityCheckResult> CheckIntegrity(const Database& db,
     });
   }
   std::sort(result.violations.begin(), result.violations.end());
+  if (span.enabled()) {
+    span.AttrInt("violated", result.violated ? 1 : 0);
+    span.AttrInt("violations", static_cast<int64_t>(result.violations.size()));
+  }
   return result;
 }
 
 Result<ConsistencyRestorationResult> CheckConsistencyRestored(
     const Database& db, const CompiledEvents& compiled,
     const Transaction& transaction, const UpwardOptions& options) {
+  obs::ScopedSpan span(options.eval.obs.tracer,
+                       "problem.consistency_restoration");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db.symbols()));
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.consistency_restoration.calls");
   DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
   if (!inconsistent) {
     return FailedPreconditionError(
@@ -54,6 +73,7 @@ Result<ConsistencyRestorationResult> CheckConsistencyRestored(
                                                  {db.global_ic()}));
   ConsistencyRestorationResult result;
   result.restored = events.ContainsDelete(db.global_ic(), {});
+  if (span.enabled()) span.AttrInt("restored", result.restored ? 1 : 0);
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "problems/integrity_maintenance.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "problems/integrity_checking.h"
 #include "problems/side_effects.h"
 
@@ -10,6 +12,13 @@ Result<DownwardResult> MaintainIntegrity(const Database& db,
                                          const ActiveDomain& domain,
                                          const Transaction& transaction,
                                          const DownwardOptions& options) {
+  obs::ScopedSpan span(options.eval.obs.tracer,
+                       "problem.integrity_maintenance");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db.symbols()));
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.integrity_maintenance.calls");
   DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
   if (inconsistent) {
     return FailedPreconditionError(
@@ -28,6 +37,13 @@ Result<DownwardResult> MaintainInconsistency(
     const Database& db, const CompiledEvents& compiled,
     const ActiveDomain& domain, const Transaction& transaction,
     const DownwardOptions& options) {
+  obs::ScopedSpan span(options.eval.obs.tracer,
+                       "problem.inconsistency_maintenance");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db.symbols()));
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.inconsistency_maintenance.calls");
   DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
   if (!inconsistent) {
     return FailedPreconditionError(

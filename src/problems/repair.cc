@@ -1,5 +1,7 @@
 #include "problems/repair.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "problems/integrity_checking.h"
 
 namespace deddb::problems {
@@ -22,6 +24,8 @@ Result<DownwardResult> RepairDatabase(const Database& db,
                                       const ActiveDomain& domain,
                                       const DownwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer, "problem.repair");
+  obs::MetricsRegistry::Add(options.eval.obs.metrics, "problem.repair.calls");
   DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
   if (!inconsistent) {
     return FailedPreconditionError(
@@ -37,20 +41,33 @@ Result<bool> CheckSatisfiability(const Database& db,
                                  const CompiledEvents& compiled,
                                  const ActiveDomain& domain,
                                  const DownwardOptions& options) {
+  obs::ScopedSpan span(options.eval.obs.tracer, "problem.satisfiability");
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.satisfiability.calls");
   DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
-  if (!inconsistent) return true;  // current state already satisfies all ICs
+  if (!inconsistent) {
+    if (span.enabled()) span.AttrInt("satisfiable", 1);
+    return true;  // current state already satisfies all ICs
+  }
   UpdateRequest request;
   request.events.push_back(
       GlobalIcEvent(db, /*is_insert=*/false, /*positive=*/true));
   DEDDB_ASSIGN_OR_RETURN(DownwardResult result,
                          TranslateViewUpdate(db, compiled, domain, request,
                                              options));
+  if (span.enabled()) {
+    span.AttrInt("satisfiable", result.Satisfiable() ? 1 : 0);
+  }
   return result.Satisfiable();
 }
 
 Result<DownwardResult> FindViolatingTransactions(
     const Database& db, const CompiledEvents& compiled,
     const ActiveDomain& domain, const DownwardOptions& options) {
+  obs::ScopedSpan span(options.eval.obs.tracer,
+                       "problem.violating_transactions");
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.violating_transactions.calls");
   DEDDB_ASSIGN_OR_RETURN(bool inconsistent, IcHolds(db, options.eval));
   if (inconsistent) {
     return FailedPreconditionError(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace deddb::problems {
@@ -34,6 +36,12 @@ Result<DerivedEvents> InducedEventsOfRuleUpdate(const Database& db,
                                                 const RuleUpdate& update,
                                                 const EvaluationOptions& eval) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(eval.guard));
+  obs::ScopedSpan span(eval.obs.tracer, "problem.rule_update");
+  if (span.enabled()) {
+    span.AttrInt("added_rules", static_cast<int64_t>(update.add.size()));
+    span.AttrInt("removed_rules", static_cast<int64_t>(update.remove.size()));
+  }
+  obs::MetricsRegistry::Add(eval.obs.metrics, "problem.rule_update.calls");
   DEDDB_ASSIGN_OR_RETURN(Program updated, UpdatedProgram(db, update));
 
   FactStoreProvider edb(&db.facts());
@@ -49,6 +57,12 @@ Result<DerivedEvents> InducedEventsOfRuleUpdate(const Database& db,
   old_idb.ForEach([&](SymbolId pred, const Tuple& t) {
     if (!new_idb.Contains(pred, t)) events.deletes.Add(pred, t);
   });
+  if (span.enabled()) {
+    span.AttrInt("induced_inserts",
+                 static_cast<int64_t>(events.inserts.TotalFacts()));
+    span.AttrInt("induced_deletes",
+                 static_cast<int64_t>(events.deletes.TotalFacts()));
+  }
   return events;
 }
 

@@ -1,5 +1,8 @@
 #include "problems/side_effects.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace deddb::problems {
 
 UpdateRequest RequestFromTransaction(const Transaction& transaction) {
@@ -26,6 +29,13 @@ Result<DownwardResult> PreventSideEffects(
     const ActiveDomain& domain, const Transaction& transaction,
     std::vector<RequestedEvent> unwanted, const DownwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer, "problem.side_effects");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db.symbols()));
+    span.AttrInt("unwanted", static_cast<int64_t>(unwanted.size()));
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.side_effects.calls");
   UpdateRequest request = RequestFromTransaction(transaction);
   for (RequestedEvent& event : unwanted) {
     event.positive = false;

@@ -3,12 +3,16 @@
 #include <unordered_set>
 
 #include "eval/bottom_up.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace deddb::problems {
 
 Status InitializeMaterializedViews(Database* db,
                                    const EvaluationOptions& eval) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(eval.guard));
+  obs::ScopedSpan span(eval.obs.tracer, "view_maintenance.init");
+  obs::MetricsRegistry::Add(eval.obs.metrics, "view_maintenance.inits");
   std::vector<SymbolId> materialized;
   for (SymbolId view : db->view_predicates()) {
     if (db->IsMaterialized(view)) materialized.push_back(view);
@@ -26,6 +30,10 @@ Status InitializeMaterializedViews(Database* db,
   idb.ForEach([&](SymbolId pred, const Tuple& t) {
     if (wanted.count(pred) > 0) store.Add(pred, t);
   });
+  if (span.enabled()) {
+    span.AttrInt("views", static_cast<int64_t>(materialized.size()));
+    span.AttrInt("facts", static_cast<int64_t>(store.TotalFacts()));
+  }
   return Status::Ok();
 }
 
@@ -34,6 +42,13 @@ Result<ViewMaintenanceResult> MaintainMaterializedViews(
     const Transaction& transaction, bool apply,
     const UpwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer, "problem.view_maintenance");
+  if (span.enabled()) {
+    span.AttrStr("txn", transaction.ToString(db->symbols()));
+    span.AttrInt("apply", apply ? 1 : 0);
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.view_maintenance.calls");
   std::vector<SymbolId> goals;
   for (SymbolId view : db->view_predicates()) {
     if (db->IsMaterialized(view)) goals.push_back(view);
@@ -61,6 +76,13 @@ Result<ViewMaintenanceResult> MaintainMaterializedViews(
     result.delta.inserts.ForEach([&](SymbolId pred, const Tuple& t) {
       if (store.Add(pred, t)) ++result.applied_inserts;
     });
+  }
+  if (span.enabled()) {
+    span.AttrInt("views", static_cast<int64_t>(goals.size()));
+    span.AttrInt("delta_inserts",
+                 static_cast<int64_t>(result.delta.inserts.TotalFacts()));
+    span.AttrInt("delta_deletes",
+                 static_cast<int64_t>(result.delta.deletes.TotalFacts()));
   }
   return result;
 }

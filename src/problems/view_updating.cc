@@ -1,5 +1,8 @@
 #include "problems/view_updating.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace deddb::problems {
 
 Result<DownwardResult> TranslateViewUpdate(const Database& db,
@@ -8,6 +11,10 @@ Result<DownwardResult> TranslateViewUpdate(const Database& db,
                                            const UpdateRequest& request,
                                            const DownwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer, "problem.view_updating");
+  if (span.enabled()) span.AttrStr("request", request.ToString(db.symbols()));
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.view_updating.calls");
   for (const RequestedEvent& event : request.events) {
     DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
                            db.predicates().Get(event.predicate));
@@ -22,6 +29,21 @@ Result<DownwardResult> TranslateViewUpdate(const Database& db,
   result.approximate = result.dnf.approximate();
   result.all_translations = TranslationsFromDnf(result.dnf);
   result.translations = MinimalTranslations(result.all_translations);
+  if (span.enabled()) {
+    span.AttrInt("alternatives",
+                 static_cast<int64_t>(result.all_translations.size()));
+    span.AttrInt("minimal", static_cast<int64_t>(result.translations.size()));
+    span.AttrInt("approximate", result.approximate ? 1 : 0);
+    // One child per surviving minimal translation, so EXPLAIN lists the
+    // concrete alternatives the caller gets to choose from.
+    for (const Translation& t : result.translations) {
+      obs::ScopedSpan child(options.eval.obs.tracer, "translation");
+      child.AttrStr("txn", t.ToString(db.symbols()));
+    }
+  }
+  obs::MetricsRegistry::Observe(
+      options.eval.obs.metrics, "problem.view_updating.translations",
+      static_cast<int64_t>(result.translations.size()));
   return result;
 }
 
@@ -30,6 +52,13 @@ Result<bool> ValidateView(const Database& db, const CompiledEvents& compiled,
                           bool insertion, SymbolTable* symbols,
                           const DownwardOptions& options) {
   DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(options.eval.guard));
+  obs::ScopedSpan span(options.eval.obs.tracer, "problem.view_validation");
+  if (span.enabled()) {
+    span.AttrStr("name", db.symbols().NameOf(view));
+    span.AttrInt("insertion", insertion ? 1 : 0);
+  }
+  obs::MetricsRegistry::Add(options.eval.obs.metrics,
+                            "problem.view_validation.calls");
   DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, db.predicates().Get(view));
   RequestedEvent event;
   event.positive = true;
@@ -42,6 +71,7 @@ Result<bool> ValidateView(const Database& db, const CompiledEvents& compiled,
   request.events.push_back(event);
   DownwardInterpreter downward(&db, &compiled, &domain, options);
   DEDDB_ASSIGN_OR_RETURN(Dnf dnf, downward.Interpret(request));
+  if (span.enabled()) span.AttrInt("valid", dnf.IsFalse() ? 0 : 1);
   return !dnf.IsFalse();
 }
 

@@ -11,7 +11,7 @@ std::string PersonName(size_t i) { return StrCat("Person", i); }
 Result<std::unique_ptr<DeductiveDatabase>> MakeEmploymentDatabase(
     const EmploymentConfig& config) {
   auto db = std::make_unique<DeductiveDatabase>(
-      EventCompilerOptions{.simplify = config.simplify});
+      EventCompilerOptions{.simplify = config.simplify, .obs = {}});
   DEDDB_RETURN_IF_ERROR(LoadProgram(db.get(), R"(
     base La/1.
     base Works/1.

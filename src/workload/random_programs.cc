@@ -18,7 +18,7 @@ std::string ConstName(size_t i) { return StrCat("C", i); }
 Result<std::unique_ptr<DeductiveDatabase>> MakeRandomDatabase(
     const RandomProgramConfig& config) {
   auto db = std::make_unique<DeductiveDatabase>(
-      EventCompilerOptions{.simplify = config.simplify});
+      EventCompilerOptions{.simplify = config.simplify, .obs = {}});
   Rng rng(config.seed);
 
   // Predicates. B0 is forced unary so coverage fix-up literals always exist.

@@ -14,7 +14,7 @@ std::string TowerElementName(size_t i) { return StrCat("E", i); }
 Result<std::unique_ptr<DeductiveDatabase>> MakeTowerDatabase(
     const TowerConfig& config) {
   auto db = std::make_unique<DeductiveDatabase>(
-      EventCompilerOptions{.simplify = config.simplify});
+      EventCompilerOptions{.simplify = config.simplify, .obs = {}});
   Rng rng(config.seed);
 
   DEDDB_RETURN_IF_ERROR(db->DeclareBase("B0", 1).status());

@@ -1,0 +1,199 @@
+// Unit tests for the predicate dependency graph: edge construction and
+// polarity, Tarjan SCC computation (self-loops, interlocking cycles, the
+// empty program), bottom-up condensation order, reachability and the
+// relevant-subprogram slice.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/deductive_database.h"
+#include "eval/dependency_graph.h"
+#include "parser/parser.h"
+
+namespace deddb {
+namespace {
+
+std::unique_ptr<DeductiveDatabase> Load(const char* source) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  auto loaded = LoadProgram(db.get(), source);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return db;
+}
+
+SymbolId Pred(const DeductiveDatabase& db, const char* name) {
+  return db.database().FindPredicate(name).value();
+}
+
+// Index of each SCC in the bottom-up order, keyed by member predicate.
+std::unordered_map<SymbolId, size_t> SccIndex(
+    const std::vector<std::vector<SymbolId>>& sccs) {
+  std::unordered_map<SymbolId, size_t> index;
+  for (size_t i = 0; i < sccs.size(); ++i) {
+    for (SymbolId p : sccs[i]) index[p] = i;
+  }
+  return index;
+}
+
+TEST(DependencyGraphTest, EmptyProgram) {
+  Program program;
+  DependencyGraph graph(program);
+  EXPECT_TRUE(graph.nodes().empty());
+  EXPECT_TRUE(graph.SccsBottomUp().empty());
+  EXPECT_TRUE(graph.ReachableFrom({}).empty());
+}
+
+TEST(DependencyGraphTest, EdgesAndPolarity) {
+  auto db = Load(R"(
+    base Q/1. base R/1.
+    derived S/1. derived T/1.
+    derived P/1.
+    S(x) <- Q(x).
+    T(x) <- R(x).
+    P(x) <- S(x) & not T(x) & Q(x).
+  )");
+  DependencyGraph graph(db->database().program());
+  SymbolId p = Pred(*db, "P");
+  ASSERT_TRUE(graph.IsDefined(p));
+  EXPECT_FALSE(graph.IsDefined(Pred(*db, "Q")));  // extensional: a leaf
+
+  // Edges only point at defined predicates; the extensional Q occurrence in
+  // P's body is not tracked.
+  const auto& edges = graph.EdgesOf(p);
+  ASSERT_EQ(edges.size(), 2u);
+  bool saw_positive_s = false, saw_negative_t = false;
+  for (const auto& edge : edges) {
+    if (edge.target == Pred(*db, "S") && !edge.negative) saw_positive_s = true;
+    if (edge.target == Pred(*db, "T") && edge.negative) saw_negative_t = true;
+  }
+  EXPECT_TRUE(saw_positive_s);
+  EXPECT_TRUE(saw_negative_t);
+}
+
+// A predicate occurring both positively and negatively in bodies of the same
+// head yields one edge per polarity (deduplicated per (target, sign) pair),
+// so stratification still sees the negative dependency.
+TEST(DependencyGraphTest, MixedPolarityYieldsBothEdges) {
+  auto db = Load(R"(
+    base Q/1.
+    derived S/1.
+    derived P/1.
+    S(x) <- Q(x).
+    P(x) <- S(x) & Q(x).
+    P(x) <- Q(x) & not S(x).
+  )");
+  DependencyGraph graph(db->database().program());
+  const auto& edges = graph.EdgesOf(Pred(*db, "P"));
+  ASSERT_EQ(edges.size(), 2u);
+  bool saw_positive = false, saw_negative = false;
+  for (const auto& edge : edges) {
+    EXPECT_EQ(edge.target, Pred(*db, "S"));
+    (edge.negative ? saw_negative : saw_positive) = true;
+  }
+  EXPECT_TRUE(saw_positive);
+  EXPECT_TRUE(saw_negative);
+}
+
+TEST(DependencyGraphTest, SelfLoopIsItsOwnScc) {
+  auto db = Load(R"(
+    base Edge/2.
+    derived Path/2.
+    Path(x, y) <- Edge(x, y).
+    Path(x, z) <- Path(x, y) & Edge(y, z).
+  )");
+  DependencyGraph graph(db->database().program());
+  auto sccs = graph.SccsBottomUp();
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0], std::vector<SymbolId>{Pred(*db, "Path")});
+}
+
+// Two cycles sharing a node collapse into one SCC: A <-> B and B <-> C give
+// the single component {A, B, C}.
+TEST(DependencyGraphTest, InterlockingCyclesCollapse) {
+  auto db = Load(R"(
+    base Q/1.
+    derived A/1. derived B/1. derived C/1.
+    A(x) <- B(x).
+    B(x) <- A(x).
+    B(x) <- C(x).
+    C(x) <- B(x).
+    A(x) <- Q(x).
+  )");
+  DependencyGraph graph(db->database().program());
+  auto sccs = graph.SccsBottomUp();
+  ASSERT_EQ(sccs.size(), 1u);
+  EXPECT_EQ(sccs[0].size(), 3u);
+}
+
+// Two disjoint cycles bridged by a one-way edge stay separate components,
+// and the dependee's component comes first in the bottom-up order.
+TEST(DependencyGraphTest, BridgedCyclesStaySeparate) {
+  auto db = Load(R"(
+    base Q/1.
+    derived A/1. derived B/1. derived C/1. derived D/1.
+    A(x) <- B(x).
+    B(x) <- A(x).
+    C(x) <- D(x).
+    D(x) <- C(x).
+    A(x) <- C(x).
+    C(x) <- Q(x).
+  )");
+  DependencyGraph graph(db->database().program());
+  auto sccs = graph.SccsBottomUp();
+  ASSERT_EQ(sccs.size(), 2u);
+  auto index = SccIndex(sccs);
+  // A depends on C, so {C, D} must be evaluated before {A, B}.
+  EXPECT_LT(index[Pred(*db, "C")], index[Pred(*db, "A")]);
+  EXPECT_EQ(index[Pred(*db, "A")], index[Pred(*db, "B")]);
+  EXPECT_EQ(index[Pred(*db, "C")], index[Pred(*db, "D")]);
+}
+
+TEST(DependencyGraphTest, BottomUpOrderIsTopological) {
+  auto db = Load(R"(
+    base Q/1.
+    derived S/1. derived T/1. derived U/1.
+    S(x) <- Q(x).
+    T(x) <- S(x).
+    U(x) <- T(x) & not S(x).
+  )");
+  DependencyGraph graph(db->database().program());
+  auto index = SccIndex(graph.SccsBottomUp());
+  EXPECT_LT(index[Pred(*db, "S")], index[Pred(*db, "T")]);
+  EXPECT_LT(index[Pred(*db, "T")], index[Pred(*db, "U")]);
+}
+
+TEST(DependencyGraphTest, ReachableFromFollowsDependencies) {
+  auto db = Load(R"(
+    base Q/1.
+    derived S/1. derived T/1. derived U/1.
+    S(x) <- Q(x).
+    T(x) <- S(x).
+    U(x) <- Q(x).
+  )");
+  DependencyGraph graph(db->database().program());
+  auto reachable = graph.ReachableFrom({Pred(*db, "T")});
+  EXPECT_EQ(reachable.size(), 2u);
+  EXPECT_TRUE(reachable.count(Pred(*db, "T")));
+  EXPECT_TRUE(reachable.count(Pred(*db, "S")));
+  EXPECT_FALSE(reachable.count(Pred(*db, "U")));
+}
+
+TEST(DependencyGraphTest, RelevantSubprogramSlicesRules) {
+  auto db = Load(R"(
+    base Q/1.
+    derived S/1. derived T/1. derived U/1.
+    S(x) <- Q(x).
+    T(x) <- S(x).
+    U(x) <- Q(x).
+  )");
+  Program sliced =
+      RelevantSubprogram(db->database().program(), {Pred(*db, "T")});
+  EXPECT_EQ(sliced.size(), 2u);  // T's rule and S's rule; U's dropped
+  EXPECT_TRUE(sliced.Defines(Pred(*db, "T")));
+  EXPECT_TRUE(sliced.Defines(Pred(*db, "S")));
+  EXPECT_FALSE(sliced.Defines(Pred(*db, "U")));
+}
+
+}  // namespace
+}  // namespace deddb

@@ -316,6 +316,46 @@ TEST_F(QueryEngineTest, LazyPatternStreams) {
   EXPECT_EQ(seen, 2u);
 }
 
+// Regression test for the bottom_up_stats() contract: the engine
+// *accumulates* materialization work across Solve*/Holds calls (it used to
+// overwrite the totals with each call's delta); ResetStats() zeroes, and
+// InvalidateCache() deliberately does not.
+TEST_F(QueryEngineTest, BottomUpStatsAccumulateAcrossSolves) {
+  // First materialization: the recursive Ancestor reachable set.
+  auto first = engine_->SolveMaterialized(
+      Make("Ancestor", {db_->Variable("a"), db_->Variable("b")}));
+  ASSERT_TRUE(first.ok()) << first.status();
+  const EvaluationStats after_first = engine_->bottom_up_stats();
+  EXPECT_GT(after_first.derived_facts, 0u);
+  EXPECT_GT(after_first.rounds, 0u);
+
+  // Invalidate, then materialize again: the same work is re-done and must
+  // ADD to the totals, not replace them.
+  engine_->InvalidateCache();
+  const EvaluationStats before_second = engine_->bottom_up_stats();
+  EXPECT_EQ(before_second.derived_facts, after_first.derived_facts)
+      << "InvalidateCache must not reset stats";
+  auto second = engine_->SolveMaterialized(
+      Make("Ancestor", {db_->Variable("a"), db_->Variable("b")}));
+  ASSERT_TRUE(second.ok()) << second.status();
+  const EvaluationStats after_second = engine_->bottom_up_stats();
+  EXPECT_EQ(after_second.derived_facts, 2 * after_first.derived_facts);
+  EXPECT_EQ(after_second.rounds, 2 * after_first.rounds);
+  EXPECT_EQ(after_second.rule_firings, 2 * after_first.rule_firings);
+
+  // A cached answer does no new bottom-up work.
+  auto third = engine_->SolveMaterialized(
+      Make("Ancestor", {db_->Variable("a"), db_->Variable("b")}));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(engine_->bottom_up_stats().derived_facts,
+            after_second.derived_facts);
+
+  // ResetStats() restores a zero baseline for per-query measurement.
+  engine_->ResetStats();
+  EXPECT_EQ(engine_->bottom_up_stats().derived_facts, 0u);
+  EXPECT_EQ(engine_->bottom_up_stats().rounds, 0u);
+}
+
 TEST_F(QueryEngineTest, InvalidateCacheReflectsEdbChanges) {
   Atom goal = Make("Grandparent", {db_->Constant("Ann"),
                                    db_->Constant("Cal")});

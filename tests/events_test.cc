@@ -18,7 +18,7 @@ namespace {
 std::unique_ptr<DeductiveDatabase> Load(const char* source,
                                         bool simplify = false) {
   auto db = std::make_unique<DeductiveDatabase>(
-      EventCompilerOptions{.simplify = simplify});
+      EventCompilerOptions{.simplify = simplify, .obs = {}});
   auto loaded = LoadProgram(db.get(), source);
   EXPECT_TRUE(loaded.ok()) << loaded.status();
   return db;

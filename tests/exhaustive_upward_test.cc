@@ -24,7 +24,7 @@ class ExhaustiveUpwardTest : public ::testing::TestWithParam<Param> {
  protected:
   void SetUp() override {
     db_ = std::make_unique<DeductiveDatabase>(
-        EventCompilerOptions{.simplify = GetParam().simplify});
+        EventCompilerOptions{.simplify = GetParam().simplify, .obs = {}});
     ASSERT_TRUE(LoadProgram(db_.get(), R"(
       base Q/1. base R/1.
       view P/1.

@@ -1,0 +1,134 @@
+// Unit tests for the FactProvider hierarchy: FactStoreProvider selection and
+// estimates, LayeredProvider union semantics (per-layer duplicates, early
+// stop, count aggregation), EmptyProvider, and the default
+// ForEachMatchUntil adapter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "eval/fact_provider.h"
+#include "storage/fact_store.h"
+
+namespace deddb {
+namespace {
+
+class FactProviderTest : public ::testing::Test {
+ protected:
+  // Predicate ids are arbitrary distinct symbols; no SymbolTable needed.
+  static constexpr SymbolId kEdge = 1;
+  static constexpr SymbolId kNode = 2;
+  static constexpr SymbolId kUnknown = 99;
+
+  void SetUp() override {
+    store_.Add(kEdge, {10, 20});
+    store_.Add(kEdge, {10, 30});
+    store_.Add(kEdge, {20, 30});
+    store_.Add(kNode, {10});
+  }
+
+  static std::vector<Tuple> Collect(const FactProvider& provider,
+                                    SymbolId predicate,
+                                    const TuplePattern& pattern) {
+    std::vector<Tuple> out;
+    provider.ForEachMatch(predicate, pattern,
+                          [&](const Tuple& t) { out.push_back(t); });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  FactStore store_;
+};
+
+TEST_F(FactProviderTest, FactStoreProviderMatchesPattern) {
+  FactStoreProvider provider(&store_);
+  EXPECT_EQ(Collect(provider, kEdge, {10, std::nullopt}),
+            (std::vector<Tuple>{{10, 20}, {10, 30}}));
+  EXPECT_EQ(Collect(provider, kEdge, {std::nullopt, std::nullopt}).size(), 3u);
+  EXPECT_EQ(Collect(provider, kEdge, {40, std::nullopt}).size(), 0u);
+}
+
+TEST_F(FactProviderTest, FactStoreProviderContainsAndEstimate) {
+  FactStoreProvider provider(&store_);
+  EXPECT_TRUE(provider.Contains(kEdge, {10, 20}));
+  EXPECT_FALSE(provider.Contains(kEdge, {20, 10}));
+  EXPECT_EQ(provider.EstimateCount(kEdge), 3u);
+  EXPECT_EQ(provider.EstimateCount(kNode), 1u);
+}
+
+TEST_F(FactProviderTest, UnknownPredicateIsEmpty) {
+  FactStoreProvider provider(&store_);
+  EXPECT_EQ(Collect(provider, kUnknown, {std::nullopt}).size(), 0u);
+  EXPECT_FALSE(provider.Contains(kUnknown, {10}));
+  EXPECT_EQ(provider.EstimateCount(kUnknown), 0u);
+}
+
+TEST_F(FactProviderTest, DefaultUntilAdapterStopsEarly) {
+  FactStoreProvider provider(&store_);
+  size_t seen = 0;
+  bool stopped = provider.ForEachMatchUntil(
+      kEdge, {std::nullopt, std::nullopt}, [&](const Tuple&) {
+        ++seen;
+        return false;  // stop after the first match
+      });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(seen, 1u);
+
+  // Exhausting the relation reports no early stop.
+  stopped = provider.ForEachMatchUntil(kEdge, {std::nullopt, std::nullopt},
+                                       [](const Tuple&) { return true; });
+  EXPECT_FALSE(stopped);
+}
+
+TEST_F(FactProviderTest, LayeredProviderUnionsLayers) {
+  FactStore overlay;
+  overlay.Add(kEdge, {30, 40});
+  overlay.Add(kEdge, {10, 20});  // duplicate of a base fact
+
+  FactStoreProvider base(&store_);
+  FactStoreProvider top(&overlay);
+  LayeredProvider layered({&base, &top});
+
+  EXPECT_TRUE(layered.Contains(kEdge, {10, 30}));  // only in base
+  EXPECT_TRUE(layered.Contains(kEdge, {30, 40}));  // only in overlay
+  EXPECT_FALSE(layered.Contains(kEdge, {40, 50}));
+
+  // A fact present in both layers is reported once per layer; callers
+  // deduplicate (set semantics downstream).
+  auto all = Collect(layered, kEdge, {std::nullopt, std::nullopt});
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(std::count(all.begin(), all.end(), Tuple{10, 20}), 2);
+
+  EXPECT_EQ(layered.EstimateCount(kEdge), 5u);
+}
+
+TEST_F(FactProviderTest, LayeredProviderUntilSpansLayers) {
+  FactStore overlay;
+  overlay.Add(kEdge, {30, 40});
+  FactStoreProvider base(&store_);
+  FactStoreProvider top(&overlay);
+  LayeredProvider layered({&base, &top});
+
+  // Stop inside the second layer: all three base tuples plus one overlay
+  // tuple are seen.
+  size_t seen = 0;
+  bool stopped = layered.ForEachMatchUntil(
+      kEdge, {std::nullopt, std::nullopt}, [&](const Tuple&) {
+        return ++seen < 4;
+      });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(seen, 4u);
+}
+
+TEST_F(FactProviderTest, EmptyProviderHasNothing) {
+  EmptyProvider provider;
+  EXPECT_EQ(Collect(provider, kEdge, {std::nullopt, std::nullopt}).size(), 0u);
+  EXPECT_FALSE(provider.Contains(kEdge, {10, 20}));
+  EXPECT_EQ(provider.EstimateCount(kEdge), 0u);
+  EXPECT_FALSE(provider.ForEachMatchUntil(kEdge, {std::nullopt, std::nullopt},
+                                          [](const Tuple&) { return false; }));
+}
+
+}  // namespace
+}  // namespace deddb

@@ -14,7 +14,7 @@ namespace {
 
 std::unique_ptr<DeductiveDatabase> Load(bool simplify = true) {
   auto db = std::make_unique<DeductiveDatabase>(
-      EventCompilerOptions{.simplify = simplify});
+      EventCompilerOptions{.simplify = simplify, .obs = {}});
   EXPECT_TRUE(LoadProgram(db.get(), R"(
     base Q/1. base R/1.
     materialized view P/1.

@@ -16,7 +16,7 @@ namespace {
 //   Q(A). Q(B). R(B).   P(x) <- Q(x) & not R(x).
 std::unique_ptr<DeductiveDatabase> MakeSmallDb(bool simplify) {
   auto db = std::make_unique<DeductiveDatabase>(
-      EventCompilerOptions{.simplify = simplify});
+      EventCompilerOptions{.simplify = simplify, .obs = {}});
   auto loaded = LoadProgram(db.get(), R"(
     base Q/1.
     base R/1.
@@ -31,7 +31,7 @@ std::unique_ptr<DeductiveDatabase> MakeSmallDb(bool simplify) {
 // The employment database of examples 5.1 / 5.2 / 5.3.
 std::unique_ptr<DeductiveDatabase> MakeEmploymentDb(bool simplify) {
   auto db = std::make_unique<DeductiveDatabase>(
-      EventCompilerOptions{.simplify = simplify});
+      EventCompilerOptions{.simplify = simplify, .obs = {}});
   auto loaded = LoadProgram(db.get(), R"(
     base La/1.         % x is in labour age
     base Works/1.      % x works for some company

@@ -1,0 +1,132 @@
+// Unit tests for stratification: SCC-per-stratum structure, bottom-up
+// ordering constraints (weak for positive dependencies, strict for negative
+// ones), rejection of negation through a cycle, and degenerate inputs.
+
+#include <gtest/gtest.h>
+
+#include "core/deductive_database.h"
+#include "eval/stratification.h"
+#include "parser/parser.h"
+
+namespace deddb {
+namespace {
+
+std::unique_ptr<DeductiveDatabase> Load(const char* source) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  auto loaded = LoadProgram(db.get(), source);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  return db;
+}
+
+SymbolId Pred(const DeductiveDatabase& db, const char* name) {
+  return db.database().FindPredicate(name).value();
+}
+
+TEST(StratificationTest, EmptyProgram) {
+  Program program;
+  SymbolTable symbols;
+  auto strat = Stratify(program, symbols);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_TRUE(strat->strata.empty());
+  EXPECT_TRUE(strat->stratum_of.empty());
+}
+
+TEST(StratificationTest, HierarchicalProgramOrdersStrata) {
+  auto db = Load(R"(
+    base Q/1.
+    derived S/1. derived T/1. derived U/1.
+    S(x) <- Q(x).
+    T(x) <- S(x).
+    U(x) <- T(x) & not S(x).
+  )");
+  auto strat = Stratify(db->database().program(), db->symbols());
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  ASSERT_EQ(strat->strata.size(), 3u);
+  // Positive dependency: body stratum <= head stratum; negative: strictly <.
+  EXPECT_LT(strat->stratum_of.at(Pred(*db, "S")),
+            strat->stratum_of.at(Pred(*db, "T")));
+  EXPECT_LT(strat->stratum_of.at(Pred(*db, "S")),
+            strat->stratum_of.at(Pred(*db, "U")));
+  // stratum_of is consistent with the strata vector.
+  for (size_t i = 0; i < strat->strata.size(); ++i) {
+    for (SymbolId p : strat->strata[i]) {
+      EXPECT_EQ(strat->stratum_of.at(p), i);
+    }
+  }
+}
+
+// A recursive SCC is one stratum; negation into it from above is fine.
+TEST(StratificationTest, RecursiveSccIsOneStratum) {
+  auto db = Load(R"(
+    base Edge/2.
+    derived Path/2. derived Unreachable/2.
+    Path(x, y) <- Edge(x, y).
+    Path(x, z) <- Path(x, y) & Edge(y, z).
+    Unreachable(x, y) <- Edge(x, x) & Edge(y, y) & not Path(x, y).
+  )");
+  auto strat = Stratify(db->database().program(), db->symbols());
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  ASSERT_EQ(strat->strata.size(), 2u);
+  EXPECT_EQ(strat->strata[0], std::vector<SymbolId>{Pred(*db, "Path")});
+  EXPECT_LT(strat->stratum_of.at(Pred(*db, "Path")),
+            strat->stratum_of.at(Pred(*db, "Unreachable")));
+}
+
+// Negation on a self-loop: P depends negatively on its own SCC.
+TEST(StratificationTest, RejectsNegativeSelfLoop) {
+  auto db = Load(R"(
+    base Q/1.
+    derived P/1.
+    P(x) <- Q(x) & not P(x).
+  )");
+  auto strat = Stratify(db->database().program(), db->symbols());
+  EXPECT_FALSE(strat.ok());
+}
+
+// Negation through a two-node cycle (even number of negations — still not
+// stratified: the negative edge is inside the SCC).
+TEST(StratificationTest, RejectsNegationThroughCycle) {
+  auto db = Load(R"(
+    base Q/1.
+    derived A/1. derived B/1.
+    A(x) <- Q(x) & not B(x).
+    B(x) <- Q(x) & not A(x).
+  )");
+  auto strat = Stratify(db->database().program(), db->symbols());
+  EXPECT_FALSE(strat.ok());
+}
+
+// Interlocking positive cycles with an internal negative edge: {A, B, C} is
+// one SCC and B <- not C makes it unstratifiable.
+TEST(StratificationTest, RejectsNegativeEdgeInsideCollapsedScc) {
+  auto db = Load(R"(
+    base Q/1.
+    derived A/1. derived B/1. derived C/1.
+    A(x) <- B(x).
+    B(x) <- A(x).
+    C(x) <- B(x).
+    B(x) <- Q(x) & not C(x).
+  )");
+  auto strat = Stratify(db->database().program(), db->symbols());
+  EXPECT_FALSE(strat.ok());
+}
+
+// The same shape with the negative edge leaving the SCC is accepted.
+TEST(StratificationTest, AcceptsNegationLeavingScc) {
+  auto db = Load(R"(
+    base Q/1.
+    derived S/1.
+    derived A/1. derived B/1.
+    S(x) <- Q(x).
+    A(x) <- B(x).
+    B(x) <- A(x).
+    B(x) <- Q(x) & not S(x).
+  )");
+  auto strat = Stratify(db->database().program(), db->symbols());
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  EXPECT_LT(strat->stratum_of.at(Pred(*db, "S")),
+            strat->stratum_of.at(Pred(*db, "A")));
+}
+
+}  // namespace
+}  // namespace deddb

@@ -1,0 +1,100 @@
+// Thread-count determinism of the observability layer: for random stratified
+// programs, the normalized span tree and the metrics snapshot must be
+// byte-identical for every parallel thread count. Spans are begun only from
+// orchestration threads and metrics are recorded only at single-threaded
+// merge points (DESIGN.md §7), so the only allowed difference is the `eval`
+// span's `threads` attribute — stripped here before comparing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/bottom_up.h"
+#include "eval/fact_provider.h"
+#include "obs/explain.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/random_programs.h"
+
+namespace deddb {
+namespace {
+
+constexpr size_t kPrograms = 50;
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+// Normalized tree with the configuration-dependent `threads` attribute
+// removed; everything else (names, nesting, structural counters) must match.
+std::string NormalizedTree(const obs::Tracer& tracer) {
+  std::vector<obs::Span> spans = tracer.Snapshot();
+  for (obs::Span& span : spans) {
+    std::erase_if(span.attrs,
+                  [](const obs::SpanAttr& a) { return a.key == "threads"; });
+  }
+  return obs::RenderSpanTree(spans);
+}
+
+struct TracedRun {
+  std::string tree;
+  std::string metrics;
+  size_t facts = 0;
+};
+
+TracedRun RunTraced(const DeductiveDatabase& db, size_t num_threads) {
+  FactStoreProvider edb(&db.database().facts());
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  EvaluationOptions options;
+  options.num_threads = num_threads;
+  options.obs = obs::ObsContext{&tracer, &metrics};
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  auto idb = evaluator.Evaluate();
+  EXPECT_TRUE(idb.ok()) << idb.status();
+  TracedRun run;
+  run.tree = NormalizedTree(tracer);
+  run.metrics = metrics.RenderText();
+  run.facts = idb.ok() ? idb->TotalFacts() : 0;
+  return run;
+}
+
+TEST(TraceParallelTest, SpanTreeAndMetricsIdenticalAcrossThreadCounts) {
+  for (size_t i = 0; i < kPrograms; ++i) {
+    workload::RandomProgramConfig config;
+    config.seed = 1000 + i;
+    config.allow_recursion = (i % 3 == 0);  // recursive SCCs iterate rounds
+    auto db = workload::MakeRandomDatabase(config);
+    ASSERT_TRUE(db.ok()) << db.status();
+
+    const TracedRun baseline = RunTraced(**db, kThreadCounts[0]);
+    EXPECT_FALSE(baseline.tree.empty());
+    EXPECT_FALSE(baseline.metrics.empty());
+    for (size_t t = 1; t < std::size(kThreadCounts); ++t) {
+      const TracedRun run = RunTraced(**db, kThreadCounts[t]);
+      EXPECT_EQ(run.tree, baseline.tree)
+          << "program seed=" << config.seed << ": span tree for threads="
+          << kThreadCounts[t] << " differs from threads=" << kThreadCounts[0];
+      EXPECT_EQ(run.metrics, baseline.metrics)
+          << "program seed=" << config.seed << ": metrics for threads="
+          << kThreadCounts[t] << " differ from threads=" << kThreadCounts[0];
+      EXPECT_EQ(run.facts, baseline.facts);
+    }
+  }
+}
+
+// The serial engine (num_threads=0) need not share the parallel round
+// structure, but its metrics must still be self-consistent: repeating the
+// evaluation yields byte-identical output.
+TEST(TraceParallelTest, SerialEngineIsSelfDeterministic) {
+  workload::RandomProgramConfig config;
+  config.seed = 77;
+  auto db = workload::MakeRandomDatabase(config);
+  ASSERT_TRUE(db.ok()) << db.status();
+  const TracedRun first = RunTraced(**db, 0);
+  const TracedRun second = RunTraced(**db, 0);
+  EXPECT_EQ(first.tree, second.tree);
+  EXPECT_EQ(first.metrics, second.metrics);
+}
+
+}  // namespace
+}  // namespace deddb
