@@ -1,0 +1,159 @@
+// Perf-J: write-ahead-log commit throughput, single-fsync-per-commit vs
+// leader-based group commit (DESIGN.md §8). N threads append identical
+// commit records to one WalWriter; every append returns only once its
+// record is durable, so commits/sec here is acknowledged-durable commits
+// per second. Group commit batches concurrent appends under one fsync —
+// the fsync and batch counters in the output show the batching directly.
+//
+// Plain report binary (like bench_table41): prints a table and writes
+// $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_persist.json.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "obs/json.h"
+#include "persist/wal.h"
+#include "storage/transaction.h"
+#include "util/strings.h"
+
+using namespace deddb;  // NOLINT — report binary brevity
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string mode;
+  int threads = 0;
+  int commits = 0;
+  double seconds = 0;
+  double commits_per_sec = 0;
+  uint64_t fsyncs = 0;
+  uint64_t batches = 0;
+};
+
+constexpr int kCommitsPerThread = 300;
+
+Row RunOne(const std::string& dir, bool group_commit, int threads,
+           const std::string& payload) {
+  Row row;
+  row.mode = group_commit ? "group" : "single";
+  row.threads = threads;
+  row.commits = threads * kCommitsPerThread;
+
+  std::string path = StrCat(dir, "/wal_bench.deddb");
+  ::unlink(path.c_str());
+  persist::WalWriter::Options options;
+  options.group_commit = group_commit;
+  auto writer_or = persist::WalWriter::Create(path, 0, options);
+  if (!writer_or.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 writer_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  persist::WalWriter& writer = **writer_or;
+
+  auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&writer, &payload] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        Status status = writer.AppendDurable(payload, {});
+        if (!status.ok()) {
+          std::fprintf(stderr, "append failed: %s\n",
+                       status.ToString().c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  auto end = Clock::now();
+  row.seconds = std::chrono::duration<double>(end - start).count();
+  row.commits_per_sec = row.commits / row.seconds;
+  row.fsyncs = writer.fsyncs();
+  row.batches = writer.group_batches();
+  ::unlink(path.c_str());
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  char tmpl[] = "/tmp/walbenchXXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+  std::string dir = tmpl;
+
+  // A representative small commit: one transaction of three single-column
+  // events, encoded exactly as PersistenceManager::LogCommit would.
+  SymbolTable symbols;
+  Transaction txn;
+  SymbolId works = symbols.Intern("Works");
+  SymbolId la = symbols.Intern("La");
+  (void)txn.AddInsert(works, {symbols.Intern("Joan"),
+                              symbols.Intern("Sales")});
+  (void)txn.AddInsert(la, {symbols.Intern("Dolors")});
+  (void)txn.AddDelete(la, {symbols.Intern("Pere")});
+  std::string payload = persist::EncodeCommitPayload(
+      1, persist::CommitOrigin::kDirect, txn, symbols);
+
+  std::printf("WAL commit throughput (payload %zu bytes, %d commits per "
+              "thread)\n",
+              payload.size(), kCommitsPerThread);
+  std::printf("%-8s %8s %10s %10s %14s %8s %8s\n", "mode", "threads",
+              "commits", "seconds", "commits/sec", "fsyncs", "batches");
+
+  std::vector<Row> rows;
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool group : {false, true}) {
+      // Single-fsync mode serializes appends, so its multi-thread rows
+      // measure contention; group mode is where batching pays.
+      Row row = RunOne(dir, group, threads, payload);
+      std::printf("%-8s %8d %10d %10.3f %14.0f %8llu %8llu\n",
+                  row.mode.c_str(), row.threads, row.commits, row.seconds,
+                  row.commits_per_sec,
+                  static_cast<unsigned long long>(row.fsyncs),
+                  static_cast<unsigned long long>(row.batches));
+      rows.push_back(row);
+    }
+  }
+  ::rmdir(dir.c_str());
+
+  const char* json_dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string json_path =
+      StrCat(json_dir != nullptr ? json_dir : ".", "/BENCH_persist.json");
+  std::string out = StrCat("{\"bench\":\"wal_throughput\",\"payload_bytes\":",
+                           payload.size(), ",\"rows\":[");
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("{\"mode\":", obs::JsonQuote(row.mode),
+                  ",\"threads\":", row.threads, ",\"commits\":", row.commits,
+                  ",\"seconds\":", row.seconds,
+                  ",\"commits_per_sec\":", row.commits_per_sec,
+                  ",\"fsyncs\":", row.fsyncs, ",\"batches\":", row.batches,
+                  "}");
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Durability walkthrough (DESIGN.md §8): the employment database as a
+// persistent store. Every run of this program reopens the same directory,
+// recovers the facts committed by previous runs (snapshot + WAL replay),
+// admits one more person through the update processor, and checkpoints.
+//
+//   ./persistent_store [dir]     (default /tmp/deddb_store)
+//
+// Run it a few times and watch the population grow; kill it between the
+// commit and the checkpoint and the committed transaction still survives —
+// the durable commit record in the WAL, not the checkpoint, is the commit
+// point.
+
+#include <cstdio>
+
+#include "core/deductive_database.h"
+#include "core/update_processor.h"
+#include "parser/parser.h"
+#include "util/strings.h"
+
+using namespace deddb;  // NOLINT — example brevity
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/deddb_store";
+
+  auto opened = DeductiveDatabase::OpenPersistent(dir);
+  if (!opened.ok()) {
+    std::printf("open failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  DeductiveDatabase& db = **opened;
+
+  // First run only: declare the schema, then checkpoint — the WAL covers
+  // fact transactions; declarations and rules become durable at a
+  // checkpoint (see the durability contract on OpenPersistent).
+  if (!db.database().FindPredicate("La").ok()) {
+    auto loaded = LoadProgram(&db, R"(
+      base La/1.
+      base Works/2.
+      view Emp/1.
+      view Unemp/1.
+      Emp(x) <- Works(x, y).
+      Unemp(x) <- La(x) & not Emp(x).
+    )");
+    if (!loaded.ok()) {
+      std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    if (Status s = db.Checkpoint(); !s.ok()) {
+      std::printf("checkpoint failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("initialized fresh store in %s\n", dir.c_str());
+  }
+
+  const size_t generation = db.database().facts().TotalFacts();
+  std::string person = StrCat("person", generation);
+
+  // Commit one transaction through the update processor: integrity-checked,
+  // durably logged before it is applied, recovered on the next run.
+  Transaction txn;
+  (void)txn.AddInsert(db.GroundAtom("La", {person}).value());
+  UpdateProcessor processor(&db);
+  auto report = processor.ProcessTransaction(txn);
+  if (!report.ok() || !report->accepted) {
+    std::printf("commit failed\n");
+    return 1;
+  }
+  std::printf("committed ins La(%s)  [seq %llu]\n", person.c_str(),
+              static_cast<unsigned long long>(
+                  db.persistence()->stats().last_seq));
+
+  std::printf("store now holds %zu base facts across runs:\n",
+              db.database().facts().TotalFacts());
+  db.database().facts().ForEach([&](SymbolId pred, const Tuple& t) {
+    std::string line = StrCat("  ", db.symbols().NameOf(pred), "(");
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) line += ", ";
+      line += db.symbols().NameOf(t[i]);
+    }
+    std::printf("%s)\n", line.c_str());
+  });
+
+  // Compact: snapshot everything and truncate the log.
+  if (Status s = db.Close(); !s.ok()) {
+    std::printf("close failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,11 +1,76 @@
 #include "core/deductive_database.h"
 
+#include "core/update_processor.h"
 #include "util/strings.h"
 
 namespace deddb {
 
 DeductiveDatabase::DeductiveDatabase(EventCompilerOptions compiler_options)
     : compiler_options_(compiler_options) {}
+
+Result<std::unique_ptr<DeductiveDatabase>> DeductiveDatabase::OpenPersistent(
+    const std::string& dir, PersistOptions persist_options,
+    EventCompilerOptions compiler_options) {
+  auto db = std::make_unique<DeductiveDatabase>(compiler_options);
+  DEDDB_ASSIGN_OR_RETURN(
+      std::unique_ptr<persist::PersistenceManager> manager,
+      persist::PersistenceManager::Open(
+          dir, persist::PersistenceManager::Options{
+                   persist_options.group_commit}));
+  DEDDB_RETURN_IF_ERROR(manager->RestoreSnapshotInto(&db->db_));
+  DEDDB_ASSIGN_OR_RETURN(std::vector<persist::WalRecord> records,
+                         manager->ReadLogForRecovery(&db->db_.symbols()));
+  // Replay each surviving commit through the path that produced it, so the
+  // recovered in-memory state (including materialized views) re-converges to
+  // the state at the crash. persistence_ is still null here, which is what
+  // keeps replayed commits from being logged a second time.
+  for (const persist::WalRecord& record : records) {
+    if (record.origin == persist::CommitOrigin::kDirect) {
+      Status status = db->ApplyUnlogged(record.transaction);
+      if (!status.ok()) {
+        return CorruptionError(
+            StrCat("replaying logged transaction ", record.seq,
+                   " failed (was the schema checkpointed before "
+                   "committing?): ", status.ToString()));
+      }
+    } else {
+      UpdateProcessor processor(db.get());
+      Result<UpdateProcessor::TransactionReport> report =
+          processor.ProcessTransaction(record.transaction, /*apply=*/true);
+      if (!report.ok()) {
+        return CorruptionError(
+            StrCat("replaying logged transaction ", record.seq,
+                   " failed (was the schema checkpointed before "
+                   "committing?): ", report.status().ToString()));
+      }
+      if (!report->accepted) {
+        // The record was only written after the original pass accepted it.
+        return CorruptionError(
+            StrCat("logged transaction ", record.seq,
+                   " was rejected on replay; the log does not match the "
+                   "snapshot"));
+      }
+    }
+  }
+  DEDDB_RETURN_IF_ERROR(manager->OpenLogForAppend());
+  db->persistence_ = std::move(manager);
+  return db;
+}
+
+Status DeductiveDatabase::Checkpoint() {
+  if (persistence_ == nullptr) {
+    return FailedPreconditionError(
+        "Checkpoint() requires a database opened with OpenPersistent");
+  }
+  return persistence_->Checkpoint(db_, observability());
+}
+
+Status DeductiveDatabase::Close() {
+  if (persistence_ == nullptr) return Status::Ok();
+  Status status = persistence_->Checkpoint(db_, observability());
+  persistence_.reset();
+  return status;
+}
 
 Result<SymbolId> DeductiveDatabase::DeclareBase(std::string_view name,
                                                 size_t arity) {
@@ -105,6 +170,22 @@ Result<Transaction> DeductiveDatabase::MakeTransaction(
 }
 
 Status DeductiveDatabase::Apply(const Transaction& transaction) {
+  DEDDB_RETURN_IF_ERROR(
+      transaction.Validate(db_.facts(), db_.predicates()));
+  if (persistence_ != nullptr) {
+    // Redo logging: the durable commit record precedes the in-memory apply,
+    // so an acknowledged Apply survives a crash and a failed log append
+    // leaves the database untouched.
+    DEDDB_RETURN_IF_ERROR(
+        persistence_
+            ->LogCommit(transaction, persist::CommitOrigin::kDirect,
+                        db_.symbols(), observability())
+            .status());
+  }
+  return ApplyUnlogged(transaction);
+}
+
+Status DeductiveDatabase::ApplyUnlogged(const Transaction& transaction) {
   DEDDB_RETURN_IF_ERROR(
       transaction.Validate(db_.facts(), db_.predicates()));
   InvalidateDomain();

@@ -8,6 +8,7 @@
 
 #include "events/event_compiler.h"
 #include "interp/domain.h"
+#include "persist/manager.h"
 #include "interp/downward.h"
 #include "interp/upward.h"
 #include "problems/condition_activation.h"
@@ -23,6 +24,15 @@
 
 namespace deddb {
 
+/// Options for DeductiveDatabase::OpenPersistent. (Namespace scope: a
+/// nested struct's member initializer cannot feed a default argument of the
+/// enclosing class.)
+struct PersistOptions {
+  /// Batch concurrent commit fsyncs (leader-based group commit). Off, each
+  /// commit pays its own fsync.
+  bool group_commit = true;
+};
+
 /// The user-facing facade of the library: a deductive database plus the
 /// event-rule framework, exposing every updating problem of the paper's
 /// Table 4.1 through one uniform interface (the "update processing system"
@@ -35,6 +45,37 @@ class DeductiveDatabase {
  public:
   explicit DeductiveDatabase(EventCompilerOptions compiler_options =
                                  EventCompilerOptions{.simplify = true, .obs = {}});
+
+  // ---- Durability (src/persist/, DESIGN.md §8) ----------------------------
+
+  /// Opens a durable database rooted at directory `dir`: restores the latest
+  /// snapshot, replays the write-ahead log (truncating a torn tail; a
+  /// corrupt interior record fails with kCorruption), and takes over the log
+  /// for new commits. A fresh directory yields an empty database.
+  ///
+  /// Durability contract: every transaction committed through Apply or
+  /// UpdateProcessor is durably logged before it is applied, so an
+  /// acknowledged commit survives any crash. Schema and rules are durable
+  /// only as of the last Checkpoint()/Close() — declare the schema, then
+  /// checkpoint, then commit transactions.
+  static Result<std::unique_ptr<DeductiveDatabase>> OpenPersistent(
+      const std::string& dir, PersistOptions persist_options = {},
+      EventCompilerOptions compiler_options =
+          EventCompilerOptions{.simplify = true, .obs = {}});
+
+  /// Durably snapshots the full state (schema, rules, facts, materialized
+  /// views) and truncates the log. FailedPrecondition on a non-persistent
+  /// database.
+  Status Checkpoint();
+
+  /// Checkpoints and detaches the persistence manager (no-op when not
+  /// persistent). After Close() the database keeps working in memory only.
+  Status Close();
+
+  /// The persistence manager, or nullptr when the database is in-memory
+  /// (also during OpenPersistent's replay, which is what keeps replayed
+  /// commits from being re-logged).
+  persist::PersistenceManager* persistence() { return persistence_.get(); }
 
   // ---- Schema & content ---------------------------------------------------
 
@@ -65,8 +106,9 @@ class DeductiveDatabase {
       std::vector<std::pair<Op, Atom>> events);
 
   /// Validates (per eqs. 1-2) and applies a transaction to the base facts.
-  /// Does NOT maintain materialized views; use UpdateProcessor for the
-  /// combined pipeline.
+  /// On a persistent database the transaction is durably logged first (the
+  /// log record is the commit point). Does NOT maintain materialized views;
+  /// use UpdateProcessor for the combined pipeline.
   Status Apply(const Transaction& transaction);
 
   // ---- Event machinery ----------------------------------------------------
@@ -178,6 +220,11 @@ class DeductiveDatabase {
   }
 
  private:
+  /// Apply without logging: the in-memory mutation shared by the public
+  /// Apply (which logs first), UpdateProcessor (which logs with kProcessor
+  /// origin before calling this), and WAL replay.
+  Status ApplyUnlogged(const Transaction& transaction);
+
   void InvalidateCompiled() {
     compiled_.reset();
     consistency_cache_.reset();
@@ -190,6 +237,7 @@ class DeductiveDatabase {
   friend class UpdateProcessor;  // maintains consistency_cache_ on apply
 
   Database db_;
+  std::unique_ptr<persist::PersistenceManager> persistence_;
   EventCompilerOptions compiler_options_;
   UpwardOptions upward_options_;
   DownwardOptions downward_options_;

@@ -116,6 +116,19 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
     return injector.armed() ? injector.Poke(point) : Status::Ok();
   };
 
+  // Redo logging (DESIGN.md §8): on a persistent database the durable
+  // commit record is written before any in-memory mutation — the log append
+  // is the commit point. A failed append leaves both the file (the writer
+  // self-heals to its durable prefix) and the stores untouched.
+  persist::PersistenceManager* persistence = db_->persistence();
+  uint64_t seq = 0;
+  if (persistence != nullptr) {
+    Result<uint64_t> logged = persistence->LogCommit(
+        transaction, persist::CommitOrigin::kProcessor, db.symbols(), obs);
+    if (!logged.ok()) return logged.status();
+    seq = *logged;
+  }
+
   // Undo log of the view-store operations actually performed.
   std::vector<std::pair<SymbolId, Tuple>> view_removed;  // re-add on rollback
   std::vector<std::pair<SymbolId, Tuple>> view_added;    // remove on rollback
@@ -138,7 +151,8 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
     status = poke(FaultPoint::kProcessorApplyBase);
   }
   if (status.ok()) {
-    status = db_->Apply(transaction);
+    // Unlogged: the commit record above already covers this transaction.
+    status = db_->ApplyUnlogged(transaction);
     if (status.ok()) {
       base_applied = true;
       status = poke(FaultPoint::kProcessorCommit);
@@ -162,7 +176,7 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
     // The inverse of a just-applied valid transaction is itself valid
     // against the new state, so this succeeds unless the store is already
     // corrupted — which is escalated rather than masked.
-    Status undo = db_->Apply(transaction.Inverse());
+    Status undo = db_->ApplyUnlogged(transaction.Inverse());
     if (!undo.ok()) {
       return InternalError(StrCat("rollback failed after '", status.ToString(),
                                   "': ", undo.ToString()));
@@ -172,6 +186,20 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
   for (const auto& [pred, t] : view_removed) store.Add(pred, t);
   report->views.applied_deletes = 0;
   report->views.applied_inserts = 0;
+  if (persistence != nullptr) {
+    // The commit record is already durable; compensate with an abort record
+    // so recovery skips it. If even that fails, the log claims a commit the
+    // memory state no longer has — escalate so the caller reopens (replay
+    // would re-apply the transaction, which is why this cannot be masked).
+    Status abort_logged = persistence->LogAbort(seq, obs);
+    if (!abort_logged.ok()) {
+      return InternalError(
+          StrCat("transaction ", seq, " was rolled back in memory but its "
+                 "abort record could not be logged (",
+                 abort_logged.ToString(), "); reopen the database to "
+                 "re-converge with the log"));
+    }
+  }
   if (span.enabled()) span.AttrInt("rolled_back", 1);
   obs::MetricsRegistry::Add(obs.metrics, "processor.rollbacks");
   return status;

@@ -1,0 +1,325 @@
+#include "persist/codec.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace deddb::persist {
+
+namespace {
+
+// Caps decoded element counts so a damaged length field fails fast with
+// kCorruption instead of attempting a multi-gigabyte allocation.
+constexpr uint64_t kMaxDecodedElements = uint64_t{1} << 32;
+
+Status TruncatedError(std::string_view what) {
+  return CorruptionError(StrCat("persisted bytes truncated while decoding ",
+                                what));
+}
+
+}  // namespace
+
+void ByteSink::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteSink::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void ByteSink::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+Result<uint8_t> ByteSource::GetU8() {
+  if (remaining() < 1) return TruncatedError("u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> ByteSource::GetU32() {
+  if (remaining() < 4) return TruncatedError("u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> ByteSource::GetU64() {
+  if (remaining() < 8) return TruncatedError("u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> ByteSource::GetString() {
+  DEDDB_ASSIGN_OR_RETURN(uint32_t size, GetU32());
+  if (remaining() < size) return TruncatedError("string");
+  std::string s(data_.substr(pos_, size));
+  pos_ += size;
+  return s;
+}
+
+// ---- Storage types ----------------------------------------------------------
+
+void EncodeTuple(const Tuple& tuple, const SymbolTable& symbols,
+                 ByteSink* sink) {
+  sink->PutU32(static_cast<uint32_t>(tuple.size()));
+  for (SymbolId c : tuple) sink->PutString(symbols.NameOf(c));
+}
+
+Result<Tuple> DecodeTuple(ByteSource* source, SymbolTable* symbols) {
+  DEDDB_ASSIGN_OR_RETURN(uint32_t size, source->GetU32());
+  Tuple tuple;
+  tuple.reserve(size);
+  for (uint32_t i = 0; i < size; ++i) {
+    DEDDB_ASSIGN_OR_RETURN(std::string name, source->GetString());
+    tuple.push_back(symbols->Intern(name));
+  }
+  return tuple;
+}
+
+namespace {
+
+// Tuples sorted by their rendered constant names, so the byte encoding is
+// stable across processes (ids are assigned in interning order, which
+// differs between the writer and a recovered reader).
+std::vector<Tuple> SortedTuples(const Relation& relation,
+                                const SymbolTable& symbols) {
+  std::vector<Tuple> tuples = relation.ToVector();
+  std::sort(tuples.begin(), tuples.end(),
+            [&](const Tuple& a, const Tuple& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                const std::string& na = symbols.NameOf(a[i]);
+                const std::string& nb = symbols.NameOf(b[i]);
+                if (na != nb) return na < nb;
+              }
+              return a.size() < b.size();
+            });
+  return tuples;
+}
+
+}  // namespace
+
+void EncodeRelation(const Relation& relation, const SymbolTable& symbols,
+                    ByteSink* sink) {
+  sink->PutU32(static_cast<uint32_t>(relation.arity()));
+  sink->PutU64(relation.size());
+  for (const Tuple& t : SortedTuples(relation, symbols)) {
+    EncodeTuple(t, symbols, sink);
+  }
+}
+
+Result<Relation> DecodeRelation(ByteSource* source, SymbolTable* symbols) {
+  DEDDB_ASSIGN_OR_RETURN(uint32_t arity, source->GetU32());
+  DEDDB_ASSIGN_OR_RETURN(uint64_t count, source->GetU64());
+  if (count > kMaxDecodedElements) {
+    return CorruptionError("relation tuple count is implausibly large");
+  }
+  Relation relation(arity);
+  for (uint64_t i = 0; i < count; ++i) {
+    DEDDB_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(source, symbols));
+    if (t.size() != arity) {
+      return CorruptionError(
+          StrCat("relation of arity ", arity, " holds a tuple of arity ",
+                 t.size()));
+    }
+    relation.Insert(t);
+  }
+  return relation;
+}
+
+namespace {
+
+// (predicate name, tuple) pairs of a fact store, sorted by name then tuple
+// names — the cross-process-stable iteration the encoders share.
+using NamedFact = std::pair<std::string, Tuple>;
+
+std::vector<NamedFact> SortedFacts(const FactStore& store,
+                                   const SymbolTable& symbols) {
+  std::vector<NamedFact> facts;
+  store.ForEach([&](SymbolId pred, const Tuple& t) {
+    facts.emplace_back(symbols.NameOf(pred), t);
+  });
+  std::sort(facts.begin(), facts.end(),
+            [&](const NamedFact& a, const NamedFact& b) {
+              if (a.first != b.first) return a.first < b.first;
+              const Tuple& ta = a.second;
+              const Tuple& tb = b.second;
+              for (size_t i = 0; i < ta.size() && i < tb.size(); ++i) {
+                const std::string& na = symbols.NameOf(ta[i]);
+                const std::string& nb = symbols.NameOf(tb[i]);
+                if (na != nb) return na < nb;
+              }
+              return ta.size() < tb.size();
+            });
+  return facts;
+}
+
+void EncodeFactList(const FactStore& store, const SymbolTable& symbols,
+                    ByteSink* sink) {
+  std::vector<NamedFact> facts = SortedFacts(store, symbols);
+  sink->PutU64(facts.size());
+  for (const auto& [name, tuple] : facts) {
+    sink->PutString(name);
+    EncodeTuple(tuple, symbols, sink);
+  }
+}
+
+using FactFn = std::function<Status(SymbolId, const Tuple&)>;
+
+Status DecodeFactList(ByteSource* source, SymbolTable* symbols,
+                      const FactFn& fn) {
+  DEDDB_ASSIGN_OR_RETURN(uint64_t count, source->GetU64());
+  if (count > kMaxDecodedElements) {
+    return CorruptionError("fact count is implausibly large");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    DEDDB_ASSIGN_OR_RETURN(std::string name, source->GetString());
+    DEDDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(source, symbols));
+    DEDDB_RETURN_IF_ERROR(fn(symbols->Intern(name), tuple));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeFactStore(const FactStore& store, const SymbolTable& symbols,
+                     ByteSink* sink) {
+  EncodeFactList(store, symbols, sink);
+}
+
+Result<FactStore> DecodeFactStore(ByteSource* source, SymbolTable* symbols) {
+  FactStore store;
+  DEDDB_RETURN_IF_ERROR(
+      DecodeFactList(source, symbols, [&](SymbolId pred, const Tuple& t) {
+        store.Add(pred, t);
+        return Status::Ok();
+      }));
+  return store;
+}
+
+void EncodeTransaction(const Transaction& txn, const SymbolTable& symbols,
+                       ByteSink* sink) {
+  EncodeFactList(txn.inserts(), symbols, sink);
+  EncodeFactList(txn.deletes(), symbols, sink);
+}
+
+Result<Transaction> DecodeTransaction(ByteSource* source,
+                                      SymbolTable* symbols) {
+  Transaction txn;
+  // Routing through AddInsert/AddDelete re-validates the conflict invariant:
+  // bytes encoding both ins and del of one fact decode to kCorruption, never
+  // to an arbitrarily-ordered application.
+  auto as_corruption = [](const Status& s) {
+    return s.ok() ? s
+                  : CorruptionError(StrCat(
+                        "decoded transaction violates the conflict "
+                        "invariant: ", s.message()));
+  };
+  DEDDB_RETURN_IF_ERROR(
+      DecodeFactList(source, symbols, [&](SymbolId pred, const Tuple& t) {
+        return as_corruption(txn.AddInsert(pred, t));
+      }));
+  DEDDB_RETURN_IF_ERROR(
+      DecodeFactList(source, symbols, [&](SymbolId pred, const Tuple& t) {
+        return as_corruption(txn.AddDelete(pred, t));
+      }));
+  return txn;
+}
+
+// ---- Datalog types ----------------------------------------------------------
+
+namespace {
+constexpr uint8_t kTermConstant = 0;
+constexpr uint8_t kTermVariable = 1;
+}  // namespace
+
+void EncodeTerm(const Term& term, const SymbolTable& symbols, ByteSink* sink) {
+  if (term.is_constant()) {
+    sink->PutU8(kTermConstant);
+    sink->PutString(symbols.NameOf(term.constant()));
+  } else {
+    sink->PutU8(kTermVariable);
+    sink->PutString(symbols.VarNameOf(term.variable()));
+  }
+}
+
+Result<Term> DecodeTerm(ByteSource* source, SymbolTable* symbols) {
+  DEDDB_ASSIGN_OR_RETURN(uint8_t tag, source->GetU8());
+  DEDDB_ASSIGN_OR_RETURN(std::string name, source->GetString());
+  switch (tag) {
+    case kTermConstant:
+      return Term::MakeConstant(symbols->Intern(name));
+    case kTermVariable:
+      return Term::MakeVariable(symbols->InternVar(name));
+    default:
+      return CorruptionError(StrCat("unknown term tag ", int{tag}));
+  }
+}
+
+void EncodeAtom(const Atom& atom, const SymbolTable& symbols, ByteSink* sink) {
+  sink->PutString(symbols.NameOf(atom.predicate()));
+  sink->PutU32(static_cast<uint32_t>(atom.args().size()));
+  for (const Term& t : atom.args()) EncodeTerm(t, symbols, sink);
+}
+
+Result<Atom> DecodeAtom(ByteSource* source, SymbolTable* symbols) {
+  DEDDB_ASSIGN_OR_RETURN(std::string name, source->GetString());
+  DEDDB_ASSIGN_OR_RETURN(uint32_t argc, source->GetU32());
+  if (argc > kMaxDecodedElements) {
+    return CorruptionError("atom arity is implausibly large");
+  }
+  std::vector<Term> args;
+  args.reserve(argc);
+  for (uint32_t i = 0; i < argc; ++i) {
+    DEDDB_ASSIGN_OR_RETURN(Term t, DecodeTerm(source, symbols));
+    args.push_back(t);
+  }
+  return Atom(symbols->Intern(name), std::move(args));
+}
+
+void EncodeRule(const Rule& rule, const SymbolTable& symbols, ByteSink* sink) {
+  EncodeAtom(rule.head(), symbols, sink);
+  sink->PutU32(static_cast<uint32_t>(rule.body().size()));
+  for (const Literal& l : rule.body()) {
+    sink->PutU8(l.positive() ? 1 : 0);
+    EncodeAtom(l.atom(), symbols, sink);
+  }
+}
+
+Result<Rule> DecodeRule(ByteSource* source, SymbolTable* symbols) {
+  DEDDB_ASSIGN_OR_RETURN(Atom head, DecodeAtom(source, symbols));
+  DEDDB_ASSIGN_OR_RETURN(uint32_t body_size, source->GetU32());
+  if (body_size > kMaxDecodedElements) {
+    return CorruptionError("rule body size is implausibly large");
+  }
+  std::vector<Literal> body;
+  body.reserve(body_size);
+  for (uint32_t i = 0; i < body_size; ++i) {
+    DEDDB_ASSIGN_OR_RETURN(uint8_t positive, source->GetU8());
+    if (positive > 1) {
+      return CorruptionError(StrCat("unknown literal polarity ",
+                                    int{positive}));
+    }
+    DEDDB_ASSIGN_OR_RETURN(Atom atom, DecodeAtom(source, symbols));
+    body.emplace_back(std::move(atom), positive == 1);
+  }
+  return Rule(std::move(head), std::move(body));
+}
+
+}  // namespace deddb::persist

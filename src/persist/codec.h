@@ -1,0 +1,97 @@
+#ifndef DEDDB_PERSIST_CODEC_H_
+#define DEDDB_PERSIST_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "datalog/rule.h"
+#include "storage/fact_store.h"
+#include "storage/relation.h"
+#include "storage/transaction.h"
+#include "util/status.h"
+
+namespace deddb::persist {
+
+/// Little-endian byte encoder over a growing string. All persistence
+/// formats (WAL payloads, snapshot payloads) are built from these four
+/// primitives plus length-prefixed strings.
+class ByteSink {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// u32 byte length followed by the raw bytes.
+  void PutString(std::string_view s);
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Decoder counterpart. Every getter fails with kCorruption when the input
+/// is exhausted early — persisted bytes that cannot be decoded are damaged
+/// by definition (framing CRCs have already passed by the time a payload
+/// reaches the codec).
+class ByteSource {
+ public:
+  explicit ByteSource(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<std::string> GetString();
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---- Storage types ----------------------------------------------------------
+// All encodings are name-based: constants, variables and predicates are
+// written as their interned strings and re-interned on decode, so a record
+// written by one process replays correctly in another whose SymbolTable
+// assigned different ids. Set-valued types are written in sorted order for
+// within-process byte determinism.
+
+void EncodeTuple(const Tuple& tuple, const SymbolTable& symbols,
+                 ByteSink* sink);
+Result<Tuple> DecodeTuple(ByteSource* source, SymbolTable* symbols);
+
+void EncodeRelation(const Relation& relation, const SymbolTable& symbols,
+                    ByteSink* sink);
+Result<Relation> DecodeRelation(ByteSource* source, SymbolTable* symbols);
+
+void EncodeFactStore(const FactStore& store, const SymbolTable& symbols,
+                     ByteSink* sink);
+Result<FactStore> DecodeFactStore(ByteSource* source, SymbolTable* symbols);
+
+/// Transactions round-trip through the checked Transaction API, so a decoded
+/// event set that violates the conflict invariant (an insertion and a
+/// deletion of the same fact — impossible to write, but representable in
+/// damaged bytes) is rejected with kCorruption instead of silently picking
+/// an application order.
+void EncodeTransaction(const Transaction& txn, const SymbolTable& symbols,
+                       ByteSink* sink);
+Result<Transaction> DecodeTransaction(ByteSource* source,
+                                      SymbolTable* symbols);
+
+// ---- Datalog types (snapshot schema/rule sections) --------------------------
+
+void EncodeTerm(const Term& term, const SymbolTable& symbols, ByteSink* sink);
+Result<Term> DecodeTerm(ByteSource* source, SymbolTable* symbols);
+
+void EncodeAtom(const Atom& atom, const SymbolTable& symbols, ByteSink* sink);
+Result<Atom> DecodeAtom(ByteSource* source, SymbolTable* symbols);
+
+void EncodeRule(const Rule& rule, const SymbolTable& symbols, ByteSink* sink);
+Result<Rule> DecodeRule(ByteSource* source, SymbolTable* symbols);
+
+}  // namespace deddb::persist
+
+#endif  // DEDDB_PERSIST_CODEC_H_

@@ -1,0 +1,226 @@
+#include "persist/manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/resource_guard.h"
+#include "util/strings.h"
+
+namespace deddb::persist {
+
+namespace {
+
+constexpr const char* kSnapshotFile = "snapshot.deddb";
+constexpr const char* kWalFile = "wal.deddb";
+
+Status ErrnoError(std::string_view op, const std::string& path) {
+  return InternalError(StrCat(op, " failed for '", path, "': ",
+                              std::strerror(errno)));
+}
+
+Status Poke(FaultPoint point) {
+  FaultInjector& injector = FaultInjector::Instance();
+  return injector.armed() ? injector.Poke(point) : Status::Ok();
+}
+
+Status FsyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("open(dir)", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoError("fsync(dir)", dir);
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string PersistenceManager::snapshot_path() const {
+  return StrCat(dir_, "/", kSnapshotFile);
+}
+
+std::string PersistenceManager::wal_path() const {
+  return StrCat(dir_, "/", kWalFile);
+}
+
+Result<std::unique_ptr<PersistenceManager>> PersistenceManager::Open(
+    const std::string& dir, Options options) {
+  if (dir.empty()) {
+    return InvalidArgumentError("persistence directory must be non-empty");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoError("mkdir", dir);
+  }
+  auto manager = std::unique_ptr<PersistenceManager>(
+      new PersistenceManager(dir, options));
+  // Temporaries are pre-rename by construction, so a leftover one is an
+  // interrupted checkpoint that never committed — plain garbage.
+  ::unlink(StrCat(manager->snapshot_path(), ".tmp").c_str());
+  ::unlink(StrCat(manager->wal_path(), ".tmp").c_str());
+  return manager;
+}
+
+Status PersistenceManager::RestoreSnapshotInto(Database* db) {
+  Result<SnapshotData> loaded = LoadSnapshot(snapshot_path(), &db->symbols());
+  if (!loaded.ok()) {
+    if (loaded.status().code() == StatusCode::kNotFound) return Status::Ok();
+    return loaded.status();
+  }
+  DEDDB_RETURN_IF_ERROR(RestoreSnapshot(*loaded, db));
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_seq_ = loaded->last_seq;
+  last_seq_ = loaded->last_seq;
+  return Status::Ok();
+}
+
+Result<std::vector<WalRecord>> PersistenceManager::ReadLogForRecovery(
+    SymbolTable* symbols) {
+  Result<WalContents> read = ReadWal(wal_path(), symbols);
+  if (!read.ok()) {
+    if (read.status().code() == StatusCode::kNotFound) {
+      return std::vector<WalRecord>{};  // fresh directory: no log yet
+    }
+    return read.status();
+  }
+  WalContents& contents = *read;
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_existed_ = true;
+  if (contents.base_seq > snapshot_seq_) {
+    return CorruptionError(
+        StrCat("log '", wal_path(), "' starts at sequence ",
+               contents.base_seq, " but the snapshot only covers ",
+               snapshot_seq_, " — a checkpoint snapshot is missing"));
+  }
+  if (contents.torn_tail) {
+    // Truncate the torn bytes in place so a later crash cannot make the
+    // damage look interior.
+    int fd = ::open(wal_path().c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoError("open", wal_path());
+    int rc = ::ftruncate(fd, static_cast<off_t>(contents.valid_bytes));
+    if (rc == 0) rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoError("ftruncate", wal_path());
+    ++stats_.torn_tail_truncations;
+  }
+  recovered_wal_size_ = contents.valid_bytes;
+
+  std::unordered_set<uint64_t> aborted;
+  for (const WalRecord& record : contents.records) {
+    last_seq_ = std::max(last_seq_, record.seq);
+    if (record.type == RecordType::kAbort) aborted.insert(record.aborted_seq);
+  }
+  std::vector<WalRecord> to_replay;
+  for (WalRecord& record : contents.records) {
+    if (record.type != RecordType::kCommit) continue;
+    if (record.seq <= snapshot_seq_) continue;  // stale: pre-checkpoint log
+    if (aborted.count(record.seq) > 0) continue;
+    to_replay.push_back(std::move(record));
+  }
+  return to_replay;
+}
+
+Status PersistenceManager::OpenLogForAppend() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WalWriter::Options wal_options{options_.group_commit};
+  if (wal_existed_) {
+    DEDDB_ASSIGN_OR_RETURN(
+        writer_, WalWriter::OpenForAppend(wal_path(), recovered_wal_size_,
+                                          wal_options));
+  } else {
+    DEDDB_ASSIGN_OR_RETURN(
+        writer_, WalWriter::Create(wal_path(), snapshot_seq_, wal_options));
+    DEDDB_RETURN_IF_ERROR(FsyncDirectory(dir_));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> PersistenceManager::LogCommit(const Transaction& txn,
+                                               CommitOrigin origin,
+                                               const SymbolTable& symbols,
+                                               obs::ObsContext obs) {
+  obs::ScopedSpan span(obs.tracer, "persist.log_commit");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_ == nullptr) {
+    return FailedPreconditionError("the log is not open for appending");
+  }
+  const uint64_t seq = last_seq_ + 1;
+  DEDDB_RETURN_IF_ERROR(writer_->AppendDurable(
+      EncodeCommitPayload(seq, origin, txn, symbols), obs));
+  last_seq_ = seq;
+  ++stats_.commits_logged;
+  obs::MetricsRegistry::Add(obs.metrics, "persist.commits_logged");
+  return seq;
+}
+
+Status PersistenceManager::LogAbort(uint64_t seq, obs::ObsContext obs) {
+  obs::ScopedSpan span(obs.tracer, "persist.log_abort");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_ == nullptr) {
+    return FailedPreconditionError("the log is not open for appending");
+  }
+  const uint64_t abort_seq = last_seq_ + 1;
+  DEDDB_RETURN_IF_ERROR(writer_->AppendDurable(
+      EncodeAbortPayload(abort_seq, seq), obs));
+  last_seq_ = abort_seq;
+  ++stats_.aborts_logged;
+  obs::MetricsRegistry::Add(obs.metrics, "persist.aborts_logged");
+  return Status::Ok();
+}
+
+Status PersistenceManager::Checkpoint(const Database& db,
+                                      obs::ObsContext obs) {
+  obs::ScopedSpan span(obs.tracer, "persist.checkpoint");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_ == nullptr) {
+    return FailedPreconditionError("the log is not open for appending");
+  }
+  const uint64_t seq = last_seq_;
+  DEDDB_RETURN_IF_ERROR(WriteSnapshot(db, seq, snapshot_path(), obs));
+  // The snapshot is durable. From here on a crash is safe at every step:
+  // recovery loads the new snapshot and filters the old log's records (all
+  // stale now, seq ≤ snapshot seq), so installing the fresh log is pure
+  // compaction, not a correctness step.
+  DEDDB_RETURN_IF_ERROR(Poke(FaultPoint::kWalReset));
+  const std::string tmp = StrCat(wal_path(), ".tmp");
+  WalWriter::Options wal_options{options_.group_commit};
+  Result<std::unique_ptr<WalWriter>> fresh =
+      WalWriter::Create(tmp, seq, wal_options);
+  if (!fresh.ok()) {
+    ::unlink(tmp.c_str());
+    return fresh.status();
+  }
+  if (::rename(tmp.c_str(), wal_path().c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return ErrnoError("rename", tmp);
+  }
+  DEDDB_RETURN_IF_ERROR(FsyncDirectory(dir_));
+  writer_ = std::move(*fresh);
+  snapshot_seq_ = seq;
+  ++stats_.checkpoints;
+  obs::MetricsRegistry::Add(obs.metrics, "persist.checkpoints");
+  return Status::Ok();
+}
+
+Status PersistenceManager::Sync(obs::ObsContext obs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_ == nullptr) return Status::Ok();
+  return writer_->Sync(obs);
+}
+
+PersistenceManager::Stats PersistenceManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.last_seq = last_seq_;
+  stats.wal_durable_bytes =
+      writer_ == nullptr ? recovered_wal_size_ : writer_->durable_size();
+  return stats;
+}
+
+}  // namespace deddb::persist

@@ -1,0 +1,116 @@
+#ifndef DEDDB_PERSIST_MANAGER_H_
+#define DEDDB_PERSIST_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace deddb::persist {
+
+/// Orchestrates one directory of durable state: `snapshot.deddb` (the last
+/// checkpoint) plus `wal.deddb` (the committed transactions since). Owned by
+/// DeductiveDatabase when opened with OpenPersistent; the core layer drives
+/// it in three fixed phases:
+///
+///   1. Open(dir)                  — create/validate the directory, GC *.tmp
+///   2. RestoreSnapshotInto(db)    — load the checkpoint (no-op if none)
+///      ReadLogForRecovery(...)    — surviving commits; truncates a torn tail
+///      (caller replays them)
+///   3. OpenLogForAppend()         — take over the log for new commits
+///
+/// then per commit: LogCommit before the in-memory apply (redo logging: the
+/// commit point is the durable commit record), LogAbort if the apply is
+/// subsequently rolled back, and Checkpoint to compact.
+class PersistenceManager {
+ public:
+  struct Options {
+    bool group_commit = true;
+  };
+
+  struct Stats {
+    uint64_t commits_logged = 0;
+    uint64_t aborts_logged = 0;
+    uint64_t checkpoints = 0;
+    uint64_t torn_tail_truncations = 0;
+    uint64_t wal_durable_bytes = 0;
+    uint64_t last_seq = 0;
+  };
+
+  /// Creates `dir` if needed and removes stale temporaries left by a crash
+  /// mid-checkpoint (they are pre-rename, so never part of durable state).
+  static Result<std::unique_ptr<PersistenceManager>> Open(
+      const std::string& dir, Options options);
+
+  ~PersistenceManager() = default;
+  PersistenceManager(const PersistenceManager&) = delete;
+  PersistenceManager& operator=(const PersistenceManager&) = delete;
+
+  /// Restores the latest snapshot into `db` (freshly constructed). Ok with
+  /// no effect when no snapshot exists yet; kCorruption when one exists but
+  /// is damaged.
+  Status RestoreSnapshotInto(Database* db);
+
+  /// Reads the log, truncates any torn tail in place, and returns the commit
+  /// records to replay: stale records (seq ≤ the snapshot's) and aborted
+  /// commits are filtered out. Must run after RestoreSnapshotInto.
+  Result<std::vector<WalRecord>> ReadLogForRecovery(SymbolTable* symbols);
+
+  /// Opens the log for appending (creating it when absent). After this,
+  /// LogCommit/LogAbort/Checkpoint are usable.
+  Status OpenLogForAppend();
+
+  /// Durably logs a committed transaction and returns its sequence number.
+  /// Must precede the in-memory apply; an error here means nothing was
+  /// logged (the writer self-heals to the durable prefix) and the caller
+  /// must not apply.
+  Result<uint64_t> LogCommit(const Transaction& txn, CommitOrigin origin,
+                             const SymbolTable& symbols, obs::ObsContext obs);
+
+  /// Durably logs that the commit with sequence `seq` was rolled back, so
+  /// recovery skips it. An error here is critical: the in-memory state no
+  /// longer matches the log (the caller escalates and the database must be
+  /// reopened to re-converge).
+  Status LogAbort(uint64_t seq, obs::ObsContext obs);
+
+  /// Compacts: durably snapshots `db` at the current sequence number, then
+  /// installs a fresh log. Crash-safe at every step — until the snapshot
+  /// rename the old pair is intact; between the two renames recovery loads
+  /// the new snapshot and filters the old log's now-stale records.
+  Status Checkpoint(const Database& db, obs::ObsContext obs);
+
+  /// Durably flushes any buffered log bytes (normally a no-op: LogCommit
+  /// returns only after its record is durable).
+  Status Sync(obs::ObsContext obs);
+
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+  std::string snapshot_path() const;
+  std::string wal_path() const;
+
+ private:
+  PersistenceManager(std::string dir, Options options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  std::string dir_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::unique_ptr<WalWriter> writer_;
+  uint64_t snapshot_seq_ = 0;   // base_seq the current snapshot covers
+  uint64_t last_seq_ = 0;       // highest sequence number handed out
+  uint64_t recovered_wal_size_ = 0;  // valid prefix found by recovery
+  bool wal_existed_ = false;
+  Stats stats_;
+};
+
+}  // namespace deddb::persist
+
+#endif  // DEDDB_PERSIST_MANAGER_H_

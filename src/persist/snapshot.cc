@@ -1,0 +1,282 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "persist/codec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/crc32.h"
+#include "util/resource_guard.h"
+#include "util/strings.h"
+
+namespace deddb::persist {
+
+namespace {
+
+constexpr size_t kSnapshotHeaderSize = 8 + 4 + 4;
+constexpr uint64_t kMaxDeclaredPredicates = uint64_t{1} << 24;
+
+Status ErrnoError(std::string_view op, const std::string& path) {
+  return InternalError(StrCat(op, " failed for '", path, "': ",
+                              std::strerror(errno)));
+}
+
+Status Poke(FaultPoint point) {
+  FaultInjector& injector = FaultInjector::Instance();
+  return injector.armed() ? injector.Poke(point) : Status::Ok();
+}
+
+std::string EncodePayload(const SnapshotData& data,
+                          const SymbolTable& symbols) {
+  ByteSink sink;
+  sink.PutU64(data.last_seq);
+  sink.PutU32(static_cast<uint32_t>(data.declarations.size()));
+  for (const DeclarationData& decl : data.declarations) {
+    sink.PutString(decl.name);
+    sink.PutU32(decl.arity);
+    sink.PutU8(decl.derived ? 1 : 0);
+    sink.PutU8(static_cast<uint8_t>(decl.semantics));
+    sink.PutU8(decl.materialized ? 1 : 0);
+  }
+  sink.PutU32(static_cast<uint32_t>(data.rules.size()));
+  for (const Rule& rule : data.rules) EncodeRule(rule, symbols, &sink);
+  EncodeFactStore(data.facts, symbols, &sink);
+  EncodeFactStore(data.materialized, symbols, &sink);
+  return sink.Take();
+}
+
+Result<SnapshotData> DecodePayload(std::string_view payload,
+                                   SymbolTable* symbols) {
+  ByteSource source(payload);
+  SnapshotData data;
+  DEDDB_ASSIGN_OR_RETURN(data.last_seq, source.GetU64());
+  DEDDB_ASSIGN_OR_RETURN(uint32_t decl_count, source.GetU32());
+  if (decl_count > kMaxDeclaredPredicates) {
+    return CorruptionError("snapshot declaration count is implausibly large");
+  }
+  data.declarations.reserve(decl_count);
+  for (uint32_t i = 0; i < decl_count; ++i) {
+    DeclarationData decl;
+    DEDDB_ASSIGN_OR_RETURN(decl.name, source.GetString());
+    DEDDB_ASSIGN_OR_RETURN(decl.arity, source.GetU32());
+    DEDDB_ASSIGN_OR_RETURN(uint8_t derived, source.GetU8());
+    DEDDB_ASSIGN_OR_RETURN(uint8_t semantics, source.GetU8());
+    DEDDB_ASSIGN_OR_RETURN(uint8_t materialized, source.GetU8());
+    if (derived > 1 || materialized > 1 ||
+        semantics > static_cast<uint8_t>(PredicateSemantics::kCondition)) {
+      return CorruptionError(
+          StrCat("snapshot declaration '", decl.name, "' has invalid flags"));
+    }
+    decl.derived = derived == 1;
+    decl.semantics = static_cast<PredicateSemantics>(semantics);
+    decl.materialized = materialized == 1;
+    data.declarations.push_back(std::move(decl));
+  }
+  DEDDB_ASSIGN_OR_RETURN(uint32_t rule_count, source.GetU32());
+  if (rule_count > kMaxDeclaredPredicates) {
+    return CorruptionError("snapshot rule count is implausibly large");
+  }
+  data.rules.reserve(rule_count);
+  for (uint32_t i = 0; i < rule_count; ++i) {
+    DEDDB_ASSIGN_OR_RETURN(Rule rule, DecodeRule(&source, symbols));
+    data.rules.push_back(std::move(rule));
+  }
+  DEDDB_ASSIGN_OR_RETURN(data.facts, DecodeFactStore(&source, symbols));
+  DEDDB_ASSIGN_OR_RETURN(data.materialized, DecodeFactStore(&source, symbols));
+  if (!source.exhausted()) {
+    return CorruptionError("snapshot payload has trailing bytes");
+  }
+  return data;
+}
+
+Status FsyncDirectoryOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoError("open(dir)", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoError("fsync(dir)", dir);
+  return Status::Ok();
+}
+
+}  // namespace
+
+SnapshotData CaptureSnapshot(const Database& db, uint64_t last_seq) {
+  SnapshotData data;
+  data.last_seq = last_seq;
+  const SymbolTable& symbols = db.symbols();
+  for (SymbolId pred : db.predicates().old_predicates()) {
+    if (pred == db.global_ic()) continue;  // auto-declared on restore
+    const PredicateInfo* info = db.predicates().Find(pred);
+    DeclarationData decl;
+    decl.name = symbols.NameOf(pred);
+    decl.arity = static_cast<uint32_t>(info->arity);
+    decl.derived = info->kind == PredicateKind::kDerived;
+    decl.semantics = info->semantics;
+    decl.materialized = db.IsMaterialized(pred);
+    data.declarations.push_back(std::move(decl));
+  }
+  for (const Rule& rule : db.program().rules()) {
+    // The global `Ic <- Ic_i(x...)` rules are reinstalled by DeclareDerived
+    // when the Ic_i declarations are restored ("Ic" is a reserved name, so
+    // no user rule can have this head).
+    if (rule.head().predicate() == db.global_ic()) continue;
+    data.rules.push_back(rule);
+  }
+  data.facts = db.facts();
+  data.materialized = db.materialized_store();
+  return data;
+}
+
+Status WriteSnapshot(const Database& db, uint64_t last_seq,
+                     const std::string& path, obs::ObsContext obs) {
+  obs::ScopedSpan span(obs.tracer, "persist.snapshot_write");
+  std::string payload = EncodePayload(CaptureSnapshot(db, last_seq),
+                                      db.symbols());
+  ByteSink file;
+  for (char c : kSnapshotMagic) file.PutU8(static_cast<uint8_t>(c));
+  file.PutU32(static_cast<uint32_t>(payload.size()));
+  file.PutU32(Crc32(payload));
+  std::string bytes = file.Take();
+  bytes.append(payload);
+
+  const std::string tmp = StrCat(path, ".tmp");
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return ErrnoError("open", tmp);
+  Status status = Poke(FaultPoint::kSnapshotWrite);
+  if (status.ok()) {
+    size_t written = 0;
+    while (written < bytes.size()) {
+      ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        status = ErrnoError("write", tmp);
+        break;
+      }
+      written += static_cast<size_t>(n);
+    }
+  }
+  if (status.ok()) status = Poke(FaultPoint::kSnapshotFsync);
+  if (status.ok() && ::fsync(fd) != 0) status = ErrnoError("fsync", tmp);
+  ::close(fd);
+  if (status.ok()) status = Poke(FaultPoint::kSnapshotRename);
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = ErrnoError("rename", tmp);
+  }
+  if (status.ok()) status = FsyncDirectoryOf(path);
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());  // best-effort; stale tmps are also GCed on open
+    return status;
+  }
+  obs::MetricsRegistry::Add(obs.metrics, "persist.snapshot_writes");
+  obs::MetricsRegistry::Add(obs.metrics, "persist.snapshot_bytes",
+                            bytes.size());
+  return Status::Ok();
+}
+
+Result<SnapshotData> LoadSnapshot(const std::string& path,
+                                  SymbolTable* symbols) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return NotFoundError(StrCat("no snapshot at '", path, "'"));
+    }
+    return ErrnoError("open", path);
+  }
+  std::string data;
+  char buffer[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoError("read", path);
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (data.size() < kSnapshotHeaderSize) {
+    return CorruptionError(StrCat("snapshot '", path, "' is shorter than its "
+                                  "header"));
+  }
+  ByteSource header(std::string_view(data).substr(0, kSnapshotHeaderSize));
+  for (char expected : kSnapshotMagic) {
+    auto c = header.GetU8();
+    if (!c.ok() || static_cast<char>(*c) != expected) {
+      return CorruptionError(StrCat("'", path,
+                                    "' is not a deddb snapshot file"));
+    }
+  }
+  DEDDB_ASSIGN_OR_RETURN(uint32_t len, header.GetU32());
+  DEDDB_ASSIGN_OR_RETURN(uint32_t crc, header.GetU32());
+  if (data.size() != kSnapshotHeaderSize + len) {
+    return CorruptionError(
+        StrCat("snapshot '", path, "' length mismatch: header says ", len,
+               " payload bytes, file holds ",
+               data.size() - kSnapshotHeaderSize));
+  }
+  std::string_view payload =
+      std::string_view(data).substr(kSnapshotHeaderSize);
+  if (Crc32(payload) != crc) {
+    return CorruptionError(StrCat("snapshot '", path,
+                                  "' failed its checksum"));
+  }
+  return DecodePayload(payload, symbols);
+}
+
+Status RestoreSnapshot(const SnapshotData& data, Database* db) {
+  for (const DeclarationData& decl : data.declarations) {
+    if (decl.derived) {
+      DEDDB_ASSIGN_OR_RETURN(SymbolId sym,
+                             db->DeclareDerived(decl.name, decl.arity,
+                                                decl.semantics));
+      if (decl.materialized) DEDDB_RETURN_IF_ERROR(db->MaterializeView(sym));
+    } else {
+      DEDDB_RETURN_IF_ERROR(
+          db->DeclareBase(decl.name, decl.arity).status());
+    }
+  }
+  for (const Rule& rule : data.rules) {
+    DEDDB_RETURN_IF_ERROR(db->AddRule(rule));
+  }
+  // Base facts go straight into the store: each predicate's declaration was
+  // just restored, and arity consistency was already enforced by the codec.
+  Status status = Status::Ok();
+  data.facts.ForEach([&](SymbolId pred, const Tuple& tuple) {
+    if (!status.ok()) return;
+    const PredicateInfo* info = db->predicates().Find(pred);
+    if (info == nullptr || info->kind != PredicateKind::kBase ||
+        info->arity != tuple.size()) {
+      status = CorruptionError(
+          StrCat("snapshot fact for '",
+                 db->symbols().NameOf(pred),
+                 "' does not match a restored base declaration"));
+      return;
+    }
+    db->mutable_facts().Add(pred, tuple);
+  });
+  DEDDB_RETURN_IF_ERROR(status);
+  data.materialized.ForEach([&](SymbolId pred, const Tuple& tuple) {
+    if (!status.ok()) return;
+    if (!db->IsMaterialized(pred)) {
+      status = CorruptionError(
+          StrCat("snapshot holds a materialized extension for '",
+                 db->symbols().NameOf(pred),
+                 "', which was not restored as a materialized view"));
+      return;
+    }
+    db->materialized_store().Add(pred, tuple);
+  });
+  return status;
+}
+
+}  // namespace deddb::persist

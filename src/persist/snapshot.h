@@ -1,0 +1,72 @@
+#ifndef DEDDB_PERSIST_SNAPSHOT_H_
+#define DEDDB_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/rule.h"
+#include "obs/obs.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace deddb::persist {
+
+/// On-disk layout of a snapshot file:
+///
+///   8-byte magic "DSNP0001" | u32 payload_len | u32 crc(payload) | payload
+///
+/// The payload serializes the whole durable state of a Database: schema
+/// declarations (in declaration order), user rules, the EDB fact store and
+/// the materialized-view store, plus the WAL sequence number the snapshot
+/// covers. Auto-installed artifacts — the global `Ic` predicate and its
+/// `Ic <- Ic_i(x...)` rules — are NOT written: restoring the declarations
+/// regenerates them, and writing them would double-install on restore.
+inline constexpr char kSnapshotMagic[8] = {'D', 'S', 'N', 'P',
+                                           '0', '0', '0', '1'};
+
+/// One schema declaration, in a process-independent (name-based) form.
+struct DeclarationData {
+  std::string name;
+  uint32_t arity = 0;
+  bool derived = false;
+  PredicateSemantics semantics = PredicateSemantics::kPlain;
+  bool materialized = false;  // views only
+};
+
+/// A decoded snapshot, ready to be restored into a fresh Database.
+struct SnapshotData {
+  /// Sequence number of the last transaction the snapshot includes; a WAL
+  /// following this snapshot starts at base_seq == last_seq.
+  uint64_t last_seq = 0;
+  std::vector<DeclarationData> declarations;
+  std::vector<Rule> rules;  // decoded against the reader's SymbolTable
+  FactStore facts;
+  FactStore materialized;
+};
+
+/// Captures `db` (schema, rules, EDB, materialized store) into SnapshotData.
+SnapshotData CaptureSnapshot(const Database& db, uint64_t last_seq);
+
+/// Durably writes a snapshot of `db` to `path`: encode → write to
+/// `path.tmp` → fsync → rename over `path` → fsync the directory. Crash-safe
+/// at every step (the rename is the commit point; a leftover .tmp is
+/// garbage-collected on the next open). FaultInjector sequence points:
+/// kSnapshotWrite, kSnapshotFsync, kSnapshotRename.
+Status WriteSnapshot(const Database& db, uint64_t last_seq,
+                     const std::string& path, obs::ObsContext obs);
+
+/// Loads and validates a snapshot. NotFound if `path` does not exist;
+/// kCorruption if the magic, length, checksum or payload structure is
+/// damaged (a snapshot is written atomically via rename, so unlike a WAL
+/// tail there is no benign torn state).
+Result<SnapshotData> LoadSnapshot(const std::string& path,
+                                  SymbolTable* symbols);
+
+/// Replays a decoded snapshot into `db`, which must be freshly constructed
+/// (no declarations beyond the automatic global `Ic`).
+Status RestoreSnapshot(const SnapshotData& data, Database* db);
+
+}  // namespace deddb::persist
+
+#endif  // DEDDB_PERSIST_SNAPSHOT_H_

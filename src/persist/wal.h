@@ -1,0 +1,154 @@
+#ifndef DEDDB_PERSIST_WAL_H_
+#define DEDDB_PERSIST_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "storage/transaction.h"
+#include "util/status.h"
+
+namespace deddb::persist {
+
+/// On-disk layout of a log file:
+///
+///   header:  8-byte magic "DWAL0001" | u64 base_seq | u32 crc(magic+seq)
+///   record:  u32 payload_len | u32 crc(payload) | payload
+///
+/// `base_seq` is the sequence number of the snapshot this log follows; every
+/// record in the file carries a seq strictly greater. Records are appended
+/// only — a checkpoint installs a whole fresh file (rename) rather than
+/// rewriting this one.
+inline constexpr char kWalMagic[8] = {'D', 'W', 'A', 'L', '0', '0', '0', '1'};
+inline constexpr size_t kWalHeaderSize = 8 + 8 + 4;
+inline constexpr size_t kWalFrameSize = 4 + 4;
+
+enum class RecordType : uint8_t {
+  kCommit = 1,  // a committed transaction's base event set
+  kAbort = 2,   // compensation: the commit with `aborted_seq` was rolled back
+};
+
+/// Which apply path produced a commit record. Replay must take the same
+/// path: processor commits re-derive induced view deltas through the upward
+/// interpretation; direct commits touch base facts only.
+enum class CommitOrigin : uint8_t {
+  kProcessor = 0,  // UpdateProcessor::ApplyAtomically
+  kDirect = 1,     // DeductiveDatabase::Apply
+};
+
+struct WalRecord {
+  RecordType type = RecordType::kCommit;
+  uint64_t seq = 0;
+  CommitOrigin origin = CommitOrigin::kProcessor;  // commit records only
+  Transaction transaction;                         // commit records only
+  uint64_t aborted_seq = 0;                        // abort records only
+};
+
+struct WalContents {
+  uint64_t base_seq = 0;
+  std::vector<WalRecord> records;
+  /// Length of the valid prefix (header + every intact record). Anything
+  /// past it is a torn tail the caller should truncate away.
+  uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+};
+
+/// Payload builders (the framing is the writer's job).
+std::string EncodeCommitPayload(uint64_t seq, CommitOrigin origin,
+                                const Transaction& txn,
+                                const SymbolTable& symbols);
+std::string EncodeAbortPayload(uint64_t seq, uint64_t aborted_seq);
+
+/// Reads and validates a whole log file.
+///
+/// The damage rules (the tentpole's recovery contract):
+///  * a record that runs past EOF, or whose checksum fails while it extends
+///    exactly to EOF, is a torn tail — reported, never an error;
+///  * a checksum or structural failure with more bytes after the record is
+///    interior corruption — kCorruption;
+///  * a bad header (magic/crc) is kCorruption; a file shorter than the
+///    header is treated as an interrupted creation (empty log, torn).
+Result<WalContents> ReadWal(const std::string& path, SymbolTable* symbols);
+
+/// Append-only log writer with leader-based group commit.
+///
+/// AppendDurable frames a payload and returns once the record is fsynced.
+/// Under concurrency, one caller becomes the flush leader and writes+syncs
+/// every pending record in a single write/fsync pair; the rest wait — the
+/// group-commit path that batches fsyncs (bench_wal_throughput measures the
+/// difference; `group_commit=false` degrades to one fsync per record).
+///
+/// Failure atomicity: if a write/fsync fails (really, or via FaultInjector's
+/// kWalAppend/kWalFsync points), no record of that batch is acknowledged and
+/// the writer self-heals by truncating the file back to the durable prefix —
+/// so the file never exposes an acknowledged-but-lost or half-acknowledged
+/// state, which is exactly the file state a crash at that instruction would
+/// leave behind. If even the truncate fails the writer poisons itself and
+/// every later append reports the original error.
+class WalWriter {
+ public:
+  struct Options {
+    bool group_commit = true;
+  };
+
+  /// Creates/truncates `path` and durably writes the header.
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   uint64_t base_seq,
+                                                   Options options);
+
+  /// Opens an existing, already-validated log whose valid prefix is `size`
+  /// bytes (from ReadWal; the caller must have truncated any torn tail).
+  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path, uint64_t size, Options options);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  Status AppendDurable(std::string payload, obs::ObsContext obs);
+
+  /// Bytes known durable (header + fsynced records).
+  uint64_t durable_size() const;
+
+  /// Durably flushes anything pending (no-op when idle).
+  Status Sync(obs::ObsContext obs);
+
+  uint64_t group_batches() const;
+  uint64_t fsyncs() const;
+
+ private:
+  WalWriter(int fd, std::string path, uint64_t size, Options options)
+      : fd_(fd), path_(std::move(path)), options_(options),
+        file_size_(size), durable_size_(size), next_offset_(size) {}
+
+  /// Leader body: write + fsync one batch (fault points live here).
+  Status WriteAndSync(const std::string& batch);
+  /// Drops the non-durable suffix after a failed flush (mu_ held).
+  void SelfHealLocked(const Status& cause);
+
+  int fd_;
+  std::string path_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string pending_;          // framed records not yet handed to write()
+  uint64_t file_size_;           // bytes handed to write() (may exceed durable)
+  uint64_t durable_size_;        // bytes fsynced
+  uint64_t next_offset_;         // durable + in-flight + pending bytes
+  bool flushing_ = false;
+  uint64_t flush_epoch_ = 0;     // bumped when a failed flush drops a batch
+  Status last_flush_error_;      // cause of the latest epoch bump
+  Status poisoned_;              // sticky: self-heal itself failed
+  uint64_t group_batches_ = 0;   // flushes that covered > 1 record
+  uint64_t fsyncs_ = 0;
+  uint64_t pending_records_ = 0;
+};
+
+}  // namespace deddb::persist
+
+#endif  // DEDDB_PERSIST_WAL_H_

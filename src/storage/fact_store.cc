@@ -8,9 +8,7 @@ namespace deddb {
 
 FactStore::FactStore(const FactStore& other) : indexed_(other.indexed_) {
   for (const auto& [pred, rel] : other.relations_) {
-    auto copy = std::make_unique<Relation>(rel->arity(), indexed_);
-    rel->ForEach([&](const Tuple& t) { copy->Insert(t); });
-    relations_.emplace(pred, std::move(copy));
+    relations_.emplace(pred, std::make_unique<Relation>(*rel));
   }
 }
 
@@ -58,6 +56,21 @@ bool FactStore::Contains(const Atom& ground_atom) const {
 const Relation* FactStore::Find(SymbolId predicate) const {
   auto it = relations_.find(predicate);
   return it == relations_.end() ? nullptr : it->second.get();
+}
+
+bool operator==(const FactStore& a, const FactStore& b) {
+  // Empty relations are indistinguishable from absent ones: a store that
+  // added then removed a fact equals a store that never saw the predicate
+  // (deserialized stores never materialize empty relations).
+  for (const auto& [pred, rel] : a.relations_) {
+    if (rel->empty()) continue;
+    const Relation* other = b.Find(pred);
+    if (other == nullptr || *other != *rel) return false;
+  }
+  for (const auto& [pred, rel] : b.relations_) {
+    if (!rel->empty() && a.Find(pred) == nullptr) return false;
+  }
+  return true;
 }
 
 size_t FactStore::TotalFacts() const {

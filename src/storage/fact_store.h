@@ -55,6 +55,13 @@ class FactStore {
   /// Sorted, one fact per line, for diagnostics and golden tests.
   std::string ToString(const SymbolTable& symbols) const;
 
+  /// Same set of facts (per predicate); empty relations equal absent ones
+  /// and the indexed flag does not participate.
+  friend bool operator==(const FactStore& a, const FactStore& b);
+  friend bool operator!=(const FactStore& a, const FactStore& b) {
+    return !(a == b);
+  }
+
  private:
   bool indexed_;
   std::unordered_map<SymbolId, std::unique_ptr<Relation>> relations_;

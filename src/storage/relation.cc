@@ -10,6 +10,18 @@ Relation::Relation(size_t arity, bool indexed)
   if (indexed_) columns_.resize(arity_);
 }
 
+Relation::Relation(const Relation& other)
+    : Relation(other.arity_, other.indexed_) {
+  other.ForEach([&](const Tuple& t) { Insert(t); });
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  Relation copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
 bool Relation::Insert(const Tuple& tuple) {
   assert(tuple.size() == arity_);
   auto [it, inserted] = tuples_.insert(tuple);

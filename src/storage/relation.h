@@ -19,6 +19,14 @@ class Relation {
  public:
   explicit Relation(size_t arity, bool indexed = true);
 
+  // The defaulted copy would alias the source's posting lists (they hold
+  // `const Tuple*` into tuples_), so copying deep-copies the tuples and
+  // rebuilds the indexes. Uncovered by the persistence round-trip suite.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+
   size_t arity() const { return arity_; }
   size_t size() const { return tuples_.size(); }
   bool empty() const { return tuples_.empty(); }
@@ -49,6 +57,15 @@ class Relation {
 
   /// Copies all tuples out (unspecified order).
   std::vector<Tuple> ToVector() const;
+
+  /// Set equality on the stored tuples; arity must match too. The indexed
+  /// flag is a representation detail and does not participate.
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
+  }
+  friend bool operator!=(const Relation& a, const Relation& b) {
+    return !(a == b);
+  }
 
  private:
   using TupleSet = std::unordered_set<Tuple, TupleHash>;

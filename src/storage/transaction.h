@@ -12,6 +12,16 @@ namespace deddb {
 /// A transaction: a set of insertion and/or deletion base event facts
 /// (paper §3.1). `ιQ(C)` is stored on the insert side, `δQ(C)` on the delete
 /// side, both keyed by the *base* predicate symbol `Q`.
+///
+/// Conflict invariant (load-bearing for WAL replay): the insert and delete
+/// sides are disjoint BY CONSTRUCTION. Every mutation path — AddInsert /
+/// AddDelete, Merge, and the persistence codec's decoder — rejects an event
+/// whose opposite is already present with kInvalidArgument, and re-adding
+/// the same event is idempotent (duplicate normalization). A transaction
+/// containing both `ιQ(C)` and `δQ(C)` therefore cannot exist, so ApplyTo's
+/// deletes-then-inserts order is immaterial, Inverse() is an exact
+/// involution, and replaying a logged transaction can never diverge from
+/// its original application (DESIGN.md §8).
 class Transaction {
  public:
   Transaction() = default;
@@ -60,6 +70,14 @@ class Transaction {
 
   /// `{ins Q(A), del R(B)}` — sorted for deterministic output.
   std::string ToString(const SymbolTable& symbols) const;
+
+  /// Same event sets on both sides.
+  friend bool operator==(const Transaction& a, const Transaction& b) {
+    return a.inserts_ == b.inserts_ && a.deletes_ == b.deletes_;
+  }
+  friend bool operator!=(const Transaction& a, const Transaction& b) {
+    return !(a == b);
+  }
 
  private:
   FactStore inserts_;

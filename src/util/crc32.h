@@ -1,0 +1,25 @@
+#ifndef DEDDB_UTIL_CRC32_H_
+#define DEDDB_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace deddb {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant). Used by the
+/// persistence layer to checksum WAL records and snapshot payloads; a
+/// mismatch on read is what distinguishes damaged bytes (kCorruption, or the
+/// torn-tail truncation rule) from valid data.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(std::string_view bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+uint32_t Crc32Extend(uint32_t crc, const void* data, size_t size);
+
+}  // namespace deddb
+
+#endif  // DEDDB_UTIL_CRC32_H_

@@ -96,6 +96,18 @@ const char* FaultPointName(FaultPoint point) {
       return "PROCESSOR_COMMIT";
     case FaultPoint::kEventCompile:
       return "EVENT_COMPILE";
+    case FaultPoint::kWalAppend:
+      return "WAL_APPEND";
+    case FaultPoint::kWalFsync:
+      return "WAL_FSYNC";
+    case FaultPoint::kSnapshotWrite:
+      return "SNAPSHOT_WRITE";
+    case FaultPoint::kSnapshotFsync:
+      return "SNAPSHOT_FSYNC";
+    case FaultPoint::kSnapshotRename:
+      return "SNAPSHOT_RENAME";
+    case FaultPoint::kWalReset:
+      return "WAL_RESET";
   }
   return "UNKNOWN";
 }

@@ -146,8 +146,18 @@ enum class FaultPoint {
   kProcessorApplyBase,    // update processor: between view and base apply
   kProcessorCommit,       // update processor: after base apply, pre-commit
   kEventCompile,          // event compiler: Compile() entry
+  // Persistence sequence points (src/persist/). Each models "the process
+  // dies here": the crash-recovery matrix arms one, drives commits until it
+  // fires, simulates the crash, and asserts recovery reproduces exactly the
+  // committed prefix (tests/persist_crash_test.cc).
+  kWalAppend,             // WAL: before write()ing a framed record batch
+  kWalFsync,              // WAL: before fsync()ing appended records
+  kSnapshotWrite,         // snapshot: before write()ing the payload
+  kSnapshotFsync,         // snapshot: before fsync()ing the temp file
+  kSnapshotRename,        // snapshot: before renaming temp over current
+  kWalReset,              // checkpoint: before installing the fresh log
 };
-inline constexpr size_t kNumFaultPoints = 10;
+inline constexpr size_t kNumFaultPoints = 16;
 
 /// Stable name for diagnostics ("EVAL_ROUND_START", ...).
 const char* FaultPointName(FaultPoint point);

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CANCELLED";
     case StatusCode::kRoundLimit:
       return "ROUND_LIMIT";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
   }
   return "UNKNOWN";
 }
@@ -76,6 +78,9 @@ Status CancelledError(std::string message) {
 }
 Status RoundLimitError(std::string message) {
   return Status(StatusCode::kRoundLimit, std::move(message));
+}
+Status CorruptionError(std::string message) {
+  return Status(StatusCode::kCorruption, std::move(message));
 }
 
 }  // namespace deddb

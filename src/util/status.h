@@ -29,6 +29,11 @@ enum class StatusCode {
   kBudgetExceeded,    // a derived-fact / DNF-term budget ran out
   kCancelled,         // CancellationToken observed
   kRoundLimit,        // EvaluationOptions::max_rounds exceeded
+  // Durability code (src/persist/). Distinct from kInternal so recovery
+  // callers can tell "the stored bytes are provably damaged" (checksum or
+  // structural mismatch in a snapshot or an interior WAL record) from a
+  // logic error; a torn WAL *tail* is never an error — it is truncated.
+  kCorruption,        // persisted bytes failed a CRC or structural check
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -75,6 +80,7 @@ Status DeadlineExceededError(std::string message);
 Status BudgetExceededError(std::string message);
 Status CancelledError(std::string message);
 Status RoundLimitError(std::string message);
+Status CorruptionError(std::string message);
 
 /// A value of type T or an error Status. Minimal analogue of
 /// absl::StatusOr<T>.
