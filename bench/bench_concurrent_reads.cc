@@ -1,0 +1,270 @@
+// Perf-K: aggregate snapshot-read throughput under a live durable writer
+// (DESIGN.md §9). N reader threads repeatedly open a session and solve a
+// derived query while one background writer commits durable transactions
+// back to back; measured against the externally-serialized baseline — one
+// global mutex around every facade access, which is what correctness would
+// require without snapshot sessions. The per-read work is identical in both
+// modes, so the ratio isolates the session design itself: the baseline holds
+// its lock across each commit's fsync, while sessions pipeline the fsync
+// outside the commit lock (DESIGN.md §8-9), so reads proceed during the
+// writer's I/O stalls. On a single core that pipelining IS the win; on
+// multicore, parallel snapshot reads compound it.
+//
+// Plain report binary (like bench_wal_throughput): prints a table and writes
+// $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_sessions.json.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "core/session.h"
+#include "obs/json.h"
+#include "util/strings.h"
+
+using namespace deddb;  // NOLINT — report binary brevity
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kNumConstants = 48;
+constexpr auto kRunFor = std::chrono::milliseconds(400);
+
+struct Row {
+  std::string mode;
+  int readers = 0;
+  uint64_t reads = 0;
+  uint64_t commits = 0;
+  double seconds = 0;
+  double reads_per_sec = 0;
+  double commits_per_sec = 0;
+};
+
+// The baseline's external serialization, FIFO so it is starvation-free: an
+// unfair std::mutex would let back-to-back readers starve the writer
+// indefinitely (unbounded commit latency — not a baseline anyone would
+// ship), and in doing so would also hide the baseline's real read cost,
+// which is that reads queue behind every durable commit's fsync.
+class TicketLock {
+ public:
+  void lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t ticket = next_++;
+    cv_.wait(lock, [&] { return serving_ == ticket; });
+  }
+  void unlock() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++serving_;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_ = 0;
+  uint64_t serving_ = 0;
+};
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::unique_ptr<DeductiveDatabase> BuildDatabase(const std::string& dir) {
+  auto opened = DeductiveDatabase::OpenPersistent(dir);
+  Check(opened.status());
+  std::unique_ptr<DeductiveDatabase> db = std::move(*opened);
+  Check(db->DeclareBase("Q", 1).status());
+  Check(db->DeclareBase("R", 1).status());
+  Check(db->DeclareView("P", 1).status());
+  Term x = db->Variable("x");
+  Check(db->AddRule(Rule(db->MakeAtom("P", {x}).value(),
+                         {Literal::Positive(db->MakeAtom("Q", {x}).value()),
+                          Literal::Negative(db->MakeAtom("R", {x}).value())})));
+  for (int i = 0; i < kNumConstants; ++i) {
+    Check(db->AddFact(db->GroundAtom("Q", {StrCat("c", i)}).value()));
+    if (i % 3 == 0) {
+      Check(db->AddFact(db->GroundAtom("R", {StrCat("c", i)}).value()));
+    }
+  }
+  Check(db->Checkpoint());
+  return db;
+}
+
+// One read: open a session pinned at the current version and answer a
+// derived point query, P(c_i) — the OLTP-shaped read this suite is about.
+uint64_t ReadOnce(DeductiveDatabase* db, int i) {
+  auto session = db->BeginSession();
+  Check(session.status());
+  Atom pattern =
+      (*session)->GroundAtom("P", {StrCat("c", i % kNumConstants)}).value();
+  auto holds = (*session)->Holds(pattern);
+  Check(holds.status());
+  return *holds ? 1 : 0;
+}
+
+Row RunOne(bool serialized, int readers) {
+  Row row;
+  row.mode = serialized ? "serialized" : "sessions";
+  row.readers = readers;
+
+  char tmpl[] = "/tmp/sessbenchXXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  std::string dir = tmpl;
+  std::unique_ptr<DeductiveDatabase> db = BuildDatabase(dir);
+
+  TicketLock big_lock;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> total_reads{0};
+  std::atomic<uint64_t> sink{0};  // keep answers from being optimized away
+
+  // The writer toggles R membership one constant at a time, committing
+  // durably back to back, so the database keeps changing (every commit bumps
+  // the version and retires the cached snapshot) while the fact count stays
+  // bounded. In the baseline the big lock is held across the whole durable
+  // commit — exactly what an external serializer would have to do, since
+  // without snapshots a read during the commit could see a torn state.
+  std::set<int> in_r;
+  for (int i = 0; i < kNumConstants; i += 3) in_r.insert(i);
+  std::thread writer([&] {
+    int next = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      Transaction txn;
+      Atom fact = db->GroundAtom("R", {StrCat("c", next)}).value();
+      if (in_r.count(next) > 0) {
+        (void)txn.AddDelete(fact);
+        in_r.erase(next);
+      } else {
+        (void)txn.AddInsert(fact);
+        in_r.insert(next);
+      }
+      next = (next + 1) % kNumConstants;
+      if (serialized) {
+        std::lock_guard<TicketLock> guard(big_lock);
+        Check(db->Apply(txn));
+      } else {
+        Check(db->Apply(txn));
+      }
+      ++row.commits;
+      std::this_thread::yield();
+    }
+  });
+
+  auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(readers);
+  for (int r = 0; r < readers; ++r) {
+    workers.emplace_back([&] {
+      uint64_t local = 0;
+      uint64_t local_sink = 0;
+      auto deadline = start + kRunFor;
+      while (Clock::now() < deadline) {
+        if (serialized) {
+          std::lock_guard<TicketLock> guard(big_lock);
+          local_sink += ReadOnce(db.get(), static_cast<int>(local));
+        } else {
+          local_sink += ReadOnce(db.get(), static_cast<int>(local));
+        }
+        ++local;
+      }
+      total_reads.fetch_add(local, std::memory_order_relaxed);
+      sink.fetch_add(local_sink, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  auto end = Clock::now();
+  done.store(true, std::memory_order_release);
+  writer.join();
+
+  row.reads = total_reads.load();
+  row.seconds = std::chrono::duration<double>(end - start).count();
+  row.reads_per_sec = row.reads / row.seconds;
+  row.commits_per_sec = row.commits / row.seconds;
+
+  Check(db->Close());
+  db.reset();
+  std::string cmd = StrCat("rm -rf ", dir);
+  if (std::system(cmd.c_str()) != 0) std::exit(1);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Concurrent snapshot reads under a durable writer vs "
+              "externally-serialized baseline\n(%d constants, %lld ms per "
+              "config, %u hardware threads)\n",
+              kNumConstants, static_cast<long long>(kRunFor.count()),
+              std::thread::hardware_concurrency());
+  std::printf("%-12s %8s %10s %10s %12s %10s %13s\n", "mode", "readers",
+              "reads", "seconds", "reads/sec", "commits", "commits/sec");
+
+  std::vector<Row> rows;
+  for (int readers : {1, 2, 4, 8}) {
+    for (bool serialized : {true, false}) {
+      Row row = RunOne(serialized, readers);
+      std::printf("%-12s %8d %10llu %10.3f %12.0f %10llu %13.0f\n",
+                  row.mode.c_str(), row.readers,
+                  static_cast<unsigned long long>(row.reads), row.seconds,
+                  row.reads_per_sec,
+                  static_cast<unsigned long long>(row.commits),
+                  row.commits_per_sec);
+      rows.push_back(row);
+    }
+  }
+
+  // Headline ratio, recorded by EXPERIMENTS.md Perf-K: sessions vs the
+  // serialized baseline at 4 readers.
+  double serialized4 = 0, sessions4 = 0;
+  for (const Row& row : rows) {
+    if (row.readers != 4) continue;
+    (row.mode == "sessions" ? sessions4 : serialized4) = row.reads_per_sec;
+  }
+  if (serialized4 > 0) {
+    std::printf("speedup at 4 readers: %.2fx\n", sessions4 / serialized4);
+  }
+
+  const char* json_dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string json_path =
+      StrCat(json_dir != nullptr ? json_dir : ".", "/BENCH_sessions.json");
+  std::string out =
+      StrCat("{\"bench\":\"concurrent_reads\",\"constants\":", kNumConstants,
+             ",\"hardware_threads\":", std::thread::hardware_concurrency(),
+             ",\"speedup_at_4\":",
+             serialized4 > 0 ? sessions4 / serialized4 : 0.0, ",\"rows\":[");
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("{\"mode\":", obs::JsonQuote(row.mode),
+                  ",\"readers\":", row.readers, ",\"reads\":", row.reads,
+                  ",\"seconds\":", row.seconds,
+                  ",\"reads_per_sec\":", row.reads_per_sec,
+                  ",\"commits\":", row.commits,
+                  ",\"commits_per_sec\":", row.commits_per_sec, "}");
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", json_path.c_str());
+  return 0;
+}

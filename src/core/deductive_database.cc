@@ -1,12 +1,108 @@
 #include "core/deductive_database.h"
 
+#include <algorithm>
+#include <chrono>
+
 #include "core/update_processor.h"
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace deddb {
 
 DeductiveDatabase::DeductiveDatabase(EventCompilerOptions compiler_options)
     : compiler_options_(compiler_options) {}
+
+// ---- Snapshot sessions ------------------------------------------------------
+
+Result<std::unique_ptr<Session>> DeductiveDatabase::BeginSession() {
+  const obs::ObsContext obs = observability();
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  std::shared_ptr<const SessionState> state;
+  if (snapshot_cache_ != nullptr && snapshot_cache_->version == version_) {
+    state = snapshot_cache_;  // same committed state: share the snapshot
+  } else {
+    auto fresh = std::make_shared<SessionState>();
+    fresh->version = version_;
+    fresh->db = db_.CloneSnapshot();
+    fresh->extra_domain_constants = extra_domain_constants_;
+    if (compiled_.has_value()) {
+      // The clone's predicate table already carries the variants this
+      // compilation registered, so the copy is consistent with it.
+      fresh->compiled = *compiled_;
+    } else {
+      // Compile on the clone, pre-publication: variant registration mutates
+      // the clone's predicate table, which no session shares yet. The
+      // owner's sinks stay out of it (a later session would replay nothing).
+      EventCompilerOptions options = compiler_options_;
+      options.obs = {};
+      EventCompiler compiler(fresh->db.get(), options);
+      Result<CompiledEvents> compiled = compiler.Compile();
+      if (compiled.ok()) {
+        fresh->compiled = std::move(*compiled);
+      } else {
+        // Not fatal: queries don't need event rules. Session methods that
+        // do will report this status.
+        fresh->compile_status = compiled.status();
+      }
+    }
+    ReclaimSessionEpochsLocked();
+    epochs_.emplace_back(version_, fresh);
+    snapshot_cache_ = fresh;
+    state = std::move(fresh);
+    obs::MetricsRegistry::Add(obs.metrics, "session.snapshots_created");
+  }
+  // Sessions run on their own threads: give them the owner's evaluation
+  // options minus the shared sinks and guard (both are single-consumer).
+  UpwardOptions upward = upward_options_;
+  upward.eval.obs = {};
+  upward.eval.guard = nullptr;
+  DownwardOptions downward = downward_options_;
+  downward.eval.obs = {};
+  downward.eval.guard = nullptr;
+  auto session = std::unique_ptr<Session>(
+      new Session(std::move(state), session_registry_, upward, downward));
+  obs::MetricsRegistry::Add(obs.metrics, "session.begun");
+  obs::MetricsRegistry::Set(
+      obs.metrics, "session.active",
+      static_cast<int64_t>(
+          session_registry_->active.load(std::memory_order_relaxed)));
+  obs::MetricsRegistry::Set(obs.metrics, "session.live_versions",
+                            static_cast<int64_t>(epochs_.size()));
+  return session;
+}
+
+size_t DeductiveDatabase::ReclaimSessionEpochsLocked() {
+  const size_t before = epochs_.size();
+  epochs_.erase(
+      std::remove_if(epochs_.begin(), epochs_.end(),
+                     [](const auto& entry) { return entry.second.expired(); }),
+      epochs_.end());
+  const size_t reclaimed = before - epochs_.size();
+  if (reclaimed > 0) {
+    versions_reclaimed_ += reclaimed;
+    const obs::ObsContext obs = observability();
+    obs::MetricsRegistry::Add(obs.metrics, "session.versions_reclaimed",
+                              reclaimed);
+    obs::MetricsRegistry::Set(obs.metrics, "session.live_versions",
+                              static_cast<int64_t>(epochs_.size()));
+  }
+  return reclaimed;
+}
+
+size_t DeductiveDatabase::ReclaimSessionEpochs() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return ReclaimSessionEpochsLocked();
+}
+
+size_t DeductiveDatabase::live_session_versions() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return epochs_.size();
+}
+
+uint64_t DeductiveDatabase::version() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return version_;
+}
 
 Result<std::unique_ptr<DeductiveDatabase>> DeductiveDatabase::OpenPersistent(
     const std::string& dir, PersistOptions persist_options,
@@ -62,62 +158,85 @@ Status DeductiveDatabase::Checkpoint() {
     return FailedPreconditionError(
         "Checkpoint() requires a database opened with OpenPersistent");
   }
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  DEDDB_RETURN_IF_ERROR(commit_health_);
   return persistence_->Checkpoint(db_, observability());
 }
 
 Status DeductiveDatabase::Close() {
   if (persistence_ == nullptr) return Status::Ok();
-  Status status = persistence_->Checkpoint(db_, observability());
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  Status status = commit_health_.ok()
+                      ? persistence_->Checkpoint(db_, observability())
+                      : commit_health_;
   persistence_.reset();
   return status;
 }
 
 Result<SymbolId> DeductiveDatabase::DeclareBase(std::string_view name,
                                                 size_t arity) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
+  MarkMutatedLocked();
   return db_.DeclareBase(name, arity);
 }
 
 Result<SymbolId> DeductiveDatabase::DeclareDerived(std::string_view name,
                                                    size_t arity) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
+  MarkMutatedLocked();
   return db_.DeclareDerived(name, arity, PredicateSemantics::kPlain);
 }
 
 Result<SymbolId> DeductiveDatabase::DeclareView(std::string_view name,
                                                 size_t arity) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
+  MarkMutatedLocked();
   return db_.DeclareDerived(name, arity, PredicateSemantics::kView);
 }
 
 Result<SymbolId> DeductiveDatabase::DeclareConstraint(std::string_view name,
                                                       size_t arity) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
+  MarkMutatedLocked();
   return db_.DeclareDerived(name, arity, PredicateSemantics::kIc);
 }
 
 Result<SymbolId> DeductiveDatabase::DeclareCondition(std::string_view name,
                                                      size_t arity) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
+  MarkMutatedLocked();
   return db_.DeclareDerived(name, arity, PredicateSemantics::kCondition);
 }
 
 Status DeductiveDatabase::AddRule(Rule rule) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
+  MarkMutatedLocked();
   return db_.AddRule(std::move(rule));
 }
 
 Status DeductiveDatabase::AddFact(const Atom& ground_atom) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateDomain();
+  MarkMutatedLocked();
   return db_.AddFact(ground_atom);
 }
 
 Status DeductiveDatabase::RemoveFact(const Atom& ground_atom) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateDomain();
+  MarkMutatedLocked();
   return db_.RemoveFact(ground_atom);
 }
 
 Status DeductiveDatabase::MaterializeView(SymbolId view) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  MarkMutatedLocked();
   return db_.MaterializeView(view);
 }
 
@@ -170,24 +289,62 @@ Result<Transaction> DeductiveDatabase::MakeTransaction(
 }
 
 Status DeductiveDatabase::Apply(const Transaction& transaction) {
+  const obs::ObsContext obs = observability();
+  std::unique_lock<std::mutex> lock(commit_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Contended: record how long this committer waited for the lock.
+    // (Uncontended commits record nothing, keeping golden traces stable.)
+    const auto start = std::chrono::steady_clock::now();
+    lock.lock();
+    const auto waited = std::chrono::steady_clock::now() - start;
+    obs::MetricsRegistry::Add(obs.metrics, "session.commit_waits");
+    obs::MetricsRegistry::Observe(
+        obs.metrics, "session.commit_wait_us",
+        std::chrono::duration_cast<std::chrono::microseconds>(waited)
+            .count());
+  }
+  DEDDB_RETURN_IF_ERROR(commit_health_);
   DEDDB_RETURN_IF_ERROR(
       transaction.Validate(db_.facts(), db_.predicates()));
-  if (persistence_ != nullptr) {
-    // Redo logging: the durable commit record precedes the in-memory apply,
-    // so an acknowledged Apply survives a crash and a failed log append
-    // leaves the database untouched.
-    DEDDB_RETURN_IF_ERROR(
-        persistence_
-            ->LogCommit(transaction, persist::CommitOrigin::kDirect,
-                        db_.symbols(), observability())
-            .status());
+  if (persistence_ == nullptr) return ApplyValidatedLocked(transaction);
+  // Redo logging, pipelined: stage the commit record (its sequence number
+  // and log bytes) under the lock, apply in memory, then wait for
+  // durability OUTSIDE the lock so concurrent committers share fsyncs
+  // (group commit end-to-end). A failed staging leaves the database
+  // untouched, so the redo contract is unchanged.
+  DEDDB_ASSIGN_OR_RETURN(
+      persist::PersistenceManager::PreparedCommit prepared,
+      persistence_->PrepareCommit(transaction, persist::CommitOrigin::kDirect,
+                                  db_.symbols(), obs));
+  DEDDB_RETURN_IF_ERROR(ApplyValidatedLocked(transaction));
+  lock.unlock();
+  Status durable = persistence_->WaitCommitDurable(prepared, obs);
+  if (!durable.ok()) {
+    // Applied in memory but not on disk: the memory state is ahead of the
+    // log, so no further commit may be acknowledged. Poison the facade.
+    std::lock_guard<std::mutex> relock(commit_mu_);
+    commit_health_ = InternalError(
+        StrCat("commit ", prepared.seq,
+               " was applied in memory but its log record is not durable (",
+               durable.ToString(), "); reopen the database to re-converge"));
+    return commit_health_;
   }
-  return ApplyUnlogged(transaction);
+  return Status::Ok();
 }
 
 Status DeductiveDatabase::ApplyUnlogged(const Transaction& transaction) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return ApplyUnloggedLocked(transaction);
+}
+
+Status DeductiveDatabase::ApplyUnloggedLocked(const Transaction& transaction) {
   DEDDB_RETURN_IF_ERROR(
       transaction.Validate(db_.facts(), db_.predicates()));
+  return ApplyValidatedLocked(transaction);
+}
+
+Status DeductiveDatabase::ApplyValidatedLocked(
+    const Transaction& transaction) {
   InvalidateDomain();
   // In place: O(|T|), not O(|DB|).
   FactStore& facts = db_.mutable_facts();
@@ -195,10 +352,15 @@ Status DeductiveDatabase::ApplyUnlogged(const Transaction& transaction) {
       [&](SymbolId pred, const Tuple& t) { facts.Remove(pred, t); });
   transaction.inserts().ForEach(
       [&](SymbolId pred, const Tuple& t) { facts.Add(pred, t); });
+  MarkMutatedLocked();
   return Status::Ok();
 }
 
 Result<const CompiledEvents*> DeductiveDatabase::Compiled() {
+  // Under the commit lock: compilation registers predicate variants (a
+  // predicate-table mutation BeginSession's clone must not observe
+  // half-done).
+  std::lock_guard<std::mutex> lock(commit_mu_);
   if (!compiled_.has_value()) {
     EventCompiler compiler(&db_, compiler_options_);
     DEDDB_ASSIGN_OR_RETURN(CompiledEvents compiled, compiler.Compile());
@@ -216,9 +378,12 @@ Result<const ActiveDomain*> DeductiveDatabase::Domain() {
 }
 
 Status DeductiveDatabase::AddDomainConstant(std::string_view name) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   SymbolId c = db_.symbols().Intern(name);
   extra_domain_constants_.push_back(c);
   if (domain_.has_value()) domain_->AddExtra(c);
+  // Sessions snapshot the extras, so a new one retires the cached snapshot.
+  MarkMutatedLocked();
   return Status::Ok();
 }
 
@@ -254,13 +419,19 @@ Result<problems::ConditionChanges> DeductiveDatabase::MonitorConditions(
 }
 
 Status DeductiveDatabase::InitializeMaterializedViews() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  MarkMutatedLocked();
   return problems::InitializeMaterializedViews(&db_, upward_options_.eval);
 }
 
 Result<problems::ViewMaintenanceResult>
 DeductiveDatabase::MaintainMaterializedViews(const Transaction& transaction,
                                              bool apply) {
+  // Compiled() takes the (non-recursive) commit lock itself: resolve it
+  // before locking for the view-store mutation.
   DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (apply) MarkMutatedLocked();
   return problems::MaintainMaterializedViews(&db_, *compiled, transaction,
                                              apply, upward_options_);
 }
@@ -279,8 +450,10 @@ Result<DerivedEvents> DeductiveDatabase::SimulateRuleUpdate(
 }
 
 Status DeductiveDatabase::ApplyRuleUpdate(const problems::RuleUpdate& update) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
   DEDDB_RETURN_IF_ERROR(problems::ApplyRuleUpdate(&db_, update));
   InvalidateCompiled();
+  MarkMutatedLocked();
   return Status::Ok();
 }
 

@@ -2,10 +2,13 @@
 #define DEDDB_CORE_DEDUCTIVE_DATABASE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/session.h"
 #include "events/event_compiler.h"
 #include "interp/domain.h"
 #include "persist/manager.h"
@@ -41,6 +44,12 @@ struct PersistOptions {
 /// The event machinery (transition + event rules) is compiled lazily and
 /// invalidated whenever the schema or the rules change; the active domain is
 /// likewise cached and invalidated when facts change.
+///
+/// Concurrency (DESIGN.md §9): one writer thread drives every mutating
+/// method; any number of reader threads hold Session handles from
+/// BeginSession(), each pinning an immutable snapshot. All mutations run
+/// under an internal commit lock, which is also what BeginSession takes, so
+/// a session can never observe a torn mid-apply state.
 class DeductiveDatabase {
  public:
   explicit DeductiveDatabase(EventCompilerOptions compiler_options =
@@ -76,6 +85,34 @@ class DeductiveDatabase {
   /// (also during OpenPersistent's replay, which is what keeps replayed
   /// commits from being re-logged).
   persist::PersistenceManager* persistence() { return persistence_.get(); }
+
+  // ---- Snapshot sessions (src/core/session.h, DESIGN.md §9) ---------------
+
+  /// Opens a snapshot-isolated read session pinned to the current committed
+  /// state. The session can run queries and upward/downward interpretation
+  /// concurrently with other sessions and with this facade's writer methods;
+  /// it never sees later commits. Sessions begun at the same version share
+  /// one snapshot (the clone is cached until the next mutation). The facade
+  /// must outlive the session.
+  Result<std::unique_ptr<Session>> BeginSession();
+
+  /// Drops registry entries for retired snapshot versions no session pins
+  /// anymore and returns how many were reclaimed (their storage was already
+  /// freed when the last session released it; this trims the bookkeeping
+  /// and refreshes the session.* gauges).
+  size_t ReclaimSessionEpochs();
+
+  /// Number of live sessions (racy by nature; exact between joins).
+  uint64_t active_sessions() const {
+    return session_registry_->active.load(std::memory_order_relaxed);
+  }
+
+  /// Number of snapshot versions still tracked (pinned or not yet reclaimed).
+  size_t live_session_versions() const;
+
+  /// The current commit version: bumped by every mutation (schema, rules,
+  /// facts, view store). Sessions report the version they pinned.
+  uint64_t version() const;
 
   // ---- Schema & content ---------------------------------------------------
 
@@ -222,8 +259,33 @@ class DeductiveDatabase {
  private:
   /// Apply without logging: the in-memory mutation shared by the public
   /// Apply (which logs first), UpdateProcessor (which logs with kProcessor
-  /// origin before calling this), and WAL replay.
+  /// origin before calling this), and WAL replay. Takes the commit lock.
   Status ApplyUnlogged(const Transaction& transaction);
+
+  /// Same, with commit_mu_ already held (UpdateProcessor's atomic region).
+  Status ApplyUnloggedLocked(const Transaction& transaction);
+
+  /// The mutation itself, after validation, commit_mu_ held: applies the
+  /// deltas to the base facts, invalidates the domain, and retires the
+  /// current snapshot version.
+  Status ApplyValidatedLocked(const Transaction& transaction);
+
+  /// The commit lock, for UpdateProcessor's apply/rollback region: sessions
+  /// begin and mutations commit under this lock, so holding it makes a
+  /// multi-store mutation atomic with respect to BeginSession.
+  std::unique_lock<std::mutex> LockCommits() {
+    return std::unique_lock<std::mutex>(commit_mu_);
+  }
+
+  /// Bumps the commit version and drops the cached snapshot. Call (with
+  /// commit_mu_ held) after any mutation a session must not share.
+  void MarkMutatedLocked() {
+    ++version_;
+    snapshot_cache_.reset();
+  }
+
+  /// Prunes expired snapshot registrations; commit_mu_ held.
+  size_t ReclaimSessionEpochsLocked();
 
   void InvalidateCompiled() {
     compiled_.reset();
@@ -248,6 +310,27 @@ class DeductiveDatabase {
   // change, refreshed by IsConsistent() and by UpdateProcessor when an
   // accepted (integrity-checked) transaction is applied.
   std::optional<bool> consistency_cache_;
+
+  // ---- Session machinery (DESIGN.md §9) -----------------------------------
+  // Serializes mutations, snapshot acquisition, and lazy event compilation
+  // (which registers predicate variants — a mutation of the predicate
+  // table). Held only briefly by the pipelined Apply: the fsync wait happens
+  // outside it, so concurrent committers batch (group commit end-to-end).
+  mutable std::mutex commit_mu_;
+  uint64_t version_ = 0;
+  // The snapshot for version_, if some session already paid for the clone.
+  std::shared_ptr<const SessionState> snapshot_cache_;
+  // One entry per snapshot version handed out, weak so readers retiring a
+  // version is observable (epoch-based reclamation).
+  std::vector<std::pair<uint64_t, std::weak_ptr<const SessionState>>> epochs_;
+  uint64_t versions_reclaimed_ = 0;
+  std::shared_ptr<SessionRegistry> session_registry_ =
+      std::make_shared<SessionRegistry>();
+  // Sticky failure set when a commit was applied in memory but its log
+  // record did not become durable (pipelined Apply): the memory state is
+  // ahead of the log, so further commits/checkpoints must not proceed —
+  // reopen the database to re-converge.
+  Status commit_health_;
 };
 
 }  // namespace deddb

@@ -1,0 +1,162 @@
+#ifndef DEDDB_CORE_SESSION_H_
+#define DEDDB_CORE_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "events/event_compiler.h"
+#include "interp/domain.h"
+#include "interp/downward.h"
+#include "interp/old_state.h"
+#include "interp/upward.h"
+#include "problems/condition_monitoring.h"
+#include "problems/integrity_checking.h"
+#include "problems/repair.h"
+#include "problems/view_updating.h"
+#include "storage/database.h"
+#include "storage/transaction.h"
+#include "util/status.h"
+
+namespace deddb {
+
+class DeductiveDatabase;
+
+/// Operation tag for Session::MakeTransaction (mirrors
+/// DeductiveDatabase::Op, which cannot be named here without a cyclic
+/// include).
+enum class SessionOp { kInsert, kDelete };
+
+/// The immutable state a Session pins: one versioned clone of the database
+/// (schema, rules, EDB, materialized store — copy-on-write, so cheap), the
+/// event compilation over that clone, and the active-domain extras as of the
+/// snapshot. Shared between every Session begun at the same version and the
+/// owner's snapshot cache; reclaimed when the last one lets go
+/// (DeductiveDatabase::ReclaimSessionEpochs observes the release).
+///
+/// Everything here is written once, before publication, except the
+/// lazily-built active domain, which is guarded by its once-flag (its
+/// construction only reads the pinned clone).
+struct SessionState {
+  uint64_t version = 0;
+  std::unique_ptr<Database> db;  // never mutated after publication
+  std::optional<CompiledEvents> compiled;
+  Status compile_status;  // why `compiled` is absent (e.g. recursive rules)
+  std::vector<SymbolId> extra_domain_constants;
+
+  mutable std::once_flag domain_once;
+  mutable std::optional<ActiveDomain> domain;
+};
+
+/// Session-count bookkeeping shared by a DeductiveDatabase and all the
+/// Sessions it hands out (sessions may outlive none of it — the facade must
+/// outlive its sessions, but sessions on other threads end at arbitrary
+/// times, hence the atomic).
+struct SessionRegistry {
+  std::atomic<uint64_t> active{0};
+};
+
+/// A snapshot-isolated read handle obtained from
+/// DeductiveDatabase::BeginSession() (DESIGN.md §9).
+///
+/// Visibility contract: every read answers against exactly the state of the
+/// acknowledged commit prefix at BeginSession time — never a torn mid-Apply
+/// state, and never anything committed later. The handle stays valid (and
+/// keeps answering from its pinned version) across any concurrent writer
+/// activity: Apply, ApplyAtomically, schema or rule changes, Checkpoint.
+///
+/// Thread model: any number of Sessions may run concurrently with each other
+/// and with the single writer. One Session is NOT internally synchronized
+/// for concurrent use of the *same* handle from several threads (its query
+/// caches serialize internally, but options mutation is not); give each
+/// reader thread its own Session.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The commit version this session pinned (monotone per facade).
+  uint64_t version() const;
+
+  /// The pinned point-in-time database (schema, rules, facts, views).
+  const Database& database() const;
+
+  // ---- Term/atom/transaction building (same helpers as the facade; the
+  // symbol table is shared and thread-safe, so ids agree across versions) --
+
+  Term Constant(std::string_view name) const;
+  Term Variable(std::string_view name) const;
+  Result<Atom> MakeAtom(std::string_view predicate,
+                        std::vector<Term> args) const;
+  Result<Atom> GroundAtom(std::string_view predicate,
+                          std::vector<std::string_view> constants) const;
+  Result<Transaction> MakeTransaction(
+      std::vector<std::pair<SessionOp, Atom>> events) const;
+
+  // ---- Reads against the pinned state ------------------------------------
+
+  /// True if the ground atom holds (base lookup or derived query).
+  Result<bool> Holds(const Atom& ground_atom) const;
+
+  /// All ground instances of `pattern` (atom possibly with variables) that
+  /// hold in the pinned state.
+  Result<std::vector<Tuple>> Solve(const Atom& pattern) const;
+  Result<std::vector<Tuple>> Query(const Atom& pattern) const {
+    return Solve(pattern);
+  }
+
+  /// Integrity of the pinned state (paper §5.1.1 family).
+  Result<bool> IsConsistent() const;
+  Result<problems::IntegrityCheckResult> CheckIntegrity(
+      const Transaction& transaction) const;
+  Result<problems::ConsistencyRestorationResult> CheckConsistencyRestored(
+      const Transaction& transaction) const;
+  Result<problems::ConditionChanges> MonitorConditions(
+      const Transaction& transaction,
+      const std::vector<SymbolId>& conditions = {}) const;
+
+  /// Raw upward interpretation of a hypothetical transaction against the
+  /// pinned state (all induced derived events).
+  Result<DerivedEvents> InducedEvents(const Transaction& transaction) const;
+
+  /// Downward interpretation against the pinned state.
+  Result<problems::DownwardResult> TranslateViewUpdate(
+      const UpdateRequest& request) const;
+  Result<bool> CheckSatisfiability() const;
+
+  /// Per-session evaluation options (budgets, thread count). Start as the
+  /// owner's options with observability and resource guard stripped — a
+  /// session runs on its own thread and must not write the owner's sinks.
+  UpwardOptions& upward_options() { return upward_options_; }
+  DownwardOptions& downward_options() { return downward_options_; }
+
+ private:
+  friend class DeductiveDatabase;
+
+  Session(std::shared_ptr<const SessionState> state,
+          std::shared_ptr<SessionRegistry> registry, UpwardOptions upward,
+          DownwardOptions downward);
+
+  /// The pinned compilation, or the error recorded at snapshot time.
+  Result<const CompiledEvents*> Compiled() const;
+  /// The pinned active domain (built on first use; construction is
+  /// read-only and once-guarded, so concurrent sessions sharing the state
+  /// are safe).
+  const ActiveDomain& Domain() const;
+
+  std::shared_ptr<const SessionState> state_;
+  std::shared_ptr<SessionRegistry> registry_;
+  UpwardOptions upward_options_;
+  DownwardOptions downward_options_;
+  // Query engine over the pinned state (internally serialized; lazy).
+  OldStateView view_;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_CORE_SESSION_H_

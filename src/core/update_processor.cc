@@ -116,6 +116,14 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
     return injector.armed() ? injector.Poke(point) : Status::Ok();
   };
 
+  // The whole log + view-delta + base-delta region runs under the commit
+  // lock: a session begun concurrently sees either none of this commit or
+  // all of it, never the view store ahead of the base store. (Processor
+  // commits therefore do not pipeline their fsync; the facade's plain
+  // Apply does.)
+  std::unique_lock<std::mutex> commit_lock = db_->LockCommits();
+  DEDDB_RETURN_IF_ERROR(db_->commit_health_);
+
   // Redo logging (DESIGN.md §8): on a persistent database the durable
   // commit record is written before any in-memory mutation — the log append
   // is the commit point. A failed append leaves both the file (the writer
@@ -148,11 +156,13 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
         view_added.emplace_back(pred, t);
       }
     });
+    // View-store changes alone must retire the cached snapshot.
+    db_->MarkMutatedLocked();
     status = poke(FaultPoint::kProcessorApplyBase);
   }
   if (status.ok()) {
     // Unlogged: the commit record above already covers this transaction.
-    status = db_->ApplyUnlogged(transaction);
+    status = db_->ApplyUnloggedLocked(transaction);
     if (status.ok()) {
       base_applied = true;
       status = poke(FaultPoint::kProcessorCommit);
@@ -176,7 +186,7 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
     // The inverse of a just-applied valid transaction is itself valid
     // against the new state, so this succeeds unless the store is already
     // corrupted — which is escalated rather than masked.
-    Status undo = db_->ApplyUnlogged(transaction.Inverse());
+    Status undo = db_->ApplyUnloggedLocked(transaction.Inverse());
     if (!undo.ok()) {
       return InternalError(StrCat("rollback failed after '", status.ToString(),
                                   "': ", undo.ToString()));

@@ -62,6 +62,15 @@ class PredicateTable {
   PredicateTable(const PredicateTable&) = delete;
   PredicateTable& operator=(const PredicateTable&) = delete;
 
+  /// Clone constructor for snapshotting: copies all registered predicates
+  /// (including decorated variants) but binds the clone to `symbols`, which
+  /// must be the same table (or share the same id assignment) as the
+  /// original's — symbol ids are copied verbatim.
+  PredicateTable(const PredicateTable& other, SymbolTable* symbols)
+      : symbols_(symbols),
+        info_(other.info_),
+        old_predicates_(other.old_predicates_) {}
+
   /// Declares a user predicate (kOld variant). Fails if a predicate with the
   /// same name but different arity/kind/semantics already exists; re-declaring
   /// identically is idempotent and returns the existing symbol.

@@ -1,14 +1,42 @@
 #include "datalog/symbol_table.h"
 
 #include <cassert>
+#include <mutex>
 
 #include "util/strings.h"
 
 namespace deddb {
 
+SymbolTable::SymbolTable(const SymbolTable& other) {
+  std::shared_lock<std::shared_mutex> lock(other.mu_);
+  ids_ = other.ids_;
+  names_ = other.names_;
+  var_ids_ = other.var_ids_;
+  var_names_ = other.var_names_;
+  fresh_counter_ = other.fresh_counter_;
+}
+
+SymbolTable& SymbolTable::operator=(const SymbolTable& other) {
+  if (this == &other) return *this;
+  SymbolTable copy(other);  // locks `other`
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ids_ = std::move(copy.ids_);
+  names_ = std::move(copy.names_);
+  var_ids_ = std::move(copy.var_ids_);
+  var_names_ = std::move(copy.var_names_);
+  fresh_counter_ = copy.fresh_counter_;
+  return *this;
+}
+
 SymbolId SymbolTable::Intern(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
-  if (it != ids_.end()) return it->second;
+  if (it != ids_.end()) return it->second;  // raced with another interner
   SymbolId id = static_cast<SymbolId>(names_.size());
   names_.emplace_back(name);
   ids_.emplace(names_.back(), id);
@@ -16,16 +44,25 @@ SymbolId SymbolTable::Intern(std::string_view name) {
 }
 
 SymbolId SymbolTable::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
   return it == ids_.end() ? kNoSymbol : it->second;
 }
 
 const std::string& SymbolTable::NameOf(SymbolId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   assert(id < names_.size());
+  // Safe to return after unlocking: the deque never relocates elements and
+  // an interned string is never mutated.
   return names_[id];
 }
 
-VarId SymbolTable::InternVar(std::string_view name) {
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return names_.size();
+}
+
+VarId SymbolTable::InternVarLocked(std::string_view name) {
   auto it = var_ids_.find(std::string(name));
   if (it != var_ids_.end()) return it->second;
   VarId id = static_cast<VarId>(var_names_.size());
@@ -34,7 +71,18 @@ VarId SymbolTable::InternVar(std::string_view name) {
   return id;
 }
 
+VarId SymbolTable::InternVar(std::string_view name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = var_ids_.find(std::string(name));
+    if (it != var_ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InternVarLocked(name);
+}
+
 const std::string& SymbolTable::VarNameOf(VarId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   assert(id < var_names_.size());
   return var_names_[id];
 }
@@ -42,10 +90,16 @@ const std::string& SymbolTable::VarNameOf(VarId id) const {
 VarId SymbolTable::FreshVar() {
   // Fresh names start with '_' which the parser rejects in user input, so
   // they can never collide with user variables.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   while (true) {
     std::string name = StrCat("_g", fresh_counter_++);
-    if (var_ids_.find(name) == var_ids_.end()) return InternVar(name);
+    if (var_ids_.find(name) == var_ids_.end()) return InternVarLocked(name);
   }
+}
+
+size_t SymbolTable::var_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return var_names_.size();
 }
 
 }  // namespace deddb

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,11 +22,17 @@ using VarId = uint32_t;
 /// these ids, so comparisons and hashing are O(1).
 ///
 /// The table is append-only; ids remain valid for the lifetime of the table.
+///
+/// Thread-safety: all methods are internally synchronized (readers share a
+/// lock, interning takes it exclusively), so one table can be shared between
+/// the single writer and any number of concurrent snapshot sessions
+/// (DESIGN.md §9). Because the table is append-only and ids are dense, an id
+/// observed by one thread names the same string on every thread forever.
 class SymbolTable {
  public:
   SymbolTable() = default;
-  SymbolTable(const SymbolTable&) = default;
-  SymbolTable& operator=(const SymbolTable&) = default;
+  SymbolTable(const SymbolTable& other);
+  SymbolTable& operator=(const SymbolTable& other);
 
   /// Returns the id for `name`, interning it if new.
   SymbolId Intern(std::string_view name);
@@ -34,12 +41,12 @@ class SymbolTable {
   SymbolId Find(std::string_view name) const;
 
   /// Returns the name of an interned symbol. `id` must be valid. The
-  /// reference stays valid across later interning (deque storage), but
-  /// prefer copying when a call in between may mutate the table.
+  /// reference stays valid across later interning (deque storage, strings
+  /// never mutated after insertion).
   const std::string& NameOf(SymbolId id) const;
 
   /// Number of interned symbols.
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
   /// Returns the id for variable `name`, interning it if new.
   VarId InternVar(std::string_view name);
@@ -52,11 +59,14 @@ class SymbolTable {
   VarId FreshVar();
 
   /// Number of interned variables.
-  size_t var_count() const { return var_names_.size(); }
+  size_t var_count() const;
 
   static constexpr SymbolId kNoSymbol = UINT32_MAX;
 
  private:
+  VarId InternVarLocked(std::string_view name);
+
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, SymbolId> ids_;
   std::deque<std::string> names_;  // deque: NameOf references stay valid
   std::unordered_map<std::string, VarId> var_ids_;

@@ -145,18 +145,55 @@ Result<uint64_t> PersistenceManager::LogCommit(const Transaction& txn,
                                                CommitOrigin origin,
                                                const SymbolTable& symbols,
                                                obs::ObsContext obs) {
+  DEDDB_ASSIGN_OR_RETURN(PreparedCommit prepared,
+                         PrepareCommit(txn, origin, symbols, obs));
+  DEDDB_RETURN_IF_ERROR(WaitCommitDurable(prepared, obs));
+  return prepared.seq;
+}
+
+Result<PersistenceManager::PreparedCommit> PersistenceManager::PrepareCommit(
+    const Transaction& txn, CommitOrigin origin, const SymbolTable& symbols,
+    obs::ObsContext obs) {
   obs::ScopedSpan span(obs.tracer, "persist.log_commit");
   std::lock_guard<std::mutex> lock(mu_);
   if (writer_ == nullptr) {
     return FailedPreconditionError("the log is not open for appending");
   }
-  const uint64_t seq = last_seq_ + 1;
-  DEDDB_RETURN_IF_ERROR(writer_->AppendDurable(
-      EncodeCommitPayload(seq, origin, txn, symbols), obs));
-  last_seq_ = seq;
+  PreparedCommit prepared;
+  prepared.seq = last_seq_ + 1;
+  prepared.writer = writer_;
+  std::string payload = EncodeCommitPayload(prepared.seq, origin, txn, symbols);
+  if (options_.group_commit) {
+    DEDDB_ASSIGN_OR_RETURN(prepared.ticket,
+                           writer_->Enqueue(std::move(payload)));
+  } else {
+    // Degraded mode: one synchronous write+fsync per record under the
+    // manager lock (preserves the group_commit=false ablation).
+    DEDDB_RETURN_IF_ERROR(writer_->AppendDurable(std::move(payload), obs));
+    prepared.durable = true;
+    ++stats_.commits_logged;
+    obs::MetricsRegistry::Add(obs.metrics, "persist.commits_logged");
+  }
+  // A failed flush leaves a sequence gap; ReadWal only requires strictly
+  // increasing numbers, and the facade stops committing after one anyway.
+  last_seq_ = prepared.seq;
+  return prepared;
+}
+
+Status PersistenceManager::WaitCommitDurable(const PreparedCommit& prepared,
+                                             obs::ObsContext obs) {
+  if (prepared.durable) return Status::Ok();
+  Status status = prepared.writer->WaitDurable(prepared.ticket, obs);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!status.ok()) {
+    // A checkpoint that ran after our in-memory apply has the commit's
+    // effects in its durable snapshot, so losing the log record is harmless.
+    if (prepared.seq <= snapshot_seq_) return Status::Ok();
+    return status;
+  }
   ++stats_.commits_logged;
   obs::MetricsRegistry::Add(obs.metrics, "persist.commits_logged");
-  return seq;
+  return Status::Ok();
 }
 
 Status PersistenceManager::LogAbort(uint64_t seq, obs::ObsContext obs) {

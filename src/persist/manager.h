@@ -74,6 +74,32 @@ class PersistenceManager {
   Result<uint64_t> LogCommit(const Transaction& txn, CommitOrigin origin,
                              const SymbolTable& symbols, obs::ObsContext obs);
 
+  /// A commit record staged in the log but not necessarily durable yet.
+  /// Pins the WalWriter it was enqueued on, so it stays redeemable across a
+  /// concurrent Checkpoint() (which installs a fresh writer).
+  struct PreparedCommit {
+    uint64_t seq = 0;
+    WalWriter::Ticket ticket;
+    std::shared_ptr<WalWriter> writer;
+    bool durable = false;  // group commit off: already synced at prepare time
+  };
+
+  /// Two-phase LogCommit for the pipelined commit path (DESIGN.md §9):
+  /// PrepareCommit assigns the sequence number and stages the record under
+  /// the manager lock (cheap, no fsync with group commit on);
+  /// WaitCommitDurable joins the group flush with no locks held, so
+  /// concurrent committers batch fsyncs end-to-end. The caller must not
+  /// acknowledge the commit before WaitCommitDurable returns Ok; on error
+  /// the record is not in the log and the caller must un-apply or escalate.
+  /// With group_commit disabled PrepareCommit degrades to a full synchronous
+  /// LogCommit and WaitCommitDurable is a no-op.
+  Result<PreparedCommit> PrepareCommit(const Transaction& txn,
+                                       CommitOrigin origin,
+                                       const SymbolTable& symbols,
+                                       obs::ObsContext obs);
+  Status WaitCommitDurable(const PreparedCommit& prepared,
+                           obs::ObsContext obs);
+
   /// Durably logs that the commit with sequence `seq` was rolled back, so
   /// recovery skips it. An error here is critical: the in-memory state no
   /// longer matches the log (the caller escalates and the database must be
@@ -103,7 +129,8 @@ class PersistenceManager {
   Options options_;
 
   mutable std::mutex mu_;
-  std::unique_ptr<WalWriter> writer_;
+  // shared_ptr: PreparedCommit pins the writer across Checkpoint()'s swap.
+  std::shared_ptr<WalWriter> writer_;
   uint64_t snapshot_seq_ = 0;   // base_seq the current snapshot covers
   uint64_t last_seq_ = 0;       // highest sequence number handed out
   uint64_t recovered_wal_size_ = 0;  // valid prefix found by recovery

@@ -280,46 +280,25 @@ void WalWriter::SelfHealLocked(const Status& cause) {
   next_offset_ = durable_size_;
 }
 
-Status WalWriter::AppendDurable(std::string payload, obs::ObsContext obs) {
+Result<WalWriter::Ticket> WalWriter::Enqueue(std::string payload) {
   std::string frame = FrameRecord(payload);
-  std::unique_lock<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   if (!poisoned_.ok()) return poisoned_;
-
-  if (!options_.group_commit) {
-    // Degraded mode for the throughput comparison: one write+fsync per
-    // record, serialized.
-    while (flushing_) cv_.wait(lock);
-    if (!poisoned_.ok()) return poisoned_;
-    flushing_ = true;
-    lock.unlock();
-    Status status = WriteAndSync(frame);
-    lock.lock();
-    flushing_ = false;
-    if (status.ok()) {
-      file_size_ += frame.size();
-      durable_size_ = file_size_;
-      next_offset_ = file_size_;
-      ++fsyncs_;
-      obs::MetricsRegistry::Add(obs.metrics, "persist.wal_fsyncs");
-      obs::MetricsRegistry::Add(obs.metrics, "persist.wal_bytes",
-                                frame.size());
-    } else {
-      SelfHealLocked(status);
-    }
-    cv_.notify_all();
-    return status;
-  }
-
-  const uint64_t my_epoch = flush_epoch_;
+  Ticket ticket;
+  ticket.epoch = flush_epoch_;
   pending_ += frame;
   ++pending_records_;
   next_offset_ += frame.size();
-  const uint64_t target = next_offset_;
+  ticket.target = next_offset_;
+  return ticket;
+}
 
+Status WalWriter::WaitDurable(const Ticket& ticket, obs::ObsContext obs) {
+  std::unique_lock<std::mutex> lock(mu_);
   // durable_size_ must be checked before the epoch: a record can be durable
   // even if a *later* batch failed and bumped the epoch.
-  while (durable_size_ < target) {
-    if (flush_epoch_ != my_epoch) {
+  while (durable_size_ < ticket.target) {
+    if (flush_epoch_ != ticket.epoch) {
       // A failed flush dropped every record not yet durable, this one
       // included (SelfHealLocked clears both the in-flight batch and
       // pending_).
@@ -359,6 +338,42 @@ Status WalWriter::AppendDurable(std::string payload, obs::ObsContext obs) {
     cv_.notify_all();
   }
   return Status::Ok();
+}
+
+Status WalWriter::AppendDurable(std::string payload, obs::ObsContext obs) {
+  if (options_.group_commit) {
+    DEDDB_ASSIGN_OR_RETURN(Ticket ticket, Enqueue(std::move(payload)));
+    return WaitDurable(ticket, obs);
+  }
+
+  std::string frame = FrameRecord(payload);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!poisoned_.ok()) return poisoned_;
+
+  {
+    // Degraded mode for the throughput comparison: one write+fsync per
+    // record, serialized.
+    while (flushing_) cv_.wait(lock);
+    if (!poisoned_.ok()) return poisoned_;
+    flushing_ = true;
+    lock.unlock();
+    Status status = WriteAndSync(frame);
+    lock.lock();
+    flushing_ = false;
+    if (status.ok()) {
+      file_size_ += frame.size();
+      durable_size_ = file_size_;
+      next_offset_ = file_size_;
+      ++fsyncs_;
+      obs::MetricsRegistry::Add(obs.metrics, "persist.wal_fsyncs");
+      obs::MetricsRegistry::Add(obs.metrics, "persist.wal_bytes",
+                                frame.size());
+    } else {
+      SelfHealLocked(status);
+    }
+    cv_.notify_all();
+    return status;
+  }
 }
 
 Status WalWriter::Sync(obs::ObsContext obs) {

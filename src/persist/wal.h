@@ -111,6 +111,26 @@ class WalWriter {
 
   Status AppendDurable(std::string payload, obs::ObsContext obs);
 
+  /// Handle for a record enqueued with Enqueue(), redeemable for its
+  /// durability verdict via WaitDurable().
+  struct Ticket {
+    uint64_t target = 0;  // next_offset_ after this record
+    uint64_t epoch = 0;   // flush epoch the record was enqueued under
+  };
+
+  /// Two-phase variant of AppendDurable for commit pipelines that must not
+  /// hold their own locks across the fsync: Enqueue() frames and stages the
+  /// record (cheap, called under the caller's commit lock), WaitDurable()
+  /// joins the group flush (called after the caller has released its locks,
+  /// so concurrent committers batch fsyncs end-to-end). Records become
+  /// durable in Enqueue order — exactly the order the caller staged them.
+  Result<Ticket> Enqueue(std::string payload);
+
+  /// Blocks until the enqueued record is durable (possibly leading the
+  /// flush). Returns the flush error if the record's batch was dropped; the
+  /// record is then NOT in the log (self-heal truncated it away).
+  Status WaitDurable(const Ticket& ticket, obs::ObsContext obs);
+
   /// Bytes known durable (header + fsynced records).
   uint64_t durable_size() const;
 

@@ -8,12 +8,29 @@ namespace {
 constexpr const char* kGlobalIcName = "Ic";
 }  // namespace
 
-Database::Database() : predicates_(&symbols_) {
+Database::Database()
+    : symbols_(std::make_shared<SymbolTable>()), predicates_(symbols_.get()) {
   // Reserve the global inconsistency predicate up front (paper §5).
   auto result = predicates_.Declare(kGlobalIcName, /*arity=*/0,
                                     PredicateKind::kDerived,
                                     PredicateSemantics::kIc);
   global_ic_ = result.value();
+}
+
+Database::Database(const Database& other, bool /*snapshot_tag*/)
+    : symbols_(other.symbols_),  // shared: ids stay globally consistent
+      predicates_(other.predicates_, other.symbols_.get()),
+      program_(other.program_),
+      facts_(other.facts_),              // copy-on-write
+      materialized_(other.materialized_),  // copy-on-write
+      ic_predicates_(other.ic_predicates_),
+      view_predicates_(other.view_predicates_),
+      condition_predicates_(other.condition_predicates_),
+      materialized_views_(other.materialized_views_),
+      global_ic_(other.global_ic_) {}
+
+std::unique_ptr<Database> Database::CloneSnapshot() const {
+  return std::unique_ptr<Database>(new Database(*this, /*snapshot_tag=*/true));
 }
 
 Result<SymbolId> Database::DeclareBase(std::string_view name, size_t arity) {
@@ -44,7 +61,7 @@ Result<SymbolId> Database::DeclareDerived(std::string_view name, size_t arity,
       std::vector<Term> args;
       args.reserve(arity);
       for (size_t i = 0; i < arity; ++i) {
-        args.push_back(Term::MakeVariable(symbols_.FreshVar()));
+        args.push_back(Term::MakeVariable(symbols_->FreshVar()));
       }
       Rule global_rule(Atom(global_ic_, {}),
                        {Literal::Positive(Atom(symbol, std::move(args)))});
@@ -78,20 +95,20 @@ Status Database::AddRule(Rule rule) {
 Status Database::AddFact(const Atom& ground_atom) {
   if (!ground_atom.IsGround()) {
     return InvalidArgumentError(
-        StrCat("fact '", ground_atom.ToString(symbols_), "' is not ground"));
+        StrCat("fact '", ground_atom.ToString(*symbols_), "' is not ground"));
   }
   DEDDB_ASSIGN_OR_RETURN(PredicateInfo info,
                          predicates_.Get(ground_atom.predicate()));
   if (info.kind != PredicateKind::kBase ||
       info.variant != PredicateVariant::kOld) {
     return InvalidArgumentError(
-        StrCat("fact '", ground_atom.ToString(symbols_),
+        StrCat("fact '", ground_atom.ToString(*symbols_),
                "' must use a base predicate; derived facts are defined by "
                "rules (paper §2)"));
   }
   if (info.arity != ground_atom.arity()) {
     return InvalidArgumentError(
-        StrCat("fact '", ground_atom.ToString(symbols_), "' has arity ",
+        StrCat("fact '", ground_atom.ToString(*symbols_), "' has arity ",
                ground_atom.arity(), "; predicate declared with arity ",
                info.arity));
   }
@@ -102,7 +119,7 @@ Status Database::AddFact(const Atom& ground_atom) {
 Status Database::RemoveFact(const Atom& ground_atom) {
   if (!ground_atom.IsGround()) {
     return InvalidArgumentError(
-        StrCat("fact '", ground_atom.ToString(symbols_), "' is not ground"));
+        StrCat("fact '", ground_atom.ToString(*symbols_), "' is not ground"));
   }
   facts_.Remove(ground_atom);
   return Status::Ok();
@@ -112,7 +129,7 @@ Status Database::MaterializeView(SymbolId view) {
   DEDDB_ASSIGN_OR_RETURN(PredicateInfo info, predicates_.Get(view));
   if (info.semantics != PredicateSemantics::kView) {
     return InvalidArgumentError(
-        StrCat("predicate '", symbols_.NameOf(view),
+        StrCat("predicate '", symbols_->NameOf(view),
                "' is not a view; declare it with view semantics first"));
   }
   materialized_views_.insert(view);
@@ -120,7 +137,7 @@ Status Database::MaterializeView(SymbolId view) {
 }
 
 Result<SymbolId> Database::FindPredicate(std::string_view name) const {
-  SymbolId symbol = symbols_.Find(name);
+  SymbolId symbol = symbols_->Find(name);
   if (symbol == SymbolTable::kNoSymbol || !predicates_.Contains(symbol)) {
     return NotFoundError(StrCat("unknown predicate '", name, "'"));
   }
@@ -129,9 +146,9 @@ Result<SymbolId> Database::FindPredicate(std::string_view name) const {
 
 std::string Database::ToString() const {
   std::string out = "% rules\n";
-  out += program_.ToString(symbols_);
+  out += program_.ToString(*symbols_);
   out += "% facts\n";
-  out += facts_.ToString(symbols_);
+  out += facts_.ToString(*symbols_);
   return out;
 }
 

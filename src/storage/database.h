@@ -1,6 +1,7 @@
 #ifndef DEDDB_STORAGE_DATABASE_H_
 #define DEDDB_STORAGE_DATABASE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -23,12 +24,21 @@ namespace deddb {
 /// reserved for this purpose.
 ///
 /// Not copyable/movable: the predicate table holds a pointer to the owned
-/// symbol table.
+/// symbol table. Use CloneSnapshot() for an immutable point-in-time copy
+/// (snapshot sessions, DESIGN.md §9).
 class Database {
  public:
   Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  /// Point-in-time copy for snapshot isolation. The clone shares the
+  /// (thread-safe, append-only) symbol table with the original, so symbol
+  /// ids stay globally consistent; fact stores are shared copy-on-write, so
+  /// the copy is O(#relations + #predicates + #rules), not O(#facts).
+  /// The caller must serialize CloneSnapshot against mutations of this
+  /// database (the facade takes its commit lock).
+  std::unique_ptr<Database> CloneSnapshot() const;
 
   // ---- Schema -------------------------------------------------------------
 
@@ -71,8 +81,12 @@ class Database {
 
   // ---- Accessors ----------------------------------------------------------
 
-  SymbolTable& symbols() { return symbols_; }
-  const SymbolTable& symbols() const { return symbols_; }
+  SymbolTable& symbols() { return *symbols_; }
+  const SymbolTable& symbols() const { return *symbols_; }
+  /// The shared, thread-safe symbol table (shared with snapshot clones).
+  const std::shared_ptr<SymbolTable>& shared_symbols() const {
+    return symbols_;
+  }
   PredicateTable& predicates() { return predicates_; }
   const PredicateTable& predicates() const { return predicates_; }
   const Program& program() const { return program_; }
@@ -106,7 +120,12 @@ class Database {
   std::string ToString() const;
 
  private:
-  SymbolTable symbols_;
+  /// Snapshot constructor backing CloneSnapshot().
+  explicit Database(const Database& other, bool /*snapshot_tag*/);
+
+  // Shared with snapshot clones; declared before predicates_ (which holds a
+  // pointer into it).
+  std::shared_ptr<SymbolTable> symbols_;
   PredicateTable predicates_;
   Program program_;
   FactStore facts_;

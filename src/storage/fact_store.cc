@@ -1,22 +1,46 @@
 #include "storage/fact_store.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/strings.h"
 
 namespace deddb {
 
-FactStore::FactStore(const FactStore& other) : indexed_(other.indexed_) {
-  for (const auto& [pred, rel] : other.relations_) {
-    relations_.emplace(pred, std::make_unique<Relation>(*rel));
-  }
+FactStore::FactStore(const FactStore& other)
+    : indexed_(other.indexed_), relations_(other.relations_) {
+  // Mark every relation shared on both sides. The source's flags are mutable
+  // because the source of a snapshot copy is const; the copy itself is what
+  // BeginSession takes under the commit lock, so these writes are serialized
+  // with the writer's Mutable() by that lock.
+  for (auto& [pred, slot] : other.relations_) slot.maybe_shared = true;
+  for (auto& [pred, slot] : relations_) slot.maybe_shared = true;
 }
 
 FactStore& FactStore::operator=(const FactStore& other) {
-  if (this == &other) return *this;
-  FactStore copy(other);
-  *this = std::move(copy);
+  if (this != &other) {
+    FactStore copy(other);
+    *this = std::move(copy);
+  }
   return *this;
+}
+
+Relation* FactStore::Mutable(SymbolId predicate) {
+  auto it = relations_.find(predicate);
+  if (it == relations_.end()) return nullptr;
+  Slot& slot = it->second;
+  // A set flag means some copy may still share this relation; clone before
+  // mutating so that copy keeps the old contents. Deliberately not
+  // use_count(): a snapshot released on another thread drops the count with
+  // no happens-before edge to us, so "count is 1, mutate in place" would
+  // race the dead reader's final reads. The flag only ever changes under the
+  // owner's commit lock; a dead snapshot at worst leaves it set, costing one
+  // spurious (safe) clone.
+  if (slot.maybe_shared) {
+    slot.relation = std::make_shared<Relation>(*slot.relation);
+    slot.maybe_shared = false;
+  }
+  return slot.relation.get();
 }
 
 bool FactStore::Add(SymbolId predicate, const Tuple& tuple) {
@@ -24,10 +48,15 @@ bool FactStore::Add(SymbolId predicate, const Tuple& tuple) {
   if (it == relations_.end()) {
     it = relations_
              .emplace(predicate,
-                      std::make_unique<Relation>(tuple.size(), indexed_))
+                      Slot{std::make_shared<Relation>(tuple.size(), indexed_),
+                           false})
              .first;
+    return it->second.relation->Insert(tuple);
   }
-  return it->second->Insert(tuple);
+  if (it->second.relation->Contains(tuple)) {
+    return false;  // no clone for a no-op
+  }
+  return Mutable(predicate)->Insert(tuple);
 }
 
 bool FactStore::Add(const Atom& ground_atom) {
@@ -37,7 +66,10 @@ bool FactStore::Add(const Atom& ground_atom) {
 bool FactStore::Remove(SymbolId predicate, const Tuple& tuple) {
   auto it = relations_.find(predicate);
   if (it == relations_.end()) return false;
-  return it->second->Erase(tuple);
+  if (!it->second.relation->Contains(tuple)) {
+    return false;  // no clone for a no-op
+  }
+  return Mutable(predicate)->Erase(tuple);
 }
 
 bool FactStore::Remove(const Atom& ground_atom) {
@@ -55,41 +87,41 @@ bool FactStore::Contains(const Atom& ground_atom) const {
 
 const Relation* FactStore::Find(SymbolId predicate) const {
   auto it = relations_.find(predicate);
-  return it == relations_.end() ? nullptr : it->second.get();
+  return it == relations_.end() ? nullptr : it->second.relation.get();
 }
 
 bool operator==(const FactStore& a, const FactStore& b) {
   // Empty relations are indistinguishable from absent ones: a store that
   // added then removed a fact equals a store that never saw the predicate
   // (deserialized stores never materialize empty relations).
-  for (const auto& [pred, rel] : a.relations_) {
-    if (rel->empty()) continue;
+  for (const auto& [pred, slot] : a.relations_) {
+    if (slot.relation->empty()) continue;
     const Relation* other = b.Find(pred);
-    if (other == nullptr || *other != *rel) return false;
+    if (other == nullptr || *other != *slot.relation) return false;
   }
-  for (const auto& [pred, rel] : b.relations_) {
-    if (!rel->empty() && a.Find(pred) == nullptr) return false;
+  for (const auto& [pred, slot] : b.relations_) {
+    if (!slot.relation->empty() && a.Find(pred) == nullptr) return false;
   }
   return true;
 }
 
 size_t FactStore::TotalFacts() const {
   size_t total = 0;
-  for (const auto& [pred, rel] : relations_) total += rel->size();
+  for (const auto& [pred, slot] : relations_) total += slot.relation->size();
   return total;
 }
 
 void FactStore::ForEach(
     const std::function<void(SymbolId, const Tuple&)>& fn) const {
-  for (const auto& [pred, rel] : relations_) {
-    rel->ForEach([&](const Tuple& t) { fn(pred, t); });
+  for (const auto& [pred, slot] : relations_) {
+    slot.relation->ForEach([&](const Tuple& t) { fn(pred, t); });
   }
 }
 
 std::vector<SymbolId> FactStore::Predicates() const {
   std::vector<SymbolId> out;
   out.reserve(relations_.size());
-  for (const auto& [pred, rel] : relations_) out.push_back(pred);
+  for (const auto& [pred, slot] : relations_) out.push_back(pred);
   std::sort(out.begin(), out.end());
   return out;
 }

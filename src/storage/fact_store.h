@@ -14,10 +14,21 @@ namespace deddb {
 /// A collection of relations keyed by predicate symbol. Used for the
 /// extensional database F, for materialized view extensions, and (twice) for
 /// the insertion/deletion sides of a transaction.
+///
+/// Copies are cheap: relations are shared between copies and cloned lazily
+/// the first time either side mutates them (copy-on-write). This is what
+/// makes snapshot sessions affordable — BeginSession copies the whole store
+/// in O(#relations) pointer bumps, and the writer pays a deep clone only for
+/// relations a commit actually touches (DESIGN.md §9). Value semantics are
+/// unchanged: a mutation on one copy is never visible through another.
 class FactStore {
  public:
   explicit FactStore(bool indexed = true) : indexed_(indexed) {}
 
+  /// Copying marks every relation shared on BOTH sides, so whichever side
+  /// mutates first clones. Copies of a store that snapshots read must be
+  /// taken under the owner's commit lock (BeginSession does), which is also
+  /// what serializes the flag writes here against Mutable().
   FactStore(const FactStore& other);
   FactStore& operator=(const FactStore& other);
   FactStore(FactStore&&) = default;
@@ -63,8 +74,25 @@ class FactStore {
   }
 
  private:
+  struct Slot {
+    std::shared_ptr<Relation> relation;
+    // True while some copy of this store may still share `relation`; set at
+    // copy time (on both sides), cleared when Mutable() clones. An explicit
+    // flag rather than use_count(): a snapshot released on another thread
+    // lowers the count without a happens-before edge to the writer, so a
+    // count-based in-place mutation would race the dead reader's final
+    // reads. The flag is only ever touched under the owner's serialization
+    // (the commit lock for stores snapshots see), at the price of one
+    // spurious clone after a snapshot dies.
+    mutable bool maybe_shared = false;
+  };
+
+  /// Returns a uniquely-owned relation for `predicate`, cloning a shared one
+  /// first (copy-on-write). Returns nullptr if the predicate has no relation.
+  Relation* Mutable(SymbolId predicate);
+
   bool indexed_;
-  std::unordered_map<SymbolId, std::unique_ptr<Relation>> relations_;
+  std::unordered_map<SymbolId, Slot> relations_;
 };
 
 }  // namespace deddb

@@ -13,14 +13,17 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/deductive_database.h"
+#include "core/session.h"
 #include "core/update_processor.h"
 #include "util/resource_guard.h"
 #include "util/rng.h"
@@ -87,8 +90,58 @@ void DeclareSchema(DeductiveDatabase* db, bool materialize) {
   }
 }
 
+// Canonical image of a base-fact set as (pred idx, const idx) pairs,
+// rendered without touching any database (same format as ImageOfSession).
+std::string ImageOfMirror(const std::set<std::pair<size_t, size_t>>& mirror) {
+  std::vector<std::string> facts;
+  for (const auto& [p, c] : mirror) {
+    facts.push_back(StrCat(kBasePreds[p], "(", kConstants[c], ")"));
+  }
+  std::sort(facts.begin(), facts.end());
+  return Join(facts, ";");
+}
+
+std::string ImageOfSession(const Session& session) {
+  std::vector<std::string> facts;
+  const SymbolTable& symbols = session.database().symbols();
+  session.database().facts().ForEach([&](SymbolId pred, const Tuple& t) {
+    std::string s = StrCat(symbols.NameOf(pred), "(");
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) s += ",";
+      s += symbols.NameOf(t[i]);
+    }
+    facts.push_back(StrCat(s, ")"));
+  });
+  std::sort(facts.begin(), facts.end());
+  return Join(facts, ";");
+}
+
+// A reader thread driven while the fault window is open: continuously opens
+// snapshot sessions and records the base image each one pins. Reads never
+// touch the persist fault points, so they must neither perturb the crash
+// nor observe anything but an acknowledged commit prefix.
+struct ReaderLog {
+  std::vector<std::string> images;
+  std::vector<std::string> errors;
+};
+
+void SessionReaderLoop(DeductiveDatabase* db, const std::atomic<bool>* done,
+                       ReaderLog* log) {
+  // At least one snapshot even if the fault window closes instantly.
+  for (int iter = 0; iter == 0 || !done->load(std::memory_order_acquire);
+       ++iter) {
+    Result<std::unique_ptr<Session>> begun = db->BeginSession();
+    if (!begun.ok()) {
+      log->errors.push_back(begun.status().ToString());
+      return;
+    }
+    log->images.push_back(ImageOfSession(**begun));
+    std::this_thread::yield();
+  }
+}
+
 // One run of the matrix. Returns through gtest assertions only.
-void RunSeed(uint64_t seed) {
+void RunSeed(uint64_t seed, bool with_readers = false) {
   SCOPED_TRACE(StrCat("seed=", seed));
   std::string tmpl = StrCat(::testing::TempDir(), "crashXXXXXX");
   std::vector<char> buf(tmpl.begin(), tmpl.end());
@@ -117,6 +170,27 @@ void RunSeed(uint64_t seed) {
     using Event = std::tuple<size_t, size_t, bool>;  // (pred, const, insert)
     std::set<std::pair<size_t, size_t>> mirror;      // (pred idx, const idx)
     std::vector<std::vector<Event>> acked_txns;
+
+    // Crash-while-readers-active: two reader threads continuously pin
+    // snapshot sessions throughout the fault window, plus one session
+    // pinned before it opens that must keep answering after the "crash".
+    std::set<std::string> prefix_images;
+    prefix_images.insert(ImageOfMirror(mirror));
+    std::atomic<bool> readers_done{false};
+    std::vector<ReaderLog> reader_logs(with_readers ? 2 : 0);
+    std::vector<std::thread> readers;
+    std::unique_ptr<Session> pinned;
+    std::string pinned_image;
+    if (with_readers) {
+      auto begun = db->BeginSession();
+      ASSERT_TRUE(begun.ok()) << begun.status().ToString();
+      pinned = std::move(*begun);
+      pinned_image = ImageOfSession(*pinned);
+      for (ReaderLog& log : reader_logs) {
+        readers.emplace_back(SessionReaderLoop, db.get(), &readers_done,
+                             &log);
+      }
+    }
 
     const FaultPoint point =
         kMatrixPoints[rng.NextBelow(kNumMatrixPoints)];
@@ -165,11 +239,35 @@ void RunSeed(uint64_t seed) {
       if (was_acked) {
         mirror = std::move(cur);
         acked_txns.push_back(std::move(events));
+        prefix_images.insert(ImageOfMirror(mirror));
       } else {
         crashed = true;  // the armed fault fired; stop and "crash"
+        // The pipelined Apply applies in memory before confirming
+        // durability, so post-crash readers may legitimately observe the
+        // final, never-acknowledged transaction (recovery below proves it
+        // does not survive the crash).
+        if (!via_processor) prefix_images.insert(ImageOfMirror(cur));
       }
     }
     FaultInjector::Instance().Disarm();
+
+    if (with_readers) {
+      readers_done.store(true, std::memory_order_release);
+      for (std::thread& reader : readers) reader.join();
+      // The pinned session survived the crash of the writer: it still
+      // answers exactly the image it pinned before the fault window.
+      EXPECT_EQ(ImageOfSession(*pinned), pinned_image);
+      pinned.reset();
+      for (const ReaderLog& log : reader_logs) {
+        ASSERT_TRUE(log.errors.empty()) << log.errors.front();
+        EXPECT_FALSE(log.images.empty());
+        for (const std::string& image : log.images) {
+          EXPECT_TRUE(prefix_images.count(image) > 0)
+              << "torn or phantom state observed at crash time: '" << image
+              << "'";
+        }
+      }
+    }
 
     // Build the committed-prefix oracle: the acked transactions replayed
     // through the same apply path on an in-memory twin.
@@ -254,6 +352,19 @@ TEST_P(PersistCrashTest, RecoveryReproducesTheCommittedPrefix) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Matrix, PersistCrashTest, ::testing::Range(0, 10));
+
+TEST(PersistCrashWithReadersTest,
+     ActiveSessionsNeitherPerturbNorObserveTheCrash) {
+  // The crash matrix re-run with snapshot sessions alive at crash time:
+  // reader threads pinning snapshots through the fault window, and one
+  // session begun before it that must keep answering after the writer dies.
+  // Fresh seeds, so the scenarios differ from the plain matrix.
+  for (int i = 0; i < 10; ++i) {
+    RunSeed(static_cast<uint64_t>(100 + i), /*with_readers=*/true);
+    FaultInjector::Instance().Disarm();
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
 
 }  // namespace
 }  // namespace deddb

@@ -1,0 +1,361 @@
+// Targeted snapshot-isolation scenarios for the session layer (DESIGN.md
+// §9), complementing the randomized suite in session_history_test.cc:
+// snapshots pinned across Checkpoint(), sessions outliving rule updates
+// (keeping their compiled event machinery), reads across an
+// ApplyAtomically rollback, the sticky commit-health failure when a commit
+// is applied in memory but its log record never becomes durable, and
+// epoch-based reclamation of retired snapshot versions observed through the
+// session.* metrics.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "core/session.h"
+#include "core/update_processor.h"
+#include "obs/metrics.h"
+#include "util/resource_guard.h"
+#include "util/strings.h"
+
+namespace deddb {
+namespace {
+
+// Q base, R base, P(x) <- Q(x) & not R(x) as a view.
+void DeclareSchema(DeductiveDatabase* db, bool materialize = false) {
+  ASSERT_TRUE(db->DeclareBase("Q", 1).ok());
+  ASSERT_TRUE(db->DeclareBase("R", 1).ok());
+  Result<SymbolId> p = db->DeclareView("P", 1);
+  ASSERT_TRUE(p.ok());
+  Term x = db->Variable("x");
+  ASSERT_TRUE(
+      db->AddRule(Rule(db->MakeAtom("P", {x}).value(),
+                       {Literal::Positive(db->MakeAtom("Q", {x}).value()),
+                        Literal::Negative(db->MakeAtom("R", {x}).value())}))
+          .ok());
+  if (materialize) {
+    ASSERT_TRUE(db->MaterializeView(*p).ok());
+    ASSERT_TRUE(db->InitializeMaterializedViews().ok());
+  }
+}
+
+Transaction InsertOf(DeductiveDatabase* db, std::string_view pred,
+                     std::string_view constant) {
+  Transaction txn;
+  EXPECT_TRUE(
+      txn.AddInsert(db->GroundAtom(pred, {constant}).value()).ok());
+  return txn;
+}
+
+std::string TempDirFor(const char* tag) {
+  std::string tmpl = StrCat(::testing::TempDir(), tag, "XXXXXX");
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  EXPECT_NE(::mkdtemp(buf.data()), nullptr);
+  return std::string(buf.data());
+}
+
+class SessionIsolationTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Instance().Disarm(); }
+};
+
+TEST_F(SessionIsolationTest, SessionPinsStateAcrossWriterCommits) {
+  DeductiveDatabase db;
+  DeclareSchema(&db);
+  ASSERT_TRUE(db.Apply(InsertOf(&db, "Q", "a")).ok());
+
+  auto session = db.BeginSession();
+  ASSERT_TRUE(session.ok());
+  const uint64_t pinned_version = (*session)->version();
+
+  ASSERT_TRUE(db.Apply(InsertOf(&db, "Q", "b")).ok());
+  ASSERT_TRUE(db.Apply(InsertOf(&db, "R", "a")).ok());
+
+  // The session still answers from its snapshot: Q(a) holds, Q(b) does not,
+  // and P(a) still derives because the snapshot has no R(a).
+  Atom qa = (*session)->GroundAtom("Q", {"a"}).value();
+  Atom qb = (*session)->GroundAtom("Q", {"b"}).value();
+  Atom pa = (*session)->GroundAtom("P", {"a"}).value();
+  EXPECT_TRUE((*session)->Holds(qa).value());
+  EXPECT_FALSE((*session)->Holds(qb).value());
+  EXPECT_TRUE((*session)->Holds(pa).value());
+  EXPECT_EQ((*session)->version(), pinned_version);
+
+  // A fresh session sees the new head, on a strictly later version.
+  auto head = db.BeginSession();
+  ASSERT_TRUE(head.ok());
+  EXPECT_GT((*head)->version(), pinned_version);
+  EXPECT_TRUE((*head)->Holds(qb).value());
+  EXPECT_FALSE((*head)->Holds(pa).value());
+}
+
+TEST_F(SessionIsolationTest, SnapshotStaysPinnedAcrossCheckpoint) {
+  std::string dir = TempDirFor("ckpt");
+  {
+    auto opened = DeductiveDatabase::OpenPersistent(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<DeductiveDatabase> db = std::move(*opened);
+    DeclareSchema(db.get());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(db->Apply(InsertOf(db.get(), "Q", "a")).ok());
+
+    auto session = db->BeginSession();
+    ASSERT_TRUE(session.ok());
+
+    // Commit + checkpoint: the checkpoint swaps the WAL out underneath any
+    // in-flight commits and truncates the log — none of which may move the
+    // session off its snapshot.
+    ASSERT_TRUE(db->Apply(InsertOf(db.get(), "Q", "b")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(db->Apply(InsertOf(db.get(), "R", "a")).ok());
+
+    Atom qa = (*session)->GroundAtom("Q", {"a"}).value();
+    Atom qb = (*session)->GroundAtom("Q", {"b"}).value();
+    Atom ra = (*session)->GroundAtom("R", {"a"}).value();
+    EXPECT_TRUE((*session)->Holds(qa).value());
+    EXPECT_FALSE((*session)->Holds(qb).value());
+    EXPECT_FALSE((*session)->Holds(ra).value());
+    ASSERT_TRUE(db->Close().ok());
+  }
+  // All three commits survive recovery.
+  auto reopened = DeductiveDatabase::OpenPersistent(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(
+      (*reopened)->Apply(InsertOf(reopened->get(), "Q", "c")).ok());
+  Atom qb = (*reopened)->GroundAtom("Q", {"b"}).value();
+  Atom ra = (*reopened)->GroundAtom("R", {"a"}).value();
+  EXPECT_TRUE((*reopened)->database().facts().Contains(
+      qb.predicate(), Tuple{qb.args()[0].constant()}));
+  EXPECT_TRUE((*reopened)->database().facts().Contains(
+      ra.predicate(), Tuple{ra.args()[0].constant()}));
+  ASSERT_EQ(std::system(StrCat("rm -rf ", dir).c_str()), 0);
+}
+
+TEST_F(SessionIsolationTest, SessionOutlivesRuleUpdateWithItsCompiledRules) {
+  DeductiveDatabase db;
+  ASSERT_TRUE(db.DeclareBase("Q", 1).ok());
+  ASSERT_TRUE(db.DeclareBase("R", 1).ok());
+  ASSERT_TRUE(db.DeclareView("P", 1).ok());
+  Term x = db.Variable("x");
+  Rule from_q(db.MakeAtom("P", {x}).value(),
+              {Literal::Positive(db.MakeAtom("Q", {x}).value())});
+  Rule from_r(db.MakeAtom("P", {x}).value(),
+              {Literal::Positive(db.MakeAtom("R", {x}).value())});
+  ASSERT_TRUE(db.AddRule(from_q).ok());
+  ASSERT_TRUE(db.AddRule(from_r).ok());
+
+  auto session = db.BeginSession();
+  ASSERT_TRUE(session.ok());
+
+  // Writer drops P <- R. The session keeps the event machinery it compiled
+  // at snapshot time: inserting R(a) still induces P(a) through its pinned
+  // rules, while a fresh session no longer derives it.
+  problems::RuleUpdate update;
+  update.remove.push_back(from_r);
+  ASSERT_TRUE(db.ApplyRuleUpdate(update).ok());
+
+  Transaction insert_r = InsertOf(&db, "R", "a");
+  SymbolId p = db.database().FindPredicate("P").value();
+  SymbolId a = db.symbols().Intern("a");
+
+  auto old_events = (*session)->InducedEvents(insert_r);
+  ASSERT_TRUE(old_events.ok()) << old_events.status().ToString();
+  EXPECT_TRUE(old_events->ContainsInsert(p, Tuple{a}));
+
+  auto fresh = db.BeginSession();
+  ASSERT_TRUE(fresh.ok());
+  auto new_events = (*fresh)->InducedEvents(insert_r);
+  ASSERT_TRUE(new_events.ok()) << new_events.status().ToString();
+  EXPECT_FALSE(new_events->ContainsInsert(p, Tuple{a}));
+}
+
+TEST_F(SessionIsolationTest, ReadsAreUndisturbedByAnApplyAtomicallyRollback) {
+  DeductiveDatabase db;
+  DeclareSchema(&db, /*materialize=*/true);
+  {
+    UpdateProcessor processor(&db);
+    auto report = processor.ProcessTransaction(InsertOf(&db, "Q", "a"));
+    ASSERT_TRUE(report.ok() && report->accepted);
+  }
+  auto session = db.BeginSession();
+  ASSERT_TRUE(session.ok());
+  const uint64_t pinned_version = (*session)->version();
+
+  // Force the processor's commit poke to fail AFTER the view delta and the
+  // base delta applied, driving the full rollback path.
+  FaultInjector::Instance().Arm(FaultPoint::kProcessorCommit, 1,
+                                InternalError("injected commit failure"));
+  {
+    UpdateProcessor processor(&db);
+    auto report = processor.ProcessTransaction(InsertOf(&db, "Q", "b"));
+    EXPECT_FALSE(report.ok());
+  }
+  FaultInjector::Instance().Disarm();
+
+  // The pinned session is untouched, and a fresh session sees the rolled-
+  // back state — identical facts, even though versions advanced.
+  Atom qa = (*session)->GroundAtom("Q", {"a"}).value();
+  Atom qb = (*session)->GroundAtom("Q", {"b"}).value();
+  Atom pa = (*session)->GroundAtom("P", {"a"}).value();
+  EXPECT_TRUE((*session)->Holds(qa).value());
+  EXPECT_FALSE((*session)->Holds(qb).value());
+  EXPECT_TRUE((*session)->Holds(pa).value());
+  EXPECT_EQ((*session)->version(), pinned_version);
+
+  auto fresh = db.BeginSession();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE((*fresh)->Holds(qa).value());
+  EXPECT_FALSE((*fresh)->Holds(qb).value());
+  EXPECT_TRUE((*fresh)->Holds(pa).value());
+}
+
+TEST_F(SessionIsolationTest, NonDurableCommitPoisonsTheWriterButNotReaders) {
+  std::string dir = TempDirFor("poison");
+  {
+    auto opened = DeductiveDatabase::OpenPersistent(dir);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<DeductiveDatabase> db = std::move(*opened);
+    DeclareSchema(db.get());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(db->Apply(InsertOf(db.get(), "Q", "a")).ok());
+
+    auto session = db->BeginSession();
+    ASSERT_TRUE(session.ok());
+
+    // The pipelined Apply stages the record, applies in memory, then waits
+    // for durability; an injected fsync failure there must poison the
+    // facade ("applied in memory but not durable").
+    FaultInjector::Instance().Arm(FaultPoint::kWalFsync, 1,
+                                  InternalError("injected fsync failure"));
+    Status poisoned = db->Apply(InsertOf(db.get(), "Q", "b"));
+    FaultInjector::Instance().Disarm();
+    ASSERT_FALSE(poisoned.ok());
+    EXPECT_NE(poisoned.ToString().find("not durable"), std::string::npos)
+        << poisoned.ToString();
+
+    // Every further commit and checkpoint reports the sticky failure…
+    EXPECT_FALSE(db->Apply(InsertOf(db.get(), "Q", "c")).ok());
+    EXPECT_FALSE(db->Checkpoint().ok());
+    // …but reads stay available: the old session answers its snapshot, and
+    // new sessions can still be begun over the in-memory state.
+    Atom qa = (*session)->GroundAtom("Q", {"a"}).value();
+    Atom qb = (*session)->GroundAtom("Q", {"b"}).value();
+    EXPECT_TRUE((*session)->Holds(qa).value());
+    EXPECT_FALSE((*session)->Holds(qb).value());
+    auto fresh = db->BeginSession();
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_TRUE((*fresh)->Holds(qb).value());  // applied in memory
+    EXPECT_FALSE(db->Close().ok());            // Close reports the poison too
+  }
+  // Recovery re-converges with the log: the acknowledged commit survives,
+  // the never-durable one is gone.
+  auto reopened = DeductiveDatabase::OpenPersistent(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Atom qa = (*reopened)->GroundAtom("Q", {"a"}).value();
+  Atom qb = (*reopened)->GroundAtom("Q", {"b"}).value();
+  EXPECT_TRUE((*reopened)->database().facts().Contains(
+      qa.predicate(), Tuple{qa.args()[0].constant()}));
+  EXPECT_FALSE((*reopened)->database().facts().Contains(
+      qb.predicate(), Tuple{qb.args()[0].constant()}));
+  ASSERT_EQ(std::system(StrCat("rm -rf ", dir).c_str()), 0);
+}
+
+TEST_F(SessionIsolationTest, SameVersionSessionsShareOneSnapshot) {
+  obs::MetricsRegistry metrics;
+  DeductiveDatabase db;
+  db.set_observability({nullptr, &metrics});
+  DeclareSchema(&db);
+  ASSERT_TRUE(db.Apply(InsertOf(&db, "Q", "a")).ok());
+
+  auto s1 = db.BeginSession();
+  auto s2 = db.BeginSession();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ((*s1)->version(), (*s2)->version());
+  // Two sessions at one version pay for one clone.
+  EXPECT_EQ(metrics.counter("session.snapshots_created"), 1u);
+  EXPECT_EQ(metrics.counter("session.begun"), 2u);
+  EXPECT_EQ(db.active_sessions(), 2u);
+  EXPECT_EQ(db.live_session_versions(), 1u);
+
+  s1->reset();
+  EXPECT_EQ(db.active_sessions(), 1u);
+  s2->reset();
+  EXPECT_EQ(db.active_sessions(), 0u);
+}
+
+TEST_F(SessionIsolationTest, EpochReclamationFreesRetiredVersions) {
+  obs::MetricsRegistry metrics;
+  DeductiveDatabase db;
+  db.set_observability({nullptr, &metrics});
+  DeclareSchema(&db);
+
+  auto s1 = db.BeginSession();
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(db.Apply(InsertOf(&db, "Q", "a")).ok());
+  auto s2 = db.BeginSession();
+  ASSERT_TRUE(s2.ok());
+  ASSERT_NE((*s1)->version(), (*s2)->version());
+  EXPECT_EQ(db.live_session_versions(), 2u);
+
+  // Dropping the old session retires its version; reclamation observes the
+  // release and the gauges follow.
+  s1->reset();
+  EXPECT_EQ(db.ReclaimSessionEpochs(), 1u);
+  EXPECT_EQ(metrics.counter("session.versions_reclaimed"), 1u);
+  EXPECT_EQ(metrics.gauge("session.live_versions"), 1);
+  EXPECT_EQ(db.live_session_versions(), 1u);
+
+  // The current version stays registered even with no session on it — the
+  // facade's snapshot cache pins it so the next BeginSession is free. A
+  // mutation retires the cache, after which it reclaims too.
+  s2->reset();
+  EXPECT_EQ(db.ReclaimSessionEpochs(), 0u);
+  ASSERT_TRUE(db.Apply(InsertOf(&db, "Q", "b")).ok());
+  EXPECT_EQ(db.ReclaimSessionEpochs(), 1u);
+  EXPECT_EQ(db.live_session_versions(), 0u);
+  EXPECT_EQ(metrics.counter("session.versions_reclaimed"), 2u);
+  EXPECT_EQ(metrics.gauge("session.live_versions"), 0);
+}
+
+TEST_F(SessionIsolationTest, CompileFailureStillAllowsSnapshotQueries) {
+  // Recursive rules defeat the event compiler (hierarchical programs only,
+  // DESIGN.md §4) — sessions must still answer plain queries and report the
+  // pinned compile error from the methods that need event rules.
+  DeductiveDatabase db;
+  ASSERT_TRUE(db.DeclareBase("E", 2).ok());
+  ASSERT_TRUE(db.DeclareDerived("T", 2).ok());
+  Term x = db.Variable("x");
+  Term y = db.Variable("y");
+  Term z = db.Variable("z");
+  ASSERT_TRUE(
+      db.AddRule(Rule(db.MakeAtom("T", {x, y}).value(),
+                      {Literal::Positive(db.MakeAtom("E", {x, y}).value())}))
+          .ok());
+  ASSERT_TRUE(
+      db.AddRule(Rule(db.MakeAtom("T", {x, y}).value(),
+                      {Literal::Positive(db.MakeAtom("E", {x, z}).value()),
+                       Literal::Positive(db.MakeAtom("T", {z, y}).value())}))
+          .ok());
+  Transaction edge;
+  ASSERT_TRUE(edge.AddInsert(db.GroundAtom("E", {"a", "b"}).value()).ok());
+  ASSERT_TRUE(db.Apply(edge).ok());
+
+  auto session = db.BeginSession();
+  ASSERT_TRUE(session.ok());
+  Atom tab = (*session)->GroundAtom("T", {"a", "b"}).value();
+  EXPECT_TRUE((*session)->Holds(tab).value());
+
+  Transaction txn;
+  ASSERT_TRUE(txn.AddInsert(db.GroundAtom("E", {"b", "c"}).value()).ok());
+  auto induced = (*session)->InducedEvents(txn);
+  ASSERT_FALSE(induced.ok());
+  EXPECT_EQ(induced.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace deddb
