@@ -1,0 +1,207 @@
+// Perf-L: sustained request throughput of the service layer (DESIGN.md
+// §10). N concurrent clients issue an OLTP-shaped mix — 7 derived point
+// queries per durable write — over the in-process loopback against a
+// persistent database, so every acknowledged write has been committed by
+// the server's single writer thread through the WAL. The measured number is
+// end-to-end QPS: encode, frame, admission, session pinning, evaluation,
+// and the reply trip all included.
+//
+// Plain report binary (like bench_concurrent_reads): prints a table and
+// writes $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_server.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "obs/json.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "util/strings.h"
+
+using namespace deddb;          // NOLINT — report binary brevity
+using namespace deddb::server;  // NOLINT
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kNumConstants = 48;
+constexpr int kReadsPerWrite = 7;
+constexpr auto kRunFor = std::chrono::milliseconds(400);
+
+struct Row {
+  int clients = 0;
+  uint64_t requests = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  double seconds = 0;
+  double qps = 0;
+  double read_qps = 0;
+  double write_qps = 0;
+};
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::unique_ptr<DeductiveDatabase> BuildDatabase(const std::string& dir) {
+  auto opened = DeductiveDatabase::OpenPersistent(dir);
+  Check(opened.status());
+  std::unique_ptr<DeductiveDatabase> db = std::move(*opened);
+  Check(db->DeclareBase("Q", 1).status());
+  Check(db->DeclareBase("R", 1).status());
+  Check(db->DeclareView("P", 1).status());
+  Term x = db->Variable("x");
+  Check(db->AddRule(Rule(db->MakeAtom("P", {x}).value(),
+                         {Literal::Positive(db->MakeAtom("Q", {x}).value()),
+                          Literal::Negative(db->MakeAtom("R", {x}).value())})));
+  for (int i = 0; i < kNumConstants; ++i) {
+    Check(db->AddFact(db->GroundAtom("Q", {StrCat("c", i)}).value()));
+    if (i % 3 == 0) {
+      Check(db->AddFact(db->GroundAtom("R", {StrCat("c", i)}).value()));
+    }
+  }
+  Check(db->Checkpoint());
+  return db;
+}
+
+Row RunOne(int clients) {
+  Row row;
+  row.clients = clients;
+
+  char tmpl[] = "/tmp/srvbenchXXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  std::string dir = tmpl;
+  std::unique_ptr<DeductiveDatabase> db = BuildDatabase(dir);
+
+  LoopbackNetwork network;
+  Server server(db.get());
+  Check(server.Serve(network.TakeListener()));
+
+  std::atomic<uint64_t> total_reads{0};
+  std::atomic<uint64_t> total_writes{0};
+  std::atomic<uint64_t> sink{0};
+
+  auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto conn = network.Connect();
+      Check(conn.status());
+      Client client(std::move(*conn));
+      uint64_t reads = 0;
+      uint64_t writes = 0;
+      uint64_t local_sink = 0;
+      // Each client toggles its own private R constant so concurrent writes
+      // never conflict; validity rejections would not count as throughput.
+      bool in_r = false;  // R("w<c>") starts absent, so insert first
+      uint64_t op = 0;
+      auto deadline = start + kRunFor;
+      while (Clock::now() < deadline) {
+        if (op % (kReadsPerWrite + 1) == kReadsPerWrite) {
+          Transaction txn;
+          Atom fact = client.GroundAtom("R", {StrCat("w", c)});
+          Check((in_r ? txn.AddDelete(fact) : txn.AddInsert(fact)));
+          in_r = !in_r;
+          auto reply = client.Apply(txn);
+          Check(reply.status());
+          ++writes;
+        } else {
+          Atom pattern =
+              client.GroundAtom("P", {StrCat("c", op % kNumConstants)});
+          auto reply = client.Query({pattern});
+          Check(reply.status());
+          local_sink += reply->answers[0].size();
+          ++reads;
+        }
+        ++op;
+      }
+      total_reads.fetch_add(reads, std::memory_order_relaxed);
+      total_writes.fetch_add(writes, std::memory_order_relaxed);
+      sink.fetch_add(local_sink, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  auto end = Clock::now();
+
+  server.Stop();
+  Check(db->Close());
+  db.reset();
+  std::string cmd = StrCat("rm -rf ", dir);
+  if (std::system(cmd.c_str()) != 0) std::exit(1);
+
+  row.reads = total_reads.load();
+  row.writes = total_writes.load();
+  row.requests = row.reads + row.writes;
+  row.seconds = std::chrono::duration<double>(end - start).count();
+  row.qps = row.requests / row.seconds;
+  row.read_qps = row.reads / row.seconds;
+  row.write_qps = row.writes / row.seconds;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Service-layer QPS: concurrent clients over loopback against a durable "
+      "writer\n(%d constants, %d reads per write, %lld ms per config, %u "
+      "hardware threads)\n",
+      kNumConstants, kReadsPerWrite,
+      static_cast<long long>(kRunFor.count()),
+      std::thread::hardware_concurrency());
+  std::printf("%8s %10s %10s %10s %10s %12s %12s\n", "clients", "requests",
+              "seconds", "qps", "reads/s", "writes/s", "sustained");
+
+  std::vector<Row> rows;
+  for (int clients : {1, 2, 4}) {
+    Row row = RunOne(clients);
+    std::printf("%8d %10llu %10.3f %10.0f %10.0f %12.0f %12s\n", row.clients,
+                static_cast<unsigned long long>(row.requests), row.seconds,
+                row.qps, row.read_qps, row.write_qps, "yes");
+    rows.push_back(row);
+  }
+
+  const char* json_dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string json_path =
+      StrCat(json_dir != nullptr ? json_dir : ".", "/BENCH_server.json");
+  std::string out =
+      StrCat("{\"bench\":\"server_qps\",\"constants\":", kNumConstants,
+             ",\"reads_per_write\":", kReadsPerWrite,
+             ",\"hardware_threads\":", std::thread::hardware_concurrency(),
+             ",\"rows\":[");
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("{\"clients\":", row.clients,
+                  ",\"requests\":", row.requests, ",\"reads\":", row.reads,
+                  ",\"writes\":", row.writes, ",\"seconds\":", row.seconds,
+                  ",\"qps\":", row.qps, ",\"read_qps\":", row.read_qps,
+                  ",\"write_qps\":", row.write_qps, "}");
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", json_path.c_str());
+  return 0;
+}

@@ -84,6 +84,12 @@ Result<std::vector<Tuple>> Session::Solve(const Atom& pattern) const {
   return view_.Query(pattern);
 }
 
+void Session::set_resource_guard(const ResourceGuard* guard) {
+  upward_options_.eval.guard = guard;
+  downward_options_.eval.guard = guard;
+  view_.set_guard(guard);
+}
+
 Result<bool> Session::IsConsistent() const {
   DEDDB_ASSIGN_OR_RETURN(
       bool violated, problems::IcHolds(*state_->db, upward_options_.eval));

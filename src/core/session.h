@@ -135,6 +135,16 @@ class Session {
   UpwardOptions& upward_options() { return upward_options_; }
   DownwardOptions& downward_options() { return downward_options_; }
 
+  /// Installs a resource governor on every evaluation this session performs
+  /// — queries, upward and downward interpretation; nullptr removes it.
+  /// Unlike assigning upward_options().eval.guard directly, this also
+  /// reaches the session's query engine (constructed with the session, so a
+  /// later options change alone never reaches it) — the difference between
+  /// Solve honoring a deadline with a typed kDeadlineExceeded /
+  /// kBudgetExceeded / kCancelled status and silently running unguarded.
+  /// The guard must outlive its use; Restart() it between requests.
+  void set_resource_guard(const ResourceGuard* guard);
+
  private:
   friend class DeductiveDatabase;
 

@@ -70,6 +70,13 @@ class QueryEngine {
   /// Maximum top-down resolution depth before giving up.
   void set_max_depth(size_t depth) { max_depth_ = depth; }
 
+  /// Re-points the resource guard consulted by subsequent evaluations
+  /// (nullptr removes it). The engine captures its options at construction;
+  /// this is how a per-request guard reaches an engine that outlives the
+  /// request. Caches are kept — a guard bounds work, it does not change
+  /// results.
+  void set_guard(const ResourceGuard* guard) { options_.guard = guard; }
+
   /// Bottom-up work done by demand-driven materialization, **accumulated**
   /// across every Solve*/Holds/Exists call since construction or the last
   /// ResetStats() — a reused engine reports cumulative totals by design

@@ -37,6 +37,11 @@ void OldStateView::Invalidate() {
   engine_->InvalidateCache();
 }
 
+void OldStateView::set_guard(const ResourceGuard* guard) {
+  std::lock_guard<std::recursive_mutex> lock(engine_mu_);
+  engine_->set_guard(guard);
+}
+
 void OldStateView::ForEachMatch(
     SymbolId predicate, const TuplePattern& pattern,
     const std::function<void(const Tuple&)>& fn) const {

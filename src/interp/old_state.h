@@ -46,6 +46,13 @@ class OldStateView : public FactProvider {
   /// Drops derived-predicate caches (call if the EDB changed).
   void Invalidate();
 
+  /// Re-points the guard consulted by derived-predicate evaluation (nullptr
+  /// removes it). Forwards to the underlying QueryEngine, which captured its
+  /// options when this view was constructed — without this, a guard armed
+  /// after construction would never be consulted and its typed statuses
+  /// (kDeadlineExceeded / kBudgetExceeded / kCancelled) never surface.
+  void set_guard(const ResourceGuard* guard);
+
   const Database& db() const { return *db_; }
 
  private:

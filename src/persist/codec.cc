@@ -11,13 +11,23 @@ namespace deddb::persist {
 
 namespace {
 
-// Caps decoded element counts so a damaged length field fails fast with
-// kCorruption instead of attempting a multi-gigabyte allocation.
-constexpr uint64_t kMaxDecodedElements = uint64_t{1} << 32;
-
 Status TruncatedError(std::string_view what) {
   return CorruptionError(StrCat("persisted bytes truncated while decoding ",
                                 what));
+}
+
+// Every decoded element consumes at least one input byte, so a count
+// exceeding the bytes remaining cannot be backed by the payload: fail
+// before reserving. (The previous cap of 1<<32 elements could never trip
+// for 32-bit counts and still admitted multi-gigabyte reserves.)
+Status CheckCount(uint64_t count, const ByteSource& source,
+                  std::string_view what) {
+  if (count > source.remaining()) {
+    return CorruptionError(StrCat(what, " count of ", count,
+                                  " exceeds the ", source.remaining(),
+                                  " bytes remaining"));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -84,6 +94,7 @@ void EncodeTuple(const Tuple& tuple, const SymbolTable& symbols,
 
 Result<Tuple> DecodeTuple(ByteSource* source, SymbolTable* symbols) {
   DEDDB_ASSIGN_OR_RETURN(uint32_t size, source->GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckCount(size, *source, "tuple constant"));
   Tuple tuple;
   tuple.reserve(size);
   for (uint32_t i = 0; i < size; ++i) {
@@ -127,9 +138,7 @@ void EncodeRelation(const Relation& relation, const SymbolTable& symbols,
 Result<Relation> DecodeRelation(ByteSource* source, SymbolTable* symbols) {
   DEDDB_ASSIGN_OR_RETURN(uint32_t arity, source->GetU32());
   DEDDB_ASSIGN_OR_RETURN(uint64_t count, source->GetU64());
-  if (count > kMaxDecodedElements) {
-    return CorruptionError("relation tuple count is implausibly large");
-  }
+  DEDDB_RETURN_IF_ERROR(CheckCount(count, *source, "relation tuple"));
   Relation relation(arity);
   for (uint64_t i = 0; i < count; ++i) {
     DEDDB_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(source, symbols));
@@ -185,9 +194,7 @@ using FactFn = std::function<Status(SymbolId, const Tuple&)>;
 Status DecodeFactList(ByteSource* source, SymbolTable* symbols,
                       const FactFn& fn) {
   DEDDB_ASSIGN_OR_RETURN(uint64_t count, source->GetU64());
-  if (count > kMaxDecodedElements) {
-    return CorruptionError("fact count is implausibly large");
-  }
+  DEDDB_RETURN_IF_ERROR(CheckCount(count, *source, "fact"));
   for (uint64_t i = 0; i < count; ++i) {
     DEDDB_ASSIGN_OR_RETURN(std::string name, source->GetString());
     DEDDB_ASSIGN_OR_RETURN(Tuple tuple, DecodeTuple(source, symbols));
@@ -281,9 +288,7 @@ void EncodeAtom(const Atom& atom, const SymbolTable& symbols, ByteSink* sink) {
 Result<Atom> DecodeAtom(ByteSource* source, SymbolTable* symbols) {
   DEDDB_ASSIGN_OR_RETURN(std::string name, source->GetString());
   DEDDB_ASSIGN_OR_RETURN(uint32_t argc, source->GetU32());
-  if (argc > kMaxDecodedElements) {
-    return CorruptionError("atom arity is implausibly large");
-  }
+  DEDDB_RETURN_IF_ERROR(CheckCount(argc, *source, "atom argument"));
   std::vector<Term> args;
   args.reserve(argc);
   for (uint32_t i = 0; i < argc; ++i) {
@@ -305,9 +310,7 @@ void EncodeRule(const Rule& rule, const SymbolTable& symbols, ByteSink* sink) {
 Result<Rule> DecodeRule(ByteSource* source, SymbolTable* symbols) {
   DEDDB_ASSIGN_OR_RETURN(Atom head, DecodeAtom(source, symbols));
   DEDDB_ASSIGN_OR_RETURN(uint32_t body_size, source->GetU32());
-  if (body_size > kMaxDecodedElements) {
-    return CorruptionError("rule body size is implausibly large");
-  }
+  DEDDB_RETURN_IF_ERROR(CheckCount(body_size, *source, "rule literal"));
   std::vector<Literal> body;
   body.reserve(body_size);
   for (uint32_t i = 0; i < body_size; ++i) {

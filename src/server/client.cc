@@ -1,0 +1,129 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace deddb::server {
+
+Term Client::Constant(std::string_view name) {
+  return Term::MakeConstant(symbols_.Intern(name));
+}
+
+Term Client::Variable(std::string_view name) {
+  return Term::MakeVariable(symbols_.InternVar(name));
+}
+
+Atom Client::MakeAtom(std::string_view predicate, std::vector<Term> args) {
+  return Atom(symbols_.Intern(predicate), std::move(args));
+}
+
+Atom Client::GroundAtom(std::string_view predicate,
+                        std::vector<std::string_view> constants) {
+  std::vector<Term> args;
+  args.reserve(constants.size());
+  for (std::string_view constant : constants) {
+    args.push_back(Constant(constant));
+  }
+  return MakeAtom(predicate, std::move(args));
+}
+
+Result<uint64_t> Client::SendRaw(FrameType type, std::string_view payload) {
+  uint64_t id = next_request_id_++;
+  DEDDB_RETURN_IF_ERROR(WriteFrame(conn_.get(), type, id, payload));
+  return id;
+}
+
+Result<OwnedFrame> Client::ReceiveRaw() {
+  DEDDB_ASSIGN_OR_RETURN(std::optional<OwnedFrame> frame,
+                         ReadFrame(conn_.get()));
+  if (!frame.has_value()) {
+    return FailedPreconditionError("connection closed by server");
+  }
+  return std::move(*frame);
+}
+
+Result<OwnedFrame> Client::Call(FrameType type, std::string_view payload) {
+  DEDDB_ASSIGN_OR_RETURN(uint64_t id, SendRaw(type, payload));
+  DEDDB_ASSIGN_OR_RETURN(OwnedFrame frame, ReceiveRaw());
+  if (frame.request_id != id) {
+    return InternalError(StrCat("response for request ", frame.request_id,
+                                " while awaiting ", id,
+                                " (one outstanding request per Client)"));
+  }
+  if (frame.type == FrameType::kError) {
+    DEDDB_ASSIGN_OR_RETURN(ErrorReply error, DecodeErrorReply(frame.payload));
+    if (error.code == StatusCode::kOk) {
+      return InternalError("error frame carrying kOk");
+    }
+    return error.ToStatus();
+  }
+  FrameType expected =
+      static_cast<FrameType>(static_cast<uint8_t>(type) + 64);
+  if (frame.type != expected) {
+    return InternalError(StrCat("unexpected response type ",
+                                static_cast<int>(frame.type),
+                                " to request type ", static_cast<int>(type)));
+  }
+  return frame;
+}
+
+Result<QueryReply> Client::Query(std::vector<Atom> patterns,
+                                 const Admission& admission) {
+  QueryRequest request;
+  request.admission = admission;
+  request.patterns = std::move(patterns);
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kQuery, EncodeQueryRequest(request, symbols_)));
+  return DecodeQueryReply(frame.payload, &symbols_);
+}
+
+Result<ApplyReply> Client::Apply(const Transaction& transaction,
+                                 const Admission& admission) {
+  ApplyRequest request;
+  request.admission = admission;
+  request.transaction = transaction;
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kApply, EncodeApplyRequest(request, symbols_)));
+  return DecodeApplyReply(frame.payload);
+}
+
+Result<ProcessReply> Client::Process(const Transaction& transaction,
+                                     const Admission& admission) {
+  ProcessRequest request;
+  request.admission = admission;
+  request.transaction = transaction;
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kProcess, EncodeProcessRequest(request, symbols_)));
+  return DecodeProcessReply(frame.payload);
+}
+
+Result<TranslateReply> Client::Translate(const UpdateRequest& request,
+                                         const Admission& admission) {
+  TranslateRequest wire;
+  wire.admission = admission;
+  wire.request = request;
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kTranslate, EncodeTranslateRequest(wire, symbols_)));
+  return DecodeTranslateReply(frame.payload, &symbols_);
+}
+
+Result<CheckpointReply> Client::Checkpoint(const Admission& admission) {
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kCheckpoint, EncodeAdmissionOnly(admission)));
+  return DecodeCheckpointReply(frame.payload);
+}
+
+Result<StatsReply> Client::Stats(const Admission& admission) {
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kStats, EncodeAdmissionOnly(admission)));
+  return DecodeStatsReply(frame.payload);
+}
+
+}  // namespace deddb::server

@@ -1,0 +1,88 @@
+#ifndef DEDDB_SERVER_CLIENT_H_
+#define DEDDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "server/protocol.h"
+#include "server/transport.h"
+
+namespace deddb::server {
+
+/// A synchronous protocol client over any Connection (loopback in the test
+/// suites, TCP from the bench and binary). One outstanding request at a
+/// time; not thread-safe — give each client thread its own Client.
+///
+/// The client owns a private SymbolTable: requests are encoded against it
+/// and replies interned back into it, so client and server ids never have to
+/// agree (names travel on the wire) — exactly the situation of a client in
+/// another process.
+class Client {
+ public:
+  explicit Client(std::unique_ptr<Connection> conn)
+      : conn_(std::move(conn)) {}
+
+  /// Term/atom building against the client's own symbol table. Unchecked
+  /// here — the server validates predicates and arity against its schema
+  /// and answers a typed error.
+  Term Constant(std::string_view name);
+  Term Variable(std::string_view name);
+  Atom MakeAtom(std::string_view predicate, std::vector<Term> args);
+  Atom GroundAtom(std::string_view predicate,
+                  std::vector<std::string_view> constants);
+
+  // ---- Requests -------------------------------------------------------------
+  // An ErrorReply from the server becomes the returned error Status, with
+  // the wire code preserved (so kDeadlineExceeded / kBudgetExceeded /
+  // kCancelled stay distinguishable from transport failures).
+
+  /// Batched Solve: one answer list per pattern, all read from the single
+  /// snapshot version reported in the reply.
+  Result<QueryReply> Query(std::vector<Atom> patterns,
+                           const Admission& admission = {});
+
+  Result<ApplyReply> Apply(const Transaction& transaction,
+                           const Admission& admission = {});
+
+  Result<ProcessReply> Process(const Transaction& transaction,
+                               const Admission& admission = {});
+
+  Result<TranslateReply> Translate(const UpdateRequest& request,
+                                   const Admission& admission = {});
+
+  Result<CheckpointReply> Checkpoint(const Admission& admission = {});
+
+  Result<StatsReply> Stats(const Admission& admission = {});
+
+  // ---- Raw frame access (tests) --------------------------------------------
+
+  /// Sends one frame without waiting for the response (the admission suite
+  /// pipelines writes past the per-connection quota this way). Returns the
+  /// request id used.
+  Result<uint64_t> SendRaw(FrameType type, std::string_view payload);
+
+  /// Receives the next frame, whatever it is.
+  Result<OwnedFrame> ReceiveRaw();
+
+  void Close() { conn_->Close(); }
+
+  SymbolTable& symbols() { return symbols_; }
+  Connection* connection() { return conn_.get(); }
+
+ private:
+  /// Send `payload` as `type`, await the matching response: the `type + 64`
+  /// reply frame (returned), or an error frame (returned as its Status).
+  Result<OwnedFrame> Call(FrameType type, std::string_view payload);
+
+  std::unique_ptr<Connection> conn_;
+  SymbolTable symbols_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace deddb::server
+
+#endif  // DEDDB_SERVER_CLIENT_H_

@@ -1,0 +1,133 @@
+// deddb_server: serves a deductive database over TCP (DESIGN.md §10).
+//
+//   deddb_server --dir=/var/lib/deddb --port=7420
+//
+// With --dir the database is durable (WAL + snapshots, recovered on start);
+// without it the server runs in memory. Stop with SIGINT/SIGTERM — shutdown
+// is graceful: admitted writes drain and get their responses first.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/deductive_database.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "server/tcp.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --port=N             TCP port (default 7420; 0 = ephemeral)\n"
+      "  --dir=PATH           durable database root (default: in-memory)\n"
+      "  --any-interface      bind 0.0.0.0 instead of 127.0.0.1\n"
+      "  --max-connections=N  concurrent connection cap (default 256)\n"
+      "  --queue-depth=N      write admission queue bound (default 128)\n"
+      "  --quota=N            pending writes per connection (default 16)\n"
+      "  --deadline-cap-ms=N  server-side deadline ceiling (default none)\n",
+      argv0);
+}
+
+bool ParseSize(const char* arg, const char* flag, size_t* out) {
+  size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return false;
+  *out = static_cast<size_t>(std::strtoull(arg + len + 1, nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t port = 7420;
+  std::string dir;
+  bool any_interface = false;
+  deddb::server::ServerOptions options;
+  size_t value = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseSize(arg, "--port", &value)) {
+      port = value;
+    } else if (std::strncmp(arg, "--dir=", 6) == 0) {
+      dir = arg + 6;
+    } else if (std::strcmp(arg, "--any-interface") == 0) {
+      any_interface = true;
+    } else if (ParseSize(arg, "--max-connections", &value)) {
+      options.max_connections = value;
+    } else if (ParseSize(arg, "--queue-depth", &value)) {
+      options.write_queue_depth = value;
+    } else if (ParseSize(arg, "--quota", &value)) {
+      options.max_pending_writes_per_connection = value;
+    } else if (ParseSize(arg, "--deadline-cap-ms", &value)) {
+      options.deadline_cap_ms = static_cast<uint32_t>(value);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  // Block the shutdown signals before any thread spawns, so they are
+  // delivered to the sigwait below rather than killing a worker.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  std::unique_ptr<deddb::DeductiveDatabase> db;
+  if (!dir.empty()) {
+    auto opened = deddb::DeductiveDatabase::OpenPersistent(dir);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "deddb_server: open %s: %s\n", dir.c_str(),
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(*opened);
+  } else {
+    db = std::make_unique<deddb::DeductiveDatabase>();
+  }
+
+  deddb::obs::MetricsRegistry metrics;
+  options.obs.metrics = &metrics;
+
+  auto listener = deddb::server::TcpListener::Listen(
+      static_cast<uint16_t>(port), any_interface);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "deddb_server: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  uint16_t bound = (*listener)->bound_port();
+
+  deddb::server::Server server(db.get(), std::move(options));
+  deddb::Status serving = server.Serve(std::move(*listener));
+  if (!serving.ok()) {
+    std::fprintf(stderr, "deddb_server: %s\n", serving.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "deddb_server: listening on %s:%u (%s)\n",
+               any_interface ? "0.0.0.0" : "127.0.0.1", bound,
+               dir.empty() ? "in-memory" : dir.c_str());
+
+  int sig = 0;
+  sigwait(&signals, &sig);
+  std::fprintf(stderr, "deddb_server: %s, draining\n", strsignal(sig));
+  server.Stop();
+  if (!dir.empty()) {
+    deddb::Status closed = db->Close();
+    if (!closed.ok()) {
+      std::fprintf(stderr, "deddb_server: close: %s\n",
+                   closed.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "deddb_server: stopped at version %llu\n",
+               static_cast<unsigned long long>(db->version()));
+  return 0;
+}

@@ -1,0 +1,493 @@
+#include "server/protocol.h"
+
+#include "persist/codec.h"
+#include "util/strings.h"
+
+namespace deddb::server {
+
+namespace {
+
+using persist::ByteSink;
+using persist::ByteSource;
+
+/// Every decode failure below a frame's type byte is a protocol error: the
+/// bytes may be damaged, hostile, or from a different protocol version, and
+/// the server's only obligation is a typed rejection. The persist codec
+/// reports its failures as kCorruption (its inputs are checksummed storage);
+/// here the same failure is kInvalidArgument.
+Status Malformed(const Status& status) {
+  return InvalidArgumentError(StrCat("malformed frame: ", status.message()));
+}
+
+Status MalformedText(std::string_view what) {
+  return InvalidArgumentError(StrCat("malformed frame: ", what));
+}
+
+#define DEDDB_PROTO_ASSIGN(lhs, expr)            \
+  DEDDB_ASSIGN_OR_RETURN_IMPL_(                  \
+      DEDDB_STATUS_CONCAT_(_proto, __LINE__), lhs, WrapMalformed(expr))
+
+template <typename T>
+Result<T> WrapMalformed(Result<T> result) {
+  if (!result.ok()) return Result<T>(Malformed(result.status()));
+  return result;
+}
+
+/// A count field may not promise more elements than the remaining bytes can
+/// possibly hold (every element costs at least one byte), so allocation and
+/// loop bounds stay proportional to the real input.
+Status CheckCount(uint64_t count, const ByteSource& source,
+                  std::string_view what) {
+  if (count > source.remaining()) {
+    return MalformedText(StrCat(what, " count ", count,
+                                " exceeds the frame's remaining ",
+                                source.remaining(), " bytes"));
+  }
+  return Status::Ok();
+}
+
+/// Decoders must drain their payload exactly: trailing bytes mean a spliced
+/// or mis-framed message.
+Status CheckDrained(const ByteSource& source) {
+  if (!source.exhausted()) {
+    return MalformedText(
+        StrCat(source.remaining(), " trailing bytes after payload"));
+  }
+  return Status::Ok();
+}
+
+void EncodeAdmission(const Admission& admission, ByteSink* sink) {
+  sink->PutU32(admission.deadline_ms);
+  sink->PutU64(admission.max_derived_facts);
+  sink->PutU64(admission.max_dnf_terms);
+}
+
+Result<Admission> DecodeAdmission(ByteSource* source) {
+  Admission admission;
+  DEDDB_PROTO_ASSIGN(admission.deadline_ms, source->GetU32());
+  DEDDB_PROTO_ASSIGN(admission.max_derived_facts, source->GetU64());
+  DEDDB_PROTO_ASSIGN(admission.max_dnf_terms, source->GetU64());
+  return admission;
+}
+
+bool IsKnownType(uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+    case FrameType::kQuery:
+    case FrameType::kApply:
+    case FrameType::kProcess:
+    case FrameType::kTranslate:
+    case FrameType::kCheckpoint:
+    case FrameType::kStats:
+    case FrameType::kQueryOk:
+    case FrameType::kApplyOk:
+    case FrameType::kProcessOk:
+    case FrameType::kTranslateOk:
+    case FrameType::kCheckpointOk:
+    case FrameType::kStatsOk:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsRequestType(FrameType type) {
+  switch (type) {
+    case FrameType::kQuery:
+    case FrameType::kApply:
+    case FrameType::kProcess:
+    case FrameType::kTranslate:
+    case FrameType::kCheckpoint:
+    case FrameType::kStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// ---- Status codes on the wire -----------------------------------------------
+
+uint8_t WireCodeOf(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument: return 1;
+    case StatusCode::kNotFound: return 2;
+    case StatusCode::kAlreadyExists: return 3;
+    case StatusCode::kFailedPrecondition: return 4;
+    case StatusCode::kResourceExhausted: return 5;
+    case StatusCode::kUnimplemented: return 6;
+    case StatusCode::kInternal: return 7;
+    case StatusCode::kDeadlineExceeded: return 8;
+    case StatusCode::kBudgetExceeded: return 9;
+    case StatusCode::kCancelled: return 10;
+    case StatusCode::kRoundLimit: return 11;
+    case StatusCode::kCorruption: return 12;
+  }
+  return 7;  // unreachable; defensively kInternal
+}
+
+StatusCode CodeFromWire(uint8_t wire) {
+  switch (wire) {
+    case 0: return StatusCode::kOk;
+    case 1: return StatusCode::kInvalidArgument;
+    case 2: return StatusCode::kNotFound;
+    case 3: return StatusCode::kAlreadyExists;
+    case 4: return StatusCode::kFailedPrecondition;
+    case 5: return StatusCode::kResourceExhausted;
+    case 6: return StatusCode::kUnimplemented;
+    case 7: return StatusCode::kInternal;
+    case 8: return StatusCode::kDeadlineExceeded;
+    case 9: return StatusCode::kBudgetExceeded;
+    case 10: return StatusCode::kCancelled;
+    case 11: return StatusCode::kRoundLimit;
+    case 12: return StatusCode::kCorruption;
+    default: return StatusCode::kInternal;
+  }
+}
+
+// ---- Framing ----------------------------------------------------------------
+
+void AppendFrame(FrameType type, uint64_t request_id,
+                 std::string_view payload, std::string* out) {
+  ByteSink header;
+  header.PutU32(static_cast<uint32_t>(1 + 8 + payload.size()));
+  header.PutU8(static_cast<uint8_t>(type));
+  header.PutU64(request_id);
+  out->append(header.bytes());
+  out->append(payload);
+}
+
+Result<FrameView> DecodeFrame(std::string_view bytes, size_t* consumed) {
+  ByteSource source(bytes);
+  uint32_t body_len = 0;
+  {
+    Result<uint32_t> len = source.GetU32();
+    if (!len.ok()) return MalformedText("truncated length prefix");
+    body_len = *len;
+  }
+  if (body_len > kMaxFrameBytes) {
+    return MalformedText(StrCat("frame body of ", body_len,
+                                " bytes exceeds the ", kMaxFrameBytes,
+                                "-byte limit"));
+  }
+  if (body_len < 1 + 8) {
+    return MalformedText(
+        StrCat("frame body of ", body_len, " bytes cannot hold a header"));
+  }
+  if (bytes.size() - 4 < body_len) {
+    return MalformedText(StrCat("truncated frame: header promises ", body_len,
+                                " body bytes, got ", bytes.size() - 4));
+  }
+  uint8_t raw_type = static_cast<unsigned char>(bytes[4]);
+  if (!IsKnownType(raw_type)) {
+    return MalformedText(StrCat("unknown frame type ", int{raw_type}));
+  }
+  ByteSource body(bytes.substr(5, body_len - 1));
+  Result<uint64_t> request_id = body.GetU64();
+  if (!request_id.ok()) return Malformed(request_id.status());
+  FrameView frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.request_id = *request_id;
+  frame.payload = bytes.substr(4 + 1 + 8, body_len - 1 - 8);
+  if (consumed != nullptr) *consumed = 4 + body_len;
+  return frame;
+}
+
+Result<FrameView> DecodeSingleFrame(std::string_view bytes) {
+  size_t consumed = 0;
+  DEDDB_ASSIGN_OR_RETURN(FrameView frame, DecodeFrame(bytes, &consumed));
+  if (consumed != bytes.size()) {
+    return MalformedText(
+        StrCat(bytes.size() - consumed, " trailing bytes after frame"));
+  }
+  return frame;
+}
+
+// ---- Request payloads -------------------------------------------------------
+
+std::string EncodeQueryRequest(const QueryRequest& request,
+                               const SymbolTable& symbols) {
+  ByteSink sink;
+  EncodeAdmission(request.admission, &sink);
+  sink.PutU32(static_cast<uint32_t>(request.patterns.size()));
+  for (const Atom& pattern : request.patterns) {
+    persist::EncodeAtom(pattern, symbols, &sink);
+  }
+  return sink.Take();
+}
+
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload,
+                                        SymbolTable* symbols) {
+  ByteSource source(payload);
+  QueryRequest request;
+  DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
+  uint32_t count = 0;
+  DEDDB_PROTO_ASSIGN(count, source.GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckCount(count, source, "pattern"));
+  request.patterns.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DEDDB_PROTO_ASSIGN(Atom pattern, persist::DecodeAtom(&source, symbols));
+    request.patterns.push_back(std::move(pattern));
+  }
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return request;
+}
+
+std::string EncodeApplyRequest(const ApplyRequest& request,
+                               const SymbolTable& symbols) {
+  ByteSink sink;
+  EncodeAdmission(request.admission, &sink);
+  persist::EncodeTransaction(request.transaction, symbols, &sink);
+  return sink.Take();
+}
+
+Result<ApplyRequest> DecodeApplyRequest(std::string_view payload,
+                                        SymbolTable* symbols) {
+  ByteSource source(payload);
+  ApplyRequest request;
+  DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
+  DEDDB_PROTO_ASSIGN(request.transaction,
+                     persist::DecodeTransaction(&source, symbols));
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return request;
+}
+
+std::string EncodeProcessRequest(const ProcessRequest& request,
+                                 const SymbolTable& symbols) {
+  ByteSink sink;
+  EncodeAdmission(request.admission, &sink);
+  persist::EncodeTransaction(request.transaction, symbols, &sink);
+  return sink.Take();
+}
+
+Result<ProcessRequest> DecodeProcessRequest(std::string_view payload,
+                                            SymbolTable* symbols) {
+  ByteSource source(payload);
+  ProcessRequest request;
+  DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
+  DEDDB_PROTO_ASSIGN(request.transaction,
+                     persist::DecodeTransaction(&source, symbols));
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return request;
+}
+
+namespace {
+constexpr uint8_t kEventPositive = 1;  // else a negative requirement
+constexpr uint8_t kEventInsert = 2;    // else a deletion event
+}  // namespace
+
+std::string EncodeTranslateRequest(const TranslateRequest& request,
+                                   const SymbolTable& symbols) {
+  ByteSink sink;
+  EncodeAdmission(request.admission, &sink);
+  sink.PutU32(static_cast<uint32_t>(request.request.events.size()));
+  for (const RequestedEvent& event : request.request.events) {
+    uint8_t flags = 0;
+    if (event.positive) flags |= kEventPositive;
+    if (event.is_insert) flags |= kEventInsert;
+    sink.PutU8(flags);
+    persist::EncodeAtom(Atom(event.predicate, event.args), symbols, &sink);
+  }
+  return sink.Take();
+}
+
+Result<TranslateRequest> DecodeTranslateRequest(std::string_view payload,
+                                                SymbolTable* symbols) {
+  ByteSource source(payload);
+  TranslateRequest request;
+  DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
+  uint32_t count = 0;
+  DEDDB_PROTO_ASSIGN(count, source.GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckCount(count, source, "event"));
+  request.request.events.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t flags = 0;
+    DEDDB_PROTO_ASSIGN(flags, source.GetU8());
+    if ((flags & ~(kEventPositive | kEventInsert)) != 0) {
+      return MalformedText(StrCat("unknown event flags ", int{flags}));
+    }
+    DEDDB_PROTO_ASSIGN(Atom atom, persist::DecodeAtom(&source, symbols));
+    RequestedEvent event;
+    event.positive = (flags & kEventPositive) != 0;
+    event.is_insert = (flags & kEventInsert) != 0;
+    event.predicate = atom.predicate();
+    event.args = atom.args();
+    request.request.events.push_back(std::move(event));
+  }
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return request;
+}
+
+std::string EncodeAdmissionOnly(const Admission& admission) {
+  ByteSink sink;
+  EncodeAdmission(admission, &sink);
+  return sink.Take();
+}
+
+Result<Admission> DecodeAdmissionOnly(std::string_view payload) {
+  ByteSource source(payload);
+  DEDDB_ASSIGN_OR_RETURN(Admission admission, DecodeAdmission(&source));
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return admission;
+}
+
+// ---- Response payloads ------------------------------------------------------
+
+std::string EncodeQueryReply(const QueryReply& reply,
+                             const SymbolTable& symbols) {
+  ByteSink sink;
+  sink.PutU64(reply.version);
+  sink.PutU32(static_cast<uint32_t>(reply.answers.size()));
+  for (const std::vector<Tuple>& tuples : reply.answers) {
+    sink.PutU32(static_cast<uint32_t>(tuples.size()));
+    for (const Tuple& tuple : tuples) {
+      persist::EncodeTuple(tuple, symbols, &sink);
+    }
+  }
+  return sink.Take();
+}
+
+Result<QueryReply> DecodeQueryReply(std::string_view payload,
+                                    SymbolTable* symbols) {
+  ByteSource source(payload);
+  QueryReply reply;
+  DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
+  uint32_t lists = 0;
+  DEDDB_PROTO_ASSIGN(lists, source.GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckCount(lists, source, "answer list"));
+  reply.answers.reserve(lists);
+  for (uint32_t i = 0; i < lists; ++i) {
+    uint32_t count = 0;
+    DEDDB_PROTO_ASSIGN(count, source.GetU32());
+    DEDDB_RETURN_IF_ERROR(CheckCount(count, source, "tuple"));
+    std::vector<Tuple> tuples;
+    tuples.reserve(count);
+    for (uint32_t j = 0; j < count; ++j) {
+      DEDDB_PROTO_ASSIGN(Tuple tuple, persist::DecodeTuple(&source, symbols));
+      tuples.push_back(std::move(tuple));
+    }
+    reply.answers.push_back(std::move(tuples));
+  }
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodeApplyReply(const ApplyReply& reply) {
+  ByteSink sink;
+  sink.PutU64(reply.version);
+  return sink.Take();
+}
+
+Result<ApplyReply> DecodeApplyReply(std::string_view payload) {
+  ByteSource source(payload);
+  ApplyReply reply;
+  DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodeProcessReply(const ProcessReply& reply) {
+  ByteSink sink;
+  sink.PutU64(reply.version);
+  sink.PutU8(reply.accepted ? 1 : 0);
+  sink.PutString(reply.detail);
+  return sink.Take();
+}
+
+Result<ProcessReply> DecodeProcessReply(std::string_view payload) {
+  ByteSource source(payload);
+  ProcessReply reply;
+  DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
+  uint8_t accepted = 0;
+  DEDDB_PROTO_ASSIGN(accepted, source.GetU8());
+  if (accepted > 1) {
+    return MalformedText(StrCat("boolean field holds ", int{accepted}));
+  }
+  reply.accepted = accepted == 1;
+  DEDDB_PROTO_ASSIGN(reply.detail, source.GetString());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodeTranslateReply(const TranslateReply& reply,
+                                 const SymbolTable& symbols) {
+  ByteSink sink;
+  sink.PutU8(reply.approximate ? 1 : 0);
+  sink.PutU32(static_cast<uint32_t>(reply.alternatives.size()));
+  for (const Transaction& txn : reply.alternatives) {
+    persist::EncodeTransaction(txn, symbols, &sink);
+  }
+  return sink.Take();
+}
+
+Result<TranslateReply> DecodeTranslateReply(std::string_view payload,
+                                            SymbolTable* symbols) {
+  ByteSource source(payload);
+  TranslateReply reply;
+  uint8_t approximate = 0;
+  DEDDB_PROTO_ASSIGN(approximate, source.GetU8());
+  if (approximate > 1) {
+    return MalformedText(StrCat("boolean field holds ", int{approximate}));
+  }
+  reply.approximate = approximate == 1;
+  uint32_t count = 0;
+  DEDDB_PROTO_ASSIGN(count, source.GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckCount(count, source, "translation"));
+  reply.alternatives.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DEDDB_PROTO_ASSIGN(Transaction txn,
+                       persist::DecodeTransaction(&source, symbols));
+    reply.alternatives.push_back(std::move(txn));
+  }
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodeCheckpointReply(const CheckpointReply& reply) {
+  ByteSink sink;
+  sink.PutU64(reply.version);
+  return sink.Take();
+}
+
+Result<CheckpointReply> DecodeCheckpointReply(std::string_view payload) {
+  ByteSource source(payload);
+  CheckpointReply reply;
+  DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodeStatsReply(const StatsReply& reply) {
+  ByteSink sink;
+  sink.PutString(reply.json);
+  return sink.Take();
+}
+
+Result<StatsReply> DecodeStatsReply(std::string_view payload) {
+  ByteSource source(payload);
+  StatsReply reply;
+  DEDDB_PROTO_ASSIGN(reply.json, source.GetString());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodeErrorReply(const ErrorReply& reply) {
+  ByteSink sink;
+  sink.PutU8(WireCodeOf(reply.code));
+  sink.PutString(reply.message);
+  return sink.Take();
+}
+
+Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
+  ByteSource source(payload);
+  ErrorReply reply;
+  uint8_t wire = 0;
+  DEDDB_PROTO_ASSIGN(wire, source.GetU8());
+  reply.code = CodeFromWire(wire);
+  DEDDB_PROTO_ASSIGN(reply.message, source.GetString());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+}  // namespace deddb::server

@@ -1,0 +1,228 @@
+#ifndef DEDDB_SERVER_PROTOCOL_H_
+#define DEDDB_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/atom.h"
+#include "interp/downward.h"
+#include "storage/transaction.h"
+#include "util/status.h"
+
+namespace deddb::server {
+
+/// The wire protocol of `deddb_server` (DESIGN.md §10): length-prefixed
+/// binary frames over a byte stream, symmetric for requests and responses.
+///
+///   frame := u32 body_len | body
+///   body  := u8 frame_type | u64 request_id | payload
+///
+/// All integers little-endian (the persist::ByteSink primitives). Names
+/// travel as interned strings — constants, variables and predicates are
+/// encoded by name and re-interned by the receiver, exactly like the WAL
+/// codec, so client and server symbol tables never need to agree on ids.
+///
+/// Robustness contract (proved by tests/server_codec_test.cc): decoding
+/// arbitrary bytes — truncated, oversized, spliced, or bit-flipped at any
+/// offset — returns a typed error (kInvalidArgument) or a well-formed value;
+/// it never crashes, never reads past the input, and never allocates
+/// proportionally to a length field that the input cannot back.
+
+/// Hard cap on one frame's body. A length prefix above this is rejected
+/// before any allocation, so a flipped bit in the prefix cannot demand
+/// gigabytes.
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  // Requests (client -> server).
+  kQuery = 1,       // batched Solve against one pinned snapshot
+  kApply = 2,       // direct transaction through the commit path
+  kProcess = 3,     // processor-mediated update (integrity + views)
+  kTranslate = 4,   // downward interpretation of a view-update request
+  kCheckpoint = 5,  // admin: durable snapshot + log truncation
+  kStats = 6,       // admin: server + metrics snapshot
+
+  // Responses (server -> client); request type + 64.
+  kQueryOk = 65,
+  kApplyOk = 66,
+  kProcessOk = 67,
+  kTranslateOk = 68,
+  kCheckpointOk = 69,
+  kStatsOk = 70,
+  kError = 127,
+};
+
+/// True for the six request frame types.
+bool IsRequestType(FrameType type);
+
+/// Admission-control fields carried by every request: a relative wall-clock
+/// deadline and the ResourceGuard budgets governing the evaluation. Zero
+/// means unlimited, so a default header is inert.
+struct Admission {
+  uint32_t deadline_ms = 0;
+  uint64_t max_derived_facts = 0;
+  uint64_t max_dnf_terms = 0;
+};
+
+struct QueryRequest {
+  Admission admission;
+  /// Patterns (atoms, possibly with variables) answered together against a
+  /// single pinned snapshot — the batch exists so multi-predicate reads are
+  /// mutually consistent (the history oracle depends on this).
+  std::vector<Atom> patterns;
+};
+
+struct ApplyRequest {
+  Admission admission;
+  Transaction transaction;
+};
+
+struct ProcessRequest {
+  Admission admission;
+  Transaction transaction;
+};
+
+struct TranslateRequest {
+  Admission admission;
+  UpdateRequest request;
+};
+
+struct QueryReply {
+  /// The snapshot version every answer in this reply was read from.
+  uint64_t version = 0;
+  std::vector<std::vector<Tuple>> answers;  // one list per request pattern
+};
+
+struct ApplyReply {
+  uint64_t version = 0;  // commit version after the transaction applied
+};
+
+struct ProcessReply {
+  uint64_t version = 0;
+  /// False when an integrity constraint rejected the transaction (nothing
+  /// was applied); `detail` then names the violation.
+  bool accepted = false;
+  std::string detail;
+};
+
+struct TranslateReply {
+  bool approximate = false;
+  /// Minimal translations, one transaction each (requirements elided on the
+  /// wire: they hold as long as exactly the translation is applied).
+  std::vector<Transaction> alternatives;
+};
+
+struct CheckpointReply {
+  uint64_t version = 0;
+};
+
+struct StatsReply {
+  std::string json;
+};
+
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+
+  Status ToStatus() const { return Status(code, message); }
+};
+
+// ---- Status codes on the wire -----------------------------------------------
+
+/// Stable wire value for a status code (the enum's numeric values are an
+/// in-process artifact; the wire mapping is explicit and versioned).
+uint8_t WireCodeOf(StatusCode code);
+
+/// Inverse of WireCodeOf; unknown wire values decode to kInternal rather
+/// than failing, so a newer server's codes degrade gracefully.
+StatusCode CodeFromWire(uint8_t wire);
+
+// ---- Framing ----------------------------------------------------------------
+
+/// One decoded frame borrowing its payload from the input buffer.
+struct FrameView {
+  FrameType type = FrameType::kError;
+  uint64_t request_id = 0;
+  std::string_view payload;
+};
+
+/// Appends one complete frame to `out`.
+void AppendFrame(FrameType type, uint64_t request_id,
+                 std::string_view payload, std::string* out);
+
+/// Decodes the frame starting at `bytes` and returns it together with its
+/// total encoded size via `consumed` (so a splice of frames can be walked).
+/// Typed errors: truncated input, a length prefix past kMaxFrameBytes, or an
+/// unknown frame type all fail with kInvalidArgument.
+Result<FrameView> DecodeFrame(std::string_view bytes, size_t* consumed);
+
+/// Convenience for exactly-one-frame buffers: DecodeFrame plus a check that
+/// no trailing bytes follow.
+Result<FrameView> DecodeSingleFrame(std::string_view bytes);
+
+// ---- Request payloads -------------------------------------------------------
+// Encoders render against the sender's symbol table; decoders intern into
+// the receiver's. Every decoder consumes the whole payload — trailing bytes
+// are a protocol error, so spliced frames cannot smuggle a second message.
+
+std::string EncodeQueryRequest(const QueryRequest& request,
+                               const SymbolTable& symbols);
+Result<QueryRequest> DecodeQueryRequest(std::string_view payload,
+                                        SymbolTable* symbols);
+
+std::string EncodeApplyRequest(const ApplyRequest& request,
+                               const SymbolTable& symbols);
+Result<ApplyRequest> DecodeApplyRequest(std::string_view payload,
+                                        SymbolTable* symbols);
+
+std::string EncodeProcessRequest(const ProcessRequest& request,
+                                 const SymbolTable& symbols);
+Result<ProcessRequest> DecodeProcessRequest(std::string_view payload,
+                                            SymbolTable* symbols);
+
+std::string EncodeTranslateRequest(const TranslateRequest& request,
+                                   const SymbolTable& symbols);
+Result<TranslateRequest> DecodeTranslateRequest(std::string_view payload,
+                                                SymbolTable* symbols);
+
+/// Checkpoint and Stats requests carry only the admission header.
+std::string EncodeAdmissionOnly(const Admission& admission);
+Result<Admission> DecodeAdmissionOnly(std::string_view payload);
+
+// ---- Response payloads ------------------------------------------------------
+
+std::string EncodeQueryReply(const QueryReply& reply,
+                             const SymbolTable& symbols);
+Result<QueryReply> DecodeQueryReply(std::string_view payload,
+                                    SymbolTable* symbols);
+
+std::string EncodeApplyReply(const ApplyReply& reply);
+Result<ApplyReply> DecodeApplyReply(std::string_view payload);
+
+std::string EncodeProcessReply(const ProcessReply& reply);
+Result<ProcessReply> DecodeProcessReply(std::string_view payload);
+
+std::string EncodeTranslateReply(const TranslateReply& reply,
+                                 const SymbolTable& symbols);
+Result<TranslateReply> DecodeTranslateReply(std::string_view payload,
+                                            SymbolTable* symbols);
+
+std::string EncodeCheckpointReply(const CheckpointReply& reply);
+Result<CheckpointReply> DecodeCheckpointReply(std::string_view payload);
+
+std::string EncodeStatsReply(const StatsReply& reply);
+Result<StatsReply> DecodeStatsReply(std::string_view payload);
+
+/// The typed error frame: the protocol surface of every Status the server
+/// produces, including which ResourceGuard limit tripped (kDeadlineExceeded
+/// vs kBudgetExceeded vs kCancelled travel as distinct codes, not as
+/// flattened text — the regression contract of ISSUE 6's small fix).
+std::string EncodeErrorReply(const ErrorReply& reply);
+Result<ErrorReply> DecodeErrorReply(std::string_view payload);
+
+}  // namespace deddb::server
+
+#endif  // DEDDB_SERVER_PROTOCOL_H_

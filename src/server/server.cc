@@ -1,0 +1,706 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/session.h"
+#include "core/update_processor.h"
+#include "util/strings.h"
+
+namespace deddb::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool IsGuardTrip(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kBudgetExceeded ||
+         code == StatusCode::kCancelled;
+}
+
+}  // namespace
+
+/// Per-connection state. The reader thread owns session/guard exclusively
+/// (write jobs only touch `conn` + `write_mu`); `pending_writes` is guarded
+/// by the server's mu_. The guard is declared before the session so the
+/// session (which may hold a pointer to it) dies first.
+struct Server::ConnState {
+  std::unique_ptr<Connection> conn;
+  std::mutex write_mu;  // serializes response frames from reader + writer
+  ResourceGuard guard;
+  std::unique_ptr<Session> session;
+  size_t pending_writes = 0;
+};
+
+struct Server::WriteJob {
+  enum class Kind { kApply, kProcess, kCheckpoint };
+  Kind kind = Kind::kApply;
+  uint64_t request_id = 0;
+  std::shared_ptr<ConnState> conn;
+  Transaction transaction;
+  Admission admission;
+  Clock::time_point admitted_at{};
+  // Deadline fixed at admission (not at dequeue), so queue time counts
+  // against it — the "expired mid-queue" contract.
+  bool has_deadline = false;
+  Clock::time_point deadline_at{};
+};
+
+Server::Server(DeductiveDatabase* db, ServerOptions options)
+    : db_(db),
+      options_(std::move(options)),
+      metrics_(options_.obs.metrics) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Serve(std::unique_ptr<Listener> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (serving_) return FailedPreconditionError("server already serving");
+  if (stopping_) return FailedPreconditionError("server stopped");
+  serving_ = true;
+  listener_ = std::move(listener);
+  // The facade guard is installed once, before any thread runs: the writer
+  // thread re-arms it per job, and nothing else ever touches the pointer
+  // (sessions strip the facade guard at BeginSession), so there is no race.
+  previous_facade_guard_ = db_->resource_guard();
+  db_->set_resource_guard(&writer_guard_);
+  writer_thread_ = std::thread(&Server::WriterLoop, this);
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!serving_ || stopping_) {
+      if (!serving_) return;
+      // A concurrent or repeated Stop: fall through to the joins below only
+      // from the first caller; later callers return once threads are gone.
+      if (!accept_thread_.joinable() && !writer_thread_.joinable()) return;
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (listener_ != nullptr) listener_->Close();
+
+  // Drain: every admitted write completes and gets its response before any
+  // connection is torn down.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [&] {
+      return write_queue_.empty() && writes_in_flight_ == 0;
+    });
+  }
+  if (writer_thread_.joinable()) writer_thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::shared_ptr<ConnState>> connections;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections = connections_;
+    threads.swap(connection_threads_);
+  }
+  for (const std::shared_ptr<ConnState>& conn : connections) {
+    conn->conn->Close();
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.clear();
+    obs::MetricsRegistry::Set(metrics_, "server.connections_active", 0);
+  }
+  db_->set_resource_guard(previous_facade_guard_);
+}
+
+size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_queue_.size() + writes_in_flight_;
+}
+
+size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_.size();
+}
+
+std::string Server::StatsJson() const {
+  Counters c;
+  size_t depth = 0, conns = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    c = counters_;
+    depth = write_queue_.size() + writes_in_flight_;
+    conns = connections_.size();
+  }
+  std::string out = StrCat(
+      "{\"server\":{\"queue_depth\":", depth,
+      ",\"connections_active\":", conns,
+      ",\"connections_total\":", c.connections_total,
+      ",\"connections_rejected\":", c.connections_rejected,
+      ",\"requests_read\":", c.requests_read,
+      ",\"requests_write\":", c.requests_write,
+      ",\"writes_applied\":", c.writes_applied,
+      ",\"writes_rejected\":", c.writes_rejected,
+      ",\"rejected_overload\":", c.rejected_overload,
+      ",\"rejected_quota\":", c.rejected_quota,
+      ",\"rejected_shutdown\":", c.rejected_shutdown,
+      ",\"deadline_expired_in_queue\":", c.deadline_expired_in_queue,
+      ",\"protocol_errors\":", c.protocol_errors,
+      ",\"guard_trips\":", c.guard_trips, "}");
+  if (metrics_ != nullptr) {
+    out += StrCat(",\"metrics\":", metrics_->ToJson());
+  }
+  out += "}";
+  return out;
+}
+
+// ---- Accept / connection threads --------------------------------------------
+
+void Server::AcceptLoop() {
+  for (;;) {
+    Result<std::unique_ptr<Connection>> accepted = listener_->Accept();
+    if (!accepted.ok()) {
+      // Closed during Stop, or the listener died; either way we are done
+      // accepting (serving connections continue until Stop).
+      return;
+    }
+    auto conn = std::make_shared<ConnState>();
+    conn->conn = std::move(*accepted);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) {
+        conn->conn->Close();
+        return;
+      }
+      if (connections_.size() >= options_.max_connections) {
+        ++counters_.connections_rejected;
+        obs::MetricsRegistry::Add(metrics_, "server.connections_rejected");
+        // Turned away before any request is read; the error frame uses
+        // request id 0 (no request to correlate with).
+        ErrorReply reply{StatusCode::kResourceExhausted,
+                         StrCat("connection limit of ",
+                                options_.max_connections, " reached")};
+        std::string payload = EncodeErrorReply(reply);
+        (void)WriteFrame(conn->conn.get(), FrameType::kError, 0, payload);
+        conn->conn->Close();
+        continue;
+      }
+      ++counters_.connections_total;
+      connections_.push_back(conn);
+      obs::MetricsRegistry::Add(metrics_, "server.connections_total");
+      obs::MetricsRegistry::Set(metrics_, "server.connections_active",
+                                static_cast<int64_t>(connections_.size()));
+      connection_threads_.emplace_back(&Server::ConnectionLoop, this, conn);
+    }
+  }
+}
+
+void Server::ConnectionLoop(std::shared_ptr<ConnState> conn) {
+  for (;;) {
+    Result<std::optional<OwnedFrame>> read =
+        ReadFrame(conn->conn.get(), options_.max_frame_bytes);
+    if (!read.ok()) {
+      // Malformed framing is answered (best effort) before hanging up: the
+      // peer is told *why* instead of seeing a bare reset.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.protocol_errors;
+      }
+      obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+      SendError(conn, 0, read.status());
+      break;
+    }
+    if (!read->has_value()) break;  // clean EOF
+    if (!Dispatch(conn, **read)) break;
+  }
+  conn->conn->Close();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.erase(
+        std::remove(connections_.begin(), connections_.end(), conn),
+        connections_.end());
+    obs::MetricsRegistry::Set(metrics_, "server.connections_active",
+                              static_cast<int64_t>(connections_.size()));
+  }
+}
+
+bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
+                      const OwnedFrame& frame) {
+  if (!IsRequestType(frame.type)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.protocol_errors;
+    obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+    SendError(conn, frame.request_id,
+              InvalidArgumentError(StrCat(
+                  "frame type ", static_cast<int>(frame.type),
+                  " is a response type; clients send requests")));
+    return true;
+  }
+  switch (frame.type) {
+    case FrameType::kQuery:
+      ServeQuery(conn, frame.request_id, frame.payload);
+      return true;
+    case FrameType::kTranslate:
+      ServeTranslate(conn, frame.request_id, frame.payload);
+      return true;
+    case FrameType::kStats:
+      ServeStats(conn, frame.request_id, frame.payload);
+      return true;
+    case FrameType::kApply:
+    case FrameType::kProcess: {
+      // Both carry {admission, transaction}; decode with the matching typed
+      // decoder so a frame of one type cannot masquerade as the other.
+      Admission admission;
+      Transaction transaction;
+      Status decoded;
+      if (frame.type == FrameType::kApply) {
+        Result<ApplyRequest> request =
+            DecodeApplyRequest(frame.payload, &db_->symbols());
+        decoded = request.status();
+        if (request.ok()) {
+          admission = request->admission;
+          transaction = std::move(request->transaction);
+        }
+      } else {
+        Result<ProcessRequest> request =
+            DecodeProcessRequest(frame.payload, &db_->symbols());
+        decoded = request.status();
+        if (request.ok()) {
+          admission = request->admission;
+          transaction = std::move(request->transaction);
+        }
+      }
+      if (!decoded.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.protocol_errors;
+        }
+        obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+        SendError(conn, frame.request_id, decoded);
+        return true;
+      }
+      WriteJob job;
+      job.kind = frame.type == FrameType::kApply ? WriteJob::Kind::kApply
+                                                 : WriteJob::Kind::kProcess;
+      job.request_id = frame.request_id;
+      job.conn = conn;
+      job.transaction = std::move(transaction);
+      job.admission = admission;
+      EnqueueWrite(conn, std::move(job));
+      return true;
+    }
+    case FrameType::kCheckpoint: {
+      Result<Admission> admission = DecodeAdmissionOnly(frame.payload);
+      if (!admission.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.protocol_errors;
+        }
+        obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+        SendError(conn, frame.request_id, admission.status());
+        return true;
+      }
+      WriteJob job;
+      job.kind = WriteJob::Kind::kCheckpoint;
+      job.request_id = frame.request_id;
+      job.conn = conn;
+      job.admission = *admission;
+      EnqueueWrite(conn, std::move(job));
+      return true;
+    }
+    default:
+      SendError(conn, frame.request_id,
+                UnimplementedError("unhandled request type"));
+      return true;
+  }
+}
+
+// ---- Read path (connection thread) ------------------------------------------
+
+ResourceLimits Server::LimitsFor(const Admission& admission,
+                                 std::chrono::nanoseconds remaining) const {
+  ResourceLimits limits;
+  limits.deadline = remaining;
+  limits.max_derived_facts = admission.max_derived_facts;
+  limits.max_dnf_terms = admission.max_dnf_terms;
+  return limits;
+}
+
+namespace {
+
+/// Effective deadline in ms after the server-side cap: 0 = unlimited.
+uint32_t EffectiveDeadlineMs(uint32_t requested, uint32_t cap) {
+  if (cap == 0) return requested;
+  if (requested == 0) return cap;
+  return std::min(requested, cap);
+}
+
+}  // namespace
+
+Result<const ResourceGuard*> Server::PinSession(
+    const std::shared_ptr<ConnState>& conn, const Admission& admission) {
+  // Re-pin when the committed version moved — the connection reads its own
+  // acknowledged writes, while between commits the pinned snapshot (and its
+  // query caches) is reused.
+  if (conn->session == nullptr ||
+      conn->session->version() != db_->version()) {
+    DEDDB_ASSIGN_OR_RETURN(conn->session, db_->BeginSession());
+  }
+  const uint32_t deadline_ms =
+      EffectiveDeadlineMs(admission.deadline_ms, options_.deadline_cap_ms);
+  if (deadline_ms == 0 && admission.max_derived_facts == 0 &&
+      admission.max_dnf_terms == 0) {
+    conn->session->set_resource_guard(nullptr);
+    return static_cast<const ResourceGuard*>(nullptr);
+  }
+  conn->guard.Restart(LimitsFor(
+      admission, std::chrono::milliseconds(deadline_ms)));
+  conn->session->set_resource_guard(&conn->guard);
+  return static_cast<const ResourceGuard*>(&conn->guard);
+}
+
+void Server::ServeQuery(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                        std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests_read;
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.requests_read");
+  Result<QueryRequest> request = DecodeQueryRequest(payload, &db_->symbols());
+  if (!request.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+    SendError(conn, id, request.status());
+    return;
+  }
+  Result<const ResourceGuard*> pinned =
+      PinSession(conn, request->admission);
+  if (!pinned.ok()) {
+    SendError(conn, id, pinned.status());
+    return;
+  }
+  Session& session = *conn->session;
+  QueryReply reply;
+  reply.version = session.version();
+  reply.answers.reserve(request->patterns.size());
+  for (const Atom& pattern : request->patterns) {
+    // Validate against the pinned schema so unknown predicates and arity
+    // mismatches come back typed instead of as empty answers.
+    Result<PredicateInfo> info =
+        session.database().predicates().Get(pattern.predicate());
+    if (!info.ok()) {
+      SendError(conn, id,
+                NotFoundError(StrCat(
+                    "unknown predicate '",
+                    db_->symbols().NameOf(pattern.predicate()), "'")));
+      return;
+    }
+    if (info->arity != pattern.args().size()) {
+      SendError(conn, id,
+                InvalidArgumentError(StrCat(
+                    "predicate '", db_->symbols().NameOf(pattern.predicate()),
+                    "' has arity ", info->arity, ", pattern has ",
+                    pattern.args().size())));
+      return;
+    }
+    Result<std::vector<Tuple>> answers = session.Solve(pattern);
+    if (!answers.ok()) {
+      // Typed guard statuses (kDeadlineExceeded / kBudgetExceeded /
+      // kCancelled) pass through to the error frame untouched.
+      SendError(conn, id, answers.status());
+      return;
+    }
+    reply.answers.push_back(std::move(*answers));
+  }
+  SendReply(conn, id, FrameType::kQueryOk,
+            EncodeQueryReply(reply, db_->symbols()));
+}
+
+void Server::ServeTranslate(const std::shared_ptr<ConnState>& conn,
+                            uint64_t id, std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests_read;
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.requests_read");
+  Result<TranslateRequest> request =
+      DecodeTranslateRequest(payload, &db_->symbols());
+  if (!request.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+    SendError(conn, id, request.status());
+    return;
+  }
+  Result<const ResourceGuard*> pinned =
+      PinSession(conn, request->admission);
+  if (!pinned.ok()) {
+    SendError(conn, id, pinned.status());
+    return;
+  }
+  Session& session = *conn->session;
+  for (const RequestedEvent& event : request->request.events) {
+    if (!session.database().predicates().Get(event.predicate).ok()) {
+      SendError(conn, id,
+                NotFoundError(StrCat("unknown predicate '",
+                                     db_->symbols().NameOf(event.predicate),
+                                     "'")));
+      return;
+    }
+  }
+  Result<problems::DownwardResult> result =
+      session.TranslateViewUpdate(request->request);
+  if (!result.ok()) {
+    SendError(conn, id, result.status());
+    return;
+  }
+  TranslateReply reply;
+  reply.approximate = result->approximate;
+  reply.alternatives.reserve(result->translations.size());
+  for (const problems::Translation& translation : result->translations) {
+    reply.alternatives.push_back(translation.transaction);
+  }
+  SendReply(conn, id, FrameType::kTranslateOk,
+            EncodeTranslateReply(reply, db_->symbols()));
+}
+
+void Server::ServeStats(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                        std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests_read;
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.requests_read");
+  Result<Admission> admission = DecodeAdmissionOnly(payload);
+  if (!admission.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+    SendError(conn, id, admission.status());
+    return;
+  }
+  StatsReply reply;
+  reply.json = StatsJson();
+  SendReply(conn, id, FrameType::kStatsOk, EncodeStatsReply(reply));
+}
+
+// ---- Write path (admission queue + writer thread) ---------------------------
+
+void Server::EnqueueWrite(const std::shared_ptr<ConnState>& conn,
+                          WriteJob job) {
+  job.admitted_at = Clock::now();
+  const uint32_t deadline_ms = EffectiveDeadlineMs(
+      job.admission.deadline_ms, options_.deadline_cap_ms);
+  if (deadline_ms > 0) {
+    job.has_deadline = true;
+    job.deadline_at = job.admitted_at + std::chrono::milliseconds(deadline_ms);
+  }
+  Status rejection;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests_write;
+    if (stopping_) {
+      ++counters_.rejected_shutdown;
+      rejection = FailedPreconditionError("server shutting down");
+    } else if (conn->pending_writes >=
+               options_.max_pending_writes_per_connection) {
+      ++counters_.rejected_quota;
+      rejection = ResourceExhaustedError(
+          StrCat("per-connection write quota of ",
+                 options_.max_pending_writes_per_connection, " exceeded"));
+    } else if (write_queue_.size() >= options_.write_queue_depth) {
+      ++counters_.rejected_overload;
+      rejection = ResourceExhaustedError(
+          StrCat("server overloaded: write queue full at ",
+                 options_.write_queue_depth));
+    } else {
+      ++conn->pending_writes;
+      write_queue_.push_back(std::move(job));
+      obs::MetricsRegistry::Set(
+          metrics_, "server.queue_depth",
+          static_cast<int64_t>(write_queue_.size() + writes_in_flight_));
+    }
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.requests_write");
+  if (!rejection.ok()) {
+    const char* metric =
+        rejection.code() == StatusCode::kFailedPrecondition
+            ? "server.rejected_shutdown"
+            : (rejection.message().find("quota") != std::string::npos
+                   ? "server.rejected_quota"
+                   : "server.rejected_overload");
+    obs::MetricsRegistry::Add(metrics_, metric);
+    SendError(conn, job.request_id, rejection);
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
+void Server::WriterLoop() {
+  for (;;) {
+    WriteJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock,
+                     [&] { return stopping_ || !write_queue_.empty(); });
+      if (write_queue_.empty()) {
+        // stopping_ and drained; nothing will be admitted past this point.
+        return;
+      }
+      job = std::move(write_queue_.front());
+      write_queue_.pop_front();
+      writes_in_flight_ = 1;
+      obs::MetricsRegistry::Set(
+          metrics_, "server.queue_depth",
+          static_cast<int64_t>(write_queue_.size() + writes_in_flight_));
+    }
+    const Clock::time_point start = Clock::now();
+    obs::MetricsRegistry::Observe(
+        metrics_, "server.queue_wait_us",
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            start - job.admitted_at)
+            .count());
+    if (options_.writer_stall_for_test) options_.writer_stall_for_test();
+    if (job.has_deadline && Clock::now() >= job.deadline_at) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.deadline_expired_in_queue;
+      }
+      obs::MetricsRegistry::Add(metrics_, "server.deadline_expired_in_queue");
+      SendError(job.conn, job.request_id,
+                DeadlineExceededError(
+                    "request deadline expired in the admission queue"));
+    } else {
+      // Re-arm the facade guard for this job: remaining deadline (admission
+      // time counts) plus the request's budgets. Only writer-thread
+      // evaluations observe this guard.
+      std::chrono::nanoseconds remaining{0};
+      if (job.has_deadline) {
+        remaining = std::max<std::chrono::nanoseconds>(
+            job.deadline_at - Clock::now(), std::chrono::nanoseconds(1));
+      }
+      writer_guard_.Restart(LimitsFor(job.admission, remaining));
+      ExecuteWrite(job);
+      obs::MetricsRegistry::Observe(
+          metrics_, "server.write_exec_us",
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - start)
+              .count());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      writes_in_flight_ = 0;
+      if (job.conn->pending_writes > 0) --job.conn->pending_writes;
+      obs::MetricsRegistry::Set(
+          metrics_, "server.queue_depth",
+          static_cast<int64_t>(write_queue_.size()));
+      drained_cv_.notify_all();
+    }
+  }
+}
+
+void Server::ExecuteWrite(const WriteJob& job) {
+  switch (job.kind) {
+    case WriteJob::Kind::kApply: {
+      Status applied = db_->Apply(job.transaction);
+      if (!applied.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.writes_rejected;
+        }
+        obs::MetricsRegistry::Add(metrics_, "server.writes_rejected");
+        SendError(job.conn, job.request_id, applied);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.writes_applied;
+      }
+      obs::MetricsRegistry::Add(metrics_, "server.writes_applied");
+      ApplyReply reply{db_->version()};
+      SendReply(job.conn, job.request_id, FrameType::kApplyOk,
+                EncodeApplyReply(reply));
+      return;
+    }
+    case WriteJob::Kind::kProcess: {
+      UpdateProcessor processor(db_);
+      Result<UpdateProcessor::TransactionReport> report =
+          processor.ProcessTransaction(job.transaction);
+      if (!report.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.writes_rejected;
+        }
+        obs::MetricsRegistry::Add(metrics_, "server.writes_rejected");
+        SendError(job.conn, job.request_id, report.status());
+        return;
+      }
+      ProcessReply reply;
+      reply.version = db_->version();
+      reply.accepted = report->accepted;
+      if (!report->accepted) {
+        reply.detail = report->ToString(db_->symbols());
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.writes_rejected;
+        }
+        obs::MetricsRegistry::Add(metrics_, "server.writes_rejected");
+      } else {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.writes_applied;
+      }
+      if (report->accepted) {
+        obs::MetricsRegistry::Add(metrics_, "server.writes_applied");
+      }
+      SendReply(job.conn, job.request_id, FrameType::kProcessOk,
+                EncodeProcessReply(reply));
+      return;
+    }
+    case WriteJob::Kind::kCheckpoint: {
+      Status checkpointed = db_->Checkpoint();
+      if (!checkpointed.ok()) {
+        SendError(job.conn, job.request_id, checkpointed);
+        return;
+      }
+      CheckpointReply reply{db_->version()};
+      SendReply(job.conn, job.request_id, FrameType::kCheckpointOk,
+                EncodeCheckpointReply(reply));
+      return;
+    }
+  }
+}
+
+// ---- Response writing -------------------------------------------------------
+
+void Server::SendError(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                       const Status& status) {
+  if (IsGuardTrip(status.code())) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.guard_trips;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.guard_trips");
+  }
+  ErrorReply reply{status.code(), status.message()};
+  SendReply(conn, id, FrameType::kError, EncodeErrorReply(reply));
+}
+
+void Server::SendReply(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                       FrameType type, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  // A failed response write means the peer went away; the reader loop will
+  // observe the closed stream and retire the connection.
+  (void)WriteFrame(conn->conn.get(), type, id, payload);
+}
+
+}  // namespace deddb::server

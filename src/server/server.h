@@ -1,0 +1,199 @@
+#ifndef DEDDB_SERVER_SERVER_H_
+#define DEDDB_SERVER_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "server/protocol.h"
+#include "server/transport.h"
+#include "util/resource_guard.h"
+
+namespace deddb::server {
+
+/// Tuning and admission-control knobs. The defaults suit the test suites;
+/// `deddb_server` exposes the load-bearing ones as flags.
+struct ServerOptions {
+  /// Hard cap on concurrently served connections; past it, accepted sockets
+  /// are turned away with a typed error frame before any request is read.
+  size_t max_connections = 256;
+
+  /// Bound on the writer's admission queue. A write arriving when the queue
+  /// is full is rejected immediately (kResourceExhausted, "overloaded") —
+  /// reject-on-overload rather than unbounded buffering, so latency stays
+  /// bounded and memory cannot grow with offered load.
+  size_t write_queue_depth = 128;
+
+  /// Per-client quota: writes a single connection may have queued or
+  /// executing. A client pipelining past it is rejected with
+  /// kResourceExhausted before its neighbors' capacity is consumed.
+  size_t max_pending_writes_per_connection = 16;
+
+  /// Frame size cap enforced before the body is buffered.
+  uint32_t max_frame_bytes = kMaxFrameBytes;
+
+  /// Server-side ceiling applied to every request's deadline (0 = none):
+  /// min(client deadline, cap), with the cap alone governing requests that
+  /// asked for no deadline.
+  uint32_t deadline_cap_ms = 0;
+
+  /// Metrics/tracing sink for the server.* series (queue depth, rejections,
+  /// latencies). Nullable, like every obs hookup.
+  obs::ObsContext obs;
+
+  /// Test seam: runs on the writer thread before each dequeued write
+  /// executes. The admission suite parks the writer on a latch here to fill
+  /// the queue deterministically. Never set in production.
+  std::function<void()> writer_stall_for_test;
+};
+
+/// The networked service layer (DESIGN.md §10): multiplexes many client
+/// connections onto the single-writer/many-reader session model of §9.
+///
+/// Threading model:
+///   - one accept thread per Serve()d listener;
+///   - one reader thread per connection, which decodes frames and serves
+///     *reads* (Query, Translate, Stats) directly against a Session pinned
+///     to the connection (re-pinned when the commit version advances);
+///   - exactly one writer thread, which drains the bounded admission queue
+///     and drives every mutating facade call (Apply, processor updates,
+///     Checkpoint) — the facade's single-writer contract is enforced
+///     structurally, not by convention.
+///
+/// Admission control reuses util::ResourceGuard end to end: each request
+/// carries a deadline and derived-fact/DNF budgets; reads run under a
+/// per-connection guard threaded through Session::set_resource_guard, and
+/// writes under the facade guard the server installs at start. A guard trip
+/// surfaces to the client as a typed error frame (kDeadlineExceeded vs
+/// kBudgetExceeded vs kCancelled), never flattened into a generic failure.
+/// Deadlines are measured from *admission*: a write whose deadline lapses
+/// while queued is answered kDeadlineExceeded at dequeue without executing.
+///
+/// Stop() is graceful: stop accepting, reject new writes, drain queued
+/// writes (every admitted request gets its response), then close
+/// connections and join.
+class Server {
+ public:
+  /// `db` must outlive the server. The server owns the facade's resource
+  /// guard and writer role while serving: no other thread may mutate the
+  /// database or call set_resource_guard between Serve() and Stop().
+  Server(DeductiveDatabase* db, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Starts serving `listener` (the accept loop runs on its own thread;
+  /// returns immediately). May be called once.
+  Status Serve(std::unique_ptr<Listener> listener);
+
+  /// Graceful shutdown; idempotent, safe from any thread.
+  void Stop();
+
+  // ---- Introspection (tests and the Stats frame) ---------------------------
+
+  /// Live queue depth (admitted, not yet completed writes).
+  size_t queue_depth() const;
+  size_t active_connections() const;
+
+  /// {"server":{...counters...}} — also the payload of a Stats reply,
+  /// where it additionally embeds the MetricsRegistry snapshot if one is
+  /// attached.
+  std::string StatsJson() const;
+
+ private:
+  struct ConnState;
+  struct WriteJob;
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<ConnState> conn);
+  void WriterLoop();
+
+  /// Decodes and serves one request frame; returns false when the
+  /// connection should close (transport failure writing the response).
+  bool Dispatch(const std::shared_ptr<ConnState>& conn,
+                const OwnedFrame& frame);
+
+  // Read-path handlers (connection thread).
+  void ServeQuery(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                  std::string_view payload);
+  void ServeTranslate(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                      std::string_view payload);
+  void ServeStats(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                  std::string_view payload);
+
+  /// Admission for write-class requests: quota, queue bound, shutdown.
+  void EnqueueWrite(const std::shared_ptr<ConnState>& conn, WriteJob job);
+
+  /// Executes one admitted write on the writer thread.
+  void ExecuteWrite(const WriteJob& job);
+
+  /// Ensures conn->session pins the current commit version; arms the
+  /// connection guard from `admission`. Returns the deadline-capped limits'
+  /// guard, or nullptr when the request is unguarded.
+  Result<const ResourceGuard*> PinSession(const std::shared_ptr<ConnState>& conn,
+                                          const Admission& admission);
+
+  ResourceLimits LimitsFor(const Admission& admission,
+                           std::chrono::nanoseconds remaining_deadline) const;
+
+  void SendError(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                 const Status& status);
+  void SendReply(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                 FrameType type, std::string_view payload);
+
+  DeductiveDatabase* db_;
+  ServerOptions options_;
+  obs::MetricsRegistry* metrics_;  // options_.obs.metrics, may be null
+
+  std::unique_ptr<Listener> listener_;
+  std::thread accept_thread_;
+  std::thread writer_thread_;
+
+  /// The guard installed on the facade for the lifetime of the server; only
+  /// the writer thread Restart()s it (between jobs) and only writer-thread
+  /// evaluations observe it — sessions strip the facade guard at
+  /// BeginSession, so reader threads never dereference it.
+  ResourceGuard writer_guard_;
+  const ResourceGuard* previous_facade_guard_ = nullptr;
+
+  mutable std::mutex mu_;  // guards everything below
+  std::condition_variable queue_cv_;       // writer wakeups
+  std::condition_variable drained_cv_;     // Stop() waits for queue drain
+  std::deque<WriteJob> write_queue_;
+  size_t writes_in_flight_ = 0;  // dequeued, still executing
+  std::vector<std::shared_ptr<ConnState>> connections_;
+  std::vector<std::thread> connection_threads_;
+  bool serving_ = false;
+  bool stopping_ = false;
+
+  // Monotonic counters behind mu_; mirrored into the metrics registry and
+  // the Stats frame.
+  struct Counters {
+    uint64_t connections_total = 0;
+    uint64_t connections_rejected = 0;
+    uint64_t requests_read = 0;
+    uint64_t requests_write = 0;
+    uint64_t writes_applied = 0;
+    uint64_t writes_rejected = 0;   // validation/integrity failures
+    uint64_t rejected_overload = 0;
+    uint64_t rejected_quota = 0;
+    uint64_t rejected_shutdown = 0;
+    uint64_t deadline_expired_in_queue = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t guard_trips = 0;  // typed kDeadline/kBudget/kCancelled replies
+  } counters_;
+};
+
+}  // namespace deddb::server
+
+#endif  // DEDDB_SERVER_SERVER_H_

@@ -1,0 +1,157 @@
+#include "server/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace deddb::server {
+
+namespace {
+
+Status Errno(std::string_view what) {
+  return InternalError(StrCat(what, ": ", std::strerror(errno)));
+}
+
+/// An fd-backed stream. Close() uses shutdown() rather than close() so a
+/// blocked Read/Write on another thread wakes with EOF/EPIPE instead of
+/// racing a reused descriptor; the fd itself is released by the destructor.
+class TcpConnection : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    // The protocol is strictly request/response with small frames; Nagle
+    // would add 40ms stalls between a frame's header and body writes.
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override {
+    Close();
+    ::close(fd_);
+  }
+
+  Result<size_t> Read(char* buf, size_t len) override {
+    for (;;) {
+      ssize_t n = ::read(fd_, buf, len);
+      if (n >= 0) return static_cast<size_t>(n);
+      if (errno == EINTR) continue;
+      if (closed_.load(std::memory_order_acquire)) return size_t{0};
+      return Errno("read");
+    }
+  }
+
+  Status Write(const char* buf, size_t len) override {
+    size_t written = 0;
+    while (written < len) {
+      ssize_t n = ::send(fd_, buf + written, len - written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (closed_.load(std::memory_order_acquire)) {
+          return FailedPreconditionError("connection closed");
+        }
+        return Errno("write");
+      }
+      written += static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  void Close() override {
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+TcpListener::TcpListener(int fd, uint16_t bound_port)
+    : fd_(fd), bound_port_(bound_port) {}
+
+TcpListener::~TcpListener() {
+  Close();
+  ::close(fd_);
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(uint16_t port,
+                                                         bool any_interface) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(any_interface ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno(StrCat("bind to port ", port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<TcpListener>(
+      new TcpListener(fd, ntohs(addr.sin_port)));
+}
+
+Result<std::unique_ptr<Connection>> TcpListener::Accept() {
+  for (;;) {
+    int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      return std::unique_ptr<Connection>(new TcpConnection(conn));
+    }
+    if (errno == EINTR) continue;
+    if (closed_.load(std::memory_order_acquire)) {
+      return CancelledError("listener closed");
+    }
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Close() {
+  if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
+Result<std::unique_ptr<Connection>> TcpConnect(const std::string& host,
+                                               uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError(StrCat("bad IPv4 address '", host, "'"));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno(StrCat("connect to ", host, ":", port));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<Connection>(new TcpConnection(fd));
+}
+
+}  // namespace deddb::server

@@ -1,0 +1,217 @@
+#include "server/transport.h"
+
+#include <cstring>
+
+#include "persist/codec.h"
+#include "util/strings.h"
+
+namespace deddb::server {
+
+// ---- Frame I/O --------------------------------------------------------------
+
+namespace {
+
+/// Reads exactly `len` bytes. Returns false on clean EOF before the first
+/// byte; EOF mid-buffer is an error (a torn frame).
+Result<bool> ReadFully(Connection* conn, char* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    DEDDB_ASSIGN_OR_RETURN(size_t n, conn->Read(buf + got, len - got));
+    if (n == 0) {
+      if (got == 0) return false;
+      return InvalidArgumentError(
+          StrCat("connection closed mid-frame (", got, " of ", len,
+                 " bytes)"));
+    }
+    got += n;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::optional<OwnedFrame>> ReadFrame(Connection* conn,
+                                            uint32_t max_frame_bytes) {
+  char header[4];
+  DEDDB_ASSIGN_OR_RETURN(bool have, ReadFully(conn, header, sizeof(header)));
+  if (!have) return std::optional<OwnedFrame>();
+  persist::ByteSource source(std::string_view(header, sizeof(header)));
+  uint32_t body_len = source.GetU32().value();
+  if (body_len > max_frame_bytes) {
+    return InvalidArgumentError(
+        StrCat("malformed frame: frame body of ", body_len,
+               " bytes exceeds the ", max_frame_bytes, "-byte limit"));
+  }
+  std::string bytes(4 + static_cast<size_t>(body_len), '\0');
+  std::memcpy(bytes.data(), header, sizeof(header));
+  if (body_len > 0) {
+    DEDDB_ASSIGN_OR_RETURN(bool body,
+                           ReadFully(conn, bytes.data() + 4, body_len));
+    if (!body) {
+      return InvalidArgumentError("connection closed mid-frame (no body)");
+    }
+  }
+  DEDDB_ASSIGN_OR_RETURN(FrameView frame, DecodeSingleFrame(bytes));
+  OwnedFrame owned;
+  owned.type = frame.type;
+  owned.request_id = frame.request_id;
+  owned.payload = std::string(frame.payload);
+  return std::optional<OwnedFrame>(std::move(owned));
+}
+
+Status WriteFrame(Connection* conn, FrameType type, uint64_t request_id,
+                  std::string_view payload) {
+  std::string bytes;
+  bytes.reserve(4 + 1 + 8 + payload.size());
+  AppendFrame(type, request_id, payload, &bytes);
+  return conn->Write(bytes.data(), bytes.size());
+}
+
+// ---- Loopback ---------------------------------------------------------------
+
+/// A bounded blocking byte queue. Closing wakes everyone: readers drain what
+/// is buffered and then see EOF; writers fail immediately (matching TCP,
+/// where in-flight bytes still arrive after the sender closes).
+class LoopbackPipe {
+ public:
+  explicit LoopbackPipe(size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  Status Write(const char* buf, size_t len) {
+    size_t written = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (written < len) {
+      can_write_.wait(lock,
+                      [&] { return closed_ || data_.size() < capacity_; });
+      if (closed_) return FailedPreconditionError("connection closed");
+      size_t n = std::min(len - written, capacity_ - data_.size());
+      data_.append(buf + written, n);
+      written += n;
+      can_read_.notify_all();
+    }
+    return Status::Ok();
+  }
+
+  Result<size_t> Read(char* buf, size_t len) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_read_.wait(lock, [&] { return closed_ || !data_.empty(); });
+    if (data_.empty()) return size_t{0};  // closed and drained: EOF
+    size_t n = std::min(len, data_.size());
+    std::memcpy(buf, data_.data(), n);
+    data_.erase(0, n);
+    can_write_.notify_all();
+    return n;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    can_read_.notify_all();
+    can_write_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable can_read_;
+  std::condition_variable can_write_;
+  std::string data_;
+  bool closed_ = false;
+};
+
+namespace {
+
+/// One endpoint: reads from one pipe, writes to the other. Close shuts both
+/// pipes, so the peer observes EOF too.
+class LoopbackConnection : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<LoopbackPipe> in,
+                     std::shared_ptr<LoopbackPipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  ~LoopbackConnection() override { Close(); }
+
+  Result<size_t> Read(char* buf, size_t len) override {
+    return in_->Read(buf, len);
+  }
+  Status Write(const char* buf, size_t len) override {
+    return out_->Write(buf, len);
+  }
+  void Close() override {
+    in_->Close();
+    out_->Close();
+  }
+
+ private:
+  std::shared_ptr<LoopbackPipe> in_;
+  std::shared_ptr<LoopbackPipe> out_;
+};
+
+}  // namespace
+
+struct LoopbackNetwork::State {
+  std::mutex mu;
+  std::condition_variable pending_cv;
+  std::deque<std::unique_ptr<Connection>> pending;
+  bool closed = false;
+};
+
+namespace {
+
+class LoopbackListener : public Listener {
+ public:
+  explicit LoopbackListener(std::shared_ptr<LoopbackNetwork::State> state)
+      : state_(std::move(state)) {}
+  ~LoopbackListener() override { Close(); }
+
+  Result<std::unique_ptr<Connection>> Accept() override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->pending_cv.wait(
+        lock, [&] { return state_->closed || !state_->pending.empty(); });
+    if (!state_->pending.empty()) {
+      std::unique_ptr<Connection> conn = std::move(state_->pending.front());
+      state_->pending.pop_front();
+      return conn;
+    }
+    return CancelledError("listener closed");
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+    state_->pending_cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<LoopbackNetwork::State> state_;
+};
+
+}  // namespace
+
+LoopbackNetwork::LoopbackNetwork() : state_(std::make_shared<State>()) {}
+
+LoopbackNetwork::~LoopbackNetwork() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->closed = true;
+  state_->pending_cv.notify_all();
+}
+
+std::unique_ptr<Listener> LoopbackNetwork::TakeListener() {
+  return std::make_unique<LoopbackListener>(state_);
+}
+
+Result<std::unique_ptr<Connection>> LoopbackNetwork::Connect() {
+  auto client_to_server = std::make_shared<LoopbackPipe>();
+  auto server_to_client = std::make_shared<LoopbackPipe>();
+  auto client_end = std::make_unique<LoopbackConnection>(server_to_client,
+                                                         client_to_server);
+  auto server_end = std::make_unique<LoopbackConnection>(client_to_server,
+                                                         server_to_client);
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->closed) {
+    return FailedPreconditionError("loopback listener closed");
+  }
+  state_->pending.push_back(std::move(server_end));
+  state_->pending_cv.notify_all();
+  return std::unique_ptr<Connection>(std::move(client_end));
+}
+
+}  // namespace deddb::server

@@ -1,0 +1,105 @@
+#ifndef DEDDB_SERVER_TRANSPORT_H_
+#define DEDDB_SERVER_TRANSPORT_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace deddb::server {
+
+/// A blocking, bidirectional byte stream — the only thing the server and
+/// client require of a network. Two implementations ship: the in-process
+/// loopback below (what the protocol test suites run on, so the full codec
+/// and dispatch paths execute under TSan/ASan inside ctest) and the TCP
+/// sockets in server/tcp.h (what `deddb_server` serves on).
+///
+/// Thread model: one reader and one writer thread may use a connection
+/// concurrently (Read and Write are independently serialized); Close may be
+/// called from any thread and unblocks both sides.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocks for at least one byte; reads up to `len`. Returns 0 on clean
+  /// end-of-stream (peer closed), a typed error on transport failure.
+  virtual Result<size_t> Read(char* buf, size_t len) = 0;
+
+  /// Writes all `len` bytes or fails.
+  virtual Status Write(const char* buf, size_t len) = 0;
+
+  /// Shuts the stream down in both directions: blocked and future Reads
+  /// observe end-of-stream on both peers, Writes fail. Idempotent.
+  virtual void Close() = 0;
+};
+
+/// An accept source. Close() unblocks a pending Accept with kCancelled.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  virtual Result<std::unique_ptr<Connection>> Accept() = 0;
+  virtual void Close() = 0;
+};
+
+// ---- Frame I/O over a connection --------------------------------------------
+
+/// One frame read off a connection, owning its bytes.
+struct OwnedFrame {
+  FrameType type = FrameType::kError;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Reads exactly one frame. Returns nullopt on clean end-of-stream at a
+/// frame boundary; a stream ending mid-frame, an oversized length prefix
+/// (checked before the body is buffered, with `max_frame_bytes` capping what
+/// a peer can make us allocate) or an unknown type is a typed error.
+Result<std::optional<OwnedFrame>> ReadFrame(
+    Connection* conn, uint32_t max_frame_bytes = kMaxFrameBytes);
+
+/// Writes one frame (single Write call, so concurrent writers interleave
+/// only at frame granularity when the caller serializes — the server holds a
+/// per-connection write lock).
+Status WriteFrame(Connection* conn, FrameType type, uint64_t request_id,
+                  std::string_view payload);
+
+// ---- In-process loopback ----------------------------------------------------
+
+/// One direction of a loopback connection: a bounded in-memory byte queue
+/// with blocking semantics on both ends.
+class LoopbackPipe;
+
+/// An in-process "network": Connect() yields the client end of a fresh
+/// connection and queues the server end for Accept(). Pure standard-library
+/// synchronization — no sockets, no file descriptors — so protocol tests are
+/// deterministic under sanitizers and in sandboxed CI.
+class LoopbackNetwork {
+ public:
+  LoopbackNetwork();
+  ~LoopbackNetwork();
+
+  /// The accept side; singleton per network, owned by the network (the
+  /// returned pointer stays valid for the network's lifetime). The typical
+  /// call shape hands the server a non-owning wrapper via listener().
+  std::unique_ptr<Listener> TakeListener();
+
+  /// Client side of a new connection; fails with kFailedPrecondition after
+  /// the listener closed.
+  Result<std::unique_ptr<Connection>> Connect();
+
+  /// Shared accept-queue state (public so the listener implementation in
+  /// transport.cc can name it; opaque to everyone else).
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace deddb::server
+
+#endif  // DEDDB_SERVER_TRANSPORT_H_

@@ -75,6 +75,14 @@ class ResourceGuard {
   /// one guard can govern a sequence of calls with a fresh budget each.
   void Restart();
 
+  /// Replaces the limits, then re-arms — one long-lived guard serving a
+  /// sequence of requests, each with its own budgets (the server's admission
+  /// path). Same contract as Restart(): must not race with checks.
+  void Restart(ResourceLimits limits) {
+    limits_ = limits;
+    Restart();
+  }
+
   /// Full check: cancellation and deadline (one clock read). Use at coarse
   /// checkpoints — stratum/round barriers, interpreter entry points.
   Status Check() const;

@@ -1,0 +1,547 @@
+// Robustness proof of the wire protocol (DESIGN.md §10): every frame and
+// payload type round-trips through a *separate* symbol table (names travel,
+// ids are re-interned), and decoding arbitrary bytes — truncated at every
+// offset, bit-flipped at every offset, spliced, or carrying an oversized
+// length prefix — returns a typed error or a well-formed value. It never
+// crashes and never allocates proportionally to a length field the input
+// cannot back: the ASan/UBSan CI job runs this suite, so any out-of-bounds
+// read or pathological reserve is a test failure, not a latent CVE.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "persist/codec.h"
+#include "server/protocol.h"
+#include "server/transport.h"
+#include "util/strings.h"
+
+namespace deddb::server {
+namespace {
+
+Atom MakeAtom(SymbolTable* symbols, std::string_view pred,
+              std::vector<std::string_view> constants) {
+  std::vector<Term> args;
+  for (std::string_view c : constants) {
+    args.push_back(Term::MakeConstant(symbols->Intern(c)));
+  }
+  return Atom(symbols->Intern(pred), std::move(args));
+}
+
+Admission SampleAdmission() {
+  Admission admission;
+  admission.deadline_ms = 1500;
+  admission.max_derived_facts = 77;
+  admission.max_dnf_terms = 123456789;
+  return admission;
+}
+
+Transaction SampleTransaction(SymbolTable* symbols) {
+  Transaction txn;
+  EXPECT_TRUE(txn.AddInsert(MakeAtom(symbols, "Q", {"alpha"})).ok());
+  EXPECT_TRUE(txn.AddInsert(MakeAtom(symbols, "R", {"beta"})).ok());
+  EXPECT_TRUE(txn.AddDelete(MakeAtom(symbols, "Q", {"gamma"})).ok());
+  return txn;
+}
+
+void ExpectAdmissionEq(const Admission& a, const Admission& b) {
+  EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.max_derived_facts, b.max_derived_facts);
+  EXPECT_EQ(a.max_dnf_terms, b.max_dnf_terms);
+}
+
+// ---- Round trips through a fresh symbol table -------------------------------
+// The decoder's table starts empty (the other-process situation), so equal
+// ids would be an accident; comparisons go through rendered names.
+
+TEST(ServerCodecTest, QueryRequestRoundTrip) {
+  SymbolTable sender;
+  QueryRequest request;
+  request.admission = SampleAdmission();
+  request.patterns.push_back(MakeAtom(&sender, "P", {"c0", "c1"}));
+  Atom open(sender.Intern("Q"),
+            {Term::MakeVariable(sender.InternVar("x")),
+             Term::MakeConstant(sender.Intern("c2"))});
+  request.patterns.push_back(open);
+  request.patterns.push_back(MakeAtom(&sender, "Zero", {}));
+
+  SymbolTable receiver;
+  Result<QueryRequest> decoded =
+      DecodeQueryRequest(EncodeQueryRequest(request, sender), &receiver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectAdmissionEq(request.admission, decoded->admission);
+  ASSERT_EQ(decoded->patterns.size(), request.patterns.size());
+  for (size_t i = 0; i < request.patterns.size(); ++i) {
+    EXPECT_EQ(decoded->patterns[i].ToString(receiver),
+              request.patterns[i].ToString(sender));
+  }
+}
+
+TEST(ServerCodecTest, ApplyAndProcessRequestRoundTrip) {
+  SymbolTable sender;
+  ApplyRequest apply;
+  apply.admission = SampleAdmission();
+  apply.transaction = SampleTransaction(&sender);
+
+  SymbolTable receiver;
+  Result<ApplyRequest> decoded =
+      DecodeApplyRequest(EncodeApplyRequest(apply, sender), &receiver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectAdmissionEq(apply.admission, decoded->admission);
+  EXPECT_EQ(decoded->transaction.ToString(receiver),
+            apply.transaction.ToString(sender));
+
+  ProcessRequest process;
+  process.admission = SampleAdmission();
+  process.transaction = SampleTransaction(&sender);
+  SymbolTable receiver2;
+  Result<ProcessRequest> decoded2 =
+      DecodeProcessRequest(EncodeProcessRequest(process, sender), &receiver2);
+  ASSERT_TRUE(decoded2.ok()) << decoded2.status().ToString();
+  EXPECT_EQ(decoded2->transaction.ToString(receiver2),
+            process.transaction.ToString(sender));
+}
+
+TEST(ServerCodecTest, TranslateRequestRoundTrip) {
+  SymbolTable sender;
+  TranslateRequest request;
+  request.admission = SampleAdmission();
+  RequestedEvent insertion;
+  insertion.positive = true;
+  insertion.is_insert = true;
+  insertion.predicate = sender.Intern("View");
+  insertion.args = {Term::MakeConstant(sender.Intern("c0")),
+                    Term::MakeVariable(sender.InternVar("y"))};
+  RequestedEvent negated;
+  negated.positive = false;
+  negated.is_insert = false;
+  negated.predicate = sender.Intern("Other");
+  negated.args = {Term::MakeConstant(sender.Intern("c1"))};
+  request.request.events = {insertion, negated};
+
+  SymbolTable receiver;
+  Result<TranslateRequest> decoded = DecodeTranslateRequest(
+      EncodeTranslateRequest(request, sender), &receiver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectAdmissionEq(request.admission, decoded->admission);
+  ASSERT_EQ(decoded->request.events.size(), 2u);
+  EXPECT_EQ(decoded->request.ToString(receiver),
+            request.request.ToString(sender));
+  EXPECT_TRUE(decoded->request.events[0].positive);
+  EXPECT_TRUE(decoded->request.events[0].is_insert);
+  EXPECT_FALSE(decoded->request.events[1].positive);
+  EXPECT_FALSE(decoded->request.events[1].is_insert);
+}
+
+TEST(ServerCodecTest, AdmissionOnlyRoundTrip) {
+  Result<Admission> decoded =
+      DecodeAdmissionOnly(EncodeAdmissionOnly(SampleAdmission()));
+  ASSERT_TRUE(decoded.ok());
+  ExpectAdmissionEq(SampleAdmission(), *decoded);
+
+  // The default header is inert and round-trips too.
+  Result<Admission> inert = DecodeAdmissionOnly(EncodeAdmissionOnly({}));
+  ASSERT_TRUE(inert.ok());
+  ExpectAdmissionEq({}, *inert);
+}
+
+TEST(ServerCodecTest, QueryReplyRoundTrip) {
+  SymbolTable sender;
+  QueryReply reply;
+  reply.version = 42;
+  reply.answers.push_back(
+      {{sender.Intern("c0"), sender.Intern("c1")}, {sender.Intern("c2")}});
+  reply.answers.push_back({});  // a pattern with no matches
+  reply.answers.push_back({{}});  // one 0-ary match (e.g. `Ic` holds)
+
+  SymbolTable receiver;
+  Result<QueryReply> decoded =
+      DecodeQueryReply(EncodeQueryReply(reply, sender), &receiver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, 42u);
+  ASSERT_EQ(decoded->answers.size(), 3u);
+  ASSERT_EQ(decoded->answers[0].size(), 2u);
+  ASSERT_EQ(decoded->answers[0][0].size(), 2u);
+  EXPECT_EQ(receiver.NameOf(decoded->answers[0][0][0]), "c0");
+  EXPECT_EQ(receiver.NameOf(decoded->answers[0][0][1]), "c1");
+  EXPECT_EQ(receiver.NameOf(decoded->answers[0][1][0]), "c2");
+  EXPECT_TRUE(decoded->answers[1].empty());
+  ASSERT_EQ(decoded->answers[2].size(), 1u);
+  EXPECT_TRUE(decoded->answers[2][0].empty());
+}
+
+TEST(ServerCodecTest, SimpleRepliesRoundTrip) {
+  Result<ApplyReply> apply = DecodeApplyReply(EncodeApplyReply({17}));
+  ASSERT_TRUE(apply.ok());
+  EXPECT_EQ(apply->version, 17u);
+
+  ProcessReply process;
+  process.version = 9;
+  process.accepted = false;
+  process.detail = "Ic violated: C1(c3)";
+  Result<ProcessReply> process2 =
+      DecodeProcessReply(EncodeProcessReply(process));
+  ASSERT_TRUE(process2.ok());
+  EXPECT_EQ(process2->version, 9u);
+  EXPECT_FALSE(process2->accepted);
+  EXPECT_EQ(process2->detail, process.detail);
+
+  Result<CheckpointReply> checkpoint =
+      DecodeCheckpointReply(EncodeCheckpointReply({33}));
+  ASSERT_TRUE(checkpoint.ok());
+  EXPECT_EQ(checkpoint->version, 33u);
+
+  StatsReply stats{R"({"server":{"queue_depth":0}})"};
+  Result<StatsReply> stats2 = DecodeStatsReply(EncodeStatsReply(stats));
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->json, stats.json);
+}
+
+TEST(ServerCodecTest, TranslateReplyRoundTrip) {
+  SymbolTable sender;
+  TranslateReply reply;
+  reply.approximate = true;
+  reply.alternatives.push_back(SampleTransaction(&sender));
+  Transaction second;
+  ASSERT_TRUE(second.AddDelete(MakeAtom(&sender, "R", {"delta"})).ok());
+  reply.alternatives.push_back(second);
+
+  SymbolTable receiver;
+  Result<TranslateReply> decoded =
+      DecodeTranslateReply(EncodeTranslateReply(reply, sender), &receiver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->approximate);
+  ASSERT_EQ(decoded->alternatives.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(decoded->alternatives[i].ToString(receiver),
+              reply.alternatives[i].ToString(sender));
+  }
+}
+
+TEST(ServerCodecTest, ErrorReplyRoundTripPreservesTypedGuardCodes) {
+  // The small-fix contract: which guard tripped survives the wire — a
+  // client can distinguish a deadline from a budget from a cancellation.
+  for (StatusCode code :
+       {StatusCode::kDeadlineExceeded, StatusCode::kBudgetExceeded,
+        StatusCode::kCancelled, StatusCode::kResourceExhausted,
+        StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kCorruption,
+        StatusCode::kInternal, StatusCode::kAlreadyExists,
+        StatusCode::kUnimplemented, StatusCode::kRoundLimit}) {
+    ErrorReply reply{code, "detail text"};
+    Result<ErrorReply> decoded = DecodeErrorReply(EncodeErrorReply(reply));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->code, code);
+    EXPECT_EQ(decoded->message, "detail text");
+    EXPECT_EQ(decoded->ToStatus().code(), code);
+  }
+}
+
+TEST(ServerCodecTest, UnknownWireCodeDegradesToInternal) {
+  EXPECT_EQ(CodeFromWire(0xEE), StatusCode::kInternal);
+}
+
+// ---- Framing ----------------------------------------------------------------
+
+TEST(ServerCodecTest, FrameRoundTripAndSplicedWalk) {
+  std::string bytes;
+  AppendFrame(FrameType::kQuery, 7, "payload-a", &bytes);
+  AppendFrame(FrameType::kStatsOk, 8, "", &bytes);
+  AppendFrame(FrameType::kError, 9, "payload-c", &bytes);
+
+  size_t consumed = 0;
+  Result<FrameView> first = DecodeFrame(bytes, &consumed);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, FrameType::kQuery);
+  EXPECT_EQ(first->request_id, 7u);
+  EXPECT_EQ(first->payload, "payload-a");
+
+  std::string_view rest = std::string_view(bytes).substr(consumed);
+  Result<FrameView> second = DecodeFrame(rest, &consumed);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, FrameType::kStatsOk);
+  EXPECT_EQ(second->request_id, 8u);
+  EXPECT_TRUE(second->payload.empty());
+
+  rest = rest.substr(consumed);
+  Result<FrameView> third = DecodeFrame(rest, &consumed);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->payload, "payload-c");
+  EXPECT_EQ(consumed, rest.size());
+
+  // A splice is NOT a single frame: trailing bytes are a typed error, so a
+  // second message cannot ride along unnoticed.
+  Result<FrameView> spliced = DecodeSingleFrame(bytes);
+  EXPECT_FALSE(spliced.ok());
+  EXPECT_EQ(spliced.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, TruncatedFrameAtEveryOffsetIsTypedError) {
+  std::string bytes;
+  AppendFrame(FrameType::kApply, 0xDEADBEEFCAFEull, "some payload", &bytes);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Result<FrameView> decoded = DecodeSingleFrame(bytes.substr(0, len));
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+  ASSERT_TRUE(DecodeSingleFrame(bytes).ok());
+}
+
+TEST(ServerCodecTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  persist::ByteSink sink;
+  sink.PutU32(kMaxFrameBytes + 1);
+  sink.PutU8(static_cast<uint8_t>(FrameType::kQuery));
+  sink.PutU64(1);
+  size_t consumed = 0;
+  Result<FrameView> decoded = DecodeFrame(sink.bytes(), &consumed);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  // 0xFFFFFFFF: the worst a flipped prefix can demand. Rejected up front —
+  // under ASan this proves no 4GB buffer is attempted.
+  persist::ByteSink worst;
+  worst.PutU32(0xFFFFFFFFu);
+  worst.PutU8(static_cast<uint8_t>(FrameType::kQuery));
+  worst.PutU64(1);
+  EXPECT_FALSE(DecodeFrame(worst.bytes(), &consumed).ok());
+}
+
+TEST(ServerCodecTest, UnknownFrameTypeIsTypedError) {
+  for (uint8_t type : {0, 7, 63, 64, 71, 126, 200, 255}) {
+    persist::ByteSink sink;
+    sink.PutU32(9);
+    sink.PutU8(type);
+    sink.PutU64(1);
+    size_t consumed = 0;
+    Result<FrameView> decoded = DecodeFrame(sink.bytes(), &consumed);
+    ASSERT_FALSE(decoded.ok()) << "type " << int{type} << " decoded";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---- Adversarial payload bytes ----------------------------------------------
+
+/// Every payload decoder behind one uniform call, so the corruption sweeps
+/// below exercise them all.
+struct NamedDecoder {
+  const char* name;
+  std::string (*encode)(SymbolTable* symbols);
+  Status (*decode)(std::string_view payload);
+};
+
+const NamedDecoder kDecoders[] = {
+    {"QueryRequest",
+     [](SymbolTable* s) {
+       QueryRequest r;
+       r.admission = SampleAdmission();
+       r.patterns = {MakeAtom(s, "P", {"c0", "c1"}),
+                     Atom(s->Intern("Q"),
+                          {Term::MakeVariable(s->InternVar("x"))})};
+       return EncodeQueryRequest(r, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodeQueryRequest(p, &t).status();
+     }},
+    {"ApplyRequest",
+     [](SymbolTable* s) {
+       ApplyRequest r;
+       r.transaction = SampleTransaction(s);
+       return EncodeApplyRequest(r, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodeApplyRequest(p, &t).status();
+     }},
+    {"ProcessRequest",
+     [](SymbolTable* s) {
+       ProcessRequest r;
+       r.transaction = SampleTransaction(s);
+       return EncodeProcessRequest(r, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodeProcessRequest(p, &t).status();
+     }},
+    {"TranslateRequest",
+     [](SymbolTable* s) {
+       TranslateRequest r;
+       RequestedEvent e;
+       e.predicate = s->Intern("View");
+       e.args = {Term::MakeConstant(s->Intern("c0"))};
+       r.request.events = {e};
+       return EncodeTranslateRequest(r, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodeTranslateRequest(p, &t).status();
+     }},
+    {"AdmissionOnly",
+     [](SymbolTable*) { return EncodeAdmissionOnly(SampleAdmission()); },
+     [](std::string_view p) { return DecodeAdmissionOnly(p).status(); }},
+    {"QueryReply",
+     [](SymbolTable* s) {
+       QueryReply r;
+       r.version = 3;
+       r.answers = {{{s->Intern("c0")}}, {}};
+       return EncodeQueryReply(r, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodeQueryReply(p, &t).status();
+     }},
+    {"ProcessReply",
+     [](SymbolTable*) {
+       return EncodeProcessReply({5, false, "detail"});
+     },
+     [](std::string_view p) { return DecodeProcessReply(p).status(); }},
+    {"TranslateReply",
+     [](SymbolTable* s) {
+       TranslateReply r;
+       r.alternatives = {SampleTransaction(s)};
+       return EncodeTranslateReply(r, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodeTranslateReply(p, &t).status();
+     }},
+    {"ErrorReply",
+     [](SymbolTable*) {
+       return EncodeErrorReply({StatusCode::kDeadlineExceeded, "late"});
+     },
+     [](std::string_view p) { return DecodeErrorReply(p).status(); }},
+};
+
+TEST(ServerCodecTest, TruncatedPayloadAtEveryOffsetNeverCrashes) {
+  for (const NamedDecoder& decoder : kDecoders) {
+    SCOPED_TRACE(decoder.name);
+    SymbolTable symbols;
+    std::string payload = decoder.encode(&symbols);
+    ASSERT_TRUE(decoder.decode(payload).ok());
+    for (size_t len = 0; len < payload.size(); ++len) {
+      Status status = decoder.decode(payload.substr(0, len));
+      // Dropping trailing bytes must fail: every decoder drains its whole
+      // payload, and no payload here has a valid strict prefix.
+      EXPECT_FALSE(status.ok())
+          << "prefix of " << len << "/" << payload.size() << " decoded";
+    }
+  }
+}
+
+TEST(ServerCodecTest, BitFlippedPayloadAtEveryOffsetNeverCrashes) {
+  for (const NamedDecoder& decoder : kDecoders) {
+    SCOPED_TRACE(decoder.name);
+    SymbolTable symbols;
+    const std::string payload = decoder.encode(&symbols);
+    for (size_t offset = 0; offset < payload.size(); ++offset) {
+      for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xFF}}) {
+        std::string damaged = payload;
+        damaged[offset] = static_cast<char>(damaged[offset] ^ mask);
+        // A flip may still decode (e.g. inside a name) — that is fine; the
+        // contract is no crash, no overread, no unbounded allocation, and
+        // errors are typed. ASan/UBSan turn violations into failures.
+        Status status = decoder.decode(damaged);
+        if (!status.ok()) {
+          EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+              << "offset " << offset << " mask " << int{mask} << ": "
+              << status.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(ServerCodecTest, BitFlippedFrameHeaderAtEveryOffsetNeverCrashes) {
+  std::string bytes;
+  AppendFrame(FrameType::kProcess, 1234, "payload-bytes", &bytes);
+  for (size_t offset = 0; offset < bytes.size(); ++offset) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xFF}}) {
+      std::string damaged = bytes;
+      damaged[offset] = static_cast<char>(damaged[offset] ^ mask);
+      size_t consumed = 0;
+      Result<FrameView> decoded = DecodeFrame(damaged, &consumed);
+      if (!decoded.ok()) {
+        EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+      }
+    }
+  }
+}
+
+// ---- The persist count-cap regression (the pre-existing crash vector) -------
+
+TEST(ServerCodecTest, HugeTupleCountFailsFastInsteadOfAllocating) {
+  // Before the fix, DecodeTuple reserved `count * sizeof(SymbolId)` bytes
+  // off an unvalidated u32 — a flipped count field demanded ~16GB. Now any
+  // count the remaining bytes cannot back is kCorruption before reserve.
+  persist::ByteSink sink;
+  sink.PutU32(0xFFFFFFFFu);
+  persist::ByteSource source(sink.bytes());
+  SymbolTable symbols;
+  Result<Tuple> decoded = persist::DecodeTuple(&source, &symbols);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+// ---- Frame I/O over the loopback transport ----------------------------------
+
+TEST(ServerCodecTest, LoopbackFrameRoundTripAndTornStream) {
+  LoopbackNetwork network;
+  auto listener = network.TakeListener();
+  Result<std::unique_ptr<Connection>> client = network.Connect();
+  ASSERT_TRUE(client.ok());
+  Result<std::unique_ptr<Connection>> server = listener->Accept();
+  ASSERT_TRUE(server.ok());
+
+  ASSERT_TRUE(
+      WriteFrame(client->get(), FrameType::kStats, 5, "abc").ok());
+  Result<std::optional<OwnedFrame>> frame = ReadFrame(server->get());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->type, FrameType::kStats);
+  EXPECT_EQ((*frame)->request_id, 5u);
+  EXPECT_EQ((*frame)->payload, "abc");
+
+  // A stream cut mid-frame is a typed error, not EOF: the header promised
+  // bytes that never arrived.
+  std::string partial;
+  AppendFrame(FrameType::kQuery, 6, "never-finished", &partial);
+  ASSERT_TRUE(
+      (*client)->Write(partial.data(), partial.size() - 4).ok());
+  (*client)->Close();
+  Result<std::optional<OwnedFrame>> torn = ReadFrame(server->get());
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, LoopbackCleanCloseIsEof) {
+  LoopbackNetwork network;
+  auto listener = network.TakeListener();
+  Result<std::unique_ptr<Connection>> client = network.Connect();
+  ASSERT_TRUE(client.ok());
+  Result<std::unique_ptr<Connection>> server = listener->Accept();
+  ASSERT_TRUE(server.ok());
+  (*client)->Close();
+  Result<std::optional<OwnedFrame>> eof = ReadFrame(server->get());
+  ASSERT_TRUE(eof.ok()) << eof.status().ToString();
+  EXPECT_FALSE(eof->has_value());
+}
+
+TEST(ServerCodecTest, LoopbackOversizedFrameRejectedBeforeBuffering) {
+  LoopbackNetwork network;
+  auto listener = network.TakeListener();
+  Result<std::unique_ptr<Connection>> client = network.Connect();
+  ASSERT_TRUE(client.ok());
+  Result<std::unique_ptr<Connection>> server = listener->Accept();
+  ASSERT_TRUE(server.ok());
+  persist::ByteSink sink;
+  sink.PutU32(0xFFFFFFFFu);  // a body the reader must never try to buffer
+  ASSERT_TRUE((*client)->Write(sink.bytes().data(), 4).ok());
+  Result<std::optional<OwnedFrame>> read =
+      ReadFrame(server->get(), /*max_frame_bytes=*/1024);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace deddb::server
