@@ -1,5 +1,8 @@
 #include "server/protocol.h"
 
+#include <cassert>
+#include <limits>
+
 #include "persist/codec.h"
 #include "util/strings.h"
 
@@ -150,6 +153,12 @@ StatusCode CodeFromWire(uint8_t wire) {
 
 void AppendFrame(FrameType type, uint64_t request_id,
                  std::string_view payload, std::string* out) {
+  // Callers that put frames on a wire (WriteFrame, the server's reply path)
+  // enforce kMaxFramePayloadBytes with a typed status; this assert is the
+  // last line against silently truncating the u32 length prefix and
+  // corrupting the stream.
+  assert(payload.size() <=
+         std::numeric_limits<uint32_t>::max() - (1 + 8));
   ByteSink header;
   header.PutU32(static_cast<uint32_t>(1 + 8 + payload.size()));
   header.PutU8(static_cast<uint8_t>(type));

@@ -36,6 +36,12 @@ namespace deddb::server {
 /// gigabytes.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
 
+/// Payload bytes one frame can carry under kMaxFrameBytes (the body minus
+/// the type byte and request id). Senders must stay under this: the peer's
+/// ReadFrame rejects anything larger as malformed, so an oversized payload
+/// has to be refused on the sending side with a typed status instead.
+inline constexpr uint32_t kMaxFramePayloadBytes = kMaxFrameBytes - 1 - 8;
+
 enum class FrameType : uint8_t {
   // Requests (client -> server).
   kQuery = 1,       // batched Solve against one pinned snapshot

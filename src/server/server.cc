@@ -31,6 +31,10 @@ struct Server::ConnState {
   ResourceGuard guard;
   std::unique_ptr<Session> session;
   size_t pending_writes = 0;
+  /// The connection's reader thread. Assigned under mu_ right after the
+  /// thread is spawned; joined by ReapRetiredConnections or Stop() once the
+  /// loop has exited (the loop itself never touches this field).
+  std::thread reader;
 };
 
 struct Server::WriteJob {
@@ -72,12 +76,14 @@ Status Server::Serve(std::unique_ptr<Listener> listener) {
 
 void Server::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!serving_ || stopping_) {
-      if (!serving_) return;
-      // A concurrent or repeated Stop: fall through to the joins below only
-      // from the first caller; later callers return once threads are gone.
-      if (!accept_thread_.joinable() && !writer_thread_.joinable()) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!serving_) return;
+    if (stopping_) {
+      // Another thread owns the teardown (two threads joining the same
+      // std::thread is a data race); wait for it so every caller returns to
+      // a fully stopped server.
+      stopped_cv_.wait(lock, [&] { return stopped_; });
+      return;
     }
     stopping_ = true;
   }
@@ -96,24 +102,31 @@ void Server::Stop() {
   if (accept_thread_.joinable()) accept_thread_.join();
 
   std::vector<std::shared_ptr<ConnState>> connections;
-  std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
     connections = connections_;
-    threads.swap(connection_threads_);
   }
   for (const std::shared_ptr<ConnState>& conn : connections) {
     conn->conn->Close();
   }
-  for (std::thread& thread : threads) {
-    if (thread.joinable()) thread.join();
+  // The accept thread is gone, so nothing joins concurrently with us: first
+  // the still-active readers (their loops exit on the Close above), then
+  // whatever retired in between.
+  for (const std::shared_ptr<ConnState>& conn : connections) {
+    if (conn->reader.joinable()) conn->reader.join();
   }
+  ReapRetiredConnections();
   {
     std::lock_guard<std::mutex> lock(mu_);
     connections_.clear();
     obs::MetricsRegistry::Set(metrics_, "server.connections_active", 0);
   }
   db_->set_resource_guard(previous_facade_guard_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
 }
 
 size_t Server::queue_depth() const {
@@ -162,6 +175,9 @@ std::string Server::StatsJson() const {
 void Server::AcceptLoop() {
   for (;;) {
     Result<std::unique_ptr<Connection>> accepted = listener_->Accept();
+    // The accept cadence bounds the retired backlog: at most every current
+    // connection can retire between two accepts.
+    ReapRetiredConnections();
     if (!accepted.ok()) {
       // Closed during Stop, or the listener died; either way we are done
       // accepting (serving connections continue until Stop).
@@ -169,6 +185,8 @@ void Server::AcceptLoop() {
     }
     auto conn = std::make_shared<ConnState>();
     conn->conn = std::move(*accepted);
+    bool over_limit = false;
+    size_t active = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (stopping_) {
@@ -177,24 +195,31 @@ void Server::AcceptLoop() {
       }
       if (connections_.size() >= options_.max_connections) {
         ++counters_.connections_rejected;
-        obs::MetricsRegistry::Add(metrics_, "server.connections_rejected");
-        // Turned away before any request is read; the error frame uses
-        // request id 0 (no request to correlate with).
-        ErrorReply reply{StatusCode::kResourceExhausted,
-                         StrCat("connection limit of ",
-                                options_.max_connections, " reached")};
-        std::string payload = EncodeErrorReply(reply);
-        (void)WriteFrame(conn->conn.get(), FrameType::kError, 0, payload);
-        conn->conn->Close();
-        continue;
+        over_limit = true;
+      } else {
+        ++counters_.connections_total;
+        connections_.push_back(conn);
+        active = connections_.size();
+        conn->reader = std::thread(&Server::ConnectionLoop, this, conn);
       }
-      ++counters_.connections_total;
-      connections_.push_back(conn);
-      obs::MetricsRegistry::Add(metrics_, "server.connections_total");
-      obs::MetricsRegistry::Set(metrics_, "server.connections_active",
-                                static_cast<int64_t>(connections_.size()));
-      connection_threads_.emplace_back(&Server::ConnectionLoop, this, conn);
     }
+    if (over_limit) {
+      obs::MetricsRegistry::Add(metrics_, "server.connections_rejected");
+      // Turned away before any request is read; the error frame uses
+      // request id 0 (no request to correlate with). Written with mu_
+      // released — a peer that never drains its socket blocks only this
+      // write, never the rest of the server.
+      ErrorReply reply{StatusCode::kResourceExhausted,
+                       StrCat("connection limit of ",
+                              options_.max_connections, " reached")};
+      std::string payload = EncodeErrorReply(reply);
+      (void)WriteFrame(conn->conn.get(), FrameType::kError, 0, payload);
+      conn->conn->Close();
+      continue;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.connections_total");
+    obs::MetricsRegistry::Set(metrics_, "server.connections_active",
+                              static_cast<int64_t>(active));
   }
 }
 
@@ -224,14 +249,34 @@ void Server::ConnectionLoop(std::shared_ptr<ConnState> conn) {
         connections_.end());
     obs::MetricsRegistry::Set(metrics_, "server.connections_active",
                               static_cast<int64_t>(connections_.size()));
+    // Hand our own thread handle to the reaper (a thread cannot join
+    // itself); pushing is this loop's final act, so the eventual join
+    // returns as soon as this function does.
+    retired_connections_.push_back(conn);
+  }
+}
+
+void Server::ReapRetiredConnections() {
+  std::vector<std::shared_ptr<ConnState>> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired.swap(retired_connections_);
+  }
+  for (const std::shared_ptr<ConnState>& conn : retired) {
+    if (conn->reader.joinable()) conn->reader.join();
   }
 }
 
 bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
                       const OwnedFrame& frame) {
   if (!IsRequestType(frame.type)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++counters_.protocol_errors;
+    // Counter bump in a narrow scope only: SendError blocks on the peer's
+    // socket, and a peer that never drains must not wedge mu_ (and with it
+    // the writer loop, admissions, and Stop) behind its write.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+    }
     obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
     SendError(conn, frame.request_id,
               InvalidArgumentError(StrCat(
@@ -505,21 +550,28 @@ void Server::EnqueueWrite(const std::shared_ptr<ConnState>& conn,
     job.has_deadline = true;
     job.deadline_at = job.admitted_at + std::chrono::milliseconds(deadline_ms);
   }
+  // The rejection kind travels as its own enum (not parsed back out of the
+  // status text) so rewording a message can never misclassify the metric.
+  enum class Reject { kNone, kShutdown, kQuota, kOverload };
+  Reject reject = Reject::kNone;
   Status rejection;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.requests_write;
     if (stopping_) {
       ++counters_.rejected_shutdown;
+      reject = Reject::kShutdown;
       rejection = FailedPreconditionError("server shutting down");
     } else if (conn->pending_writes >=
                options_.max_pending_writes_per_connection) {
       ++counters_.rejected_quota;
+      reject = Reject::kQuota;
       rejection = ResourceExhaustedError(
           StrCat("per-connection write quota of ",
                  options_.max_pending_writes_per_connection, " exceeded"));
     } else if (write_queue_.size() >= options_.write_queue_depth) {
       ++counters_.rejected_overload;
+      reject = Reject::kOverload;
       rejection = ResourceExhaustedError(
           StrCat("server overloaded: write queue full at ",
                  options_.write_queue_depth));
@@ -532,13 +584,12 @@ void Server::EnqueueWrite(const std::shared_ptr<ConnState>& conn,
     }
   }
   obs::MetricsRegistry::Add(metrics_, "server.requests_write");
-  if (!rejection.ok()) {
-    const char* metric =
-        rejection.code() == StatusCode::kFailedPrecondition
-            ? "server.rejected_shutdown"
-            : (rejection.message().find("quota") != std::string::npos
-                   ? "server.rejected_quota"
-                   : "server.rejected_overload");
+  if (reject != Reject::kNone) {
+    const char* metric = reject == Reject::kShutdown
+                             ? "server.rejected_shutdown"
+                             : (reject == Reject::kQuota
+                                    ? "server.rejected_quota"
+                                    : "server.rejected_overload");
     obs::MetricsRegistry::Add(metrics_, metric);
     SendError(conn, job.request_id, rejection);
     return;
@@ -697,6 +748,17 @@ void Server::SendError(const std::shared_ptr<ConnState>& conn, uint64_t id,
 
 void Server::SendReply(const std::shared_ptr<ConnState>& conn, uint64_t id,
                        FrameType type, std::string_view payload) {
+  // A reply the framing cannot carry is downgraded to a typed error (error
+  // frames are small, so the recursion terminates): the client learns the
+  // result was too large and can narrow the request, instead of its
+  // ReadFrame killing the connection over a "malformed frame".
+  if (type != FrameType::kError && payload.size() > kMaxFramePayloadBytes) {
+    SendError(conn, id,
+              ResourceExhaustedError(StrCat(
+                  "reply of ", payload.size(), " bytes exceeds the ",
+                  kMaxFrameBytes, "-byte frame limit; narrow the request")));
+    return;
+  }
   std::lock_guard<std::mutex> lock(conn->write_mu);
   // A failed response write means the peer went away; the reader loop will
   // observe the closed stream and retire the connection.

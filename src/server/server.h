@@ -96,7 +96,10 @@ class Server {
   /// returns immediately). May be called once.
   Status Serve(std::unique_ptr<Listener> listener);
 
-  /// Graceful shutdown; idempotent, safe from any thread.
+  /// Graceful shutdown; idempotent, safe from any thread. The first caller
+  /// owns the teardown; concurrent callers block until it completes, so the
+  /// postcondition (threads joined, connections closed) holds for every
+  /// caller on return.
   void Stop();
 
   // ---- Introspection (tests and the Stats frame) ---------------------------
@@ -133,6 +136,11 @@ class Server {
 
   /// Admission for write-class requests: quota, queue bound, shutdown.
   void EnqueueWrite(const std::shared_ptr<ConnState>& conn, WriteJob job);
+
+  /// Joins reader threads of connections that have retired, so handles do
+  /// not accumulate for the server's lifetime. Called from the accept loop
+  /// (bounding the backlog at max_connections) and from Stop().
+  void ReapRetiredConnections();
 
   /// Executes one admitted write on the writer thread.
   void ExecuteWrite(const WriteJob& job);
@@ -172,9 +180,13 @@ class Server {
   std::deque<WriteJob> write_queue_;
   size_t writes_in_flight_ = 0;  // dequeued, still executing
   std::vector<std::shared_ptr<ConnState>> connections_;
-  std::vector<std::thread> connection_threads_;
+  /// Connections whose reader loop has exited but whose thread handle is
+  /// not yet joined; drained by ReapRetiredConnections.
+  std::vector<std::shared_ptr<ConnState>> retired_connections_;
+  std::condition_variable stopped_cv_;  // latecomer Stop()s wait on stopped_
   bool serving_ = false;
   bool stopping_ = false;
+  bool stopped_ = false;  // teardown finished (set by the owning Stop)
 
   // Monotonic counters behind mu_; mirrored into the metrics registry and
   // the Stats frame.

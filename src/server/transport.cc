@@ -61,6 +61,14 @@ Result<std::optional<OwnedFrame>> ReadFrame(Connection* conn,
 
 Status WriteFrame(Connection* conn, FrameType type, uint64_t request_id,
                   std::string_view payload) {
+  // Refuse what the peer's ReadFrame would reject as malformed: the sender
+  // gets a typed status it can surface, instead of the receiver killing the
+  // connection over a "malformed frame" that was really an oversized result.
+  if (payload.size() > kMaxFramePayloadBytes) {
+    return ResourceExhaustedError(
+        StrCat("frame payload of ", payload.size(), " bytes exceeds the ",
+               kMaxFrameBytes, "-byte frame limit"));
+  }
   std::string bytes;
   bytes.reserve(4 + 1 + 8 + payload.size());
   AppendFrame(type, request_id, payload, &bytes);

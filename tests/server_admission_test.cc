@@ -470,6 +470,76 @@ TEST(ServerAdmissionTest, WritesAfterStopRejectTyped) {
   EXPECT_FALSE(after.ok());
 }
 
+TEST(ServerAdmissionTest, OversizedReplyDowngradedToTypedError) {
+  // A legitimate query whose encoded result exceeds the frame cap must come
+  // back as a typed kResourceExhausted error frame — not as an oversized
+  // frame the client's ReadFrame rejects as "malformed", killing the
+  // connection. 2000 facts with ~36-char names are ~96KB per pattern; 200
+  // copies of the pattern push the reply past the 16MiB cap.
+  DeductiveDatabase db;
+  ASSERT_TRUE(db.DeclareBase("Q", 1).ok());
+  const std::string pad(32, 'x');
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(db.AddFact(db.GroundAtom("Q", {StrCat("v", i, pad)}).value())
+                    .ok());
+  }
+
+  LoopbackNetwork network;
+  Server server(&db);
+  ASSERT_TRUE(server.Serve(network.TakeListener()).ok());
+  Result<std::unique_ptr<Connection>> conn = network.Connect();
+  ASSERT_TRUE(conn.ok());
+  Client client(std::move(*conn));
+
+  std::vector<Atom> patterns(
+      200, client.MakeAtom("Q", {client.Variable("x")}));
+  Result<QueryReply> huge = client.Query(patterns);
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kResourceExhausted)
+      << huge.status().ToString();
+  EXPECT_NE(huge.status().message().find("frame limit"), std::string::npos)
+      << huge.status().ToString();
+
+  // The connection survived: a narrower request on the same client works.
+  Result<QueryReply> narrow =
+      client.Query({client.MakeAtom("Q", {client.Variable("x")})});
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  EXPECT_EQ(narrow->answers[0].size(), 2000u);
+  server.Stop();
+}
+
+TEST(ServerAdmissionTest, ConcurrentStopIsSafe) {
+  // The first Stop() owns the teardown; racing callers (including the
+  // destructor) must block until it finishes instead of double-joining the
+  // same threads. Run with live connections so there is real work to tear
+  // down; TSan turns any join race into a failure.
+  DeductiveDatabase db;
+  DeclareSchema(&db);
+  LoopbackNetwork network;
+  Server server(&db);
+  ASSERT_TRUE(server.Serve(network.TakeListener()).ok());
+
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 3; ++i) {
+    Result<std::unique_ptr<Connection>> conn = network.Connect();
+    ASSERT_TRUE(conn.ok());
+    clients.push_back(std::make_unique<Client>(std::move(*conn)));
+    Transaction txn;
+    ASSERT_TRUE(
+        txn.AddInsert(clients.back()->GroundAtom("Q", {StrCat("s", i)})).ok());
+    ASSERT_TRUE(clients.back()->Apply(txn).ok());
+  }
+
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&] { server.Stop(); });
+  }
+  for (std::thread& stopper : stoppers) stopper.join();
+  server.Stop();  // still idempotent after the fact
+  EXPECT_EQ(server.active_connections(), 0u);
+  EXPECT_EQ(db.active_sessions(), 0u);
+}
+
 TEST(ServerAdmissionTest, MalformedAndMistypedFramesAnsweredTyped) {
   DeductiveDatabase db;
   DeclareSchema(&db);

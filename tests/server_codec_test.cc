@@ -527,6 +527,46 @@ TEST(ServerCodecTest, LoopbackCleanCloseIsEof) {
   EXPECT_FALSE(eof->has_value());
 }
 
+TEST(ServerCodecTest, WriteFrameRejectsOversizedPayloadTyped) {
+  // The sender-side half of the frame cap: a payload the peer's ReadFrame
+  // would reject as malformed is refused with a typed status before any
+  // byte hits the wire, and the connection stays usable.
+  LoopbackNetwork network;
+  auto listener = network.TakeListener();
+  Result<std::unique_ptr<Connection>> client = network.Connect();
+  ASSERT_TRUE(client.ok());
+  Result<std::unique_ptr<Connection>> server = listener->Accept();
+  ASSERT_TRUE(server.ok());
+
+  std::string oversized(size_t{kMaxFramePayloadBytes} + 1, 'x');
+  Status refused =
+      WriteFrame(client->get(), FrameType::kQueryOk, 1, oversized);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted)
+      << refused.ToString();
+
+  // Nothing was written: the next well-formed frame is the first the peer
+  // sees, not a torn prefix of the oversized one.
+  ASSERT_TRUE(WriteFrame(client->get(), FrameType::kStats, 2, "ok").ok());
+  Result<std::optional<OwnedFrame>> frame = ReadFrame(server->get());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->request_id, 2u);
+  EXPECT_EQ((*frame)->payload, "ok");
+}
+
+TEST(ServerCodecTest, FrameAtExactPayloadCapRoundTrips) {
+  // kMaxFramePayloadBytes is the cap, not past it: a frame carrying exactly
+  // that much encodes, stays within kMaxFrameBytes, and decodes.
+  std::string payload(kMaxFramePayloadBytes, 'p');
+  std::string bytes;
+  AppendFrame(FrameType::kQueryOk, 3, payload, &bytes);
+  EXPECT_EQ(bytes.size(), size_t{4} + kMaxFrameBytes);
+  Result<FrameView> decoded = DecodeSingleFrame(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->payload.size(), payload.size());
+}
+
 TEST(ServerCodecTest, LoopbackOversizedFrameRejectedBeforeBuffering) {
   LoopbackNetwork network;
   auto listener = network.TakeListener();
