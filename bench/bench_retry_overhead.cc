@@ -1,0 +1,172 @@
+// Perf-M: the fault-free cost of the exactly-once machinery. Identical
+// write-only workloads through the full service path — encode, frame,
+// admission, writer thread, reply — once with untokened clients (v1 wire,
+// no dedup) and once with tokened clients (token on every Apply, dedup
+// lookup + record per commit, token extension on the commit record). The
+// number that matters is the ratio: tokened throughput should stay within
+// ~2% of untokened, since a dedup lookup is one hash probe on the writer
+// thread and the token adds 17 bytes to the frame.
+//
+// In-memory databases on purpose: a WAL fsync per commit would drown the
+// effect being measured (the WAL token extension itself is exercised by the
+// persist suites).
+//
+// Plain report binary (like bench_server_qps): prints a table and writes
+// $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_retry.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "util/strings.h"
+
+using namespace deddb;          // NOLINT — report binary brevity
+using namespace deddb::server;  // NOLINT
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr auto kRunFor = std::chrono::milliseconds(400);
+
+struct Row {
+  int clients = 0;
+  uint64_t untokened_writes = 0;
+  uint64_t tokened_writes = 0;
+  double untokened_qps = 0;
+  double tokened_qps = 0;
+  double overhead_pct = 0;  // (untokened - tokened) / untokened * 100
+};
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// One timed run: `clients` connections hammering private toggle-writes.
+/// tokened=false leaves client_id 0, so requests go out as v1 frames and
+/// the server's dedup path is never entered. Returns elapsed seconds.
+double RunOne(int clients, bool tokened, uint64_t* writes_out) {
+  DeductiveDatabase db;
+  Check(db.DeclareBase("R", 1).status());
+
+  LoopbackNetwork network;
+  Server server(&db);
+  Check(server.Serve(network.TakeListener()));
+
+  std::atomic<uint64_t> total_writes{0};
+  auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      ClientOptions options;
+      options.client_id = tokened ? static_cast<uint64_t>(c + 1) : 0;
+      Client client([&network]() { return network.Connect(); }, options);
+      uint64_t writes = 0;
+      bool in_r = false;
+      auto deadline = start + kRunFor;
+      while (Clock::now() < deadline) {
+        Transaction txn;
+        Atom fact = client.GroundAtom("R", {StrCat("w", c)});
+        Check(in_r ? txn.AddDelete(fact) : txn.AddInsert(fact));
+        in_r = !in_r;
+        Check(client.Apply(txn).status());
+        ++writes;
+      }
+      total_writes.fetch_add(writes, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  auto end = Clock::now();
+  server.Stop();
+
+  *writes_out = total_writes.load();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+Row Compare(int clients) {
+  Row row;
+  row.clients = clients;
+  // Interleave a warmup of each mode, then alternate short measured rounds
+  // and aggregate — back-to-back A/B pairs cancel machine drift that a
+  // single long run of each mode would bake into the ratio.
+  uint64_t scratch = 0;
+  (void)RunOne(clients, /*tokened=*/false, &scratch);
+  (void)RunOne(clients, /*tokened=*/true, &scratch);
+  double untokened_seconds = 0;
+  double tokened_seconds = 0;
+  for (int round = 0; round < 5; ++round) {
+    uint64_t writes = 0;
+    untokened_seconds += RunOne(clients, false, &writes);
+    row.untokened_writes += writes;
+    tokened_seconds += RunOne(clients, true, &writes);
+    row.tokened_writes += writes;
+  }
+  row.untokened_qps = row.untokened_writes / untokened_seconds;
+  row.tokened_qps = row.tokened_writes / tokened_seconds;
+  row.overhead_pct =
+      (row.untokened_qps - row.tokened_qps) / row.untokened_qps * 100.0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Exactly-once overhead: fault-free tokened vs untokened write QPS over "
+      "loopback\n(in-memory database, %lld ms per run, %u hardware "
+      "threads)\n",
+      static_cast<long long>(kRunFor.count()),
+      std::thread::hardware_concurrency());
+  std::printf("%8s %14s %14s %12s\n", "clients", "untokened/s", "tokened/s",
+              "overhead%");
+
+  std::vector<Row> rows;
+  for (int clients : {1, 2, 4}) {
+    Row row = Compare(clients);
+    std::printf("%8d %14.0f %14.0f %11.2f%%\n", row.clients,
+                row.untokened_qps, row.tokened_qps, row.overhead_pct);
+    rows.push_back(row);
+  }
+
+  const char* json_dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string json_path =
+      StrCat(json_dir != nullptr ? json_dir : ".", "/BENCH_retry.json");
+  std::string out = StrCat(
+      "{\"bench\":\"retry_overhead\",\"target_overhead_pct\":2,"
+      "\"hardware_threads\":",
+      std::thread::hardware_concurrency(), ",\"rows\":[");
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("{\"clients\":", row.clients,
+                  ",\"untokened_writes\":", row.untokened_writes,
+                  ",\"tokened_writes\":", row.tokened_writes,
+                  ",\"untokened_qps\":", row.untokened_qps,
+                  ",\"tokened_qps\":", row.tokened_qps,
+                  ",\"overhead_pct\":", row.overhead_pct, "}");
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", json_path.c_str());
+  return 0;
+}

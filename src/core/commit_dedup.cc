@@ -1,0 +1,59 @@
+#include "core/commit_dedup.h"
+
+#include <cassert>
+
+namespace deddb {
+
+void CommitDedup::Touch(ClientWindow* window) const {
+  window->last_touch = ++tick_;
+}
+
+DedupResult CommitDedup::Lookup(const persist::CommitToken& token) const {
+  assert(token.present());
+  auto it = clients_.find(token.client_id);
+  if (it == clients_.end()) return DedupResult{DedupVerdict::kFresh, 0};
+  const ClientWindow& window = it->second;
+  Touch(const_cast<ClientWindow*>(&window));
+  const Slot& slot = window.slots[token.request_seq % window.slots.size()];
+  if (slot.used && slot.seq == token.request_seq) {
+    return DedupResult{DedupVerdict::kDuplicate, slot.version};
+  }
+  if (token.request_seq <= window.max_seq) {
+    // At or below the high-water mark but not retained: either it committed
+    // and its slot was reused, or it never committed. Refuse to guess.
+    return DedupResult{DedupVerdict::kTooOld, 0};
+  }
+  return DedupResult{DedupVerdict::kFresh, 0};
+}
+
+void CommitDedup::Record(const persist::CommitToken& token, uint64_t version) {
+  assert(token.present());
+  auto it = clients_.find(token.client_id);
+  if (it == clients_.end()) {
+    if (clients_.size() >= options_.max_clients) {
+      // Evict the least recently used client wholesale.
+      auto victim = clients_.begin();
+      for (auto cand = clients_.begin(); cand != clients_.end(); ++cand) {
+        if (cand->second.last_touch < victim->second.last_touch) {
+          victim = cand;
+        }
+      }
+      clients_.erase(victim);
+    }
+    it = clients_.emplace(token.client_id, ClientWindow{}).first;
+    it->second.slots.resize(options_.window_per_client);
+  }
+  ClientWindow& window = it->second;
+  Touch(&window);
+  Slot& slot = window.slots[token.request_seq % window.slots.size()];
+  // Never let an out-of-order re-record (replay idempotence) clobber a
+  // newer commit that already owns the slot.
+  if (!slot.used || token.request_seq >= slot.seq) {
+    slot.seq = token.request_seq;
+    slot.version = version;
+    slot.used = true;
+  }
+  if (token.request_seq > window.max_seq) window.max_seq = token.request_seq;
+}
+
+}  // namespace deddb

@@ -147,6 +147,12 @@ Result<std::unique_ptr<DeductiveDatabase>> DeductiveDatabase::OpenPersistent(
                    "snapshot"));
       }
     }
+    if (record.token.present()) {
+      // Re-arm the exactly-once memory: a client retrying across the crash
+      // must still get a dedup hit, not a second apply.
+      std::lock_guard<std::mutex> lock(db->commit_mu_);
+      db->dedup_.Record(record.token, db->version_);
+    }
   }
   DEDDB_RETURN_IF_ERROR(manager->OpenLogForAppend());
   db->persistence_ = std::move(manager);
@@ -289,6 +295,27 @@ Result<Transaction> DeductiveDatabase::MakeTransaction(
 }
 
 Status DeductiveDatabase::Apply(const Transaction& transaction) {
+  return ApplyInternal(transaction, persist::CommitToken{});
+}
+
+Status DeductiveDatabase::Apply(const Transaction& transaction,
+                                const persist::CommitToken& token) {
+  return ApplyInternal(transaction, token);
+}
+
+DedupResult DeductiveDatabase::LookupCommitToken(
+    const persist::CommitToken& token) const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return dedup_.Lookup(token);
+}
+
+Status DeductiveDatabase::commit_health() const {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  return commit_health_;
+}
+
+Status DeductiveDatabase::ApplyInternal(const Transaction& transaction,
+                                        const persist::CommitToken& token) {
   const obs::ObsContext obs = observability();
   std::unique_lock<std::mutex> lock(commit_mu_, std::try_to_lock);
   if (!lock.owns_lock()) {
@@ -306,7 +333,11 @@ Status DeductiveDatabase::Apply(const Transaction& transaction) {
   DEDDB_RETURN_IF_ERROR(commit_health_);
   DEDDB_RETURN_IF_ERROR(
       transaction.Validate(db_.facts(), db_.predicates()));
-  if (persistence_ == nullptr) return ApplyValidatedLocked(transaction);
+  if (persistence_ == nullptr) {
+    DEDDB_RETURN_IF_ERROR(ApplyValidatedLocked(transaction));
+    if (token.present()) dedup_.Record(token, version_);
+    return Status::Ok();
+  }
   // Redo logging, pipelined: stage the commit record (its sequence number
   // and log bytes) under the lock, apply in memory, then wait for
   // durability OUTSIDE the lock so concurrent committers share fsyncs
@@ -315,8 +346,14 @@ Status DeductiveDatabase::Apply(const Transaction& transaction) {
   DEDDB_ASSIGN_OR_RETURN(
       persist::PersistenceManager::PreparedCommit prepared,
       persistence_->PrepareCommit(transaction, persist::CommitOrigin::kDirect,
-                                  db_.symbols(), obs));
+                                  db_.symbols(), obs, token));
   DEDDB_RETURN_IF_ERROR(ApplyValidatedLocked(transaction));
+  // Record the token with the commit it names, before the lock drops: a
+  // dedup lookup serialized after this commit must see it. If durability
+  // then fails the facade is poisoned, so the optimistic entry can never
+  // answer a request (writes stop being admitted) and the non-durable
+  // record is not replayed on reopen.
+  if (token.present()) dedup_.Record(token, version_);
   lock.unlock();
   Status durable = persistence_->WaitCommitDurable(prepared, obs);
   if (!durable.ok()) {

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/commit_dedup.h"
 #include "core/session.h"
 #include "events/event_compiler.h"
 #include "interp/domain.h"
@@ -148,6 +149,25 @@ class DeductiveDatabase {
   /// use UpdateProcessor for the combined pipeline.
   Status Apply(const Transaction& transaction);
 
+  /// Apply with an idempotency token: the commit is recorded in the dedup
+  /// table (and, when persistent, the token rides in the WAL record, so
+  /// recovery re-records it). The caller — the server's writer thread — is
+  /// expected to consult LookupCommitToken first; Apply itself does not
+  /// re-check, since the single-writer contract already serializes the
+  /// lookup/apply pair.
+  Status Apply(const Transaction& transaction,
+               const persist::CommitToken& token);
+
+  /// Classifies a tokened write against the committed-write memory:
+  /// kDuplicate carries the version the original commit produced.
+  DedupResult LookupCommitToken(const persist::CommitToken& token) const;
+
+  /// The sticky durability failure, Ok while the database is healthy. Once
+  /// set (a commit applied in memory whose log record never became durable),
+  /// every later mutation fails with it; reads remain consistent. The
+  /// server's degraded read-only mode keys off this.
+  Status commit_health() const;
+
   // ---- Event machinery ----------------------------------------------------
 
   /// The compiled transition/event rules (recompiled after schema changes).
@@ -257,6 +277,10 @@ class DeductiveDatabase {
   }
 
  private:
+  /// Shared body of both public Apply overloads; `token` may be absent.
+  Status ApplyInternal(const Transaction& transaction,
+                       const persist::CommitToken& token);
+
   /// Apply without logging: the in-memory mutation shared by the public
   /// Apply (which logs first), UpdateProcessor (which logs with kProcessor
   /// origin before calling this), and WAL replay. Takes the commit lock.
@@ -331,6 +355,10 @@ class DeductiveDatabase {
   // ahead of the log, so further commits/checkpoints must not proceed —
   // reopen the database to re-converge.
   Status commit_health_;
+  // Committed tokened writes (exactly-once memory); commit_mu_ guards it.
+  // Populated at commit time and, for persistent databases, re-populated
+  // from WAL token extensions during OpenPersistent replay.
+  CommitDedup dedup_;
 };
 
 }  // namespace deddb

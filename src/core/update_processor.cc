@@ -132,7 +132,8 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
   uint64_t seq = 0;
   if (persistence != nullptr) {
     Result<uint64_t> logged = persistence->LogCommit(
-        transaction, persist::CommitOrigin::kProcessor, db.symbols(), obs);
+        transaction, persist::CommitOrigin::kProcessor, db.symbols(), obs,
+        token_);
     if (!logged.ok()) return logged.status();
     seq = *logged;
   }
@@ -172,6 +173,7 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
     // The transaction passed the incremental integrity check, so the new
     // state is known consistent without re-deriving Ic.
     db_->consistency_cache_ = true;
+    if (token_.present()) db_->dedup_.Record(token_, db_->version_);
     if (span.enabled()) {
       span.AttrInt("view_inserts",
                    static_cast<int64_t>(report->views.applied_inserts));

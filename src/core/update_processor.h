@@ -18,6 +18,15 @@ class UpdateProcessor {
   /// `db` must outlive the processor.
   explicit UpdateProcessor(DeductiveDatabase* db) : db_(db) {}
 
+  /// Idempotency token attached to the next accepted-and-applied
+  /// transaction: it rides in the commit record and is entered in the
+  /// facade's dedup table, mirroring DeductiveDatabase::Apply's tokened
+  /// overload. An absent token (the default) changes nothing. The caller —
+  /// the server's single writer thread — consults LookupCommitToken before
+  /// processing; rejected transactions are never recorded (they had no
+  /// effect, so re-processing a retry is harmless).
+  void set_commit_token(const persist::CommitToken& token) { token_ = token; }
+
   /// Result of the combined upward pass over one transaction.
   struct TransactionReport {
     /// False when the transaction violates some integrity constraint (then
@@ -76,6 +85,7 @@ class UpdateProcessor {
                          TransactionReport* report);
 
   DeductiveDatabase* db_;
+  persist::CommitToken token_;
 };
 
 }  // namespace deddb

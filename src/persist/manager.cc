@@ -144,16 +144,17 @@ Status PersistenceManager::OpenLogForAppend() {
 Result<uint64_t> PersistenceManager::LogCommit(const Transaction& txn,
                                                CommitOrigin origin,
                                                const SymbolTable& symbols,
-                                               obs::ObsContext obs) {
+                                               obs::ObsContext obs,
+                                               const CommitToken& token) {
   DEDDB_ASSIGN_OR_RETURN(PreparedCommit prepared,
-                         PrepareCommit(txn, origin, symbols, obs));
+                         PrepareCommit(txn, origin, symbols, obs, token));
   DEDDB_RETURN_IF_ERROR(WaitCommitDurable(prepared, obs));
   return prepared.seq;
 }
 
 Result<PersistenceManager::PreparedCommit> PersistenceManager::PrepareCommit(
     const Transaction& txn, CommitOrigin origin, const SymbolTable& symbols,
-    obs::ObsContext obs) {
+    obs::ObsContext obs, const CommitToken& token) {
   obs::ScopedSpan span(obs.tracer, "persist.log_commit");
   std::lock_guard<std::mutex> lock(mu_);
   if (writer_ == nullptr) {
@@ -162,7 +163,8 @@ Result<PersistenceManager::PreparedCommit> PersistenceManager::PrepareCommit(
   PreparedCommit prepared;
   prepared.seq = last_seq_ + 1;
   prepared.writer = writer_;
-  std::string payload = EncodeCommitPayload(prepared.seq, origin, txn, symbols);
+  std::string payload =
+      EncodeCommitPayload(prepared.seq, origin, txn, symbols, token);
   if (options_.group_commit) {
     DEDDB_ASSIGN_OR_RETURN(prepared.ticket,
                            writer_->Enqueue(std::move(payload)));

@@ -71,8 +71,11 @@ class PersistenceManager {
   /// Must precede the in-memory apply; an error here means nothing was
   /// logged (the writer self-heals to the durable prefix) and the caller
   /// must not apply.
+  /// A present `token` rides inside the commit record, so recovery rebuilds
+  /// the exactly-once dedup state along with the data.
   Result<uint64_t> LogCommit(const Transaction& txn, CommitOrigin origin,
-                             const SymbolTable& symbols, obs::ObsContext obs);
+                             const SymbolTable& symbols, obs::ObsContext obs,
+                             const CommitToken& token = {});
 
   /// A commit record staged in the log but not necessarily durable yet.
   /// Pins the WalWriter it was enqueued on, so it stays redeemable across a
@@ -96,7 +99,8 @@ class PersistenceManager {
   Result<PreparedCommit> PrepareCommit(const Transaction& txn,
                                        CommitOrigin origin,
                                        const SymbolTable& symbols,
-                                       obs::ObsContext obs);
+                                       obs::ObsContext obs,
+                                       const CommitToken& token = {});
   Status WaitCommitDurable(const PreparedCommit& prepared,
                            obs::ObsContext obs);
 

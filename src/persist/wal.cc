@@ -20,6 +20,10 @@ namespace {
 // An absurd single-record bound: a length field past it is damage, not data.
 constexpr uint32_t kMaxRecordBytes = uint32_t{1} << 30;
 
+// Tag byte introducing the optional trailing CommitToken extension of a
+// commit record.
+constexpr uint8_t kCommitTokenTag = 1;
+
 Status ErrnoError(std::string_view op, const std::string& path) {
   return InternalError(StrCat(op, " failed for '", path, "': ",
                               std::strerror(errno)));
@@ -80,6 +84,22 @@ Result<WalRecord> DecodePayload(std::string_view payload,
       record.origin = static_cast<CommitOrigin>(origin);
       DEDDB_ASSIGN_OR_RETURN(record.transaction,
                              DecodeTransaction(&source, symbols));
+      // Optional tagged extension: an idempotency token. Absent in records
+      // written before tokens existed (and for untokened writes), so an
+      // exhausted source here is a complete record, not a short one.
+      if (!source.exhausted()) {
+        DEDDB_ASSIGN_OR_RETURN(uint8_t tag, source.GetU8());
+        if (tag != kCommitTokenTag) {
+          return CorruptionError(
+              StrCat("unknown commit-record extension tag ", int{tag}));
+        }
+        DEDDB_ASSIGN_OR_RETURN(record.token.client_id, source.GetU64());
+        DEDDB_ASSIGN_OR_RETURN(record.token.request_seq, source.GetU64());
+        if (!record.token.present()) {
+          return CorruptionError(
+              "commit-record token extension with reserved client id 0");
+        }
+      }
       break;
     }
     case static_cast<uint8_t>(RecordType::kAbort): {
@@ -100,12 +120,18 @@ Result<WalRecord> DecodePayload(std::string_view payload,
 
 std::string EncodeCommitPayload(uint64_t seq, CommitOrigin origin,
                                 const Transaction& txn,
-                                const SymbolTable& symbols) {
+                                const SymbolTable& symbols,
+                                const CommitToken& token) {
   ByteSink sink;
   sink.PutU8(static_cast<uint8_t>(RecordType::kCommit));
   sink.PutU64(seq);
   sink.PutU8(static_cast<uint8_t>(origin));
   EncodeTransaction(txn, symbols, &sink);
+  if (token.present()) {
+    sink.PutU8(kCommitTokenTag);
+    sink.PutU64(token.client_id);
+    sink.PutU64(token.request_seq);
+  }
   return sink.Take();
 }
 

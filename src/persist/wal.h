@@ -40,11 +40,28 @@ enum class CommitOrigin : uint8_t {
   kDirect = 1,     // DeductiveDatabase::Apply
 };
 
+/// Client-supplied idempotency token carried by a commit: `(client_id,
+/// request_seq)` names the *logical* write, so a retransmitted request whose
+/// first attempt already committed can be recognized and answered with the
+/// original result instead of applying twice. `client_id == 0` means "no
+/// token" (an untokened v1 write); tokened commits ride in the WAL record so
+/// recovery — and, later, replicas — rebuild the dedup table for free.
+struct CommitToken {
+  uint64_t client_id = 0;
+  uint64_t request_seq = 0;
+
+  bool present() const { return client_id != 0; }
+  friend bool operator==(const CommitToken& a, const CommitToken& b) {
+    return a.client_id == b.client_id && a.request_seq == b.request_seq;
+  }
+};
+
 struct WalRecord {
   RecordType type = RecordType::kCommit;
   uint64_t seq = 0;
   CommitOrigin origin = CommitOrigin::kProcessor;  // commit records only
   Transaction transaction;                         // commit records only
+  CommitToken token;                               // commit records only
   uint64_t aborted_seq = 0;                        // abort records only
 };
 
@@ -57,10 +74,15 @@ struct WalContents {
   bool torn_tail = false;
 };
 
-/// Payload builders (the framing is the writer's job).
+/// Payload builders (the framing is the writer's job). A present token is
+/// appended as a tagged trailing extension (u8 tag 1 | u64 client_id |
+/// u64 request_seq) after the transaction; logs written before tokens
+/// existed decode unchanged, and an absent token encodes to the identical
+/// bytes they used — the on-disk format is extended, not versioned away.
 std::string EncodeCommitPayload(uint64_t seq, CommitOrigin origin,
                                 const Transaction& txn,
-                                const SymbolTable& symbols);
+                                const SymbolTable& symbols,
+                                const CommitToken& token = {});
 std::string EncodeAbortPayload(uint64_t seq, uint64_t aborted_seq);
 
 /// Reads and validates a whole log file.

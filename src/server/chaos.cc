@@ -1,0 +1,111 @@
+#include "server/chaos.h"
+
+#include <chrono>
+#include <thread>
+
+namespace deddb::server {
+
+namespace {
+
+/// Mixes the network seed with a per-connection index and a direction salt
+/// so every Rng stream is distinct but reproducible.
+uint64_t DeriveSeed(uint64_t seed, uint64_t index, uint64_t salt) {
+  return seed + index * 0x9e3779b97f4a7c15ULL + salt;
+}
+
+}  // namespace
+
+class FaultyConnection : public Connection {
+ public:
+  FaultyConnection(FaultyNetwork* network, std::unique_ptr<Connection> inner,
+                   uint64_t index)
+      : network_(network),
+        inner_(std::move(inner)),
+        read_rng_(DeriveSeed(network->options_.seed, index, 1)),
+        write_rng_(DeriveSeed(network->options_.seed, index, 2)) {}
+
+  ~FaultyConnection() override { Close(); }
+
+  Result<size_t> Read(char* buf, size_t len) override {
+    MaybeDelay(&read_rng_);
+    if (Chance(&read_rng_, network_->options_.reset_read_per_mille)) {
+      network_->resets_.fetch_add(1, std::memory_order_relaxed);
+      inner_->Close();
+      return InternalError("injected fault: connection reset during read");
+    }
+    return inner_->Read(buf, len);
+  }
+
+  Status Write(const char* buf, size_t len) override {
+    MaybeDelay(&write_rng_);
+    if (Chance(&write_rng_, network_->options_.truncate_write_per_mille)) {
+      network_->truncations_.fetch_add(1, std::memory_order_relaxed);
+      // Deliver a random strict prefix — possibly nothing — then reset, so
+      // the peer is left holding a torn frame (or silence), exactly the
+      // mid-write crash the frame reader must survive.
+      size_t prefix = len > 0
+                          ? static_cast<size_t>(write_rng_.NextBelow(len))
+                          : 0;
+      if (prefix > 0) {
+        // Best-effort: the connection is going down either way.
+        (void)inner_->Write(buf, prefix);
+      }
+      inner_->Close();
+      return InternalError("injected fault: connection reset during write");
+    }
+    return inner_->Write(buf, len);
+  }
+
+  void Close() override { inner_->Close(); }
+
+ private:
+  bool Chance(Rng* rng, uint32_t per_mille) {
+    if (per_mille == 0) return false;
+    return rng->NextChance(per_mille, 1000);
+  }
+
+  void MaybeDelay(Rng* rng) {
+    const FaultyNetwork::Options& options = network_->options_;
+    if (options.delay_per_mille == 0 || options.max_delay_us == 0) return;
+    if (!rng->NextChance(options.delay_per_mille, 1000)) return;
+    network_->delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng->NextBelow(options.max_delay_us) + 1));
+  }
+
+  FaultyNetwork* network_;
+  std::unique_ptr<Connection> inner_;
+  Rng read_rng_;   // reader-thread stream
+  Rng write_rng_;  // writer-thread stream
+};
+
+class FaultyListener : public Listener {
+ public:
+  FaultyListener(FaultyNetwork* network, std::unique_ptr<Listener> inner)
+      : network_(network), inner_(std::move(inner)) {}
+
+  Result<std::unique_ptr<Connection>> Accept() override {
+    DEDDB_ASSIGN_OR_RETURN(std::unique_ptr<Connection> conn,
+                           inner_->Accept());
+    return network_->Wrap(std::move(conn));
+  }
+
+  void Close() override { inner_->Close(); }
+
+ private:
+  FaultyNetwork* network_;
+  std::unique_ptr<Listener> inner_;
+};
+
+std::unique_ptr<Connection> FaultyNetwork::Wrap(
+    std::unique_ptr<Connection> conn) {
+  uint64_t index = next_connection_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<FaultyConnection>(this, std::move(conn), index);
+}
+
+std::unique_ptr<Listener> FaultyNetwork::WrapListener(
+    std::unique_ptr<Listener> listener) {
+  return std::make_unique<FaultyListener>(this, std::move(listener));
+}
+
+}  // namespace deddb::server

@@ -1,0 +1,77 @@
+#ifndef DEDDB_SERVER_CHAOS_H_
+#define DEDDB_SERVER_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "server/transport.h"
+#include "util/rng.h"
+
+namespace deddb::server {
+
+/// A fault-injecting decorator over any Connection/Listener (loopback or
+/// TCP): deterministically (seeded util::Rng) delays operations, truncates
+/// writes after a random prefix, and tears connections down mid-read or
+/// mid-write — the transport half of the chaos history suite. The wrapped
+/// connection is indistinguishable from a flaky network to both peers: a
+/// truncated write leaves the peer a torn frame, an injected reset surfaces
+/// as a typed transport error, and in-flight bytes already written still
+/// arrive (matching TCP).
+///
+/// Determinism: every wrapped connection draws from two private Rng streams
+/// (one per direction, honoring the one-reader+one-writer connection
+/// contract without locks), seeded from the network seed and a connection
+/// index assigned in Wrap order. The same seed and the same wrap/call
+/// sequence replays the same faults.
+class FaultyNetwork {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    /// Probability (per mille, checked once per call) that a Read fails by
+    /// resetting the connection.
+    uint32_t reset_read_per_mille = 0;
+    /// Probability that a Write writes only a random prefix (possibly zero
+    /// bytes — a pure drop) and then resets the connection.
+    uint32_t truncate_write_per_mille = 0;
+    /// Probability that an operation is delayed before executing.
+    uint32_t delay_per_mille = 0;
+    /// Upper bound on one injected delay.
+    uint32_t max_delay_us = 500;
+  };
+
+  FaultyNetwork() : FaultyNetwork(Options{}) {}
+  explicit FaultyNetwork(Options options) : options_(options) {}
+
+  /// Decorates one connection. The wrapper owns `conn`.
+  std::unique_ptr<Connection> Wrap(std::unique_ptr<Connection> conn);
+
+  /// Decorates a listener so every accepted connection is wrapped — the
+  /// server-facing half (its replies then fail mid-frame too).
+  std::unique_ptr<Listener> WrapListener(std::unique_ptr<Listener> listener);
+
+  // ---- Telemetry (atomic; safe to read while connections run) --------------
+  uint64_t resets_injected() const {
+    return resets_.load(std::memory_order_relaxed);
+  }
+  uint64_t truncations_injected() const {
+    return truncations_.load(std::memory_order_relaxed);
+  }
+  uint64_t delays_injected() const {
+    return delays_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class FaultyConnection;
+  friend class FaultyListener;
+
+  Options options_;
+  std::atomic<uint64_t> next_connection_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> truncations_{0};
+  std::atomic<uint64_t> delays_{0};
+};
+
+}  // namespace deddb::server
+
+#endif  // DEDDB_SERVER_CHAOS_H_

@@ -1,10 +1,27 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
 #include <utility>
 
 #include "util/strings.h"
 
 namespace deddb::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+Client::Client(Dialer dialer, ClientOptions options)
+    : dialer_(std::move(dialer)), options_(options) {}
+
+Client::Client(std::unique_ptr<Connection> conn) : conn_(std::move(conn)) {
+  options_.max_attempts = 1;
+}
 
 Term Client::Constant(std::string_view name) {
   return Term::MakeConstant(symbols_.Intern(name));
@@ -28,44 +45,151 @@ Atom Client::GroundAtom(std::string_view predicate,
   return MakeAtom(predicate, std::move(args));
 }
 
+void Client::Close() {
+  if (conn_ != nullptr) conn_->Close();
+}
+
+Status Client::EnsureConnected() {
+  if (conn_ != nullptr) return Status::Ok();
+  if (!dialer_) {
+    return FailedPreconditionError(
+        "connection is down and this client has no dialer to re-dial");
+  }
+  DEDDB_ASSIGN_OR_RETURN(conn_, dialer_());
+  if (conn_ == nullptr) return InternalError("dialer returned null");
+  ++dials_;
+  obs::MetricsRegistry::Add(options_.metrics, "client.redials");
+  return Status::Ok();
+}
+
+void Client::TearDown() {
+  if (conn_ == nullptr) return;
+  conn_->Close();
+  conn_.reset();
+}
+
+bool Client::StampToken(persist::CommitToken* token) {
+  if (options_.client_id == 0) return false;
+  token->client_id = options_.client_id;
+  token->request_seq = next_request_seq_++;
+  return true;
+}
+
 Result<uint64_t> Client::SendRaw(FrameType type, std::string_view payload) {
+  DEDDB_RETURN_IF_ERROR(EnsureConnected());
   uint64_t id = next_request_id_++;
-  DEDDB_RETURN_IF_ERROR(WriteFrame(conn_.get(), type, id, payload));
+  Status written = WriteFrame(conn_.get(), type, id, payload);
+  if (!written.ok()) {
+    TearDown();
+    return written;
+  }
   return id;
 }
 
 Result<OwnedFrame> Client::ReceiveRaw() {
-  DEDDB_ASSIGN_OR_RETURN(std::optional<OwnedFrame> frame,
-                         ReadFrame(conn_.get()));
-  if (!frame.has_value()) {
+  if (conn_ == nullptr) {
+    return FailedPreconditionError("connection is down");
+  }
+  Result<std::optional<OwnedFrame>> frame = ReadFrame(conn_.get());
+  if (!frame.ok()) {
+    TearDown();
+    return frame.status();
+  }
+  if (!frame->has_value()) {
+    TearDown();
     return FailedPreconditionError("connection closed by server");
   }
-  return std::move(*frame);
+  return std::move(**frame);
 }
 
-Result<OwnedFrame> Client::Call(FrameType type, std::string_view payload) {
-  DEDDB_ASSIGN_OR_RETURN(uint64_t id, SendRaw(type, payload));
-  DEDDB_ASSIGN_OR_RETURN(OwnedFrame frame, ReceiveRaw());
+Result<OwnedFrame> Client::CallOnce(FrameType type, std::string_view payload,
+                                    FailureKind* kind,
+                                    bool* retryable_hint) {
+  *kind = FailureKind::kTransport;
+  *retryable_hint = false;
+  Status connected = EnsureConnected();
+  if (!connected.ok()) return connected;
+  uint64_t id = next_request_id_++;
+  Status written = WriteFrame(conn_.get(), type, id, payload);
+  if (!written.ok()) {
+    TearDown();
+    return written;
+  }
+  Result<std::optional<OwnedFrame>> read = ReadFrame(conn_.get());
+  if (!read.ok()) {
+    TearDown();
+    return read.status();
+  }
+  if (!read->has_value()) {
+    TearDown();
+    return UnavailableError("connection closed by server");
+  }
+  OwnedFrame frame = std::move(**read);
   if (frame.request_id != id) {
+    // The stream is out of step with our bookkeeping (e.g. the reply to an
+    // earlier, abandoned request). It can never resynchronize: drop it.
+    TearDown();
     return InternalError(StrCat("response for request ", frame.request_id,
                                 " while awaiting ", id,
-                                " (one outstanding request per Client)"));
+                                "; stream desynchronized"));
   }
   if (frame.type == FrameType::kError) {
-    DEDDB_ASSIGN_OR_RETURN(ErrorReply error, DecodeErrorReply(frame.payload));
-    if (error.code == StatusCode::kOk) {
+    Result<ErrorReply> error = DecodeErrorReply(frame.payload);
+    if (!error.ok()) {
+      TearDown();  // a peer sending garbage frames cannot be trusted
+      return error.status();
+    }
+    if (error->code == StatusCode::kOk) {
+      TearDown();
       return InternalError("error frame carrying kOk");
     }
-    return error.ToStatus();
+    *kind = FailureKind::kRejected;
+    *retryable_hint = error->has_retry_hint() && error->retryable();
+    return error->ToStatus();
   }
   FrameType expected =
       static_cast<FrameType>(static_cast<uint8_t>(type) + 64);
   if (frame.type != expected) {
+    TearDown();
     return InternalError(StrCat("unexpected response type ",
                                 static_cast<int>(frame.type),
                                 " to request type ", static_cast<int>(type)));
   }
+  *kind = FailureKind::kNone;
   return frame;
+}
+
+Result<OwnedFrame> Client::Call(FrameType type, std::string_view payload,
+                                const Admission& admission, bool idempotent) {
+  std::optional<Clock::time_point> deadline_at;
+  if (admission.deadline_ms > 0) {
+    deadline_at =
+        Clock::now() + std::chrono::milliseconds(admission.deadline_ms);
+  }
+  Backoff backoff(options_.backoff);
+  const uint32_t max_attempts = std::max<uint32_t>(1, options_.max_attempts);
+  for (uint32_t attempt = 1;; ++attempt) {
+    FailureKind kind = FailureKind::kNone;
+    bool retryable_hint = false;
+    Result<OwnedFrame> result =
+        CallOnce(type, payload, &kind, &retryable_hint);
+    if (result.ok()) return result;
+    // A transport failure leaves the outcome unknown, so only requests that
+    // are safe to re-execute may go again; a server rejection is definitive
+    // and goes again only on the server's explicit say-so.
+    const bool may_retry =
+        kind == FailureKind::kTransport ? idempotent : retryable_hint;
+    if (!may_retry || attempt >= max_attempts) return result.status();
+    std::chrono::microseconds delay = backoff.NextDelay();
+    if (deadline_at.has_value() && Clock::now() + delay >= *deadline_at) {
+      // The budget cannot cover another attempt; surface the last failure
+      // rather than sleeping past the deadline.
+      return result.status();
+    }
+    std::this_thread::sleep_for(delay);
+    ++retries_;
+    obs::MetricsRegistry::Add(options_.metrics, "client.retries");
+  }
 }
 
 Result<QueryReply> Client::Query(std::vector<Atom> patterns,
@@ -75,7 +199,8 @@ Result<QueryReply> Client::Query(std::vector<Atom> patterns,
   request.patterns = std::move(patterns);
   DEDDB_ASSIGN_OR_RETURN(
       OwnedFrame frame,
-      Call(FrameType::kQuery, EncodeQueryRequest(request, symbols_)));
+      Call(FrameType::kQuery, EncodeQueryRequest(request, symbols_),
+           admission, /*idempotent=*/true));
   return DecodeQueryReply(frame.payload, &symbols_);
 }
 
@@ -84,9 +209,11 @@ Result<ApplyReply> Client::Apply(const Transaction& transaction,
   ApplyRequest request;
   request.admission = admission;
   request.transaction = transaction;
+  const bool tokened = StampToken(&request.token);
   DEDDB_ASSIGN_OR_RETURN(
       OwnedFrame frame,
-      Call(FrameType::kApply, EncodeApplyRequest(request, symbols_)));
+      Call(FrameType::kApply, EncodeApplyRequest(request, symbols_),
+           admission, /*idempotent=*/tokened));
   return DecodeApplyReply(frame.payload);
 }
 
@@ -95,9 +222,11 @@ Result<ProcessReply> Client::Process(const Transaction& transaction,
   ProcessRequest request;
   request.admission = admission;
   request.transaction = transaction;
+  const bool tokened = StampToken(&request.token);
   DEDDB_ASSIGN_OR_RETURN(
       OwnedFrame frame,
-      Call(FrameType::kProcess, EncodeProcessRequest(request, symbols_)));
+      Call(FrameType::kProcess, EncodeProcessRequest(request, symbols_),
+           admission, /*idempotent=*/tokened));
   return DecodeProcessReply(frame.payload);
 }
 
@@ -108,22 +237,35 @@ Result<TranslateReply> Client::Translate(const UpdateRequest& request,
   wire.request = request;
   DEDDB_ASSIGN_OR_RETURN(
       OwnedFrame frame,
-      Call(FrameType::kTranslate, EncodeTranslateRequest(wire, symbols_)));
+      Call(FrameType::kTranslate, EncodeTranslateRequest(wire, symbols_),
+           admission, /*idempotent=*/true));
   return DecodeTranslateReply(frame.payload, &symbols_);
 }
 
 Result<CheckpointReply> Client::Checkpoint(const Admission& admission) {
+  // Checkpointing is idempotent (it snapshots whatever state is current),
+  // so an unknown-outcome retry is safe even without a token.
   DEDDB_ASSIGN_OR_RETURN(
       OwnedFrame frame,
-      Call(FrameType::kCheckpoint, EncodeAdmissionOnly(admission)));
+      Call(FrameType::kCheckpoint, EncodeAdmissionOnly(admission), admission,
+           /*idempotent=*/true));
   return DecodeCheckpointReply(frame.payload);
 }
 
 Result<StatsReply> Client::Stats(const Admission& admission) {
   DEDDB_ASSIGN_OR_RETURN(
       OwnedFrame frame,
-      Call(FrameType::kStats, EncodeAdmissionOnly(admission)));
+      Call(FrameType::kStats, EncodeAdmissionOnly(admission), admission,
+           /*idempotent=*/true));
   return DecodeStatsReply(frame.payload);
+}
+
+Result<HealthReply> Client::Health(const Admission& admission) {
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kHealth, EncodeAdmissionOnly(admission), admission,
+           /*idempotent=*/true));
+  return DecodeHealthReply(frame.payload);
 }
 
 }  // namespace deddb::server

@@ -2,16 +2,52 @@
 #define DEDDB_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "datalog/symbol_table.h"
+#include "obs/metrics.h"
 #include "server/protocol.h"
 #include "server/transport.h"
+#include "util/backoff.h"
 
 namespace deddb::server {
+
+/// Produces a fresh connection to the server; called on first use and after
+/// every transport failure (the client never reuses a connection that failed
+/// mid-request — a half-consumed reply frame would desynchronize the stream
+/// for every later request).
+using Dialer = std::function<Result<std::unique_ptr<Connection>>()>;
+
+struct ClientOptions {
+  /// Nonzero opts mutating requests into exactly-once retries: every Apply
+  /// and Process carries a `(client_id, request_seq)` idempotency token, so
+  /// a retry after an unknown-outcome transport failure is answered from
+  /// the server's dedup table instead of applying twice. Zero (default)
+  /// sends v1 untokened requests, and the client never retries a mutation
+  /// whose outcome is unknown. Distinct concurrent clients must use
+  /// distinct ids — and a *restarted* client must not reuse an old id:
+  /// request_seq restarts at 1 with every Client object, so a reused id
+  /// aliases the previous incarnation's early commits and the server will
+  /// answer the "duplicates" from its dedup table instead of applying.
+  /// Derive the id from something incarnation-unique (pid + boot time, a
+  /// random draw, a lease).
+  uint64_t client_id = 0;
+
+  /// Attempt cap per logical request (1 = never retry). Retries stop early
+  /// when the request's deadline budget cannot cover the next backoff.
+  uint32_t max_attempts = 5;
+
+  /// Delay schedule between attempts (capped decorrelated jitter).
+  Backoff::Options backoff;
+
+  /// Sink for the client.* series (client.retries, client.redials); may be
+  /// null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
 
 /// A synchronous protocol client over any Connection (loopback in the test
 /// suites, TCP from the bench and binary). One outstanding request at a
@@ -21,10 +57,26 @@ namespace deddb::server {
 /// and replies interned back into it, so client and server ids never have to
 /// agree (names travel on the wire) — exactly the situation of a client in
 /// another process.
+///
+/// Retry contract (DESIGN.md §10): a request is retried only when that is
+/// provably safe — reads and Health always (idempotent), tokened mutations
+/// always (the server deduplicates), untokened mutations never after a
+/// transport failure (the outcome is unknown and retrying could double
+/// apply). An error *frame* is a definitive server answer: it is retried
+/// only when the server hinted retryable (transient overload/quota), never
+/// when it hinted not-retryable (degraded read-only, validation, spent
+/// deadline) or carried no hint.
 class Client {
  public:
-  explicit Client(std::unique_ptr<Connection> conn)
-      : conn_(std::move(conn)) {}
+  /// Retrying client: dials through `dialer`, re-dialing after transport
+  /// failures with backoff until the deadline or attempt budget runs out.
+  Client(Dialer dialer, ClientOptions options);
+
+  /// Single-connection client (the PR 6 surface): no re-dialing, one
+  /// attempt per request, no tokens. A transport failure still tears the
+  /// connection down, so later requests fail fast instead of reading the
+  /// previous request's half-consumed reply.
+  explicit Client(std::unique_ptr<Connection> conn);
 
   /// Term/atom building against the client's own symbol table. Unchecked
   /// here — the server validates predicates and arity against its schema
@@ -39,6 +91,8 @@ class Client {
   // An ErrorReply from the server becomes the returned error Status, with
   // the wire code preserved (so kDeadlineExceeded / kBudgetExceeded /
   // kCancelled stay distinguishable from transport failures).
+  // `admission.deadline_ms` is the *total* budget for the logical request,
+  // spanning every retry and backoff sleep.
 
   /// Batched Solve: one answer list per pattern, all read from the single
   /// snapshot version reported in the reply.
@@ -58,29 +112,73 @@ class Client {
 
   Result<StatsReply> Stats(const Admission& admission = {});
 
+  /// Liveness/degradation probe (serving vs read-only vs stopping).
+  Result<HealthReply> Health(const Admission& admission = {});
+
   // ---- Raw frame access (tests) --------------------------------------------
 
   /// Sends one frame without waiting for the response (the admission suite
   /// pipelines writes past the per-connection quota this way). Returns the
-  /// request id used.
+  /// request id used. Never retries.
   Result<uint64_t> SendRaw(FrameType type, std::string_view payload);
 
   /// Receives the next frame, whatever it is.
   Result<OwnedFrame> ReceiveRaw();
 
-  void Close() { conn_->Close(); }
+  void Close();
 
   SymbolTable& symbols() { return symbols_; }
+  /// The live connection, or nullptr between a transport failure and the
+  /// next (re-dialing) request.
   Connection* connection() { return conn_.get(); }
 
+  // ---- Telemetry (tests) ---------------------------------------------------
+  uint64_t retries() const { return retries_; }
+  uint64_t dials() const { return dials_; }
+
  private:
+  /// How one attempt failed — decides whether a retry is safe.
+  enum class FailureKind {
+    kNone,
+    /// Send/receive failed or the stream desynchronized: the connection was
+    /// torn down and the request's outcome is unknown.
+    kTransport,
+    /// The server answered an error frame: a definitive reply on a healthy
+    /// connection.
+    kRejected,
+  };
+
   /// Send `payload` as `type`, await the matching response: the `type + 64`
   /// reply frame (returned), or an error frame (returned as its Status).
-  Result<OwnedFrame> Call(FrameType type, std::string_view payload);
+  /// Retries per the contract above; `idempotent` marks the request safe to
+  /// re-send after an unknown-outcome transport failure.
+  Result<OwnedFrame> Call(FrameType type, std::string_view payload,
+                          const Admission& admission, bool idempotent);
 
+  Result<OwnedFrame> CallOnce(FrameType type, std::string_view payload,
+                              FailureKind* kind, bool* retryable_hint);
+
+  /// Dials (or re-dials) when no connection is live.
+  Status EnsureConnected();
+
+  /// Drops the connection after a transport failure; the next request
+  /// re-dials.
+  void TearDown();
+
+  /// Fills in the idempotency token for a mutating request when this client
+  /// has an id; returns whether the request is consequently retry-safe.
+  bool StampToken(persist::CommitToken* token);
+
+  Dialer dialer_;  // null for the single-connection constructor
+  ClientOptions options_;
   std::unique_ptr<Connection> conn_;
   SymbolTable symbols_;
   uint64_t next_request_id_ = 1;
+  /// Monotonic per-mutation sequence; assigned once per logical Apply or
+  /// Process, so every retry of it re-sends the same token.
+  uint64_t next_request_seq_ = 1;
+  uint64_t retries_ = 0;
+  uint64_t dials_ = 0;
 };
 
 }  // namespace deddb::server

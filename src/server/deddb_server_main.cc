@@ -119,6 +119,16 @@ int main(int argc, char** argv) {
   sigwait(&signals, &sig);
   std::fprintf(stderr, "deddb_server: %s, draining\n", strsignal(sig));
   server.Stop();
+  deddb::Status health = db->commit_health();
+  if (!health.ok()) {
+    // The server spent its final stretch in read-only degraded mode; say so
+    // at shutdown, since the operator's next move is a restart to
+    // re-converge from the log (DESIGN.md §10).
+    std::fprintf(stderr,
+                 "deddb_server: served read-only after a durability "
+                 "failure: %s\n",
+                 health.ToString().c_str());
+  }
   if (!dir.empty()) {
     deddb::Status closed = db->Close();
     if (!closed.ok()) {

@@ -81,16 +81,47 @@ bool IsKnownType(uint8_t raw) {
     case FrameType::kTranslate:
     case FrameType::kCheckpoint:
     case FrameType::kStats:
+    case FrameType::kHealth:
     case FrameType::kQueryOk:
     case FrameType::kApplyOk:
     case FrameType::kProcessOk:
     case FrameType::kTranslateOk:
     case FrameType::kCheckpointOk:
     case FrameType::kStatsOk:
+    case FrameType::kHealthOk:
     case FrameType::kError:
       return true;
   }
   return false;
+}
+
+// Tag byte introducing the optional trailing idempotency token of a
+// mutating request (mirrors the WAL commit-record extension).
+constexpr uint8_t kRequestTokenTag = 1;
+
+void EncodeToken(const persist::CommitToken& token, ByteSink* sink) {
+  if (!token.present()) return;
+  sink->PutU8(kRequestTokenTag);
+  sink->PutU64(token.client_id);
+  sink->PutU64(token.request_seq);
+}
+
+/// Decodes the optional trailing token. An exhausted source is a complete
+/// untokened (v1) payload; anything else must be exactly the tagged token.
+Result<persist::CommitToken> DecodeToken(ByteSource* source) {
+  persist::CommitToken token;
+  if (source->exhausted()) return token;
+  uint8_t tag = 0;
+  DEDDB_PROTO_ASSIGN(tag, source->GetU8());
+  if (tag != kRequestTokenTag) {
+    return MalformedText(StrCat("unknown request extension tag ", int{tag}));
+  }
+  DEDDB_PROTO_ASSIGN(token.client_id, source->GetU64());
+  DEDDB_PROTO_ASSIGN(token.request_seq, source->GetU64());
+  if (!token.present()) {
+    return MalformedText("idempotency token with reserved client id 0");
+  }
+  return token;
 }
 
 }  // namespace
@@ -103,6 +134,7 @@ bool IsRequestType(FrameType type) {
     case FrameType::kTranslate:
     case FrameType::kCheckpoint:
     case FrameType::kStats:
+    case FrameType::kHealth:
       return true;
     default:
       return false;
@@ -126,6 +158,7 @@ uint8_t WireCodeOf(StatusCode code) {
     case StatusCode::kCancelled: return 10;
     case StatusCode::kRoundLimit: return 11;
     case StatusCode::kCorruption: return 12;
+    case StatusCode::kUnavailable: return 13;
   }
   return 7;  // unreachable; defensively kInternal
 }
@@ -145,6 +178,7 @@ StatusCode CodeFromWire(uint8_t wire) {
     case 10: return StatusCode::kCancelled;
     case 11: return StatusCode::kRoundLimit;
     case 12: return StatusCode::kCorruption;
+    case 13: return StatusCode::kUnavailable;
     default: return StatusCode::kInternal;
   }
 }
@@ -248,6 +282,7 @@ std::string EncodeApplyRequest(const ApplyRequest& request,
   ByteSink sink;
   EncodeAdmission(request.admission, &sink);
   persist::EncodeTransaction(request.transaction, symbols, &sink);
+  EncodeToken(request.token, &sink);
   return sink.Take();
 }
 
@@ -258,6 +293,7 @@ Result<ApplyRequest> DecodeApplyRequest(std::string_view payload,
   DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
   DEDDB_PROTO_ASSIGN(request.transaction,
                      persist::DecodeTransaction(&source, symbols));
+  DEDDB_ASSIGN_OR_RETURN(request.token, DecodeToken(&source));
   DEDDB_RETURN_IF_ERROR(CheckDrained(source));
   return request;
 }
@@ -267,6 +303,7 @@ std::string EncodeProcessRequest(const ProcessRequest& request,
   ByteSink sink;
   EncodeAdmission(request.admission, &sink);
   persist::EncodeTransaction(request.transaction, symbols, &sink);
+  EncodeToken(request.token, &sink);
   return sink.Take();
 }
 
@@ -277,6 +314,7 @@ Result<ProcessRequest> DecodeProcessRequest(std::string_view payload,
   DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
   DEDDB_PROTO_ASSIGN(request.transaction,
                      persist::DecodeTransaction(&source, symbols));
+  DEDDB_ASSIGN_OR_RETURN(request.token, DecodeToken(&source));
   DEDDB_RETURN_IF_ERROR(CheckDrained(source));
   return request;
 }
@@ -481,10 +519,39 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
   return reply;
 }
 
+std::string EncodeHealthReply(const HealthReply& reply) {
+  ByteSink sink;
+  sink.PutU8(static_cast<uint8_t>(reply.state));
+  sink.PutU64(reply.version);
+  sink.PutU64(reply.last_durable_seq);
+  sink.PutU32(reply.queue_depth);
+  return sink.Take();
+}
+
+Result<HealthReply> DecodeHealthReply(std::string_view payload) {
+  ByteSource source(payload);
+  HealthReply reply;
+  uint8_t state = 0;
+  DEDDB_PROTO_ASSIGN(state, source.GetU8());
+  if (state > static_cast<uint8_t>(ServerState::kStopping)) {
+    return MalformedText(StrCat("unknown server state ", int{state}));
+  }
+  reply.state = static_cast<ServerState>(state);
+  DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
+  DEDDB_PROTO_ASSIGN(reply.last_durable_seq, source.GetU64());
+  DEDDB_PROTO_ASSIGN(reply.queue_depth, source.GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
 std::string EncodeErrorReply(const ErrorReply& reply) {
   ByteSink sink;
   sink.PutU8(WireCodeOf(reply.code));
   sink.PutString(reply.message);
+  // The retry hint is a trailing extension so v1 decoders (which drain the
+  // payload strictly) keep parsing untagged replies; the server only sets
+  // flags when answering a tokened request, i.e. a peer that understands it.
+  if (reply.flags != 0) sink.PutU8(reply.flags);
   return sink.Take();
 }
 
@@ -495,6 +562,15 @@ Result<ErrorReply> DecodeErrorReply(std::string_view payload) {
   DEDDB_PROTO_ASSIGN(wire, source.GetU8());
   reply.code = CodeFromWire(wire);
   DEDDB_PROTO_ASSIGN(reply.message, source.GetString());
+  if (!source.exhausted()) {
+    DEDDB_PROTO_ASSIGN(reply.flags, source.GetU8());
+    constexpr uint8_t kKnownFlags =
+        ErrorReply::kHasRetryHint | ErrorReply::kRetryable;
+    if ((reply.flags & ~kKnownFlags) != 0 ||
+        (reply.flags & ErrorReply::kHasRetryHint) == 0) {
+      return MalformedText(StrCat("unknown error flags ", int{reply.flags}));
+    }
+  }
   DEDDB_RETURN_IF_ERROR(CheckDrained(source));
   return reply;
 }

@@ -9,6 +9,7 @@
 
 #include "datalog/atom.h"
 #include "interp/downward.h"
+#include "persist/wal.h"
 #include "storage/transaction.h"
 #include "util/status.h"
 
@@ -50,6 +51,7 @@ enum class FrameType : uint8_t {
   kTranslate = 4,   // downward interpretation of a view-update request
   kCheckpoint = 5,  // admin: durable snapshot + log truncation
   kStats = 6,       // admin: server + metrics snapshot
+  kHealth = 7,      // liveness/degradation probe (served on the read path)
 
   // Responses (server -> client); request type + 64.
   kQueryOk = 65,
@@ -58,10 +60,11 @@ enum class FrameType : uint8_t {
   kTranslateOk = 68,
   kCheckpointOk = 69,
   kStatsOk = 70,
+  kHealthOk = 71,
   kError = 127,
 };
 
-/// True for the six request frame types.
+/// True for the request frame types.
 bool IsRequestType(FrameType type);
 
 /// Admission-control fields carried by every request: a relative wall-clock
@@ -81,14 +84,24 @@ struct QueryRequest {
   std::vector<Atom> patterns;
 };
 
+/// Mutating requests optionally carry a `(client_id, request_seq)`
+/// idempotency token (persist::CommitToken), encoded as a tagged trailing
+/// extension after the transaction. A v1 peer that never sends tokens
+/// produces byte-identical payloads to the old protocol, and this decoder
+/// accepts them — the token is how the protocol was extended, not a fork.
+/// Sending a token also opts the sender into v2 replies: the server attaches
+/// the retryable-hint extension to error frames only for tokened requests,
+/// so a v1 client never sees trailing bytes it cannot parse.
 struct ApplyRequest {
   Admission admission;
   Transaction transaction;
+  persist::CommitToken token;
 };
 
 struct ProcessRequest {
   Admission admission;
   Transaction transaction;
+  persist::CommitToken token;
 };
 
 struct TranslateRequest {
@@ -129,9 +142,39 @@ struct StatsReply {
   std::string json;
 };
 
+/// What the Health probe reports about the serving side.
+enum class ServerState : uint8_t {
+  kServing = 0,   // writes and reads admitted
+  kDegraded = 1,  // read-only: commit health poisoned, writes rejected
+  kStopping = 2,  // draining; new work rejected
+};
+
+struct HealthReply {
+  ServerState state = ServerState::kServing;
+  /// Current commit version (what a fresh session would pin).
+  uint64_t version = 0;
+  /// Highest durably logged sequence number (0 for in-memory databases).
+  uint64_t last_durable_seq = 0;
+  /// Admitted-but-incomplete writes.
+  uint32_t queue_depth = 0;
+};
+
 struct ErrorReply {
   StatusCode code = StatusCode::kInternal;
   std::string message;
+  /// Optional retry hint, encoded as a trailing extension byte — present
+  /// only on replies to tokened (v2) requests. kHasRetryHint distinguishes
+  /// "no hint" (v1 reply) from "hinted not-retryable".
+  uint8_t flags = 0;
+
+  static constexpr uint8_t kHasRetryHint = 1;
+  static constexpr uint8_t kRetryable = 2;
+
+  bool has_retry_hint() const { return (flags & kHasRetryHint) != 0; }
+  bool retryable() const { return (flags & kRetryable) != 0; }
+  void set_retryable(bool retryable) {
+    flags = kHasRetryHint | (retryable ? kRetryable : 0);
+  }
 
   Status ToStatus() const { return Status(code, message); }
 };
@@ -194,7 +237,7 @@ std::string EncodeTranslateRequest(const TranslateRequest& request,
 Result<TranslateRequest> DecodeTranslateRequest(std::string_view payload,
                                                 SymbolTable* symbols);
 
-/// Checkpoint and Stats requests carry only the admission header.
+/// Checkpoint, Stats and Health requests carry only the admission header.
 std::string EncodeAdmissionOnly(const Admission& admission);
 Result<Admission> DecodeAdmissionOnly(std::string_view payload);
 
@@ -221,6 +264,9 @@ Result<CheckpointReply> DecodeCheckpointReply(std::string_view payload);
 
 std::string EncodeStatsReply(const StatsReply& reply);
 Result<StatsReply> DecodeStatsReply(std::string_view payload);
+
+std::string EncodeHealthReply(const HealthReply& reply);
+Result<HealthReply> DecodeHealthReply(std::string_view payload);
 
 /// The typed error frame: the protocol surface of every Status the server
 /// produces, including which ResourceGuard limit tripped (kDeadlineExceeded

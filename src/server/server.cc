@@ -44,6 +44,9 @@ struct Server::WriteJob {
   std::shared_ptr<ConnState> conn;
   Transaction transaction;
   Admission admission;
+  /// Idempotency token from the request (absent for v1 clients). Its
+  /// presence also opts the reply into the retryable-hint extension.
+  persist::CommitToken token;
   Clock::time_point admitted_at{};
   // Deadline fixed at admission (not at dequeue), so queue time counts
   // against it — the "expired mid-queue" contract.
@@ -142,14 +145,17 @@ size_t Server::active_connections() const {
 std::string Server::StatsJson() const {
   Counters c;
   size_t depth = 0, conns = 0;
+  bool degraded = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     c = counters_;
     depth = write_queue_.size() + writes_in_flight_;
     conns = connections_.size();
+    degraded = degraded_;
   }
   std::string out = StrCat(
       "{\"server\":{\"queue_depth\":", depth,
+      ",\"degraded\":", degraded ? 1 : 0,
       ",\"connections_active\":", conns,
       ",\"connections_total\":", c.connections_total,
       ",\"connections_rejected\":", c.connections_rejected,
@@ -160,9 +166,11 @@ std::string Server::StatsJson() const {
       ",\"rejected_overload\":", c.rejected_overload,
       ",\"rejected_quota\":", c.rejected_quota,
       ",\"rejected_shutdown\":", c.rejected_shutdown,
+      ",\"rejected_degraded\":", c.rejected_degraded,
       ",\"deadline_expired_in_queue\":", c.deadline_expired_in_queue,
       ",\"protocol_errors\":", c.protocol_errors,
-      ",\"guard_trips\":", c.guard_trips, "}");
+      ",\"guard_trips\":", c.guard_trips,
+      ",\"dedup_hits\":", c.dedup_hits, "}");
   if (metrics_ != nullptr) {
     out += StrCat(",\"metrics\":", metrics_->ToJson());
   }
@@ -300,6 +308,7 @@ bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
       // decoder so a frame of one type cannot masquerade as the other.
       Admission admission;
       Transaction transaction;
+      persist::CommitToken token;
       Status decoded;
       if (frame.type == FrameType::kApply) {
         Result<ApplyRequest> request =
@@ -308,6 +317,7 @@ bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
         if (request.ok()) {
           admission = request->admission;
           transaction = std::move(request->transaction);
+          token = request->token;
         }
       } else {
         Result<ProcessRequest> request =
@@ -316,6 +326,7 @@ bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
         if (request.ok()) {
           admission = request->admission;
           transaction = std::move(request->transaction);
+          token = request->token;
         }
       }
       if (!decoded.ok()) {
@@ -334,9 +345,13 @@ bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
       job.conn = conn;
       job.transaction = std::move(transaction);
       job.admission = admission;
+      job.token = token;
       EnqueueWrite(conn, std::move(job));
       return true;
     }
+    case FrameType::kHealth:
+      ServeHealth(conn, frame.request_id, frame.payload);
+      return true;
     case FrameType::kCheckpoint: {
       Result<Admission> admission = DecodeAdmissionOnly(frame.payload);
       if (!admission.ok()) {
@@ -539,6 +554,39 @@ void Server::ServeStats(const std::shared_ptr<ConnState>& conn, uint64_t id,
   SendReply(conn, id, FrameType::kStatsOk, EncodeStatsReply(reply));
 }
 
+void Server::ServeHealth(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                         std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests_read;
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.requests_read");
+  Result<Admission> admission = DecodeAdmissionOnly(payload);
+  if (!admission.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+    SendError(conn, id, admission.status());
+    return;
+  }
+  HealthReply reply;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reply.state = stopping_ ? ServerState::kStopping
+                            : (degraded_ ? ServerState::kDegraded
+                                         : ServerState::kServing);
+    reply.queue_depth =
+        static_cast<uint32_t>(write_queue_.size() + writes_in_flight_);
+  }
+  reply.version = db_->version();
+  if (persist::PersistenceManager* persistence = db_->persistence()) {
+    reply.last_durable_seq = persistence->stats().last_seq;
+  }
+  SendReply(conn, id, FrameType::kHealthOk, EncodeHealthReply(reply));
+}
+
 // ---- Write path (admission queue + writer thread) ---------------------------
 
 void Server::EnqueueWrite(const std::shared_ptr<ConnState>& conn,
@@ -552,7 +600,7 @@ void Server::EnqueueWrite(const std::shared_ptr<ConnState>& conn,
   }
   // The rejection kind travels as its own enum (not parsed back out of the
   // status text) so rewording a message can never misclassify the metric.
-  enum class Reject { kNone, kShutdown, kQuota, kOverload };
+  enum class Reject { kNone, kShutdown, kDegraded, kQuota, kOverload };
   Reject reject = Reject::kNone;
   Status rejection;
   {
@@ -562,6 +610,12 @@ void Server::EnqueueWrite(const std::shared_ptr<ConnState>& conn,
       ++counters_.rejected_shutdown;
       reject = Reject::kShutdown;
       rejection = FailedPreconditionError("server shutting down");
+    } else if (degraded_) {
+      ++counters_.rejected_degraded;
+      reject = Reject::kDegraded;
+      rejection = UnavailableError(
+          "server is read-only: commit durability failed; reads keep "
+          "serving, writes require reopening the database");
     } else if (conn->pending_writes >=
                options_.max_pending_writes_per_connection) {
       ++counters_.rejected_quota;
@@ -585,13 +639,20 @@ void Server::EnqueueWrite(const std::shared_ptr<ConnState>& conn,
   }
   obs::MetricsRegistry::Add(metrics_, "server.requests_write");
   if (reject != Reject::kNone) {
-    const char* metric = reject == Reject::kShutdown
-                             ? "server.rejected_shutdown"
-                             : (reject == Reject::kQuota
-                                    ? "server.rejected_quota"
-                                    : "server.rejected_overload");
+    const char* metric = "server.rejected_overload";
+    switch (reject) {
+      case Reject::kShutdown: metric = "server.rejected_shutdown"; break;
+      case Reject::kDegraded: metric = "server.rejected_degraded"; break;
+      case Reject::kQuota: metric = "server.rejected_quota"; break;
+      default: break;
+    }
     obs::MetricsRegistry::Add(metrics_, metric);
-    SendError(conn, job.request_id, rejection);
+    // Quota and overload are transient (capacity frees up); degradation and
+    // shutdown are not — this process will never admit the write again.
+    const bool retryable =
+        reject == Reject::kQuota || reject == Reject::kOverload;
+    SendWriteError(conn, job.request_id, rejection, job.token.present(),
+                   retryable);
     return;
   }
   queue_cv_.notify_one();
@@ -628,9 +689,12 @@ void Server::WriterLoop() {
         ++counters_.deadline_expired_in_queue;
       }
       obs::MetricsRegistry::Add(metrics_, "server.deadline_expired_in_queue");
-      SendError(job.conn, job.request_id,
-                DeadlineExceededError(
-                    "request deadline expired in the admission queue"));
+      // Not retryable: the deadline was the client's whole budget for this
+      // request, and it is spent.
+      SendWriteError(job.conn, job.request_id,
+                     DeadlineExceededError(
+                         "request deadline expired in the admission queue"),
+                     job.token.present(), /*retryable=*/false);
     } else {
       // Re-arm the facade guard for this job: remaining deadline (admission
       // time counts) plus the request's budgets. Only writer-thread
@@ -660,17 +724,63 @@ void Server::WriterLoop() {
   }
 }
 
+bool Server::CheckDedup(const WriteJob& job) {
+  if (!job.token.present()) return false;
+  DedupResult dedup = db_->LookupCommitToken(job.token);
+  switch (dedup.verdict) {
+    case DedupVerdict::kFresh:
+      return false;
+    case DedupVerdict::kDuplicate: {
+      // A retry of a write that already committed: answer with the original
+      // reply (the version its commit produced), never a second apply —
+      // this is the exactly-once half the client's retry loop relies on.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.dedup_hits;
+      }
+      obs::MetricsRegistry::Add(metrics_, "server.dedup_hits");
+      if (job.kind == WriteJob::Kind::kApply) {
+        ApplyReply reply{dedup.version};
+        SendReply(job.conn, job.request_id, FrameType::kApplyOk,
+                  EncodeApplyReply(reply));
+      } else {
+        ProcessReply reply;
+        reply.version = dedup.version;
+        reply.accepted = true;  // only accepted commits are recorded
+        SendReply(job.conn, job.request_id, FrameType::kProcessOk,
+                  EncodeProcessReply(reply));
+      }
+      return true;
+    }
+    case DedupVerdict::kTooOld:
+      // The seq fell out of the bounded window, so committed-vs-not is
+      // unknowable — ambiguity must surface, not resolve to a guess.
+      SendWriteError(
+          job.conn, job.request_id,
+          FailedPreconditionError(StrCat(
+              "request_seq ", job.token.request_seq, " of client ",
+              job.token.client_id,
+              " predates the idempotency window; outcome unknown")),
+          /*tokened=*/true, /*retryable=*/false);
+      return true;
+  }
+  return false;
+}
+
 void Server::ExecuteWrite(const WriteJob& job) {
   switch (job.kind) {
     case WriteJob::Kind::kApply: {
-      Status applied = db_->Apply(job.transaction);
+      if (CheckDedup(job)) return;
+      Status applied = db_->Apply(job.transaction, job.token);
       if (!applied.ok()) {
         {
           std::lock_guard<std::mutex> lock(mu_);
           ++counters_.writes_rejected;
         }
         obs::MetricsRegistry::Add(metrics_, "server.writes_rejected");
-        SendError(job.conn, job.request_id, applied);
+        NoteCommitHealth();
+        SendWriteError(job.conn, job.request_id, applied,
+                       job.token.present(), /*retryable=*/false);
         return;
       }
       {
@@ -684,7 +794,9 @@ void Server::ExecuteWrite(const WriteJob& job) {
       return;
     }
     case WriteJob::Kind::kProcess: {
+      if (CheckDedup(job)) return;
       UpdateProcessor processor(db_);
+      processor.set_commit_token(job.token);
       Result<UpdateProcessor::TransactionReport> report =
           processor.ProcessTransaction(job.transaction);
       if (!report.ok()) {
@@ -693,7 +805,9 @@ void Server::ExecuteWrite(const WriteJob& job) {
           ++counters_.writes_rejected;
         }
         obs::MetricsRegistry::Add(metrics_, "server.writes_rejected");
-        SendError(job.conn, job.request_id, report.status());
+        NoteCommitHealth();
+        SendWriteError(job.conn, job.request_id, report.status(),
+                       job.token.present(), /*retryable=*/false);
         return;
       }
       ProcessReply reply;
@@ -720,6 +834,7 @@ void Server::ExecuteWrite(const WriteJob& job) {
     case WriteJob::Kind::kCheckpoint: {
       Status checkpointed = db_->Checkpoint();
       if (!checkpointed.ok()) {
+        NoteCommitHealth();
         SendError(job.conn, job.request_id, checkpointed);
         return;
       }
@@ -733,6 +848,21 @@ void Server::ExecuteWrite(const WriteJob& job) {
 
 // ---- Response writing -------------------------------------------------------
 
+void Server::NoteCommitHealth() {
+  if (db_->commit_health().ok()) return;
+  bool entered = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!degraded_) {
+      degraded_ = true;
+      entered = true;
+    }
+  }
+  if (entered) {
+    obs::MetricsRegistry::Set(metrics_, "server.degraded", 1);
+  }
+}
+
 void Server::SendError(const std::shared_ptr<ConnState>& conn, uint64_t id,
                        const Status& status) {
   if (IsGuardTrip(status.code())) {
@@ -743,6 +873,26 @@ void Server::SendError(const std::shared_ptr<ConnState>& conn, uint64_t id,
     obs::MetricsRegistry::Add(metrics_, "server.guard_trips");
   }
   ErrorReply reply{status.code(), status.message()};
+  SendReply(conn, id, FrameType::kError, EncodeErrorReply(reply));
+}
+
+void Server::SendWriteError(const std::shared_ptr<ConnState>& conn,
+                            uint64_t id, const Status& status, bool tokened,
+                            bool retryable) {
+  if (!tokened) {
+    // v1 requester: the bare error frame it knows how to parse.
+    SendError(conn, id, status);
+    return;
+  }
+  if (IsGuardTrip(status.code())) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.guard_trips;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.guard_trips");
+  }
+  ErrorReply reply{status.code(), status.message()};
+  reply.set_retryable(retryable);
   SendReply(conn, id, FrameType::kError, EncodeErrorReply(reply));
 }
 

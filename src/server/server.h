@@ -133,6 +133,8 @@ class Server {
                       std::string_view payload);
   void ServeStats(const std::shared_ptr<ConnState>& conn, uint64_t id,
                   std::string_view payload);
+  void ServeHealth(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                   std::string_view payload);
 
   /// Admission for write-class requests: quota, queue bound, shutdown.
   void EnqueueWrite(const std::shared_ptr<ConnState>& conn, WriteJob job);
@@ -145,6 +147,11 @@ class Server {
   /// Executes one admitted write on the writer thread.
   void ExecuteWrite(const WriteJob& job);
 
+  /// Idempotency check for tokened Apply/Process jobs. Returns true when
+  /// the job was fully answered here — a dedup hit (original reply resent)
+  /// or an out-of-window token (typed non-retryable rejection).
+  bool CheckDedup(const WriteJob& job);
+
   /// Ensures conn->session pins the current commit version; arms the
   /// connection guard from `admission`. Returns the deadline-capped limits'
   /// guard, or nullptr when the request is unguarded.
@@ -156,6 +163,14 @@ class Server {
 
   void SendError(const std::shared_ptr<ConnState>& conn, uint64_t id,
                  const Status& status);
+  /// SendError for the write path: replies to tokened (v2) requests carry
+  /// the explicit retryable hint; untokened requests get the bare v1 error
+  /// frame, so legacy clients never see trailing bytes they cannot parse.
+  void SendWriteError(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                      const Status& status, bool tokened, bool retryable);
+  /// Checks the facade's sticky commit health after a failed write and, on
+  /// poison, flips the server into read-only (degraded) mode.
+  void NoteCommitHealth();
   void SendReply(const std::shared_ptr<ConnState>& conn, uint64_t id,
                  FrameType type, std::string_view payload);
 
@@ -186,6 +201,12 @@ class Server {
   std::condition_variable stopped_cv_;  // latecomer Stop()s wait on stopped_
   bool serving_ = false;
   bool stopping_ = false;
+  /// Sticky read-only mode: set when the facade's commit health poisons
+  /// (durability failure with unknowable on-disk suffix). Reads keep
+  /// serving off pinned sessions; writes are rejected kUnavailable with a
+  /// retryable=false hint — only reopening the database clears the poison,
+  /// so retrying against this process cannot help.
+  bool degraded_ = false;
   bool stopped_ = false;  // teardown finished (set by the owning Stop)
 
   // Monotonic counters behind mu_; mirrored into the metrics registry and
@@ -200,9 +221,13 @@ class Server {
     uint64_t rejected_overload = 0;
     uint64_t rejected_quota = 0;
     uint64_t rejected_shutdown = 0;
+    uint64_t rejected_degraded = 0;  // writes refused in read-only mode
     uint64_t deadline_expired_in_queue = 0;
     uint64_t protocol_errors = 0;
     uint64_t guard_trips = 0;  // typed kDeadline/kBudget/kCancelled replies
+    uint64_t dedup_hits = 0;   // retried committed writes answered from the
+                               // idempotency table (original reply, no
+                               // second apply)
   } counters_;
 };
 

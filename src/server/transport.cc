@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "persist/codec.h"
+#include "util/resource_guard.h"
 #include "util/strings.h"
 
 namespace deddb::server {
@@ -32,6 +33,9 @@ Result<bool> ReadFully(Connection* conn, char* buf, size_t len) {
 
 Result<std::optional<OwnedFrame>> ReadFrame(Connection* conn,
                                             uint32_t max_frame_bytes) {
+  // Deterministic transport-failure hook for the chaos/retry suites: an
+  // armed kNetReadFrame makes this read fail as if the peer reset.
+  DEDDB_FAULT_POINT(FaultPoint::kNetReadFrame);
   char header[4];
   DEDDB_ASSIGN_OR_RETURN(bool have, ReadFully(conn, header, sizeof(header)));
   if (!have) return std::optional<OwnedFrame>();
@@ -61,6 +65,7 @@ Result<std::optional<OwnedFrame>> ReadFrame(Connection* conn,
 
 Status WriteFrame(Connection* conn, FrameType type, uint64_t request_id,
                   std::string_view payload) {
+  DEDDB_FAULT_POINT(FaultPoint::kNetWriteFrame);
   // Refuse what the peer's ReadFrame would reject as malformed: the sender
   // gets a typed status it can surface, instead of the receiver killing the
   // connection over a "malformed frame" that was really an oversized result.

@@ -1,0 +1,30 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+namespace deddb {
+
+Backoff::Backoff(Options options)
+    : options_(options), rng_(options.seed), prev_(options.base) {
+  if (options_.base.count() < 1) options_.base = std::chrono::microseconds(1);
+  if (options_.cap < options_.base) options_.cap = options_.base;
+  prev_ = options_.base;
+}
+
+std::chrono::microseconds Backoff::NextDelay() {
+  ++attempts_;
+  // Decorrelated jitter (Brooker): next = min(cap, uniform(base, prev * 3)).
+  int64_t lo = options_.base.count();
+  int64_t hi = std::min(options_.cap.count(), prev_.count() * 3);
+  if (hi < lo) hi = lo;
+  int64_t drawn = rng_.NextInRange(lo, hi);
+  prev_ = std::chrono::microseconds(drawn);
+  return prev_;
+}
+
+void Backoff::Reset() {
+  prev_ = options_.base;
+  attempts_ = 0;
+}
+
+}  // namespace deddb

@@ -1,0 +1,53 @@
+#ifndef DEDDB_UTIL_BACKOFF_H_
+#define DEDDB_UTIL_BACKOFF_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace deddb {
+
+/// Retry pacing with capped decorrelated jitter: each delay is drawn
+/// uniformly from [base, 3 * previous] and clamped to the cap, so delays
+/// grow roughly geometrically while staying spread out — concurrent clients
+/// that failed together do not retry in lockstep. Deterministic given the
+/// seed (built on util::Rng), which keeps the chaos suites reproducible.
+///
+/// Not thread-safe; each retrying caller owns its own Backoff.
+class Backoff {
+ public:
+  struct Options {
+    /// First delay and the lower bound of every draw.
+    std::chrono::microseconds base{std::chrono::milliseconds(1)};
+    /// Upper clamp on any single delay.
+    std::chrono::microseconds cap{std::chrono::milliseconds(200)};
+    /// PRNG seed; callers that want distinct schedules per client mix the
+    /// client id in.
+    uint64_t seed = 1;
+  };
+
+  Backoff() : Backoff(Options{}) {}
+  explicit Backoff(Options options);
+
+  /// The next delay to sleep before retrying. Advances the internal state:
+  /// consecutive calls model consecutive failures.
+  std::chrono::microseconds NextDelay();
+
+  /// Forgets accumulated growth, as after a success: the next NextDelay()
+  /// starts from base again. The PRNG stream is not rewound.
+  void Reset();
+
+  /// Number of NextDelay() calls since construction or the last Reset().
+  uint64_t attempts() const { return attempts_; }
+
+ private:
+  Options options_;
+  Rng rng_;
+  std::chrono::microseconds prev_;
+  uint64_t attempts_ = 0;
+};
+
+}  // namespace deddb
+
+#endif  // DEDDB_UTIL_BACKOFF_H_

@@ -108,6 +108,10 @@ const char* FaultPointName(FaultPoint point) {
       return "SNAPSHOT_RENAME";
     case FaultPoint::kWalReset:
       return "WAL_RESET";
+    case FaultPoint::kNetReadFrame:
+      return "NET_READ_FRAME";
+    case FaultPoint::kNetWriteFrame:
+      return "NET_WRITE_FRAME";
   }
   return "UNKNOWN";
 }

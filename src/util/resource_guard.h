@@ -164,8 +164,14 @@ enum class FaultPoint {
   kSnapshotFsync,         // snapshot: before fsync()ing the temp file
   kSnapshotRename,        // snapshot: before renaming temp over current
   kWalReset,              // checkpoint: before installing the fresh log
+  // Network sequence points (src/server/). Unlike the persistence points,
+  // these model a *transport* failure (peer reset, torn socket), not a
+  // process death: the chaos suites arm them to fail frame I/O on demand,
+  // complementing the randomized server::FaultyNetwork decorator.
+  kNetReadFrame,          // transport: before reading a frame header
+  kNetWriteFrame,         // transport: before writing an encoded frame
 };
-inline constexpr size_t kNumFaultPoints = 16;
+inline constexpr size_t kNumFaultPoints = 18;
 
 /// Stable name for diagnostics ("EVAL_ROUND_START", ...).
 const char* FaultPointName(FaultPoint point);

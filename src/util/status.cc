@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ROUND_LIMIT";
     case StatusCode::kCorruption:
       return "CORRUPTION";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -81,6 +83,9 @@ Status RoundLimitError(std::string message) {
 }
 Status CorruptionError(std::string message) {
   return Status(StatusCode::kCorruption, std::move(message));
+}
+Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace deddb

@@ -34,6 +34,12 @@ enum class StatusCode {
   // structural mismatch in a snapshot or an interior WAL record) from a
   // logic error; a torn WAL *tail* is never an error — it is truncated.
   kCorruption,        // persisted bytes failed a CRC or structural check
+  // Serving code (src/server/). The service is up but cannot take this
+  // request *right now* — e.g. writes while the store is degraded to
+  // read-only after a durability failure. Distinct from kFailedPrecondition
+  // ("you called this wrong") and kResourceExhausted ("over a budget"):
+  // whether retrying can help is carried by the reply, not the code.
+  kUnavailable,       // transiently (or terminally) unable to serve
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -81,6 +87,7 @@ Status BudgetExceededError(std::string message);
 Status CancelledError(std::string message);
 Status RoundLimitError(std::string message);
 Status CorruptionError(std::string message);
+Status UnavailableError(std::string message);
 
 /// A value of type T or an error Status. Minimal analogue of
 /// absl::StatusOr<T>.

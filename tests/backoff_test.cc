@@ -1,0 +1,106 @@
+// util::Backoff: the capped decorrelated-jitter schedule behind the client's
+// retry loop. Deterministic given a seed, bounded by [base, cap], and
+// growing (in expectation) until the cap absorbs it.
+
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace deddb {
+namespace {
+
+using std::chrono::microseconds;
+
+TEST(BackoffTest, DelaysStayWithinBaseAndCap) {
+  Backoff::Options options;
+  options.base = microseconds(100);
+  options.cap = microseconds(5000);
+  options.seed = 7;
+  Backoff backoff(options);
+  for (int i = 0; i < 200; ++i) {
+    microseconds delay = backoff.NextDelay();
+    EXPECT_GE(delay, options.base) << "attempt " << i;
+    EXPECT_LE(delay, options.cap) << "attempt " << i;
+  }
+  EXPECT_EQ(backoff.attempts(), 200u);
+}
+
+TEST(BackoffTest, SameSeedReplaysTheSameSchedule) {
+  Backoff::Options options;
+  options.base = microseconds(50);
+  options.cap = microseconds(20000);
+  options.seed = 42;
+  Backoff a(options);
+  Backoff b(options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.NextDelay().count(), b.NextDelay().count());
+  }
+}
+
+TEST(BackoffTest, DifferentSeedsDecorrelate) {
+  Backoff::Options options;
+  options.base = microseconds(50);
+  options.cap = microseconds(20000);
+  options.seed = 1;
+  Backoff a(options);
+  options.seed = 2;
+  Backoff b(options);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextDelay() != b.NextDelay()) ++differing;
+  }
+  EXPECT_GT(differing, 25);
+}
+
+TEST(BackoffTest, GrowsTowardTheCap) {
+  // Decorrelated jitter: each delay is uniform in [base, min(cap, 3*prev)],
+  // so the reachable range expands until the cap clamps it. After enough
+  // attempts the maximum observed delay should approach the cap — while a
+  // fixed-base schedule would never exceed base.
+  Backoff::Options options;
+  options.base = microseconds(100);
+  options.cap = microseconds(10000);
+  options.seed = 3;
+  Backoff backoff(options);
+  microseconds max_seen{0};
+  for (int i = 0; i < 100; ++i) {
+    max_seen = std::max(max_seen, backoff.NextDelay());
+  }
+  EXPECT_GT(max_seen, microseconds(1000));
+}
+
+TEST(BackoffTest, ResetRestartsTheSchedule) {
+  Backoff::Options options;
+  options.base = microseconds(100);
+  options.cap = microseconds(10000);
+  options.seed = 9;
+  Backoff backoff(options);
+  // Drain some attempts so the internal state has grown.
+  for (int i = 0; i < 20; ++i) backoff.NextDelay();
+  backoff.Reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  // The first post-Reset delay is drawn from [base, 3*base] again, not from
+  // the grown range.
+  microseconds first = backoff.NextDelay();
+  EXPECT_LE(first, microseconds(300));
+}
+
+TEST(BackoffTest, DegenerateOptionsAreClamped) {
+  // cap below base and a zero base must not divide by zero or invert the
+  // range; the schedule degrades to a fixed small delay.
+  Backoff::Options options;
+  options.base = microseconds(0);
+  options.cap = microseconds(0);
+  options.seed = 5;
+  Backoff backoff(options);
+  for (int i = 0; i < 10; ++i) {
+    microseconds delay = backoff.NextDelay();
+    EXPECT_GE(delay.count(), 1);
+    EXPECT_LE(delay.count(), 10);
+  }
+}
+
+}  // namespace
+}  // namespace deddb

@@ -308,7 +308,7 @@ TEST(ServerCodecTest, OversizedLengthPrefixRejectedBeforeAllocation) {
 }
 
 TEST(ServerCodecTest, UnknownFrameTypeIsTypedError) {
-  for (uint8_t type : {0, 7, 63, 64, 71, 126, 200, 255}) {
+  for (uint8_t type : {0, 8, 63, 64, 72, 126, 200, 255}) {
     persist::ByteSink sink;
     sink.PutU32(9);
     sink.PutU8(type);
