@@ -1,0 +1,229 @@
+// Perf-N: what the access-path layer and join planner buy (DESIGN.md §6e).
+// Three workloads, each timed under the planned engine and the naive
+// nested-loop reference engine (identical fixpoints — the differential
+// oracle's guarantee — so the ratio is pure access-path cost):
+//
+//   tc_chain          deep transitive closure; semi-naive delta leads and
+//                     Edge is probed through its column index each round.
+//   selective_join    D(z) <- B(x, y) & E(x, y, z) with |E| >> |B|; the
+//                     advisor's composite index on E(0,1) turns the inner
+//                     literal into a bucket probe.
+//   upward_recompute  the Perf-A headline cell (employment, 10k people,
+//                     txn 256, UpwardStrategy::kRecompute) — absolute time
+//                     only, tracked against the 5x-vs-seed target.
+//
+// Rounds alternate planned/naive back to back to cancel machine drift.
+// Written to $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_join.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "eval/bottom_up.h"
+#include "util/strings.h"
+#include "workload/employment.h"
+
+namespace deddb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+// Chain graph Edge(E0,E1) ... Edge(E{n-1},En) with the usual Path rules.
+std::unique_ptr<DeductiveDatabase> MakeChain(size_t n) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  (void)db->DeclareBase("Edge", 2);
+  (void)db->DeclareDerived("Path", 2);
+  Term x = db->Variable("x");
+  Term y = db->Variable("y");
+  Term z = db->Variable("z");
+  Atom head = db->MakeAtom("Path", {x, y}).value();
+  (void)db->AddRule(
+      Rule(head, {Literal::Positive(db->MakeAtom("Edge", {x, y}).value())}));
+  (void)db->AddRule(
+      Rule(head, {Literal::Positive(db->MakeAtom("Path", {x, z}).value()),
+                  Literal::Positive(db->MakeAtom("Edge", {z, y}).value())}));
+  for (size_t i = 0; i + 1 < n; ++i) {
+    (void)db->AddFact(
+        db->GroundAtom("Edge", {StrCat("E", i), StrCat("E", i + 1)}).value());
+  }
+  return db;
+}
+
+// |B| = 64 pairs, |E| = n triples over a pool of sqrt-ish constants; the
+// join is selective (few (x, y) pairs of E match B) so the composite probe
+// touches a tiny fraction of E.
+std::unique_ptr<DeductiveDatabase> MakeSelective(size_t n) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  (void)db->DeclareBase("B", 2);
+  (void)db->DeclareBase("E", 3);
+  (void)db->DeclareDerived("D", 1);
+  Term x = db->Variable("x");
+  Term y = db->Variable("y");
+  Term z = db->Variable("z");
+  Atom head = db->MakeAtom("D", {z}).value();
+  (void)db->AddRule(
+      Rule(head, {Literal::Positive(db->MakeAtom("B", {x, y}).value()),
+                  Literal::Positive(db->MakeAtom("E", {x, y, z}).value())}));
+  const size_t pool = 128;
+  for (size_t i = 0; i < 64; ++i) {
+    (void)db->AddFact(
+        db->GroundAtom("B", {StrCat("K", i * 7 % pool),
+                             StrCat("K", i * 13 % pool)})
+            .value());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    (void)db->AddFact(db->GroundAtom("E", {StrCat("K", i % pool),
+                                           StrCat("K", (i / pool) % pool),
+                                           StrCat("K", i % 97)})
+                          .value());
+  }
+  return db;
+}
+
+// One timed Evaluate() under `strategy`; returns µs and checks the result.
+double RunEval(const DeductiveDatabase& db, JoinStrategy strategy,
+               size_t* derived) {
+  FactStoreProvider edb(&db.database().facts());
+  EvaluationOptions options;
+  options.join_strategy = strategy;
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  Clock::time_point start = Clock::now();
+  auto idb = evaluator.Evaluate();
+  double us = MicrosSince(start);
+  if (!idb.ok()) {
+    std::fprintf(stderr, "eval failed: %s\n",
+                 idb.status().ToString().c_str());
+    std::exit(1);
+  }
+  *derived = idb->TotalFacts();
+  return us;
+}
+
+struct Row {
+  std::string workload;
+  size_t size = 0;
+  double planned_us = 0;
+  double naive_us = 0;
+  size_t derived = 0;
+  double speedup() const { return naive_us / planned_us; }
+};
+
+Row Compare(const std::string& workload, const DeductiveDatabase& db,
+            size_t size, int rounds) {
+  Row row;
+  row.workload = workload;
+  row.size = size;
+  size_t derived_planned = 0;
+  size_t derived_naive = 0;
+  // Warm both paths (symbol interning, lazy strata), then alternate.
+  (void)RunEval(db, JoinStrategy::kPlanned, &derived_planned);
+  (void)RunEval(db, JoinStrategy::kNaiveNestedLoop, &derived_naive);
+  for (int i = 0; i < rounds; ++i) {
+    row.planned_us += RunEval(db, JoinStrategy::kPlanned, &derived_planned);
+    row.naive_us +=
+        RunEval(db, JoinStrategy::kNaiveNestedLoop, &derived_naive);
+  }
+  row.planned_us /= rounds;
+  row.naive_us /= rounds;
+  if (derived_planned != derived_naive) {
+    std::fprintf(stderr, "%s: engines disagree (%zu vs %zu facts)\n",
+                 workload.c_str(), derived_planned, derived_naive);
+    std::exit(1);
+  }
+  row.derived = derived_planned;
+  return row;
+}
+
+// The Perf-A headline cell, absolute: full recomputation of the employment
+// IDB for a size-256 transaction at 10k people.
+double RecomputeHeadlineUs() {
+  workload::EmploymentConfig config;
+  config.people = 10000;
+  config.consistent = false;
+  auto db = workload::MakeEmploymentDatabase(config);
+  if (!db.ok()) return -1;
+  auto txn = workload::RandomEmploymentTransaction(db->get(), config.people,
+                                                   256, /*seed=*/99);
+  if (!txn.ok()) return -1;
+  auto compiled = (*db)->Compiled();
+  if (!compiled.ok()) return -1;
+  UpwardOptions options;
+  options.strategy = UpwardStrategy::kRecompute;
+  double best = -1;
+  for (int i = 0; i < 5; ++i) {
+    UpwardInterpreter upward(&(*db)->database(), *compiled, options);
+    Clock::time_point start = Clock::now();
+    auto result = upward.InducedEvents(*txn);
+    double us = MicrosSince(start);
+    if (!result.ok()) return -1;
+    if (best < 0 || us < best) best = us;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace deddb
+
+int main() {
+  using deddb::Row;
+  std::printf("Join planner vs naive nested loops (identical fixpoints)\n");
+  std::printf("%-16s %8s %12s %12s %9s %9s\n", "workload", "size",
+              "planned_us", "naive_us", "speedup", "derived");
+
+  std::vector<Row> rows;
+  for (size_t n : {64, 128, 256}) {
+    auto db = deddb::MakeChain(n);
+    rows.push_back(deddb::Compare("tc_chain", *db, n, /*rounds=*/3));
+  }
+  for (size_t n : {1000, 10000, 50000}) {
+    auto db = deddb::MakeSelective(n);
+    rows.push_back(deddb::Compare("selective_join", *db, n, /*rounds=*/3));
+  }
+  for (const Row& row : rows) {
+    std::printf("%-16s %8zu %12.0f %12.0f %8.1fx %9zu\n",
+                row.workload.c_str(), row.size, row.planned_us, row.naive_us,
+                row.speedup(), row.derived);
+  }
+  double headline = deddb::RecomputeHeadlineUs();
+  std::printf("upward_recompute people=10000 txn=256: %.0f us "
+              "(5x-vs-seed target: <= 4566 us)\n",
+              headline);
+
+  const char* json_dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string json_path = deddb::StrCat(
+      json_dir != nullptr ? json_dir : ".", "/BENCH_join.json");
+  std::string out = deddb::StrCat(
+      "{\"bench\":\"join_planner\",\"seed_recompute_10000_256_us\":22828,"
+      "\"recompute_10000_256_us\":", headline, ",\"rows\":[");
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += deddb::StrCat("{\"workload\":\"", row.workload,
+                         "\",\"size\":", row.size,
+                         ",\"planned_us\":", row.planned_us,
+                         ",\"naive_us\":", row.naive_us,
+                         ",\"speedup\":", row.speedup(),
+                         ",\"derived_facts\":", row.derived, "}");
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", json_path.c_str());
+  return 0;
+}

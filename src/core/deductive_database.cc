@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "core/update_processor.h"
+#include "eval/index_advisor.h"
 #include "obs/metrics.h"
 #include "util/strings.h"
 
@@ -114,6 +115,9 @@ Result<std::unique_ptr<DeductiveDatabase>> DeductiveDatabase::OpenPersistent(
           dir, persist::PersistenceManager::Options{
                    persist_options.group_commit}));
   DEDDB_RETURN_IF_ERROR(manager->RestoreSnapshotInto(&db->db_));
+  // A decoded snapshot carries tuples but no index declarations; re-derive
+  // them from the restored program before replaying the log.
+  DeclareAdvisedIndexes(db->db_.program(), &db->db_.mutable_facts());
   DEDDB_ASSIGN_OR_RETURN(std::vector<persist::WalRecord> records,
                          manager->ReadLogForRecovery(&db->db_.symbols()));
   // Replay each surviving commit through the path that produced it, so the
@@ -223,7 +227,12 @@ Status DeductiveDatabase::AddRule(Rule rule) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
-  return db_.AddRule(std::move(rule));
+  DEDDB_RETURN_IF_ERROR(db_.AddRule(std::move(rule)));
+  // Keep the EDB's composite indexes in step with the program's join shapes;
+  // declared masks survive COW commits and are maintained incrementally from
+  // here on (never rebuilt on Apply).
+  DeclareAdvisedIndexes(db_.program(), &db_.mutable_facts());
+  return Status::Ok();
 }
 
 Status DeductiveDatabase::AddFact(const Atom& ground_atom) {
@@ -491,6 +500,7 @@ Status DeductiveDatabase::ApplyRuleUpdate(const problems::RuleUpdate& update) {
   DEDDB_RETURN_IF_ERROR(problems::ApplyRuleUpdate(&db_, update));
   InvalidateCompiled();
   MarkMutatedLocked();
+  DeclareAdvisedIndexes(db_.program(), &db_.mutable_facts());
   return Status::Ok();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "eval/join_plan.h"
+
 namespace deddb {
 
 namespace {
@@ -214,9 +216,49 @@ Result<size_t> EvaluateBody(
     Substitution* subst,
     const std::function<void(const Substitution&)>& emit,
     const ResourceGuard* guard) {
-  BodyJoin join(rule, order, provider_for, subst, emit,
-                /*stop_after_first=*/false, guard);
-  return join.Run();
+  // Compile the caller's order into a JoinPlan. Variables the initial
+  // substitution resolves to constants become pre-bound slots; a
+  // variable-to-variable binding cannot be represented in the slot row, so
+  // that (unused in-tree) case keeps the legacy backtracking join.
+  JoinPlan::Options options;
+  options.fixed_order = order;
+  bool aliased = false;
+  for (VarId v : rule.DistinctVariables()) {
+    Term resolved = subst->Apply(Term::MakeVariable(v));
+    if (resolved.is_constant()) {
+      options.initially_bound.push_back(v);
+    } else if (resolved.variable() != v) {
+      aliased = true;
+    }
+  }
+  if (aliased) {
+    BodyJoin join(rule, order, provider_for, subst, emit,
+                  /*stop_after_first=*/false, guard);
+    return join.Run();
+  }
+  DEDDB_ASSIGN_OR_RETURN(JoinPlan plan,
+                         JoinPlan::Build(rule, provider_for, options));
+  DEDDB_ASSIGN_OR_RETURN(std::vector<SymbolId> initial,
+                         plan.InitialRow(*subst));
+  // Which slots the emit adapter must bind and restore (the pre-bound ones
+  // are already in *subst and stay).
+  std::vector<bool> pre_bound(plan.slot_vars().size(), false);
+  for (size_t i = 0; i < initial.size(); ++i) {
+    if (initial[i] != JoinPlan::kUnboundSlot) pre_bound[i] = true;
+  }
+  const std::vector<VarId>& slot_vars = plan.slot_vars();
+  auto row_emit = [&](const SymbolId* row) {
+    for (size_t i = 0; i < slot_vars.size(); ++i) {
+      if (!pre_bound[i]) {
+        subst->Bind(slot_vars[i], Term::MakeConstant(row[i]));
+      }
+    }
+    emit(*subst);
+    for (size_t i = 0; i < slot_vars.size(); ++i) {
+      if (!pre_bound[i]) subst->Unbind(slot_vars[i]);
+    }
+  };
+  return plan.Execute(provider_for, row_emit, initial, guard);
 }
 
 Result<bool> BodySatisfiable(

@@ -32,8 +32,13 @@ Result<std::vector<size_t>> PlanBodyOrder(
     std::optional<size_t> forced_first = std::nullopt,
     const std::function<size_t(size_t)>& cardinality_of = nullptr);
 
-/// Evaluates a rule body by backtracking nested-loop join, using index
-/// lookups through FactProviders.
+/// Evaluates a rule body in the caller-chosen `order`. Since the JoinPlan
+/// rework this is a thin compatibility wrapper: it compiles the order into a
+/// JoinPlan (bound values pushed into index probes, block-at-a-time
+/// execution) and reconstitutes a Substitution per solution, so the
+/// interpretation layer consumes plans unchanged. Bindings of one rule
+/// variable to another fall back to the legacy backtracking join (the slot
+/// row cannot alias variables).
 ///
 /// `order` is a permutation from PlanBodyOrder. `provider_for(i)` supplies
 /// the facts for body literal `i` (semi-naive evaluation points the delta
@@ -56,7 +61,10 @@ Result<size_t> EvaluateBody(
     const ResourceGuard* guard = nullptr);
 
 /// Like EvaluateBody, but stops at the first solution. Returns whether the
-/// body is satisfiable under the initial bindings in `subst`.
+/// body is satisfiable under the initial bindings in `subst`. Deliberately
+/// NOT block-at-a-time: the probe stays on the lazy backtracking join whose
+/// ForEachMatchUntil streaming lets lazily-evaluated providers
+/// (OldStateView over derived predicates) stop at the first witness.
 Result<bool> BodySatisfiable(
     const Rule& rule, const std::vector<size_t>& order,
     const std::function<const FactProvider&(size_t)>& provider_for,

@@ -1,10 +1,11 @@
 #include "eval/bottom_up.h"
 
 #include <deque>
+#include <optional>
 #include <unordered_set>
 
-#include "eval/body_eval.h"
 #include "eval/dependency_graph.h"
+#include "eval/index_advisor.h"
 #include "eval/stratification.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -50,13 +51,24 @@ class SlicedProvider : public FactProvider {
   size_t num_slices_;
 };
 
-// One unit of the parallel phase: evaluate `rule` under `order` with slice
-// `slice` of `num_slices` of the facts behind body literal `sliced_literal`
-// (the delta literal in semi-naive rounds, the planner's leading literal in
-// round 0). sliced_base == nullptr means the whole rule is one item.
-struct WorkItem {
+// One compiled plan of the current round, with where it came from (for the
+// post-merge "plan" span) and the actual per-step row counts accumulated
+// across its slices. Lives in a deque so WorkItem pointers stay stable.
+struct PlanRecord {
+  JoinPlan plan;
   const Rule* rule;
-  const std::vector<size_t>* order;
+  std::optional<size_t> delta_pos;
+  JoinPlan::ExecStats exec;
+};
+
+// One unit of the parallel phase: execute `plan` (shared, immutable) with
+// slice `slice` of `num_slices` of the facts behind body literal
+// `sliced_literal` (the delta literal in semi-naive rounds, the plan's
+// leading literal in round 0). sliced_base == nullptr means the whole rule
+// is one item. `record` indexes the round's PlanRecord for stats folding.
+struct WorkItem {
+  const JoinPlan* plan;
+  size_t record = 0;
   const FactProvider* sliced_base = nullptr;
   size_t sliced_literal = 0;
   size_t slice = 0;
@@ -69,12 +81,22 @@ struct ItemResult {
   Status status = Status::Ok();
   FactStore derived{/*indexed=*/false};
   size_t firings = 0;
+  JoinPlan::ExecStats exec;
 };
+
+// Sums per-step actual rows of one slice into the plan's record.
+void FoldExec(const JoinPlan::ExecStats& from, JoinPlan::ExecStats* into) {
+  if (into->rows.size() < from.rows.size()) {
+    into->rows.resize(from.rows.size(), 0);
+  }
+  for (size_t i = 0; i < from.rows.size(); ++i) into->rows[i] += from.rows[i];
+}
 
 // Runs one work item against the immutable snapshot (`full` layers the
 // current idb over the EDB). Only `out` is written; everything else is read.
-// The guard is ticked inside the body join, so a worker observing a deadline
-// or cancellation abandons its item mid-scan instead of finishing the round.
+// The guard is ticked inside the block executor, so a worker observing a
+// deadline or cancellation abandons its item mid-scan instead of finishing
+// the round.
 void RunWorkItem(const WorkItem& item, const FactProvider& full,
                  const FactStore& idb, const ResourceGuard* guard,
                  ItemResult* out) {
@@ -95,17 +117,16 @@ void RunWorkItem(const WorkItem& item, const FactProvider& full,
     }
     return full;
   };
-  const Rule& rule = *item.rule;
-  Substitution subst;
-  Result<size_t> fired =
-      EvaluateBody(rule, *item.order, provider_for, &subst,
-                   [&](const Substitution& s) {
-                     Atom head = s.Apply(rule.head());
-                     Tuple tuple = TupleFromAtom(head);
-                     if (idb.Contains(head.predicate(), tuple)) return;
-                     out->derived.Add(head.predicate(), tuple);
-                   },
-                   guard);
+  const JoinPlan& plan = *item.plan;
+  Tuple head;
+  Result<size_t> fired = plan.Execute(
+      provider_for,
+      [&](const SymbolId* row) {
+        plan.HeadTupleInto(row, &head);
+        if (idb.Contains(plan.head_predicate(), head)) return;
+        out->derived.Add(plan.head_predicate(), head);
+      },
+      /*initial=*/{}, guard, &out->exec);
   if (!fired.ok()) {
     out->status = fired.status();
     return;
@@ -135,8 +156,45 @@ Result<FactStore> BottomUpEvaluator::EvaluateFor(
   return EvaluateProgram(relevant);
 }
 
+void BottomUpEvaluator::NotePlan(const JoinPlan& plan) {
+  ++planner_.plans;
+  for (const JoinPlan::StepInfo& step : plan.steps()) {
+    switch (step.access.kind) {
+      case Relation::AccessPath::Kind::kScan:
+        ++planner_.scanned_steps;
+        break;
+      case Relation::AccessPath::Kind::kEmpty:
+        break;
+      default:  // key lookup, composite index, column index
+        ++planner_.indexed_steps;
+        break;
+    }
+  }
+}
+
+void BottomUpEvaluator::EmitPlanSpan(const Rule& rule,
+                                     std::optional<size_t> delta_pos,
+                                     const JoinPlan& plan,
+                                     const JoinPlan::ExecStats& exec) {
+  obs::ScopedSpan span(options_.obs.tracer, "plan");
+  if (!span.enabled()) return;
+  span.AttrStr("head", symbols_.NameOf(rule.head().predicate()));
+  if (delta_pos.has_value()) {
+    span.AttrStr("delta",
+                 symbols_.NameOf(rule.body()[*delta_pos].atom().predicate()));
+  }
+  span.AttrStr("plan", plan.ToString(symbols_));
+  std::string rows;
+  for (size_t i = 0; i < exec.rows.size(); ++i) {
+    if (i > 0) rows += ",";
+    rows += std::to_string(exec.rows[i]);
+  }
+  span.AttrStr("rows", rows);
+}
+
 Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
   const EvaluationStats before = stats_;
+  const PlannerCounters planner_before = planner_;
   obs::ScopedSpan span(options_.obs.tracer, "eval");
   if (span.enabled()) {
     span.AttrInt("semi_naive", options_.semi_naive ? 1 : 0);
@@ -167,6 +225,11 @@ Result<FactStore> BottomUpEvaluator::EvaluateProgram(const Program& program) {
     if (stats_.interrupted && !before.interrupted) {
       metrics->Add("eval.interrupted");
     }
+    metrics->Add("planner.plans", planner_.plans - planner_before.plans);
+    metrics->Add("planner.indexed_steps",
+                 planner_.indexed_steps - planner_before.indexed_steps);
+    metrics->Add("planner.scanned_steps",
+                 planner_.scanned_steps - planner_before.scanned_steps);
   }
   return result;
 }
@@ -176,6 +239,12 @@ Result<FactStore> BottomUpEvaluator::EvaluateStrata(const Program& program) {
                          Stratify(program, symbols_));
 
   FactStore idb;
+  // Composite indexes advised for this program's join plans, declared before
+  // evaluation so every relation the IDB creates maintains them
+  // incrementally through Add (no rebuild at any round).
+  for (const IndexAdvice& advice : AdviseIndexes(program)) {
+    idb.DeclareIndex(advice.predicate, advice.mask);
+  }
   size_t stratum_index = 0;
   for (const std::vector<SymbolId>& stratum : stratification.strata) {
     obs::ScopedSpan stratum_span(options_.obs.tracer, "stratum");
@@ -235,30 +304,60 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
     if (!sr.recursive_positions.empty()) recursive = true;
   }
 
-  FactStore delta;
+  // Delta stores are only scanned (the delta literal always leads), never
+  // joined into, so they skip index maintenance.
+  FactStore delta(/*indexed=*/false);
   FactStoreProvider delta_provider(&delta);
 
   const ResourceGuard* guard = options_.guard;
   // Budget trips surface here because emit callbacks return void; the join
-  // may finish its current scan (deriving nothing further) before the error
+  // may finish its current block (deriving nothing further) before the error
   // propagates — a bounded overrun of one rule's enumeration.
   Status guard_error;
 
-  // Derives the head instance for one body solution.
-  auto derive = [&](const Rule& rule, const Substitution& subst,
-                    FactStore* new_delta) {
+  // Derives one head instance.
+  auto derive = [&](SymbolId pred, const Tuple& tuple, FactStore* new_delta) {
     if (!guard_error.ok()) return;
-    Atom head = subst.Apply(rule.head());
-    Tuple tuple = TupleFromAtom(head);
-    if (idb->Contains(head.predicate(), tuple)) return;
+    if (idb->Contains(pred, tuple)) return;
     Status charged = ResourceGuard::ChargeDerivedFacts(guard, 1);
     if (!charged.ok()) {
       guard_error = std::move(charged);
       return;
     }
-    idb->Add(head.predicate(), tuple);
+    idb->Add(pred, tuple);
     ++stats_.derived_facts;
-    if (new_delta != nullptr) new_delta->Add(head.predicate(), tuple);
+    if (new_delta != nullptr) new_delta->Add(pred, tuple);
+  };
+
+  // Plans, executes and traces one rule. `delta_pos`, when set, leads the
+  // plan with that body literal pointed at the current delta (semi-naive).
+  auto run_rule = [&](const Rule& rule, std::optional<size_t> delta_pos,
+                      FactStore* new_delta) -> Status {
+    auto provider_for = [&](size_t i) -> const FactProvider& {
+      if (delta_pos.has_value() && i == *delta_pos) {
+        return static_cast<const FactProvider&>(delta_provider);
+      }
+      return static_cast<const FactProvider&>(full);
+    };
+    JoinPlan::Options plan_options;
+    plan_options.strategy = options_.join_strategy;
+    plan_options.forced_first = delta_pos;
+    DEDDB_ASSIGN_OR_RETURN(JoinPlan plan,
+                           JoinPlan::Build(rule, provider_for, plan_options));
+    NotePlan(plan);
+    JoinPlan::ExecStats exec;
+    Tuple head;
+    DEDDB_ASSIGN_OR_RETURN(
+        size_t fired,
+        plan.Execute(provider_for,
+                     [&](const SymbolId* row) {
+                       plan.HeadTupleInto(row, &head);
+                       derive(plan.head_predicate(), head, new_delta);
+                     },
+                     /*initial=*/{}, guard, &exec));
+    stats_.rule_firings += fired;
+    EmitPlanSpan(rule, delta_pos, plan, exec);
+    return guard_error;
   };
 
   // Round 0: plain pass over all rules of the stratum. Non-recursive strata
@@ -270,25 +369,8 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
     DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
     for (const StratumRule& sr : rules) {
-      auto card = [&](size_t i) {
-        return full.EstimateCount(sr.rule->body()[i].atom().predicate());
-      };
-      DEDDB_ASSIGN_OR_RETURN(
-          std::vector<size_t> order,
-          PlanBodyOrder(*sr.rule, {}, std::nullopt, card));
-      Substitution subst;
-      auto provider_for = [&](size_t) -> const FactProvider& {
-        return full;
-      };
-      DEDDB_ASSIGN_OR_RETURN(
-          size_t fired,
-          EvaluateBody(*sr.rule, order, provider_for, &subst,
-                       [&](const Substitution& s) {
-                         derive(*sr.rule, s, recursive ? &delta : nullptr);
-                       },
-                       guard));
-      stats_.rule_firings += fired;
-      DEDDB_RETURN_IF_ERROR(guard_error);
+      DEDDB_RETURN_IF_ERROR(
+          run_rule(*sr.rule, std::nullopt, recursive ? &delta : nullptr));
     }
     if (round_span.enabled()) {
       round_span.AttrInt("index", 0);
@@ -315,57 +397,18 @@ Status BottomUpEvaluator::EvaluateStratumSerial(
     ++stats_.rounds;
     DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
-    FactStore new_delta;
+    FactStore new_delta(/*indexed=*/false);
     if (options_.semi_naive) {
       for (const StratumRule& sr : rules) {
         for (size_t delta_pos : sr.recursive_positions) {
-          auto card = [&](size_t i) {
-            const FactProvider& p =
-                i == delta_pos ? static_cast<const FactProvider&>(
-                                     delta_provider)
-                               : static_cast<const FactProvider&>(full);
-            return p.EstimateCount(sr.rule->body()[i].atom().predicate());
-          };
-          DEDDB_ASSIGN_OR_RETURN(
-              std::vector<size_t> order,
-              PlanBodyOrder(*sr.rule, {}, delta_pos, card));
-          Substitution subst;
-          auto provider_for = [&](size_t i) -> const FactProvider& {
-            if (i == delta_pos) {
-              return static_cast<const FactProvider&>(delta_provider);
-            }
-            return static_cast<const FactProvider&>(full);
-          };
-          DEDDB_ASSIGN_OR_RETURN(
-              size_t fired,
-              EvaluateBody(*sr.rule, order, provider_for, &subst,
-                           [&](const Substitution& s) {
-                             derive(*sr.rule, s, &new_delta);
-                           },
-                           guard));
-          stats_.rule_firings += fired;
-          DEDDB_RETURN_IF_ERROR(guard_error);
+          DEDDB_RETURN_IF_ERROR(run_rule(*sr.rule, delta_pos, &new_delta));
         }
       }
     } else {
       // Naive: re-run every rule against the full store.
       for (const StratumRule& sr : rules) {
         if (sr.recursive_positions.empty()) continue;  // already complete
-        DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
-                               PlanBodyOrder(*sr.rule, {}));
-        Substitution subst;
-        auto provider_for = [&](size_t) -> const FactProvider& {
-          return full;
-        };
-        DEDDB_ASSIGN_OR_RETURN(
-            size_t fired,
-            EvaluateBody(*sr.rule, order, provider_for, &subst,
-                         [&](const Substitution& s) {
-                           derive(*sr.rule, s, &new_delta);
-                         },
-                         guard));
-        stats_.rule_firings += fired;
-        DEDDB_RETURN_IF_ERROR(guard_error);
+        DEDDB_RETURN_IF_ERROR(run_rule(*sr.rule, std::nullopt, &new_delta));
       }
     }
     if (round_span.enabled()) {
@@ -466,24 +509,29 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
     ++stats_.rounds;
     DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
-    std::deque<std::vector<size_t>> orders;  // stable storage for plans
+    std::deque<PlanRecord> records;  // stable storage for shared plans
     std::vector<WorkItem> items;
     for (const StratumRule& sr : rules) {
       const Rule& rule = *sr.rule;
-      auto card = [&](size_t i) {
-        return full.EstimateCount(rule.body()[i].atom().predicate());
-      };
-      DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
-                             PlanBodyOrder(rule, {}, std::nullopt, card));
-      orders.push_back(std::move(order));
-      WorkItem item{&rule, &orders.back()};
+      auto provider_for = [&](size_t) -> const FactProvider& { return full; };
+      JoinPlan::Options plan_options;
+      plan_options.strategy = options_.join_strategy;
+      DEDDB_ASSIGN_OR_RETURN(JoinPlan plan,
+                             JoinPlan::Build(rule, provider_for,
+                                             plan_options));
+      NotePlan(plan);
+      records.push_back(
+          PlanRecord{std::move(plan), &rule, std::nullopt, {}});
+      const PlanRecord& rec = records.back();
+      WorkItem item{&rec.plan, records.size() - 1};
       size_t slices = 1;
-      if (!orders.back().empty()) {
-        size_t lead = orders.back().front();
+      if (!rec.plan.order().empty()) {
+        size_t lead = rec.plan.order().front();
         if (rule.body()[lead].positive()) {
           item.sliced_base = &full;
           item.sliced_literal = lead;
-          slices = slices_for(card(lead));
+          slices = slices_for(
+              full.EstimateCount(rule.body()[lead].atom().predicate()));
         }
       }
       item.num_slices = slices;
@@ -493,7 +541,15 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
       }
     }
     run(items, &results);
+    // Fold slice row counts into the plan records (stats only, so safe even
+    // when the merge aborts the round), then merge and trace the plans.
+    for (size_t i = 0; i < items.size(); ++i) {
+      FoldExec(results[i].exec, &records[items[i].record].exec);
+    }
     DEDDB_RETURN_IF_ERROR(merge(results, recursive ? &delta : nullptr));
+    for (const PlanRecord& rec : records) {
+      EmitPlanSpan(*rec.rule, rec.delta_pos, rec.plan, rec.exec);
+    }
     if (round_span.enabled()) {
       round_span.AttrInt("index", 0);
       round_span.AttrInt("rule_firings",
@@ -519,24 +575,31 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
     ++stats_.rounds;
     DEDDB_FAULT_POINT(FaultPoint::kEvalRoundStart);
     DEDDB_RETURN_IF_ERROR(ResourceGuard::Check(guard));
-    std::deque<std::vector<size_t>> orders;
+    std::deque<PlanRecord> records;
     std::vector<WorkItem> items;
     if (options_.semi_naive) {
       for (const StratumRule& sr : rules) {
         const Rule& rule = *sr.rule;
         for (size_t delta_pos : sr.recursive_positions) {
-          auto card = [&](size_t i) {
-            const FactProvider& p =
-                i == delta_pos
-                    ? static_cast<const FactProvider&>(delta_provider)
-                    : static_cast<const FactProvider&>(full);
-            return p.EstimateCount(rule.body()[i].atom().predicate());
+          auto provider_for = [&](size_t i) -> const FactProvider& {
+            if (i == delta_pos) {
+              return static_cast<const FactProvider&>(delta_provider);
+            }
+            return static_cast<const FactProvider&>(full);
           };
-          DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
-                                 PlanBodyOrder(rule, {}, delta_pos, card));
-          orders.push_back(std::move(order));
-          WorkItem item{&rule, &orders.back(), &delta_provider, delta_pos};
-          item.num_slices = slices_for(card(delta_pos));
+          JoinPlan::Options plan_options;
+          plan_options.strategy = options_.join_strategy;
+          plan_options.forced_first = delta_pos;
+          DEDDB_ASSIGN_OR_RETURN(JoinPlan plan,
+                                 JoinPlan::Build(rule, provider_for,
+                                                 plan_options));
+          NotePlan(plan);
+          records.push_back(PlanRecord{std::move(plan), &rule, delta_pos, {}});
+          WorkItem item{&records.back().plan, records.size() - 1,
+                        &delta_provider, delta_pos};
+          item.num_slices = slices_for(
+              delta_provider.EstimateCount(
+                  rule.body()[delta_pos].atom().predicate()));
           for (size_t s = 0; s < item.num_slices; ++s) {
             item.slice = s;
             items.push_back(item);
@@ -549,13 +612,22 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
       for (const StratumRule& sr : rules) {
         if (sr.recursive_positions.empty()) continue;  // already complete
         const Rule& rule = *sr.rule;
-        DEDDB_ASSIGN_OR_RETURN(std::vector<size_t> order,
-                               PlanBodyOrder(rule, {}));
-        orders.push_back(std::move(order));
-        WorkItem item{&rule, &orders.back()};
+        auto provider_for = [&](size_t) -> const FactProvider& {
+          return full;
+        };
+        JoinPlan::Options plan_options;
+        plan_options.strategy = options_.join_strategy;
+        DEDDB_ASSIGN_OR_RETURN(JoinPlan plan,
+                               JoinPlan::Build(rule, provider_for,
+                                               plan_options));
+        NotePlan(plan);
+        records.push_back(
+            PlanRecord{std::move(plan), &rule, std::nullopt, {}});
+        const PlanRecord& rec = records.back();
+        WorkItem item{&rec.plan, records.size() - 1};
         size_t slices = 1;
-        if (!orders.back().empty()) {
-          size_t lead = orders.back().front();
+        if (!rec.plan.order().empty()) {
+          size_t lead = rec.plan.order().front();
           if (rule.body()[lead].positive()) {
             item.sliced_base = &full;
             item.sliced_literal = lead;
@@ -571,8 +643,14 @@ Status BottomUpEvaluator::EvaluateStratumParallel(
       }
     }
     run(items, &results);
+    for (size_t i = 0; i < items.size(); ++i) {
+      FoldExec(results[i].exec, &records[items[i].record].exec);
+    }
     FactStore new_delta(/*indexed=*/false);
     DEDDB_RETURN_IF_ERROR(merge(results, &new_delta));
+    for (const PlanRecord& rec : records) {
+      EmitPlanSpan(*rec.rule, rec.delta_pos, rec.plan, rec.exec);
+    }
     if (round_span.enabled()) {
       round_span.AttrInt("index", static_cast<int64_t>(round));
       round_span.AttrInt("rule_firings",

@@ -2,10 +2,12 @@
 #define DEDDB_EVAL_BOTTOM_UP_H_
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "datalog/program.h"
 #include "eval/fact_provider.h"
+#include "eval/join_plan.h"
 #include "obs/obs.h"
 #include "util/resource_guard.h"
 #include "util/status.h"
@@ -39,6 +41,15 @@ struct EvaluationOptions {
   /// derived earlier in the same round). Requires the EDB FactProvider's
   /// const methods to be thread-safe; all FactStore-backed providers are.
   size_t num_threads = 0;
+  /// Join compilation strategy for rule bodies. kPlanned (the default)
+  /// orders body literals by live selectivity estimates, probes composite /
+  /// column indexes, and pushes bound values into the probes.
+  /// kNaiveNestedLoop keeps the textual literal order (negatives deferred
+  /// only until ground) and scans every literal — the differential plan
+  /// oracle's reference engine and the ablation baseline. Both strategies
+  /// produce byte-identical fixpoints and identical EvaluationStats (a rule
+  /// firing is a complete body solution, which no join order changes).
+  JoinStrategy join_strategy = JoinStrategy::kPlanned;
   /// Optional observability hookup (tracing spans + metrics); both pointers
   /// nullable, default fully disabled. Spans are begun only from the
   /// orchestration thread (evaluation / stratum / round barriers, never
@@ -95,11 +106,28 @@ class BottomUpEvaluator {
   Status EvaluateStratumParallel(const std::vector<StratumRule>& rules,
                                  FactStore* idb);
 
+  // Planner telemetry (plans compiled, index-backed vs scanned steps),
+  // accumulated like stats_ and flushed as per-call deltas into the metrics
+  // registry by EvaluateProgram. Kept out of EvaluationStats so the
+  // differential oracle can require stats equality across strategies.
+  struct PlannerCounters {
+    size_t plans = 0;
+    size_t indexed_steps = 0;
+    size_t scanned_steps = 0;
+  };
+  void NotePlan(const JoinPlan& plan);
+  // Emits one "plan" span (child of the current round span) rendering the
+  // chosen plan plus actual per-step row counts. Called only from the
+  // orchestration thread, after the rule (or all its slices) executed.
+  void EmitPlanSpan(const Rule& rule, std::optional<size_t> delta_pos,
+                    const JoinPlan& plan, const JoinPlan::ExecStats& exec);
+
   const Program& program_;
   const SymbolTable& symbols_;
   const FactProvider& edb_;
   EvaluationOptions options_;
   EvaluationStats stats_;
+  PlannerCounters planner_;
   // Created on first parallel stratum, reused across rounds and across
   // repeated Evaluate()/EvaluateFor() calls on this instance.
   std::unique_ptr<ThreadPool> pool_;

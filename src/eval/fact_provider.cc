@@ -54,4 +54,48 @@ size_t LayeredProvider::EstimateCount(SymbolId predicate) const {
   return total;
 }
 
+size_t FactStoreProvider::EstimateMatches(SymbolId predicate,
+                                          Relation::Mask bound_mask) const {
+  const Relation* rel = store_->Find(predicate);
+  return rel == nullptr ? 0 : rel->EstimateMatches(bound_mask);
+}
+
+Relation::AccessPath FactStoreProvider::DescribeAccess(
+    SymbolId predicate, Relation::Mask bound_mask) const {
+  const Relation* rel = store_->Find(predicate);
+  if (rel == nullptr) {
+    Relation::AccessPath path;
+    path.kind = Relation::AccessPath::Kind::kEmpty;
+    path.estimated_rows = 0;
+    return path;
+  }
+  return rel->PlanAccess(bound_mask);
+}
+
+size_t LayeredProvider::EstimateMatches(SymbolId predicate,
+                                        Relation::Mask bound_mask) const {
+  size_t total = 0;
+  for (const FactProvider* layer : layers_) {
+    size_t n = layer->EstimateMatches(predicate, bound_mask);
+    if (n == kUnknownCount) return kUnknownCount;
+    total += n;
+  }
+  return total;
+}
+
+Relation::AccessPath LayeredProvider::DescribeAccess(
+    SymbolId predicate, Relation::Mask bound_mask) const {
+  Relation::AccessPath path;
+  path.kind = Relation::AccessPath::Kind::kEmpty;
+  path.estimated_rows = EstimateMatches(predicate, bound_mask);
+  for (const FactProvider* layer : layers_) {
+    if (layer->EstimateCount(predicate) > 0) {
+      Relation::AccessPath inner = layer->DescribeAccess(predicate, bound_mask);
+      inner.estimated_rows = path.estimated_rows;
+      return inner;
+    }
+  }
+  return path;
+}
+
 }  // namespace deddb

@@ -46,6 +46,26 @@ class FactProvider {
     return kUnknownCount;
   }
 
+  /// Estimated number of tuples of `predicate` matching a selection that
+  /// binds exactly the columns of `bound_mask` (Relation::Mask semantics).
+  /// Value-independent; the join planner ranks candidate literals with it.
+  /// The default ignores the mask and falls back to EstimateCount.
+  virtual size_t EstimateMatches(SymbolId predicate,
+                                 Relation::Mask /*bound_mask*/) const {
+    return EstimateCount(predicate);
+  }
+
+  /// The access path a ForEachMatch with `bound_mask`'s columns fixed would
+  /// take, for EXPLAIN. The default is an unknown-cost scan; relation-backed
+  /// sources report their real index choice.
+  virtual Relation::AccessPath DescribeAccess(
+      SymbolId predicate, Relation::Mask /*bound_mask*/) const {
+    Relation::AccessPath path;
+    path.kind = Relation::AccessPath::Kind::kScan;
+    path.estimated_rows = EstimateCount(predicate);
+    return path;
+  }
+
   static constexpr size_t kUnknownCount = SIZE_MAX;
 };
 
@@ -58,6 +78,10 @@ class FactStoreProvider : public FactProvider {
                     const std::function<void(const Tuple&)>& fn) const override;
   bool Contains(SymbolId predicate, const Tuple& tuple) const override;
   size_t EstimateCount(SymbolId predicate) const override;
+  size_t EstimateMatches(SymbolId predicate,
+                         Relation::Mask bound_mask) const override;
+  Relation::AccessPath DescribeAccess(SymbolId predicate,
+                                      Relation::Mask bound_mask) const override;
 
  private:
   const FactStore* store_;
@@ -78,6 +102,13 @@ class LayeredProvider : public FactProvider {
       const std::function<bool(const Tuple&)>& fn) const override;
   bool Contains(SymbolId predicate, const Tuple& tuple) const override;
   size_t EstimateCount(SymbolId predicate) const override;
+  size_t EstimateMatches(SymbolId predicate,
+                         Relation::Mask bound_mask) const override;
+  /// The first layer with any facts for `predicate` describes the access
+  /// (other layers are empty for a given predicate in the evaluators'
+  /// idb-over-edb layerings); the estimate sums all layers.
+  Relation::AccessPath DescribeAccess(SymbolId predicate,
+                                      Relation::Mask bound_mask) const override;
 
  private:
   std::vector<const FactProvider*> layers_;

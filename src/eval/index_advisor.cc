@@ -1,0 +1,88 @@
+#include "eval/index_advisor.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+#include "eval/body_eval.h"
+
+namespace deddb {
+
+namespace {
+
+int PopCount(Relation::Mask mask) {
+  int count = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++count;
+  }
+  return count;
+}
+
+// Walks `order` over `rule`'s body tracking bound variables, recording the
+// bound-position mask of every positive literal probed with 2+ (but not all)
+// columns bound.
+void CollectMasks(const Rule& rule, const std::vector<size_t>& order,
+                  std::vector<IndexAdvice>* out) {
+  std::unordered_set<VarId> bound;
+  for (size_t idx : order) {
+    const Literal& lit = rule.body()[idx];
+    const Atom& atom = lit.atom();
+    if (lit.positive()) {
+      Relation::Mask mask = 0;
+      for (size_t j = 0;
+           j < atom.arity() && j < Relation::kMaxMaskColumns; ++j) {
+        const Term& t = atom.args()[j];
+        if (t.is_constant() || bound.count(t.variable()) > 0) {
+          mask |= Relation::Mask{1} << j;
+        }
+      }
+      size_t maskable = std::min(atom.arity(), Relation::kMaxMaskColumns);
+      bool full = atom.arity() <= Relation::kMaxMaskColumns &&
+                  static_cast<size_t>(PopCount(mask)) == maskable;
+      if (PopCount(mask) >= 2 && !full) {
+        out->push_back(IndexAdvice{atom.predicate(), mask});
+      }
+      for (const Term& t : atom.args()) {
+        if (t.is_variable()) bound.insert(t.variable());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<IndexAdvice> AdviseIndexes(const Program& program) {
+  std::vector<IndexAdvice> advice;
+  for (const Rule& rule : program.rules()) {
+    // Scenario 0: the unforced structural order (round-0 evaluation).
+    // Scenario i+1: positive literal i leads (its delta leads a semi-naive
+    // round). PlanBodyOrder fails only for unsafe rules, which validation
+    // rejects upstream; such scenarios are simply skipped.
+    std::vector<std::optional<size_t>> scenarios;
+    scenarios.push_back(std::nullopt);
+    for (size_t i = 0; i < rule.body().size(); ++i) {
+      if (rule.body()[i].positive()) scenarios.push_back(i);
+    }
+    for (const std::optional<size_t>& forced : scenarios) {
+      Result<std::vector<size_t>> order = PlanBodyOrder(rule, {}, forced);
+      if (!order.ok()) continue;
+      CollectMasks(rule, *order, &advice);
+    }
+  }
+  std::sort(advice.begin(), advice.end(),
+            [](const IndexAdvice& a, const IndexAdvice& b) {
+              if (a.predicate != b.predicate) return a.predicate < b.predicate;
+              return a.mask < b.mask;
+            });
+  advice.erase(std::unique(advice.begin(), advice.end()), advice.end());
+  return advice;
+}
+
+void DeclareAdvisedIndexes(const Program& program, FactStore* store) {
+  for (const IndexAdvice& advice : AdviseIndexes(program)) {
+    store->DeclareIndex(advice.predicate, advice.mask);
+  }
+}
+
+}  // namespace deddb

@@ -49,6 +49,7 @@ std::string_view ProseLabel(std::string_view name) {
           {"eval", "bottom-up evaluation"},
           {"stratum", "stratum"},
           {"round", "fixpoint round"},
+          {"plan", "join plan for"},
           {"compile.events", "event-rule compilation"},
           {"query.materialize", "materialize reachable predicates of"},
           {"upward", "upward interpretation"},
@@ -90,7 +91,7 @@ std::string_view ProseLabel(std::string_view name) {
 // inline after the label instead of as key=value noise.
 bool IsSubjectKey(std::string_view key) {
   return key == "name" || key == "request" || key == "event" ||
-         key == "goal" || key == "txn" || key == "problem";
+         key == "goal" || key == "txn" || key == "problem" || key == "head";
 }
 
 void ExplainNode(const std::vector<Span>& spans,

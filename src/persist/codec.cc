@@ -135,11 +135,18 @@ void EncodeRelation(const Relation& relation, const SymbolTable& symbols,
   }
 }
 
-Result<Relation> DecodeRelation(ByteSource* source, SymbolTable* symbols) {
-  DEDDB_ASSIGN_OR_RETURN(uint32_t arity, source->GetU32());
+namespace {
+
+// Shared decode body: reads the tuple list, leaving installation to the
+// caller so DecodeRelationInto can preserve an existing relation's index
+// mode and composite masks through ReplaceContents.
+Result<std::vector<Tuple>> DecodeRelationTuples(ByteSource* source,
+                                                SymbolTable* symbols,
+                                                uint32_t arity) {
   DEDDB_ASSIGN_OR_RETURN(uint64_t count, source->GetU64());
   DEDDB_RETURN_IF_ERROR(CheckCount(count, *source, "relation tuple"));
-  Relation relation(arity);
+  std::vector<Tuple> tuples;
+  tuples.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     DEDDB_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(source, symbols));
     if (t.size() != arity) {
@@ -147,9 +154,34 @@ Result<Relation> DecodeRelation(ByteSource* source, SymbolTable* symbols) {
           StrCat("relation of arity ", arity, " holds a tuple of arity ",
                  t.size()));
     }
-    relation.Insert(t);
+    tuples.push_back(std::move(t));
   }
+  return tuples;
+}
+
+}  // namespace
+
+Result<Relation> DecodeRelation(ByteSource* source, SymbolTable* symbols) {
+  DEDDB_ASSIGN_OR_RETURN(uint32_t arity, source->GetU32());
+  DEDDB_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                         DecodeRelationTuples(source, symbols, arity));
+  Relation relation(arity);
+  relation.ReplaceContents(std::move(tuples));
   return relation;
+}
+
+Status DecodeRelationInto(ByteSource* source, SymbolTable* symbols,
+                          Relation* into) {
+  DEDDB_ASSIGN_OR_RETURN(uint32_t arity, source->GetU32());
+  if (arity != into->arity()) {
+    return CorruptionError(StrCat("relation of arity ", arity,
+                                  " decoded into a relation of arity ",
+                                  into->arity()));
+  }
+  DEDDB_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                         DecodeRelationTuples(source, symbols, arity));
+  into->ReplaceContents(std::move(tuples));
+  return Status::Ok();
 }
 
 namespace {

@@ -67,6 +67,14 @@ void EncodeRelation(const Relation& relation, const SymbolTable& symbols,
                     ByteSink* sink);
 Result<Relation> DecodeRelation(ByteSource* source, SymbolTable* symbols);
 
+/// Decodes into an existing relation via Relation::ReplaceContents, so the
+/// target keeps its index mode and declared composite masks (the plain
+/// DecodeRelation constructs a fresh default-indexed relation, which silently
+/// dropped both). The encoded arity must match `into->arity()`; a mismatch is
+/// kCorruption and leaves `into` unchanged.
+Status DecodeRelationInto(ByteSource* source, SymbolTable* symbols,
+                          Relation* into);
+
 void EncodeFactStore(const FactStore& store, const SymbolTable& symbols,
                      ByteSink* sink);
 Result<FactStore> DecodeFactStore(ByteSource* source, SymbolTable* symbols);

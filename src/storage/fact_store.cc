@@ -8,7 +8,9 @@
 namespace deddb {
 
 FactStore::FactStore(const FactStore& other)
-    : indexed_(other.indexed_), relations_(other.relations_) {
+    : indexed_(other.indexed_),
+      relations_(other.relations_),
+      declared_(other.declared_) {
   // Mark every relation shared on both sides. The source's flags are mutable
   // because the source of a snapshot copy is const; the copy itself is what
   // BeginSession takes under the commit lock, so these writes are serialized
@@ -51,6 +53,12 @@ bool FactStore::Add(SymbolId predicate, const Tuple& tuple) {
                       Slot{std::make_shared<Relation>(tuple.size(), indexed_),
                            false})
              .first;
+    auto dit = declared_.find(predicate);
+    if (dit != declared_.end()) {
+      for (Relation::Mask mask : dit->second) {
+        it->second.relation->EnsureCompositeIndex(mask);
+      }
+    }
     return it->second.relation->Insert(tuple);
   }
   if (it->second.relation->Contains(tuple)) {
@@ -83,6 +91,33 @@ bool FactStore::Contains(SymbolId predicate, const Tuple& tuple) const {
 
 bool FactStore::Contains(const Atom& ground_atom) const {
   return Contains(ground_atom.predicate(), TupleFromAtom(ground_atom));
+}
+
+void FactStore::DeclareIndex(SymbolId predicate, Relation::Mask mask) {
+  std::vector<Relation::Mask>& masks = declared_[predicate];
+  auto mit = std::lower_bound(masks.begin(), masks.end(), mask);
+  if (mit == masks.end() || *mit != mask) masks.insert(mit, mask);
+  if (relations_.count(predicate) > 0) {
+    // Mutable() honors the COW contract: a relation some snapshot still
+    // shares is cloned before it grows an index.
+    Mutable(predicate)->EnsureCompositeIndex(mask);
+  }
+}
+
+std::vector<Relation::Mask> FactStore::DeclaredIndexes(
+    SymbolId predicate) const {
+  auto it = declared_.find(predicate);
+  return it == declared_.end() ? std::vector<Relation::Mask>{} : it->second;
+}
+
+Status FactStore::ValidateIndexes(const SymbolTable& symbols) const {
+  for (const auto& [pred, slot] : relations_) {
+    Status status = slot.relation->ValidateIndexes();
+    if (!status.ok()) {
+      return InternalError(symbols.NameOf(pred) + ": " + status.message());
+    }
+  }
+  return Status::Ok();
 }
 
 const Relation* FactStore::Find(SymbolId predicate) const {

@@ -46,6 +46,21 @@ class FactStore {
   bool Contains(SymbolId predicate, const Tuple& tuple) const;
   bool Contains(const Atom& ground_atom) const;
 
+  /// Declares a composite index over `mask`'s columns on `predicate`. If the
+  /// relation exists the index is built now (cloning first if shared — the
+  /// COW contract is the same as any mutation, so call under the owner's
+  /// commit lock); either way the mask is remembered and re-applied whenever
+  /// Add creates the relation afresh. Declarations survive store copies, so
+  /// snapshot commits keep their access paths without rebuilds.
+  void DeclareIndex(SymbolId predicate, Relation::Mask mask);
+
+  /// Declared masks for `predicate`, ascending (empty if none).
+  std::vector<Relation::Mask> DeclaredIndexes(SymbolId predicate) const;
+
+  /// Validates every relation's indexes (Relation::ValidateIndexes); returns
+  /// the first violation, naming the predicate.
+  Status ValidateIndexes(const SymbolTable& symbols) const;
+
   /// The relation for `predicate`, or nullptr if no fact was ever added.
   const Relation* Find(SymbolId predicate) const;
 
@@ -93,6 +108,9 @@ class FactStore {
 
   bool indexed_;
   std::unordered_map<SymbolId, Slot> relations_;
+  // Composite-index declarations by predicate (sorted, deduplicated).
+  // Re-applied when Add creates a relation that DeclareIndex preceded.
+  std::unordered_map<SymbolId, std::vector<Relation::Mask>> declared_;
 };
 
 }  // namespace deddb

@@ -1,101 +1,430 @@
 #include "storage/relation.h"
 
+#include <algorithm>
 #include <cassert>
-#include <limits>
+#include <string>
 
 namespace deddb {
 
+namespace {
+
+int PopCount(Relation::Mask mask) {
+  int count = 0;
+  while (mask != 0) {
+    mask &= mask - 1;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
 Relation::Relation(size_t arity, bool indexed)
     : arity_(arity), indexed_(indexed) {
-  if (indexed_) columns_.resize(arity_);
+  if (indexed_ && arity_ >= 2) columns_.resize(arity_);
 }
 
-Relation::Relation(const Relation& other)
-    : Relation(other.arity_, other.indexed_) {
-  other.ForEach([&](const Tuple& t) { Insert(t); });
+size_t Relation::HashRow(const SymbolId* row, size_t n) {
+  // FNV-1a over the row's symbols.
+  size_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= row[i];
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
-Relation& Relation::operator=(const Relation& other) {
-  if (this == &other) return *this;
-  Relation copy(other);
-  *this = std::move(copy);
-  return *this;
+bool Relation::RowEquals(const SymbolId* row, const SymbolId* key) const {
+  return std::equal(row, row + arity_, key);
+}
+
+size_t Relation::FindSlot(const SymbolId* key) const {
+  size_t mask = slots_.size() - 1;
+  size_t i = HashRow(key, arity_) & mask;
+  while (true) {
+    uint32_t r = slots_[i];
+    if (r == kEmptySlot || RowEquals(Row(r), key)) return i;
+    i = (i + 1) & mask;
+  }
+}
+
+size_t Relation::SlotOf(uint32_t row) const {
+  size_t mask = slots_.size() - 1;
+  size_t i = HashRow(Row(row), arity_) & mask;
+  while (slots_[i] != row) i = (i + 1) & mask;
+  return i;
+}
+
+void Relation::RemoveSlotBackshift(size_t hole) {
+  size_t mask = slots_.size() - 1;
+  size_t i = hole;
+  size_t j = hole;
+  while (true) {
+    slots_[i] = kEmptySlot;
+    while (true) {
+      j = (j + 1) & mask;
+      if (slots_[j] == kEmptySlot) return;
+      size_t home = HashRow(Row(slots_[j]), arity_) & mask;
+      // The entry at j may fill the hole at i only if its home position does
+      // not lie cyclically in (i, j] — otherwise moving it would put it
+      // before its home and break the probe chain.
+      bool home_in_gap =
+          (i <= j) ? (home > i && home <= j) : (home > i || home <= j);
+      if (!home_in_gap) {
+        slots_[i] = slots_[j];
+        i = j;
+        break;
+      }
+    }
+  }
+}
+
+void Relation::MaybeGrow() {
+  if (slots_.empty()) {
+    Rehash(64);
+    return;
+  }
+  // Keep the load factor under 0.7 so probe chains stay short and the table
+  // always has empty slots (FindSlot relies on that to terminate). Growing
+  // 4x keeps the total reinsertion work during a filling run at ~1.3 rows
+  // per final row.
+  if ((size_ + 1) * 10 >= slots_.size() * 7) Rehash(slots_.size() * 4);
+}
+
+void Relation::Rehash(size_t new_capacity) {
+  slots_.assign(new_capacity, kEmptySlot);
+  size_t mask = new_capacity - 1;
+  for (uint32_t r = 0; r < size_; ++r) {
+    size_t i = HashRow(Row(r), arity_) & mask;
+    while (slots_[i] != kEmptySlot) i = (i + 1) & mask;
+    slots_[i] = r;
+  }
+}
+
+Relation::Mask Relation::FullMask() const {
+  size_t bits = std::min(arity_, kMaxMaskColumns);
+  if (bits == kMaxMaskColumns) return ~Mask{0};
+  return (Mask{1} << bits) - 1;
+}
+
+Tuple Relation::KeyFor(Mask mask, const SymbolId* row) const {
+  Tuple key;
+  key.reserve(static_cast<size_t>(PopCount(mask)));
+  for (size_t col = 0; mask != 0; ++col, mask >>= 1) {
+    if (mask & 1) key.push_back(row[col]);
+  }
+  return key;
+}
+
+void Relation::IndexInsert(uint32_t row) {
+  const SymbolId* values = Row(row);
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    columns_[col][values[col]].push_back(row);
+  }
+  for (CompositeIndex& ci : composites_) {
+    ci.buckets[KeyFor(ci.mask, values)].push_back(row);
+  }
+}
+
+void Relation::IndexErase(uint32_t row) {
+  const SymbolId* values = Row(row);
+  auto drop = [row](PostingList& posting) {
+    auto it = std::find(posting.begin(), posting.end(), row);
+    if (it != posting.end()) {
+      *it = posting.back();
+      posting.pop_back();
+    }
+    return posting.empty();
+  };
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    auto cit = columns_[col].find(values[col]);
+    if (cit != columns_[col].end() && drop(cit->second)) {
+      columns_[col].erase(cit);
+    }
+  }
+  for (CompositeIndex& ci : composites_) {
+    auto bit = ci.buckets.find(KeyFor(ci.mask, values));
+    if (bit != ci.buckets.end() && drop(bit->second)) ci.buckets.erase(bit);
+  }
+}
+
+void Relation::IndexRenumber(uint32_t from, uint32_t to) {
+  const SymbolId* values = Row(from);
+  auto redirect = [from, to](PostingList& posting) {
+    auto it = std::find(posting.begin(), posting.end(), from);
+    if (it != posting.end()) *it = to;
+  };
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    auto cit = columns_[col].find(values[col]);
+    if (cit != columns_[col].end()) redirect(cit->second);
+  }
+  for (CompositeIndex& ci : composites_) {
+    auto bit = ci.buckets.find(KeyFor(ci.mask, values));
+    if (bit != ci.buckets.end()) redirect(bit->second);
+  }
 }
 
 bool Relation::Insert(const Tuple& tuple) {
   assert(tuple.size() == arity_);
-  auto [it, inserted] = tuples_.insert(tuple);
-  if (!inserted) return false;
-  if (indexed_) {
-    const Tuple* stored = &*it;
-    for (size_t col = 0; col < arity_; ++col) {
-      columns_[col][(*stored)[col]].insert(stored);
-    }
+  if (arity_ == 0) {  // at most one (empty) tuple; no slot table needed
+    if (size_ == 1) return false;
+    size_ = 1;
+    return true;
   }
+  MaybeGrow();
+  size_t slot = FindSlot(tuple.data());
+  if (slots_[slot] != kEmptySlot) return false;
+  uint32_t row = static_cast<uint32_t>(size_++);
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+  slots_[slot] = row;
+  if (indexed_) IndexInsert(row);
   return true;
 }
 
 bool Relation::Erase(const Tuple& tuple) {
   assert(tuple.size() == arity_);
-  auto it = tuples_.find(tuple);
-  if (it == tuples_.end()) return false;
-  if (indexed_) {
-    const Tuple* stored = &*it;
-    for (size_t col = 0; col < arity_; ++col) {
-      auto cit = columns_[col].find((*stored)[col]);
-      if (cit != columns_[col].end()) {
-        cit->second.erase(stored);
-        if (cit->second.empty()) columns_[col].erase(cit);
-      }
-    }
+  if (arity_ == 0) {
+    if (size_ == 0) return false;
+    size_ = 0;
+    return true;
   }
-  tuples_.erase(it);
+  if (size_ == 0) return false;
+  size_t slot = FindSlot(tuple.data());
+  uint32_t victim = slots_[slot];
+  if (victim == kEmptySlot) return false;
+  if (indexed_) IndexErase(victim);
+  RemoveSlotBackshift(slot);
+  uint32_t last = static_cast<uint32_t>(size_ - 1);
+  if (victim != last) {
+    // Move the last row into the vacated storage: repoint its hash slot and
+    // index postings at the new position, then copy the values over.
+    slots_[SlotOf(last)] = victim;
+    if (indexed_) IndexRenumber(last, victim);
+    std::copy(Row(last), Row(last) + arity_, MutableRow(victim));
+  }
+  --size_;
+  data_.resize(size_ * arity_);
   return true;
 }
 
+bool Relation::Contains(const Tuple& tuple) const {
+  if (tuple.size() != arity_) return false;
+  if (arity_ == 0) return size_ == 1;
+  if (slots_.empty()) return false;
+  return slots_[FindSlot(tuple.data())] != kEmptySlot;
+}
+
 void Relation::Clear() {
-  tuples_.clear();
+  size_ = 0;
+  data_.clear();
+  slots_.clear();
   for (auto& column : columns_) column.clear();
+  for (CompositeIndex& ci : composites_) ci.buckets.clear();
+}
+
+void Relation::ReplaceContents(std::vector<Tuple> tuples) {
+  // Arity, index mode, and declared composite masks all survive; only the
+  // tuples (and therefore the index contents) change.
+  Clear();
+  data_.reserve(tuples.size() * arity_);
+  for (const Tuple& t : tuples) {
+    assert(t.size() == arity_);
+    Insert(t);
+  }
+}
+
+bool Relation::EnsureCompositeIndex(Mask mask) {
+  if (!indexed_) return false;
+  if (PopCount(mask) < 2) return false;
+  Mask full = FullMask();
+  if ((mask & ~full) != 0 || mask == full) return false;
+  auto it = std::lower_bound(
+      composites_.begin(), composites_.end(), mask,
+      [](const CompositeIndex& ci, Mask m) { return ci.mask < m; });
+  if (it != composites_.end() && it->mask == mask) return true;
+  it = composites_.insert(it, CompositeIndex{mask, {}});
+  for (uint32_t r = 0; r < size_; ++r) {
+    it->buckets[KeyFor(mask, Row(r))].push_back(r);
+  }
+  return true;
+}
+
+std::vector<Relation::Mask> Relation::CompositeMasks() const {
+  std::vector<Mask> out;
+  out.reserve(composites_.size());
+  for (const CompositeIndex& ci : composites_) out.push_back(ci.mask);
+  return out;
+}
+
+size_t Relation::DistinctInColumn(size_t col) const {
+  if (col >= columns_.size()) return 0;
+  return columns_[col].size();
+}
+
+Relation::AccessPath Relation::PlanAccess(Mask bound) const {
+  AccessPath path;
+  if (size_ == 0) {
+    path.kind = AccessPath::Kind::kEmpty;
+    path.estimated_rows = 0;
+    return path;
+  }
+  bound &= FullMask();
+  // All (maskable) columns bound and nothing past the mask width: a key probe.
+  if (bound == FullMask() && arity_ <= kMaxMaskColumns) {
+    path.kind = AccessPath::Kind::kKeyLookup;
+    path.estimated_rows = 1;
+    return path;
+  }
+  path.kind = AccessPath::Kind::kScan;
+  path.estimated_rows = size_;
+  if (!indexed_ || bound == 0) return path;
+  // Prefer the widest composite index contained in `bound` — more key columns
+  // means smaller buckets — estimating bucket size as size / #buckets.
+  for (const CompositeIndex& ci : composites_) {
+    if ((ci.mask & ~bound) != 0 || ci.buckets.empty()) continue;
+    size_t est = std::max<size_t>(1, size_ / ci.buckets.size());
+    if (path.kind != AccessPath::Kind::kCompositeIndex ||
+        PopCount(ci.mask) > PopCount(path.mask) ||
+        (PopCount(ci.mask) == PopCount(path.mask) &&
+         est < path.estimated_rows)) {
+      path.kind = AccessPath::Kind::kCompositeIndex;
+      path.mask = ci.mask;
+      path.estimated_rows = est;
+    }
+  }
+  if (path.kind == AccessPath::Kind::kCompositeIndex) return path;
+  // Else the bound column with the most distinct values (smallest expected
+  // posting list). Lowest column wins ties for determinism.
+  size_t best_col = arity_;
+  size_t best_distinct = 0;
+  for (size_t col = 0; col < std::min(arity_, kMaxMaskColumns); ++col) {
+    if (((bound >> col) & 1) == 0) continue;
+    size_t distinct = DistinctInColumn(col);
+    if (distinct > best_distinct) {
+      best_distinct = distinct;
+      best_col = col;
+    }
+  }
+  if (best_col < arity_ && best_distinct > 0) {
+    path.kind = AccessPath::Kind::kColumnIndex;
+    path.column = best_col;
+    path.estimated_rows = std::max<size_t>(1, size_ / best_distinct);
+  }
+  return path;
+}
+
+size_t Relation::EstimateMatches(Mask bound) const {
+  return PlanAccess(bound).estimated_rows;
 }
 
 void Relation::ForEach(const std::function<void(const Tuple&)>& fn) const {
-  for (const Tuple& t : tuples_) fn(t);
+  if (arity_ == 0) {
+    if (size_ == 1) fn(Tuple{});
+    return;
+  }
+  Tuple scratch(arity_);
+  for (uint32_t r = 0; r < size_; ++r) {
+    const SymbolId* row = Row(r);
+    scratch.assign(row, row + arity_);
+    fn(scratch);
+  }
 }
 
 void Relation::ForEachMatch(const TuplePattern& pattern,
                             const std::function<void(const Tuple&)>& fn) const {
   assert(pattern.size() == arity_);
+  if (arity_ == 0) {
+    if (size_ == 1) fn(Tuple{});
+    return;
+  }
 
-  auto matches = [&](const Tuple& t) {
+  auto matches = [&](const SymbolId* row) {
     for (size_t col = 0; col < arity_; ++col) {
-      if (pattern[col].has_value() && t[col] != *pattern[col]) return false;
+      if (pattern[col].has_value() && row[col] != *pattern[col]) return false;
     }
     return true;
   };
 
-  if (indexed_) {
-    // Pick the fixed column with the smallest posting list.
-    const PostingList* best = nullptr;
-    bool any_fixed = false;
-    for (size_t col = 0; col < arity_; ++col) {
-      if (!pattern[col].has_value()) continue;
-      any_fixed = true;
-      auto it = columns_[col].find(*pattern[col]);
-      if (it == columns_[col].end()) return;  // no tuple has this value
-      if (best == nullptr || it->second.size() < best->size()) {
-        best = &it->second;
+  bool all_fixed = true;
+  Mask bound = 0;
+  for (size_t col = 0; col < arity_; ++col) {
+    if (pattern[col].has_value()) {
+      if (col < kMaxMaskColumns) bound |= Mask{1} << col;
+    } else {
+      all_fixed = false;
+    }
+  }
+
+  if (all_fixed) {
+    // Probe without heap traffic unless the tuple is actually present.
+    if (slots_.empty()) return;
+    SymbolId stack_key[8];
+    std::vector<SymbolId> heap_key;
+    SymbolId* key = stack_key;
+    if (arity_ > 8) {
+      heap_key.resize(arity_);
+      key = heap_key.data();
+    }
+    for (size_t col = 0; col < arity_; ++col) key[col] = *pattern[col];
+    if (slots_[FindSlot(key)] != kEmptySlot) {
+      Tuple found(key, key + arity_);
+      fn(found);
+    }
+    return;
+  }
+
+  Tuple scratch(arity_);
+  auto emit = [&](uint32_t r) {
+    const SymbolId* row = Row(r);
+    scratch.assign(row, row + arity_);
+    fn(scratch);
+  };
+
+  if (indexed_ && bound != 0) {
+    // Value-aware choice: the smallest actual bucket among covering composite
+    // indexes and bound-column posting lists. An absent key anywhere proves
+    // the selection empty.
+    const PostingList* best_bucket = nullptr;
+    for (const CompositeIndex& ci : composites_) {
+      if ((ci.mask & ~bound) != 0) continue;
+      Tuple key;
+      key.reserve(static_cast<size_t>(PopCount(ci.mask)));
+      for (size_t col = 0; col < arity_ && col < kMaxMaskColumns; ++col) {
+        if ((ci.mask >> col) & 1) key.push_back(*pattern[col]);
+      }
+      auto bit = ci.buckets.find(key);
+      if (bit == ci.buckets.end()) return;  // no tuple has this key
+      if (best_bucket == nullptr || bit->second.size() < best_bucket->size()) {
+        best_bucket = &bit->second;
       }
     }
-    if (any_fixed) {
-      for (const Tuple* t : *best) {
-        if (matches(*t)) fn(*t);
+    const PostingList* best_posting = nullptr;
+    for (size_t col = 0; col < columns_.size(); ++col) {
+      if (!pattern[col].has_value()) continue;
+      auto it = columns_[col].find(*pattern[col]);
+      if (it == columns_[col].end()) return;  // no tuple has this value
+      if (best_posting == nullptr || it->second.size() < best_posting->size()) {
+        best_posting = &it->second;
+      }
+    }
+    if (best_bucket != nullptr &&
+        (best_posting == nullptr ||
+         best_bucket->size() <= best_posting->size())) {
+      for (uint32_t r : *best_bucket) {
+        if (matches(Row(r))) emit(r);
+      }
+      return;
+    }
+    if (best_posting != nullptr) {
+      for (uint32_t r : *best_posting) {
+        if (matches(Row(r))) emit(r);
       }
       return;
     }
   }
 
-  for (const Tuple& t : tuples_) {
-    if (matches(t)) fn(t);
+  for (uint32_t r = 0; r < size_; ++r) {
+    if (matches(Row(r))) emit(r);
   }
 }
 
@@ -106,7 +435,144 @@ size_t Relation::CountMatches(const TuplePattern& pattern) const {
 }
 
 std::vector<Tuple> Relation::ToVector() const {
-  return std::vector<Tuple>(tuples_.begin(), tuples_.end());
+  std::vector<Tuple> out;
+  out.reserve(size_);
+  if (arity_ == 0) {
+    if (size_ == 1) out.emplace_back();
+    return out;
+  }
+  for (uint32_t r = 0; r < size_; ++r) {
+    out.emplace_back(Row(r), Row(r) + arity_);
+  }
+  return out;
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  if (a.arity_ != b.arity_ || a.size_ != b.size_) return false;
+  if (a.arity_ == 0) return true;
+  Tuple scratch(a.arity_);
+  for (uint32_t r = 0; r < a.size_; ++r) {
+    const SymbolId* row = a.Row(r);
+    scratch.assign(row, row + a.arity_);
+    if (!b.Contains(scratch)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// A posting list must reference each row at most once; duplicates would also
+// trip the coverage sum checks, but only by implicating some other row.
+bool HasDuplicate(std::vector<uint32_t> posting) {
+  std::sort(posting.begin(), posting.end());
+  return std::adjacent_find(posting.begin(), posting.end()) != posting.end();
+}
+
+}  // namespace
+
+Status Relation::ValidateIndexes() const {
+  if (arity_ == 0) {
+    if (!slots_.empty() || !data_.empty() || !columns_.empty() ||
+        !composites_.empty()) {
+      return InternalError("nullary relation carries storage structures");
+    }
+    return Status::Ok();
+  }
+  if (data_.size() != size_ * arity_) {
+    return InternalError("row storage holds " + std::to_string(data_.size()) +
+                         " values, want " + std::to_string(size_ * arity_));
+  }
+  // Slot table: exactly size() occupied slots, and every row reachable by
+  // probing with its own values — together that is a bijection.
+  size_t occupied = 0;
+  for (uint32_t s : slots_) {
+    if (s == kEmptySlot) continue;
+    if (s >= size_) return InternalError("slot table points past live rows");
+    ++occupied;
+  }
+  if (occupied != size_) {
+    return InternalError("slot table holds " + std::to_string(occupied) +
+                         " entries, want " + std::to_string(size_));
+  }
+  for (uint32_t r = 0; r < size_; ++r) {
+    if (slots_[FindSlot(Row(r))] != r) {
+      return InternalError("row " + std::to_string(r) +
+                           " unreachable through slot table");
+    }
+  }
+  if (!indexed_) {
+    if (!columns_.empty() || !composites_.empty()) {
+      return InternalError("unindexed relation carries index structures");
+    }
+    return Status::Ok();
+  }
+  if (arity_ >= 2 && columns_.size() != arity_) {
+    return InternalError("column index count != arity");
+  }
+  // Every posting entry references a live row with the right value.
+  size_t column_total = 0;
+  for (size_t col = 0; col < columns_.size(); ++col) {
+    for (const auto& [value, posting] : columns_[col]) {
+      if (posting.empty()) {
+        return InternalError("empty posting list for column " +
+                             std::to_string(col));
+      }
+      for (uint32_t r : posting) {
+        if (r >= size_) {
+          return InternalError("dangling posting in column " +
+                               std::to_string(col));
+        }
+        if (Row(r)[col] != value) {
+          return InternalError("posting under wrong value in column " +
+                               std::to_string(col));
+        }
+      }
+      if (HasDuplicate(posting)) {
+        return InternalError("duplicate posting in column " +
+                             std::to_string(col));
+      }
+      column_total += posting.size();
+    }
+  }
+  // Sum check: each row contributes exactly once per posting-indexed column,
+  // so totals matching size() proves coverage (no row missing from its
+  // posting list).
+  if (column_total != size_ * columns_.size()) {
+    return InternalError("column postings cover " +
+                         std::to_string(column_total) + " entries, want " +
+                         std::to_string(size_ * columns_.size()));
+  }
+  for (const CompositeIndex& ci : composites_) {
+    size_t bucket_total = 0;
+    for (const auto& [key, posting] : ci.buckets) {
+      if (posting.empty()) {
+        return InternalError("empty composite bucket for mask " +
+                             std::to_string(ci.mask));
+      }
+      for (uint32_t r : posting) {
+        if (r >= size_) {
+          return InternalError("dangling composite posting for mask " +
+                               std::to_string(ci.mask));
+        }
+        if (KeyFor(ci.mask, Row(r)) != key) {
+          return InternalError("composite posting under wrong key for mask " +
+                               std::to_string(ci.mask));
+        }
+      }
+      if (HasDuplicate(posting)) {
+        return InternalError("duplicate composite posting for mask " +
+                             std::to_string(ci.mask));
+      }
+      bucket_total += posting.size();
+    }
+    if (bucket_total != size_) {
+      return InternalError("composite index for mask " +
+                           std::to_string(ci.mask) + " covers " +
+                           std::to_string(bucket_total) + " tuples, want " +
+                           std::to_string(size_));
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace deddb

@@ -1,35 +1,82 @@
 #ifndef DEDDB_STORAGE_RELATION_H_
 #define DEDDB_STORAGE_RELATION_H_
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "storage/tuple.h"
+#include "util/status.h"
 
 namespace deddb {
 
-/// A set of same-arity tuples with optional per-column hash indexes.
+/// A set of same-arity tuples with optional per-column and composite
+/// (multi-column) hash indexes.
 ///
-/// Tuples live in a node-based hash set, so pointers to them are stable and
-/// the column indexes store `const Tuple*` posting lists. Indexes can be
-/// disabled (for the Perf-C ablation benchmark); selection then falls back to
-/// a full scan.
+/// Storage is flat and row-major: tuple `r` occupies
+/// `data_[r*arity .. r*arity+arity)`, deduplicated through an open-addressing
+/// slot table that maps tuple hashes to row indices. Index posting lists hold
+/// row indices, never pointers, so the compiler-generated copy is a plain
+/// buffer copy — this is what makes a COW clone of a large indexed relation
+/// cheap (the seed's node-based set paid a per-tuple allocation and a full
+/// index rebuild on every clone). Scans walk contiguous memory. Erasing moves
+/// the last row into the hole (indexes are renumbered in place), so
+/// enumeration order is insertion order perturbed only by erases —
+/// deterministic for a fixed operation sequence.
+///
+/// Callback contract: the `const Tuple&` passed to ForEach / ForEachMatch
+/// callbacks refers to a scratch buffer that is only valid during that
+/// callback invocation; callers must copy, not retain.
+///
+/// Indexes can be disabled (for delta stores and the Perf-C ablation
+/// benchmark); selection then falls back to a full scan. Single-column
+/// posting lists are kept only for arity >= 2: for unary relations a bound
+/// column is the whole key, which the slot table already answers.
+///
+/// Composite indexes are declared with EnsureCompositeIndex(mask) — typically
+/// by the join-plan index advisor (src/eval/index_advisor.h) — and from then
+/// on are maintained incrementally by Insert/Erase/Clear; the copy (the COW
+/// clone path) preserves declared masks and contents, so an index survives
+/// snapshot commits without ever being rebuilt from scratch on Apply. The
+/// planner asks PlanAccess(bound_mask) for the cheapest access path given
+/// which columns a join step has bound.
 class Relation {
  public:
+  /// A set of column positions as a bitmask: bit `i` set means column `i`.
+  /// Columns at positions >= kMaxMaskColumns never participate in masks (they
+  /// are handled by residual filtering), which caps mask math at one word.
+  using Mask = uint32_t;
+  static constexpr size_t kMaxMaskColumns = 32;
+
+  /// How a selection with a given bound mask will be executed.
+  struct AccessPath {
+    enum class Kind {
+      kEmpty,           // nothing to select (relation has no tuples)
+      kKeyLookup,       // all columns bound: O(1) slot-table probe
+      kCompositeIndex,  // one bucket of the composite index for `mask`
+      kColumnIndex,     // posting list of single column `column`
+      kScan,            // full scan with residual filter
+    };
+    Kind kind = Kind::kScan;
+    Mask mask = 0;       // for kCompositeIndex: the index's column set
+    size_t column = 0;   // for kColumnIndex: the chosen column
+    size_t estimated_rows = 0;
+  };
+
   explicit Relation(size_t arity, bool indexed = true);
 
-  // The defaulted copy would alias the source's posting lists (they hold
-  // `const Tuple*` into tuples_), so copying deep-copies the tuples and
-  // rebuilds the indexes. Uncovered by the persistence round-trip suite.
-  Relation(const Relation& other);
-  Relation& operator=(const Relation& other);
+  // All members are value-semantic (row indices, not pointers), so the
+  // defaulted copy/move preserve tuples, the slot table, declared composite
+  // masks and every index's contents without any rebuild.
+  Relation(const Relation&) = default;
+  Relation& operator=(const Relation&) = default;
   Relation(Relation&&) = default;
   Relation& operator=(Relation&&) = default;
 
   size_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
   bool indexed() const { return indexed_; }
 
   /// Inserts `tuple`; returns true if it was not already present. The tuple's
@@ -39,43 +86,126 @@ class Relation {
   /// Removes `tuple`; returns true if it was present.
   bool Erase(const Tuple& tuple);
 
-  bool Contains(const Tuple& tuple) const { return tuples_.count(tuple) > 0; }
+  bool Contains(const Tuple& tuple) const;
 
   void Clear();
 
-  /// Invokes `fn` for every tuple (unspecified order).
+  /// Replaces the full contents with `tuples`, preserving the relation's
+  /// arity, index mode, and declared composite masks (all indexes are rebuilt
+  /// over the new tuples). This is the bulk-load path the persistence codec
+  /// uses, so a decoded relation keeps the access paths of the live one.
+  /// Duplicate tuples collapse; every tuple must have size arity().
+  void ReplaceContents(std::vector<Tuple> tuples);
+
+  /// Declares a composite index over the columns in `mask` and builds it over
+  /// the current contents; from then on it is maintained incrementally.
+  /// Returns true if the index exists after the call (newly built or already
+  /// declared). Returns false — declaring nothing — when the relation is
+  /// unindexed, or the mask has fewer than two columns (single columns
+  /// already have posting lists), covers all columns (full-key selection is a
+  /// slot-table probe), or touches a column >= min(arity, kMaxMaskColumns).
+  bool EnsureCompositeIndex(Mask mask);
+
+  /// Declared composite masks, ascending (deterministic).
+  std::vector<Mask> CompositeMasks() const;
+
+  /// Number of distinct values in `col` (0 when no posting lists are kept:
+  /// unindexed relations and arity < 2).
+  size_t DistinctInColumn(size_t col) const;
+
+  /// Estimated number of tuples matching a selection that binds exactly the
+  /// columns in `bound` (uniformity assumption over the best available
+  /// index). Value-independent: used by the planner before values are known.
+  size_t EstimateMatches(Mask bound) const;
+
+  /// The access path ForEachMatch will take for a selection binding exactly
+  /// the columns in `bound`, with its value-independent row estimate.
+  AccessPath PlanAccess(Mask bound) const;
+
+  /// Invokes `fn` for every tuple (enumeration order; see class comment).
+  /// The reference is valid only during the callback.
   void ForEach(const std::function<void(const Tuple&)>& fn) const;
 
   /// Invokes `fn` for every tuple matching `pattern` (fixed constants at the
-  /// given positions). Uses the most selective column index available,
-  /// otherwise scans. `pattern` must have size arity().
+  /// given positions). Uses the most selective index available — a covering
+  /// composite bucket, else the smallest posting list among bound columns —
+  /// otherwise scans. `pattern` must have size arity(). The reference is
+  /// valid only during the callback.
   void ForEachMatch(const TuplePattern& pattern,
                     const std::function<void(const Tuple&)>& fn) const;
 
   /// Number of tuples matching `pattern` (convenience, used by tests).
   size_t CountMatches(const TuplePattern& pattern) const;
 
-  /// Copies all tuples out (unspecified order).
+  /// Copies all tuples out (enumeration order).
   std::vector<Tuple> ToVector() const;
 
+  /// Checks every index against the flat tuple storage: the slot table
+  /// reaches each row exactly once, each row appears in exactly the right
+  /// posting list / bucket of every index, and no index entry points outside
+  /// the storage. O(size x #indexes). Returns the first violation as
+  /// kInternal; the index-invariant property suite runs this after randomized
+  /// commit/rollback/checkpoint sequences.
+  Status ValidateIndexes() const;
+
   /// Set equality on the stored tuples; arity must match too. The indexed
-  /// flag is a representation detail and does not participate.
-  friend bool operator==(const Relation& a, const Relation& b) {
-    return a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
-  }
+  /// flag and declared composite masks are representation details and do not
+  /// participate.
+  friend bool operator==(const Relation& a, const Relation& b);
   friend bool operator!=(const Relation& a, const Relation& b) {
     return !(a == b);
   }
 
  private:
-  using TupleSet = std::unordered_set<Tuple, TupleHash>;
-  using PostingList = std::unordered_set<const Tuple*>;
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+  using PostingList = std::vector<uint32_t>;  // row indices
   using ColumnIndex = std::unordered_map<SymbolId, PostingList>;
+
+  // Bucket postings are vectors: lookups append, Erase does a linear find +
+  // swap-pop. Buckets are small by construction (they shrink as masks grow),
+  // and vector iteration is what the block executor wants.
+  struct CompositeIndex {
+    Mask mask = 0;
+    std::unordered_map<Tuple, PostingList, TupleHash> buckets;
+  };
+
+  const SymbolId* Row(uint32_t r) const { return data_.data() + r * arity_; }
+  SymbolId* MutableRow(uint32_t r) { return data_.data() + r * arity_; }
+
+  static size_t HashRow(const SymbolId* row, size_t n);
+  bool RowEquals(const SymbolId* row, const SymbolId* key) const;
+
+  /// Index of the slot holding a row equal to `key`, or the first empty slot
+  /// of its probe chain. slots_ must be non-empty.
+  size_t FindSlot(const SymbolId* key) const;
+  /// Index of the slot whose value is exactly `row` (which must be present).
+  size_t SlotOf(uint32_t row) const;
+  /// Standard linear-probing backshift deletion of slot `i`.
+  void RemoveSlotBackshift(size_t i);
+  /// Grows/rebuilds the slot table before an insert when past load factor.
+  void MaybeGrow();
+  void Rehash(size_t new_capacity);
+
+  /// The columns of `mask`, ascending, projected out of a row / tuple.
+  Tuple KeyFor(Mask mask, const SymbolId* row) const;
+
+  /// Mask with one bit per column, capped at kMaxMaskColumns.
+  Mask FullMask() const;
+
+  void IndexInsert(uint32_t row);
+  void IndexErase(uint32_t row);
+  /// Rewrites index entries for the row stored at index `from` to `to`
+  /// (values must already be identical at both; used when a row moves).
+  void IndexRenumber(uint32_t from, uint32_t to);
 
   size_t arity_;
   bool indexed_;
-  TupleSet tuples_;
-  std::vector<ColumnIndex> columns_;  // one per column when indexed_
+  size_t size_ = 0;                 // live rows
+  std::vector<SymbolId> data_;      // row-major, size_ * arity_ live values
+  std::vector<uint32_t> slots_;     // open addressing, power-of-two capacity
+  std::vector<ColumnIndex> columns_;        // per column; indexed_ && arity>=2
+  std::vector<CompositeIndex> composites_;  // sorted by mask, no duplicates
 };
 
 }  // namespace deddb

@@ -1,0 +1,110 @@
+// The differential plan oracle: for 200 seeded random programs (hierarchical
+// and recursive, with negation), the planned join engine and the naive
+// nested-loop baseline must produce byte-identical fixpoints AND identical
+// EvaluationStats at every parallel thread count. The stats equality is the
+// strong half of the oracle: rule_firings counts complete body solutions,
+// which no join order or access path may change, so a planner bug that
+// duplicates or drops a binding shows up even when the fact set happens to
+// converge to the same place.
+//
+// Sharded 10 ways (one gtest parameter per shard, 20 programs each) like
+// server_history_test; the TSan CI job runs the same suite as its race proof
+// for plans shared across parallel work items.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "eval/bottom_up.h"
+#include "workload/random_programs.h"
+
+namespace deddb {
+namespace {
+
+using workload::MakeRandomDatabase;
+using workload::RandomProgramConfig;
+
+struct EngineRun {
+  std::string facts;  // canonical rendering of the full IDB
+  EvaluationStats stats;
+};
+
+Result<EngineRun> RunEngine(const DeductiveDatabase& db, JoinStrategy strategy,
+                            size_t num_threads) {
+  FactStoreProvider edb(&db.database().facts());
+  EvaluationOptions options;
+  options.join_strategy = strategy;
+  options.num_threads = num_threads;
+  BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                              options);
+  DEDDB_ASSIGN_OR_RETURN(FactStore idb, evaluator.Evaluate());
+  return EngineRun{idb.ToString(db.symbols()), evaluator.stats()};
+}
+
+void ExpectStatsEqual(const EvaluationStats& a, const EvaluationStats& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.rounds, b.rounds) << label;
+  EXPECT_EQ(a.strata, b.strata) << label;
+  EXPECT_EQ(a.rule_firings, b.rule_firings) << label;
+  EXPECT_EQ(a.derived_facts, b.derived_facts) << label;
+  EXPECT_EQ(a.interrupted, b.interrupted) << label;
+}
+
+// Runs both engines at thread counts {1, 4} and holds all four runs to one
+// fixpoint and one stats vector.
+void ExpectEnginesAgree(const DeductiveDatabase& db, const std::string& label) {
+  auto reference = RunEngine(db, JoinStrategy::kPlanned, 1);
+  ASSERT_TRUE(reference.ok()) << label << ": " << reference.status();
+  for (JoinStrategy strategy :
+       {JoinStrategy::kPlanned, JoinStrategy::kNaiveNestedLoop}) {
+    for (size_t threads : {1u, 4u}) {
+      auto run = RunEngine(db, strategy, threads);
+      std::string where =
+          label +
+          (strategy == JoinStrategy::kPlanned ? " planned" : " naive") +
+          " threads=" + std::to_string(threads);
+      ASSERT_TRUE(run.ok()) << where << ": " << run.status();
+      EXPECT_EQ(run->facts, reference->facts) << where << ": fixpoint diverged";
+      ExpectStatsEqual(run->stats, reference->stats, where);
+    }
+  }
+}
+
+// 10 shards x 20 programs = 200 random programs (100 hierarchical, 100
+// recursive), distinct seeds per shard.
+class JoinPlannerDifferentialTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Shards, JoinPlannerDifferentialTest,
+                         ::testing::Range(0, 10));
+
+TEST_P(JoinPlannerDifferentialTest, HierarchicalProgramsAgree) {
+  for (uint64_t sub = 0; sub < 10; ++sub) {
+    uint64_t seed = 1000 + static_cast<uint64_t>(GetParam()) * 10 + sub;
+    RandomProgramConfig config;
+    config.seed = seed;
+    config.allow_recursion = false;
+    config.facts_per_base = 30;
+    auto db = MakeRandomDatabase(config);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ExpectEnginesAgree(**db, "hierarchical seed " + std::to_string(seed));
+  }
+}
+
+TEST_P(JoinPlannerDifferentialTest, RecursiveProgramsAgree) {
+  for (uint64_t sub = 0; sub < 10; ++sub) {
+    uint64_t seed = 2000 + static_cast<uint64_t>(GetParam()) * 10 + sub;
+    RandomProgramConfig config;
+    config.seed = seed;
+    config.allow_recursion = true;
+    config.derived_predicates = 8;
+    config.facts_per_base = 30;
+    auto db = MakeRandomDatabase(config);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ExpectEnginesAgree(**db, "recursive seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace deddb

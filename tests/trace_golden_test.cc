@@ -17,6 +17,8 @@
 #include <string>
 
 #include "core/deductive_database.h"
+#include "eval/bottom_up.h"
+#include "eval/fact_provider.h"
 #include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -188,6 +190,94 @@ TEST_F(TraceGoldenTest, Example53SideEffects) {
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->translations.size(), 1u);
   CheckAll("example53_side_effects");
+}
+
+// --- Plan goldens: the access paths the join planner chooses for the
+// paper's examples. Each test runs the planned bottom-up engine directly
+// with the tracer attached; every rule evaluation emits a "plan" span
+// whose attribute renders the chosen join order, per-step access path
+// ([scan] / [col<i>] / [comp(<cols>)] / [key] / [empty], see DESIGN.md
+// §6e) and selectivity estimates, plus the actual per-step row counts.
+// The EXPLAIN golden is the human-readable proof of which access paths
+// were picked; the metrics golden pins the indexed-vs-scanned step
+// counters.
+class PlanGoldenTest : public TraceGoldenTest {
+ protected:
+  // Evaluates every derived predicate of `db` with observability attached.
+  void Evaluate(const DeductiveDatabase& db, size_t num_threads = 0) {
+    FactStoreProvider edb(&db.database().facts());
+    EvaluationOptions options;
+    options.num_threads = num_threads;
+    options.obs = obs::ObsContext{&tracer_, &metrics_};
+    BottomUpEvaluator evaluator(db.database().program(), db.symbols(), edb,
+                                options);
+    auto idb = evaluator.Evaluate();
+    ASSERT_TRUE(idb.ok()) << idb.status();
+  }
+};
+
+// Example 3.1's database: P(x) <- Q(x) & not R(x) leads with the Q scan and
+// probes R as a ground negative (key lookup against the unary relation).
+TEST_F(PlanGoldenTest, Example31Plan) {
+  auto db = MakeSmallDb(/*simplify=*/true);
+  Evaluate(*db);
+  CheckAll("example31_plan");
+}
+
+// Example 4.1's state transition: after applying T = {δR(B)} the same rule
+// is re-planned against the updated EDB (R now empty -> its probe renders
+// as an empty access path).
+TEST_F(PlanGoldenTest, Example41PlanAfterDelete) {
+  auto db = MakeSmallDb(/*simplify=*/true);
+  auto txn = ParseTransaction(db.get(), "del R(B)");
+  ASSERT_TRUE(txn.ok()) << txn.status();
+  ASSERT_TRUE(db->Apply(*txn).ok());
+  Evaluate(*db);
+  CheckAll("example41_plan");
+}
+
+// Example 4.2's database evaluated at num_threads=2: the plan spans (and
+// every metric) must be byte-identical to what a single orchestration
+// thread records — the determinism contract of DESIGN.md §7 extended to
+// the planner.
+TEST_F(PlanGoldenTest, Example42PlanParallel) {
+  auto db = MakeSmallDb(/*simplify=*/true);
+  Evaluate(*db, /*num_threads=*/2);
+  CheckAll("example42_plan");
+}
+
+// Example 5.1's employment database: the stratified program plans Unemp
+// before the integrity constraint Ic1, which consumes Unemp's derivations.
+TEST_F(PlanGoldenTest, Example51Plan) {
+  auto db = MakeEmploymentDb();
+  Evaluate(*db);
+  CheckAll("example51_plan");
+}
+
+// Example 5.2 goal-directed: EvaluateFor(Unemp) restricts the program, so
+// only Unemp's rule is planned and Ic1 never appears in the trace.
+TEST_F(PlanGoldenTest, Example52PlanGoalDirected) {
+  auto db = MakeEmploymentDb();
+  FactStoreProvider edb(&db->database().facts());
+  EvaluationOptions options;
+  options.obs = obs::ObsContext{&tracer_, &metrics_};
+  BottomUpEvaluator evaluator(db->database().program(), db->symbols(), edb,
+                              options);
+  SymbolId unemp = db->database().FindPredicate("Unemp").value();
+  auto idb = evaluator.EvaluateFor({unemp});
+  ASSERT_TRUE(idb.ok()) << idb.status();
+  CheckAll("example52_plan");
+}
+
+// Example 5.3's side-effect state: after {ιLa(Maria)} the Unemp rule sees a
+// larger La relation, and the plan's estimates and row counts shift with it.
+TEST_F(PlanGoldenTest, Example53PlanAfterInsert) {
+  auto db = MakeEmploymentDb();
+  auto txn = ParseTransaction(db.get(), "ins La(Maria)");
+  ASSERT_TRUE(txn.ok()) << txn.status();
+  ASSERT_TRUE(db->Apply(*txn).ok());
+  Evaluate(*db);
+  CheckAll("example53_plan");
 }
 
 // The deterministic-id contract, directly: repeating an operation after
