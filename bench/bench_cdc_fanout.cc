@@ -1,0 +1,265 @@
+// Perf-O: change-data-capture fan-out — one writer toggling a base fact
+// that feeds a derived view, with 0/1/4/16 standing-query subscribers
+// receiving every commit's delta as a push. Three numbers per row:
+//
+//   writer qps    — commit throughput with that many subscribers attached
+//   overhead%     — qps loss vs the never-subscribed baseline (row 0)
+//   push µs       — mean writer-send to subscriber-receive latency, i.e.
+//                   the full encode → admission → commit → induced-events →
+//                   fan-out → frame → decode path
+//
+// Two zero-subscriber rows tell the overhead story apart:
+//   0  (cold)  — no subscription was ever registered: the facade's commit
+//                hook is one relaxed atomic load; this is the pre-CDC
+//                baseline and the "zero-subscriber overhead within noise"
+//                regression target.
+//   0* (armed) — a subscriber connected once and unsubscribed: commits now
+//                retain the CDC log (one transaction copy per commit) so a
+//                late resume does not lose the subscriber-free window.
+//
+// In-memory database on purpose, as in bench_retry_overhead: a WAL fsync
+// per commit would drown the effect being measured.
+//
+// Plain report binary (like bench_server_qps): prints a table and writes
+// $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_cdc.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "parser/parser.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "util/strings.h"
+
+using namespace deddb;          // NOLINT — report binary brevity
+using namespace deddb::server;  // NOLINT
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr auto kRunFor = std::chrono::milliseconds(400);
+constexpr int kRounds = 3;
+// Send-timestamp slots, indexed by (version - base - 1); writes past the
+// cap simply contribute no latency sample.
+constexpr size_t kMaxTimedWrites = 1 << 20;
+
+struct Row {
+  std::string label;
+  int subscribers = 0;
+  bool armed = false;
+  uint64_t writes = 0;
+  uint64_t deltas = 0;
+  double qps = 0;
+  double overhead_pct = 0;   // vs the cold zero-subscriber row
+  double mean_push_us = 0;   // 0 when there are no subscribers
+};
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+struct RunResult {
+  uint64_t writes = 0;
+  uint64_t deltas = 0;
+  double seconds = 0;
+  uint64_t latency_sum_us = 0;
+  uint64_t latency_samples = 0;
+};
+
+/// One timed run: one writer toggling Q(w), `subscribers` standing queries
+/// on the derived view P(x). With armed=true and subscribers=0, a
+/// subscription is registered and cancelled up front so commits pay the
+/// CDC retained-log tax without any fan-out.
+RunResult RunOne(int subscribers, bool armed) {
+  DeductiveDatabase db;
+  Check(LoadProgram(&db,
+                    "base Q/1. base R/1. view P/1. P(x) <- Q(x) & not R(x).")
+            .status());
+
+  LoopbackNetwork network;
+  Server server(&db);
+  Check(server.Serve(network.TakeListener()));
+  auto dial = [&network]() { return network.Connect(); };
+
+  if (armed && subscribers == 0) {
+    Client once(dial, ClientOptions{});
+    Atom pattern = once.MakeAtom("P", {once.Variable("x")});
+    Result<SubscribeReply> reply = once.Subscribe(pattern);
+    Check(reply.status());
+    Check(once.Unsubscribe(reply->sub_id).status());
+  }
+
+  const uint64_t base = db.version();
+  // Slot i holds the send micros of the write that commits as base+1+i.
+  std::vector<std::atomic<int64_t>> send_us(kMaxTimedWrites);
+  const auto epoch = Clock::now();
+  auto micros_now = [&epoch] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - epoch)
+        .count();
+  };
+
+  std::atomic<uint64_t> total_deltas{0};
+  std::atomic<uint64_t> latency_sum{0};
+  std::atomic<uint64_t> latency_samples{0};
+  std::atomic<int> ready{0};
+  std::vector<std::thread> listeners;
+  listeners.reserve(subscribers);
+  for (int s = 0; s < subscribers; ++s) {
+    listeners.emplace_back([&] {
+      Client client(dial, ClientOptions{});
+      Atom pattern = client.MakeAtom("P", {client.Variable("x")});
+      Client::SubscribeOptions options;
+      options.policy = sub::OverflowPolicy::kCoalesce;
+      options.max_queued = 256;
+      Check(client.Subscribe(pattern, options).status());
+      ready.fetch_add(1);
+      uint64_t deltas = 0;
+      while (true) {
+        Result<Client::PushEvent> push = client.AwaitPush();
+        if (!push.ok()) break;  // server stopped
+        if (push->is_gap) continue;
+        ++deltas;
+        const uint64_t index = push->delta.version - base - 1;
+        if (index < kMaxTimedWrites) {
+          const int64_t sent = send_us[index].load(std::memory_order_acquire);
+          if (sent > 0) {
+            latency_sum.fetch_add(
+                static_cast<uint64_t>(micros_now() - sent),
+                std::memory_order_relaxed);
+            latency_samples.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      total_deltas.fetch_add(deltas, std::memory_order_relaxed);
+    });
+  }
+  while (ready.load() < subscribers) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  Client writer(dial, ClientOptions{});
+  Atom fact = writer.GroundAtom("Q", {"w"});
+  uint64_t writes = 0;
+  bool in_q = false;
+  const auto start = Clock::now();
+  const auto deadline = start + kRunFor;
+  while (Clock::now() < deadline) {
+    Transaction txn;
+    Check(in_q ? txn.AddDelete(fact) : txn.AddInsert(fact));
+    in_q = !in_q;
+    if (writes < kMaxTimedWrites) {
+      send_us[writes].store(micros_now(), std::memory_order_release);
+    }
+    Check(writer.Apply(txn).status());
+    ++writes;
+  }
+  const auto end = Clock::now();
+  server.Stop();
+  for (std::thread& listener : listeners) listener.join();
+
+  RunResult result;
+  result.writes = writes;
+  result.deltas = total_deltas.load();
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  result.latency_sum_us = latency_sum.load();
+  result.latency_samples = latency_samples.load();
+  return result;
+}
+
+Row Measure(const std::string& label, int subscribers, bool armed) {
+  Row row;
+  row.label = label;
+  row.subscribers = subscribers;
+  row.armed = armed;
+  (void)RunOne(subscribers, armed);  // warmup
+  double seconds = 0;
+  uint64_t latency_sum = 0;
+  uint64_t latency_samples = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    RunResult result = RunOne(subscribers, armed);
+    row.writes += result.writes;
+    row.deltas += result.deltas;
+    seconds += result.seconds;
+    latency_sum += result.latency_sum_us;
+    latency_samples += result.latency_samples;
+  }
+  row.qps = row.writes / seconds;
+  if (latency_samples > 0) {
+    row.mean_push_us =
+        static_cast<double>(latency_sum) / static_cast<double>(latency_samples);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "CDC fan-out: one writer on a derived view, pushed to N subscribers "
+      "over loopback\n(in-memory database, %lld ms per run, %d rounds, %u "
+      "hardware threads)\n",
+      static_cast<long long>(kRunFor.count()), kRounds,
+      std::thread::hardware_concurrency());
+  std::printf("%6s %12s %10s %12s %12s\n", "subs", "writer/s", "overhead%",
+              "deltas/s", "push µs");
+
+  std::vector<Row> rows;
+  rows.push_back(Measure("0", 0, /*armed=*/false));
+  rows.push_back(Measure("0*", 0, /*armed=*/true));
+  for (int subscribers : {1, 4, 16}) {
+    rows.push_back(Measure(StrCat(subscribers), subscribers, true));
+  }
+  const double baseline = rows.front().qps;
+  for (Row& row : rows) {
+    row.overhead_pct = (baseline - row.qps) / baseline * 100.0;
+    const double deltas_per_s = row.writes > 0
+                                    ? row.deltas * row.qps / row.writes
+                                    : 0.0;
+    std::printf("%6s %12.0f %9.2f%% %12.0f %12.1f\n", row.label.c_str(),
+                row.qps, row.overhead_pct, deltas_per_s, row.mean_push_us);
+  }
+
+  const char* json_dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string json_path =
+      StrCat(json_dir != nullptr ? json_dir : ".", "/BENCH_cdc.json");
+  std::string out = StrCat(
+      "{\"bench\":\"cdc_fanout\",\"hardware_threads\":",
+      std::thread::hardware_concurrency(), ",\"run_ms\":",
+      static_cast<long long>(kRunFor.count()), ",\"rounds\":", kRounds,
+      ",\"rows\":[");
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("{\"label\":\"", row.label,
+                  "\",\"subscribers\":", row.subscribers,
+                  ",\"armed\":", row.armed ? "true" : "false",
+                  ",\"writes\":", row.writes, ",\"deltas\":", row.deltas,
+                  ",\"writer_qps\":", row.qps,
+                  ",\"overhead_pct\":", row.overhead_pct,
+                  ",\"mean_push_us\":", row.mean_push_us, "}");
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", json_path.c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Standing queries & change-data-capture (DESIGN.md §11): an alerting
+// monitor subscribes to a derived view over the wire and is pushed the
+// exact incremental delta of every commit — no polling, no re-derivation.
+// A restock alert fires when a product is listed but not on the shelf;
+// the monitor keeps a locally materialized copy of the alert view and
+// prints every change as it streams in.
+
+#include <cstdio>
+#include <thread>
+
+#include "core/deductive_database.h"
+#include "parser/parser.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "sub/view.h"
+
+using namespace deddb;          // NOLINT — example brevity
+using namespace deddb::server;  // NOLINT
+
+int main() {
+  DeductiveDatabase db;
+  auto loaded = LoadProgram(&db, R"(
+    base Listed/1.   % product is in the catalogue
+    base InStock/1.  % product is on the shelf
+    view RestockAlert/1.
+
+    RestockAlert(p) <- Listed(p) & not InStock(p).
+
+    Listed(Lamp). Listed(Chair). Listed(Desk).
+    InStock(Lamp). InStock(Chair).
+  )");
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+
+  LoopbackNetwork network;
+  Server server(&db);
+  if (auto started = server.Serve(network.TakeListener()); !started.ok()) {
+    std::printf("serve failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  auto dial = [&network]() { return network.Connect(); };
+
+  // --- The monitor: subscribe, then fold pushed deltas into a SubView ------
+  std::thread monitor([&dial] {
+    Client client(dial, ClientOptions{});
+    Atom pattern = client.MakeAtom("RestockAlert", {client.Variable("x")});
+    auto subscribed = client.Subscribe(pattern);
+    if (!subscribed.ok()) {
+      std::printf("subscribe failed: %s\n",
+                  subscribed.status().ToString().c_str());
+      return;
+    }
+    sub::SubView view;
+    view.Reset(subscribed->version, std::move(subscribed->snapshot));
+    auto one_line = [](std::string rendered) {
+      while (!rendered.empty() && rendered.back() == '\n') rendered.pop_back();
+      for (char& c : rendered) {
+        if (c == '\n') c = ' ';
+      }
+      return rendered;
+    };
+    std::printf("monitor: snapshot at v%llu: [%s]\n",
+                static_cast<unsigned long long>(view.version()),
+                one_line(view.ToString(client.symbols())).c_str());
+    while (true) {
+      auto push = client.AwaitPush();
+      if (!push.ok()) break;  // server stopped: the stream is over
+      if (push->is_gap) {
+        std::printf("monitor: gap at v%llu — must resubscribe\n",
+                    static_cast<unsigned long long>(push->gap.version));
+        break;
+      }
+      for (const Tuple& t : push->delta.inserts) {
+        std::printf("monitor: v%llu ALERT  RestockAlert(%s)\n",
+                    static_cast<unsigned long long>(push->delta.version),
+                    client.symbols().NameOf(t[0]).c_str());
+      }
+      for (const Tuple& t : push->delta.deletes) {
+        std::printf("monitor: v%llu clear  RestockAlert(%s)\n",
+                    static_cast<unsigned long long>(push->delta.version),
+                    client.symbols().NameOf(t[0]).c_str());
+      }
+      sub::DeltaBatch batch;
+      batch.version = push->delta.version;
+      batch.inserts = push->delta.inserts;
+      batch.deletes = push->delta.deletes;
+      if (auto applied = view.Apply(batch); !applied.ok()) {
+        std::printf("view diverged: %s\n", applied.ToString().c_str());
+        return;
+      }
+      std::printf("monitor: view at v%llu: [%s]\n",
+                  static_cast<unsigned long long>(view.version()),
+                  one_line(view.ToString(client.symbols())).c_str());
+    }
+  });
+
+  // --- The store: ordinary writes; every commit streams its delta ----------
+  Client store(dial, ClientOptions{});
+  auto commit = [&store](const char* description, Transaction txn) {
+    auto version = store.Apply(txn);
+    if (!version.ok()) {
+      std::printf("apply failed: %s\n", version.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("store:   v%llu %s\n",
+                static_cast<unsigned long long>(version->version), description);
+    // Example pacing only — deltas are ordered per subscription regardless.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+
+  Transaction sold;
+  (void)sold.AddDelete(store.GroundAtom("InStock", {"Lamp"}));
+  commit("sold the last Lamp", std::move(sold));
+
+  Transaction shipped;
+  (void)shipped.AddInsert(store.GroundAtom("InStock", {"Desk"}));
+  (void)shipped.AddInsert(store.GroundAtom("InStock", {"Lamp"}));
+  commit("shipment arrived: Desk and Lamp restocked", std::move(shipped));
+
+  server.Stop();
+  monitor.join();
+  return 0;
+}

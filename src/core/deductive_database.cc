@@ -188,6 +188,7 @@ Result<SymbolId> DeductiveDatabase::DeclareBase(std::string_view name,
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return db_.DeclareBase(name, arity);
 }
 
@@ -196,6 +197,7 @@ Result<SymbolId> DeductiveDatabase::DeclareDerived(std::string_view name,
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return db_.DeclareDerived(name, arity, PredicateSemantics::kPlain);
 }
 
@@ -204,6 +206,7 @@ Result<SymbolId> DeductiveDatabase::DeclareView(std::string_view name,
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return db_.DeclareDerived(name, arity, PredicateSemantics::kView);
 }
 
@@ -212,6 +215,7 @@ Result<SymbolId> DeductiveDatabase::DeclareConstraint(std::string_view name,
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return db_.DeclareDerived(name, arity, PredicateSemantics::kIc);
 }
 
@@ -220,6 +224,7 @@ Result<SymbolId> DeductiveDatabase::DeclareCondition(std::string_view name,
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return db_.DeclareDerived(name, arity, PredicateSemantics::kCondition);
 }
 
@@ -227,6 +232,7 @@ Status DeductiveDatabase::AddRule(Rule rule) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   DEDDB_RETURN_IF_ERROR(db_.AddRule(std::move(rule)));
   // Keep the EDB's composite indexes in step with the program's join shapes;
   // declared masks survive COW commits and are maintained incrementally from
@@ -239,6 +245,7 @@ Status DeductiveDatabase::AddFact(const Atom& ground_atom) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateDomain();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return db_.AddFact(ground_atom);
 }
 
@@ -246,12 +253,14 @@ Status DeductiveDatabase::RemoveFact(const Atom& ground_atom) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateDomain();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return db_.RemoveFact(ground_atom);
 }
 
 Status DeductiveDatabase::MaterializeView(SymbolId view) {
   std::lock_guard<std::mutex> lock(commit_mu_);
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return db_.MaterializeView(view);
 }
 
@@ -391,6 +400,35 @@ Status DeductiveDatabase::ApplyUnloggedLocked(const Transaction& transaction) {
 
 Status DeductiveDatabase::ApplyValidatedLocked(
     const Transaction& transaction) {
+  // CDC (DESIGN.md §11): induced events are a property of the transition,
+  // so they are computed against the OLD state, before the in-place
+  // mutation below. The requester's ResourceGuard is stripped — a delta
+  // stream other clients depend on must not fail because one writer ran
+  // with a small budget.
+  DerivedEvents induced;
+  bool announce = false;
+  bool induced_ok = true;
+  if (commit_observer_ != nullptr && commit_observer_->active()) {
+    announce = true;
+    const std::vector<SymbolId> wanted = commit_observer_->WantedDerived();
+    if (!wanted.empty()) {
+      Result<const CompiledEvents*> compiled = CompiledLocked();
+      if (compiled.ok()) {
+        UpwardOptions options = upward_options_;
+        options.eval.guard = nullptr;
+        UpwardInterpreter upward(&db_, *compiled, options);
+        Result<DerivedEvents> events =
+            upward.InducedEventsFor(transaction, wanted);
+        if (events.ok()) {
+          induced = std::move(*events);
+        } else {
+          induced_ok = false;
+        }
+      } else {
+        induced_ok = false;
+      }
+    }
+  }
   InvalidateDomain();
   // In place: O(|T|), not O(|DB|).
   FactStore& facts = db_.mutable_facts();
@@ -399,6 +437,16 @@ Status DeductiveDatabase::ApplyValidatedLocked(
   transaction.inserts().ForEach(
       [&](SymbolId pred, const Tuple& t) { facts.Add(pred, t); });
   MarkMutatedLocked();
+  if (announce) {
+    // A commit whose induced events could not be computed (e.g. the event
+    // rules no longer compile) still changed the database: demote it to a
+    // barrier rather than fail the write or ship a wrong delta.
+    if (induced_ok) {
+      commit_observer_->OnCommit(version_, transaction, induced);
+    } else {
+      commit_observer_->OnBarrier(version_);
+    }
+  }
   return Status::Ok();
 }
 
@@ -407,6 +455,10 @@ Result<const CompiledEvents*> DeductiveDatabase::Compiled() {
   // predicate-table mutation BeginSession's clone must not observe
   // half-done).
   std::lock_guard<std::mutex> lock(commit_mu_);
+  return CompiledLocked();
+}
+
+Result<const CompiledEvents*> DeductiveDatabase::CompiledLocked() {
   if (!compiled_.has_value()) {
     EventCompiler compiler(&db_, compiler_options_);
     DEDDB_ASSIGN_OR_RETURN(CompiledEvents compiled, compiler.Compile());
@@ -430,6 +482,7 @@ Status DeductiveDatabase::AddDomainConstant(std::string_view name) {
   if (domain_.has_value()) domain_->AddExtra(c);
   // Sessions snapshot the extras, so a new one retires the cached snapshot.
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return Status::Ok();
 }
 
@@ -467,6 +520,7 @@ Result<problems::ConditionChanges> DeductiveDatabase::MonitorConditions(
 Status DeductiveDatabase::InitializeMaterializedViews() {
   std::lock_guard<std::mutex> lock(commit_mu_);
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   return problems::InitializeMaterializedViews(&db_, upward_options_.eval);
 }
 
@@ -477,7 +531,10 @@ DeductiveDatabase::MaintainMaterializedViews(const Transaction& transaction,
   // before locking for the view-store mutation.
   DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
   std::lock_guard<std::mutex> lock(commit_mu_);
-  if (apply) MarkMutatedLocked();
+  if (apply) {
+    MarkMutatedLocked();
+    NotifyBarrierLocked();
+  }
   return problems::MaintainMaterializedViews(&db_, *compiled, transaction,
                                              apply, upward_options_);
 }
@@ -500,6 +557,7 @@ Status DeductiveDatabase::ApplyRuleUpdate(const problems::RuleUpdate& update) {
   DEDDB_RETURN_IF_ERROR(problems::ApplyRuleUpdate(&db_, update));
   InvalidateCompiled();
   MarkMutatedLocked();
+  NotifyBarrierLocked();
   DeclareAdvisedIndexes(db_.program(), &db_.mutable_facts());
   return Status::Ok();
 }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/commit_dedup.h"
+#include "core/commit_observer.h"
 #include "core/session.h"
 #include "events/event_compiler.h"
 #include "interp/domain.h"
@@ -276,6 +277,25 @@ class DeductiveDatabase {
     return compiler_options_;
   }
 
+  /// Thread-safe predicate lookup for request validation outside a pinned
+  /// session: commits register predicate variants mid-flight (see
+  /// Compiled()), so the raw table must not be read concurrently with them.
+  Result<PredicateInfo> PredicateInfoFor(SymbolId predicate) const {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    return db_.predicates().Get(predicate);
+  }
+
+  /// Installs the CDC commit hook (core/commit_observer.h): every commit
+  /// then carries its induced events to the observer under the writer, and
+  /// every non-transactional mutation announces a barrier. Pass nullptr to
+  /// detach. Takes the commit lock, so attach/detach serializes against
+  /// in-flight commits; the observer must outlive its attachment and must
+  /// never call back into this facade.
+  void set_commit_observer(CommitObserver* observer) {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    commit_observer_ = observer;
+  }
+
  private:
   /// Shared body of both public Apply overloads; `token` may be absent.
   Status ApplyInternal(const Transaction& transaction,
@@ -310,6 +330,18 @@ class DeductiveDatabase {
 
   /// Prunes expired snapshot registrations; commit_mu_ held.
   size_t ReclaimSessionEpochsLocked();
+
+  /// Compiled() with commit_mu_ already held — the commit hook needs the
+  /// event rules mid-commit and the lock is non-recursive.
+  Result<const CompiledEvents*> CompiledLocked();
+
+  /// Tells the CDC observer (if any) that the database changed without an
+  /// incremental delta stream. commit_mu_ held, after MarkMutatedLocked().
+  void NotifyBarrierLocked() {
+    if (commit_observer_ != nullptr && commit_observer_->active()) {
+      commit_observer_->OnBarrier(version_);
+    }
+  }
 
   void InvalidateCompiled() {
     compiled_.reset();
@@ -359,6 +391,8 @@ class DeductiveDatabase {
   // Populated at commit time and, for persistent databases, re-populated
   // from WAL token extensions during OpenPersistent replay.
   CommitDedup dedup_;
+  // CDC hook (DESIGN.md §11); invoked under commit_mu_, never owned here.
+  CommitObserver* commit_observer_ = nullptr;
 };
 
 }  // namespace deddb

@@ -115,19 +115,39 @@ Result<OwnedFrame> Client::CallOnce(FrameType type, std::string_view payload,
     TearDown();
     return written;
   }
-  Result<std::optional<OwnedFrame>> read = ReadFrame(conn_.get());
-  if (!read.ok()) {
-    TearDown();
-    return read.status();
+  OwnedFrame frame;
+  for (;;) {
+    Result<std::optional<OwnedFrame>> read = ReadFrame(conn_.get());
+    if (!read.ok()) {
+      TearDown();
+      return read.status();
+    }
+    if (!read->has_value()) {
+      TearDown();
+      return UnavailableError("connection closed by server");
+    }
+    frame = std::move(**read);
+    // Asynchronous pushes interleave freely with replies on the same
+    // stream; buffer them for AwaitPush instead of mistaking them for the
+    // response.
+    if (IsPushType(frame.type)) {
+      BufferPush(std::move(frame));
+      continue;
+    }
+    if (frame.request_id < id) {
+      // A stale reply — the answer to an earlier request this client
+      // abandoned (e.g. a pipelined raw send). The stream itself is still
+      // in step, so skip it (counted) rather than tearing down.
+      ++unsolicited_skipped_;
+      obs::MetricsRegistry::Add(options_.metrics,
+                                "client.unsolicited_skipped");
+      continue;
+    }
+    break;
   }
-  if (!read->has_value()) {
-    TearDown();
-    return UnavailableError("connection closed by server");
-  }
-  OwnedFrame frame = std::move(**read);
   if (frame.request_id != id) {
-    // The stream is out of step with our bookkeeping (e.g. the reply to an
-    // earlier, abandoned request). It can never resynchronize: drop it.
+    // A reply from the future: the stream is out of step with our
+    // bookkeeping and can never resynchronize — drop the connection.
     TearDown();
     return InternalError(StrCat("response for request ", frame.request_id,
                                 " while awaiting ", id,
@@ -260,12 +280,99 @@ Result<StatsReply> Client::Stats(const Admission& admission) {
   return DecodeStatsReply(frame.payload);
 }
 
-Result<HealthReply> Client::Health(const Admission& admission) {
+Result<HealthReply> Client::Health(const Admission& admission,
+                                   bool want_subscriptions) {
+  HealthRequest request;
+  request.admission = admission;
+  request.want_subscriptions = want_subscriptions;
   DEDDB_ASSIGN_OR_RETURN(
       OwnedFrame frame,
-      Call(FrameType::kHealth, EncodeAdmissionOnly(admission), admission,
+      Call(FrameType::kHealth, EncodeHealthRequest(request), admission,
            /*idempotent=*/true));
   return DecodeHealthReply(frame.payload);
+}
+
+// ---- Standing queries -------------------------------------------------------
+
+Result<SubscribeReply> Client::Subscribe(const Atom& pattern) {
+  return Subscribe(pattern, SubscribeOptions{});
+}
+
+Result<SubscribeReply> Client::Subscribe(const Atom& pattern,
+                                         const SubscribeOptions& options) {
+  SubscribeRequest request;
+  request.admission = options.admission;
+  request.pattern = pattern;
+  request.policy = options.policy;
+  request.max_queued = options.max_queued;
+  request.resume_from_version = options.resume_from_version;
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kSubscribe, EncodeSubscribeRequest(request, symbols_),
+           options.admission, /*idempotent=*/true));
+  return DecodeSubscribeReply(frame.payload, &symbols_);
+}
+
+Result<UnsubscribeReply> Client::Unsubscribe(uint64_t sub_id,
+                                             const Admission& admission) {
+  UnsubscribeRequest request;
+  request.admission = admission;
+  request.sub_id = sub_id;
+  DEDDB_ASSIGN_OR_RETURN(
+      OwnedFrame frame,
+      Call(FrameType::kUnsubscribe, EncodeUnsubscribeRequest(request),
+           admission, /*idempotent=*/true));
+  return DecodeUnsubscribeReply(frame.payload);
+}
+
+void Client::BufferPush(OwnedFrame frame) {
+  if (pushed_.size() >= kMaxBufferedPushes) {
+    pushed_.pop_front();
+    ++pushes_dropped_;
+    obs::MetricsRegistry::Add(options_.metrics, "client.pushes_dropped");
+  }
+  pushed_.push_back(std::move(frame));
+}
+
+Result<Client::PushEvent> Client::DecodePush(const OwnedFrame& frame) {
+  PushEvent event;
+  if (frame.type == FrameType::kSubGap) {
+    event.is_gap = true;
+    DEDDB_ASSIGN_OR_RETURN(event.gap, DecodeSubGapFrame(frame.payload));
+    return event;
+  }
+  DEDDB_ASSIGN_OR_RETURN(event.delta,
+                         DecodePushDeltaFrame(frame.payload, &symbols_));
+  return event;
+}
+
+Result<Client::PushEvent> Client::AwaitPush() {
+  if (!pushed_.empty()) {
+    OwnedFrame frame = std::move(pushed_.front());
+    pushed_.pop_front();
+    return DecodePush(frame);
+  }
+  if (conn_ == nullptr) {
+    return FailedPreconditionError(
+        "connection is down; resubscribe after re-dialing");
+  }
+  for (;;) {
+    Result<std::optional<OwnedFrame>> read = ReadFrame(conn_.get());
+    if (!read.ok()) {
+      TearDown();
+      return read.status();
+    }
+    if (!read->has_value()) {
+      TearDown();
+      return UnavailableError("connection closed by server");
+    }
+    OwnedFrame frame = std::move(**read);
+    if (IsPushType(frame.type)) return DecodePush(frame);
+    // No request is outstanding (the client is synchronous), so any reply
+    // frame here is stale — skip it, same contract as the demux in CallOnce.
+    ++unsolicited_skipped_;
+    obs::MetricsRegistry::Add(options_.metrics, "client.unsolicited_skipped");
+  }
 }
 
 }  // namespace deddb::server

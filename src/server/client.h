@@ -2,6 +2,7 @@
 #define DEDDB_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -112,8 +113,49 @@ class Client {
 
   Result<StatsReply> Stats(const Admission& admission = {});
 
-  /// Liveness/degradation probe (serving vs read-only vs stopping).
-  Result<HealthReply> Health(const Admission& admission = {});
+  /// Liveness/degradation probe (serving vs read-only vs stopping). With
+  /// `want_subscriptions` the reply also carries the subscription gauges
+  /// (active standing queries, queued deltas, gap events).
+  Result<HealthReply> Health(const Admission& admission = {},
+                             bool want_subscriptions = false);
+
+  // ---- Standing queries (DESIGN.md §11) ------------------------------------
+
+  struct SubscribeOptions {
+    sub::OverflowPolicy policy = sub::OverflowPolicy::kDisconnectWithGap;
+    /// Per-subscription queued-delta bound; 0 = server default.
+    uint32_t max_queued = 0;
+    /// Nonzero resumes a previous stream from this version (falls back to a
+    /// fresh snapshot with resumed=false when the server cannot).
+    uint64_t resume_from_version = 0;
+    Admission admission;
+  };
+
+  /// Registers a standing query for `pattern` (constants filter, variables
+  /// are wildcards). The reply carries the subscription id and either a full
+  /// snapshot at its version or a resume confirmation; every later commit
+  /// that changes the filtered answer set arrives as one push frame —
+  /// receive them with AwaitPush. Safe to retry: a subscription dies with
+  /// its connection, so a re-dialed attempt cannot leak the original.
+  Result<SubscribeReply> Subscribe(const Atom& pattern);
+  Result<SubscribeReply> Subscribe(const Atom& pattern,
+                                   const SubscribeOptions& options);
+
+  Result<UnsubscribeReply> Unsubscribe(uint64_t sub_id,
+                                       const Admission& admission = {});
+
+  /// One received push: a versioned delta or the stream's terminal gap.
+  struct PushEvent {
+    bool is_gap = false;
+    PushDeltaFrame delta;  // valid when !is_gap
+    SubGapFrame gap;       // valid when is_gap
+  };
+
+  /// Returns the next push: buffered ones first (pushes that arrived while
+  /// a request was awaiting its reply), then blocking on the connection.
+  /// Fails on transport loss — the caller resubscribes (typically with
+  /// resume_from_version) after re-dialing.
+  Result<PushEvent> AwaitPush();
 
   // ---- Raw frame access (tests) --------------------------------------------
 
@@ -135,6 +177,13 @@ class Client {
   // ---- Telemetry (tests) ---------------------------------------------------
   uint64_t retries() const { return retries_; }
   uint64_t dials() const { return dials_; }
+  /// Stale reply frames (request_id below the one awaited) skipped instead
+  /// of desyncing — replies to abandoned requests on a reused stream.
+  uint64_t unsolicited_skipped() const { return unsolicited_skipped_; }
+  /// Push frames buffered while awaiting a request's reply.
+  size_t pending_pushes() const { return pushed_.size(); }
+  /// Buffered pushes dropped at the kMaxBufferedPushes bound.
+  uint64_t pushes_dropped() const { return pushes_dropped_; }
 
  private:
   /// How one attempt failed — decides whether a retry is safe.
@@ -169,16 +218,29 @@ class Client {
   /// has an id; returns whether the request is consequently retry-safe.
   bool StampToken(persist::CommitToken* token);
 
+  /// Decodes a buffered or freshly read push frame into a PushEvent.
+  Result<PushEvent> DecodePush(const OwnedFrame& frame);
+  /// Buffers a push frame that arrived while a reply was awaited.
+  void BufferPush(OwnedFrame frame);
+
+  /// Bound on pushes buffered behind an in-flight request; past it the
+  /// oldest is dropped (counted) — the client is stalled anyway, and the
+  /// view reconciles via resubscribe once it notices the hole.
+  static constexpr size_t kMaxBufferedPushes = 4096;
+
   Dialer dialer_;  // null for the single-connection constructor
   ClientOptions options_;
   std::unique_ptr<Connection> conn_;
   SymbolTable symbols_;
+  std::deque<OwnedFrame> pushed_;
   uint64_t next_request_id_ = 1;
   /// Monotonic per-mutation sequence; assigned once per logical Apply or
   /// Process, so every retry of it re-sends the same token.
   uint64_t next_request_seq_ = 1;
   uint64_t retries_ = 0;
   uint64_t dials_ = 0;
+  uint64_t unsolicited_skipped_ = 0;
+  uint64_t pushes_dropped_ = 0;
 };
 
 }  // namespace deddb::server

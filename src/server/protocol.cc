@@ -82,6 +82,8 @@ bool IsKnownType(uint8_t raw) {
     case FrameType::kCheckpoint:
     case FrameType::kStats:
     case FrameType::kHealth:
+    case FrameType::kSubscribe:
+    case FrameType::kUnsubscribe:
     case FrameType::kQueryOk:
     case FrameType::kApplyOk:
     case FrameType::kProcessOk:
@@ -89,6 +91,10 @@ bool IsKnownType(uint8_t raw) {
     case FrameType::kCheckpointOk:
     case FrameType::kStatsOk:
     case FrameType::kHealthOk:
+    case FrameType::kSubscribeOk:
+    case FrameType::kUnsubscribeOk:
+    case FrameType::kPushDelta:
+    case FrameType::kSubGap:
     case FrameType::kError:
       return true;
   }
@@ -135,10 +141,16 @@ bool IsRequestType(FrameType type) {
     case FrameType::kCheckpoint:
     case FrameType::kStats:
     case FrameType::kHealth:
+    case FrameType::kSubscribe:
+    case FrameType::kUnsubscribe:
       return true;
     default:
       return false;
   }
+}
+
+bool IsPushType(FrameType type) {
+  return type == FrameType::kPushDelta || type == FrameType::kSubGap;
 }
 
 // ---- Status codes on the wire -----------------------------------------------
@@ -379,6 +391,91 @@ Result<Admission> DecodeAdmissionOnly(std::string_view payload) {
   return admission;
 }
 
+namespace {
+// Tag byte introducing the optional want_subscriptions extension of a
+// Health request (same trailing-extension scheme as the request token).
+constexpr uint8_t kHealthWantSubsTag = 1;
+}  // namespace
+
+std::string EncodeHealthRequest(const HealthRequest& request) {
+  ByteSink sink;
+  EncodeAdmission(request.admission, &sink);
+  // Only the extended form emits the tag: a default request stays
+  // byte-identical to the v1 admission-only payload.
+  if (request.want_subscriptions) {
+    sink.PutU8(kHealthWantSubsTag);
+    sink.PutU8(1);
+  }
+  return sink.Take();
+}
+
+Result<HealthRequest> DecodeHealthRequest(std::string_view payload) {
+  ByteSource source(payload);
+  HealthRequest request;
+  DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
+  if (!source.exhausted()) {
+    uint8_t tag = 0;
+    DEDDB_PROTO_ASSIGN(tag, source.GetU8());
+    if (tag != kHealthWantSubsTag) {
+      return MalformedText(StrCat("unknown health extension tag ", int{tag}));
+    }
+    uint8_t want = 0;
+    DEDDB_PROTO_ASSIGN(want, source.GetU8());
+    if (want > 1) {
+      return MalformedText(StrCat("boolean field holds ", int{want}));
+    }
+    request.want_subscriptions = want == 1;
+  }
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return request;
+}
+
+std::string EncodeSubscribeRequest(const SubscribeRequest& request,
+                                   const SymbolTable& symbols) {
+  ByteSink sink;
+  EncodeAdmission(request.admission, &sink);
+  persist::EncodeAtom(request.pattern, symbols, &sink);
+  sink.PutU8(static_cast<uint8_t>(request.policy));
+  sink.PutU32(request.max_queued);
+  sink.PutU64(request.resume_from_version);
+  return sink.Take();
+}
+
+Result<SubscribeRequest> DecodeSubscribeRequest(std::string_view payload,
+                                                SymbolTable* symbols) {
+  ByteSource source(payload);
+  SubscribeRequest request;
+  DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
+  DEDDB_PROTO_ASSIGN(request.pattern, persist::DecodeAtom(&source, symbols));
+  uint8_t policy = 0;
+  DEDDB_PROTO_ASSIGN(policy, source.GetU8());
+  if (policy > static_cast<uint8_t>(sub::OverflowPolicy::kCoalesce)) {
+    return MalformedText(StrCat("unknown overflow policy ", int{policy}));
+  }
+  request.policy = static_cast<sub::OverflowPolicy>(policy);
+  DEDDB_PROTO_ASSIGN(request.max_queued, source.GetU32());
+  DEDDB_PROTO_ASSIGN(request.resume_from_version, source.GetU64());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return request;
+}
+
+std::string EncodeUnsubscribeRequest(const UnsubscribeRequest& request) {
+  ByteSink sink;
+  EncodeAdmission(request.admission, &sink);
+  sink.PutU64(request.sub_id);
+  return sink.Take();
+}
+
+Result<UnsubscribeRequest> DecodeUnsubscribeRequest(
+    std::string_view payload) {
+  ByteSource source(payload);
+  UnsubscribeRequest request;
+  DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
+  DEDDB_PROTO_ASSIGN(request.sub_id, source.GetU64());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return request;
+}
+
 // ---- Response payloads ------------------------------------------------------
 
 std::string EncodeQueryReply(const QueryReply& reply,
@@ -525,6 +622,13 @@ std::string EncodeHealthReply(const HealthReply& reply) {
   sink.PutU64(reply.version);
   sink.PutU64(reply.last_durable_seq);
   sink.PutU32(reply.queue_depth);
+  // The subscription section is a trailing extension, present only when the
+  // request opted in — a v1 probe keeps getting byte-identical replies.
+  if (reply.has_subscriptions) {
+    sink.PutU32(reply.active_subscriptions);
+    sink.PutU64(reply.queued_deltas);
+    sink.PutU64(reply.gap_events);
+  }
   return sink.Take();
 }
 
@@ -540,8 +644,149 @@ Result<HealthReply> DecodeHealthReply(std::string_view payload) {
   DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
   DEDDB_PROTO_ASSIGN(reply.last_durable_seq, source.GetU64());
   DEDDB_PROTO_ASSIGN(reply.queue_depth, source.GetU32());
+  if (!source.exhausted()) {
+    reply.has_subscriptions = true;
+    DEDDB_PROTO_ASSIGN(reply.active_subscriptions, source.GetU32());
+    DEDDB_PROTO_ASSIGN(reply.queued_deltas, source.GetU64());
+    DEDDB_PROTO_ASSIGN(reply.gap_events, source.GetU64());
+  }
   DEDDB_RETURN_IF_ERROR(CheckDrained(source));
   return reply;
+}
+
+namespace {
+
+void EncodeTupleList(const std::vector<Tuple>& tuples,
+                     const SymbolTable& symbols, ByteSink* sink) {
+  sink->PutU32(static_cast<uint32_t>(tuples.size()));
+  for (const Tuple& tuple : tuples) {
+    persist::EncodeTuple(tuple, symbols, sink);
+  }
+}
+
+Result<std::vector<Tuple>> DecodeTupleList(ByteSource* source,
+                                           SymbolTable* symbols,
+                                           std::string_view what) {
+  uint32_t count = 0;
+  DEDDB_PROTO_ASSIGN(count, source->GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckCount(count, *source, what));
+  std::vector<Tuple> tuples;
+  tuples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DEDDB_PROTO_ASSIGN(Tuple tuple, persist::DecodeTuple(source, symbols));
+    tuples.push_back(std::move(tuple));
+  }
+  return tuples;
+}
+
+}  // namespace
+
+std::string EncodeSubscribeReply(const SubscribeReply& reply,
+                                 const SymbolTable& symbols) {
+  ByteSink sink;
+  sink.PutU64(reply.sub_id);
+  sink.PutU64(reply.version);
+  sink.PutU8(reply.resumed ? 1 : 0);
+  EncodeTupleList(reply.snapshot, symbols, &sink);
+  return sink.Take();
+}
+
+Result<SubscribeReply> DecodeSubscribeReply(std::string_view payload,
+                                            SymbolTable* symbols) {
+  ByteSource source(payload);
+  SubscribeReply reply;
+  DEDDB_PROTO_ASSIGN(reply.sub_id, source.GetU64());
+  DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
+  uint8_t resumed = 0;
+  DEDDB_PROTO_ASSIGN(resumed, source.GetU8());
+  if (resumed > 1) {
+    return MalformedText(StrCat("boolean field holds ", int{resumed}));
+  }
+  reply.resumed = resumed == 1;
+  DEDDB_ASSIGN_OR_RETURN(reply.snapshot,
+                         DecodeTupleList(&source, symbols, "snapshot tuple"));
+  if (reply.resumed && !reply.snapshot.empty()) {
+    return MalformedText("resumed subscription carrying a snapshot");
+  }
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodeUnsubscribeReply(const UnsubscribeReply& reply) {
+  ByteSink sink;
+  sink.PutU8(reply.existed ? 1 : 0);
+  return sink.Take();
+}
+
+Result<UnsubscribeReply> DecodeUnsubscribeReply(std::string_view payload) {
+  ByteSource source(payload);
+  UnsubscribeReply reply;
+  uint8_t existed = 0;
+  DEDDB_PROTO_ASSIGN(existed, source.GetU8());
+  if (existed > 1) {
+    return MalformedText(StrCat("boolean field holds ", int{existed}));
+  }
+  reply.existed = existed == 1;
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodePushDeltaFrame(const PushDeltaFrame& frame,
+                                 const SymbolTable& symbols) {
+  ByteSink sink;
+  sink.PutU64(frame.sub_id);
+  sink.PutU64(frame.version);
+  EncodeTupleList(frame.inserts, symbols, &sink);
+  EncodeTupleList(frame.deletes, symbols, &sink);
+  return sink.Take();
+}
+
+Result<PushDeltaFrame> DecodePushDeltaFrame(std::string_view payload,
+                                            SymbolTable* symbols) {
+  ByteSource source(payload);
+  PushDeltaFrame frame;
+  DEDDB_PROTO_ASSIGN(frame.sub_id, source.GetU64());
+  DEDDB_PROTO_ASSIGN(frame.version, source.GetU64());
+  DEDDB_ASSIGN_OR_RETURN(frame.inserts,
+                         DecodeTupleList(&source, symbols, "insert tuple"));
+  DEDDB_ASSIGN_OR_RETURN(frame.deletes,
+                         DecodeTupleList(&source, symbols, "delete tuple"));
+  if (frame.inserts.empty() && frame.deletes.empty()) {
+    // A commit that does not change the answer set pushes nothing at all;
+    // an empty delta frame on the wire is a sender bug, not a no-op.
+    return MalformedText("empty delta frame");
+  }
+  // The sender ordered these lists by *its* symbol ids, but names interned
+  // into the receiver's table can land in any order — re-establish the
+  // DeltaBatch sortedness invariant in local id space, or SubView::Apply's
+  // merges would operate on unsorted input.
+  sub::SortUnique(&frame.inserts);
+  sub::SortUnique(&frame.deletes);
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return frame;
+}
+
+std::string EncodeSubGapFrame(const SubGapFrame& frame) {
+  ByteSink sink;
+  sink.PutU64(frame.sub_id);
+  sink.PutU64(frame.version);
+  sink.PutU8(static_cast<uint8_t>(frame.reason));
+  return sink.Take();
+}
+
+Result<SubGapFrame> DecodeSubGapFrame(std::string_view payload) {
+  ByteSource source(payload);
+  SubGapFrame frame;
+  DEDDB_PROTO_ASSIGN(frame.sub_id, source.GetU64());
+  DEDDB_PROTO_ASSIGN(frame.version, source.GetU64());
+  uint8_t reason = 0;
+  DEDDB_PROTO_ASSIGN(reason, source.GetU8());
+  if (reason > static_cast<uint8_t>(sub::GapReason::kShutdown)) {
+    return MalformedText(StrCat("unknown gap reason ", int{reason}));
+  }
+  frame.reason = static_cast<sub::GapReason>(reason);
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return frame;
 }
 
 std::string EncodeErrorReply(const ErrorReply& reply) {

@@ -11,6 +11,7 @@
 #include "interp/downward.h"
 #include "persist/wal.h"
 #include "storage/transaction.h"
+#include "sub/cdc.h"
 #include "util/status.h"
 
 namespace deddb::server {
@@ -52,6 +53,8 @@ enum class FrameType : uint8_t {
   kCheckpoint = 5,  // admin: durable snapshot + log truncation
   kStats = 6,       // admin: server + metrics snapshot
   kHealth = 7,      // liveness/degradation probe (served on the read path)
+  kSubscribe = 8,   // register a standing query (CDC stream; DESIGN.md §11)
+  kUnsubscribe = 9,
 
   // Responses (server -> client); request type + 64.
   kQueryOk = 65,
@@ -61,11 +64,22 @@ enum class FrameType : uint8_t {
   kCheckpointOk = 69,
   kStatsOk = 70,
   kHealthOk = 71,
+  kSubscribeOk = 72,
+  kUnsubscribeOk = 73,
+
+  // Asynchronous pushes (server -> client), request_id always 0: they
+  // answer no request, so the client's demux routes them by type, not id.
+  kPushDelta = 74,  // one versioned CDC delta for one subscription
+  kSubGap = 75,     // the subscription's stream ended with a gap
+
   kError = 127,
 };
 
 /// True for the request frame types.
 bool IsRequestType(FrameType type);
+
+/// True for the asynchronous push frame types (kPushDelta, kSubGap).
+bool IsPushType(FrameType type);
 
 /// Admission-control fields carried by every request: a relative wall-clock
 /// deadline and the ResourceGuard budgets governing the evaluation. Zero
@@ -109,6 +123,29 @@ struct TranslateRequest {
   UpdateRequest request;
 };
 
+/// Registers a standing query (DESIGN.md §11): the server answers with a
+/// kSubscribeOk carrying a pinned snapshot (or a resume confirmation) and
+/// then pushes one kPushDelta frame per commit that changes the answer set.
+struct SubscribeRequest {
+  Admission admission;
+  /// The subscribed predicate with its bound-argument filter: constant
+  /// arguments must match, variable arguments are wildcards.
+  Atom pattern;
+  sub::OverflowPolicy policy = sub::OverflowPolicy::kDisconnectWithGap;
+  /// Per-subscription queued-delta bound; 0 means the server default.
+  uint32_t max_queued = 0;
+  /// Nonzero asks to resume a previous stream: the server replays the
+  /// deltas since this version instead of sending a snapshot, when its
+  /// retained CDC log still covers them (else it falls back to a fresh
+  /// snapshot with resumed=false).
+  uint64_t resume_from_version = 0;
+};
+
+struct UnsubscribeRequest {
+  Admission admission;
+  uint64_t sub_id = 0;
+};
+
 struct QueryReply {
   /// The snapshot version every answer in this reply was read from.
   uint64_t version = 0;
@@ -149,6 +186,15 @@ enum class ServerState : uint8_t {
   kStopping = 2,  // draining; new work rejected
 };
 
+/// Health grew a request payload in v3: a want_subscriptions flag as a
+/// tagged trailing extension after the admission header. A v1/v2 client's
+/// admission-only payload is byte-identical to want_subscriptions=false and
+/// this decoder accepts it unchanged.
+struct HealthRequest {
+  Admission admission;
+  bool want_subscriptions = false;
+};
+
 struct HealthReply {
   ServerState state = ServerState::kServing;
   /// Current commit version (what a fresh session would pin).
@@ -157,6 +203,48 @@ struct HealthReply {
   uint64_t last_durable_seq = 0;
   /// Admitted-but-incomplete writes.
   uint32_t queue_depth = 0;
+
+  /// Subscription section, appended only when the request asked for it
+  /// (so v1 replies stay byte-identical and old clients never see trailing
+  /// bytes they cannot parse).
+  bool has_subscriptions = false;
+  uint32_t active_subscriptions = 0;
+  uint64_t queued_deltas = 0;
+  uint64_t gap_events = 0;
+};
+
+struct SubscribeReply {
+  uint64_t sub_id = 0;
+  /// The stream's start version: pushes begin strictly after it.
+  uint64_t version = 0;
+  /// True when the server resumed from the requested version (the retained
+  /// deltas follow as pushes; `snapshot` is empty and not meaningful).
+  bool resumed = false;
+  /// Full filtered answer set at `version` (fresh subscriptions only).
+  std::vector<Tuple> snapshot;
+};
+
+struct UnsubscribeReply {
+  bool existed = false;
+};
+
+/// One versioned CDC delta (request_id 0). Decoding rejects a frame with
+/// both lists empty: the contract is that a commit that does not change the
+/// subscribed answer set pushes nothing, not an empty frame.
+struct PushDeltaFrame {
+  uint64_t sub_id = 0;
+  uint64_t version = 0;
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+};
+
+/// Terminal gap marker (request_id 0): the stream lost deltas and the
+/// subscription is closed; the client must resubscribe (optionally with
+/// resume_from_version) to continue.
+struct SubGapFrame {
+  uint64_t sub_id = 0;
+  uint64_t version = 0;
+  sub::GapReason reason = sub::GapReason::kOverflow;
 };
 
 struct ErrorReply {
@@ -237,9 +325,22 @@ std::string EncodeTranslateRequest(const TranslateRequest& request,
 Result<TranslateRequest> DecodeTranslateRequest(std::string_view payload,
                                                 SymbolTable* symbols);
 
-/// Checkpoint, Stats and Health requests carry only the admission header.
+/// Checkpoint and Stats requests carry only the admission header.
 std::string EncodeAdmissionOnly(const Admission& admission);
 Result<Admission> DecodeAdmissionOnly(std::string_view payload);
+
+/// Health: admission header plus the tagged want_subscriptions extension
+/// (admission-only payloads decode with want_subscriptions=false).
+std::string EncodeHealthRequest(const HealthRequest& request);
+Result<HealthRequest> DecodeHealthRequest(std::string_view payload);
+
+std::string EncodeSubscribeRequest(const SubscribeRequest& request,
+                                   const SymbolTable& symbols);
+Result<SubscribeRequest> DecodeSubscribeRequest(std::string_view payload,
+                                                SymbolTable* symbols);
+
+std::string EncodeUnsubscribeRequest(const UnsubscribeRequest& request);
+Result<UnsubscribeRequest> DecodeUnsubscribeRequest(std::string_view payload);
 
 // ---- Response payloads ------------------------------------------------------
 
@@ -267,6 +368,22 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload);
 
 std::string EncodeHealthReply(const HealthReply& reply);
 Result<HealthReply> DecodeHealthReply(std::string_view payload);
+
+std::string EncodeSubscribeReply(const SubscribeReply& reply,
+                                 const SymbolTable& symbols);
+Result<SubscribeReply> DecodeSubscribeReply(std::string_view payload,
+                                            SymbolTable* symbols);
+
+std::string EncodeUnsubscribeReply(const UnsubscribeReply& reply);
+Result<UnsubscribeReply> DecodeUnsubscribeReply(std::string_view payload);
+
+std::string EncodePushDeltaFrame(const PushDeltaFrame& frame,
+                                 const SymbolTable& symbols);
+Result<PushDeltaFrame> DecodePushDeltaFrame(std::string_view payload,
+                                            SymbolTable* symbols);
+
+std::string EncodeSubGapFrame(const SubGapFrame& frame);
+Result<SubGapFrame> DecodeSubGapFrame(std::string_view payload);
 
 /// The typed error frame: the protocol surface of every Status the server
 /// produces, including which ResourceGuard limit tripped (kDeadlineExceeded

@@ -31,6 +31,9 @@ struct Server::ConnState {
   ResourceGuard guard;
   std::unique_ptr<Session> session;
   size_t pending_writes = 0;
+  /// Subscription owner id (assigned at accept): the key the manager files
+  /// this connection's standing queries under, and the pusher's route back.
+  uint64_t owner = 0;
   /// The connection's reader thread. Assigned under mu_ right after the
   /// thread is spawned; joined by ReapRetiredConnections or Stop() once the
   /// loop has exited (the loop itself never touches this field).
@@ -57,7 +60,9 @@ struct Server::WriteJob {
 Server::Server(DeductiveDatabase* db, ServerOptions options)
     : db_(db),
       options_(std::move(options)),
-      metrics_(options_.obs.metrics) {}
+      metrics_(options_.obs.metrics),
+      subs_(sub::SubscriptionManager::Options{options_.cdc_retain,
+                                              options_.obs}) {}
 
 Server::~Server() { Stop(); }
 
@@ -72,7 +77,11 @@ Status Server::Serve(std::unique_ptr<Listener> listener) {
   // (sessions strip the facade guard at BeginSession), so there is no race.
   previous_facade_guard_ = db_->resource_guard();
   db_->set_resource_guard(&writer_guard_);
+  // The observer hook is armed for the server's whole lifetime; the manager
+  // keeps the per-commit cost at one relaxed load until someone subscribes.
+  db_->set_commit_observer(&subs_);
   writer_thread_ = std::thread(&Server::WriterLoop, this);
+  pusher_thread_ = std::thread(&Server::PusherLoop, this);
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
   return Status::Ok();
 }
@@ -104,6 +113,14 @@ void Server::Stop() {
   if (writer_thread_.joinable()) writer_thread_.join();
   if (accept_thread_.joinable()) accept_thread_.join();
 
+  // The writer is gone, so no further commit can publish into the manager;
+  // stop the pusher (undelivered batches drop — subscribers observe the
+  // connection close, not a silent gap) and unhook the observer before any
+  // post-Stop mutation of the database.
+  subs_.Shutdown();
+  if (pusher_thread_.joinable()) pusher_thread_.join();
+  db_->set_commit_observer(nullptr);
+
   std::vector<std::shared_ptr<ConnState>> connections;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -122,6 +139,7 @@ void Server::Stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     connections_.clear();
+    owners_.clear();
     obs::MetricsRegistry::Set(metrics_, "server.connections_active", 0);
   }
   db_->set_resource_guard(previous_facade_guard_);
@@ -171,6 +189,19 @@ std::string Server::StatsJson() const {
       ",\"protocol_errors\":", c.protocol_errors,
       ",\"guard_trips\":", c.guard_trips,
       ",\"dedup_hits\":", c.dedup_hits, "}");
+  const sub::ManagerStats s = subs_.Stats();
+  out += StrCat(
+      ",\"sub\":{\"registered_total\":", s.registered_total,
+      ",\"active\":", s.active,
+      ",\"queued_batches\":", s.queued_batches,
+      ",\"commits_observed\":", s.commits_observed,
+      ",\"deltas_queued\":", s.deltas_queued,
+      ",\"deltas_pushed\":", s.deltas_pushed,
+      ",\"deltas_coalesced\":", s.deltas_coalesced,
+      ",\"gap_events\":", s.gap_events,
+      ",\"barriers\":", s.barriers,
+      ",\"resume_hits\":", s.resume_hits,
+      ",\"resume_misses\":", s.resume_misses, "}");
   if (metrics_ != nullptr) {
     out += StrCat(",\"metrics\":", metrics_->ToJson());
   }
@@ -206,6 +237,8 @@ void Server::AcceptLoop() {
         over_limit = true;
       } else {
         ++counters_.connections_total;
+        conn->owner = next_owner_++;
+        owners_[conn->owner] = conn;
         connections_.push_back(conn);
         active = connections_.size();
         conn->reader = std::thread(&Server::ConnectionLoop, this, conn);
@@ -250,8 +283,12 @@ void Server::ConnectionLoop(std::shared_ptr<ConnState> conn) {
     if (!Dispatch(conn, **read)) break;
   }
   conn->conn->Close();
+  // Retire the connection's standing queries before dropping the owner
+  // route (manager mutex only — never under mu_).
+  subs_.CancelOwner(conn->owner);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    owners_.erase(conn->owner);
     connections_.erase(
         std::remove(connections_.begin(), connections_.end(), conn),
         connections_.end());
@@ -351,6 +388,12 @@ bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
     }
     case FrameType::kHealth:
       ServeHealth(conn, frame.request_id, frame.payload);
+      return true;
+    case FrameType::kSubscribe:
+      ServeSubscribe(conn, frame.request_id, frame.payload);
+      return true;
+    case FrameType::kUnsubscribe:
+      ServeUnsubscribe(conn, frame.request_id, frame.payload);
       return true;
     case FrameType::kCheckpoint: {
       Result<Admission> admission = DecodeAdmissionOnly(frame.payload);
@@ -561,14 +604,14 @@ void Server::ServeHealth(const std::shared_ptr<ConnState>& conn, uint64_t id,
     ++counters_.requests_read;
   }
   obs::MetricsRegistry::Add(metrics_, "server.requests_read");
-  Result<Admission> admission = DecodeAdmissionOnly(payload);
-  if (!admission.ok()) {
+  Result<HealthRequest> request = DecodeHealthRequest(payload);
+  if (!request.ok()) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.protocol_errors;
     }
     obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
-    SendError(conn, id, admission.status());
+    SendError(conn, id, request.status());
     return;
   }
   HealthReply reply;
@@ -584,7 +627,184 @@ void Server::ServeHealth(const std::shared_ptr<ConnState>& conn, uint64_t id,
   if (persist::PersistenceManager* persistence = db_->persistence()) {
     reply.last_durable_seq = persistence->stats().last_seq;
   }
+  if (request->want_subscriptions) {
+    const sub::ManagerStats stats = subs_.Stats();
+    reply.has_subscriptions = true;
+    reply.active_subscriptions = static_cast<uint32_t>(stats.active);
+    reply.queued_deltas = stats.queued_batches;
+    reply.gap_events = stats.gap_events;
+  }
   SendReply(conn, id, FrameType::kHealthOk, EncodeHealthReply(reply));
+}
+
+// ---- Standing queries (DESIGN.md §11) ---------------------------------------
+
+void Server::ServeSubscribe(const std::shared_ptr<ConnState>& conn,
+                            uint64_t id, std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests_read;
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.requests_read");
+  Result<SubscribeRequest> request =
+      DecodeSubscribeRequest(payload, &db_->symbols());
+  if (!request.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+    SendError(conn, id, request.status());
+    return;
+  }
+  const Atom& pattern = request->pattern;
+  // Not db_->database().predicates() directly: a concurrent commit may be
+  // registering event-rule variants in the table right now.
+  Result<PredicateInfo> info = db_->PredicateInfoFor(pattern.predicate());
+  if (!info.ok()) {
+    SendError(conn, id,
+              NotFoundError(StrCat("unknown predicate '",
+                                   db_->symbols().NameOf(pattern.predicate()),
+                                   "'")));
+    return;
+  }
+  if (info->variant != PredicateVariant::kOld) {
+    SendError(conn, id,
+              InvalidArgumentError(StrCat(
+                  "cannot subscribe to decorated predicate '",
+                  db_->symbols().NameOf(pattern.predicate()),
+                  "'; subscribe to the state predicate itself")));
+    return;
+  }
+  if (info->arity != pattern.args().size()) {
+    SendError(conn, id,
+              InvalidArgumentError(StrCat(
+                  "predicate '", db_->symbols().NameOf(pattern.predicate()),
+                  "' has arity ", info->arity, ", pattern has ",
+                  pattern.args().size())));
+    return;
+  }
+  if (subs_.OwnerSubscriptions(conn->owner) >=
+      options_.max_subscriptions_per_connection) {
+    SendError(conn, id,
+              ResourceExhaustedError(StrCat(
+                  "per-connection subscription quota of ",
+                  options_.max_subscriptions_per_connection, " exceeded")));
+    return;
+  }
+
+  sub::SubscriptionSpec spec;
+  spec.predicate = pattern.predicate();
+  spec.filter.reserve(pattern.args().size());
+  for (const Term& term : pattern.args()) {
+    if (term.is_constant()) {
+      spec.filter.emplace_back(term.constant());
+    } else {
+      spec.filter.emplace_back(std::nullopt);
+    }
+  }
+  spec.derived = info->kind == PredicateKind::kDerived;
+  spec.policy = request->policy;
+  spec.max_queued = request->max_queued != 0 ? request->max_queued
+                                             : options_.sub_queue_depth;
+
+  // Two-phase handshake (see SubscriptionManager): register first so every
+  // commit from here on queues its delta, then pin the stream's start
+  // point, reply, and only then activate — so no push can overtake the
+  // SubscribeOk frame on the wire.
+  const uint64_t sub_id = subs_.Register(spec, conn->owner);
+  SubscribeReply reply;
+  reply.sub_id = sub_id;
+  if (request->resume_from_version != 0 &&
+      subs_.TryStageResume(sub_id, request->resume_from_version)) {
+    reply.version = request->resume_from_version;
+    reply.resumed = true;
+    SendReply(conn, id, FrameType::kSubscribeOk,
+              EncodeSubscribeReply(reply, db_->symbols()));
+    subs_.Activate(sub_id, request->resume_from_version);
+    return;
+  }
+  // Fresh snapshot: evaluate the pattern against a pinned session. The
+  // snapshot version fences the stream — queued deltas at or below it are
+  // already contained in the snapshot and get dropped by Activate.
+  Result<const ResourceGuard*> pinned = PinSession(conn, request->admission);
+  if (!pinned.ok()) {
+    subs_.Cancel(sub_id, conn->owner);
+    SendError(conn, id, pinned.status());
+    return;
+  }
+  Result<std::vector<Tuple>> answers = conn->session->Solve(pattern);
+  if (!answers.ok()) {
+    subs_.Cancel(sub_id, conn->owner);
+    SendError(conn, id, answers.status());
+    return;
+  }
+  sub::SortUnique(&*answers);
+  reply.version = conn->session->version();
+  reply.snapshot = std::move(*answers);
+  SendReply(conn, id, FrameType::kSubscribeOk,
+            EncodeSubscribeReply(reply, db_->symbols()));
+  subs_.Activate(sub_id, reply.version);
+}
+
+void Server::ServeUnsubscribe(const std::shared_ptr<ConnState>& conn,
+                              uint64_t id, std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests_read;
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.requests_read");
+  Result<UnsubscribeRequest> request = DecodeUnsubscribeRequest(payload);
+  if (!request.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+    SendError(conn, id, request.status());
+    return;
+  }
+  UnsubscribeReply reply;
+  // Owner-checked: a connection can only cancel its own subscriptions, so
+  // a guessed id from another client answers existed=false, not a cancel.
+  reply.existed = subs_.Cancel(request->sub_id, conn->owner);
+  SendReply(conn, id, FrameType::kUnsubscribeOk,
+            EncodeUnsubscribeReply(reply));
+}
+
+void Server::PusherLoop() {
+  for (;;) {
+    std::optional<sub::PushItem> item = subs_.WaitPop();
+    if (!item.has_value()) return;  // Shutdown()
+    if (options_.pusher_stall_for_test) options_.pusher_stall_for_test();
+    std::shared_ptr<ConnState> conn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = owners_.find(item->owner);
+      if (it != owners_.end()) conn = it->second.lock();
+    }
+    if (conn == nullptr) {
+      // The connection retired between pop and route; drop the rest of its
+      // subscriptions too (CancelOwner is idempotent).
+      subs_.CancelOwner(item->owner);
+      continue;
+    }
+    if (item->is_gap) {
+      SubGapFrame frame;
+      frame.sub_id = item->sub_id;
+      frame.version = item->version;
+      frame.reason = item->reason;
+      SendReply(conn, 0, FrameType::kSubGap, EncodeSubGapFrame(frame));
+    } else {
+      PushDeltaFrame frame;
+      frame.sub_id = item->sub_id;
+      frame.version = item->batch.version;
+      frame.inserts = std::move(item->batch.inserts);
+      frame.deletes = std::move(item->batch.deletes);
+      SendReply(conn, 0, FrameType::kPushDelta,
+                EncodePushDeltaFrame(frame, db_->symbols()));
+    }
+  }
 }
 
 // ---- Write path (admission queue + writer thread) ---------------------------

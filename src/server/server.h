@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "obs/obs.h"
 #include "server/protocol.h"
 #include "server/transport.h"
+#include "sub/manager.h"
 #include "util/resource_guard.h"
 
 namespace deddb::server {
@@ -46,6 +48,17 @@ struct ServerOptions {
   /// asked for no deadline.
   uint32_t deadline_cap_ms = 0;
 
+  /// Per-client quota on live standing queries (DESIGN.md §11).
+  size_t max_subscriptions_per_connection = 8;
+
+  /// Default per-subscription bound on queued-but-unpushed delta batches
+  /// (a Subscribe may ask for its own bound). What happens at the bound is
+  /// the subscription's overflow policy: disconnect-with-gap or coalesce.
+  size_t sub_queue_depth = 64;
+
+  /// Commits retained for resume-from-version reconnects.
+  size_t cdc_retain = 256;
+
   /// Metrics/tracing sink for the server.* series (queue depth, rejections,
   /// latencies). Nullable, like every obs hookup.
   obs::ObsContext obs;
@@ -54,6 +67,12 @@ struct ServerOptions {
   /// executes. The admission suite parks the writer on a latch here to fill
   /// the queue deterministically. Never set in production.
   std::function<void()> writer_stall_for_test;
+
+  /// Test seam: runs on the pusher thread after each WaitPop returns, i.e.
+  /// with the popped item held outside the manager. The subscription suite
+  /// parks the pusher here so per-subscription queues fill deterministically
+  /// and the overflow policies can be observed. Never set in production.
+  std::function<void()> pusher_stall_for_test;
 };
 
 /// The networked service layer (DESIGN.md §10): multiplexes many client
@@ -126,6 +145,11 @@ class Server {
   bool Dispatch(const std::shared_ptr<ConnState>& conn,
                 const OwnedFrame& frame);
 
+  /// Drains the subscription manager and writes push frames (request id 0)
+  /// to the owning connections; runs on its own thread between Serve and
+  /// Stop so a slow subscriber can never stall the commit path.
+  void PusherLoop();
+
   // Read-path handlers (connection thread).
   void ServeQuery(const std::shared_ptr<ConnState>& conn, uint64_t id,
                   std::string_view payload);
@@ -135,6 +159,10 @@ class Server {
                   std::string_view payload);
   void ServeHealth(const std::shared_ptr<ConnState>& conn, uint64_t id,
                    std::string_view payload);
+  void ServeSubscribe(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                      std::string_view payload);
+  void ServeUnsubscribe(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                        std::string_view payload);
 
   /// Admission for write-class requests: quota, queue bound, shutdown.
   void EnqueueWrite(const std::shared_ptr<ConnState>& conn, WriteJob job);
@@ -178,9 +206,15 @@ class Server {
   ServerOptions options_;
   obs::MetricsRegistry* metrics_;  // options_.obs.metrics, may be null
 
+  /// The CDC registry (DESIGN.md §11): installed on the facade as its
+  /// commit observer for the lifetime of the server and drained by the
+  /// pusher thread. Threads-safe on its own mutex; never called under mu_.
+  sub::SubscriptionManager subs_;
+
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;
   std::thread writer_thread_;
+  std::thread pusher_thread_;
 
   /// The guard installed on the facade for the lifetime of the server; only
   /// the writer thread Restart()s it (between jobs) and only writer-thread
@@ -195,6 +229,11 @@ class Server {
   std::deque<WriteJob> write_queue_;
   size_t writes_in_flight_ = 0;  // dequeued, still executing
   std::vector<std::shared_ptr<ConnState>> connections_;
+  /// Push routing: the opaque owner id each subscription is registered
+  /// under, back to its connection. weak_ptr so a retired connection's
+  /// state is not kept alive by its undelivered pushes.
+  std::map<uint64_t, std::weak_ptr<ConnState>> owners_;
+  uint64_t next_owner_ = 1;
   /// Connections whose reader loop has exited but whose thread handle is
   /// not yet joined; drained by ReapRetiredConnections.
   std::vector<std::shared_ptr<ConnState>> retired_connections_;

@@ -188,9 +188,17 @@ class LoopbackListener : public Listener {
   }
 
   void Close() override {
-    std::lock_guard<std::mutex> lock(state_->mu);
-    state_->closed = true;
-    state_->pending_cv.notify_all();
+    // Drain the backlog under the lock but destroy it outside: each orphaned
+    // server end closes its pipes on destruction (the loopback analogue of
+    // TCP resetting un-accepted backlog connections), and that wakes dialers
+    // blocked mid-handshake instead of leaving them hung forever.
+    std::deque<std::unique_ptr<Connection>> orphaned;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->closed = true;
+      orphaned.swap(state_->pending);
+      state_->pending_cv.notify_all();
+    }
   }
 
  private:
@@ -202,9 +210,13 @@ class LoopbackListener : public Listener {
 LoopbackNetwork::LoopbackNetwork() : state_(std::make_shared<State>()) {}
 
 LoopbackNetwork::~LoopbackNetwork() {
-  std::lock_guard<std::mutex> lock(state_->mu);
-  state_->closed = true;
-  state_->pending_cv.notify_all();
+  std::deque<std::unique_ptr<Connection>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+    orphaned.swap(state_->pending);
+    state_->pending_cv.notify_all();
+  }
 }
 
 std::unique_ptr<Listener> LoopbackNetwork::TakeListener() {

@@ -1,0 +1,76 @@
+#include "sub/cdc.h"
+
+#include <algorithm>
+
+namespace deddb::sub {
+
+const char* OverflowPolicyName(OverflowPolicy policy) {
+  switch (policy) {
+    case OverflowPolicy::kDisconnectWithGap:
+      return "disconnect_with_gap";
+    case OverflowPolicy::kCoalesce:
+      return "coalesce";
+  }
+  return "unknown";
+}
+
+const char* GapReasonName(GapReason reason) {
+  switch (reason) {
+    case GapReason::kOverflow:
+      return "overflow";
+    case GapReason::kBarrier:
+      return "barrier";
+    case GapReason::kResumeWindow:
+      return "resume_window";
+    case GapReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// a \ b for sorted, duplicate-free tuple lists.
+std::vector<Tuple> Minus(const std::vector<Tuple>& a,
+                         const std::vector<Tuple>& b) {
+  std::vector<Tuple> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+// a ∪ b for sorted, duplicate-free tuple lists.
+std::vector<Tuple> Union(const std::vector<Tuple>& a,
+                         const std::vector<Tuple>& b) {
+  std::vector<Tuple> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+DeltaBatch Coalesce(const DeltaBatch& first, const DeltaBatch& second) {
+  DeltaBatch net;
+  net.version = second.version;
+  net.inserts = Union(Minus(first.inserts, second.deletes),
+                      Minus(second.inserts, first.deletes));
+  net.deletes = Union(Minus(first.deletes, second.inserts),
+                      Minus(second.deletes, first.inserts));
+  return net;
+}
+
+bool MatchesPattern(const Tuple& tuple, const TuplePattern& pattern) {
+  if (tuple.size() != pattern.size()) return false;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (pattern[i].has_value() && *pattern[i] != tuple[i]) return false;
+  }
+  return true;
+}
+
+void SortUnique(std::vector<Tuple>* tuples) {
+  std::sort(tuples->begin(), tuples->end());
+  tuples->erase(std::unique(tuples->begin(), tuples->end()), tuples->end());
+}
+
+}  // namespace deddb::sub

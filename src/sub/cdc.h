@@ -1,0 +1,73 @@
+#ifndef DEDDB_SUB_CDC_H_
+#define DEDDB_SUB_CDC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "storage/tuple.h"
+
+namespace deddb::sub {
+
+/// What a subscription does when its bounded delta queue is full
+/// (DESIGN.md §11). Both policies are loss-explicit: the subscriber either
+/// learns its stream ended with a gap marker, or keeps an exact (merged)
+/// delta — it is never silently shown a wrong one.
+enum class OverflowPolicy : uint8_t {
+  /// Drop the queue, push one kSubGap frame, and end the subscription. The
+  /// client resnapshots (or resumes) when it is ready to keep up.
+  kDisconnectWithGap = 0,
+  /// Merge the newest delta into the last queued one (exact sequential
+  /// composition, below), so the queue holds fewer, coarser deltas whose
+  /// net effect is unchanged.
+  kCoalesce = 1,
+};
+
+/// Why a kSubGap frame was pushed.
+enum class GapReason : uint8_t {
+  kOverflow = 0,      // queue overflowed under kDisconnectWithGap
+  kBarrier = 1,       // the database changed without a delta stream
+  kResumeWindow = 2,  // reserved: resume misses fall back to a snapshot
+  kShutdown = 3,      // server stopping; queued deltas were dropped
+};
+
+const char* OverflowPolicyName(OverflowPolicy policy);
+const char* GapReasonName(GapReason reason);
+
+/// One CDC frame's worth of change for a single subscribed predicate: the
+/// exact delta from the subscriber's previous state to the state at
+/// `version`. Tuple lists are sorted ascending, duplicate-free, and
+/// mutually disjoint — the same exactness invariant Transaction::Validate
+/// enforces for commits, which is what lets a subscriber apply a batch to
+/// its materialized view without consulting the server.
+struct DeltaBatch {
+  uint64_t version = 0;
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+  size_t size() const { return inserts.size() + deletes.size(); }
+};
+
+/// Exact sequential composition of two deltas (state A --first--> B
+/// --second--> C): the returned batch takes A straight to C.
+///
+///   inserts = (I1 \ D2) ∪ (I2 \ D1)
+///   deletes = (D1 \ I2) ∪ (D2 \ I1)
+///
+/// The identities need each input to be exact (its own lists disjoint);
+/// the result is then exact too, and carries `second.version`. This is the
+/// kCoalesce overflow policy's merge step.
+DeltaBatch Coalesce(const DeltaBatch& first, const DeltaBatch& second);
+
+/// True if `tuple` matches the bound-argument filter `pattern` (nullopt =
+/// wildcard). Arities must agree; a size mismatch never matches.
+bool MatchesPattern(const Tuple& tuple, const TuplePattern& pattern);
+
+/// Sorts ascending and drops duplicates in place.
+void SortUnique(std::vector<Tuple>* tuples);
+
+}  // namespace deddb::sub
+
+#endif  // DEDDB_SUB_CDC_H_

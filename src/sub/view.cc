@@ -1,0 +1,61 @@
+#include "sub/view.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace deddb::sub {
+
+void SubView::Reset(uint64_t version, std::vector<Tuple> tuples) {
+  SortUnique(&tuples);
+  tuples_ = std::move(tuples);
+  version_ = version;
+}
+
+Status SubView::Apply(const DeltaBatch& batch) {
+  if (batch.version <= version_) {
+    return FailedPreconditionError(
+        StrCat("delta for version ", batch.version,
+               " applied to a view already at version ", version_,
+               " (duplicated or reordered frame)"));
+  }
+  for (const Tuple& t : batch.deletes) {
+    if (!std::binary_search(tuples_.begin(), tuples_.end(), t)) {
+      return CorruptionError(
+          StrCat("delta at version ", batch.version,
+                 " deletes a tuple the view does not hold; the stream and "
+                 "the view have diverged"));
+    }
+  }
+  for (const Tuple& t : batch.inserts) {
+    if (std::binary_search(tuples_.begin(), tuples_.end(), t)) {
+      return CorruptionError(
+          StrCat("delta at version ", batch.version,
+                 " inserts a tuple the view already holds; the stream and "
+                 "the view have diverged"));
+    }
+  }
+  // Both sides verified exact: merge in O(view + delta).
+  std::vector<Tuple> next;
+  next.reserve(tuples_.size() + batch.inserts.size());
+  std::set_difference(tuples_.begin(), tuples_.end(), batch.deletes.begin(),
+                      batch.deletes.end(), std::back_inserter(next));
+  std::vector<Tuple> merged;
+  merged.reserve(next.size() + batch.inserts.size());
+  std::set_union(next.begin(), next.end(), batch.inserts.begin(),
+                 batch.inserts.end(), std::back_inserter(merged));
+  tuples_ = std::move(merged);
+  version_ = batch.version;
+  return Status::Ok();
+}
+
+std::string SubView::ToString(const SymbolTable& symbols) const {
+  std::string out;
+  for (const Tuple& t : tuples_) {
+    out += TupleToString(t, symbols);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace deddb::sub

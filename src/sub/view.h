@@ -1,0 +1,50 @@
+#ifndef DEDDB_SUB_VIEW_H_
+#define DEDDB_SUB_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/symbol_table.h"
+#include "storage/tuple.h"
+#include "sub/cdc.h"
+#include "util/status.h"
+
+namespace deddb::sub {
+
+/// The client-side half of a subscription: a materialized view of one
+/// predicate's (filtered) answer set, maintained incrementally by applying
+/// CDC deltas to a pinned snapshot instead of re-deriving (DESIGN.md §11).
+///
+/// Apply() enforces the exactness contract as a tripwire: an insert of a
+/// tuple already present, or a delete of one absent, means the delta stream
+/// and the view have diverged, and the view refuses it (kCorruption) rather
+/// than degrade into a multiset. The differential oracle in tests/sub_test.cc
+/// drives this against full re-derivation at every version.
+class SubView {
+ public:
+  /// Pins a fresh snapshot: contents become `tuples` (sorted, deduplicated
+  /// here), the view's version becomes `version`.
+  void Reset(uint64_t version, std::vector<Tuple> tuples);
+
+  /// Applies one exact delta. `batch.version` must be ahead of the view's
+  /// (deltas are ordered; equal or older means a duplicate or reordered
+  /// frame — kFailedPrecondition). On success the view is at batch.version.
+  Status Apply(const DeltaBatch& batch);
+
+  uint64_t version() const { return version_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Canonical rendering — one `(a, b)` line per tuple in sorted order —
+  /// used for the byte-identity comparison against re-derivation.
+  std::string ToString(const SymbolTable& symbols) const;
+
+ private:
+  uint64_t version_ = 0;
+  std::vector<Tuple> tuples_;  // sorted ascending, duplicate-free
+};
+
+}  // namespace deddb::sub
+
+#endif  // DEDDB_SUB_VIEW_H_

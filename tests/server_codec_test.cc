@@ -243,6 +243,214 @@ TEST(ServerCodecTest, UnknownWireCodeDegradesToInternal) {
   EXPECT_EQ(CodeFromWire(0xEE), StatusCode::kInternal);
 }
 
+// ---- Subscription frames (DESIGN.md §11) ------------------------------------
+
+TEST(ServerCodecTest, SubscribeRequestRoundTrip) {
+  SymbolTable sender;
+  SubscribeRequest request;
+  request.admission = SampleAdmission();
+  request.pattern = Atom(sender.Intern("Emp"),
+                         {Term::MakeConstant(sender.Intern("dept9")),
+                          Term::MakeVariable(sender.InternVar("x"))});
+  request.policy = sub::OverflowPolicy::kCoalesce;
+  request.max_queued = 32;
+  request.resume_from_version = 41;
+
+  SymbolTable receiver;
+  Result<SubscribeRequest> decoded = DecodeSubscribeRequest(
+      EncodeSubscribeRequest(request, sender), &receiver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectAdmissionEq(request.admission, decoded->admission);
+  EXPECT_EQ(decoded->pattern.ToString(receiver),
+            request.pattern.ToString(sender));
+  EXPECT_EQ(decoded->policy, sub::OverflowPolicy::kCoalesce);
+  EXPECT_EQ(decoded->max_queued, 32u);
+  EXPECT_EQ(decoded->resume_from_version, 41u);
+}
+
+TEST(ServerCodecTest, SubscribeRequestRejectsUnknownPolicy) {
+  SymbolTable sender;
+  SubscribeRequest request;
+  request.pattern = MakeAtom(&sender, "P", {"c0"});
+  std::string payload = EncodeSubscribeRequest(request, sender);
+  // The policy byte sits 13 bytes from the end (u8 + u32 + u64).
+  payload[payload.size() - 13] = 2;
+  SymbolTable receiver;
+  Result<SubscribeRequest> decoded =
+      DecodeSubscribeRequest(payload, &receiver);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, UnsubscribeRoundTrips) {
+  UnsubscribeRequest request;
+  request.admission = SampleAdmission();
+  request.sub_id = 99;
+  Result<UnsubscribeRequest> decoded =
+      DecodeUnsubscribeRequest(EncodeUnsubscribeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->sub_id, 99u);
+
+  Result<UnsubscribeReply> yes =
+      DecodeUnsubscribeReply(EncodeUnsubscribeReply({true}));
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes->existed);
+  Result<UnsubscribeReply> no =
+      DecodeUnsubscribeReply(EncodeUnsubscribeReply({false}));
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no->existed);
+}
+
+TEST(ServerCodecTest, SubscribeReplyRoundTripSnapshotAndResume) {
+  SymbolTable sender;
+  SubscribeReply fresh;
+  fresh.sub_id = 4;
+  fresh.version = 17;
+  fresh.snapshot = {{sender.Intern("c0"), sender.Intern("c1")},
+                    {sender.Intern("c2"), sender.Intern("c3")}};
+  SymbolTable receiver;
+  Result<SubscribeReply> decoded =
+      DecodeSubscribeReply(EncodeSubscribeReply(fresh, sender), &receiver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sub_id, 4u);
+  EXPECT_EQ(decoded->version, 17u);
+  EXPECT_FALSE(decoded->resumed);
+  ASSERT_EQ(decoded->snapshot.size(), 2u);
+  EXPECT_EQ(receiver.NameOf(decoded->snapshot[0][0]), "c0");
+  EXPECT_EQ(receiver.NameOf(decoded->snapshot[1][1]), "c3");
+
+  SubscribeReply resumed;
+  resumed.sub_id = 4;
+  resumed.version = 12;
+  resumed.resumed = true;
+  SymbolTable receiver2;
+  Result<SubscribeReply> decoded2 =
+      DecodeSubscribeReply(EncodeSubscribeReply(resumed, sender), &receiver2);
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_TRUE(decoded2->resumed);
+  EXPECT_TRUE(decoded2->snapshot.empty());
+
+  // A resumed reply carrying a snapshot is contradictory: malformed.
+  SubscribeReply bad = fresh;
+  bad.resumed = true;
+  SymbolTable receiver3;
+  Result<SubscribeReply> rejected =
+      DecodeSubscribeReply(EncodeSubscribeReply(bad, sender), &receiver3);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, PushDeltaRoundTripAndEmptyFrameRejected) {
+  SymbolTable sender;
+  PushDeltaFrame frame;
+  frame.sub_id = 8;
+  frame.version = 23;
+  frame.inserts = {{sender.Intern("c0")}};
+  frame.deletes = {{sender.Intern("c1")}, {sender.Intern("c2")}};
+  SymbolTable receiver;
+  Result<PushDeltaFrame> decoded =
+      DecodePushDeltaFrame(EncodePushDeltaFrame(frame, sender), &receiver);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->sub_id, 8u);
+  EXPECT_EQ(decoded->version, 23u);
+  ASSERT_EQ(decoded->inserts.size(), 1u);
+  ASSERT_EQ(decoded->deletes.size(), 2u);
+  EXPECT_EQ(receiver.NameOf(decoded->inserts[0][0]), "c0");
+
+  // The no-empty-frames contract, enforced at the codec: a frame with both
+  // lists empty is a sender bug and must not decode.
+  PushDeltaFrame empty;
+  empty.sub_id = 8;
+  empty.version = 24;
+  SymbolTable receiver2;
+  Result<PushDeltaFrame> rejected =
+      DecodePushDeltaFrame(EncodePushDeltaFrame(empty, sender), &receiver2);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, SubGapRoundTripAndUnknownReasonRejected) {
+  for (sub::GapReason reason :
+       {sub::GapReason::kOverflow, sub::GapReason::kBarrier,
+        sub::GapReason::kResumeWindow, sub::GapReason::kShutdown}) {
+    SubGapFrame frame;
+    frame.sub_id = 2;
+    frame.version = 7;
+    frame.reason = reason;
+    Result<SubGapFrame> decoded = DecodeSubGapFrame(EncodeSubGapFrame(frame));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->reason, reason);
+  }
+  SubGapFrame frame;
+  std::string payload = EncodeSubGapFrame(frame);
+  payload.back() = 4;  // one past kShutdown
+  Result<SubGapFrame> rejected = DecodeSubGapFrame(payload);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, HealthRequestExtensionIsBackwardCompatible) {
+  // A default Health request is byte-identical to the v1 admission-only
+  // payload, and the v1 payload decodes with want_subscriptions=false.
+  HealthRequest plain;
+  plain.admission = SampleAdmission();
+  EXPECT_EQ(EncodeHealthRequest(plain),
+            EncodeAdmissionOnly(SampleAdmission()));
+  Result<HealthRequest> decoded =
+      DecodeHealthRequest(EncodeAdmissionOnly(SampleAdmission()));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->want_subscriptions);
+
+  HealthRequest extended;
+  extended.admission = SampleAdmission();
+  extended.want_subscriptions = true;
+  Result<HealthRequest> decoded2 =
+      DecodeHealthRequest(EncodeHealthRequest(extended));
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_TRUE(decoded2->want_subscriptions);
+
+  // An unknown extension tag is malformed, not silently skipped.
+  std::string payload = EncodeAdmissionOnly({});
+  payload.push_back('\x07');
+  payload.push_back('\x01');
+  Result<HealthRequest> rejected = DecodeHealthRequest(payload);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, HealthReplySubscriptionSectionRoundTrips) {
+  HealthReply base;
+  base.state = ServerState::kDegraded;
+  base.version = 5;
+  base.last_durable_seq = 3;
+  base.queue_depth = 2;
+  Result<HealthReply> plain = DecodeHealthReply(EncodeHealthReply(base));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_subscriptions);
+
+  HealthReply extended = base;
+  extended.has_subscriptions = true;
+  extended.active_subscriptions = 4;
+  extended.queued_deltas = 11;
+  extended.gap_events = 1;
+  Result<HealthReply> decoded =
+      DecodeHealthReply(EncodeHealthReply(extended));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_subscriptions);
+  EXPECT_EQ(decoded->active_subscriptions, 4u);
+  EXPECT_EQ(decoded->queued_deltas, 11u);
+  EXPECT_EQ(decoded->gap_events, 1u);
+  EXPECT_EQ(decoded->state, ServerState::kDegraded);
+
+  // A truncated subscription section is malformed (all three fields or
+  // none).
+  std::string payload = EncodeHealthReply(extended);
+  Result<HealthReply> torn =
+      DecodeHealthReply(std::string_view(payload).substr(0, payload.size() - 8));
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kInvalidArgument);
+}
+
 // ---- Framing ----------------------------------------------------------------
 
 TEST(ServerCodecTest, FrameRoundTripAndSplicedWalk) {
@@ -308,7 +516,9 @@ TEST(ServerCodecTest, OversizedLengthPrefixRejectedBeforeAllocation) {
 }
 
 TEST(ServerCodecTest, UnknownFrameTypeIsTypedError) {
-  for (uint8_t type : {0, 8, 63, 64, 72, 126, 200, 255}) {
+  // 8/9 and 72..75 became Subscribe/Unsubscribe and the push frames in
+  // DESIGN.md §11; the probe list uses the bytes just past them.
+  for (uint8_t type : {0, 10, 63, 64, 76, 126, 200, 255}) {
     persist::ByteSink sink;
     sink.PutU32(9);
     sink.PutU8(type);
@@ -411,6 +621,67 @@ const NamedDecoder kDecoders[] = {
        return EncodeErrorReply({StatusCode::kDeadlineExceeded, "late"});
      },
      [](std::string_view p) { return DecodeErrorReply(p).status(); }},
+    {"SubscribeRequest",
+     [](SymbolTable* s) {
+       SubscribeRequest r;
+       r.admission = SampleAdmission();
+       r.pattern = Atom(s->Intern("Emp"),
+                        {Term::MakeConstant(s->Intern("dept9")),
+                         Term::MakeVariable(s->InternVar("x"))});
+       r.policy = sub::OverflowPolicy::kCoalesce;
+       r.max_queued = 32;
+       r.resume_from_version = 41;
+       return EncodeSubscribeRequest(r, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodeSubscribeRequest(p, &t).status();
+     }},
+    {"UnsubscribeRequest",
+     [](SymbolTable*) {
+       UnsubscribeRequest r;
+       r.admission = SampleAdmission();
+       r.sub_id = 7;
+       return EncodeUnsubscribeRequest(r);
+     },
+     [](std::string_view p) { return DecodeUnsubscribeRequest(p).status(); }},
+    {"SubscribeReply",
+     [](SymbolTable* s) {
+       SubscribeReply r;
+       r.sub_id = 3;
+       r.version = 12;
+       r.snapshot = {{s->Intern("c0"), s->Intern("c1")}, {s->Intern("c2")}};
+       return EncodeSubscribeReply(r, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodeSubscribeReply(p, &t).status();
+     }},
+    {"UnsubscribeReply",
+     [](SymbolTable*) { return EncodeUnsubscribeReply({true}); },
+     [](std::string_view p) { return DecodeUnsubscribeReply(p).status(); }},
+    {"PushDeltaFrame",
+     [](SymbolTable* s) {
+       PushDeltaFrame f;
+       f.sub_id = 3;
+       f.version = 13;
+       f.inserts = {{s->Intern("c0")}};
+       f.deletes = {{s->Intern("c1")}};
+       return EncodePushDeltaFrame(f, *s);
+     },
+     [](std::string_view p) {
+       SymbolTable t;
+       return DecodePushDeltaFrame(p, &t).status();
+     }},
+    {"SubGapFrame",
+     [](SymbolTable*) {
+       SubGapFrame f;
+       f.sub_id = 3;
+       f.version = 14;
+       f.reason = sub::GapReason::kOverflow;
+       return EncodeSubGapFrame(f);
+     },
+     [](std::string_view p) { return DecodeSubGapFrame(p).status(); }},
 };
 
 TEST(ServerCodecTest, TruncatedPayloadAtEveryOffsetNeverCrashes) {

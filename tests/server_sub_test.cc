@@ -1,0 +1,575 @@
+// Wire-level tests of standing queries & CDC (DESIGN.md §11): the
+// subscribe/snapshot/push handshake over the in-process loopback, bound-
+// argument filtering, derived-predicate streams maintained from induced
+// events, unsubscribe, the two overflow policies (driven deterministically
+// by parking the pusher thread on ServerOptions::pusher_stall_for_test),
+// resume-from-version on reconnect with snapshot fallback, the extended
+// Health probe and StatsJson subscription section, and the client's demux
+// contract (pushes buffered behind an in-flight request; stale replies to
+// abandoned requests skipped instead of desyncing the stream).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "sub/view.h"
+#include "util/strings.h"
+
+namespace deddb::server {
+namespace {
+
+/// A reusable gate the pusher thread blocks on; counts entries so a test
+/// can wait until the pusher holds a popped item (parked) or has already
+/// delivered one (entered again after Open).
+class PusherGate {
+ public:
+  void Block() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++entered_;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+  }
+
+  void Open() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+  void AwaitEntered(int count) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return entered_ >= count; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool open_ = false;
+};
+
+/// base Q/1, base R/1, derived P(x) <- Q(x) & not R(x).
+void DeclareSchema(DeductiveDatabase* db) {
+  ASSERT_TRUE(db->DeclareBase("Q", 1).ok());
+  ASSERT_TRUE(db->DeclareBase("R", 1).ok());
+  ASSERT_TRUE(db->DeclareDerived("P", 1).ok());
+  Term x = db->Variable("x");
+  ASSERT_TRUE(
+      db->AddRule(Rule(db->MakeAtom("P", {x}).value(),
+                       {Literal::Positive(db->MakeAtom("Q", {x}).value()),
+                        Literal::Negative(db->MakeAtom("R", {x}).value())}))
+          .ok());
+}
+
+class ServerSubTest : public ::testing::Test {
+ protected:
+  void Start(ServerOptions options = {}) {
+    DeclareSchema(&db_);
+    server_ = std::make_unique<Server>(&db_, std::move(options));
+    ASSERT_TRUE(server_->Serve(network_.TakeListener()).ok());
+  }
+
+  std::unique_ptr<Client> Connect() {
+    Result<std::unique_ptr<Connection>> conn = network_.Connect();
+    EXPECT_TRUE(conn.ok());
+    return std::make_unique<Client>(std::move(*conn));
+  }
+
+  /// One committed base insert/delete through the server's write path;
+  /// returns the commit version.
+  uint64_t Apply(Client* client, const char* predicate, const char* constant,
+                 bool insert = true) {
+    Transaction txn;
+    Atom fact = client->GroundAtom(predicate, {constant});
+    EXPECT_TRUE((insert ? txn.AddInsert(fact) : txn.AddDelete(fact)).ok());
+    Result<ApplyReply> reply = client->Apply(txn);
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    return reply.ok() ? reply->version : 0;
+  }
+
+  /// Canonical rendering of the server's current answer set for `pattern`,
+  /// queried through `client` so symbol ids match the client's own view.
+  std::string Rederive(Client* client, const Atom& pattern) {
+    Result<QueryReply> reply = client->Query({pattern});
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    sub::SubView oracle;
+    oracle.Reset(reply->version, std::move(reply->answers[0]));
+    return oracle.ToString(client->symbols());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  DeductiveDatabase db_;
+  LoopbackNetwork network_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerSubTest, SnapshotThenIncrementalPushesMatchRederivation) {
+  Start();
+  auto writer = Connect();
+  Apply(writer.get(), "Q", "a0");
+
+  auto subscriber = Connect();
+  Atom pattern = subscriber->MakeAtom("Q", {subscriber->Variable("x")});
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(pattern);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+  EXPECT_FALSE(subscribed->resumed);
+  EXPECT_GT(subscribed->sub_id, 0u);
+  // The snapshot carries the pre-existing fact.
+  ASSERT_EQ(subscribed->snapshot.size(), 1u);
+
+  sub::SubView view;
+  view.Reset(subscribed->version, std::move(subscribed->snapshot));
+
+  const uint64_t v1 = Apply(writer.get(), "Q", "a1");
+  const uint64_t v2 = Apply(writer.get(), "Q", "a0", /*insert=*/false);
+  for (uint64_t expected : {v1, v2}) {
+    Result<Client::PushEvent> push = subscriber->AwaitPush();
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    ASSERT_FALSE(push->is_gap);
+    EXPECT_EQ(push->delta.sub_id, subscribed->sub_id);
+    EXPECT_EQ(push->delta.version, expected);
+    sub::DeltaBatch batch;
+    batch.version = push->delta.version;
+    batch.inserts = std::move(push->delta.inserts);
+    batch.deletes = std::move(push->delta.deletes);
+    ASSERT_TRUE(view.Apply(batch).ok());
+  }
+  // Byte-identity with full re-derivation at the acknowledged version.
+  EXPECT_EQ(view.ToString(subscriber->symbols()),
+            Rederive(subscriber.get(), pattern));
+}
+
+TEST_F(ServerSubTest, BoundArgumentFilterDropsNonMatchingCommits) {
+  Start();
+  auto writer = Connect();
+  auto subscriber = Connect();
+  // Subscribe to Q(watched): only tuples with that constant flow.
+  Atom pattern = subscriber->GroundAtom("Q", {"watched"});
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(pattern);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+  EXPECT_TRUE(subscribed->snapshot.empty());
+
+  Apply(writer.get(), "Q", "other");  // filtered out: no frame at all
+  const uint64_t v2 = Apply(writer.get(), "Q", "watched");
+  Result<Client::PushEvent> push = subscriber->AwaitPush();
+  ASSERT_TRUE(push.ok()) << push.status().ToString();
+  ASSERT_FALSE(push->is_gap);
+  // The first matching frame is v2: v1 pushed nothing (not an empty frame).
+  EXPECT_EQ(push->delta.version, v2);
+  ASSERT_EQ(push->delta.inserts.size(), 1u);
+  EXPECT_EQ(subscriber->symbols().NameOf(push->delta.inserts[0][0]),
+            "watched");
+  EXPECT_EQ(subscriber->pending_pushes(), 0u);
+}
+
+TEST_F(ServerSubTest, DeltasAreResortedIntoTheSubscribersSymbolOrder) {
+  // Symbol ids are table-local: the server sorts a delta's tuple lists by
+  // its own ids, but the subscriber interns the names into a table that may
+  // order them differently. Skew the subscriber's table by interning "zz"
+  // before "aa" (the writer introduces them in the opposite order), so a
+  // two-tuple wire batch arrives locally unsorted unless the decoder
+  // re-sorts — SubView::Apply's merges require sorted input.
+  Start();
+  auto writer = Connect();
+  auto subscriber = Connect();
+  subscriber->GroundAtom("Q", {"zz"});
+  subscriber->GroundAtom("Q", {"aa"});
+  Atom pattern = subscriber->MakeAtom("Q", {subscriber->Variable("x")});
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(pattern);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+  sub::SubView view;
+  view.Reset(subscribed->version, std::move(subscribed->snapshot));
+
+  Transaction ins;
+  ASSERT_TRUE(ins.AddInsert(writer->GroundAtom("Q", {"aa"})).ok());
+  ASSERT_TRUE(ins.AddInsert(writer->GroundAtom("Q", {"zz"})).ok());
+  ASSERT_TRUE(writer->Apply(ins).ok());
+  Transaction del;
+  ASSERT_TRUE(del.AddDelete(writer->GroundAtom("Q", {"aa"})).ok());
+  ASSERT_TRUE(del.AddDelete(writer->GroundAtom("Q", {"zz"})).ok());
+  ASSERT_TRUE(writer->Apply(del).ok());
+
+  for (int i = 0; i < 2; ++i) {
+    Result<Client::PushEvent> push = subscriber->AwaitPush();
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    ASSERT_FALSE(push->is_gap);
+    sub::DeltaBatch batch;
+    batch.version = push->delta.version;
+    batch.inserts = std::move(push->delta.inserts);
+    batch.deletes = std::move(push->delta.deletes);
+    // The decoded lists must be sorted in the *subscriber's* id space.
+    EXPECT_TRUE(std::is_sorted(batch.inserts.begin(), batch.inserts.end()));
+    EXPECT_TRUE(std::is_sorted(batch.deletes.begin(), batch.deletes.end()));
+    Status applied = view.Apply(batch);
+    ASSERT_TRUE(applied.ok()) << applied.ToString();
+  }
+  // The deletes cancelled the inserts exactly; an unsorted merge would have
+  // left phantom tuples behind (or failed the apply outright).
+  EXPECT_EQ(view.size(), 0u);
+  EXPECT_EQ(view.ToString(subscriber->symbols()),
+            Rederive(subscriber.get(), pattern));
+}
+
+TEST_F(ServerSubTest, DerivedSubscriptionStreamsInducedEvents) {
+  Start();
+  auto writer = Connect();
+  auto subscriber = Connect();
+  Atom pattern = subscriber->MakeAtom("P", {subscriber->Variable("x")});
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(pattern);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+  sub::SubView view;
+  view.Reset(subscribed->version, std::move(subscribed->snapshot));
+
+  // ins Q(d) induces ins P(d); ins R(d) then induces del P(d).
+  const uint64_t v1 = Apply(writer.get(), "Q", "d");
+  const uint64_t v2 = Apply(writer.get(), "R", "d");
+  for (uint64_t expected : {v1, v2}) {
+    Result<Client::PushEvent> push = subscriber->AwaitPush();
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    ASSERT_FALSE(push->is_gap);
+    EXPECT_EQ(push->delta.version, expected);
+    sub::DeltaBatch batch;
+    batch.version = push->delta.version;
+    batch.inserts = std::move(push->delta.inserts);
+    batch.deletes = std::move(push->delta.deletes);
+    ASSERT_TRUE(view.Apply(batch).ok());
+  }
+  EXPECT_EQ(view.size(), 0u);  // P(d) appeared and disappeared
+  EXPECT_EQ(view.ToString(subscriber->symbols()),
+            Rederive(subscriber.get(), pattern));
+}
+
+TEST_F(ServerSubTest, UnsubscribeEndsTheStream) {
+  Start();
+  auto writer = Connect();
+  auto subscriber = Connect();
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(
+      subscriber->MakeAtom("Q", {subscriber->Variable("x")}));
+  ASSERT_TRUE(subscribed.ok());
+
+  Result<UnsubscribeReply> gone =
+      subscriber->Unsubscribe(subscribed->sub_id);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->existed);
+  Result<UnsubscribeReply> again =
+      subscriber->Unsubscribe(subscribed->sub_id);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->existed);
+
+  // A commit after the unsubscribe reaches no one.
+  Apply(writer.get(), "Q", "late");
+  Result<HealthReply> health =
+      subscriber->Health({}, /*want_subscriptions=*/true);
+  ASSERT_TRUE(health.ok());
+  ASSERT_TRUE(health->has_subscriptions);
+  EXPECT_EQ(health->active_subscriptions, 0u);
+  EXPECT_EQ(health->queued_deltas, 0u);
+  EXPECT_EQ(subscriber->pending_pushes(), 0u);
+}
+
+TEST_F(ServerSubTest, UnsubscribeIsOwnerScoped) {
+  Start();
+  auto subscriber = Connect();
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(
+      subscriber->MakeAtom("Q", {subscriber->Variable("x")}));
+  ASSERT_TRUE(subscribed.ok());
+  // Another connection guessing the id cannot cancel it.
+  auto intruder = Connect();
+  Result<UnsubscribeReply> foreign =
+      intruder->Unsubscribe(subscribed->sub_id);
+  ASSERT_TRUE(foreign.ok());
+  EXPECT_FALSE(foreign->existed);
+  Result<HealthReply> health =
+      subscriber->Health({}, /*want_subscriptions=*/true);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->active_subscriptions, 1u);
+}
+
+TEST_F(ServerSubTest, SubscribeRejectsUnknownPredicateAndArityMismatch) {
+  Start();
+  auto client = Connect();
+  Result<SubscribeReply> unknown =
+      client->Subscribe(client->MakeAtom("Nope", {client->Variable("x")}));
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  Result<SubscribeReply> fat = client->Subscribe(
+      client->MakeAtom("Q", {client->Variable("x"), client->Variable("y")}));
+  EXPECT_EQ(fat.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerSubTest, PerConnectionSubscriptionQuota) {
+  ServerOptions options;
+  options.max_subscriptions_per_connection = 2;
+  Start(std::move(options));
+  auto client = Connect();
+  Atom pattern = client->MakeAtom("Q", {client->Variable("x")});
+  ASSERT_TRUE(client->Subscribe(pattern).ok());
+  ASSERT_TRUE(client->Subscribe(pattern).ok());
+  Result<SubscribeReply> third = client->Subscribe(pattern);
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  // A different connection has its own quota.
+  auto other = Connect();
+  EXPECT_TRUE(
+      other->Subscribe(other->MakeAtom("Q", {other->Variable("x")})).ok());
+}
+
+TEST_F(ServerSubTest, OverflowDisconnectsWithTerminalGap) {
+  PusherGate gate;
+  ServerOptions options;
+  options.pusher_stall_for_test = [&] { gate.Block(); };
+  Start(std::move(options));
+
+  auto writer = Connect();
+  auto subscriber = Connect();
+  Client::SubscribeOptions sub_options;
+  sub_options.max_queued = 1;
+  sub_options.policy = sub::OverflowPolicy::kDisconnectWithGap;
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(
+      subscriber->MakeAtom("Q", {subscriber->Variable("x")}), sub_options);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+
+  // v1 is popped and held by the parked pusher; v2 fills the queue to its
+  // bound of 1; v3 overflows -> the queue is dropped for a terminal gap.
+  const uint64_t v1 = Apply(writer.get(), "Q", "b1");
+  gate.AwaitEntered(1);
+  Apply(writer.get(), "Q", "b2");
+  const uint64_t v3 = Apply(writer.get(), "Q", "b3");
+  gate.Open();
+
+  Result<Client::PushEvent> first = subscriber->AwaitPush();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE(first->is_gap);
+  EXPECT_EQ(first->delta.version, v1);
+  Result<Client::PushEvent> second = subscriber->AwaitPush();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_TRUE(second->is_gap);
+  EXPECT_EQ(second->gap.reason, sub::GapReason::kOverflow);
+  EXPECT_EQ(second->gap.version, v3);
+  // The gap is terminal: the subscription is gone server-side.
+  Result<HealthReply> health =
+      subscriber->Health({}, /*want_subscriptions=*/true);
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->active_subscriptions, 0u);
+  EXPECT_EQ(health->gap_events, 1u);
+}
+
+TEST_F(ServerSubTest, OverflowCoalesceKeepsAnExactMergedDelta) {
+  PusherGate gate;
+  ServerOptions options;
+  options.pusher_stall_for_test = [&] { gate.Block(); };
+  Start(std::move(options));
+
+  auto writer = Connect();
+  auto subscriber = Connect();
+  Client::SubscribeOptions sub_options;
+  sub_options.max_queued = 1;
+  sub_options.policy = sub::OverflowPolicy::kCoalesce;
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(
+      subscriber->MakeAtom("Q", {subscriber->Variable("x")}), sub_options);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+  sub::SubView view;
+  view.Reset(subscribed->version, std::move(subscribed->snapshot));
+
+  const uint64_t v1 = Apply(writer.get(), "Q", "c1");
+  gate.AwaitEntered(1);  // pusher holds v1
+  Apply(writer.get(), "Q", "c2");
+  const uint64_t v3 = Apply(writer.get(), "Q", "c3");  // merged into v2's
+  gate.Open();
+
+  Result<Client::PushEvent> first = subscriber->AwaitPush();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_FALSE(first->is_gap);
+  EXPECT_EQ(first->delta.version, v1);
+  Result<Client::PushEvent> merged = subscriber->AwaitPush();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_FALSE(merged->is_gap);
+  EXPECT_EQ(merged->delta.version, v3);
+  EXPECT_EQ(merged->delta.inserts.size(), 2u);  // c2 and c3, one batch
+
+  // The coarser delta is still exact: the view tracks re-derivation.
+  for (const auto* event : {&*first, &*merged}) {
+    sub::DeltaBatch batch;
+    batch.version = event->delta.version;
+    batch.inserts = event->delta.inserts;
+    batch.deletes = event->delta.deletes;
+    ASSERT_TRUE(view.Apply(batch).ok());
+  }
+  Atom pattern = subscriber->MakeAtom("Q", {subscriber->Variable("x")});
+  EXPECT_EQ(view.ToString(subscriber->symbols()),
+            Rederive(subscriber.get(), pattern));
+}
+
+TEST_F(ServerSubTest, ResumeFromVersionReplaysMissedDeltas) {
+  Start();
+  auto writer = Connect();
+  // The subscriber is a retrying client (PR 7 surface): after the drop it
+  // re-dials on the next request with its symbol table — and so its
+  // materialized view — intact, which is exactly the resume scenario.
+  ClientOptions client_options;
+  Client subscriber(
+      [this]() -> Result<std::unique_ptr<Connection>> {
+        return network_.Connect();
+      },
+      client_options);
+  Atom pattern = subscriber.MakeAtom("Q", {subscriber.Variable("x")});
+  Result<SubscribeReply> subscribed = subscriber.Subscribe(pattern);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+  sub::SubView view;
+  view.Reset(subscribed->version, std::move(subscribed->snapshot));
+  const uint64_t v1 = Apply(writer.get(), "Q", "r1");
+  Result<Client::PushEvent> push = subscriber.AwaitPush();
+  ASSERT_TRUE(push.ok());
+  ASSERT_FALSE(push->is_gap);
+  {
+    sub::DeltaBatch batch;
+    batch.version = push->delta.version;
+    batch.inserts = std::move(push->delta.inserts);
+    batch.deletes = std::move(push->delta.deletes);
+    ASSERT_TRUE(view.Apply(batch).ok());
+  }
+  ASSERT_EQ(view.version(), v1);
+  // The subscriber's connection drops; commits keep happening.
+  subscriber.Close();
+  const uint64_t v2 = Apply(writer.get(), "Q", "r2");
+  const uint64_t v3 = Apply(writer.get(), "Q", "r1", /*insert=*/false);
+
+  // Resubscribe from the last acknowledged version: the request re-dials,
+  // and the retained CDC log backfills exactly v2 and v3 — no snapshot
+  // round trip.
+  Client::SubscribeOptions resume;
+  resume.resume_from_version = view.version();
+  Result<SubscribeReply> resumed = subscriber.Subscribe(pattern, resume);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->version, v1);
+  EXPECT_TRUE(resumed->snapshot.empty());
+  for (uint64_t expected : {v2, v3}) {
+    Result<Client::PushEvent> replay = subscriber.AwaitPush();
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    ASSERT_FALSE(replay->is_gap);
+    EXPECT_EQ(replay->delta.version, expected);
+    sub::DeltaBatch batch;
+    batch.version = replay->delta.version;
+    batch.inserts = std::move(replay->delta.inserts);
+    batch.deletes = std::move(replay->delta.deletes);
+    ASSERT_TRUE(view.Apply(batch).ok());
+  }
+  EXPECT_EQ(view.ToString(subscriber.symbols()),
+            Rederive(&subscriber, pattern));
+}
+
+TEST_F(ServerSubTest, ResumeBeyondTheWindowFallsBackToSnapshot) {
+  Start();
+  auto writer = Connect();
+  Apply(writer.get(), "Q", "s1");
+  auto subscriber = Connect();
+  Client::SubscribeOptions resume;
+  resume.resume_from_version = 999999;  // ahead of anything committed
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(
+      subscriber->MakeAtom("Q", {subscriber->Variable("x")}), resume);
+  ASSERT_TRUE(subscribed.ok()) << subscribed.status().ToString();
+  EXPECT_FALSE(subscribed->resumed);  // miss -> fresh snapshot
+  EXPECT_EQ(subscribed->snapshot.size(), 1u);
+}
+
+TEST_F(ServerSubTest, HealthAndStatsSurfaceSubscriptionState) {
+  Start();
+  auto subscriber = Connect();
+  // Plain Health carries no subscription section (v1 compatibility).
+  Result<HealthReply> plain = subscriber->Health();
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_subscriptions);
+
+  ASSERT_TRUE(subscriber
+                  ->Subscribe(subscriber->MakeAtom(
+                      "Q", {subscriber->Variable("x")}))
+                  .ok());
+  Result<HealthReply> probed =
+      subscriber->Health({}, /*want_subscriptions=*/true);
+  ASSERT_TRUE(probed.ok());
+  ASSERT_TRUE(probed->has_subscriptions);
+  EXPECT_EQ(probed->active_subscriptions, 1u);
+
+  const std::string json = server_->StatsJson();
+  EXPECT_NE(json.find("\"sub\":{"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"registered_total\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"active\":1"), std::string::npos) << json;
+}
+
+TEST_F(ServerSubTest, PushesArrivingMidRequestAreBufferedNotDesynced) {
+  PusherGate gate;
+  ServerOptions options;
+  options.pusher_stall_for_test = [&] { gate.Block(); };
+  Start(std::move(options));
+
+  auto writer = Connect();
+  auto subscriber = Connect();
+  Result<SubscribeReply> subscribed = subscriber->Subscribe(
+      subscriber->MakeAtom("Q", {subscriber->Variable("x")}));
+  ASSERT_TRUE(subscribed.ok());
+
+  const uint64_t v1 = Apply(writer.get(), "Q", "m1");
+  gate.AwaitEntered(1);  // pusher holds the v1 item, nothing on the wire yet
+  const uint64_t v2 = Apply(writer.get(), "Q", "m2");
+  gate.Open();
+  // The pusher writes v1, then re-enters the (now open) gate with v2 held:
+  // at entry count 2 the v1 frame is already in the subscriber's pipe.
+  gate.AwaitEntered(2);
+
+  // A request issued now reads the buffered push first and must skip past
+  // it to its own reply instead of desyncing.
+  Result<HealthReply> health = subscriber->Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_GE(subscriber->pending_pushes(), 1u);
+
+  // Buffered pushes drain in order, then the stream continues live.
+  for (uint64_t expected : {v1, v2}) {
+    Result<Client::PushEvent> push = subscriber->AwaitPush();
+    ASSERT_TRUE(push.ok()) << push.status().ToString();
+    ASSERT_FALSE(push->is_gap);
+    EXPECT_EQ(push->delta.version, expected);
+  }
+  EXPECT_EQ(subscriber->pending_pushes(), 0u);
+}
+
+TEST_F(ServerSubTest, StaleRepliesToAbandonedRequestsAreSkipped) {
+  Start();
+  auto client = Connect();
+  // Fire a Stats request and abandon its reply on the stream.
+  ASSERT_TRUE(client->SendRaw(FrameType::kStats, "").ok());
+  // The next call must skip the stale StatsOk (lower request id) and find
+  // its own reply — previously this desynced and tore the connection down.
+  Result<HealthReply> health = client->Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(client->unsolicited_skipped(), 1u);
+  EXPECT_NE(client->connection(), nullptr);  // stream intact
+}
+
+TEST_F(ServerSubTest, StopEndsPushDeliveryCleanly) {
+  Start();
+  auto subscriber = Connect();
+  ASSERT_TRUE(subscriber
+                  ->Subscribe(subscriber->MakeAtom(
+                      "Q", {subscriber->Variable("x")}))
+                  .ok());
+  server_->Stop();
+  // The stream ends with a transport failure, not a hang: the subscriber
+  // resubscribes (typically with resume_from_version) after re-dialing.
+  Result<Client::PushEvent> push = subscriber->AwaitPush();
+  EXPECT_FALSE(push.ok());
+  server_.reset();
+}
+
+}  // namespace
+}  // namespace deddb::server
