@@ -1,0 +1,313 @@
+// Perf-P: read scale-out through WAL-shipping replicas (DESIGN.md §12).
+// Two configurations over the same OLTP-shaped load — one durable writer
+// toggling private facts plus a pool of point-query readers:
+//
+//   primary-only   writer and all readers share the primary's server
+//   2-replicas     writer stays on the primary; the readers split across
+//                  two replica servers, each a fresh database tailing the
+//                  primary's WAL feed and serving through its own Server
+//
+// The replica rows also report the steady-state staleness evidence exactly
+// as a client would see it: the replication block of a Health round trip
+// against each replica server (applied_seq / primary horizon / bounded),
+// sampled mid-run while the writer is hot.
+//
+// Plain report binary (like bench_server_qps): prints a table and writes
+// $DEDDB_BENCH_JSON_DIR (default: cwd)/BENCH_repl.json.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "repl/replica.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "util/strings.h"
+
+using namespace deddb;          // NOLINT — report binary brevity
+using namespace deddb::server;  // NOLINT
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kNumConstants = 48;
+constexpr int kReaders = 4;
+constexpr auto kRunFor = std::chrono::milliseconds(400);
+
+struct Row {
+  std::string config;
+  int replicas = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  double seconds = 0;
+  double read_qps = 0;
+  double write_qps = 0;
+  // Mid-run Health evidence averaged across the replica servers (0 for the
+  // primary-only row): how far behind the readers' snapshots were while the
+  // writer was hot, and whether every feed stayed bounded.
+  double mean_lag = 0;
+  bool all_bounded = true;
+};
+
+void Check(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+void DeclareSchema(DeductiveDatabase* db) {
+  Check(db->DeclareBase("Q", 1).status());
+  Check(db->DeclareBase("R", 1).status());
+  Check(db->DeclareView("P", 1).status());
+  Term x = db->Variable("x");
+  Check(db->AddRule(Rule(db->MakeAtom("P", {x}).value(),
+                         {Literal::Positive(db->MakeAtom("Q", {x}).value()),
+                          Literal::Negative(db->MakeAtom("R", {x}).value())})));
+}
+
+/// Seeds the working set through the server so every fact is a WAL record
+/// the replicas replay (schema travels by identical declaration, facts by
+/// feed — the same split the replica chaos matrix uses).
+void SeedFacts(LoopbackNetwork* network) {
+  auto conn = network->Connect();
+  Check(conn.status());
+  Client client(std::move(*conn));
+  for (int i = 0; i < kNumConstants; ++i) {
+    Transaction txn;
+    Check(txn.AddInsert(client.GroundAtom("Q", {StrCat("c", i)})));
+    if (i % 3 == 0) {
+      Check(txn.AddInsert(client.GroundAtom("R", {StrCat("c", i)})));
+    }
+    Check(client.Apply(txn).status());
+  }
+  client.Close();
+}
+
+void ReaderLoop(LoopbackNetwork* network, Clock::time_point deadline,
+                std::atomic<uint64_t>* total_reads,
+                std::atomic<uint64_t>* sink) {
+  auto conn = network->Connect();
+  Check(conn.status());
+  Client client(std::move(*conn));
+  uint64_t reads = 0;
+  uint64_t local_sink = 0;
+  uint64_t op = 0;
+  while (Clock::now() < deadline) {
+    Atom pattern = client.GroundAtom("P", {StrCat("c", op % kNumConstants)});
+    auto reply = client.Query({pattern});
+    Check(reply.status());
+    local_sink += reply->answers[0].size();
+    ++reads;
+    ++op;
+  }
+  total_reads->fetch_add(reads, std::memory_order_relaxed);
+  sink->fetch_add(local_sink, std::memory_order_relaxed);
+  client.Close();
+}
+
+void WriterLoop(LoopbackNetwork* network, Clock::time_point deadline,
+                std::atomic<uint64_t>* total_writes) {
+  auto conn = network->Connect();
+  Check(conn.status());
+  Client client(std::move(*conn));
+  uint64_t writes = 0;
+  bool in_r = false;  // R("w0") starts absent, so insert first
+  while (Clock::now() < deadline) {
+    Transaction txn;
+    Atom fact = client.GroundAtom("R", {"w0"});
+    Check((in_r ? txn.AddDelete(fact) : txn.AddInsert(fact)));
+    in_r = !in_r;
+    Check(client.Apply(txn).status());
+    ++writes;
+  }
+  total_writes->fetch_add(writes, std::memory_order_relaxed);
+  client.Close();
+}
+
+/// One replica stack: a fresh database tailing the primary, fronted by its
+/// own Server on its own loopback network.
+struct ReplicaStack {
+  std::unique_ptr<DeductiveDatabase> db;
+  std::unique_ptr<repl::Replica> replica;
+  LoopbackNetwork network;
+  std::unique_ptr<Server> server;
+};
+
+Row RunOne(int replicas) {
+  Row row;
+  row.config = replicas == 0 ? "primary-only"
+                             : StrCat(replicas, "-replica",
+                                      replicas == 1 ? "" : "s");
+  row.replicas = replicas;
+
+  char tmpl[] = "/tmp/replbenchXXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) {
+    std::perror("mkdtemp");
+    std::exit(1);
+  }
+  std::string dir = tmpl;
+  auto opened = DeductiveDatabase::OpenPersistent(dir);
+  Check(opened.status());
+  std::unique_ptr<DeductiveDatabase> db = std::move(*opened);
+  DeclareSchema(db.get());
+  Check(db->Checkpoint());
+
+  LoopbackNetwork primary_network;
+  Server primary(db.get());
+  Check(primary.Serve(primary_network.TakeListener()));
+  SeedFacts(&primary_network);
+
+  std::vector<std::unique_ptr<ReplicaStack>> stacks;
+  for (int i = 0; i < replicas; ++i) {
+    auto stack = std::make_unique<ReplicaStack>();
+    stack->db = std::make_unique<DeductiveDatabase>();
+    DeclareSchema(stack->db.get());
+    Check(stack->db->EnterReplicaMode());
+    LoopbackNetwork* feed_network = &primary_network;
+    stack->replica = std::make_unique<repl::Replica>(
+        stack->db.get(),
+        [feed_network]() -> Result<std::unique_ptr<Connection>> {
+          return feed_network->Connect();
+        });
+    Check(stack->replica->Start());
+    ServerOptions options;
+    options.replica_status = stack->replica.get();
+    stack->server = std::make_unique<Server>(stack->db.get(), options);
+    Check(stack->server->Serve(stack->network.TakeListener()));
+    stacks.push_back(std::move(stack));
+  }
+  // Let the replicas catch up on the seed facts before the clock starts.
+  for (const auto& stack : stacks) {
+    while (stack->replica->replica_status().applied_seq <
+           static_cast<uint64_t>(kNumConstants)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  std::atomic<uint64_t> total_reads{0};
+  std::atomic<uint64_t> total_writes{0};
+  std::atomic<uint64_t> sink{0};
+
+  auto start = Clock::now();
+  auto deadline = start + kRunFor;
+  std::vector<std::thread> workers;
+  workers.emplace_back(WriterLoop, &primary_network, deadline, &total_writes);
+  for (int r = 0; r < kReaders; ++r) {
+    // Readers split round-robin across the replica servers (or all hit the
+    // primary in the baseline).
+    LoopbackNetwork* network =
+        replicas == 0 ? &primary_network : &stacks[r % replicas]->network;
+    workers.emplace_back(ReaderLoop, network, deadline, &total_reads, &sink);
+  }
+
+  // Mid-run, sample each replica's staleness evidence the way a client
+  // would: a Health round trip, reading the replication block.
+  std::this_thread::sleep_for(kRunFor / 2);
+  uint64_t lag_sum = 0;
+  for (const auto& stack : stacks) {
+    auto conn = stack->network.Connect();
+    Check(conn.status());
+    Client client(std::move(*conn));
+    auto health = client.Health();
+    Check(health.status());
+    if (!health->has_replication) {
+      std::fprintf(stderr, "replica Health carried no replication block\n");
+      std::exit(1);
+    }
+    lag_sum += health->primary_last_durable_seq > health->applied_seq
+                   ? health->primary_last_durable_seq - health->applied_seq
+                   : 0;
+    row.all_bounded = row.all_bounded && health->feed_bounded;
+    client.Close();
+  }
+  if (replicas > 0) row.mean_lag = static_cast<double>(lag_sum) / replicas;
+
+  for (std::thread& worker : workers) worker.join();
+  auto end = Clock::now();
+
+  for (const auto& stack : stacks) {
+    stack->server->Stop();
+    stack->replica->Stop();
+  }
+  primary.Stop();
+  Check(db->Close());
+  db.reset();
+  std::string cmd = StrCat("rm -rf ", dir);
+  if (std::system(cmd.c_str()) != 0) std::exit(1);
+
+  row.reads = total_reads.load();
+  row.writes = total_writes.load();
+  row.seconds = std::chrono::duration<double>(end - start).count();
+  row.read_qps = row.reads / row.seconds;
+  row.write_qps = row.writes / row.seconds;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Replica read scale-out: 1 durable writer + %d point-query readers\n"
+      "(%d constants, %lld ms per config, %u hardware threads)\n",
+      kReaders, kNumConstants, static_cast<long long>(kRunFor.count()),
+      std::thread::hardware_concurrency());
+  std::printf("%14s %10s %10s %12s %12s %10s %10s\n", "config", "reads",
+              "writes", "reads/s", "writes/s", "mean_lag", "bounded");
+
+  std::vector<Row> rows;
+  for (int replicas : {0, 2}) {
+    Row row = RunOne(replicas);
+    std::printf("%14s %10llu %10llu %12.0f %12.0f %10.1f %10s\n",
+                row.config.c_str(),
+                static_cast<unsigned long long>(row.reads),
+                static_cast<unsigned long long>(row.writes), row.read_qps,
+                row.write_qps, row.mean_lag,
+                row.all_bounded ? "yes" : "NO");
+    rows.push_back(row);
+  }
+
+  const double speedup =
+      rows[0].read_qps > 0 ? rows[1].read_qps / rows[0].read_qps : 0;
+  std::printf("aggregate read speedup (2 replicas vs primary-only): %.2fx\n",
+              speedup);
+
+  const char* json_dir = std::getenv("DEDDB_BENCH_JSON_DIR");
+  std::string json_path =
+      StrCat(json_dir != nullptr ? json_dir : ".", "/BENCH_repl.json");
+  std::string out = StrCat(
+      "{\"bench\":\"replica_lag\",\"constants\":", kNumConstants,
+      ",\"readers\":", kReaders,
+      ",\"hardware_threads\":", std::thread::hardware_concurrency(),
+      ",\"read_speedup_2_replicas\":", speedup, ",\"rows\":[");
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat("{\"config\":\"", row.config,
+                  "\",\"replicas\":", row.replicas, ",\"reads\":", row.reads,
+                  ",\"writes\":", row.writes, ",\"seconds\":", row.seconds,
+                  ",\"read_qps\":", row.read_qps,
+                  ",\"write_qps\":", row.write_qps,
+                  ",\"mean_lag\":", row.mean_lag, ",\"all_bounded\":",
+                  row.all_bounded ? "true" : "false", "}");
+  }
+  out += "]}\n";
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("JSON report: %s\n", json_path.c_str());
+  return 0;
+}

@@ -125,38 +125,7 @@ Result<std::unique_ptr<DeductiveDatabase>> DeductiveDatabase::OpenPersistent(
   // the state at the crash. persistence_ is still null here, which is what
   // keeps replayed commits from being logged a second time.
   for (const persist::WalRecord& record : records) {
-    if (record.origin == persist::CommitOrigin::kDirect) {
-      Status status = db->ApplyUnlogged(record.transaction);
-      if (!status.ok()) {
-        return CorruptionError(
-            StrCat("replaying logged transaction ", record.seq,
-                   " failed (was the schema checkpointed before "
-                   "committing?): ", status.ToString()));
-      }
-    } else {
-      UpdateProcessor processor(db.get());
-      Result<UpdateProcessor::TransactionReport> report =
-          processor.ProcessTransaction(record.transaction, /*apply=*/true);
-      if (!report.ok()) {
-        return CorruptionError(
-            StrCat("replaying logged transaction ", record.seq,
-                   " failed (was the schema checkpointed before "
-                   "committing?): ", report.status().ToString()));
-      }
-      if (!report->accepted) {
-        // The record was only written after the original pass accepted it.
-        return CorruptionError(
-            StrCat("logged transaction ", record.seq,
-                   " was rejected on replay; the log does not match the "
-                   "snapshot"));
-      }
-    }
-    if (record.token.present()) {
-      // Re-arm the exactly-once memory: a client retrying across the crash
-      // must still get a dedup hit, not a second apply.
-      std::lock_guard<std::mutex> lock(db->commit_mu_);
-      db->dedup_.Record(record.token, db->version_);
-    }
+    DEDDB_RETURN_IF_ERROR(db->ReplayWalRecord(record));
   }
   DEDDB_RETURN_IF_ERROR(manager->OpenLogForAppend());
   db->persistence_ = std::move(manager);
@@ -183,8 +152,100 @@ Status DeductiveDatabase::Close() {
   return status;
 }
 
+Status DeductiveDatabase::ReplayWalRecord(const persist::WalRecord& record) {
+  if (record.origin == persist::CommitOrigin::kDirect) {
+    Status status = ApplyUnlogged(record.transaction);
+    if (!status.ok()) {
+      return CorruptionError(
+          StrCat("replaying logged transaction ", record.seq,
+                 " failed (was the schema checkpointed before "
+                 "committing?): ", status.ToString()));
+    }
+  } else {
+    UpdateProcessor processor(this);
+    Result<UpdateProcessor::TransactionReport> report =
+        processor.ProcessTransaction(record.transaction, /*apply=*/true);
+    if (!report.ok()) {
+      return CorruptionError(
+          StrCat("replaying logged transaction ", record.seq,
+                 " failed (was the schema checkpointed before "
+                 "committing?): ", report.status().ToString()));
+    }
+    if (!report->accepted) {
+      // The record was only written after the original pass accepted it.
+      return CorruptionError(
+          StrCat("logged transaction ", record.seq,
+                 " was rejected on replay; the log does not match the "
+                 "snapshot"));
+    }
+  }
+  if (record.token.present()) {
+    // Re-arm the exactly-once memory: a client retrying across the crash
+    // (or failing over to a replica) must still get a dedup hit, not a
+    // second apply.
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    dedup_.Record(record.token, version_);
+  }
+  return Status::Ok();
+}
+
+Status DeductiveDatabase::ReplicaRefusal() const {
+  return FailedPreconditionError(
+      "read-only replica: local mutation refused; write to the primary");
+}
+
+Status DeductiveDatabase::EnterReplicaMode() {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  if (replica_mode_.load(std::memory_order_relaxed)) {
+    return FailedPreconditionError("already in replica mode");
+  }
+  DEDDB_RETURN_IF_ERROR(commit_health_);
+  if (persistence_ != nullptr) {
+    // Seeded from a copied primary checkpoint: the replay cursor starts at
+    // the recovered sequence. The manager is dropped without a checkpoint —
+    // a replica never writes locally, and its sequence numbers are the
+    // primary's, which local logging could not reproduce (aborted sequences
+    // leave gaps a local LogCommit would re-use).
+    replica_applied_seq_.store(persistence_->stats().last_seq,
+                               std::memory_order_release);
+    persistence_.reset();
+  }
+  replica_mode_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+Result<uint64_t> DeductiveDatabase::ApplyReplicated(
+    std::string_view wal_payload) {
+  if (!replica_mode()) {
+    return FailedPreconditionError(
+        "ApplyReplicated requires EnterReplicaMode()");
+  }
+  // One applier at a time: the replay of a processor record takes the
+  // commit lock per phase, so commit_mu_ alone cannot order two appliers.
+  std::lock_guard<std::mutex> apply_lock(replica_apply_mu_);
+  DEDDB_ASSIGN_OR_RETURN(
+      persist::WalRecord record,
+      persist::DecodeWalRecordPayload(wal_payload, &db_.symbols()));
+  if (record.type != persist::RecordType::kCommit) {
+    return CorruptionError(StrCat(
+        "the feed shipped a non-commit record (seq ", record.seq,
+        "); aborted commits are filtered on the primary"));
+  }
+  const uint64_t applied = replica_applied_seq();
+  if (record.seq <= applied) {
+    return FailedPreconditionError(
+        StrCat("replicated record ", record.seq,
+               " is not ahead of the applied cursor ", applied,
+               "; resume the feed from the cursor"));
+  }
+  DEDDB_RETURN_IF_ERROR(ReplayWalRecord(record));
+  replica_applied_seq_.store(record.seq, std::memory_order_release);
+  return version();
+}
+
 Result<SymbolId> DeductiveDatabase::DeclareBase(std::string_view name,
                                                 size_t arity) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
@@ -194,6 +255,7 @@ Result<SymbolId> DeductiveDatabase::DeclareBase(std::string_view name,
 
 Result<SymbolId> DeductiveDatabase::DeclareDerived(std::string_view name,
                                                    size_t arity) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
@@ -203,6 +265,7 @@ Result<SymbolId> DeductiveDatabase::DeclareDerived(std::string_view name,
 
 Result<SymbolId> DeductiveDatabase::DeclareView(std::string_view name,
                                                 size_t arity) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
@@ -212,6 +275,7 @@ Result<SymbolId> DeductiveDatabase::DeclareView(std::string_view name,
 
 Result<SymbolId> DeductiveDatabase::DeclareConstraint(std::string_view name,
                                                       size_t arity) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
@@ -221,6 +285,7 @@ Result<SymbolId> DeductiveDatabase::DeclareConstraint(std::string_view name,
 
 Result<SymbolId> DeductiveDatabase::DeclareCondition(std::string_view name,
                                                      size_t arity) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
@@ -229,6 +294,7 @@ Result<SymbolId> DeductiveDatabase::DeclareCondition(std::string_view name,
 }
 
 Status DeductiveDatabase::AddRule(Rule rule) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateCompiled();
   MarkMutatedLocked();
@@ -242,6 +308,7 @@ Status DeductiveDatabase::AddRule(Rule rule) {
 }
 
 Status DeductiveDatabase::AddFact(const Atom& ground_atom) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateDomain();
   MarkMutatedLocked();
@@ -250,6 +317,7 @@ Status DeductiveDatabase::AddFact(const Atom& ground_atom) {
 }
 
 Status DeductiveDatabase::RemoveFact(const Atom& ground_atom) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   InvalidateDomain();
   MarkMutatedLocked();
@@ -258,6 +326,7 @@ Status DeductiveDatabase::RemoveFact(const Atom& ground_atom) {
 }
 
 Status DeductiveDatabase::MaterializeView(SymbolId view) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   MarkMutatedLocked();
   NotifyBarrierLocked();
@@ -334,6 +403,7 @@ Status DeductiveDatabase::commit_health() const {
 
 Status DeductiveDatabase::ApplyInternal(const Transaction& transaction,
                                         const persist::CommitToken& token) {
+  if (replica_mode()) return ReplicaRefusal();
   const obs::ObsContext obs = observability();
   std::unique_lock<std::mutex> lock(commit_mu_, std::try_to_lock);
   if (!lock.owns_lock()) {
@@ -384,6 +454,8 @@ Status DeductiveDatabase::ApplyInternal(const Transaction& transaction,
                durable.ToString(), "); reopen the database to re-converge"));
     return commit_health_;
   }
+  // Durable and irrevocable: expose the record to the replica feed.
+  persistence_->MarkSettled(prepared.seq);
   return Status::Ok();
 }
 
@@ -518,6 +590,7 @@ Result<problems::ConditionChanges> DeductiveDatabase::MonitorConditions(
 }
 
 Status DeductiveDatabase::InitializeMaterializedViews() {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   MarkMutatedLocked();
   NotifyBarrierLocked();
@@ -527,6 +600,7 @@ Status DeductiveDatabase::InitializeMaterializedViews() {
 Result<problems::ViewMaintenanceResult>
 DeductiveDatabase::MaintainMaterializedViews(const Transaction& transaction,
                                              bool apply) {
+  if (apply && replica_mode()) return ReplicaRefusal();
   // Compiled() takes the (non-recursive) commit lock itself: resolve it
   // before locking for the view-store mutation.
   DEDDB_ASSIGN_OR_RETURN(const CompiledEvents* compiled, Compiled());
@@ -553,6 +627,7 @@ Result<DerivedEvents> DeductiveDatabase::SimulateRuleUpdate(
 }
 
 Status DeductiveDatabase::ApplyRuleUpdate(const problems::RuleUpdate& update) {
+  if (replica_mode()) return ReplicaRefusal();
   std::lock_guard<std::mutex> lock(commit_mu_);
   DEDDB_RETURN_IF_ERROR(problems::ApplyRuleUpdate(&db_, update));
   InvalidateCompiled();

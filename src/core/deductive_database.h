@@ -88,6 +88,40 @@ class DeductiveDatabase {
   /// commits from being re-logged).
   persist::PersistenceManager* persistence() { return persistence_.get(); }
 
+  // ---- Replication (src/repl/, DESIGN.md §12) ------------------------------
+
+  /// Switches this database into a read-only replica: every local mutator
+  /// (schema, rules, facts, Apply, rule updates) fails with
+  /// kFailedPrecondition from here on, and ApplyReplicated becomes the only
+  /// way state changes — shipped WAL records replayed through the same path
+  /// recovery takes. On a database opened with OpenPersistent (a copied
+  /// primary checkpoint), the persistence manager is detached first — a
+  /// replica never logs locally, so replayed commits keep their primary
+  /// sequence numbers — and the replay cursor starts at the recovered
+  /// sequence; on an in-memory database (schema declared by the caller) it
+  /// starts at zero. Irreversible for this object.
+  Status EnterReplicaMode();
+  bool replica_mode() const {
+    return replica_mode_.load(std::memory_order_acquire);
+  }
+
+  /// Applies one shipped WAL commit payload (the EncodeCommitPayload bytes a
+  /// ReplicaFeed delivers) through the recovery replay path: direct commits
+  /// via the unlogged apply, processor commits re-deriving their view deltas,
+  /// tokens re-armed in the dedup table. Enforces a strictly increasing
+  /// sequence (a duplicate or reordered record is kFailedPrecondition — the
+  /// feed resumes from replica_applied_seq(), so it never legitimately
+  /// re-delivers). Structural damage in the payload is kCorruption; a record
+  /// the replica's state rejects (divergence) is kCorruption too. Returns
+  /// the commit version after the apply. Serialized internally; safe to call
+  /// concurrently with BeginSession.
+  Result<uint64_t> ApplyReplicated(std::string_view wal_payload);
+
+  /// Highest primary sequence number applied (the feed's resume cursor).
+  uint64_t replica_applied_seq() const {
+    return replica_applied_seq_.load(std::memory_order_acquire);
+  }
+
   // ---- Snapshot sessions (src/core/session.h, DESIGN.md §9) ---------------
 
   /// Opens a snapshot-isolated read session pinned to the current committed
@@ -301,6 +335,15 @@ class DeductiveDatabase {
   Status ApplyInternal(const Transaction& transaction,
                        const persist::CommitToken& token);
 
+  /// Replays one committed WAL record through the path that produced it —
+  /// the shared body of OpenPersistent's recovery loop and ApplyReplicated.
+  /// Failures (a transaction the current state rejects) are kCorruption:
+  /// the log/feed does not match the state it is being applied to.
+  Status ReplayWalRecord(const persist::WalRecord& record);
+
+  /// The typed refusal every local mutator returns in replica mode.
+  Status ReplicaRefusal() const;
+
   /// Apply without logging: the in-memory mutation shared by the public
   /// Apply (which logs first), UpdateProcessor (which logs with kProcessor
   /// origin before calling this), and WAL replay. Takes the commit lock.
@@ -393,6 +436,16 @@ class DeductiveDatabase {
   CommitDedup dedup_;
   // CDC hook (DESIGN.md §11); invoked under commit_mu_, never owned here.
   CommitObserver* commit_observer_ = nullptr;
+
+  // ---- Replica mode (DESIGN.md §12) ---------------------------------------
+  // Atomic so mutators can gate without widening any lock's hold time and
+  // status accessors stay lock-free for the serving path.
+  std::atomic<bool> replica_mode_{false};
+  std::atomic<uint64_t> replica_applied_seq_{0};
+  // Serializes ApplyReplicated callers (the feed tail thread; the commit
+  // lock alone cannot, because replay of processor records takes it
+  // internally per phase).
+  std::mutex replica_apply_mu_;
 };
 
 }  // namespace deddb

@@ -11,6 +11,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/crc32.h"
 #include "util/resource_guard.h"
 #include "util/strings.h"
 
@@ -77,6 +78,8 @@ Status PersistenceManager::RestoreSnapshotInto(Database* db) {
   std::lock_guard<std::mutex> lock(mu_);
   snapshot_seq_ = loaded->last_seq;
   last_seq_ = loaded->last_seq;
+  retained_floor_ = loaded->last_seq;
+  MarkSettled(loaded->last_seq);
   return Status::Ok();
 }
 
@@ -128,6 +131,10 @@ Result<std::vector<WalRecord>> PersistenceManager::ReadLogForRecovery(
 
 Status PersistenceManager::OpenLogForAppend() {
   std::lock_guard<std::mutex> lock(mu_);
+  // Everything recovery replayed has a final fate, so the whole recovered
+  // prefix is shippable; the retained window starts empty above it.
+  retained_floor_ = last_seq_;
+  MarkSettled(last_seq_);
   WalWriter::Options wal_options{options_.group_commit};
   if (wal_existed_) {
     DEDDB_ASSIGN_OR_RETURN(
@@ -165,6 +172,16 @@ Result<PersistenceManager::PreparedCommit> PersistenceManager::PrepareCommit(
   prepared.writer = writer_;
   std::string payload =
       EncodeCommitPayload(prepared.seq, origin, txn, symbols, token);
+  {
+    // Stage the record for the replica feed's fast path. Staging an
+    // ultimately non-durable record is harmless: it never settles, so the
+    // feed's horizon filter skips it.
+    RetainedRecord retained;
+    retained.seq = prepared.seq;
+    retained.crc = Crc32(payload);
+    retained.payload = payload;
+    RetainLocked(std::move(retained));
+  }
   if (options_.group_commit) {
     DEDDB_ASSIGN_OR_RETURN(prepared.ticket,
                            writer_->Enqueue(std::move(payload)));
@@ -210,6 +227,16 @@ Status PersistenceManager::LogAbort(uint64_t seq, obs::ObsContext obs) {
   last_seq_ = abort_seq;
   ++stats_.aborts_logged;
   obs::MetricsRegistry::Add(obs.metrics, "persist.aborts_logged");
+  // The rolled-back commit's fate is now durable, which settles both
+  // records: the feed may ship past them (skipping the aborted commit).
+  {
+    RetainedRecord retained;
+    retained.seq = abort_seq;
+    retained.is_abort = true;
+    retained.aborted_seq = seq;
+    RetainLocked(std::move(retained));
+  }
+  MarkSettled(abort_seq);
   return Status::Ok();
 }
 
@@ -251,6 +278,118 @@ Status PersistenceManager::Sync(obs::ObsContext obs) {
   std::lock_guard<std::mutex> lock(mu_);
   if (writer_ == nullptr) return Status::Ok();
   return writer_->Sync(obs);
+}
+
+// ---- Replica feed -----------------------------------------------------------
+
+void PersistenceManager::MarkSettled(uint64_t seq) {
+  uint64_t current = settled_seq_.load(std::memory_order_relaxed);
+  while (current < seq &&
+         !settled_seq_.compare_exchange_weak(current, seq,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t PersistenceManager::settled_seq() const {
+  return settled_seq_.load(std::memory_order_acquire);
+}
+
+void PersistenceManager::RetainLocked(RetainedRecord record) {
+  if (options_.feed_retain_records == 0) {
+    retained_floor_ = record.seq;
+    return;
+  }
+  retained_bytes_ += record.payload.size();
+  retained_.push_back(std::move(record));
+  while (retained_.size() > options_.feed_retain_records ||
+         (retained_bytes_ > options_.feed_retain_bytes &&
+          retained_.size() > 1)) {
+    retained_floor_ = retained_.front().seq;
+    retained_bytes_ -= retained_.front().payload.size();
+    retained_.pop_front();
+  }
+}
+
+Result<PersistenceManager::FeedBatch> PersistenceManager::ReadFeedRecords(
+    uint64_t from_seq, size_t max_records, size_t max_bytes) {
+  if (max_records == 0) max_records = SIZE_MAX;
+  if (max_bytes == 0) max_bytes = SIZE_MAX;
+  // The horizon is read *before* the ring/file, so every settled record at
+  // or below it is already staged where we are about to look: a commit
+  // settles only after its bytes are staged, and an aborted commit's abort
+  // marker is durable (and staged) before any later sequence settles.
+  const uint64_t horizon = settled_seq();
+  FeedBatch batch;
+  batch.last_durable_seq = horizon;
+  if (from_seq >= horizon) return batch;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (from_seq >= retained_floor_) {
+      // Fast path: the retained window covers everything after from_seq.
+      // The abort set is collected over the whole horizon first, so a
+      // max_records cutoff can never ship a commit whose abort it has not
+      // seen yet.
+      std::unordered_set<uint64_t> aborted;
+      for (const RetainedRecord& record : retained_) {
+        if (record.seq > horizon) break;
+        if (record.is_abort) aborted.insert(record.aborted_seq);
+      }
+      size_t bytes = 0;
+      for (const RetainedRecord& record : retained_) {
+        if (record.seq > horizon) break;
+        if (record.seq <= from_seq || record.is_abort ||
+            aborted.count(record.seq) > 0) {
+          continue;
+        }
+        if (!batch.records.empty() &&
+            (batch.records.size() >= max_records ||
+             bytes + record.payload.size() > max_bytes)) {
+          break;
+        }
+        bytes += record.payload.size();
+        batch.records.push_back(
+            FeedRecord{record.seq, record.crc, record.payload});
+      }
+      return batch;
+    }
+  }
+
+  // Slow path: the replica is further behind than the retained window —
+  // re-scan the log file (no symbol interning, raw frames).
+  DEDDB_ASSIGN_OR_RETURN(RawWalContents contents,
+                         ReadWalRaw(wal_path(), from_seq));
+  if (from_seq < contents.base_seq) {
+    return NotFoundError(StrCat(
+        "feed history truncated: records after sequence ", from_seq,
+        " were requested but the log starts at ", contents.base_seq,
+        "; re-seed the replica from a snapshot"));
+  }
+  std::unordered_set<uint64_t> aborted;
+  for (const RawWalRecord& record : contents.records) {
+    if (record.header.seq > horizon) break;
+    if (record.header.type == RecordType::kAbort) {
+      aborted.insert(record.header.aborted_seq);
+    }
+  }
+  size_t bytes = 0;
+  for (RawWalRecord& record : contents.records) {
+    if (record.header.seq > horizon) break;
+    if (record.header.type != RecordType::kCommit ||
+        aborted.count(record.header.seq) > 0) {
+      continue;
+    }
+    if (!batch.records.empty() &&
+        (batch.records.size() >= max_records ||
+         bytes + record.payload.size() > max_bytes)) {
+      break;
+    }
+    bytes += record.payload.size();
+    batch.records.push_back(
+        FeedRecord{record.header.seq, record.crc, std::move(record.payload)});
+  }
+  return batch;
 }
 
 PersistenceManager::Stats PersistenceManager::stats() const {

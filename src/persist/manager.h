@@ -1,7 +1,9 @@
 #ifndef DEDDB_PERSIST_MANAGER_H_
 #define DEDDB_PERSIST_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,6 +35,11 @@ class PersistenceManager {
  public:
   struct Options {
     bool group_commit = true;
+    /// Records kept in memory for the replica feed's fast path (by count and
+    /// by payload bytes); a replica further behind than the retained window
+    /// is served by re-scanning the log file. 0 disables retention.
+    size_t feed_retain_records = 4096;
+    size_t feed_retain_bytes = 4u << 20;
   };
 
   struct Stats {
@@ -120,6 +127,44 @@ class PersistenceManager {
   /// returns only after its record is durable).
   Status Sync(obs::ObsContext obs);
 
+  // ---- Replica feed (DESIGN.md §12) ----------------------------------------
+
+  /// One shippable commit record: the exact payload bytes framed on disk
+  /// plus the frame checksum, so the receiving side re-verifies the same CRC
+  /// that protected the primary's log.
+  struct FeedRecord {
+    uint64_t seq = 0;
+    uint32_t crc = 0;
+    std::string payload;
+  };
+
+  struct FeedBatch {
+    /// Settled horizon at read time: every commit with seq at or below it
+    /// has a decided fate (shipped here if committed, filtered if aborted).
+    /// This is the `primary_last_durable_seq` of the staleness contract.
+    uint64_t last_durable_seq = 0;
+    std::vector<FeedRecord> records;  // commits only, seq strictly increasing
+  };
+
+  /// Raises the settled watermark to `seq` (monotone). A record is settled
+  /// once its fate is final: a direct commit after its fsync succeeded, a
+  /// processor commit once accepted, an abort record once durable. Only
+  /// settled records ship — a commit that could still be retroactively
+  /// aborted never reaches a replica.
+  void MarkSettled(uint64_t seq);
+  uint64_t settled_seq() const;
+
+  /// Returns committed records with `from_seq < seq <= settled_seq()`, up to
+  /// `max_records`/`max_bytes` (at least one record is returned when any
+  /// qualifies, even if it alone exceeds max_bytes). Aborted commits and
+  /// abort markers are filtered out, mirroring ReadLogForRecovery. Served
+  /// from the in-memory retained window when it covers `from_seq`, else by
+  /// re-scanning the log file. kNotFound when `from_seq` predates the log's
+  /// base (a checkpoint truncated the history away — the replica must
+  /// re-seed from a snapshot).
+  Result<FeedBatch> ReadFeedRecords(uint64_t from_seq, size_t max_records,
+                                    size_t max_bytes);
+
   Stats stats() const;
   const std::string& dir() const { return dir_; }
   std::string snapshot_path() const;
@@ -128,6 +173,20 @@ class PersistenceManager {
  private:
   PersistenceManager(std::string dir, Options options)
       : dir_(std::move(dir)), options_(options) {}
+
+  /// One entry of the retained feed window (commits and abort markers both,
+  /// so the read path can filter retained commits by retained aborts).
+  struct RetainedRecord {
+    uint64_t seq = 0;
+    bool is_abort = false;
+    uint64_t aborted_seq = 0;  // abort markers only
+    uint32_t crc = 0;          // commits only
+    std::string payload;       // commits only
+  };
+
+  /// Appends to the retained window, evicting from the front past the
+  /// configured bounds (mu_ held).
+  void RetainLocked(RetainedRecord record);
 
   std::string dir_;
   Options options_;
@@ -140,6 +199,15 @@ class PersistenceManager {
   uint64_t recovered_wal_size_ = 0;  // valid prefix found by recovery
   bool wal_existed_ = false;
   Stats stats_;
+
+  /// Settled watermark (fetch-max). Atomic so the feed's long-poll check is
+  /// a single relaxed load with no lock.
+  std::atomic<uint64_t> settled_seq_{0};
+  /// Retained window: every record with seq > retained_floor_ that has been
+  /// staged since open, newest at the back (older ones evicted by bounds).
+  std::deque<RetainedRecord> retained_;
+  uint64_t retained_floor_ = 0;
+  size_t retained_bytes_ = 0;
 };
 
 }  // namespace deddb::persist

@@ -68,8 +68,10 @@ std::string EncodeHeader(uint64_t base_seq) {
   return sink.Take();
 }
 
-Result<WalRecord> DecodePayload(std::string_view payload,
-                                SymbolTable* symbols) {
+}  // namespace
+
+Result<WalRecord> DecodeWalRecordPayload(std::string_view payload,
+                                         SymbolTable* symbols) {
   ByteSource source(payload);
   WalRecord record;
   DEDDB_ASSIGN_OR_RETURN(uint8_t type, source.GetU8());
@@ -116,7 +118,38 @@ Result<WalRecord> DecodePayload(std::string_view payload,
   return record;
 }
 
-}  // namespace
+Result<WalRecordHeader> PeekWalRecordHeader(std::string_view payload) {
+  ByteSource source(payload);
+  WalRecordHeader header;
+  uint8_t type = 0;
+  {
+    Result<uint8_t> got = source.GetU8();
+    if (!got.ok()) return CorruptionError("WAL record shorter than its type");
+    type = *got;
+  }
+  {
+    Result<uint64_t> got = source.GetU64();
+    if (!got.ok()) return CorruptionError("WAL record shorter than its seq");
+    header.seq = *got;
+  }
+  switch (type) {
+    case static_cast<uint8_t>(RecordType::kCommit):
+      header.type = RecordType::kCommit;
+      break;
+    case static_cast<uint8_t>(RecordType::kAbort): {
+      header.type = RecordType::kAbort;
+      Result<uint64_t> got = source.GetU64();
+      if (!got.ok()) {
+        return CorruptionError("WAL abort record shorter than aborted_seq");
+      }
+      header.aborted_seq = *got;
+      break;
+    }
+    default:
+      return CorruptionError(StrCat("unknown WAL record type ", int{type}));
+  }
+  return header;
+}
 
 std::string EncodeCommitPayload(uint64_t seq, CommitOrigin origin,
                                 const Transaction& txn,
@@ -143,7 +176,9 @@ std::string EncodeAbortPayload(uint64_t seq, uint64_t aborted_seq) {
   return sink.Take();
 }
 
-Result<WalContents> ReadWal(const std::string& path, SymbolTable* symbols) {
+namespace {
+
+Result<std::string> ReadFileAll(const std::string& path) {
   int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     if (errno == ENOENT) {
@@ -164,6 +199,13 @@ Result<WalContents> ReadWal(const std::string& path, SymbolTable* symbols) {
     data.append(buffer, static_cast<size_t>(n));
   }
   ::close(fd);
+  return data;
+}
+
+}  // namespace
+
+Result<WalContents> ReadWal(const std::string& path, SymbolTable* symbols) {
+  DEDDB_ASSIGN_OR_RETURN(std::string data, ReadFileAll(path));
 
   WalContents contents;
   if (data.size() < kWalHeaderSize) {
@@ -214,7 +256,8 @@ Result<WalContents> ReadWal(const std::string& path, SymbolTable* symbols) {
     }
     // The checksum passed, so these are the bytes that were written; a
     // structural failure now is corruption regardless of position.
-    DEDDB_ASSIGN_OR_RETURN(WalRecord record, DecodePayload(payload, symbols));
+    DEDDB_ASSIGN_OR_RETURN(WalRecord record,
+                           DecodeWalRecordPayload(payload, symbols));
     if (record.seq <= contents.base_seq ||
         (!contents.records.empty() &&
          record.seq <= contents.records.back().seq)) {
@@ -227,6 +270,67 @@ Result<WalContents> ReadWal(const std::string& path, SymbolTable* symbols) {
     contents.valid_bytes = pos;
   }
   contents.torn_tail = contents.valid_bytes < data.size();
+  return contents;
+}
+
+Result<RawWalContents> ReadWalRaw(const std::string& path,
+                                  uint64_t from_seq) {
+  DEDDB_ASSIGN_OR_RETURN(std::string data, ReadFileAll(path));
+
+  RawWalContents contents;
+  if (data.size() < kWalHeaderSize) return contents;  // interrupted creation
+  {
+    ByteSource header(std::string_view(data).substr(0, kWalHeaderSize));
+    for (char expected : kWalMagic) {
+      auto c = header.GetU8();
+      if (!c.ok() || static_cast<char>(*c) != expected) {
+        return CorruptionError(StrCat("'", path, "' is not a deddb WAL file"));
+      }
+    }
+    DEDDB_ASSIGN_OR_RETURN(contents.base_seq, header.GetU64());
+    DEDDB_ASSIGN_OR_RETURN(uint32_t crc, header.GetU32());
+    if (crc != Crc32(std::string_view(data).substr(0, kWalHeaderSize - 4))) {
+      return CorruptionError(StrCat("WAL header checksum mismatch in '",
+                                    path, "'"));
+    }
+  }
+
+  size_t pos = kWalHeaderSize;
+  uint64_t last_seq = contents.base_seq;
+  while (pos < data.size()) {
+    if (data.size() - pos < kWalFrameSize) break;  // torn frame header
+    ByteSource frame(std::string_view(data).substr(pos, kWalFrameSize));
+    DEDDB_ASSIGN_OR_RETURN(uint32_t len, frame.GetU32());
+    DEDDB_ASSIGN_OR_RETURN(uint32_t crc, frame.GetU32());
+    if (len > kMaxRecordBytes || pos + kWalFrameSize + len > data.size()) {
+      break;  // record runs past EOF: torn tail
+    }
+    std::string_view payload =
+        std::string_view(data).substr(pos + kWalFrameSize, len);
+    const bool is_last = pos + kWalFrameSize + len == data.size();
+    if (Crc32(payload) != crc) {
+      if (is_last) break;  // damaged tail record: torn, not yet durable
+      return CorruptionError(
+          StrCat("WAL record at offset ", pos, " of '", path,
+                 "' failed its checksum"));
+    }
+    DEDDB_ASSIGN_OR_RETURN(WalRecordHeader header,
+                           PeekWalRecordHeader(payload));
+    if (header.seq <= last_seq) {
+      return CorruptionError(
+          StrCat("WAL sequence numbers not increasing at offset ", pos,
+                 " of '", path, "'"));
+    }
+    last_seq = header.seq;
+    if (header.seq > from_seq) {
+      RawWalRecord record;
+      record.header = header;
+      record.crc = crc;
+      record.payload = std::string(payload);
+      contents.records.push_back(std::move(record));
+    }
+    pos += kWalFrameSize + len;
+  }
   return contents;
 }
 

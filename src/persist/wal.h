@@ -96,6 +96,51 @@ std::string EncodeAbortPayload(uint64_t seq, uint64_t aborted_seq);
 ///    header is treated as an interrupted creation (empty log, torn).
 Result<WalContents> ReadWal(const std::string& path, SymbolTable* symbols);
 
+/// Decodes one record payload (the bytes EncodeCommitPayload/
+/// EncodeAbortPayload produce). All damage — unknown type, short fields,
+/// trailing bytes, a reserved token id — is kCorruption: the caller has
+/// already checked the frame checksum, so a structural failure means the
+/// bytes themselves are wrong, not torn. This is the decoder ReadWal uses,
+/// exposed so a replica can decode records shipped over the wire through
+/// the identical path recovery takes (DESIGN.md §12).
+Result<WalRecord> DecodeWalRecordPayload(std::string_view payload,
+                                         SymbolTable* symbols);
+
+/// The fixed prefix of a record payload, readable without a symbol table:
+/// enough to route and filter records (by seq, by commit/abort) without
+/// interning any names.
+struct WalRecordHeader {
+  RecordType type = RecordType::kCommit;
+  uint64_t seq = 0;
+  uint64_t aborted_seq = 0;  // abort records only
+};
+
+/// Parses just the header fields of a record payload (kCorruption on an
+/// unknown type or a payload too short to carry them).
+Result<WalRecordHeader> PeekWalRecordHeader(std::string_view payload);
+
+/// One raw record as framed on disk: the undecoded payload plus the frame
+/// checksum that protected it, and the header fields peeked out of it. The
+/// replica feed ships exactly these bytes so the receiving side re-verifies
+/// the same CRC the primary's disk was protected by.
+struct RawWalRecord {
+  WalRecordHeader header;
+  uint32_t crc = 0;     // Crc32(payload), as stored in the frame
+  std::string payload;  // EncodeCommitPayload/EncodeAbortPayload bytes
+};
+
+struct RawWalContents {
+  uint64_t base_seq = 0;
+  std::vector<RawWalRecord> records;
+};
+
+/// Reads a log file without decoding transactions (no symbol interning):
+/// the record-iteration primitive under the replica feed. Same damage rules
+/// as ReadWal — a torn tail is silently dropped (those records are not yet
+/// durable and must not ship), interior damage is kCorruption. Records with
+/// `header.seq <= from_seq` are skipped before any allocation.
+Result<RawWalContents> ReadWalRaw(const std::string& path, uint64_t from_seq);
+
 /// Append-only log writer with leader-based group commit.
 ///
 /// AppendDurable frames a payload and returns once the record is fsynced.

@@ -1,0 +1,149 @@
+// deddb_replica: serves read-only queries from a WAL-shipping replica
+// (DESIGN.md §12).
+//
+//   deddb_replica --seed-dir=/var/lib/deddb-copy --primary-host=10.0.0.5
+//                 --primary-port=7420 --port=7421
+//
+// --seed-dir is a copy of the primary's durable directory (any checkpoint
+// works: the replica resumes the feed from the copy's last sequence). The
+// replica recovers it, detaches persistence (a replica never logs locally),
+// tails the primary's feed, and serves reads with the bounded-staleness
+// contract: queries carry (applied_seq, primary_last_durable_seq, bounded),
+// and a client's max_staleness turns excessive lag into typed retryable
+// kUnavailable rejections. Writes are refused: they belong on the primary.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/deductive_database.h"
+#include "obs/metrics.h"
+#include "repl/replica.h"
+#include "server/server.h"
+#include "server/tcp.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --seed-dir=PATH [options]\n"
+      "  --seed-dir=PATH      copy of the primary's durable directory\n"
+      "  --primary-host=HOST  primary address (default 127.0.0.1)\n"
+      "  --primary-port=N     primary port (default 7420)\n"
+      "  --port=N             port to serve reads on (default 7421)\n"
+      "  --any-interface      bind 0.0.0.0 instead of 127.0.0.1\n"
+      "  --max-connections=N  concurrent connection cap (default 256)\n",
+      argv0);
+}
+
+bool ParseSize(const char* arg, const char* flag, size_t* out) {
+  size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return false;
+  *out = static_cast<size_t>(std::strtoull(arg + len + 1, nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string seed_dir;
+  std::string primary_host = "127.0.0.1";
+  size_t primary_port = 7420;
+  size_t port = 7421;
+  bool any_interface = false;
+  deddb::server::ServerOptions options;
+  size_t value = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seed-dir=", 11) == 0) {
+      seed_dir = arg + 11;
+    } else if (std::strncmp(arg, "--primary-host=", 15) == 0) {
+      primary_host = arg + 15;
+    } else if (ParseSize(arg, "--primary-port", &value)) {
+      primary_port = value;
+    } else if (ParseSize(arg, "--port", &value)) {
+      port = value;
+    } else if (std::strcmp(arg, "--any-interface") == 0) {
+      any_interface = true;
+    } else if (ParseSize(arg, "--max-connections", &value)) {
+      options.max_connections = value;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  if (seed_dir.empty()) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  auto opened = deddb::DeductiveDatabase::OpenPersistent(seed_dir);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "deddb_replica: open %s: %s\n", seed_dir.c_str(),
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<deddb::DeductiveDatabase> db = std::move(*opened);
+  deddb::Status replica_mode = db->EnterReplicaMode();
+  if (!replica_mode.ok()) {
+    std::fprintf(stderr, "deddb_replica: %s\n",
+                 replica_mode.ToString().c_str());
+    return 1;
+  }
+
+  deddb::obs::MetricsRegistry metrics;
+  options.obs.metrics = &metrics;
+
+  const uint16_t dial_port = static_cast<uint16_t>(primary_port);
+  deddb::repl::Replica::Options replica_options;
+  replica_options.obs.metrics = &metrics;
+  deddb::repl::Replica replica(
+      db.get(),
+      [primary_host, dial_port] {
+        return deddb::server::TcpConnect(primary_host, dial_port);
+      },
+      replica_options);
+  deddb::Status started = replica.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "deddb_replica: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  options.replica_status = &replica;
+  auto listener = deddb::server::TcpListener::Listen(
+      static_cast<uint16_t>(port), any_interface);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "deddb_replica: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  uint16_t bound = (*listener)->bound_port();
+
+  deddb::server::Server server(db.get(), std::move(options));
+  deddb::Status serving = server.Serve(std::move(*listener));
+  if (!serving.ok()) {
+    std::fprintf(stderr, "deddb_replica: %s\n", serving.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "deddb_replica: serving reads on %s:%u, tailing %s:%u\n",
+               any_interface ? "0.0.0.0" : "127.0.0.1", bound,
+               primary_host.c_str(), dial_port);
+
+  int sig = 0;
+  sigwait(&signals, &sig);
+  std::fprintf(stderr, "deddb_replica: %s, draining\n", strsignal(sig));
+  server.Stop();
+  replica.Stop();
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "repl/feed.h"
+
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/strings.h"
+
+namespace deddb::repl {
+
+Result<server::WalRecordsReply> DecodeFeedBatch(std::string_view payload) {
+  // The protocol decoder already refuses a payload whose trailing checksum
+  // does not cover its bytes; re-type its kInvalidArgument as kCorruption —
+  // on this path the bytes claimed to be a feed batch from our primary, so
+  // damage is corruption, not a peer speaking the wrong protocol.
+  Result<server::WalRecordsReply> decoded =
+      server::DecodeWalRecordsReply(payload);
+  if (!decoded.ok()) {
+    return CorruptionError(
+        StrCat("feed batch rejected: ", decoded.status().message()));
+  }
+  for (const server::WalRecordsReply::Record& record : decoded->records) {
+    // Re-verify each record against the checksum that framed it in the
+    // primary's log — end-to-end, not hop-by-hop: a record damaged before
+    // the batch checksum was computed still cannot reach replay.
+    if (Crc32(record.payload) != record.crc) {
+      return CorruptionError(
+          "feed record failed the checksum that framed it in the "
+          "primary's log");
+    }
+  }
+  return decoded;
+}
+
+ReplicaFeed::ReplicaFeed(server::Dialer dialer, Options options)
+    : dialer_(std::move(dialer)), options_(options) {}
+
+ReplicaFeed::ReplicaFeed(server::Dialer dialer)
+    : ReplicaFeed(std::move(dialer), Options()) {}
+
+ReplicaFeed::~ReplicaFeed() { Disconnect(); }
+
+bool ReplicaFeed::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_ != nullptr;
+}
+
+void ReplicaFeed::Disconnect() {
+  std::shared_ptr<server::Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn = std::move(conn_);
+  }
+  if (conn != nullptr) conn->Close();
+}
+
+Result<server::WalRecordsReply> ReplicaFeed::Fetch(uint64_t from_seq,
+                                                   bool long_poll) {
+  std::shared_ptr<server::Connection> conn;
+  uint64_t request_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn = conn_;
+    request_id = next_request_id_++;
+  }
+  if (conn == nullptr) {
+    Result<std::unique_ptr<server::Connection>> dialed = dialer_();
+    if (!dialed.ok()) return dialed.status();
+    conn = std::move(*dialed);
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_ = conn;
+  }
+  auto fail = [&](const Status& status) -> Status {
+    // Never reuse a connection that failed mid-request: a half-consumed
+    // reply would desynchronize every later fetch. (Same rule as Client.)
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn_ == conn) conn_.reset();
+    }
+    conn->Close();
+    return status;
+  };
+
+  server::WalFetchRequest request;
+  request.admission.deadline_ms = options_.deadline_ms;
+  request.from_seq = from_seq;
+  request.max_records = options_.max_records;
+  request.max_bytes = options_.max_bytes;
+  const server::FrameType type = long_poll
+                                     ? server::FrameType::kWalSubscribe
+                                     : server::FrameType::kWalFetch;
+  Status written = server::WriteFrame(conn.get(), type, request_id,
+                                      server::EncodeWalFetchRequest(request));
+  if (!written.ok()) return fail(written);
+
+  Result<std::optional<server::OwnedFrame>> read =
+      server::ReadFrame(conn.get());
+  if (!read.ok()) return fail(read.status());
+  if (!read->has_value()) {
+    return fail(UnavailableError("primary closed the feed connection"));
+  }
+  server::OwnedFrame& frame = **read;
+  if (frame.request_id != request_id) {
+    return fail(CorruptionError(
+        StrCat("feed reply correlates to request ", frame.request_id,
+               ", expected ", request_id)));
+  }
+  if (frame.type == server::FrameType::kError) {
+    Result<server::ErrorReply> error =
+        server::DecodeErrorReply(frame.payload);
+    if (!error.ok()) return fail(error.status());
+    // A typed server answer (kNotFound: history truncated, re-seed;
+    // kFailedPrecondition: not a primary) — the connection stays healthy.
+    return error->ToStatus();
+  }
+  const server::FrameType want = long_poll
+                                     ? server::FrameType::kWalSubscribeOk
+                                     : server::FrameType::kWalRecords;
+  if (frame.type != want) {
+    return fail(CorruptionError(StrCat("feed reply has frame type ",
+                                       static_cast<int>(frame.type))));
+  }
+  Result<server::WalRecordsReply> batch = DecodeFeedBatch(frame.payload);
+  if (!batch.ok()) return fail(batch.status());
+  return batch;
+}
+
+}  // namespace deddb::repl

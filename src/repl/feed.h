@@ -1,0 +1,82 @@
+#ifndef DEDDB_REPL_FEED_H_
+#define DEDDB_REPL_FEED_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/transport.h"
+#include "util/status.h"
+
+namespace deddb::repl {
+
+/// Verifies and decodes one feed batch off the wire (DESIGN.md §12). This is
+/// the replica's trust boundary: the payload carries a trailing CRC over
+/// every preceding byte plus one CRC per shipped WAL record (the same
+/// checksum that framed the record in the primary's log), and EVERY failure
+/// — structural damage, either checksum, truncation at any offset — comes
+/// back as kCorruption. The tailer's response to kCorruption is uniform:
+/// drop the connection and re-request from its durable cursor, never apply
+/// damaged bytes (the same discipline persist_wal_test proves for the log
+/// file, transplanted to the wire).
+Result<server::WalRecordsReply> DecodeFeedBatch(std::string_view payload);
+
+/// The replica's half of the WAL-shipping protocol: one connection to the
+/// primary, pull-based, resumable at any sequence number. Fetch() is
+/// synchronous and returns the verified batch; the caller owns the cursor
+/// (resume-by-seq means feed state lives in the replica's applied position,
+/// not in the connection — a reconnect loses nothing).
+///
+/// Not thread-safe except Disconnect(), which may interrupt a blocked
+/// Fetch() from another thread (the chaos suites' mid-stream kill).
+class ReplicaFeed {
+ public:
+  struct Options {
+    /// Per-fetch batch bounds; 0 defers to the server's defaults.
+    uint32_t max_records = 0;
+    uint32_t max_bytes = 0;
+    /// Admission deadline stamped on feed requests (0 = none). Also caps
+    /// the server-side long-poll window of a waiting fetch.
+    uint32_t deadline_ms = 0;
+  };
+
+  ReplicaFeed(server::Dialer dialer, Options options);
+  explicit ReplicaFeed(server::Dialer dialer);
+  ~ReplicaFeed();
+
+  ReplicaFeed(const ReplicaFeed&) = delete;
+  ReplicaFeed& operator=(const ReplicaFeed&) = delete;
+
+  /// Pulls records with seq > from_seq, dialing first when disconnected.
+  /// `long_poll` asks the primary to wait for new records instead of
+  /// answering an empty batch immediately (the tailer's steady state).
+  /// Transport failures and kCorruption both tear the connection down, so
+  /// the next Fetch() redials; the typed status tells the caller which it
+  /// was. kNotFound passes through untouched: the primary checkpointed past
+  /// the cursor and the replica must re-seed from a snapshot.
+  Result<server::WalRecordsReply> Fetch(uint64_t from_seq, bool long_poll);
+
+  /// Closes the current connection (if any); safe from any thread. A Fetch
+  /// blocked on the socket observes a transport failure and returns.
+  void Disconnect();
+
+  bool connected() const;
+
+ private:
+  server::Dialer dialer_;
+  Options options_;
+
+  /// Guards the connection pointer (swap/teardown), not the I/O: Fetch
+  /// performs its blocking reads on a connection reference it took under
+  /// the lock, so Disconnect can Close (which unblocks I/O) concurrently.
+  mutable std::mutex mu_;
+  std::shared_ptr<server::Connection> conn_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace deddb::repl
+
+#endif  // DEDDB_REPL_FEED_H_

@@ -1,0 +1,166 @@
+#include "repl/replica.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "persist/wal.h"
+
+namespace deddb::repl {
+
+Replica::Replica(DeductiveDatabase* db, server::Dialer dialer,
+                 Options options)
+    : db_(db),
+      options_(std::move(options)),
+      feed_(std::move(dialer), options_.feed) {}
+
+Replica::Replica(DeductiveDatabase* db, server::Dialer dialer)
+    : Replica(db, std::move(dialer), Options()) {}
+
+Replica::~Replica() { Stop(); }
+
+Status Replica::Start() {
+  if (!db_->replica_mode()) {
+    return FailedPreconditionError(
+        "Start() requires a database in replica mode (EnterReplicaMode)");
+  }
+  if (started_.exchange(true)) {
+    return FailedPreconditionError("replica already started");
+  }
+  tail_ = std::thread(&Replica::TailLoop, this);
+  return Status::Ok();
+}
+
+void Replica::Stop() {
+  stopping_.store(true, std::memory_order_release);
+  bounded_.store(false, std::memory_order_release);
+  // Unblocks a Fetch parked on the socket (or in the primary's long-poll).
+  feed_.Disconnect();
+  if (tail_.joinable()) tail_.join();
+}
+
+server::ReplicaInfo Replica::replica_status() const {
+  server::ReplicaInfo info;
+  // Order matters for the lag never to be understated: read the cursor
+  // first, the horizon second — a record applied in between can only make
+  // the reported lag larger than the truth, never smaller.
+  info.applied_seq = db_->replica_applied_seq();
+  info.primary_last_durable_seq =
+      std::max(primary_last_durable_seq_.load(std::memory_order_acquire),
+               info.applied_seq);
+  info.bounded = bounded_.load(std::memory_order_acquire);
+  return info;
+}
+
+Replica::Stats Replica::stats() const {
+  Stats stats;
+  stats.batches_applied = batches_applied_.load(std::memory_order_relaxed);
+  stats.records_applied = records_applied_.load(std::memory_order_relaxed);
+  stats.corruption_rejections =
+      corruption_rejections_.load(std::memory_order_relaxed);
+  stats.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Status Replica::last_feed_error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return last_feed_error_;
+}
+
+void Replica::DropFeedConnectionForTest() { feed_.Disconnect(); }
+
+bool Replica::SleepUnlessStopping(std::chrono::microseconds delay) {
+  // Sliced so Stop() is never held hostage by a backoff sleep.
+  constexpr std::chrono::microseconds kSlice{5000};
+  while (delay.count() > 0) {
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    const std::chrono::microseconds step = std::min(delay, kSlice);
+    std::this_thread::sleep_for(step);
+    delay -= step;
+  }
+  return !stopping_.load(std::memory_order_acquire);
+}
+
+void Replica::TailLoop() {
+  Backoff backoff(options_.backoff);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const uint64_t cursor = db_->replica_applied_seq();
+    // Long-poll only once caught up to the last known horizon: while
+    // catching up there is data to pull, so an immediate answer is both
+    // correct and faster.
+    const bool caught_up =
+        cursor >= primary_last_durable_seq_.load(std::memory_order_acquire);
+    Result<server::WalRecordsReply> batch =
+        feed_.Fetch(cursor, /*long_poll=*/caught_up);
+    if (!batch.ok()) {
+      bounded_.store(false, std::memory_order_release);
+      // A failure that tore the connection (transport error, damaged
+      // batch) forces a redial; a typed refusal over a healthy connection
+      // (kError frame) does not.
+      if (!feed_.connected()) {
+        reconnects_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::Add(options_.obs.metrics, "repl.reconnects");
+      }
+      if (batch.status().code() == StatusCode::kCorruption) {
+        corruption_rejections_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::Add(options_.obs.metrics,
+                                  "repl.corruption_rejections");
+      }
+      {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        last_feed_error_ = batch.status();
+      }
+      if (!SleepUnlessStopping(backoff.NextDelay())) return;
+      continue;
+    }
+    bool applied_all = true;
+    for (const server::WalRecordsReply::Record& record : batch->records) {
+      Result<uint64_t> version = db_->ApplyReplicated(record.payload);
+      if (!version.ok()) {
+        // Feed-level checksums passed but replay refused the record (e.g.
+        // a decode failure or state divergence): drop the batch at this
+        // point and re-fetch from the cursor — which did not advance past
+        // the failure, so nothing is skipped.
+        corruption_rejections_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::Add(options_.obs.metrics,
+                                  "repl.corruption_rejections");
+        {
+          std::lock_guard<std::mutex> lock(error_mu_);
+          last_feed_error_ = version.status();
+        }
+        bounded_.store(false, std::memory_order_release);
+        feed_.Disconnect();
+        applied_all = false;
+        break;
+      }
+      records_applied_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::Add(options_.obs.metrics, "repl.records_applied");
+    }
+    if (!applied_all) {
+      if (!SleepUnlessStopping(backoff.NextDelay())) return;
+      continue;
+    }
+    // Publish the horizon only after the whole batch applied: a horizon
+    // ahead of an unapplied record would report less lag than the truth.
+    uint64_t horizon = batch->primary_last_durable_seq;
+    uint64_t known = primary_last_durable_seq_.load(std::memory_order_relaxed);
+    while (horizon > known &&
+           !primary_last_durable_seq_.compare_exchange_weak(
+               known, horizon, std::memory_order_release,
+               std::memory_order_relaxed)) {
+    }
+    if (!batch->records.empty()) {
+      batches_applied_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::Add(options_.obs.metrics, "repl.batches_applied");
+    }
+    bounded_.store(!stopping_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(error_mu_);
+      last_feed_error_ = Status::Ok();
+    }
+    backoff.Reset();
+  }
+}
+
+}  // namespace deddb::repl

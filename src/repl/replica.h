@@ -1,0 +1,116 @@
+#ifndef DEDDB_REPL_REPLICA_H_
+#define DEDDB_REPL_REPLICA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "core/deductive_database.h"
+#include "obs/obs.h"
+#include "repl/feed.h"
+#include "server/server.h"
+#include "util/backoff.h"
+#include "util/status.h"
+
+namespace deddb::repl {
+
+/// A WAL-shipping read replica (DESIGN.md §12): tails the primary's feed on
+/// its own thread, replays each verified commit record through the same
+/// paths recovery uses (ApplyReplicated), and publishes its position as a
+/// server::ReplicaStatusSource — plug it into ServerOptions::replica_status
+/// and the fronting Server enforces the bounded-staleness contract.
+///
+/// The database must be in replica mode (EnterReplicaMode) before Start():
+/// either a fresh in-memory database carrying the primary's schema
+/// declarations (tails from sequence 0), or one opened from a copied
+/// snapshot directory (tails from the snapshot's sequence).
+///
+/// Resume discipline: the replay cursor is db->replica_applied_seq(), which
+/// only advances after a record fully applies — so a disconnect, a damaged
+/// batch, or a crash-restart re-requests from the cursor and can neither
+/// skip nor double-apply a record (ApplyReplicated refuses seqs at or below
+/// the cursor). kCorruption from the feed never reaches replay: the batch is
+/// dropped whole and re-fetched.
+class Replica : public server::ReplicaStatusSource {
+ public:
+  struct Options {
+    ReplicaFeed::Options feed;
+    /// Reconnect pacing after feed failures.
+    Backoff::Options backoff;
+    obs::ObsContext obs;
+  };
+
+  struct Stats {
+    uint64_t batches_applied = 0;
+    uint64_t records_applied = 0;
+    /// Damaged batches refused before replay (the chaos matrix's currency).
+    uint64_t corruption_rejections = 0;
+    /// Failed exchanges that tore the feed connection and forced a redial
+    /// (typed refusals over a healthy connection are not reconnects).
+    uint64_t reconnects = 0;
+  };
+
+  /// `db` must outlive the replica. `dialer` produces connections to the
+  /// primary's server.
+  Replica(DeductiveDatabase* db, server::Dialer dialer, Options options);
+  Replica(DeductiveDatabase* db, server::Dialer dialer);
+  ~Replica() override;
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Spawns the tailer. Fails kFailedPrecondition unless the database is in
+  /// replica mode. May be called once.
+  Status Start();
+
+  /// Stops the tailer and joins; idempotent.
+  void Stop();
+
+  /// The staleness evidence: the replay cursor, the primary's settled
+  /// horizon as of the last successful exchange, and whether the feed is
+  /// currently bounded (connected with its last exchange successful).
+  server::ReplicaInfo replica_status() const override;
+
+  Stats stats() const;
+
+  /// The last feed error observed by the tailer (Ok when healthy). A
+  /// sticky kNotFound here means the primary checkpointed past the cursor
+  /// and this replica must be re-seeded from a snapshot.
+  Status last_feed_error() const;
+
+  /// Chaos seam: severs the feed connection mid-stream from any thread.
+  /// The tailer observes a transport failure and resumes from its cursor.
+  void DropFeedConnectionForTest();
+
+ private:
+  void TailLoop();
+  /// Sleeps `delay`, returning early (false) when Stop was requested.
+  bool SleepUnlessStopping(std::chrono::microseconds delay);
+
+  DeductiveDatabase* db_;
+  Options options_;
+  ReplicaFeed feed_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+  /// Feed health for the staleness contract: set after each successful
+  /// exchange, cleared on any failure — while false the replica's lag is
+  /// unbounded and every max_staleness read is rejected.
+  std::atomic<bool> bounded_{false};
+  std::atomic<uint64_t> primary_last_durable_seq_{0};
+
+  std::atomic<uint64_t> batches_applied_{0};
+  std::atomic<uint64_t> records_applied_{0};
+  std::atomic<uint64_t> corruption_rejections_{0};
+  std::atomic<uint64_t> reconnects_{0};
+
+  mutable std::mutex error_mu_;
+  Status last_feed_error_;
+
+  std::thread tail_;
+};
+
+}  // namespace deddb::repl
+
+#endif  // DEDDB_REPL_REPLICA_H_

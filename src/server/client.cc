@@ -217,6 +217,7 @@ Result<QueryReply> Client::Query(std::vector<Atom> patterns,
   QueryRequest request;
   request.admission = admission;
   request.patterns = std::move(patterns);
+  request.max_staleness = options_.max_staleness;
   DEDDB_ASSIGN_OR_RETURN(
       OwnedFrame frame,
       Call(FrameType::kQuery, EncodeQueryRequest(request, symbols_),

@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,6 +49,15 @@ struct ClientOptions {
   /// Sink for the client.* series (client.retries, client.redials); may be
   /// null.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Bounded-staleness bound for reads against a replica (DESIGN.md §12):
+  /// when set, every Query carries it and a replica further behind than
+  /// this many records (or with a disconnected feed) answers kUnavailable
+  /// with a retryable hint — which this client's retry loop honors, so the
+  /// read is retried with backoff until the replica catches up, the
+  /// deadline lapses, or the attempt budget runs out. Unset sends v1
+  /// byte-identical requests. Meaningless against a primary (always fresh).
+  std::optional<uint64_t> max_staleness;
 };
 
 /// A synchronous protocol client over any Connection (loopback in the test

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "persist/codec.h"
+#include "util/crc32.h"
 #include "util/strings.h"
 
 namespace deddb::server {
@@ -84,6 +85,8 @@ bool IsKnownType(uint8_t raw) {
     case FrameType::kHealth:
     case FrameType::kSubscribe:
     case FrameType::kUnsubscribe:
+    case FrameType::kWalFetch:
+    case FrameType::kWalSubscribe:
     case FrameType::kQueryOk:
     case FrameType::kApplyOk:
     case FrameType::kProcessOk:
@@ -95,6 +98,8 @@ bool IsKnownType(uint8_t raw) {
     case FrameType::kUnsubscribeOk:
     case FrameType::kPushDelta:
     case FrameType::kSubGap:
+    case FrameType::kWalRecords:
+    case FrameType::kWalSubscribeOk:
     case FrameType::kError:
       return true;
   }
@@ -143,6 +148,8 @@ bool IsRequestType(FrameType type) {
     case FrameType::kHealth:
     case FrameType::kSubscribe:
     case FrameType::kUnsubscribe:
+    case FrameType::kWalFetch:
+    case FrameType::kWalSubscribe:
       return true;
     default:
       return false;
@@ -261,6 +268,12 @@ Result<FrameView> DecodeSingleFrame(std::string_view bytes) {
 
 // ---- Request payloads -------------------------------------------------------
 
+namespace {
+// Tag byte introducing the optional trailing max_staleness extension of a
+// Query request (same trailing-extension scheme as the request token).
+constexpr uint8_t kQueryStalenessTag = 1;
+}  // namespace
+
 std::string EncodeQueryRequest(const QueryRequest& request,
                                const SymbolTable& symbols) {
   ByteSink sink;
@@ -268,6 +281,12 @@ std::string EncodeQueryRequest(const QueryRequest& request,
   sink.PutU32(static_cast<uint32_t>(request.patterns.size()));
   for (const Atom& pattern : request.patterns) {
     persist::EncodeAtom(pattern, symbols, &sink);
+  }
+  // Only a set bound emits the tag: an unbounded request stays
+  // byte-identical to the v1 payload.
+  if (request.max_staleness.has_value()) {
+    sink.PutU8(kQueryStalenessTag);
+    sink.PutU64(*request.max_staleness);
   }
   return sink.Take();
 }
@@ -284,6 +303,16 @@ Result<QueryRequest> DecodeQueryRequest(std::string_view payload,
   for (uint32_t i = 0; i < count; ++i) {
     DEDDB_PROTO_ASSIGN(Atom pattern, persist::DecodeAtom(&source, symbols));
     request.patterns.push_back(std::move(pattern));
+  }
+  if (!source.exhausted()) {
+    uint8_t tag = 0;
+    DEDDB_PROTO_ASSIGN(tag, source.GetU8());
+    if (tag != kQueryStalenessTag) {
+      return MalformedText(StrCat("unknown query extension tag ", int{tag}));
+    }
+    uint64_t bound = 0;
+    DEDDB_PROTO_ASSIGN(bound, source.GetU64());
+    request.max_staleness = bound;
   }
   DEDDB_RETURN_IF_ERROR(CheckDrained(source));
   return request;
@@ -476,6 +505,26 @@ Result<UnsubscribeRequest> DecodeUnsubscribeRequest(
   return request;
 }
 
+std::string EncodeWalFetchRequest(const WalFetchRequest& request) {
+  ByteSink sink;
+  EncodeAdmission(request.admission, &sink);
+  sink.PutU64(request.from_seq);
+  sink.PutU32(request.max_records);
+  sink.PutU32(request.max_bytes);
+  return sink.Take();
+}
+
+Result<WalFetchRequest> DecodeWalFetchRequest(std::string_view payload) {
+  ByteSource source(payload);
+  WalFetchRequest request;
+  DEDDB_ASSIGN_OR_RETURN(request.admission, DecodeAdmission(&source));
+  DEDDB_PROTO_ASSIGN(request.from_seq, source.GetU64());
+  DEDDB_PROTO_ASSIGN(request.max_records, source.GetU32());
+  DEDDB_PROTO_ASSIGN(request.max_bytes, source.GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return request;
+}
+
 // ---- Response payloads ------------------------------------------------------
 
 std::string EncodeQueryReply(const QueryReply& reply,
@@ -488,6 +537,13 @@ std::string EncodeQueryReply(const QueryReply& reply,
     for (const Tuple& tuple : tuples) {
       persist::EncodeTuple(tuple, symbols, &sink);
     }
+  }
+  // Trailing staleness section, attached only by replica-serving servers —
+  // primary replies stay byte-identical to v1.
+  if (reply.has_replica_status) {
+    sink.PutU64(reply.applied_seq);
+    sink.PutU64(reply.primary_last_durable_seq);
+    sink.PutU8(reply.bounded ? 1 : 0);
   }
   return sink.Take();
 }
@@ -512,6 +568,17 @@ Result<QueryReply> DecodeQueryReply(std::string_view payload,
       tuples.push_back(std::move(tuple));
     }
     reply.answers.push_back(std::move(tuples));
+  }
+  if (!source.exhausted()) {
+    reply.has_replica_status = true;
+    DEDDB_PROTO_ASSIGN(reply.applied_seq, source.GetU64());
+    DEDDB_PROTO_ASSIGN(reply.primary_last_durable_seq, source.GetU64());
+    uint8_t bounded = 0;
+    DEDDB_PROTO_ASSIGN(bounded, source.GetU8());
+    if (bounded > 1) {
+      return MalformedText(StrCat("boolean field holds ", int{bounded}));
+    }
+    reply.bounded = bounded == 1;
   }
   DEDDB_RETURN_IF_ERROR(CheckDrained(source));
   return reply;
@@ -616,18 +683,31 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
   return reply;
 }
 
+namespace {
+// The Health reply's optional sections are tagged trailing blocks (emitted
+// in ascending tag order, each at most once), so a reply with neither stays
+// byte-identical to v1 and the two extensions compose.
+constexpr uint8_t kHealthSubsBlockTag = 1;
+constexpr uint8_t kHealthReplBlockTag = 2;
+}  // namespace
+
 std::string EncodeHealthReply(const HealthReply& reply) {
   ByteSink sink;
   sink.PutU8(static_cast<uint8_t>(reply.state));
   sink.PutU64(reply.version);
   sink.PutU64(reply.last_durable_seq);
   sink.PutU32(reply.queue_depth);
-  // The subscription section is a trailing extension, present only when the
-  // request opted in — a v1 probe keeps getting byte-identical replies.
   if (reply.has_subscriptions) {
+    sink.PutU8(kHealthSubsBlockTag);
     sink.PutU32(reply.active_subscriptions);
     sink.PutU64(reply.queued_deltas);
     sink.PutU64(reply.gap_events);
+  }
+  if (reply.has_replication) {
+    sink.PutU8(kHealthReplBlockTag);
+    sink.PutU64(reply.applied_seq);
+    sink.PutU64(reply.primary_last_durable_seq);
+    sink.PutU8(reply.feed_bounded ? 1 : 0);
   }
   return sink.Take();
 }
@@ -644,11 +724,39 @@ Result<HealthReply> DecodeHealthReply(std::string_view payload) {
   DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
   DEDDB_PROTO_ASSIGN(reply.last_durable_seq, source.GetU64());
   DEDDB_PROTO_ASSIGN(reply.queue_depth, source.GetU32());
-  if (!source.exhausted()) {
-    reply.has_subscriptions = true;
-    DEDDB_PROTO_ASSIGN(reply.active_subscriptions, source.GetU32());
-    DEDDB_PROTO_ASSIGN(reply.queued_deltas, source.GetU64());
-    DEDDB_PROTO_ASSIGN(reply.gap_events, source.GetU64());
+  uint8_t last_tag = 0;
+  while (!source.exhausted()) {
+    uint8_t tag = 0;
+    DEDDB_PROTO_ASSIGN(tag, source.GetU8());
+    if (tag <= last_tag) {
+      return MalformedText(
+          StrCat("health extension tag ", int{tag}, " out of order"));
+    }
+    last_tag = tag;
+    switch (tag) {
+      case kHealthSubsBlockTag: {
+        reply.has_subscriptions = true;
+        DEDDB_PROTO_ASSIGN(reply.active_subscriptions, source.GetU32());
+        DEDDB_PROTO_ASSIGN(reply.queued_deltas, source.GetU64());
+        DEDDB_PROTO_ASSIGN(reply.gap_events, source.GetU64());
+        break;
+      }
+      case kHealthReplBlockTag: {
+        reply.has_replication = true;
+        DEDDB_PROTO_ASSIGN(reply.applied_seq, source.GetU64());
+        DEDDB_PROTO_ASSIGN(reply.primary_last_durable_seq, source.GetU64());
+        uint8_t bounded = 0;
+        DEDDB_PROTO_ASSIGN(bounded, source.GetU8());
+        if (bounded > 1) {
+          return MalformedText(StrCat("boolean field holds ", int{bounded}));
+        }
+        reply.feed_bounded = bounded == 1;
+        break;
+      }
+      default:
+        return MalformedText(
+            StrCat("unknown health extension tag ", int{tag}));
+    }
   }
   DEDDB_RETURN_IF_ERROR(CheckDrained(source));
   return reply;
@@ -727,6 +835,52 @@ Result<UnsubscribeReply> DecodeUnsubscribeReply(std::string_view payload) {
     return MalformedText(StrCat("boolean field holds ", int{existed}));
   }
   reply.existed = existed == 1;
+  DEDDB_RETURN_IF_ERROR(CheckDrained(source));
+  return reply;
+}
+
+std::string EncodeWalRecordsReply(const WalRecordsReply& reply) {
+  ByteSink sink;
+  sink.PutU64(reply.primary_last_durable_seq);
+  sink.PutU32(static_cast<uint32_t>(reply.records.size()));
+  for (const WalRecordsReply::Record& record : reply.records) {
+    sink.PutU32(record.crc);
+    sink.PutString(record.payload);
+  }
+  // Whole-payload checksum: the per-record CRCs cover the log payloads but
+  // not this framing (the horizon, the counts, the CRC fields themselves);
+  // the trailing CRC makes damage at ANY payload byte detectable.
+  const uint32_t frame_crc = Crc32(sink.bytes());
+  sink.PutU32(frame_crc);
+  return sink.Take();
+}
+
+Result<WalRecordsReply> DecodeWalRecordsReply(std::string_view payload) {
+  // Verify the trailing checksum before structural parsing: a flipped byte
+  // must fail loudly even where the damaged bytes still parse.
+  if (payload.size() < 4) {
+    return MalformedText("wal records payload too short for its checksum");
+  }
+  const std::string_view body = payload.substr(0, payload.size() - 4);
+  ByteSource crc_source(payload.substr(payload.size() - 4));
+  uint32_t expected = 0;
+  DEDDB_PROTO_ASSIGN(expected, crc_source.GetU32());
+  if (Crc32(body) != expected) {
+    return MalformedText("wal records payload failed its checksum");
+  }
+  ByteSource source(body);
+  WalRecordsReply reply;
+  DEDDB_PROTO_ASSIGN(reply.primary_last_durable_seq, source.GetU64());
+  uint32_t count = 0;
+  DEDDB_PROTO_ASSIGN(count, source.GetU32());
+  DEDDB_RETURN_IF_ERROR(CheckCount(count, source, "wal record"));
+  reply.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WalRecordsReply::Record record;
+    DEDDB_PROTO_ASSIGN(record.crc, source.GetU32());
+    DEDDB_PROTO_ASSIGN(record.payload, source.GetString());
+    reply.records.push_back(std::move(record));
+  }
   DEDDB_RETURN_IF_ERROR(CheckDrained(source));
   return reply;
 }

@@ -55,6 +55,8 @@ enum class FrameType : uint8_t {
   kHealth = 7,      // liveness/degradation probe (served on the read path)
   kSubscribe = 8,   // register a standing query (CDC stream; DESIGN.md §11)
   kUnsubscribe = 9,
+  kWalFetch = 12,      // replica feed: pull settled WAL records after a seq
+  kWalSubscribe = 13,  // same payload, but the server long-polls when empty
 
   // Responses (server -> client); request type + 64.
   kQueryOk = 65,
@@ -66,6 +68,8 @@ enum class FrameType : uint8_t {
   kHealthOk = 71,
   kSubscribeOk = 72,
   kUnsubscribeOk = 73,
+  kWalRecords = 76,
+  kWalSubscribeOk = 77,
 
   // Asynchronous pushes (server -> client), request_id always 0: they
   // answer no request, so the client's demux routes them by type, not id.
@@ -96,6 +100,13 @@ struct QueryRequest {
   /// single pinned snapshot — the batch exists so multi-predicate reads are
   /// mutually consistent (the history oracle depends on this).
   std::vector<Atom> patterns;
+  /// Bounded-staleness bound (DESIGN.md §12), meaningful only against a
+  /// replica-serving server: the read is admitted only when the replica's
+  /// lag (primary_last_durable_seq - applied_seq) is at or below this many
+  /// records AND the feed is currently bounded; otherwise the server answers
+  /// kUnavailable with a retryable hint. Encoded as a tagged trailing
+  /// extension, so an unset bound keeps the v1 payload byte-identical.
+  std::optional<uint64_t> max_staleness;
 };
 
 /// Mutating requests optionally carry a `(client_id, request_seq)`
@@ -150,6 +161,14 @@ struct QueryReply {
   /// The snapshot version every answer in this reply was read from.
   uint64_t version = 0;
   std::vector<std::vector<Tuple>> answers;  // one list per request pattern
+
+  /// Staleness section, attached only by replica-serving servers (a primary
+  /// reply stays byte-identical to v1): where the replica stood when the
+  /// snapshot was pinned, so every read carries its own freshness evidence.
+  bool has_replica_status = false;
+  uint64_t applied_seq = 0;                // replica's replay cursor
+  uint64_t primary_last_durable_seq = 0;   // primary horizon at last contact
+  bool bounded = false;                    // feed connected and current
 };
 
 struct ApplyReply {
@@ -204,13 +223,53 @@ struct HealthReply {
   /// Admitted-but-incomplete writes.
   uint32_t queue_depth = 0;
 
-  /// Subscription section, appended only when the request asked for it
-  /// (so v1 replies stay byte-identical and old clients never see trailing
-  /// bytes they cannot parse).
+  /// Optional sections travel as tagged trailing blocks (tag 1 =
+  /// subscriptions, tag 2 = replication), so a reply with neither stays
+  /// byte-identical to v1 and new blocks can be added without reordering.
+  /// The subscription block is appended only when the request asked for it;
+  /// the replication block only by replica-serving servers.
   bool has_subscriptions = false;
   uint32_t active_subscriptions = 0;
   uint64_t queued_deltas = 0;
   uint64_t gap_events = 0;
+
+  /// Replication block (DESIGN.md §12): the same staleness evidence the
+  /// query path attaches, observable without issuing a read — this is what
+  /// makes max_staleness rejections diagnosable.
+  bool has_replication = false;
+  uint64_t applied_seq = 0;
+  uint64_t primary_last_durable_seq = 0;
+  bool feed_bounded = false;
+};
+
+/// Replica feed pull (DESIGN.md §12): return settled WAL records with
+/// `from_seq < seq <= primary_last_durable_seq`. Sent as kWalFetch for an
+/// immediate answer (possibly empty) or kWalSubscribe to let the server
+/// long-poll until a record lands or its poll window elapses.
+struct WalFetchRequest {
+  Admission admission;
+  uint64_t from_seq = 0;
+  uint32_t max_records = 0;  // 0: server default
+  uint32_t max_bytes = 0;    // 0: server default (bounded by the frame cap)
+};
+
+/// The feed batch. The payload carries a trailing CRC over every preceding
+/// payload byte, so any single-byte flip or truncation of the frame body is
+/// detected by the checksum even where the structure still parses — the
+/// replica side (repl::DecodeFeedBatch) surfaces all such damage as
+/// kCorruption and re-fetches from its durable cursor.
+struct WalRecordsReply {
+  /// The primary's settled horizon at read time (the staleness contract's
+  /// `primary_last_durable_seq`). Every commit at or below it is either in
+  /// this batch, was shipped earlier, or was aborted.
+  uint64_t primary_last_durable_seq = 0;
+  struct Record {
+    /// CRC of `payload` — the same checksum that framed the record in the
+    /// primary's log, re-verified by the replica before replay.
+    uint32_t crc = 0;
+    std::string payload;  // WAL commit-record payload (persist/wal.h)
+  };
+  std::vector<Record> records;  // seq strictly increasing, commits only
 };
 
 struct SubscribeReply {
@@ -342,6 +401,10 @@ Result<SubscribeRequest> DecodeSubscribeRequest(std::string_view payload,
 std::string EncodeUnsubscribeRequest(const UnsubscribeRequest& request);
 Result<UnsubscribeRequest> DecodeUnsubscribeRequest(std::string_view payload);
 
+/// Shared by kWalFetch and kWalSubscribe (the frame type is the mode).
+std::string EncodeWalFetchRequest(const WalFetchRequest& request);
+Result<WalFetchRequest> DecodeWalFetchRequest(std::string_view payload);
+
 // ---- Response payloads ------------------------------------------------------
 
 std::string EncodeQueryReply(const QueryReply& reply,
@@ -376,6 +439,12 @@ Result<SubscribeReply> DecodeSubscribeReply(std::string_view payload,
 
 std::string EncodeUnsubscribeReply(const UnsubscribeReply& reply);
 Result<UnsubscribeReply> DecodeUnsubscribeReply(std::string_view payload);
+
+/// The feed batch, checksum included. The decoder verifies the trailing CRC
+/// before parsing, so damage anywhere in the payload is one typed error
+/// (kInvalidArgument here; the replica layer re-types it kCorruption).
+std::string EncodeWalRecordsReply(const WalRecordsReply& reply);
+Result<WalRecordsReply> DecodeWalRecordsReply(std::string_view payload);
 
 std::string EncodePushDeltaFrame(const PushDeltaFrame& frame,
                                  const SymbolTable& symbols);

@@ -100,6 +100,11 @@ void Server::Stop() {
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  repl_stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> repl_lock(repl_mu_);
+  }
+  repl_cv_.notify_all();
   if (listener_ != nullptr) listener_->Close();
 
   // Drain: every admitted write completes and gets its response before any
@@ -202,6 +207,25 @@ std::string Server::StatsJson() const {
       ",\"barriers\":", s.barriers,
       ",\"resume_hits\":", s.resume_hits,
       ",\"resume_misses\":", s.resume_misses, "}");
+  if (persist::PersistenceManager* persistence = db_->persistence()) {
+    const persist::PersistenceManager::Stats p = persistence->stats();
+    out += StrCat(
+        ",\"repl\":{\"role\":\"primary\"",
+        ",\"last_durable_seq\":", p.last_seq,
+        ",\"settled_seq\":", persistence->settled_seq(),
+        ",\"feed_fetches\":", c.feed_fetches,
+        ",\"feed_records_shipped\":", c.feed_records_shipped, "}");
+  } else if (options_.replica_status != nullptr) {
+    const ReplicaInfo info = options_.replica_status->replica_status();
+    out += StrCat(
+        ",\"repl\":{\"role\":\"replica\"",
+        ",\"applied_seq\":", info.applied_seq,
+        ",\"primary_last_durable_seq\":", info.primary_last_durable_seq,
+        ",\"lag\":", info.lag(),
+        ",\"bounded\":", info.bounded ? 1 : 0,
+        ",\"stale_rejections\":", c.stale_rejections,
+        ",\"rejected_replica_writes\":", c.rejected_replica_writes, "}");
+  }
   if (metrics_ != nullptr) {
     out += StrCat(",\"metrics\":", metrics_->ToJson());
   }
@@ -375,6 +399,22 @@ bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
         SendError(conn, frame.request_id, decoded);
         return true;
       }
+      if (options_.replica_status != nullptr) {
+        // Replica-serving: refuse up front with the same typed status the
+        // facade's replica gate would produce, plus the non-retryable hint
+        // for tokened clients — retrying here can never succeed, the write
+        // belongs on the primary.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.rejected_replica_writes;
+        }
+        obs::MetricsRegistry::Add(metrics_, "server.rejected_replica_writes");
+        SendWriteError(conn, frame.request_id,
+                       FailedPreconditionError(
+                           "read-only replica: writes belong on the primary"),
+                       token.present(), /*retryable=*/false);
+        return true;
+      }
       WriteJob job;
       job.kind = frame.type == FrameType::kApply ? WriteJob::Kind::kApply
                                                  : WriteJob::Kind::kProcess;
@@ -395,7 +435,23 @@ bool Server::Dispatch(const std::shared_ptr<ConnState>& conn,
     case FrameType::kUnsubscribe:
       ServeUnsubscribe(conn, frame.request_id, frame.payload);
       return true;
+    case FrameType::kWalFetch:
+    case FrameType::kWalSubscribe:
+      ServeWalFetch(conn, frame.request_id, frame.payload,
+                    frame.type == FrameType::kWalSubscribe);
+      return true;
     case FrameType::kCheckpoint: {
+      if (options_.replica_status != nullptr) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.rejected_replica_writes;
+        }
+        obs::MetricsRegistry::Add(metrics_, "server.rejected_replica_writes");
+        SendError(conn, frame.request_id,
+                  FailedPreconditionError(
+                      "read-only replica: writes belong on the primary"));
+        return true;
+      }
       Result<Admission> admission = DecodeAdmissionOnly(frame.payload);
       if (!admission.ok()) {
         {
@@ -482,6 +538,33 @@ void Server::ServeQuery(const std::shared_ptr<ConnState>& conn, uint64_t id,
     SendError(conn, id, request.status());
     return;
   }
+  ReplicaInfo replica_info;
+  if (options_.replica_status != nullptr) {
+    replica_info = options_.replica_status->replica_status();
+    if (request->max_staleness.has_value() &&
+        (!replica_info.bounded ||
+         replica_info.lag() > *request->max_staleness)) {
+      // The bounded-staleness contract: too far behind (or unbounded with a
+      // dead feed) means a typed, retryable rejection — the client backs
+      // off and retries here, or falls over to a fresher server. Sending
+      // max_staleness opted the client into the hint extension.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.stale_rejections;
+      }
+      obs::MetricsRegistry::Add(metrics_, "server.stale_rejections");
+      SendWriteError(
+          conn, id,
+          UnavailableError(
+              replica_info.bounded
+                  ? StrCat("replica lag of ", replica_info.lag(),
+                           " records exceeds the requested bound of ",
+                           *request->max_staleness)
+                  : "replica feed is disconnected; staleness is unbounded"),
+          /*tokened=*/true, /*retryable=*/true);
+      return;
+    }
+  }
   Result<const ResourceGuard*> pinned =
       PinSession(conn, request->admission);
   if (!pinned.ok()) {
@@ -491,6 +574,12 @@ void Server::ServeQuery(const std::shared_ptr<ConnState>& conn, uint64_t id,
   Session& session = *conn->session;
   QueryReply reply;
   reply.version = session.version();
+  if (options_.replica_status != nullptr) {
+    reply.has_replica_status = true;
+    reply.applied_seq = replica_info.applied_seq;
+    reply.primary_last_durable_seq = replica_info.primary_last_durable_seq;
+    reply.bounded = replica_info.bounded;
+  }
   reply.answers.reserve(request->patterns.size());
   for (const Atom& pattern : request->patterns) {
     // Validate against the pinned schema so unknown predicates and arity
@@ -633,6 +722,17 @@ void Server::ServeHealth(const std::shared_ptr<ConnState>& conn, uint64_t id,
     reply.active_subscriptions = static_cast<uint32_t>(stats.active);
     reply.queued_deltas = stats.queued_batches;
     reply.gap_events = stats.gap_events;
+  }
+  if (options_.replica_status != nullptr) {
+    // The small print of the staleness contract: a replica has no local
+    // log, so last_durable_seq above stays 0 — the replication block is
+    // where its position (and the primary horizon it knows of) becomes
+    // observable, which is what makes max_staleness rejections diagnosable.
+    const ReplicaInfo info = options_.replica_status->replica_status();
+    reply.has_replication = true;
+    reply.applied_seq = info.applied_seq;
+    reply.primary_last_durable_seq = info.primary_last_durable_seq;
+    reply.feed_bounded = info.bounded;
   }
   SendReply(conn, id, FrameType::kHealthOk, EncodeHealthReply(reply));
 }
@@ -809,6 +909,91 @@ void Server::PusherLoop() {
 
 // ---- Write path (admission queue + writer thread) ---------------------------
 
+// ---- Replica feed (DESIGN.md §12) -------------------------------------------
+
+void Server::ServeWalFetch(const std::shared_ptr<ConnState>& conn,
+                           uint64_t id, std::string_view payload,
+                           bool long_poll) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests_read;
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.requests_read");
+  Result<WalFetchRequest> request = DecodeWalFetchRequest(payload);
+  if (!request.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.protocol_errors;
+    }
+    obs::MetricsRegistry::Add(metrics_, "server.protocol_errors");
+    SendError(conn, id, request.status());
+    return;
+  }
+  persist::PersistenceManager* persistence = db_->persistence();
+  if (persistence == nullptr) {
+    SendError(conn, id,
+              FailedPreconditionError(
+                  "this server has no durable log to ship (in-memory "
+                  "database or replica); point the feed at the primary"));
+    return;
+  }
+  const size_t max_records = request->max_records != 0
+                                 ? request->max_records
+                                 : options_.feed_max_records;
+  // Bound the batch's payload bytes well under the frame cap: the reply
+  // adds framing (CRCs, length prefixes, the horizon) on top.
+  const uint32_t bytes_cap = kMaxFramePayloadBytes / 2;
+  uint32_t max_bytes =
+      request->max_bytes != 0 ? request->max_bytes : options_.feed_max_bytes;
+  max_bytes = std::min(max_bytes, bytes_cap);
+  if (long_poll &&
+      persistence->settled_seq() <= request->from_seq) {
+    // Park in bounded slices off mu_ until a write settles past the cursor,
+    // the poll window lapses, or the server stops. The writer thread rings
+    // repl_cv_ after each executed write; the slices bound the staleness of
+    // a missed wakeup (e.g. a commit made directly on the facade).
+    uint32_t window_ms = options_.feed_poll_ms;
+    if (request->admission.deadline_ms != 0) {
+      window_ms = std::min(window_ms, request->admission.deadline_ms);
+    }
+    const Clock::time_point give_up =
+        Clock::now() + std::chrono::milliseconds(window_ms);
+    std::unique_lock<std::mutex> repl_lock(repl_mu_);
+    while (persistence->settled_seq() <= request->from_seq &&
+           !repl_stop_.load(std::memory_order_acquire) &&
+           Clock::now() < give_up) {
+      repl_cv_.wait_for(repl_lock, std::chrono::milliseconds(50));
+    }
+  }
+  Result<persist::PersistenceManager::FeedBatch> batch =
+      persistence->ReadFeedRecords(request->from_seq, max_records, max_bytes);
+  if (!batch.ok()) {
+    // kNotFound: a checkpoint truncated history past the cursor — the
+    // replica must re-seed from a snapshot. Typed, so the tailer can tell
+    // this apart from transient failures.
+    SendError(conn, id, batch.status());
+    return;
+  }
+  WalRecordsReply reply;
+  reply.primary_last_durable_seq = batch->last_durable_seq;
+  reply.records.reserve(batch->records.size());
+  for (persist::PersistenceManager::FeedRecord& record : batch->records) {
+    reply.records.push_back(
+        WalRecordsReply::Record{record.crc, std::move(record.payload)});
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.feed_fetches;
+    counters_.feed_records_shipped += reply.records.size();
+  }
+  obs::MetricsRegistry::Add(metrics_, "server.feed_fetches");
+  obs::MetricsRegistry::Add(metrics_, "server.feed_records_shipped",
+                            reply.records.size());
+  SendReply(conn, id,
+            long_poll ? FrameType::kWalSubscribeOk : FrameType::kWalRecords,
+            EncodeWalRecordsReply(reply));
+}
+
 void Server::EnqueueWrite(const std::shared_ptr<ConnState>& conn,
                           WriteJob job) {
   job.admitted_at = Clock::now();
@@ -941,6 +1126,13 @@ void Server::WriterLoop() {
           static_cast<int64_t>(write_queue_.size()));
       drained_cv_.notify_all();
     }
+    // Wake feed long-polls: the write may have settled new records. The
+    // empty lock pairs with the waiter's predicate re-check, so a wakeup
+    // cannot be lost between its check and its wait.
+    {
+      std::lock_guard<std::mutex> repl_lock(repl_mu_);
+    }
+    repl_cv_.notify_all();
   }
 }
 

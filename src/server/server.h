@@ -1,6 +1,7 @@
 #ifndef DEDDB_SERVER_SERVER_H_
 #define DEDDB_SERVER_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -21,6 +22,33 @@
 #include "util/resource_guard.h"
 
 namespace deddb::server {
+
+/// One observation of a replica's position in the feed (DESIGN.md §12): the
+/// staleness evidence attached to replica-served replies and the input to
+/// the max_staleness admission check.
+struct ReplicaInfo {
+  uint64_t applied_seq = 0;               // last replayed WAL sequence
+  uint64_t primary_last_durable_seq = 0;  // primary horizon at last contact
+  /// True while the feed is connected and its last exchange succeeded.
+  /// A disconnected replica's lag is unbounded regardless of the numbers
+  /// above, so every max_staleness read is rejected until the feed heals.
+  bool bounded = false;
+
+  uint64_t lag() const {
+    return primary_last_durable_seq > applied_seq
+               ? primary_last_durable_seq - applied_seq
+               : 0;
+  }
+};
+
+/// Where a replica-serving server reads its staleness evidence from —
+/// implemented by repl::Replica. Must be safe to call from any reader
+/// thread concurrently with the tailer applying records.
+class ReplicaStatusSource {
+ public:
+  virtual ~ReplicaStatusSource() = default;
+  virtual ReplicaInfo replica_status() const = 0;
+};
 
 /// Tuning and admission-control knobs. The defaults suit the test suites;
 /// `deddb_server` exposes the load-bearing ones as flags.
@@ -58,6 +86,20 @@ struct ServerOptions {
 
   /// Commits retained for resume-from-version reconnects.
   size_t cdc_retain = 256;
+
+  /// Non-owning: when set, this server fronts a replica. Queries carry the
+  /// staleness section, Health gains the replication block, max_staleness
+  /// is enforced, and write-class requests are refused up front
+  /// (kFailedPrecondition, non-retryable) instead of reaching the facade.
+  ReplicaStatusSource* replica_status = nullptr;
+
+  /// How long a kWalSubscribe waits for a new settled record before
+  /// answering with an empty batch (the long-poll window).
+  uint32_t feed_poll_ms = 1000;
+
+  /// Feed batch defaults, applied when the request passes 0.
+  uint32_t feed_max_records = 512;
+  uint32_t feed_max_bytes = 1u << 20;
 
   /// Metrics/tracing sink for the server.* series (queue depth, rejections,
   /// latencies). Nullable, like every obs hookup.
@@ -163,6 +205,11 @@ class Server {
                       std::string_view payload);
   void ServeUnsubscribe(const std::shared_ptr<ConnState>& conn, uint64_t id,
                         std::string_view payload);
+  /// The replica feed endpoint (kWalFetch / kWalSubscribe); `long_poll`
+  /// selects the waiting mode. Runs on the connection thread — the wait
+  /// parks in bounded slices off mu_, so it never stalls the server.
+  void ServeWalFetch(const std::shared_ptr<ConnState>& conn, uint64_t id,
+                     std::string_view payload, bool long_poll);
 
   /// Admission for write-class requests: quota, queue bound, shutdown.
   void EnqueueWrite(const std::shared_ptr<ConnState>& conn, WriteJob job);
@@ -248,6 +295,14 @@ class Server {
   bool degraded_ = false;
   bool stopped_ = false;  // teardown finished (set by the owning Stop)
 
+  /// Long-poll plumbing for the replica feed: the writer thread rings
+  /// repl_cv_ after each executed write (off mu_), and Stop() raises
+  /// repl_stop_ so parked feed waits unwind promptly. Own mutex so a parked
+  /// long-poll never holds — or waits for — mu_.
+  std::mutex repl_mu_;
+  std::condition_variable repl_cv_;
+  std::atomic<bool> repl_stop_{false};
+
   // Monotonic counters behind mu_; mirrored into the metrics registry and
   // the Stats frame.
   struct Counters {
@@ -267,6 +322,10 @@ class Server {
     uint64_t dedup_hits = 0;   // retried committed writes answered from the
                                // idempotency table (original reply, no
                                // second apply)
+    uint64_t feed_fetches = 0;          // kWalFetch/kWalSubscribe served
+    uint64_t feed_records_shipped = 0;  // WAL records sent to replicas
+    uint64_t stale_rejections = 0;      // max_staleness reads turned away
+    uint64_t rejected_replica_writes = 0;  // writes refused on a replica
   } counters_;
 };
 

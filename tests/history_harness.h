@@ -1,0 +1,346 @@
+// Shared scaffolding for the randomized history suites (DESIGN.md §10-§12):
+// server_history_test, server_chaos_test, sub_history_test, and
+// repl_history_test all drive a Server with seeded concurrent clients and
+// validate what the server *acknowledged* against a serial oracle. The
+// pieces every suite re-derived — the canonical fact-image rendering, the
+// acknowledged-write log, the acknowledged-prefix replay oracle, the
+// seeded persistent-or-in-memory database scaffold, and the retrying
+// chaos-client plumbing — live here once.
+//
+// Header-only and gtest-bound: oracle builders use ASSERT_*/EXPECT_* so a
+// violation names its seed via the caller's SCOPED_TRACE. Functions that
+// run on client threads (where gtest asserts are off-limits) report through
+// a `std::string* error` out-param instead.
+
+#ifndef DEDDB_TESTS_HISTORY_HARNESS_H_
+#define DEDDB_TESTS_HISTORY_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "server/chaos.h"
+#include "server/client.h"
+#include "server/transport.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace deddb::server::harness {
+
+// The shared vocabulary: two unary base predicates over six constants, plus
+// the view P(x) <- Q(x) & not R(x) for the suites that read through
+// derivation. Small enough that random traffic collides constantly (the
+// point), large enough that images differentiate histories.
+inline constexpr const char* kConstants[] = {"c0", "c1", "c2", "c3", "c4",
+                                             "c5"};
+inline constexpr size_t kNumConstants = 6;
+inline constexpr const char* kBasePreds[] = {"Q", "R"};
+inline constexpr size_t kNumBasePreds = 2;
+
+/// A ground base fact as (predicate name, constant name).
+using Fact = std::pair<std::string, std::string>;
+using FactSet = std::set<Fact>;
+
+/// Canonical image of a base-fact set: sorted "Pred(const)" atoms joined
+/// with ';'. Byte-equal images mean identical states.
+inline std::string ImageOf(const FactSet& facts) {
+  std::vector<std::string> rendered;
+  rendered.reserve(facts.size());
+  for (const auto& [pred, constant] : facts) {
+    rendered.push_back(StrCat(pred, "(", constant, ")"));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  return Join(rendered, ";");
+}
+
+/// What P(x) <- Q(x) & not R(x) derives from a canonical base image, for
+/// suites that assert view answers against the same snapshot.
+inline std::string DeriveP(const std::string& image) {
+  std::vector<std::string> answers;
+  for (const char* c : kConstants) {
+    const bool q = image.find(StrCat("Q(", c, ")")) != std::string::npos;
+    const bool r = image.find(StrCat("R(", c, ")")) != std::string::npos;
+    if (q && !r) answers.push_back(c);
+  }
+  return Join(answers, ";");
+}
+
+/// One acknowledged write: the server said this transaction committed and
+/// left the database at `version`. Events carry names, not ids, so any
+/// facade (offline oracle, replica, fresh symbol table) can replay them.
+struct AckedWrite {
+  uint64_t version = 0;
+  std::vector<std::tuple<std::string, std::string, bool>> events;
+};
+
+/// One acknowledged read: a batched Query answered at `version`, flattened
+/// to the canonical base image (and derived answers, when the batch asked
+/// for the view).
+struct AckedRead {
+  uint64_t version = 0;
+  std::string base_image;
+  std::string derived;
+};
+
+/// The serial acknowledged-prefix oracle. Acked writes, sorted by
+/// acknowledged version, replay into a version→image map. Distinct versions
+/// prove the writes serialized; replaying them from the empty initial state
+/// proves the acks describe what really committed; reads then check against
+/// the image at the largest acked version at or below their pinned version.
+class AckedPrefixOracle {
+ public:
+  /// Replays `acked` (any order). `divergence_hint` names what a replay
+  /// divergence means in the calling suite (e.g. "a retry applied twice").
+  void Build(std::vector<const AckedWrite*> acked, uint64_t base_version,
+             const char* divergence_hint) {
+    base_version_ = base_version;
+    std::sort(acked.begin(), acked.end(),
+              [](const AckedWrite* a, const AckedWrite* b) {
+                return a->version < b->version;
+              });
+    for (size_t i = 1; i < acked.size(); ++i) {
+      ASSERT_NE(acked[i - 1]->version, acked[i]->version)
+          << "two writes acknowledged the same commit version";
+    }
+    FactSet facts;
+    image_at_[base_version] = ImageOf(facts);
+    for (const AckedWrite* write : acked) {
+      ASSERT_GT(write->version, base_version);
+      for (const auto& [pred, constant, insert] : write->events) {
+        if (insert) {
+          ASSERT_TRUE(facts.insert({pred, constant}).second)
+              << "acked insert of a present fact — " << divergence_hint;
+        } else {
+          ASSERT_EQ(facts.erase({pred, constant}), 1u)
+              << "acked delete of an absent fact — " << divergence_hint;
+        }
+      }
+      image_at_[write->version] = ImageOf(facts);
+    }
+  }
+
+  /// The image at floor(acked version <= `version`). Fails the test when
+  /// `version` precedes the seed state.
+  std::string At(uint64_t version) const {
+    auto it = image_at_.upper_bound(version);
+    if (it == image_at_.begin()) {
+      ADD_FAILURE() << "read at version " << version
+                    << " precedes the seed state";
+      return "<before-seed>";
+    }
+    --it;
+    return it->second;
+  }
+
+  /// The full check one acknowledged read earns: its base image equals the
+  /// acknowledged commit prefix at its version, and (when the batch read
+  /// the view) the derived answers match the same snapshot.
+  void ExpectReadMatches(const AckedRead& read, bool check_derived) const {
+    EXPECT_EQ(read.base_image, At(read.version))
+        << "read at version " << read.version
+        << " does not match the acknowledged commit prefix";
+    if (check_derived) {
+      EXPECT_EQ(read.derived, DeriveP(read.base_image))
+          << "view answers inconsistent with base facts at version "
+          << read.version;
+    }
+  }
+
+  uint64_t base_version() const { return base_version_; }
+  const std::map<uint64_t, std::string>& image_at() const { return image_at_; }
+
+ private:
+  uint64_t base_version_ = 0;
+  std::map<uint64_t, std::string> image_at_;
+};
+
+/// A seeded database that is either in-memory or persistent in a fresh
+/// mkdtemp directory — the half-the-seeds-run-durably scaffold.
+struct SeededDb {
+  std::string dir;  // empty when in-memory
+  std::unique_ptr<DeductiveDatabase> db;
+};
+
+inline void OpenSeededDb(const char* prefix, bool persistent, SeededDb* out) {
+  if (!persistent) {
+    out->db = std::make_unique<DeductiveDatabase>();
+    return;
+  }
+  std::string tmpl = StrCat(::testing::TempDir(), prefix, "XXXXXX");
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  ASSERT_NE(::mkdtemp(buf.data()), nullptr);
+  out->dir = buf.data();
+  auto opened = DeductiveDatabase::OpenPersistent(out->dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  out->db = std::move(*opened);
+}
+
+/// Closes a persistent seeded database and removes its directory.
+inline void CloseSeededDb(SeededDb* seeded) {
+  if (seeded->dir.empty()) return;
+  ASSERT_TRUE(seeded->db->Close().ok());
+  seeded->db.reset();
+  std::string cmd = StrCat("rm -rf ", seeded->dir);
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+}
+
+/// Declares the shared Q/R(/P) schema. The view (and its materialization)
+/// is optional because some suites only exercise base writes.
+inline void DeclareQRSchema(DeductiveDatabase* db, bool with_view,
+                            bool materialize) {
+  ASSERT_TRUE(db->DeclareBase("Q", 1).ok());
+  ASSERT_TRUE(db->DeclareBase("R", 1).ok());
+  if (!with_view) return;
+  Result<SymbolId> p = db->DeclareView("P", 1);
+  ASSERT_TRUE(p.ok());
+  Term x = db->Variable("x");
+  ASSERT_TRUE(
+      db->AddRule(Rule(db->MakeAtom("P", {x}).value(),
+                       {Literal::Positive(db->MakeAtom("Q", {x}).value()),
+                        Literal::Negative(db->MakeAtom("R", {x}).value())}))
+          .ok());
+  if (materialize) {
+    ASSERT_TRUE(db->MaterializeView(*p).ok());
+    ASSERT_TRUE(db->InitializeMaterializedViews().ok());
+  }
+}
+
+/// Dials through the chaos transport: both the connect and every later
+/// read/write can fault.
+inline Dialer DialThrough(LoopbackNetwork* network, FaultyNetwork* chaos) {
+  return [network, chaos]() -> Result<std::unique_ptr<Connection>> {
+    Result<std::unique_ptr<Connection>> conn = network->Connect();
+    if (!conn.ok()) return conn.status();
+    return chaos->Wrap(std::move(*conn));
+  };
+}
+
+/// Client options for retry-until-definitive runs: exactly-once tokens
+/// (client_id != 0), a generous attempt cap so a pathological seed fails
+/// loudly instead of spinning, and fast jittered backoff.
+inline ClientOptions RetryOptions(uint64_t client_id, uint64_t seed) {
+  ClientOptions options;
+  options.client_id = client_id;
+  options.max_attempts = 200;
+  options.backoff.base = std::chrono::microseconds(50);
+  options.backoff.cap = std::chrono::microseconds(2000);
+  options.backoff.seed = seed;
+  return options;
+}
+
+/// Builds a 1..max_events random transaction against `guess` (delete what
+/// the guess says is present, insert what it says is absent). `guess` is
+/// NOT updated — fold the write in only if the server acknowledges it.
+/// Returns false (with *error set) only on an internal failure; an empty
+/// transaction after dedup is possible and fine.
+inline bool BuildGuessedWrite(Rng* rng, Client* client, const FactSet& guess,
+                              size_t max_events, Transaction* txn,
+                              AckedWrite* write, std::string* error) {
+  std::set<std::pair<size_t, size_t>> touched;
+  const size_t num_events = 1 + rng->NextBelow(max_events);
+  for (size_t e = 0; e < num_events; ++e) {
+    const size_t p = rng->NextBelow(kNumBasePreds);
+    const size_t c = rng->NextBelow(kNumConstants);
+    if (!touched.insert({p, c}).second) continue;
+    Atom fact = client->GroundAtom(kBasePreds[p], {kConstants[c]});
+    const bool present = guess.count({kBasePreds[p], kConstants[c]}) > 0;
+    Status added = present ? txn->AddDelete(fact) : txn->AddInsert(fact);
+    if (!added.ok()) {
+      *error = added.ToString();
+      return false;
+    }
+    write->events.emplace_back(kBasePreds[p], kConstants[c], !present);
+  }
+  return true;
+}
+
+/// Folds an acknowledged write's events into the tracked guess.
+inline void FoldWriteIntoGuess(const AckedWrite& write, FactSet* guess) {
+  for (const auto& [pred, constant, insert] : write.events) {
+    if (insert) {
+      guess->insert({pred, constant});
+    } else {
+      guess->erase({pred, constant});
+    }
+  }
+}
+
+/// Commits through the facade the suite is exercising. A processor
+/// integrity rejection comes back as kFailedPrecondition (nothing applied,
+/// not an ack), indistinguishable to callers from a validity rejection —
+/// which is the point: both mean "definitively not committed".
+inline Result<uint64_t> CommitWrite(Client* client, const Transaction& txn,
+                                    bool via_processor) {
+  if (via_processor) {
+    Result<ProcessReply> reply = client->Process(txn);
+    if (!reply.ok()) return reply.status();
+    if (!reply->accepted) return FailedPreconditionError("rejected");
+    return reply->version;
+  }
+  Result<ApplyReply> reply = client->Apply(txn);
+  if (!reply.ok()) return reply.status();
+  return reply->version;
+}
+
+/// True when a commit outcome is a definitive non-ack (validity or
+/// integrity rejection) rather than a gave-up-unknown failure.
+inline bool IsDefinitiveRejection(const Status& status) {
+  return status.code() == StatusCode::kInvalidArgument ||
+         status.code() == StatusCode::kFailedPrecondition;
+}
+
+/// Flattens a batched base-read reply (answers[0] = Q, answers[1] = R, and
+/// optionally answers[2] = P) into an AckedRead, refreshing `guess` to the
+/// observed state. Returns false (with *error set) on a malformed tuple.
+inline bool DecodeBaseRead(Client* client, const QueryReply& reply,
+                           FactSet* guess, AckedRead* read,
+                           std::string* error) {
+  if (reply.answers.size() < kNumBasePreds) {
+    *error = "reply missing base-pattern answers";
+    return false;
+  }
+  read->version = reply.version;
+  std::vector<std::string> base;
+  guess->clear();
+  for (size_t p = 0; p < kNumBasePreds; ++p) {
+    for (const Tuple& t : reply.answers[p]) {
+      if (t.size() != 1) {
+        *error = "non-unary answer tuple";
+        return false;
+      }
+      const std::string& name = client->symbols().NameOf(t[0]);
+      base.push_back(StrCat(kBasePreds[p], "(", name, ")"));
+      guess->insert({kBasePreds[p], name});
+    }
+  }
+  std::sort(base.begin(), base.end());
+  read->base_image = Join(base, ";");
+  if (reply.answers.size() > kNumBasePreds) {
+    std::vector<std::string> derived;
+    for (const Tuple& t : reply.answers[kNumBasePreds]) {
+      if (t.size() != 1) {
+        *error = "non-unary derived tuple";
+        return false;
+      }
+      derived.push_back(std::string(client->symbols().NameOf(t[0])));
+    }
+    std::sort(derived.begin(), derived.end());
+    read->derived = Join(derived, ";");
+  }
+  return true;
+}
+
+}  // namespace deddb::server::harness
+
+#endif  // DEDDB_TESTS_HISTORY_HARNESS_H_

@@ -1,0 +1,643 @@
+// The replication trust-boundary proof (DESIGN.md §12). Three layers:
+//
+//  1. Wire damage: a genuine feed batch — fetched from a real primary's
+//     server, carrying real WAL record payloads — is truncated at every
+//     byte offset and bit-flipped at every byte offset, and every damaged
+//     variant must come back from repl::DecodeFeedBatch as typed
+//     kCorruption (the trailing frame CRC makes flips the structural parse
+//     would tolerate detectable).
+//  2. Recovery discipline: a replica whose feed connection delivers a
+//     damaged batch refuses it, tears the connection down, and re-requests
+//     from its durable cursor — applying every record exactly once and
+//     converging to the primary's exact state, with the rejection visible
+//     in its stats.
+//  3. The bounded-staleness contract (the Health small-fix riding along):
+//     replica-serving servers reject writes, enforce max_staleness with
+//     typed retryable kUnavailable, attach staleness evidence to query
+//     replies, and expose the replication block through Health — while a
+//     primary's Health carries last_durable_seq and no replication block.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "history_harness.h"
+#include "repl/feed.h"
+#include "repl/replica.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "util/crc32.h"
+#include "util/strings.h"
+
+namespace deddb::repl {
+namespace {
+
+namespace hh = server::harness;
+using server::Client;
+using server::ClientOptions;
+using server::Connection;
+using server::FrameType;
+using server::LoopbackNetwork;
+using server::OwnedFrame;
+using server::QueryReply;
+using server::ReplicaInfo;
+using server::Server;
+using server::ServerOptions;
+using server::WalRecordsReply;
+
+/// Polls `cond` (from this thread) until it holds or ~5s elapse.
+template <typename Cond>
+bool WaitUntil(Cond cond) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!cond()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+/// Canonical base image of a database read through a pinned session.
+std::string DbImage(DeductiveDatabase* db) {
+  auto session = db->BeginSession();
+  if (!session.ok()) return StrCat("<", session.status().ToString(), ">");
+  hh::FactSet facts;
+  for (const char* pred : hh::kBasePreds) {
+    Result<Atom> pattern = db->MakeAtom(pred, {db->Variable("x")});
+    if (!pattern.ok()) return StrCat("<", pattern.status().ToString(), ">");
+    Result<std::vector<Tuple>> answers = (*session)->Solve(*pattern);
+    if (!answers.ok()) return StrCat("<", answers.status().ToString(), ">");
+    for (const Tuple& t : *answers) {
+      facts.insert({pred, std::string(db->symbols().NameOf(t[0]))});
+    }
+  }
+  return hh::ImageOf(facts);
+}
+
+/// A persistent primary fronted by a Server on a loopback network, with a
+/// client helper that commits distinguishable writes.
+struct Primary {
+  hh::SeededDb seeded;
+  LoopbackNetwork network;
+  std::unique_ptr<Server> server;
+  uint64_t commits = 0;
+
+  void Start() {
+    hh::OpenSeededDb("replfeed", /*persistent=*/true, &seeded);
+    if (::testing::Test::HasFatalFailure()) return;
+    hh::DeclareQRSchema(seeded.db.get(), /*with_view=*/true,
+                        /*materialize=*/false);
+    ASSERT_TRUE(seeded.db->Checkpoint().ok());
+    server = std::make_unique<Server>(seeded.db.get());
+    ASSERT_TRUE(server->Serve(network.TakeListener()).ok());
+  }
+
+  /// Inserts Q(c<i mod 6>) or R(...) alternating, via the protocol.
+  void Commit(size_t n) {
+    auto conn = network.Connect();
+    ASSERT_TRUE(conn.ok());
+    Client client(std::move(*conn));
+    for (size_t i = 0; i < n; ++i) {
+      Transaction txn;
+      const char* pred = hh::kBasePreds[commits % hh::kNumBasePreds];
+      const char* constant =
+          hh::kConstants[(commits / hh::kNumBasePreds) % hh::kNumConstants];
+      ASSERT_TRUE(txn.AddInsert(client.GroundAtom(pred, {constant})).ok());
+      Result<server::ApplyReply> reply = client.Apply(txn);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      ++commits;
+    }
+    client.Close();
+  }
+
+  void StopAndClose() {
+    if (server != nullptr) server->Stop();
+    hh::CloseSeededDb(&seeded);
+  }
+};
+
+/// A fresh in-memory replica database carrying the primary's schema.
+std::unique_ptr<DeductiveDatabase> MakeReplicaDb() {
+  auto db = std::make_unique<DeductiveDatabase>();
+  hh::DeclareQRSchema(db.get(), /*with_view=*/true, /*materialize=*/false);
+  if (::testing::Test::HasFatalFailure()) return nullptr;
+  EXPECT_TRUE(db->EnterReplicaMode().ok());
+  return db;
+}
+
+/// Fetches one raw feed batch payload straight off the wire (no decode).
+std::string RawFetchPayload(LoopbackNetwork* network, uint64_t from_seq) {
+  auto conn = network->Connect();
+  if (!conn.ok()) return "";
+  server::WalFetchRequest request;
+  request.from_seq = from_seq;
+  Status written =
+      server::WriteFrame(conn->get(), FrameType::kWalFetch, 1,
+                         server::EncodeWalFetchRequest(request));
+  if (!written.ok()) return "";
+  Result<std::optional<OwnedFrame>> frame = server::ReadFrame(conn->get());
+  (*conn)->Close();
+  if (!frame.ok() || !frame->has_value() ||
+      (**frame).type != FrameType::kWalRecords) {
+    return "";
+  }
+  return std::move((**frame).payload);
+}
+
+// ---- 1. Wire damage ---------------------------------------------------------
+
+TEST(ReplFeedTest, DamagedBatchAtEveryByteOffsetIsTypedCorruption) {
+  Primary primary;
+  primary.Start();
+  if (::testing::Test::HasFatalFailure()) return;
+  primary.Commit(5);
+
+  const std::string payload = RawFetchPayload(&primary.network, 0);
+  ASSERT_FALSE(payload.empty());
+  Result<WalRecordsReply> intact = DecodeFeedBatch(payload);
+  ASSERT_TRUE(intact.ok()) << intact.status().ToString();
+  ASSERT_EQ(intact->records.size(), 5u);
+
+  for (size_t len = 0; len < payload.size(); ++len) {
+    Result<WalRecordsReply> refused =
+        DecodeFeedBatch(std::string_view(payload).substr(0, len));
+    ASSERT_FALSE(refused.ok()) << "prefix of " << len << " decoded";
+    EXPECT_EQ(refused.status().code(), StatusCode::kCorruption)
+        << "prefix of " << len << ": " << refused.status().ToString();
+  }
+  for (size_t offset = 0; offset < payload.size(); ++offset) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xFF}}) {
+      std::string damaged = payload;
+      damaged[offset] = static_cast<char>(damaged[offset] ^ mask);
+      Result<WalRecordsReply> refused = DecodeFeedBatch(damaged);
+      ASSERT_FALSE(refused.ok())
+          << "flip at " << offset << " mask " << int{mask} << " decoded";
+      EXPECT_EQ(refused.status().code(), StatusCode::kCorruption);
+    }
+  }
+
+  primary.StopAndClose();
+}
+
+TEST(ReplFeedTest, RecordCrcCatchesDamageBehindAValidFrameChecksum) {
+  // End-to-end vs hop-by-hop: damage a record, then *recompute* the frame
+  // CRC so the wire checksum passes — the per-record CRC (the one that
+  // framed the record in the primary's log) must still refuse it.
+  Primary primary;
+  primary.Start();
+  if (::testing::Test::HasFatalFailure()) return;
+  primary.Commit(2);
+
+  const std::string payload = RawFetchPayload(&primary.network, 0);
+  ASSERT_FALSE(payload.empty());
+  Result<WalRecordsReply> intact = DecodeFeedBatch(payload);
+  ASSERT_TRUE(intact.ok());
+  WalRecordsReply tampered = *intact;
+  ASSERT_FALSE(tampered.records.empty());
+  ASSERT_FALSE(tampered.records[0].payload.empty());
+  tampered.records[0].payload[0] ^= 0x01;
+  // Encode re-stamps a valid frame CRC over the tampered content.
+  Result<WalRecordsReply> refused =
+      DecodeFeedBatch(server::EncodeWalRecordsReply(tampered));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kCorruption);
+
+  primary.StopAndClose();
+}
+
+// ---- 2. Recovery discipline -------------------------------------------------
+
+/// Flips one byte of the server→client stream at a fixed absolute offset,
+/// at most once across all wrapped connections; everything else passes
+/// through (including cross-thread Close).
+class FlipOnceConnection : public Connection {
+ public:
+  FlipOnceConnection(std::unique_ptr<Connection> inner, size_t flip_offset,
+                     std::atomic<int>* flips_left)
+      : inner_(std::move(inner)),
+        flip_offset_(flip_offset),
+        flips_left_(flips_left) {}
+
+  Result<size_t> Read(char* buf, size_t len) override {
+    Result<size_t> got = inner_->Read(buf, len);
+    if (!got.ok()) return got;
+    const size_t n = *got;
+    if (stream_offset_ <= flip_offset_ && flip_offset_ < stream_offset_ + n &&
+        flips_left_->fetch_sub(1, std::memory_order_acq_rel) > 0) {
+      buf[flip_offset_ - stream_offset_] ^= 0x01;
+    }
+    stream_offset_ += n;
+    return n;
+  }
+  Status Write(const char* buf, size_t len) override {
+    return inner_->Write(buf, len);
+  }
+  void Close() override { inner_->Close(); }
+
+ private:
+  std::unique_ptr<Connection> inner_;
+  size_t stream_offset_ = 0;
+  const size_t flip_offset_;
+  std::atomic<int>* flips_left_;
+};
+
+TEST(ReplFeedTest, ReplicaRefetchesFromCursorInsteadOfApplyingDamage) {
+  Primary primary;
+  primary.Start();
+  if (::testing::Test::HasFatalFailure()) return;
+  primary.Commit(6);
+
+  std::unique_ptr<DeductiveDatabase> replica_db = MakeReplicaDb();
+  ASSERT_NE(replica_db, nullptr);
+
+  // The first feed connection flips one byte inside the first reply's
+  // payload (frame header is 13 bytes; offset 16 lands in the batch body),
+  // after which every redial is clean.
+  std::atomic<int> flips_left{1};
+  LoopbackNetwork* network = &primary.network;
+  Replica replica(replica_db.get(),
+                  [network, &flips_left]()
+                      -> Result<std::unique_ptr<Connection>> {
+                    Result<std::unique_ptr<Connection>> conn =
+                        network->Connect();
+                    if (!conn.ok()) return conn.status();
+                    return std::unique_ptr<Connection>(
+                        std::make_unique<FlipOnceConnection>(
+                            std::move(*conn), /*flip_offset=*/16,
+                            &flips_left));
+                  });
+  ASSERT_TRUE(replica.Start().ok());
+
+  ASSERT_TRUE(WaitUntil([&] {
+    return replica.replica_status().applied_seq == primary.commits;
+  })) << "replica never converged; last feed error: "
+      << replica.last_feed_error().ToString();
+
+  const Replica::Stats stats = replica.stats();
+  EXPECT_LE(flips_left.load(), 0) << "the damaged batch was never delivered";
+  EXPECT_GE(stats.corruption_rejections, 1u)
+      << "the damaged batch was applied instead of rejected";
+  EXPECT_GE(stats.reconnects, 1u);
+  // Exactly once per record: the cursor discipline re-requested the damaged
+  // batch without skipping or double-applying anything.
+  EXPECT_EQ(stats.records_applied, primary.commits);
+  EXPECT_EQ(DbImage(replica_db.get()), DbImage(primary.seeded.db.get()));
+  EXPECT_EQ(replica_db->version(), primary.seeded.db->version());
+
+  replica.Stop();
+  primary.StopAndClose();
+}
+
+TEST(ReplFeedTest, MidStreamDisconnectResumesWithoutSkipOrDuplicate) {
+  Primary primary;
+  primary.Start();
+  if (::testing::Test::HasFatalFailure()) return;
+  primary.Commit(3);
+
+  std::unique_ptr<DeductiveDatabase> replica_db = MakeReplicaDb();
+  ASSERT_NE(replica_db, nullptr);
+  LoopbackNetwork* network = &primary.network;
+  Replica replica(replica_db.get(), [network] { return network->Connect(); });
+  ASSERT_TRUE(replica.Start().ok());
+  ASSERT_TRUE(WaitUntil(
+      [&] { return replica.replica_status().applied_seq == primary.commits; }));
+
+  // Kill the feed mid-stream, commit more, and the tailer must resume from
+  // its cursor: every record applies exactly once.
+  replica.DropFeedConnectionForTest();
+  primary.Commit(4);
+  ASSERT_TRUE(WaitUntil(
+      [&] { return replica.replica_status().applied_seq == primary.commits; }))
+      << "replica never caught back up; last feed error: "
+      << replica.last_feed_error().ToString();
+  EXPECT_EQ(replica.stats().records_applied, primary.commits);
+  EXPECT_EQ(DbImage(replica_db.get()), DbImage(primary.seeded.db.get()));
+
+  replica.Stop();
+  primary.StopAndClose();
+}
+
+TEST(ReplFeedTest, ReplayRefusalBehindConsistentChecksumsIsVisibleNotApplied) {
+  // The last line of defense: a hostile primary ships a batch whose frame
+  // CRC and per-record CRC are both self-consistent, but whose record
+  // payload is not a WAL commit record. The feed layer cannot refuse it —
+  // replay must: ApplyReplicated rejects the decode, the tailer drops the
+  // batch, surfaces the error, and never advances the cursor.
+  LoopbackNetwork network;
+  std::unique_ptr<server::Listener> listener = network.TakeListener();
+  std::thread evil([&listener] {
+    while (true) {
+      Result<std::unique_ptr<Connection>> conn = listener->Accept();
+      if (!conn.ok()) return;  // listener closed: test over
+      Result<std::optional<OwnedFrame>> frame =
+          server::ReadFrame(conn->get());
+      if (!frame.ok() || !frame->has_value()) continue;
+      WalRecordsReply reply;
+      reply.primary_last_durable_seq = 1;
+      WalRecordsReply::Record record;
+      record.payload = "garbage, checksummed consistently";
+      record.crc = Crc32(record.payload);
+      reply.records.push_back(std::move(record));
+      const FrameType type = (**frame).type == FrameType::kWalSubscribe
+                                 ? FrameType::kWalSubscribeOk
+                                 : FrameType::kWalRecords;
+      (void)server::WriteFrame(conn->get(), type, (**frame).request_id,
+                               server::EncodeWalRecordsReply(reply));
+    }
+  });
+
+  std::unique_ptr<DeductiveDatabase> replica_db = MakeReplicaDb();
+  ASSERT_NE(replica_db, nullptr);
+  Replica replica(replica_db.get(), [&network] { return network.Connect(); });
+  ASSERT_TRUE(replica.Start().ok());
+
+  // Two rejections prove the retry loop re-fetches (and re-refuses) rather
+  // than wedging or skipping past the poison record.
+  ASSERT_TRUE(WaitUntil(
+      [&] { return replica.stats().corruption_rejections >= 2; }));
+  EXPECT_EQ(replica.stats().records_applied, 0u);
+  EXPECT_EQ(replica.replica_status().applied_seq, 0u);
+  EXPECT_FALSE(replica.replica_status().bounded);
+  EXPECT_FALSE(replica.last_feed_error().ok());
+
+  replica.Stop();
+  listener->Close();
+  evil.join();
+}
+
+TEST(ReplFeedTest, StartRequiresReplicaModeAndRefusesDoubleStart) {
+  LoopbackNetwork network;
+  {
+    // Not in replica mode: the tailer would be a second local writer.
+    DeductiveDatabase db;
+    hh::DeclareQRSchema(&db, /*with_view=*/false, /*materialize=*/false);
+    Replica replica(&db, [&network] { return network.Connect(); });
+    Status started = replica.Start();
+    ASSERT_FALSE(started.ok());
+    EXPECT_EQ(started.code(), StatusCode::kFailedPrecondition);
+  }
+  std::unique_ptr<DeductiveDatabase> replica_db = MakeReplicaDb();
+  ASSERT_NE(replica_db, nullptr);
+  Replica replica(replica_db.get(), [&network] { return network.Connect(); });
+  ASSERT_TRUE(replica.Start().ok());
+  Status again = replica.Start();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  replica.Stop();
+}
+
+// ---- 3. The bounded-staleness contract --------------------------------------
+
+/// A settable status source, so the enforcement matrix is deterministic
+/// instead of racing a real tailer.
+class StubStatus : public server::ReplicaStatusSource {
+ public:
+  ReplicaInfo replica_status() const override {
+    ReplicaInfo info;
+    info.applied_seq = applied.load();
+    info.primary_last_durable_seq = primary.load();
+    info.bounded = bounded.load();
+    return info;
+  }
+  std::atomic<uint64_t> applied{0};
+  std::atomic<uint64_t> primary{0};
+  std::atomic<bool> bounded{true};
+};
+
+TEST(ReplFeedTest, StalenessBoundsAreEnforcedAndEvidenceAttached) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  hh::DeclareQRSchema(db.get(), /*with_view=*/false, /*materialize=*/false);
+
+  StubStatus status;
+  status.applied = 40;
+  status.primary = 45;
+  LoopbackNetwork network;
+  ServerOptions options;
+  options.replica_status = &status;
+  Server server(db.get(), std::move(options));
+  ASSERT_TRUE(server.Serve(network.TakeListener()).ok());
+
+  auto query_with_bound =
+      [&](std::optional<uint64_t> bound) -> Result<QueryReply> {
+    ClientOptions client_options;
+    client_options.max_staleness = bound;
+    client_options.max_attempts = 2;
+    client_options.backoff.base = std::chrono::microseconds(50);
+    client_options.backoff.cap = std::chrono::microseconds(200);
+    Client client([&network] { return network.Connect(); }, client_options);
+    Result<QueryReply> reply =
+        client.Query({client.MakeAtom("Q", {client.Variable("x")})});
+    client.Close();
+    return reply;
+  };
+
+  // Lag 5 within bound 10: admitted, with the staleness evidence attached.
+  Result<QueryReply> fresh = query_with_bound(10);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_TRUE(fresh->has_replica_status);
+  EXPECT_EQ(fresh->applied_seq, 40u);
+  EXPECT_EQ(fresh->primary_last_durable_seq, 45u);
+  EXPECT_TRUE(fresh->bounded);
+
+  // Lag 5 over bound 3: typed retryable kUnavailable (the client's retry
+  // loop re-attempts, then surfaces the rejection).
+  Result<QueryReply> stale = query_with_bound(3);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kUnavailable);
+
+  // No bound: admitted at any lag.
+  Result<QueryReply> unbounded_read = query_with_bound(std::nullopt);
+  ASSERT_TRUE(unbounded_read.ok()) << unbounded_read.status().ToString();
+  EXPECT_TRUE(unbounded_read->has_replica_status);
+
+  // Disconnected feed: every bounded read is rejected, even a huge bound —
+  // with no horizon the lag cannot be bounded at all.
+  status.bounded = false;
+  Result<QueryReply> dark = query_with_bound(1u << 20);
+  ASSERT_FALSE(dark.ok());
+  EXPECT_EQ(dark.status().code(), StatusCode::kUnavailable);
+  status.bounded = true;
+
+  // Writes never belong on a replica: refused non-retryably, and the
+  // refusal is counted.
+  {
+    auto conn = network.Connect();
+    ASSERT_TRUE(conn.ok());
+    Client client(std::move(*conn));
+    Transaction txn;
+    ASSERT_TRUE(txn.AddInsert(client.GroundAtom("Q", {"c0"})).ok());
+    Result<server::ApplyReply> write = client.Apply(txn);
+    ASSERT_FALSE(write.ok());
+    EXPECT_EQ(write.status().code(), StatusCode::kFailedPrecondition);
+    client.Close();
+  }
+  const std::string stats = server.StatsJson();
+  EXPECT_NE(stats.find("\"role\":\"replica\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"rejected_replica_writes\":1"), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"stale_rejections\":"), std::string::npos) << stats;
+
+  // The Health small-fix: a replica's probe carries the replication block
+  // (applied/primary/bounded — what makes a max_staleness rejection
+  // diagnosable) and last_durable_seq stays 0 (a replica has no local log).
+  {
+    auto conn = network.Connect();
+    ASSERT_TRUE(conn.ok());
+    Client client(std::move(*conn));
+    Result<server::HealthReply> health = client.Health();
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    EXPECT_TRUE(health->has_replication);
+    EXPECT_EQ(health->applied_seq, 40u);
+    EXPECT_EQ(health->primary_last_durable_seq, 45u);
+    EXPECT_TRUE(health->feed_bounded);
+    EXPECT_EQ(health->last_durable_seq, 0u);
+    client.Close();
+  }
+
+  server.Stop();
+}
+
+TEST(ReplFeedTest, PrimaryHealthCarriesDurableSeqAndNoReplicationBlock) {
+  Primary primary;
+  primary.Start();
+  if (::testing::Test::HasFatalFailure()) return;
+  primary.Commit(3);
+
+  auto conn = primary.network.Connect();
+  ASSERT_TRUE(conn.ok());
+  Client client(std::move(*conn));
+  Result<server::HealthReply> health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_FALSE(health->has_replication);
+  EXPECT_EQ(health->last_durable_seq, primary.commits);
+  client.Close();
+
+  const std::string stats = primary.server->StatsJson();
+  EXPECT_NE(stats.find("\"role\":\"primary\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find(StrCat("\"settled_seq\":", primary.commits)),
+            std::string::npos)
+      << stats;
+
+  primary.StopAndClose();
+}
+
+TEST(ReplFeedTest, UnboundedFeedAfterPrimaryStopsRejectsBoundedReads) {
+  Primary primary;
+  primary.Start();
+  if (::testing::Test::HasFatalFailure()) return;
+  primary.Commit(4);
+
+  std::unique_ptr<DeductiveDatabase> replica_db = MakeReplicaDb();
+  ASSERT_NE(replica_db, nullptr);
+  LoopbackNetwork* feed_net = &primary.network;
+  Replica replica(replica_db.get(), [feed_net] { return feed_net->Connect(); });
+  ASSERT_TRUE(replica.Start().ok());
+  ASSERT_TRUE(WaitUntil([&] {
+    const ReplicaInfo info = replica.replica_status();
+    return info.bounded && info.applied_seq == primary.commits;
+  }));
+
+  // Serve reads from the replica.
+  LoopbackNetwork serve_net;
+  ServerOptions options;
+  options.replica_status = &replica;
+  Server replica_server(replica_db.get(), std::move(options));
+  ASSERT_TRUE(replica_server.Serve(serve_net.TakeListener()).ok());
+
+  auto bounded_read = [&]() -> Result<QueryReply> {
+    ClientOptions client_options;
+    client_options.max_staleness = 0;  // only serve when fully caught up
+    client_options.max_attempts = 2;
+    client_options.backoff.base = std::chrono::microseconds(50);
+    client_options.backoff.cap = std::chrono::microseconds(200);
+    Client client([&serve_net] { return serve_net.Connect(); },
+                  client_options);
+    Result<QueryReply> reply =
+        client.Query({client.MakeAtom("Q", {client.Variable("x")})});
+    client.Close();
+    return reply;
+  };
+
+  // Caught up and bounded: a zero-staleness read is admitted.
+  Result<QueryReply> live = bounded_read();
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  EXPECT_TRUE(live->bounded);
+  EXPECT_EQ(live->applied_seq, live->primary_last_durable_seq);
+
+  // Primary gone: the tailer observes the loss, the feed goes unbounded,
+  // and the same read is now a typed rejection — while an unbounded client
+  // still reads the (frozen) replica state.
+  primary.server->Stop();
+  ASSERT_TRUE(WaitUntil([&] { return !replica.replica_status().bounded; }));
+  Result<QueryReply> dark = bounded_read();
+  ASSERT_FALSE(dark.ok());
+  EXPECT_EQ(dark.status().code(), StatusCode::kUnavailable);
+
+  {
+    auto conn = serve_net.Connect();
+    ASSERT_TRUE(conn.ok());
+    Client client(std::move(*conn));
+    Result<QueryReply> reply =
+        client.Query({client.MakeAtom("Q", {client.Variable("x")})});
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_FALSE(reply->bounded);
+    client.Close();
+  }
+
+  replica_server.Stop();
+  replica.Stop();
+  primary.StopAndClose();
+}
+
+TEST(ReplFeedTest, FeedFromInMemoryServerIsTypedRefusalWithoutTeardown) {
+  // An in-memory (or replica) server has no durable log to ship; the feed
+  // surfaces the server's typed answer and keeps the connection healthy.
+  auto db = std::make_unique<DeductiveDatabase>();
+  hh::DeclareQRSchema(db.get(), /*with_view=*/false, /*materialize=*/false);
+  LoopbackNetwork network;
+  Server server(db.get());
+  ASSERT_TRUE(server.Serve(network.TakeListener()).ok());
+
+  ReplicaFeed feed([&network] { return network.Connect(); });
+  Result<WalRecordsReply> batch = feed.Fetch(0, /*long_poll=*/false);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(feed.connected());
+
+  feed.Disconnect();
+  server.Stop();
+}
+
+TEST(ReplFeedTest, ReplicaModeRefusesEveryLocalMutation) {
+  auto db = std::make_unique<DeductiveDatabase>();
+  hh::DeclareQRSchema(db.get(), /*with_view=*/false, /*materialize=*/false);
+  ASSERT_TRUE(db->EnterReplicaMode().ok());
+  // Double-enter is refused too.
+  EXPECT_EQ(db->EnterReplicaMode().code(), StatusCode::kFailedPrecondition);
+
+  EXPECT_EQ(db->DeclareBase("S", 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  Result<Atom> fact = db->GroundAtom("Q", {"c0"});
+  ASSERT_TRUE(fact.ok());
+  EXPECT_EQ(db->AddFact(*fact).code(), StatusCode::kFailedPrecondition);
+  Result<Transaction> txn = db->MakeTransaction(
+      {{DeductiveDatabase::Op::kInsert, *fact}});
+  ASSERT_TRUE(txn.ok());
+  EXPECT_EQ(db->Apply(*txn).code(), StatusCode::kFailedPrecondition);
+
+  // Reads stay open: a replica is a read-only database, not a dead one.
+  EXPECT_TRUE(db->BeginSession().ok());
+}
+
+}  // namespace
+}  // namespace deddb::repl

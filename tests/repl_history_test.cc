@@ -1,0 +1,358 @@
+// The replication chaos matrix (DESIGN.md §12): 100 seeded runs, each a
+// persistent primary fronted by a Server behind a FaultyNetwork, driven by
+// 1-2 concurrent tokened writers, with 1-3 WAL-shipping replicas tailing
+// the feed through the same hostile network. Every replica is observed by a
+// reader thread taking pinned-session snapshots of (version, state image)
+// while records apply, and forcing a mid-stream feed disconnect every few
+// observations.
+//
+// The oracle is the serial acknowledged-prefix replay from
+// tests/history_harness.h, with a twist the direct-apply path makes
+// available: each acknowledged Apply is exactly one commit record and one
+// version bump, and exactly-once tokens mean every commit that happened is
+// acknowledged by its writer — so the acked versions are *dense* and the
+// oracle knows the primary's exact image at every version, not just at
+// acked floors. Every replica observation must therefore be byte-identical
+// to the oracle image at its version: a skipped record surfaces as a
+// version gap or image mismatch, a double-applied record as
+// ApplyReplicated's cursor refusal (failing the feed sticky) or a replay
+// divergence, a torn read as an image matching no prefix. Observed versions
+// must also be monotone per reader — a replica never travels backwards.
+// After the writers join, every replica must converge to the primary's
+// final image with records_applied == commits (exactly once each, across
+// every disconnect, truncation, and reset the run injected).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/deductive_database.h"
+#include "history_harness.h"
+#include "repl/replica.h"
+#include "server/chaos.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace deddb::repl {
+namespace {
+
+namespace hh = server::harness;
+using server::Client;
+using server::FaultyNetwork;
+using server::LoopbackNetwork;
+using server::QueryReply;
+using server::Server;
+
+struct WriterLog {
+  std::vector<hh::AckedWrite> writes;
+  std::vector<std::string> errors;
+};
+
+/// One tokened writer: mixed reads (to refresh its guess) and 1-3 event
+/// writes, retried until definitive through the chaos transport. Direct
+/// Apply only — the processor path bumps the version once per store it
+/// touches, which would break the one-commit-one-version alignment the
+/// replica observations rely on.
+void WriterLoop(LoopbackNetwork* network, FaultyNetwork* chaos,
+                uint64_t client_id, uint64_t seed, WriterLog* log) {
+  Rng rng(seed);
+  Client client(hh::DialThrough(network, chaos),
+                hh::RetryOptions(client_id, seed));
+  hh::FactSet guess;
+  std::string error;
+
+  for (int op = 0; op < 20; ++op) {
+    if (rng.NextChance(1, 3)) {
+      Result<QueryReply> reply = client.Query(
+          {client.MakeAtom("Q", {client.Variable("x")}),
+           client.MakeAtom("R", {client.Variable("x")})});
+      if (!reply.ok()) {
+        log->errors.push_back(StrCat("query: ", reply.status().ToString()));
+        break;
+      }
+      hh::AckedRead read;
+      if (!hh::DecodeBaseRead(&client, *reply, &guess, &read, &error)) {
+        log->errors.push_back(error);
+        break;
+      }
+      continue;
+    }
+    Transaction txn;
+    hh::AckedWrite write;
+    if (!hh::BuildGuessedWrite(&rng, &client, guess, 3, &txn, &write,
+                               &error)) {
+      log->errors.push_back(error);
+      break;
+    }
+    Result<uint64_t> version =
+        hh::CommitWrite(&client, txn, /*via_processor=*/false);
+    if (version.ok()) {
+      write.version = *version;
+      hh::FoldWriteIntoGuess(write, &guess);
+      log->writes.push_back(std::move(write));
+    } else if (!hh::IsDefinitiveRejection(version.status())) {
+      log->errors.push_back(
+          StrCat("write gave up: ", version.status().ToString()));
+      break;
+    }
+  }
+  client.Close();
+}
+
+/// One pinned-session snapshot of a replica: its version and base image,
+/// taken atomically (the session is the snapshot).
+struct Observation {
+  uint64_t version = 0;
+  std::string image;
+};
+
+struct ReaderLog {
+  std::vector<Observation> observations;
+  std::vector<std::string> errors;
+  uint64_t drops_forced = 0;
+};
+
+/// Observes one replica while it applies: pinned-session image snapshots,
+/// plus a forced mid-stream feed disconnect every ~15 observations (the
+/// resume-never-skips-or-duplicates pressure).
+void ReaderLoop(DeductiveDatabase* replica_db, Replica* replica,
+                const std::atomic<bool>* done, ReaderLog* log) {
+  uint64_t since_drop = 0;
+  while (!done->load(std::memory_order_acquire)) {
+    Result<std::unique_ptr<Session>> session = replica_db->BeginSession();
+    if (!session.ok()) {
+      log->errors.push_back(session.status().ToString());
+      return;
+    }
+    Observation obs;
+    obs.version = (*session)->version();
+    hh::FactSet facts;
+    for (const char* pred : hh::kBasePreds) {
+      Result<Atom> pattern =
+          replica_db->MakeAtom(pred, {replica_db->Variable("x")});
+      if (!pattern.ok()) {
+        log->errors.push_back(pattern.status().ToString());
+        return;
+      }
+      Result<std::vector<Tuple>> answers = (*session)->Solve(*pattern);
+      if (!answers.ok()) {
+        log->errors.push_back(answers.status().ToString());
+        return;
+      }
+      for (const Tuple& t : *answers) {
+        facts.insert({pred, std::string(replica_db->symbols().NameOf(t[0]))});
+      }
+    }
+    session->reset();  // release the pin before recording
+    obs.image = hh::ImageOf(facts);
+    log->observations.push_back(std::move(obs));
+    if (++since_drop >= 15) {
+      since_drop = 0;
+      replica->DropFeedConnectionForTest();
+      ++log->drops_forced;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+struct ShardTotals {
+  uint64_t faults = 0;
+  uint64_t drops = 0;
+  uint64_t reconnects = 0;
+  uint64_t observations_verified = 0;
+};
+
+void RunSeed(uint64_t seed, ShardTotals* totals) {
+  SCOPED_TRACE(StrCat("seed=", seed));
+
+  // The primary must be persistent: the feed ships its durable log.
+  hh::SeededDb seeded;
+  hh::OpenSeededDb("replhist", /*persistent=*/true, &seeded);
+  if (::testing::Test::HasFatalFailure()) return;
+  DeductiveDatabase* primary_db = seeded.db.get();
+  hh::DeclareQRSchema(primary_db, /*with_view=*/true, /*materialize=*/false);
+  ASSERT_TRUE(primary_db->Checkpoint().ok());
+  const uint64_t base_version = primary_db->version();
+
+  FaultyNetwork::Options faults;
+  faults.seed = seed * 131 + 3;
+  faults.reset_read_per_mille = 10;
+  faults.truncate_write_per_mille = 10;
+  faults.delay_per_mille = 30;
+  faults.max_delay_us = 300;
+  FaultyNetwork chaos(faults);
+
+  LoopbackNetwork network;
+  Server server(primary_db);
+  // Both writers and replica feeds dial through the chaos transport, and
+  // the server's side of every connection is wrapped too — feed batches
+  // die mid-frame in both directions.
+  ASSERT_TRUE(server.Serve(chaos.WrapListener(network.TakeListener())).ok());
+
+  const size_t num_writers = 1 + seed % 2;
+  const size_t num_replicas = 1 + seed % 3;
+
+  // Replicas: fresh databases carrying the primary's schema, tailing from
+  // sequence 0 through the same hostile network.
+  std::vector<std::unique_ptr<DeductiveDatabase>> replica_dbs;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  for (size_t i = 0; i < num_replicas; ++i) {
+    auto db = std::make_unique<DeductiveDatabase>();
+    hh::DeclareQRSchema(db.get(), /*with_view=*/true, /*materialize=*/false);
+    ASSERT_EQ(db->version(), base_version)
+        << "replica schema replay diverged from the primary's";
+    ASSERT_TRUE(db->EnterReplicaMode().ok());
+    Replica::Options options;
+    options.backoff.seed = seed * 677 + i;
+    auto replica = std::make_unique<Replica>(
+        db.get(), hh::DialThrough(&network, &chaos), options);
+    ASSERT_TRUE(replica->Start().ok());
+    replica_dbs.push_back(std::move(db));
+    replicas.push_back(std::move(replica));
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<ReaderLog> reader_logs(num_replicas);
+  std::vector<std::thread> readers;
+  readers.reserve(num_replicas);
+  for (size_t i = 0; i < num_replicas; ++i) {
+    readers.emplace_back(ReaderLoop, replica_dbs[i].get(), replicas[i].get(),
+                         &done, &reader_logs[i]);
+  }
+
+  std::vector<WriterLog> writer_logs(num_writers);
+  std::vector<std::thread> writers;
+  writers.reserve(num_writers);
+  for (size_t i = 0; i < num_writers; ++i) {
+    writers.emplace_back(WriterLoop, &network, &chaos, /*client_id=*/i + 1,
+                         seed * 1000 + i, &writer_logs[i]);
+  }
+  for (std::thread& thread : writers) thread.join();
+
+  for (size_t i = 0; i < num_writers; ++i) {
+    SCOPED_TRACE(StrCat("writer=", i));
+    ASSERT_TRUE(writer_logs[i].errors.empty()) << writer_logs[i].errors.front();
+  }
+
+  // Exactly-once tokens + retry-until-definitive mean every commit that
+  // happened was acknowledged, so the commit count is the acked count and
+  // every replica must reach exactly that sequence.
+  uint64_t commits = 0;
+  for (const WriterLog& log : writer_logs) commits += log.writes.size();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (size_t i = 0; i < num_replicas; ++i) {
+    while (replicas[i]->replica_status().applied_seq < commits) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "replica " << i << " stuck at seq "
+          << replicas[i]->replica_status().applied_seq << " of " << commits
+          << "; last feed error: "
+          << replicas[i]->last_feed_error().ToString();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& thread : readers) thread.join();
+  for (const std::unique_ptr<Replica>& replica : replicas) replica->Stop();
+  server.Stop();
+
+  // ---- The dense acknowledged-prefix oracle ---------------------------------
+  std::vector<const hh::AckedWrite*> acked;
+  for (const WriterLog& log : writer_logs) {
+    for (const hh::AckedWrite& write : log.writes) acked.push_back(&write);
+  }
+  hh::AckedPrefixOracle oracle;
+  oracle.Build(std::move(acked), base_version,
+               "a feed record applied twice or a commit was lost");
+  if (::testing::Test::HasFatalFailure()) return;
+  // Density: one image per commit plus the base — so At() is exact at every
+  // version a replica can ever expose, not just a floor.
+  ASSERT_EQ(oracle.image_at().size(), commits + 1)
+      << "acked versions are not dense — an unacknowledged commit exists";
+  ASSERT_EQ(oracle.image_at().rbegin()->first, base_version + commits);
+
+  const std::string final_image = oracle.At(base_version + commits);
+  for (size_t i = 0; i < num_replicas; ++i) {
+    SCOPED_TRACE(StrCat("replica=", i));
+    ASSERT_TRUE(reader_logs[i].errors.empty()) << reader_logs[i].errors.front();
+
+    // Every observation byte-identical to the committed prefix at its
+    // version; versions monotone per replica.
+    uint64_t last_version = 0;
+    for (const Observation& obs : reader_logs[i].observations) {
+      ASSERT_GE(obs.version, base_version);
+      ASSERT_LE(obs.version, base_version + commits);
+      EXPECT_EQ(obs.image, oracle.At(obs.version))
+          << "replica state at version " << obs.version
+          << " diverged from the primary's committed prefix";
+      EXPECT_GE(obs.version, last_version)
+          << "replica version travelled backwards";
+      last_version = obs.version;
+      ++totals->observations_verified;
+    }
+
+    // Convergence: exactly one application per commit, ending at the
+    // primary's exact final state.
+    const Replica::Stats stats = replicas[i]->stats();
+    EXPECT_EQ(stats.records_applied, commits)
+        << "a record was skipped or double-applied across resumes";
+    EXPECT_EQ(replica_dbs[i]->version(), base_version + commits);
+    Result<std::unique_ptr<Session>> session = replica_dbs[i]->BeginSession();
+    ASSERT_TRUE(session.ok());
+    hh::FactSet facts;
+    for (const char* pred : hh::kBasePreds) {
+      Result<Atom> pattern = replica_dbs[i]->MakeAtom(
+          pred, {replica_dbs[i]->Variable("x")});
+      ASSERT_TRUE(pattern.ok());
+      Result<std::vector<Tuple>> answers = (*session)->Solve(*pattern);
+      ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+      for (const Tuple& t : *answers) {
+        facts.insert(
+            {pred, std::string(replica_dbs[i]->symbols().NameOf(t[0]))});
+      }
+    }
+    EXPECT_EQ(hh::ImageOf(facts), final_image);
+
+    totals->drops += reader_logs[i].drops_forced;
+    totals->reconnects += stats.reconnects;
+  }
+  totals->faults += chaos.resets_injected() + chaos.truncations_injected();
+
+  ASSERT_EQ(primary_db->active_sessions(), 0u);
+  hh::CloseSeededDb(&seeded);
+}
+
+class ReplHistoryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplHistoryTest, ReplicaStateMatchesCommittedPrefixAtEveryVersion) {
+  // 10 seeds per shard x 10 shards = the 100-seed matrix. The
+  // machinery-engaged assertions hold per shard: every shard injects
+  // transport faults, forces mid-stream feed drops, and sees the tailers
+  // reconnect and resume from their cursors.
+  const int shard = GetParam();
+  ShardTotals totals;
+  for (int i = 0; i < 10; ++i) {
+    RunSeed(static_cast<uint64_t>(shard * 10 + i), &totals);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(totals.faults, 0u) << "the chaos transport injected nothing";
+  EXPECT_GT(totals.drops, 0u) << "no mid-stream feed drop was forced";
+  EXPECT_GT(totals.reconnects, 0u) << "no replica ever reconnected";
+  EXPECT_GT(totals.observations_verified, 0u)
+      << "no replica observation was ever checked";
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ReplHistoryTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace deddb::repl

@@ -8,29 +8,26 @@
 // validity rejection), re-dialing through the same faulty network.
 //
 // The oracle is the same serial acknowledged-prefix check as
-// server_history_test — and it is only sound here *because* of the tokens:
-// a write is either acked (committed exactly once, at the acked version) or
-// definitively rejected (never applied), so replaying acked writes in
-// version order must reproduce every read. A double-applied retry surfaces
-// as "acked insert of a present fact"; a lost-but-acked write as a read
-// mismatch. The suite also asserts the retry machinery actually engaged:
-// across a shard, faults were injected, clients retried, and at least one
-// retried committed write was answered from the server's dedup table.
+// server_history_test (tests/history_harness.h) — and it is only sound here
+// *because* of the tokens: a write is either acked (committed exactly once,
+// at the acked version) or definitively rejected (never applied), so
+// replaying acked writes in version order must reproduce every read. A
+// double-applied retry surfaces as "acked insert of a present fact"; a
+// lost-but-acked write as a read mismatch. The suite also asserts the retry
+// machinery actually engaged: across a shard, faults were injected, clients
+// retried, and at least one retried committed write was answered from the
+// server's dedup table.
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
 #include <cstdlib>
-#include <map>
-#include <memory>
-#include <set>
 #include <string>
 #include <thread>
-#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/deductive_database.h"
+#include "history_harness.h"
 #include "server/chaos.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -41,36 +38,11 @@
 namespace deddb::server {
 namespace {
 
-constexpr const char* kConstants[] = {"c0", "c1", "c2", "c3", "c4", "c5"};
-constexpr const char* kBasePreds[] = {"Q", "R"};
-
-std::string ImageOf(const std::set<std::pair<size_t, size_t>>& facts) {
-  std::vector<std::string> rendered;
-  for (const auto& [p, c] : facts) {
-    rendered.push_back(StrCat(kBasePreds[p], "(", kConstants[c], ")"));
-  }
-  std::sort(rendered.begin(), rendered.end());
-  return Join(rendered, ";");
-}
-
-void DeclareSchema(DeductiveDatabase* db) {
-  ASSERT_TRUE(db->DeclareBase("Q", 1).ok());
-  ASSERT_TRUE(db->DeclareBase("R", 1).ok());
-}
-
-struct AckedWrite {
-  uint64_t version = 0;
-  std::vector<std::tuple<size_t, size_t, bool>> events;
-};
-
-struct AckedRead {
-  uint64_t version = 0;
-  std::string base_image;
-};
+namespace hh = harness;
 
 struct ClientLog {
-  std::vector<AckedWrite> writes;
-  std::vector<AckedRead> reads;
+  std::vector<hh::AckedWrite> writes;
+  std::vector<hh::AckedRead> reads;
   std::vector<std::string> errors;
   uint64_t retries = 0;
   uint64_t dials = 0;
@@ -83,21 +55,11 @@ void ClientLoop(LoopbackNetwork* network, FaultyNetwork* chaos,
                 bool via_processor, uint64_t client_id, uint64_t seed,
                 ClientLog* log) {
   Rng rng(seed);
-  ClientOptions options;
-  options.client_id = client_id;
-  options.max_attempts = 200;
-  options.backoff.base = std::chrono::microseconds(50);
-  options.backoff.cap = std::chrono::microseconds(2000);
-  options.backoff.seed = seed;
-  Client client(
-      [network, chaos]() -> Result<std::unique_ptr<Connection>> {
-        Result<std::unique_ptr<Connection>> conn = network->Connect();
-        if (!conn.ok()) return conn.status();
-        return chaos->Wrap(std::move(*conn));
-      },
-      options);
+  Client client(hh::DialThrough(network, chaos),
+                hh::RetryOptions(client_id, seed));
 
-  std::set<std::pair<size_t, size_t>> guess;
+  hh::FactSet guess;
+  std::string error;
 
   for (int op = 0; op < 25; ++op) {
     if (rng.NextChance(1, 2)) {
@@ -110,69 +72,28 @@ void ClientLoop(LoopbackNetwork* network, FaultyNetwork* chaos,
             StrCat("query: ", reply.status().ToString()));
         break;
       }
-      AckedRead read;
-      read.version = reply->version;
-      std::vector<std::string> base;
-      guess.clear();
-      for (size_t p = 0; p < 2; ++p) {
-        for (const Tuple& t : reply->answers[p]) {
-          const std::string& name = client.symbols().NameOf(t[0]);
-          base.push_back(StrCat(kBasePreds[p], "(", name, ")"));
-          for (size_t c = 0; c < 6; ++c) {
-            if (name == kConstants[c]) guess.insert({p, c});
-          }
-        }
+      hh::AckedRead read;
+      if (!hh::DecodeBaseRead(&client, *reply, &guess, &read, &error)) {
+        log->errors.push_back(error);
+        break;
       }
-      std::sort(base.begin(), base.end());
-      read.base_image = Join(base, ";");
       log->reads.push_back(std::move(read));
       continue;
     }
 
     Transaction txn;
-    AckedWrite write;
-    std::set<std::pair<size_t, size_t>> touched;
-    const size_t num_events = 1 + rng.NextBelow(3);
-    for (size_t e = 0; e < num_events; ++e) {
-      const size_t p = rng.NextBelow(2);
-      const size_t c = rng.NextBelow(6);
-      if (!touched.insert({p, c}).second) continue;
-      Atom fact = client.GroundAtom(kBasePreds[p], {kConstants[c]});
-      const bool present = guess.count({p, c}) > 0;
-      Status added = present ? txn.AddDelete(fact) : txn.AddInsert(fact);
-      if (!added.ok()) {
-        log->errors.push_back(added.ToString());
-        break;
-      }
-      write.events.emplace_back(p, c, !present);
+    hh::AckedWrite write;
+    if (!hh::BuildGuessedWrite(&rng, &client, guess, 3, &txn, &write,
+                               &error)) {
+      log->errors.push_back(error);
+      break;
     }
-    Result<uint64_t> version =
-        via_processor
-            ? [&]() -> Result<uint64_t> {
-                Result<ProcessReply> reply = client.Process(txn);
-                if (!reply.ok()) return reply.status();
-                if (!reply->accepted) {
-                  return FailedPreconditionError("rejected");
-                }
-                return reply->version;
-              }()
-            : [&]() -> Result<uint64_t> {
-                Result<ApplyReply> reply = client.Apply(txn);
-                if (!reply.ok()) return reply.status();
-                return reply->version;
-              }();
+    Result<uint64_t> version = hh::CommitWrite(&client, txn, via_processor);
     if (version.ok()) {
       write.version = *version;
-      for (const auto& [p, c, ins] : write.events) {
-        if (ins) {
-          guess.insert({p, c});
-        } else {
-          guess.erase({p, c});
-        }
-      }
+      hh::FoldWriteIntoGuess(write, &guess);
       log->writes.push_back(std::move(write));
-    } else if (version.status().code() != StatusCode::kInvalidArgument &&
-               version.status().code() != StatusCode::kFailedPrecondition) {
+    } else if (!hh::IsDefinitiveRejection(version.status())) {
       // Only a definitive validity/integrity rejection is acceptable: the
       // retry loop must have converted every transient failure into an ack
       // or such a rejection. Anything else means retries gave up with the
@@ -211,21 +132,11 @@ void RunSeed(uint64_t seed, ShardTotals* totals) {
 
   // Half the seeds run durably, so tokened commit records travel through
   // the WAL (and its group-commit pipeline) under concurrent retries.
-  std::string dir;
-  std::unique_ptr<DeductiveDatabase> db;
-  if (persistent) {
-    std::string tmpl = StrCat(::testing::TempDir(), "srvchaosXXXXXX");
-    std::vector<char> buf(tmpl.begin(), tmpl.end());
-    buf.push_back('\0');
-    ASSERT_NE(::mkdtemp(buf.data()), nullptr);
-    dir = buf.data();
-    auto opened = DeductiveDatabase::OpenPersistent(dir);
-    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
-    db = std::move(*opened);
-  } else {
-    db = std::make_unique<DeductiveDatabase>();
-  }
-  DeclareSchema(db.get());
+  hh::SeededDb seeded;
+  hh::OpenSeededDb("srvchaos", persistent, &seeded);
+  if (::testing::Test::HasFatalFailure()) return;
+  DeductiveDatabase* db = seeded.db.get();
+  hh::DeclareQRSchema(db, /*with_view=*/false, /*materialize=*/false);
   if (persistent) {
     ASSERT_TRUE(db->Checkpoint().ok());
   }
@@ -240,7 +151,7 @@ void RunSeed(uint64_t seed, ShardTotals* totals) {
   FaultyNetwork chaos(faults);
 
   LoopbackNetwork network;
-  Server server(db.get());
+  Server server(db);
   // Both sides are faulty: the server accepts through the wrapped listener,
   // so its replies die mid-frame too, not just the clients' requests.
   ASSERT_TRUE(server.Serve(chaos.WrapListener(network.TakeListener())).ok());
@@ -267,59 +178,26 @@ void RunSeed(uint64_t seed, ShardTotals* totals) {
       chaos.resets_injected() + chaos.truncations_injected();
   totals->dedup_hits += JsonCounter(stats, "dedup_hits");
 
-  // ---- The serial oracle (identical to server_history_test) -----------------
-  std::vector<const AckedWrite*> acked;
+  // The serial oracle (identical to server_history_test): a replay
+  // divergence here means a retry applied twice.
+  std::vector<const hh::AckedWrite*> acked;
   for (const ClientLog& log : logs) {
-    for (const AckedWrite& write : log.writes) acked.push_back(&write);
+    for (const hh::AckedWrite& write : log.writes) acked.push_back(&write);
   }
-  std::sort(acked.begin(), acked.end(),
-            [](const AckedWrite* a, const AckedWrite* b) {
-              return a->version < b->version;
-            });
-  for (size_t i = 1; i < acked.size(); ++i) {
-    ASSERT_NE(acked[i - 1]->version, acked[i]->version)
-        << "two writes acknowledged the same commit version";
-  }
-
-  std::map<uint64_t, std::string> image_at;
-  std::set<std::pair<size_t, size_t>> facts;
-  image_at[base_version] = ImageOf(facts);
-  for (const AckedWrite* write : acked) {
-    ASSERT_GT(write->version, base_version);
-    for (const auto& [p, c, ins] : write->events) {
-      if (ins) {
-        ASSERT_TRUE(facts.insert({p, c}).second)
-            << "acked insert of a present fact — a retry applied twice";
-      } else {
-        ASSERT_EQ(facts.erase({p, c}), 1u)
-            << "acked delete of an absent fact — a retry applied twice";
-      }
-    }
-    image_at[write->version] = ImageOf(facts);
-  }
+  hh::AckedPrefixOracle oracle;
+  oracle.Build(std::move(acked), base_version, "a retry applied twice");
+  if (::testing::Test::HasFatalFailure()) return;
 
   for (size_t i = 0; i < num_clients; ++i) {
     SCOPED_TRACE(StrCat("client=", i));
-    for (const AckedRead& read : logs[i].reads) {
-      auto it = image_at.upper_bound(read.version);
-      ASSERT_NE(it, image_at.begin())
-          << "read at version " << read.version << " precedes the seed state";
-      --it;
-      EXPECT_EQ(read.base_image, it->second)
-          << "read at version " << read.version
-          << " does not match the acknowledged commit prefix at version "
-          << it->first;
+    for (const hh::AckedRead& read : logs[i].reads) {
+      oracle.ExpectReadMatches(read, /*check_derived=*/false);
     }
   }
 
   ASSERT_EQ(db->active_sessions(), 0u);
 
-  if (persistent) {
-    ASSERT_TRUE(db->Close().ok());
-    db.reset();
-    std::string cmd = StrCat("rm -rf ", dir);
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
+  hh::CloseSeededDb(&seeded);
 }
 
 class ServerChaosTest : public ::testing::TestWithParam<int> {};

@@ -451,6 +451,199 @@ TEST(ServerCodecTest, HealthReplySubscriptionSectionRoundTrips) {
   EXPECT_EQ(torn.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ServerCodecTest, HealthReplyReplicationBlockRoundTrips) {
+  HealthReply reply;
+  reply.state = ServerState::kServing;
+  reply.version = 9;
+  reply.queue_depth = 1;
+  reply.has_replication = true;
+  reply.applied_seq = 40;
+  reply.primary_last_durable_seq = 45;
+  reply.feed_bounded = true;
+  Result<HealthReply> decoded = DecodeHealthReply(EncodeHealthReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->has_subscriptions);
+  EXPECT_TRUE(decoded->has_replication);
+  EXPECT_EQ(decoded->applied_seq, 40u);
+  EXPECT_EQ(decoded->primary_last_durable_seq, 45u);
+  EXPECT_TRUE(decoded->feed_bounded);
+
+  // Both blocks together (a replica probed with want_subscriptions).
+  reply.has_subscriptions = true;
+  reply.active_subscriptions = 2;
+  Result<HealthReply> both = DecodeHealthReply(EncodeHealthReply(reply));
+  ASSERT_TRUE(both.ok()) << both.status().ToString();
+  EXPECT_TRUE(both->has_subscriptions);
+  EXPECT_TRUE(both->has_replication);
+  EXPECT_EQ(both->active_subscriptions, 2u);
+  EXPECT_EQ(both->applied_seq, 40u);
+}
+
+TEST(ServerCodecTest, HealthReplyRejectsOutOfOrderAndDuplicateTags) {
+  // Tags must be strictly increasing; hand-craft violations the encoder
+  // cannot produce. Base header: state, version, last_durable_seq, depth.
+  persist::ByteSink sink;
+  sink.PutU8(0);
+  sink.PutU64(1);
+  sink.PutU64(1);
+  sink.PutU32(0);
+  // Replication block (tag 2) first, then subscription block (tag 1).
+  sink.PutU8(2);
+  sink.PutU64(5);
+  sink.PutU64(5);
+  sink.PutU8(1);
+  sink.PutU8(1);
+  sink.PutU32(0);
+  sink.PutU64(0);
+  sink.PutU64(0);
+  Result<HealthReply> out_of_order = DecodeHealthReply(sink.bytes());
+  ASSERT_FALSE(out_of_order.ok());
+  EXPECT_EQ(out_of_order.status().code(), StatusCode::kInvalidArgument);
+
+  persist::ByteSink dup;
+  dup.PutU8(0);
+  dup.PutU64(1);
+  dup.PutU64(1);
+  dup.PutU32(0);
+  for (int i = 0; i < 2; ++i) {  // subscription block twice
+    dup.PutU8(1);
+    dup.PutU32(0);
+    dup.PutU64(0);
+    dup.PutU64(0);
+  }
+  Result<HealthReply> duplicated = DecodeHealthReply(dup.bytes());
+  ASSERT_FALSE(duplicated.ok());
+  EXPECT_EQ(duplicated.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- WAL feed payloads (DESIGN.md §12) --------------------------------------
+
+TEST(ServerCodecTest, QueryRequestStalenessExtensionRoundTrips) {
+  SymbolTable sender;
+  QueryRequest request;
+  request.admission = SampleAdmission();
+  request.patterns.push_back(MakeAtom(&sender, "P", {"c0"}));
+
+  // Unset bound: the payload is byte-identical to v1 (no trailing
+  // extension), and decodes back to an unset bound.
+  const std::string v1 = EncodeQueryRequest(request, sender);
+  SymbolTable receiver;
+  Result<QueryRequest> plain = DecodeQueryRequest(v1, &receiver);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_FALSE(plain->max_staleness.has_value());
+
+  request.max_staleness = 17;
+  const std::string v2 = EncodeQueryRequest(request, sender);
+  EXPECT_GT(v2.size(), v1.size());
+  EXPECT_EQ(v2.compare(0, v1.size(), v1), 0);  // extension is strictly trailing
+  SymbolTable receiver2;
+  Result<QueryRequest> bounded = DecodeQueryRequest(v2, &receiver2);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  ASSERT_TRUE(bounded->max_staleness.has_value());
+  EXPECT_EQ(*bounded->max_staleness, 17u);
+
+  // A zero bound ("serve only when fully caught up") is a real value, not
+  // an absent one.
+  request.max_staleness = 0;
+  SymbolTable receiver3;
+  Result<QueryRequest> zero =
+      DecodeQueryRequest(EncodeQueryRequest(request, sender), &receiver3);
+  ASSERT_TRUE(zero.ok());
+  ASSERT_TRUE(zero->max_staleness.has_value());
+  EXPECT_EQ(*zero->max_staleness, 0u);
+}
+
+TEST(ServerCodecTest, QueryReplyReplicaStatusSectionRoundTrips) {
+  SymbolTable sender;
+  QueryReply reply;
+  reply.version = 6;
+  reply.answers = {{{sender.Intern("c0")}}};
+
+  SymbolTable receiver;
+  Result<QueryReply> plain =
+      DecodeQueryReply(EncodeQueryReply(reply, sender), &receiver);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_replica_status);
+
+  reply.has_replica_status = true;
+  reply.applied_seq = 30;
+  reply.primary_last_durable_seq = 33;
+  reply.bounded = true;
+  SymbolTable receiver2;
+  Result<QueryReply> decoded =
+      DecodeQueryReply(EncodeQueryReply(reply, sender), &receiver2);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_replica_status);
+  EXPECT_EQ(decoded->applied_seq, 30u);
+  EXPECT_EQ(decoded->primary_last_durable_seq, 33u);
+  EXPECT_TRUE(decoded->bounded);
+
+  // A torn staleness section (not exactly 17 trailing bytes) is malformed.
+  std::string payload = EncodeQueryReply(reply, sender);
+  SymbolTable receiver3;
+  Result<QueryReply> torn = DecodeQueryReply(
+      std::string_view(payload).substr(0, payload.size() - 3), &receiver3);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, WalFetchRequestRoundTrips) {
+  WalFetchRequest request;
+  request.admission = SampleAdmission();
+  request.from_seq = 41;
+  request.max_records = 128;
+  request.max_bytes = 65536;
+  Result<WalFetchRequest> decoded =
+      DecodeWalFetchRequest(EncodeWalFetchRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectAdmissionEq(request.admission, decoded->admission);
+  EXPECT_EQ(decoded->from_seq, 41u);
+  EXPECT_EQ(decoded->max_records, 128u);
+  EXPECT_EQ(decoded->max_bytes, 65536u);
+}
+
+TEST(ServerCodecTest, WalRecordsReplyRoundTripsAndChecksumCatchesDamage) {
+  WalRecordsReply reply;
+  reply.primary_last_durable_seq = 12;
+  for (std::string_view payload :
+       {std::string_view("record-one"), std::string_view("r2"),
+        std::string_view("")}) {
+    WalRecordsReply::Record record;
+    record.payload = std::string(payload);
+    record.crc = 0xDEADBEEF;  // opaque to the codec; carried, not checked
+    reply.records.push_back(std::move(record));
+  }
+  const std::string wire = EncodeWalRecordsReply(reply);
+  Result<WalRecordsReply> decoded = DecodeWalRecordsReply(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->primary_last_durable_seq, 12u);
+  ASSERT_EQ(decoded->records.size(), 3u);
+  EXPECT_EQ(decoded->records[0].payload, "record-one");
+  EXPECT_EQ(decoded->records[0].crc, 0xDEADBEEFu);
+  EXPECT_EQ(decoded->records[2].payload, "");
+
+  // The trailing frame checksum makes EVERY single-byte flip detectable —
+  // including flips the structural parse would tolerate (record bytes, the
+  // horizon, the per-record CRCs themselves).
+  for (size_t offset = 0; offset < wire.size(); ++offset) {
+    for (uint8_t mask : {uint8_t{0x01}, uint8_t{0x80}}) {
+      std::string damaged = wire;
+      damaged[offset] = static_cast<char>(damaged[offset] ^ mask);
+      Result<WalRecordsReply> refused = DecodeWalRecordsReply(damaged);
+      ASSERT_FALSE(refused.ok())
+          << "flip at offset " << offset << " mask " << int{mask} << " decoded";
+      EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+  // And every truncation, including ones that leave a parseable structure.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Result<WalRecordsReply> refused =
+        DecodeWalRecordsReply(std::string_view(wire).substr(0, len));
+    ASSERT_FALSE(refused.ok()) << "prefix of " << len << " decoded";
+    EXPECT_EQ(refused.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 // ---- Framing ----------------------------------------------------------------
 
 TEST(ServerCodecTest, FrameRoundTripAndSplicedWalk) {
@@ -517,8 +710,9 @@ TEST(ServerCodecTest, OversizedLengthPrefixRejectedBeforeAllocation) {
 
 TEST(ServerCodecTest, UnknownFrameTypeIsTypedError) {
   // 8/9 and 72..75 became Subscribe/Unsubscribe and the push frames in
-  // DESIGN.md §11; the probe list uses the bytes just past them.
-  for (uint8_t type : {0, 10, 63, 64, 76, 126, 200, 255}) {
+  // DESIGN.md §11; 12/13 and 76/77 became the WAL-feed frames in §12. The
+  // probe list uses the bytes just past them.
+  for (uint8_t type : {0, 14, 63, 64, 78, 126, 200, 255}) {
     persist::ByteSink sink;
     sink.PutU32(9);
     sink.PutU8(type);
@@ -682,6 +876,24 @@ const NamedDecoder kDecoders[] = {
        return EncodeSubGapFrame(f);
      },
      [](std::string_view p) { return DecodeSubGapFrame(p).status(); }},
+    {"WalFetchRequest",
+     [](SymbolTable*) {
+       WalFetchRequest r;
+       r.admission = SampleAdmission();
+       r.from_seq = 9;
+       r.max_records = 64;
+       r.max_bytes = 4096;
+       return EncodeWalFetchRequest(r);
+     },
+     [](std::string_view p) { return DecodeWalFetchRequest(p).status(); }},
+    {"WalRecordsReply",
+     [](SymbolTable*) {
+       WalRecordsReply r;
+       r.primary_last_durable_seq = 4;
+       r.records.push_back({0x12345678u, "wal-record-bytes"});
+       return EncodeWalRecordsReply(r);
+     },
+     [](std::string_view p) { return DecodeWalRecordsReply(p).status(); }},
 };
 
 TEST(ServerCodecTest, TruncatedPayloadAtEveryOffsetNeverCrashes) {

@@ -3,9 +3,9 @@
 // Server on the in-process loopback transport and driving it with 2-4
 // concurrent protocol clients issuing mixed reads and writes. Every client
 // records what the server *acknowledged*; after the join, the acknowledged
-// writes replay into a serial oracle — a version→image map — and every read
-// must equal the oracle's image at the largest acknowledged version at or
-// below the read's pinned version. That makes three properties one check:
+// writes replay into the serial oracle (tests/history_harness.h) and every
+// read must equal the oracle's image at the largest acknowledged version at
+// or below the read's pinned version. That makes three properties one check:
 // writes are serialized (acked versions are distinct and totally ordered),
 // reads are snapshots (no torn state between two commits), and the protocol
 // reports versions truthfully (a reply claiming version v really carries v's
@@ -18,18 +18,14 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cstdlib>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
 #include <thread>
-#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "core/deductive_database.h"
+#include "history_harness.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "server/transport.h"
@@ -39,67 +35,12 @@
 namespace deddb::server {
 namespace {
 
-constexpr const char* kConstants[] = {"c0", "c1", "c2", "c3", "c4", "c5"};
-constexpr const char* kBasePreds[] = {"Q", "R"};
-
-// Canonical image of a base-fact set given as (pred idx, const idx) pairs.
-std::string ImageOf(const std::set<std::pair<size_t, size_t>>& facts) {
-  std::vector<std::string> rendered;
-  for (const auto& [p, c] : facts) {
-    rendered.push_back(StrCat(kBasePreds[p], "(", kConstants[c], ")"));
-  }
-  std::sort(rendered.begin(), rendered.end());
-  return Join(rendered, ";");
-}
-
-// What P(x) <- Q(x) & not R(x) derives from a canonical base image.
-std::string DeriveP(const std::string& image) {
-  std::vector<std::string> answers;
-  for (const char* c : kConstants) {
-    const bool q = image.find(StrCat("Q(", c, ")")) != std::string::npos;
-    const bool r = image.find(StrCat("R(", c, ")")) != std::string::npos;
-    if (q && !r) answers.push_back(c);
-  }
-  return Join(answers, ";");
-}
-
-void DeclareSchema(DeductiveDatabase* db, bool materialize) {
-  ASSERT_TRUE(db->DeclareBase("Q", 1).ok());
-  ASSERT_TRUE(db->DeclareBase("R", 1).ok());
-  Result<SymbolId> p = db->DeclareView("P", 1);
-  ASSERT_TRUE(p.ok());
-  Term x = db->Variable("x");
-  ASSERT_TRUE(
-      db->AddRule(Rule(db->MakeAtom("P", {x}).value(),
-                       {Literal::Positive(db->MakeAtom("Q", {x}).value()),
-                        Literal::Negative(db->MakeAtom("R", {x}).value())}))
-          .ok());
-  if (materialize) {
-    ASSERT_TRUE(db->MaterializeView(*p).ok());
-    ASSERT_TRUE(db->InitializeMaterializedViews().ok());
-  }
-}
-
-// One acknowledged write: the server said this transaction committed and
-// left the database at `version`.
-struct AckedWrite {
-  uint64_t version = 0;
-  // The (pred idx, const idx, is_insert) events of the transaction.
-  std::vector<std::tuple<size_t, size_t, bool>> events;
-};
-
-// One acknowledged read: the batched Query {Q(x), R(x), P(x)} answered at
-// `version`, flattened to canonical base image + derived answers.
-struct AckedRead {
-  uint64_t version = 0;
-  std::string base_image;
-  std::string derived;
-};
+namespace hh = harness;
 
 // Everything one client thread did, validated after the join.
 struct ClientLog {
-  std::vector<AckedWrite> writes;
-  std::vector<AckedRead> reads;
+  std::vector<hh::AckedWrite> writes;
+  std::vector<hh::AckedRead> reads;
   std::vector<std::string> errors;  // statuses that fail the run
 };
 
@@ -118,7 +59,8 @@ void ClientLoop(LoopbackNetwork* network, bool via_processor, uint64_t seed,
   Client client(std::move(*conn));
 
   // Tracked guess of the current facts, refreshed from every read.
-  std::set<std::pair<size_t, size_t>> guess;
+  hh::FactSet guess;
+  std::string error;
 
   for (int op = 0; op < 30; ++op) {
     if (rng.NextChance(2, 3)) {
@@ -134,31 +76,11 @@ void ClientLoop(LoopbackNetwork* network, bool via_processor, uint64_t seed,
         log->errors.push_back(reply.status().ToString());
         return;
       }
-      AckedRead read;
-      read.version = reply->version;
-      std::vector<std::string> base;
-      guess.clear();
-      for (size_t p = 0; p < 2; ++p) {
-        for (const Tuple& t : reply->answers[p]) {
-          if (t.size() != 1) {
-            log->errors.push_back("non-unary answer tuple");
-            return;
-          }
-          const std::string& name = client.symbols().NameOf(t[0]);
-          base.push_back(StrCat(kBasePreds[p], "(", name, ")"));
-          for (size_t c = 0; c < 6; ++c) {
-            if (name == kConstants[c]) guess.insert({p, c});
-          }
-        }
+      hh::AckedRead read;
+      if (!hh::DecodeBaseRead(&client, *reply, &guess, &read, &error)) {
+        log->errors.push_back(error);
+        return;
       }
-      std::sort(base.begin(), base.end());
-      read.base_image = Join(base, ";");
-      std::vector<std::string> derived;
-      for (const Tuple& t : reply->answers[2]) {
-        derived.push_back(std::string(client.symbols().NameOf(t[0])));
-      }
-      std::sort(derived.begin(), derived.end());
-      read.derived = Join(derived, ";");
       log->reads.push_back(std::move(read));
       continue;
     }
@@ -167,51 +89,19 @@ void ClientLoop(LoopbackNetwork* network, bool via_processor, uint64_t seed,
     // judged by the server against the *actual* state, so a stale guess
     // yields a typed rejection — recorded as unacked, never as an error.
     Transaction txn;
-    AckedWrite write;
-    std::set<std::pair<size_t, size_t>> touched;
-    const size_t num_events = 1 + rng.NextBelow(3);
-    for (size_t e = 0; e < num_events; ++e) {
-      const size_t p = rng.NextBelow(2);
-      const size_t c = rng.NextBelow(6);
-      if (!touched.insert({p, c}).second) continue;
-      Atom fact = client.GroundAtom(kBasePreds[p], {kConstants[c]});
-      const bool present = guess.count({p, c}) > 0;
-      Status added = present ? txn.AddDelete(fact) : txn.AddInsert(fact);
-      if (!added.ok()) {
-        log->errors.push_back(added.ToString());
-        return;
-      }
-      write.events.emplace_back(p, c, !present);
+    hh::AckedWrite write;
+    if (!hh::BuildGuessedWrite(&rng, &client, guess, 3, &txn, &write,
+                               &error)) {
+      log->errors.push_back(error);
+      return;
     }
-    Result<uint64_t> version =
-        via_processor
-            ? [&]() -> Result<uint64_t> {
-                Result<ProcessReply> reply = client.Process(txn);
-                if (!reply.ok()) return reply.status();
-                if (!reply->accepted) {
-                  // Integrity rejection: nothing applied, not an ack.
-                  return FailedPreconditionError("rejected");
-                }
-                return reply->version;
-              }()
-            : [&]() -> Result<uint64_t> {
-                Result<ApplyReply> reply = client.Apply(txn);
-                if (!reply.ok()) return reply.status();
-                return reply->version;
-              }();
+    Result<uint64_t> version = hh::CommitWrite(&client, txn, via_processor);
     if (version.ok()) {
       write.version = *version;
       // Maintain the guess so later writes stay mostly valid.
-      for (const auto& [p, c, ins] : write.events) {
-        if (ins) {
-          guess.insert({p, c});
-        } else {
-          guess.erase({p, c});
-        }
-      }
+      hh::FoldWriteIntoGuess(write, &guess);
       log->writes.push_back(std::move(write));
-    } else if (version.status().code() != StatusCode::kInvalidArgument &&
-               version.status().code() != StatusCode::kFailedPrecondition) {
+    } else if (!hh::IsDefinitiveRejection(version.status())) {
       // Anything other than a validity/integrity rejection is a real
       // failure (transport error, internal error, overload in this
       // unsaturated suite).
@@ -228,28 +118,18 @@ void RunSeed(uint64_t seed) {
   const bool via_processor = rng.NextChance(1, 2);
   const bool persistent = rng.NextChance(1, 2);
 
-  std::string dir;
-  std::unique_ptr<DeductiveDatabase> db;
-  if (persistent) {
-    std::string tmpl = StrCat(::testing::TempDir(), "srvhistXXXXXX");
-    std::vector<char> buf(tmpl.begin(), tmpl.end());
-    buf.push_back('\0');
-    ASSERT_NE(::mkdtemp(buf.data()), nullptr);
-    dir = buf.data();
-    auto opened = DeductiveDatabase::OpenPersistent(dir);
-    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
-    db = std::move(*opened);
-  } else {
-    db = std::make_unique<DeductiveDatabase>();
-  }
-  DeclareSchema(db.get(), via_processor);
+  hh::SeededDb seeded;
+  hh::OpenSeededDb("srvhist", persistent, &seeded);
+  if (::testing::Test::HasFatalFailure()) return;
+  DeductiveDatabase* db = seeded.db.get();
+  hh::DeclareQRSchema(db, /*with_view=*/true, /*materialize=*/via_processor);
   if (persistent) {
     ASSERT_TRUE(db->Checkpoint().ok());
   }
   const uint64_t base_version = db->version();
 
   LoopbackNetwork network;
-  Server server(db.get());
+  Server server(db);
   ASSERT_TRUE(server.Serve(network.TakeListener()).ok());
 
   const size_t num_clients = 2 + seed % 3;
@@ -268,59 +148,22 @@ void RunSeed(uint64_t seed) {
     ASSERT_TRUE(logs[i].errors.empty()) << logs[i].errors.front();
   }
 
-  // ---- The serial oracle ----------------------------------------------------
-  // Acked writes, sorted by acknowledged version, replay into version→image.
-  // Distinct versions prove the writes serialized; replaying them from the
-  // empty initial state proves the acks describe what really committed.
-  std::vector<const AckedWrite*> acked;
+  // The serial oracle: acked writes replay into version→image; every read
+  // matches the acknowledged commit prefix at its pinned version, and the
+  // derived view answers come from the same snapshot as the base facts.
+  std::vector<const hh::AckedWrite*> acked;
   for (const ClientLog& log : logs) {
-    for (const AckedWrite& write : log.writes) acked.push_back(&write);
+    for (const hh::AckedWrite& write : log.writes) acked.push_back(&write);
   }
-  std::sort(acked.begin(), acked.end(),
-            [](const AckedWrite* a, const AckedWrite* b) {
-              return a->version < b->version;
-            });
-  for (size_t i = 1; i < acked.size(); ++i) {
-    ASSERT_NE(acked[i - 1]->version, acked[i]->version)
-        << "two writes acknowledged the same commit version";
-  }
+  hh::AckedPrefixOracle oracle;
+  oracle.Build(std::move(acked), base_version, "replay diverged");
+  if (::testing::Test::HasFatalFailure()) return;
 
-  std::map<uint64_t, std::string> image_at;  // version -> canonical image
-  std::set<std::pair<size_t, size_t>> facts;
-  image_at[base_version] = ImageOf(facts);
-  for (const AckedWrite* write : acked) {
-    ASSERT_GT(write->version, base_version);
-    for (const auto& [p, c, ins] : write->events) {
-      if (ins) {
-        ASSERT_TRUE(facts.insert({p, c}).second)
-            << "acked insert of a present fact — replay diverged";
-      } else {
-        ASSERT_EQ(facts.erase({p, c}), 1u)
-            << "acked delete of an absent fact — replay diverged";
-      }
-    }
-    image_at[write->version] = ImageOf(facts);
-  }
-
-  // Every read equals the oracle image at floor(acked version <= read
-  // version). Versions between acks exist (the processor bumps once per
-  // store it touches), but they all carry the image of the last ack.
   for (size_t i = 0; i < num_clients; ++i) {
     SCOPED_TRACE(StrCat("client=", i));
     uint64_t last_version = 0;
-    for (const AckedRead& read : logs[i].reads) {
-      auto it = image_at.upper_bound(read.version);
-      ASSERT_NE(it, image_at.begin())
-          << "read at version " << read.version << " precedes the seed state";
-      --it;
-      EXPECT_EQ(read.base_image, it->second)
-          << "read at version " << read.version
-          << " does not match the acknowledged commit prefix at version "
-          << it->first;
-      // The derived view answered from the same snapshot as the base facts.
-      EXPECT_EQ(read.derived, DeriveP(read.base_image))
-          << "view answers inconsistent with base facts at version "
-          << read.version;
+    for (const hh::AckedRead& read : logs[i].reads) {
+      oracle.ExpectReadMatches(read, /*check_derived=*/true);
       // Reads on one connection never travel backwards.
       EXPECT_GE(read.version, last_version);
       last_version = read.version;
@@ -330,12 +173,7 @@ void RunSeed(uint64_t seed) {
   // The server released every session it pinned.
   ASSERT_EQ(db->active_sessions(), 0u);
 
-  if (persistent) {
-    ASSERT_TRUE(db->Close().ok());
-    db.reset();
-    std::string cmd = StrCat("rm -rf ", dir);
-    ASSERT_EQ(std::system(cmd.c_str()), 0);
-  }
+  hh::CloseSeededDb(&seeded);
 }
 
 class ServerHistoryTest : public ::testing::TestWithParam<int> {};

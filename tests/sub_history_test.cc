@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/deductive_database.h"
+#include "history_harness.h"
 #include "parser/parser.h"
 #include "server/chaos.h"
 #include "server/client.h"
@@ -47,6 +48,8 @@
 
 namespace deddb::server {
 namespace {
+
+namespace hh = harness;
 
 constexpr const char* kProgram =
     "base Q/1. base R/1. view P/1. P(x) <- Q(x) & not R(x).";
@@ -99,33 +102,12 @@ Result<Atom> OraclePattern(DeductiveDatabase* db, int kind) {
   }
 }
 
-Dialer DialThrough(LoopbackNetwork* network, FaultyNetwork* chaos) {
-  return [network, chaos]() -> Result<std::unique_ptr<Connection>> {
-    Result<std::unique_ptr<Connection>> conn = network->Connect();
-    if (!conn.ok()) return conn.status();
-    return chaos->Wrap(std::move(*conn));
-  };
-}
-
-ClientOptions RetryOptions(uint64_t client_id, uint64_t seed) {
-  ClientOptions options;
-  options.client_id = client_id;
-  options.max_attempts = 200;
-  options.backoff.base = std::chrono::microseconds(50);
-  options.backoff.cap = std::chrono::microseconds(2000);
-  options.backoff.seed = seed;
-  return options;
-}
-
-struct AckedWrite {
-  uint64_t version = 0;
-  /// (predicate name, constant name, is_insert) — names, not ids, so the
-  /// offline facade can rebuild the transaction against its own table.
-  std::vector<std::tuple<std::string, std::string, bool>> events;
-};
-
+/// The acked-write log and the chaos-client plumbing come from
+/// tests/history_harness.h; hh::AckedWrite's name-based events are exactly
+/// what the offline facade needs to rebuild transactions against its own
+/// symbol table.
 struct WriterLog {
-  std::vector<AckedWrite> writes;
+  std::vector<hh::AckedWrite> writes;
   std::vector<std::string> errors;
 };
 
@@ -143,12 +125,13 @@ void WriterLoop(LoopbackNetwork* network, FaultyNetwork* chaos,
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   Rng rng(seed);
-  Client client(DialThrough(network, chaos), RetryOptions(client_id, seed));
+  Client client(hh::DialThrough(network, chaos),
+                hh::RetryOptions(client_id, seed));
 
   std::set<std::pair<size_t, size_t>> present;  // (pred index, const index)
   for (int op = 0; op < kOpsPerWriter; ++op) {
     Transaction txn;
-    AckedWrite write;
+    hh::AckedWrite write;
     std::set<std::pair<size_t, size_t>> touched;
     const size_t num_events = 1 + rng.NextBelow(2);
     for (size_t e = 0; e < num_events; ++e) {
@@ -208,7 +191,7 @@ struct SubLog {
 void SubscriberLoop(LoopbackNetwork* network, FaultyNetwork* chaos, int kind,
                     uint64_t seed, const std::atomic<bool>* done,
                     std::atomic<size_t>* subscribers_ready, SubLog* log) {
-  Client client(DialThrough(network, chaos), RetryOptions(0, seed));
+  Client client(hh::DialThrough(network, chaos), hh::RetryOptions(0, seed));
   Atom pattern = ClientPattern(&client, kind);
   sub::SubView view;
   uint64_t sub_id = 0;
@@ -388,7 +371,7 @@ void RunSeed(uint64_t seed, ShardTotals* totals) {
       }
       dump += "\n--- acked writes ---";
       for (const WriterLog& wlog : writer_logs) {
-        for (const AckedWrite& w : wlog.writes) {
+        for (const hh::AckedWrite& w : wlog.writes) {
           dump += StrCat("\nv", w.version, ":");
           for (const auto& [pred, cname, ins] : w.events) {
             dump += StrCat(" ", ins ? "+" : "-", pred, "(", cname, ")");
@@ -408,9 +391,9 @@ void RunSeed(uint64_t seed, ShardTotals* totals) {
   // Writers' constant sets are disjoint and their tokens exactly-once, so
   // the acked writes at their acked versions are the complete, densely
   // numbered commit history of the run.
-  std::map<uint64_t, const AckedWrite*> acked;
+  std::map<uint64_t, const hh::AckedWrite*> acked;
   for (const WriterLog& log : writer_logs) {
-    for (const AckedWrite& write : log.writes) {
+    for (const hh::AckedWrite& write : log.writes) {
       ASSERT_TRUE(acked.emplace(write.version, &write).second)
           << "two writes acknowledged commit version " << write.version;
     }
