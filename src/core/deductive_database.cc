@@ -455,7 +455,7 @@ Status DeductiveDatabase::ApplyInternal(const Transaction& transaction,
     return commit_health_;
   }
   // Durable and irrevocable: expose the record to the replica feed.
-  persistence_->MarkSettled(prepared.seq);
+  persistence_->SettleCommit(prepared.seq);
   return Status::Ok();
 }
 

@@ -176,7 +176,7 @@ Status UpdateProcessor::ApplyAtomically(const Transaction& transaction,
     if (token_.present()) db_->dedup_.Record(token_, db_->version_);
     // Accepted and durable: the commit's fate is final, so the replica feed
     // may ship it. (A rolled-back commit settles via LogAbort instead.)
-    if (persistence != nullptr) persistence->MarkSettled(seq);
+    if (persistence != nullptr) persistence->SettleCommit(seq);
     if (span.enabled()) {
       span.AttrInt("view_inserts",
                    static_cast<int64_t>(report->views.applied_inserts));

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <unordered_set>
 
 #include "obs/metrics.h"
@@ -172,16 +173,14 @@ Result<PersistenceManager::PreparedCommit> PersistenceManager::PrepareCommit(
   prepared.writer = writer_;
   std::string payload =
       EncodeCommitPayload(prepared.seq, origin, txn, symbols, token);
-  {
-    // Stage the record for the replica feed's fast path. Staging an
-    // ultimately non-durable record is harmless: it never settles, so the
-    // feed's horizon filter skips it.
-    RetainedRecord retained;
-    retained.seq = prepared.seq;
-    retained.crc = Crc32(payload);
-    retained.payload = payload;
-    RetainLocked(std::move(retained));
-  }
+  // The feed copy is prepared up front (the writer consumes the payload)
+  // but staged only once the writer accepted the bytes: a refused record
+  // must leave no trace, or the next commit would reuse its sequence number
+  // and stage a twin the feed could ship ahead of the real one.
+  RetainedRecord retained;
+  retained.seq = prepared.seq;
+  retained.crc = Crc32(payload);
+  retained.payload = payload;
   if (options_.group_commit) {
     DEDDB_ASSIGN_OR_RETURN(prepared.ticket,
                            writer_->Enqueue(std::move(payload)));
@@ -193,6 +192,10 @@ Result<PersistenceManager::PreparedCommit> PersistenceManager::PrepareCommit(
     ++stats_.commits_logged;
     obs::MetricsRegistry::Add(obs.metrics, "persist.commits_logged");
   }
+  // Staged unsettled: the feed refuses to ship at or past it until
+  // SettleCommit decides its fate (WaitCommitDurable un-stages it instead
+  // when the flush fails).
+  RetainLocked(std::move(retained));
   // A failed flush leaves a sequence gap; ReadWal only requires strictly
   // increasing numbers, and the facade stops committing after one anyway.
   last_seq_ = prepared.seq;
@@ -208,6 +211,11 @@ Status PersistenceManager::WaitCommitDurable(const PreparedCommit& prepared,
     // A checkpoint that ran after our in-memory apply has the commit's
     // effects in its durable snapshot, so losing the log record is harmless.
     if (prepared.seq <= snapshot_seq_) return Status::Ok();
+    // The flush dropped the record (self-heal truncated its bytes from the
+    // log). Un-stage the feed copy before any later committer can raise the
+    // settled horizon past it — otherwise the feed would ship a commit the
+    // primary never applied and recovery will never replay.
+    UnretainLocked(prepared.seq);
     return status;
   }
   ++stats_.commits_logged;
@@ -233,9 +241,11 @@ Status PersistenceManager::LogAbort(uint64_t seq, obs::ObsContext obs) {
     RetainedRecord retained;
     retained.seq = abort_seq;
     retained.is_abort = true;
+    retained.settled = true;
     retained.aborted_seq = seq;
     RetainLocked(std::move(retained));
   }
+  SettleRetainedLocked(seq);
   MarkSettled(abort_seq);
   return Status::Ok();
 }
@@ -291,6 +301,16 @@ void PersistenceManager::MarkSettled(uint64_t seq) {
   }
 }
 
+void PersistenceManager::SettleCommit(uint64_t seq) {
+  // Flag before watermark: a feed reader that observes the raised horizon
+  // takes mu_ afterwards, so it finds the record already shippable.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SettleRetainedLocked(seq);
+  }
+  MarkSettled(seq);
+}
+
 uint64_t PersistenceManager::settled_seq() const {
   return settled_seq_.load(std::memory_order_acquire);
 }
@@ -308,6 +328,29 @@ void PersistenceManager::RetainLocked(RetainedRecord record) {
     retained_floor_ = retained_.front().seq;
     retained_bytes_ -= retained_.front().payload.size();
     retained_.pop_front();
+  }
+}
+
+void PersistenceManager::SettleRetainedLocked(uint64_t seq) {
+  // The window is seq-ascending (staged under mu_ in assignment order), so
+  // scan from the back: the settling record is almost always the newest.
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    if (it->seq == seq) {
+      it->settled = true;
+      return;
+    }
+    if (it->seq < seq) return;  // evicted, or never staged
+  }
+}
+
+void PersistenceManager::UnretainLocked(uint64_t seq) {
+  for (auto it = retained_.rbegin(); it != retained_.rend(); ++it) {
+    if (it->seq == seq) {
+      retained_bytes_ -= it->payload.size();
+      retained_.erase(std::next(it).base());
+      return;
+    }
+    if (it->seq < seq) return;
   }
 }
 
@@ -339,6 +382,12 @@ Result<PersistenceManager::FeedBatch> PersistenceManager::ReadFeedRecords(
       size_t bytes = 0;
       for (const RetainedRecord& record : retained_) {
         if (record.seq > horizon) break;
+        // Stop (not skip) at a record whose fate is undecided even below
+        // the horizon: a later committer's flush can settle while an
+        // earlier one is still in flight, and skipping the earlier record
+        // would lose it for good once it settles. Its committer resolves it
+        // promptly — settled, or un-staged on flush failure.
+        if (!record.settled) break;
         if (record.seq <= from_seq || record.is_abort ||
             aborted.count(record.seq) > 0) {
           continue;

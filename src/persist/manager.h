@@ -146,12 +146,14 @@ class PersistenceManager {
     std::vector<FeedRecord> records;  // commits only, seq strictly increasing
   };
 
-  /// Raises the settled watermark to `seq` (monotone). A record is settled
-  /// once its fate is final: a direct commit after its fsync succeeded, a
-  /// processor commit once accepted, an abort record once durable. Only
-  /// settled records ship — a commit that could still be retroactively
+  /// Settles the commit `seq`: flips its retained record shippable and
+  /// raises the settled watermark (monotone). A record is settled once its
+  /// fate is final: a direct commit after its fsync succeeded, a processor
+  /// commit once accepted, an abort record once durable (LogAbort settles
+  /// itself and the commit it voids). Only individually settled records
+  /// ship — a commit that could still fail its flush or be retroactively
   /// aborted never reaches a replica.
-  void MarkSettled(uint64_t seq);
+  void SettleCommit(uint64_t seq);
   uint64_t settled_seq() const;
 
   /// Returns committed records with `from_seq < seq <= settled_seq()`, up to
@@ -179,14 +181,29 @@ class PersistenceManager {
   struct RetainedRecord {
     uint64_t seq = 0;
     bool is_abort = false;
+    /// Fate decided (SettleCommit ran, or the commit was aborted). The feed
+    /// ships nothing at or past an unsettled record: its flush may yet fail,
+    /// in which case it is un-staged rather than settled.
+    bool settled = false;
     uint64_t aborted_seq = 0;  // abort markers only
     uint32_t crc = 0;          // commits only
     std::string payload;       // commits only
   };
 
+  /// Raises the settled watermark to `seq` (monotone, lock-free).
+  void MarkSettled(uint64_t seq);
+
   /// Appends to the retained window, evicting from the front past the
   /// configured bounds (mu_ held).
   void RetainLocked(RetainedRecord record);
+
+  /// Flips the retained record with exactly `seq` to settled; no-op when it
+  /// was evicted or never staged (mu_ held).
+  void SettleRetainedLocked(uint64_t seq);
+
+  /// Removes the retained record with exactly `seq` — a staged commit whose
+  /// flush failed must not linger where the feed could ship it (mu_ held).
+  void UnretainLocked(uint64_t seq);
 
   std::string dir_;
   Options options_;

@@ -37,7 +37,7 @@ ReplicaFeed::ReplicaFeed(server::Dialer dialer, Options options)
 ReplicaFeed::ReplicaFeed(server::Dialer dialer)
     : ReplicaFeed(std::move(dialer), Options()) {}
 
-ReplicaFeed::~ReplicaFeed() { Disconnect(); }
+ReplicaFeed::~ReplicaFeed() { Shutdown(); }
 
 bool ReplicaFeed::connected() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -53,12 +53,21 @@ void ReplicaFeed::Disconnect() {
   if (conn != nullptr) conn->Close();
 }
 
+void ReplicaFeed::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shut_down_ = true;
+  }
+  Disconnect();
+}
+
 Result<server::WalRecordsReply> ReplicaFeed::Fetch(uint64_t from_seq,
                                                    bool long_poll) {
   std::shared_ptr<server::Connection> conn;
   uint64_t request_id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return CancelledError("feed is shut down");
     conn = conn_;
     request_id = next_request_id_++;
   }
@@ -67,6 +76,13 @@ Result<server::WalRecordsReply> ReplicaFeed::Fetch(uint64_t from_seq,
     if (!dialed.ok()) return dialed.status();
     conn = std::move(*dialed);
     std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      // Shutdown landed while we were dialing: it already tore down conn_
+      // (then nullptr), so installing this one would leave a connection
+      // blocked in the primary's long-poll that nothing ever closes.
+      conn->Close();
+      return CancelledError("feed is shut down");
+    }
     conn_ = conn;
   }
   auto fail = [&](const Status& status) -> Status {

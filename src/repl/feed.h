@@ -60,8 +60,15 @@ class ReplicaFeed {
   Result<server::WalRecordsReply> Fetch(uint64_t from_seq, bool long_poll);
 
   /// Closes the current connection (if any); safe from any thread. A Fetch
-  /// blocked on the socket observes a transport failure and returns.
+  /// blocked on the socket observes a transport failure and returns — and
+  /// may then dial again (the forced-redial hook the chaos suites use).
   void Disconnect();
+
+  /// Terminal Disconnect: additionally marks the feed shut down, so a Fetch
+  /// racing with the teardown (past its caller's stop check but not yet on
+  /// the socket) refuses to dial with kCancelled instead of opening a fresh
+  /// connection nothing would ever close. Safe from any thread.
+  void Shutdown();
 
   bool connected() const;
 
@@ -74,6 +81,7 @@ class ReplicaFeed {
   /// the lock, so Disconnect can Close (which unblocks I/O) concurrently.
   mutable std::mutex mu_;
   std::shared_ptr<server::Connection> conn_;
+  bool shut_down_ = false;
   uint64_t next_request_id_ = 1;
 };
 

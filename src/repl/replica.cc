@@ -34,8 +34,11 @@ Status Replica::Start() {
 void Replica::Stop() {
   stopping_.store(true, std::memory_order_release);
   bounded_.store(false, std::memory_order_release);
-  // Unblocks a Fetch parked on the socket (or in the primary's long-poll).
-  feed_.Disconnect();
+  // Unblocks a Fetch parked on the socket (or in the primary's long-poll),
+  // and — because Stop is terminal — forbids redialing: a Fetch racing past
+  // TailLoop's stopping_ check must not open a fresh connection and park in
+  // a long-poll the join below would then wait out.
+  feed_.Shutdown();
   if (tail_.joinable()) tail_.join();
 }
 

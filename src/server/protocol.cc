@@ -684,11 +684,21 @@ Result<StatsReply> DecodeStatsReply(std::string_view payload) {
 }
 
 namespace {
-// The Health reply's optional sections are tagged trailing blocks (emitted
-// in ascending tag order, each at most once), so a reply with neither stays
-// byte-identical to v1 and the two extensions compose.
-constexpr uint8_t kHealthSubsBlockTag = 1;
+// The Health reply's subscription section predates the tag scheme and is
+// wire-frozen as an UNTAGGED trailing block (implicit tag 1): clients that
+// opted into it before replication existed must keep decoding new primaries,
+// and new clients must keep decoding old ones. Extensions from replication
+// onward are tagged trailing blocks (ascending tags starting at 2, each at
+// most once) emitted after it.
+//
+// The decoder disambiguates by size: the untagged subscription block is a
+// fixed 20 bytes, the tagged replication block a fixed 18 (tag + 17), so the
+// trailing length {0, 18, 20, 38} decides the shape deterministically. Any
+// FUTURE tagged block must keep the no-subscription tagged tail's total size
+// distinct from 20 and from any subscription-bearing size — or move Health
+// to a version handshake first.
 constexpr uint8_t kHealthReplBlockTag = 2;
+constexpr size_t kHealthSubsBlockSize = 4 + 8 + 8;
 }  // namespace
 
 std::string EncodeHealthReply(const HealthReply& reply) {
@@ -698,7 +708,6 @@ std::string EncodeHealthReply(const HealthReply& reply) {
   sink.PutU64(reply.last_durable_seq);
   sink.PutU32(reply.queue_depth);
   if (reply.has_subscriptions) {
-    sink.PutU8(kHealthSubsBlockTag);
     sink.PutU32(reply.active_subscriptions);
     sink.PutU64(reply.queued_deltas);
     sink.PutU64(reply.gap_events);
@@ -724,7 +733,18 @@ Result<HealthReply> DecodeHealthReply(std::string_view payload) {
   DEDDB_PROTO_ASSIGN(reply.version, source.GetU64());
   DEDDB_PROTO_ASSIGN(reply.last_durable_seq, source.GetU64());
   DEDDB_PROTO_ASSIGN(reply.queue_depth, source.GetU32());
-  uint8_t last_tag = 0;
+  // Size dispatch (see above): anything trailing that is not exactly a
+  // tagged tail starts with the untagged subscription block. A subscription
+  // block can never be mistaken for one — it alone is 20 bytes, while the
+  // only tagged tail today is 18.
+  if (!source.exhausted() && source.remaining() >= kHealthSubsBlockSize &&
+      (source.remaining() - kHealthSubsBlockSize) % 18 == 0) {
+    reply.has_subscriptions = true;
+    DEDDB_PROTO_ASSIGN(reply.active_subscriptions, source.GetU32());
+    DEDDB_PROTO_ASSIGN(reply.queued_deltas, source.GetU64());
+    DEDDB_PROTO_ASSIGN(reply.gap_events, source.GetU64());
+  }
+  uint8_t last_tag = 1;  // the subscription block is implicitly tag 1
   while (!source.exhausted()) {
     uint8_t tag = 0;
     DEDDB_PROTO_ASSIGN(tag, source.GetU8());
@@ -734,13 +754,6 @@ Result<HealthReply> DecodeHealthReply(std::string_view payload) {
     }
     last_tag = tag;
     switch (tag) {
-      case kHealthSubsBlockTag: {
-        reply.has_subscriptions = true;
-        DEDDB_PROTO_ASSIGN(reply.active_subscriptions, source.GetU32());
-        DEDDB_PROTO_ASSIGN(reply.queued_deltas, source.GetU64());
-        DEDDB_PROTO_ASSIGN(reply.gap_events, source.GetU64());
-        break;
-      }
       case kHealthReplBlockTag: {
         reply.has_replication = true;
         DEDDB_PROTO_ASSIGN(reply.applied_seq, source.GetU64());

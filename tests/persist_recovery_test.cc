@@ -231,6 +231,86 @@ TEST_F(PersistRecoveryTest, AbortedCommitIsFilteredOnRecovery) {
       {db->symbols().Intern("Joan")}));
 }
 
+// Reviewer-found replication bug: PrepareCommit used to stage the commit
+// record into the retained feed window unconditionally, so a failed flush on
+// the processor path (which, unlike Apply, does not poison the facade — the
+// writer self-heals and the stores are untouched) left a phantom staged;
+// the next successful commit then raised the settled horizon past it and the
+// feed shipped a transaction the primary never applied and whose bytes were
+// truncated from the log.
+TEST_F(PersistRecoveryTest, FailedFlushNeverFeedsPhantomRecord) {
+  auto db = DeductiveDatabase::OpenPersistent(dir_).value();
+  DeclareEmployment(db.get());
+  ASSERT_TRUE(db->Checkpoint().ok());
+  const uint64_t base = db->persistence()->stats().last_seq;
+  ASSERT_TRUE(db->Apply(Insert(db.get(), "La", {"Dolors"})).ok());
+
+  UpdateProcessor processor(db.get());
+  FaultInjector::Instance().Arm(FaultPoint::kWalFsync, 1,
+                                InternalError("injected fsync failure"));
+  auto report = processor.ProcessTransaction(Insert(db.get(), "La", {"Joan"}));
+  FaultInjector::Instance().Disarm();
+  ASSERT_FALSE(report.ok());
+  // Not poisoned: the stores are untouched and the writer self-healed, so
+  // the facade keeps committing — which is exactly what makes a lingering
+  // phantom shippable.
+  ASSERT_TRUE(db->commit_health().ok());
+  ASSERT_TRUE(db->Apply(Insert(db.get(), "La", {"Pau"})).ok());
+
+  Result<persist::PersistenceManager::FeedBatch> batch =
+      db->persistence()->ReadFeedRecords(base, 0, 0);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  // Dolors and Pau ship; the never-durable commit between them must not —
+  // its sequence number is a permanent gap, matching what recovery replays.
+  ASSERT_EQ(batch->records.size(), 2u);
+  EXPECT_EQ(batch->records[0].seq, base + 1);
+  EXPECT_EQ(batch->records[1].seq, base + 3);
+  EXPECT_EQ(batch->last_durable_seq, base + 3);
+}
+
+// Sibling case: when the writer refuses the bytes outright (append failure
+// rather than flush failure), the sequence number is reused by the next
+// commit; a phantom staged under it would make the feed ship two records
+// with the same seq — the real one then refused by the replica's cursor.
+TEST_F(PersistRecoveryTest, RefusedAppendNeverStagesTwinFeedRecord) {
+  {
+    PersistOptions options;
+    options.group_commit = false;  // AppendDurable fails inside PrepareCommit
+    auto db = DeductiveDatabase::OpenPersistent(dir_, options).value();
+    DeclareEmployment(db.get());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    const uint64_t base = db->persistence()->stats().last_seq;
+    ASSERT_TRUE(db->Apply(Insert(db.get(), "La", {"Dolors"})).ok());
+
+    FaultInjector::Instance().Arm(FaultPoint::kWalAppend, 1,
+                                  InternalError("injected append failure"));
+    Status refused = db->Apply(Insert(db.get(), "La", {"Joan"}));
+    FaultInjector::Instance().Disarm();
+    ASSERT_FALSE(refused.ok());
+    // Nothing was logged or applied, so the facade stays healthy and the
+    // next commit takes over the refused sequence number.
+    ASSERT_TRUE(db->commit_health().ok());
+    ASSERT_TRUE(db->Apply(Insert(db.get(), "La", {"Pau"})).ok());
+    EXPECT_EQ(db->persistence()->stats().last_seq, base + 2);
+
+    Result<persist::PersistenceManager::FeedBatch> batch =
+        db->persistence()->ReadFeedRecords(base, 0, 0);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ASSERT_EQ(batch->records.size(), 2u);
+    EXPECT_EQ(batch->records[0].seq, base + 1);
+    EXPECT_EQ(batch->records[1].seq, base + 2);  // reused, exactly once
+  }
+  // The record under the reused seq is Pau's commit, not the refused one:
+  // replaying the log must reproduce what the feed shipped.
+  auto reopened = DeductiveDatabase::OpenPersistent(dir_).value();
+  EXPECT_TRUE(reopened->database().facts().Contains(
+      reopened->database().FindPredicate("La").value(),
+      {reopened->symbols().Intern("Pau")}));
+  EXPECT_FALSE(reopened->database().facts().Contains(
+      reopened->database().FindPredicate("La").value(),
+      {reopened->symbols().Intern("Joan")}));
+}
+
 TEST_F(PersistRecoveryTest, CloseCheckpointsSchemaWithoutExplicitCall) {
   {
     auto db = DeductiveDatabase::OpenPersistent(dir_).value();

@@ -618,6 +618,51 @@ TEST(ReplFeedTest, FeedFromInMemoryServerIsTypedRefusalWithoutTeardown) {
   server.Stop();
 }
 
+TEST(ReplFeedTest, ShutdownRefusesToDialAndClosesRacingDial) {
+  // Reviewer-found race: Replica::Stop tears the feed connection down, but a
+  // Fetch already past the tailer's stopping check used to redial and park
+  // in the primary's long-poll on a fresh connection nothing would close —
+  // Stop's join then waited out the poll window (or forever). Shutdown is
+  // terminal: a Fetch after (or racing) it must refuse to dial.
+  auto db = std::make_unique<DeductiveDatabase>();
+  hh::DeclareQRSchema(db.get(), /*with_view=*/false, /*materialize=*/false);
+  LoopbackNetwork network;
+  Server server(db.get());
+  ASSERT_TRUE(server.Serve(network.TakeListener()).ok());
+
+  // Plain shutdown: no dial at all.
+  std::atomic<int> dials{0};
+  {
+    ReplicaFeed feed([&network, &dials] {
+      dials.fetch_add(1);
+      return network.Connect();
+    });
+    feed.Shutdown();
+    Result<WalRecordsReply> refused = feed.Fetch(0, /*long_poll=*/true);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kCancelled);
+    EXPECT_EQ(dials.load(), 0);
+  }
+
+  // Shutdown landing mid-dial: the racing Fetch must close the connection
+  // it just opened instead of installing it and parking in the long-poll.
+  {
+    ReplicaFeed* feed_ptr = nullptr;
+    ReplicaFeed feed([&network, &dials, &feed_ptr] {
+      dials.fetch_add(1);
+      feed_ptr->Shutdown();  // Stop() wins the race while we were dialing
+      return network.Connect();
+    });
+    feed_ptr = &feed;
+    Result<WalRecordsReply> refused = feed.Fetch(0, /*long_poll=*/true);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kCancelled);
+    EXPECT_EQ(dials.load(), 1);
+    EXPECT_FALSE(feed.connected());
+  }
+  server.Stop();
+}
+
 TEST(ReplFeedTest, ReplicaModeRefusesEveryLocalMutation) {
   auto db = std::make_unique<DeductiveDatabase>();
   hh::DeclareQRSchema(db.get(), /*with_view=*/false, /*materialize=*/false);

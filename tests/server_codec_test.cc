@@ -479,41 +479,67 @@ TEST(ServerCodecTest, HealthReplyReplicationBlockRoundTrips) {
   EXPECT_EQ(both->applied_seq, 40u);
 }
 
-TEST(ServerCodecTest, HealthReplyRejectsOutOfOrderAndDuplicateTags) {
+TEST(ServerCodecTest, HealthReplyRejectsDuplicateAndUnknownTags) {
   // Tags must be strictly increasing; hand-craft violations the encoder
   // cannot produce. Base header: state, version, last_durable_seq, depth.
-  persist::ByteSink sink;
-  sink.PutU8(0);
-  sink.PutU64(1);
-  sink.PutU64(1);
-  sink.PutU32(0);
-  // Replication block (tag 2) first, then subscription block (tag 1).
-  sink.PutU8(2);
-  sink.PutU64(5);
-  sink.PutU64(5);
-  sink.PutU8(1);
-  sink.PutU8(1);
-  sink.PutU32(0);
-  sink.PutU64(0);
-  sink.PutU64(0);
-  Result<HealthReply> out_of_order = DecodeHealthReply(sink.bytes());
-  ASSERT_FALSE(out_of_order.ok());
-  EXPECT_EQ(out_of_order.status().code(), StatusCode::kInvalidArgument);
-
   persist::ByteSink dup;
   dup.PutU8(0);
   dup.PutU64(1);
   dup.PutU64(1);
   dup.PutU32(0);
-  for (int i = 0; i < 2; ++i) {  // subscription block twice
+  for (int i = 0; i < 2; ++i) {  // replication block (tag 2) twice
+    dup.PutU8(2);
+    dup.PutU64(5);
+    dup.PutU64(5);
     dup.PutU8(1);
-    dup.PutU32(0);
-    dup.PutU64(0);
-    dup.PutU64(0);
   }
   Result<HealthReply> duplicated = DecodeHealthReply(dup.bytes());
   ASSERT_FALSE(duplicated.ok());
   EXPECT_EQ(duplicated.status().code(), StatusCode::kInvalidArgument);
+
+  persist::ByteSink unknown;
+  unknown.PutU8(0);
+  unknown.PutU64(1);
+  unknown.PutU64(1);
+  unknown.PutU32(0);
+  unknown.PutU8(7);  // no such extension
+  Result<HealthReply> rejected = DecodeHealthReply(unknown.bytes());
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServerCodecTest, HealthReplySubscriptionSectionKeepsV1ByteLayout) {
+  // The subscription section predates the tag scheme and is wire-frozen as
+  // an untagged trailing block: a client from before replication existed
+  // must keep decoding a current primary's reply, and vice versa. Hand-build
+  // the pre-replication bytes and require the encoder to match them exactly.
+  HealthReply reply;
+  reply.state = ServerState::kServing;
+  reply.version = 12;
+  reply.last_durable_seq = 9;
+  reply.queue_depth = 3;
+  reply.has_subscriptions = true;
+  reply.active_subscriptions = 4;
+  reply.queued_deltas = 11;
+  reply.gap_events = 1;
+
+  persist::ByteSink v1;
+  v1.PutU8(static_cast<uint8_t>(ServerState::kServing));
+  v1.PutU64(12);
+  v1.PutU64(9);
+  v1.PutU32(3);
+  v1.PutU32(4);   // untagged: no tag byte before the section
+  v1.PutU64(11);
+  v1.PutU64(1);
+  EXPECT_EQ(EncodeHealthReply(reply), v1.bytes());
+
+  Result<HealthReply> decoded = DecodeHealthReply(v1.bytes());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_subscriptions);
+  EXPECT_FALSE(decoded->has_replication);
+  EXPECT_EQ(decoded->active_subscriptions, 4u);
+  EXPECT_EQ(decoded->queued_deltas, 11u);
+  EXPECT_EQ(decoded->gap_events, 1u);
 }
 
 // ---- WAL feed payloads (DESIGN.md §12) --------------------------------------
